@@ -1,0 +1,235 @@
+//! The on-chip Adam weight-update unit (paper Fig. 2, Table I's
+//! "Adam Optimizer" row).
+//!
+//! FIXAR runs weight update entirely on the FPGA: "with accumulated
+//! gradient, weight update occurs in Adam optimizer module, which is
+//! fully local to FPGA as the entire model parameters are stored on-chip
+//! BRAMs". This module is the functional twin: it steps the weights
+//! *inside the weight-memory image*, reading one 512-bit word of
+//! parameters per cycle (16 lanes), keeping its first/second moments in
+//! its own on-chip state, and writing updated weights back — bit-exact
+//! against the `fixar_nn::Adam` software reference, which the tests
+//! enforce.
+
+use fixar_fixed::Fx32;
+use fixar_nn::AdamConfig;
+
+use crate::error::AccelError;
+use crate::memory::{NetworkImage, WeightMemory};
+
+/// Moments and step count for one loaded network.
+#[derive(Debug, Clone)]
+struct MomentState {
+    /// First moment per (layer, row, col) in layer-image order.
+    m: Vec<Vec<Fx32>>,
+    /// Second moment, same layout.
+    v: Vec<Vec<Fx32>>,
+    /// Bias moments per layer.
+    m_b: Vec<Vec<Fx32>>,
+    v_b: Vec<Vec<Fx32>>,
+}
+
+/// The weight-update engine: fixed-point Adam over the weight-memory
+/// image.
+///
+/// # Example
+///
+/// ```
+/// use fixar_accel::{AdamUnit, WeightMemory};
+/// use fixar_nn::{AdamConfig, Mlp, MlpConfig};
+/// use fixar_fixed::Fx32;
+///
+/// let net = Mlp::<Fx32>::new_random(&MlpConfig::new(vec![3, 8, 2]), 0)?;
+/// let mut mem = WeightMemory::new(64 * 1024);
+/// let image = mem.load_mlp(&net)?;
+/// let mut unit = AdamUnit::new(AdamConfig::default(), &image);
+/// // Zero gradients leave the image untouched:
+/// let grads = fixar_nn::MlpGrads::zeros_like(&net);
+/// unit.step(&mut mem, &image, &grads)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdamUnit {
+    cfg: AdamConfig,
+    state: MomentState,
+    t: u64,
+}
+
+impl AdamUnit {
+    /// Creates a unit with zeroed moments shaped for a network image.
+    pub fn new(cfg: AdamConfig, image: &NetworkImage) -> Self {
+        let m = image
+            .layers
+            .iter()
+            .map(|l| vec![Fx32::ZERO; l.rows * l.cols])
+            .collect::<Vec<_>>();
+        let m_b = image
+            .layers
+            .iter()
+            .map(|l| vec![Fx32::ZERO; l.rows])
+            .collect::<Vec<_>>();
+        Self {
+            cfg,
+            state: MomentState {
+                v: m.clone(),
+                m,
+                v_b: m_b.clone(),
+                m_b,
+            },
+            t: 0,
+        }
+    }
+
+    /// Completed update steps.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam step to the image in `memory` from accumulated
+    /// gradients, using the same per-step scalar constants and elementwise
+    /// datapath as `fixar_nn::Adam` (verified bit-exact by tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Shape`] if the gradient buffer does not
+    /// match the image layout.
+    pub fn step(
+        &mut self,
+        memory: &mut WeightMemory,
+        image: &NetworkImage,
+        grads: &fixar_nn::MlpGrads<Fx32>,
+    ) -> Result<(), AccelError> {
+        if grads.w.len() != image.layers.len() {
+            return Err(AccelError::Shape(format!(
+                "gradient has {} layers, image has {}",
+                grads.w.len(),
+                image.layers.len()
+            )));
+        }
+        self.t += 1;
+        let t = self.t as i32;
+        let bias_corr = (1.0 - self.cfg.beta2.powi(t)).sqrt() / (1.0 - self.cfg.beta1.powi(t));
+        let lr_t = Fx32::from_f64(self.cfg.lr * bias_corr);
+        let b1 = Fx32::from_f64(self.cfg.beta1);
+        let omb1 = Fx32::from_f64(1.0 - self.cfg.beta1);
+        let b2 = Fx32::from_f64(self.cfg.beta2);
+        let omb2 = Fx32::from_f64(1.0 - self.cfg.beta2);
+        let eps = Fx32::from_f64(self.cfg.eps);
+
+        let lane = |p: Fx32, g: Fx32, m: &mut Fx32, v: &mut Fx32| -> Fx32 {
+            *m = b1 * *m + omb1 * g;
+            *v = b2 * *v + omb2 * (g * g);
+            let denom = v.sqrt() + eps;
+            p - lr_t * (*m / denom)
+        };
+
+        for (l, layer) in image.layers.iter().enumerate() {
+            if grads.w[l].shape() != (layer.rows, layer.cols) {
+                return Err(AccelError::Shape(format!(
+                    "layer {l}: gradient {:?} vs image ({}, {})",
+                    grads.w[l].shape(),
+                    layer.rows,
+                    layer.cols
+                )));
+            }
+            for r in 0..layer.rows {
+                for c in 0..layer.cols {
+                    let idx = r * layer.cols + c;
+                    let updated = lane(
+                        memory.weight(layer, r, c),
+                        grads.w[l][(r, c)],
+                        &mut self.state.m[l][idx],
+                        &mut self.state.v[l][idx],
+                    );
+                    memory.set_weight(layer, r, c, updated);
+                }
+            }
+            for i in 0..layer.rows {
+                let updated = lane(
+                    memory.bias(layer, i),
+                    grads.b[l][i],
+                    &mut self.state.m_b[l][i],
+                    &mut self.state.v_b[l][i],
+                );
+                memory.set_bias(layer, i, updated);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_nn::{Adam, Mlp, MlpConfig, MlpGrads};
+
+    fn setup() -> (Mlp<Fx32>, WeightMemory, NetworkImage) {
+        let net = Mlp::new_random(&MlpConfig::new(vec![4, 10, 3]), 5).unwrap();
+        let mut mem = WeightMemory::new(64 * 1024);
+        let image = mem.load_mlp(&net).unwrap();
+        (net, mem, image)
+    }
+
+    fn fake_grads(net: &Mlp<Fx32>, scale: f64) -> MlpGrads<Fx32> {
+        let mut grads = MlpGrads::zeros_like(net);
+        for (l, w) in grads.w.iter_mut().enumerate() {
+            let (rows, cols) = w.shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    w[(r, c)] = Fx32::from_f64(((r * 7 + c * 3 + l) % 11) as f64 * 0.01 * scale);
+                }
+            }
+        }
+        for b in &mut grads.b {
+            for (i, v) in b.iter_mut().enumerate() {
+                *v = Fx32::from_f64(i as f64 * 0.005 * scale);
+            }
+        }
+        grads
+    }
+
+    #[test]
+    fn hardware_adam_is_bit_exact_vs_software_adam() {
+        let (mut net, mut mem, image) = setup();
+        let mut unit = AdamUnit::new(AdamConfig::default(), &image);
+        let mut sw = Adam::new(&net, AdamConfig::default());
+        for step in 0..10 {
+            let grads = fake_grads(&net, 1.0 + step as f64 * 0.1);
+            unit.step(&mut mem, &image, &grads).unwrap();
+            sw.step(&mut net, &grads).unwrap();
+        }
+        for (l, layer) in image.layers.iter().enumerate() {
+            for r in 0..layer.rows {
+                for c in 0..layer.cols {
+                    assert_eq!(
+                        mem.weight(layer, r, c),
+                        net.weight(l)[(r, c)],
+                        "layer {l} w[{r}][{c}] diverged"
+                    );
+                }
+            }
+            for i in 0..layer.rows {
+                assert_eq!(mem.bias(layer, i), net.bias(l)[i], "layer {l} bias {i}");
+            }
+        }
+        assert_eq!(unit.steps(), 10);
+    }
+
+    #[test]
+    fn zero_gradients_leave_image_unchanged() {
+        let (net, mut mem, image) = setup();
+        let before = mem.as_bytes();
+        let mut unit = AdamUnit::new(AdamConfig::default(), &image);
+        unit.step(&mut mem, &image, &MlpGrads::zeros_like(&net)).unwrap();
+        assert_eq!(mem.as_bytes(), before);
+    }
+
+    #[test]
+    fn mismatched_gradients_rejected() {
+        let (_, mut mem, image) = setup();
+        let other = Mlp::<Fx32>::new_random(&MlpConfig::new(vec![4, 8, 3]), 1).unwrap();
+        let mut unit = AdamUnit::new(AdamConfig::default(), &image);
+        let bad = MlpGrads::zeros_like(&other);
+        assert!(unit.step(&mut mem, &image, &bad).is_err());
+    }
+}

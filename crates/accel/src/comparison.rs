@@ -1,0 +1,163 @@
+//! Table II: comparison against prior FPGA DRL accelerators.
+//!
+//! The prior-work rows are literature values quoted by the paper
+//! (FA3C, ASPLOS'19; the PPO accelerator, FCCM'20). The paper's
+//! "Normalized Peak Perf. to FIXAR" column scales each platform's peak
+//! IPS by the ratio of its network size to FIXAR's — i.e. it asks "how
+//! many FIXAR-sized networks per second is that?" — which
+//! [`PlatformEntry::normalized_peak_ips`] reproduces.
+
+/// Numeric precision class of a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrecisionClass {
+    /// 32-bit IEEE floating point.
+    Float32,
+    /// FIXAR's dual 32/16-bit fixed point.
+    Fixed32And16,
+}
+
+impl PrecisionClass {
+    /// Table II's wording.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrecisionClass::Float32 => "Floating 32-bit",
+            PrecisionClass::Fixed32And16 => "Fixed 32, 16-bit",
+        }
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformEntry {
+    /// Venue/name of the work.
+    pub name: &'static str,
+    /// FPGA platform.
+    pub platform: &'static str,
+    /// Clock frequency (MHz).
+    pub clock_mhz: f64,
+    /// Actor-critic algorithm accelerated.
+    pub algorithm: &'static str,
+    /// Action-space class of the evaluated tasks.
+    pub task_env: &'static str,
+    /// Numeric precision.
+    pub precision: PrecisionClass,
+    /// DSP slices used.
+    pub dsp: u32,
+    /// Policy-network size in KB.
+    pub network_kb: f64,
+    /// Peak throughput in inferences per second.
+    pub peak_ips: f64,
+    /// Accelerator energy efficiency in IPS/W, when reported.
+    pub ips_per_watt: Option<f64>,
+}
+
+impl PlatformEntry {
+    /// Peak IPS normalized to FIXAR's network size (Table II's
+    /// "Normalized Peak Perf. to FIXAR" column): platforms running
+    /// bigger networks get credited proportionally.
+    pub fn normalized_peak_ips(&self, fixar_network_kb: f64) -> f64 {
+        self.peak_ips * self.network_kb / fixar_network_kb
+    }
+}
+
+/// FA3C (ASPLOS'19): A3C on a Xilinx VCU1525, discrete actions, fp32.
+pub fn fa3c() -> PlatformEntry {
+    PlatformEntry {
+        name: "FA3C (ASPLOS'19)",
+        platform: "Xilinx VCU1525",
+        clock_mhz: 180.0,
+        algorithm: "Actor-Critic (A3C)",
+        task_env: "Discrete",
+        precision: PrecisionClass::Float32,
+        dsp: 2348,
+        network_kb: 2592.0,
+        peak_ips: 2550.0,
+        ips_per_watt: Some(141.7),
+    }
+}
+
+/// The PPO accelerator (FCCM'20): continuous actions, fp32, Xilinx U200.
+pub fn fccm20_ppo() -> PlatformEntry {
+    PlatformEntry {
+        name: "PPO (FCCM'20)",
+        platform: "Xilinx U200",
+        clock_mhz: 285.0,
+        algorithm: "Actor-Critic (PPO)",
+        task_env: "Continuous",
+        precision: PrecisionClass::Float32,
+        dsp: 3744,
+        network_kb: 229.6,
+        peak_ips: 15_286.8,
+        ips_per_watt: None,
+    }
+}
+
+/// FIXAR's own row, parameterized by the modelled peak throughput and
+/// energy efficiency (defaults: the paper's reported numbers).
+pub fn fixar(peak_ips: f64, ips_per_watt: f64) -> PlatformEntry {
+    PlatformEntry {
+        name: "FIXAR",
+        platform: "Xilinx U50",
+        clock_mhz: 164.0,
+        algorithm: "Actor-Critic (DDPG)",
+        task_env: "Continuous",
+        precision: PrecisionClass::Fixed32And16,
+        dsp: 2302,
+        network_kb: 514.4,
+        peak_ips,
+        ips_per_watt: Some(ips_per_watt),
+    }
+}
+
+/// All three rows in Table II's column order.
+pub fn table2(fixar_peak_ips: f64, fixar_ips_per_watt: f64) -> Vec<PlatformEntry> {
+    vec![fa3c(), fccm20_ppo(), fixar(fixar_peak_ips, fixar_ips_per_watt)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_reproduces_table2_numbers() {
+        let fixar_kb = 514.4;
+        // FA3C: 2550 × 2592/514.4 = 12 849.1.
+        let n = fa3c().normalized_peak_ips(fixar_kb);
+        assert!((n - 12_849.1).abs() < 5.0, "FA3C normalized {n}");
+        // FCCM'20: 15 286.8 × 229.6/514.4 = 6 823.2.
+        let n = fccm20_ppo().normalized_peak_ips(fixar_kb);
+        assert!((n - 6_823.2).abs() < 5.0, "FCCM normalized {n}");
+        // FIXAR normalizes to itself.
+        let f = fixar(38_779.8, 2_638.0);
+        assert!((f.normalized_peak_ips(fixar_kb) - 38_779.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixar_wins_normalized_peak_and_efficiency() {
+        let rows = table2(38_779.8, 2_638.0);
+        let fixar_row = &rows[2];
+        for other in &rows[..2] {
+            assert!(
+                fixar_row.normalized_peak_ips(514.4) > other.normalized_peak_ips(514.4),
+                "{} should not beat FIXAR",
+                other.name
+            );
+            if let Some(eff) = other.ips_per_watt {
+                assert!(fixar_row.ips_per_watt.unwrap() > eff);
+            }
+        }
+    }
+
+    #[test]
+    fn fixar_uses_fewest_dsps_among_the_three() {
+        let rows = table2(38_779.8, 2_638.0);
+        assert!(rows[2].dsp < rows[0].dsp);
+        assert!(rows[2].dsp < rows[1].dsp);
+    }
+
+    #[test]
+    fn precision_labels_match_the_table() {
+        assert_eq!(PrecisionClass::Float32.label(), "Floating 32-bit");
+        assert_eq!(PrecisionClass::Fixed32And16.label(), "Fixed 32, 16-bit");
+    }
+}

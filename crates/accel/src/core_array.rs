@@ -1,0 +1,323 @@
+//! The adaptive array processing core (paper §V-A).
+
+use fixar_fixed::Fx32;
+use fixar_tensor::Matrix;
+
+use crate::pe::{round_half_product_to_fx32, round_product_to_fx32, ConfigurablePe, HalfAct, PeMode};
+
+/// One adaptive array processing core: a `rows × cols` grid of
+/// [`ConfigurablePe`]s with an activation line buffer feeding row
+/// broadcasts and per-column accumulators below the array.
+///
+/// The structural execution path here runs real matrix-vector products
+/// through the PE datapath in the paper's **column-wise decomposition**
+/// order: for each matrix column, the broadcast activation element
+/// multiplies the whole column and the partial-sum vector accumulates
+/// into the output. This is the order the `fixar-tensor` kernels promise,
+/// so core output is bit-exact against the software reference (verified
+/// by tests and the cross-crate equivalence suite).
+///
+/// # Example
+///
+/// ```
+/// use fixar_accel::AapCore;
+/// use fixar_fixed::Fx32;
+/// use fixar_tensor::Matrix;
+///
+/// let core = AapCore::new(16, 16);
+/// let w: Matrix<Fx32> = Matrix::from_fn(4, 3, |r, c| Fx32::from_f64((r + c) as f64 * 0.1));
+/// let x = vec![Fx32::from_f64(1.0); 3];
+/// let mut y = vec![Fx32::from_f64(0.0); 4];
+/// core.mvm_columns(&w, &x, 0, 1, &mut y); // all columns, single core
+/// ```
+#[derive(Debug, Clone)]
+pub struct AapCore {
+    rows: usize,
+    cols: usize,
+    pe: ConfigurablePe,
+}
+
+impl AapCore {
+    /// Creates a core with the given PE-array geometry (paper: 16×16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "PE array needs positive dimensions");
+        Self {
+            rows,
+            cols,
+            pe: ConfigurablePe::new(PeMode::Full),
+        }
+    }
+
+    /// PE-array rows (matrix columns mapped per pass).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// PE-array columns (output elements produced per pass).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of PEs in the array.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Reconfigures every PE's datapath mode.
+    pub fn set_mode(&mut self, mode: PeMode) {
+        self.pe.set_mode(mode);
+    }
+
+    /// Current datapath mode.
+    pub fn mode(&self) -> PeMode {
+        self.pe.mode()
+    }
+
+    /// Executes this core's share of a full-precision MVM `y += W·x`,
+    /// taking matrix columns `start, start + stride, start + 2·stride, …`
+    /// (the paper's intra-layer interleaving; `stride` = number of
+    /// cores). Accumulation per output is in ascending column order
+    /// through the PE datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand lengths disagree with the matrix shape.
+    pub fn mvm_columns(
+        &self,
+        w: &Matrix<Fx32>,
+        x: &[Fx32],
+        start: usize,
+        stride: usize,
+        y: &mut [Fx32],
+    ) {
+        assert_eq!(x.len(), w.cols(), "activation length mismatch");
+        assert_eq!(y.len(), w.rows(), "output length mismatch");
+        assert!(stride > 0, "stride must be positive");
+        let mut j = start;
+        while j < w.cols() {
+            let xj = x[j];
+            for i in 0..w.rows() {
+                let prod = self.pe.mac_full(w[(i, j)].raw(), xj.raw());
+                y[i] = y[i] + round_product_to_fx32(prod);
+            }
+            j += stride;
+        }
+    }
+
+    /// Half-precision variant: activations arrive as 16-bit lanes
+    /// (`Q6.10`), and each PE produces two lane products per cycle. The
+    /// lanes carry two *consecutive matrix columns*, which is how packing
+    /// two 16-bit activations into one 32-bit word doubles throughput
+    /// without touching the memory layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand lengths disagree with the matrix shape.
+    pub fn mvm_columns_half(
+        &self,
+        w: &Matrix<Fx32>,
+        x: &[HalfAct],
+        start: usize,
+        stride: usize,
+        y: &mut [Fx32],
+    ) {
+        assert_eq!(x.len(), w.cols(), "activation length mismatch");
+        assert_eq!(y.len(), w.rows(), "output length mismatch");
+        assert!(stride > 0, "stride must be positive");
+        // Column pairs (2j, 2j+1) share a PE pass.
+        let mut pair = start;
+        while 2 * pair < w.cols() {
+            let j0 = 2 * pair;
+            let j1 = j0 + 1;
+            let a0 = x[j0];
+            let a1 = if j1 < w.cols() { x[j1] } else { HalfAct::ZERO };
+            for i in 0..w.rows() {
+                let w0 = w[(i, j0)].raw();
+                let (p0, _) = self.pe.mac_half(w0, a0.raw(), 0);
+                y[i] = y[i] + round_half_product_to_fx32(p0);
+                if j1 < w.cols() {
+                    let w1 = w[(i, j1)].raw();
+                    let (_, p1) = self.pe.mac_half(w1, 0, a1.raw());
+                    y[i] = y[i] + round_half_product_to_fx32(p1);
+                }
+            }
+            pair += stride;
+        }
+    }
+
+    /// Executes this core's share of the **transposed** MVM
+    /// `y += Wᵀ·e` — the back-propagation dataflow. The weight memory
+    /// distributes each *row* of `W` to a PE row (instead of a column),
+    /// which is how the paper solves the matrix-transpose problem with
+    /// no data movement: the same 512-bit row reads feed both passes.
+    /// Rows are interleaved across cores `start, start + stride, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand lengths disagree with the matrix shape.
+    pub fn mvm_rows(
+        &self,
+        w: &Matrix<Fx32>,
+        e: &[Fx32],
+        start: usize,
+        stride: usize,
+        y: &mut [Fx32],
+    ) {
+        assert_eq!(e.len(), w.rows(), "error-vector length mismatch");
+        assert_eq!(y.len(), w.cols(), "output length mismatch");
+        assert!(stride > 0, "stride must be positive");
+        let mut i = start;
+        while i < w.rows() {
+            let ei = e[i];
+            for j in 0..w.cols() {
+                let prod = self.pe.mac_full(w[(i, j)].raw(), ei.raw());
+                y[j] = y[j] + round_product_to_fx32(prod);
+            }
+            i += stride;
+        }
+    }
+
+    /// Tile passes this core needs for a `p × q` full-precision MVM when
+    /// `n_cores` share the columns — the unit of the cycle model (one
+    /// `rows × cols` tile per cycle).
+    pub fn tiles_for_mvm(&self, p: usize, q: usize, n_cores: usize, mode: PeMode) -> u64 {
+        let col_width = match mode {
+            PeMode::Full => self.rows,
+            PeMode::Half => self.rows * 2,
+        };
+        let col_groups = q.div_ceil(col_width * n_cores);
+        let row_groups = p.div_ceil(self.cols);
+        (col_groups * row_groups) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(p: usize, q: usize) -> Matrix<Fx32> {
+        Matrix::from_fn(p, q, |r, c| {
+            Fx32::from_f64(((r * 7 + c * 3) % 13) as f64 * 0.05 - 0.3)
+        })
+    }
+
+    #[test]
+    fn single_core_matches_reference_gemv_exactly() {
+        let w = test_matrix(12, 9);
+        let x: Vec<Fx32> = (0..9).map(|i| Fx32::from_f64(i as f64 * 0.2 - 0.8)).collect();
+        let core = AapCore::new(16, 16);
+        let mut y = vec![Fx32::ZERO; 12];
+        core.mvm_columns(&w, &x, 0, 1, &mut y);
+        let reference = w.gemv_alloc(&x).unwrap();
+        assert_eq!(y, reference, "structural PE path must be bit-exact");
+    }
+
+    #[test]
+    fn two_cores_interleaved_match_reference_without_saturation() {
+        let w = test_matrix(20, 17);
+        let x: Vec<Fx32> = (0..17).map(|i| Fx32::from_f64((i as f64 * 0.11).sin())).collect();
+        let core = AapCore::new(16, 16);
+        let mut y0 = vec![Fx32::ZERO; 20];
+        let mut y1 = vec![Fx32::ZERO; 20];
+        core.mvm_columns(&w, &x, 0, 2, &mut y0);
+        core.mvm_columns(&w, &x, 1, 2, &mut y1);
+        // Cross-core accumulation in core order.
+        let combined: Vec<Fx32> = y0.iter().zip(&y1).map(|(&a, &b)| a + b).collect();
+        let reference = w.gemv_alloc(&x).unwrap();
+        assert_eq!(combined, reference);
+    }
+
+    #[test]
+    fn half_mode_tracks_full_mode_within_activation_quantization() {
+        let w = test_matrix(8, 10);
+        let xf: Vec<f64> = (0..10).map(|i| (i as f64 * 0.37).cos()).collect();
+        let x32: Vec<Fx32> = xf.iter().map(|&v| Fx32::from_f64(v)).collect();
+        let x16: Vec<HalfAct> = xf.iter().map(|&v| HalfAct::from_f64(v)).collect();
+        let core = AapCore::new(16, 16);
+        let mut y_full = vec![Fx32::ZERO; 8];
+        let mut y_half = vec![Fx32::ZERO; 8];
+        core.mvm_columns(&w, &x32, 0, 1, &mut y_full);
+        core.mvm_columns_half(&w, &x16, 0, 1, &mut y_half);
+        // Half-precision activations carry ~1e-3 quantization noise; the
+        // accumulated deviation stays within cols × ulp16 × max|w|.
+        for (f, h) in y_full.iter().zip(&y_half) {
+            assert!(
+                (f.to_f64() - h.to_f64()).abs() < 10.0 * 0.3 / 1024.0,
+                "full={f} half={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_column_count_is_handled_in_half_mode() {
+        let w = test_matrix(4, 7);
+        let x: Vec<HalfAct> = (0..7).map(|i| HalfAct::from_f64(i as f64 * 0.1)).collect();
+        let core = AapCore::new(16, 16);
+        let mut y = vec![Fx32::ZERO; 4];
+        core.mvm_columns_half(&w, &x, 0, 1, &mut y);
+        // Compare against a full-precision run of the dequantized lanes.
+        let xd: Vec<Fx32> = x.iter().map(|v| Fx32::from_f64(v.to_f64())).collect();
+        let mut yf = vec![Fx32::ZERO; 4];
+        core.mvm_columns(&w, &xd, 0, 1, &mut yf);
+        for (a, b) in y.iter().zip(&yf) {
+            assert!((a.to_f64() - b.to_f64()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transposed_path_matches_reference_gemv_t_exactly() {
+        let w = test_matrix(14, 11);
+        let e: Vec<Fx32> = (0..14).map(|i| Fx32::from_f64((i as f64 * 0.23).sin())).collect();
+        let core = AapCore::new(16, 16);
+        let mut y = vec![Fx32::ZERO; 11];
+        core.mvm_rows(&w, &e, 0, 1, &mut y);
+        let reference = w.gemv_t_alloc(&e).unwrap();
+        assert_eq!(y, reference, "transposed PE path must be bit-exact");
+    }
+
+    #[test]
+    fn transposed_path_interleaves_across_cores() {
+        let w = test_matrix(21, 9);
+        let e: Vec<Fx32> = (0..21).map(|i| Fx32::from_f64((i as f64 * 0.17).cos())).collect();
+        let core = AapCore::new(16, 16);
+        let mut y0 = vec![Fx32::ZERO; 9];
+        let mut y1 = vec![Fx32::ZERO; 9];
+        core.mvm_rows(&w, &e, 0, 2, &mut y0);
+        core.mvm_rows(&w, &e, 1, 2, &mut y1);
+        let combined: Vec<Fx32> = y0.iter().zip(&y1).map(|(&a, &b)| a + b).collect();
+        let reference = w.gemv_t_alloc(&e).unwrap();
+        assert_eq!(combined, reference);
+    }
+
+    #[test]
+    fn tile_counts_match_hand_computation() {
+        let core = AapCore::new(16, 16);
+        // 400×300 layer, 2 cores, full precision:
+        // ceil(400/16) × ceil(300/(16·2)) = 25 × 10.
+        assert_eq!(core.tiles_for_mvm(400, 300, 2, PeMode::Full), 250);
+        // Single core: 25 × ceil(300/16) = 25 × 19.
+        assert_eq!(core.tiles_for_mvm(400, 300, 1, PeMode::Full), 475);
+        // Half mode halves the column groups: 25 × ceil(300/32) = 25 × 10.
+        assert_eq!(core.tiles_for_mvm(400, 300, 1, PeMode::Half), 250);
+        // Tiny layers still cost one tile.
+        assert_eq!(core.tiles_for_mvm(1, 1, 2, PeMode::Full), 1);
+    }
+
+    #[test]
+    fn pe_count_and_mode_register() {
+        let mut core = AapCore::new(16, 16);
+        assert_eq!(core.pe_count(), 256);
+        core.set_mode(PeMode::Half);
+        assert_eq!(core.mode(), PeMode::Half);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dimensions")]
+    fn zero_geometry_rejected() {
+        let _ = AapCore::new(0, 16);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type of the accelerator model.
+
+use core::fmt;
+use std::error::Error;
+
+/// Error produced by the accelerator model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// A model does not fit in an on-chip memory (the design point the
+    /// paper explicitly avoids: "without any off-chip DRAM access").
+    MemoryOverflow {
+        /// Which memory overflowed.
+        memory: &'static str,
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        capacity: usize,
+    },
+    /// A configuration parameter is out of its legal range.
+    InvalidConfig(String),
+    /// An operand shape does not match the loaded network.
+    Shape(String),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::MemoryOverflow {
+                memory,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "{memory} overflow: need {required} bytes, capacity {capacity} bytes \
+                 (FIXAR keeps all model state on-chip)"
+            ),
+            AccelError::InvalidConfig(msg) => write!(f, "invalid accelerator config: {msg}"),
+            AccelError::Shape(msg) => write!(f, "operand shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_message_mentions_both_sizes() {
+        let e = AccelError::MemoryOverflow {
+            memory: "weight memory",
+            required: 2_000_000,
+            capacity: 1_100_000,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2000000"));
+        assert!(msg.contains("1100000"));
+    }
+}

@@ -1,0 +1,418 @@
+//! On-chip memory models: weight, gradient, and activation memories.
+//!
+//! FIXAR stores *all* model parameters, gradients, and activations in
+//! on-chip BRAM/URAM — "it does not require any external DRAM memory
+//! accesses". The weight memory is 512 bits wide (16 × 32-bit words per
+//! row access) and stores matrices row by row; rows are padded to the
+//! word boundary, which is why the paper's 259 507-parameter DDPG model
+//! occupies ≈ 1.05 MB.
+
+use bytes::Bytes;
+use fixar_fixed::Fx32;
+use fixar_nn::{Activation, Mlp};
+
+use crate::error::AccelError;
+
+/// Words (32-bit) per memory row — the 512-bit interface width.
+pub const WORDS_PER_ROW: usize = 16;
+
+/// Placement of one layer inside the weight memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerImage {
+    /// Output dimension (matrix rows).
+    pub rows: usize,
+    /// Input dimension (matrix columns).
+    pub cols: usize,
+    /// Word offset of the weight matrix (row-major, row-padded).
+    pub weight_offset: usize,
+    /// Word offset of the bias vector.
+    pub bias_offset: usize,
+}
+
+impl LayerImage {
+    /// Padded words per matrix row (512-bit aligned).
+    pub fn padded_cols(&self) -> usize {
+        self.cols.div_ceil(WORDS_PER_ROW) * WORDS_PER_ROW
+    }
+}
+
+/// Placement of a whole network inside the weight memory, plus the
+/// topology needed to execute it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkImage {
+    /// Per-layer placement.
+    pub layers: Vec<LayerImage>,
+    /// Layer widths, input first.
+    pub sizes: Vec<usize>,
+    /// Hidden activation of the network.
+    pub hidden_activation: Activation,
+    /// Output activation of the network.
+    pub output_activation: Activation,
+}
+
+impl NetworkImage {
+    /// Number of weight layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// The 512-bit-wide on-chip weight memory.
+///
+/// # Example
+///
+/// ```
+/// use fixar_accel::WeightMemory;
+/// use fixar_nn::{Mlp, MlpConfig};
+///
+/// let mlp = Mlp::<fixar_fixed::Fx32>::new_random(&MlpConfig::new(vec![4, 8, 2]), 0)?;
+/// let mut mem = WeightMemory::new(64 * 1024);
+/// let image = mem.load_mlp(&mlp)?;
+/// assert_eq!(image.num_layers(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightMemory {
+    data: Vec<i32>,
+    capacity_bytes: usize,
+}
+
+impl WeightMemory {
+    /// Creates an empty memory with the given byte capacity.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            capacity_bytes,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently occupied.
+    pub fn used_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Loads a network's weights and biases, row-padded to the 512-bit
+    /// interface, and returns its placement map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::MemoryOverflow`] if the padded image exceeds
+    /// capacity — FIXAR refuses models that would spill off-chip.
+    pub fn load_mlp(&mut self, mlp: &Mlp<Fx32>) -> Result<NetworkImage, AccelError> {
+        let mut required = 0usize;
+        for l in 0..mlp.num_layers() {
+            let w = mlp.weight(l);
+            let padded = w.cols().div_ceil(WORDS_PER_ROW) * WORDS_PER_ROW;
+            required += w.rows() * padded;
+            required += mlp.bias(l).len().div_ceil(WORDS_PER_ROW) * WORDS_PER_ROW;
+        }
+        if self.used_bytes() + required * 4 > self.capacity_bytes {
+            return Err(AccelError::MemoryOverflow {
+                memory: "weight memory",
+                required: self.used_bytes() + required * 4,
+                capacity: self.capacity_bytes,
+            });
+        }
+
+        let mut layers = Vec::with_capacity(mlp.num_layers());
+        for l in 0..mlp.num_layers() {
+            let w = mlp.weight(l);
+            let padded = w.cols().div_ceil(WORDS_PER_ROW) * WORDS_PER_ROW;
+            let weight_offset = self.data.len();
+            for r in 0..w.rows() {
+                for c in 0..padded {
+                    let raw = if c < w.cols() { w[(r, c)].raw() } else { 0 };
+                    self.data.push(raw);
+                }
+            }
+            let bias_offset = self.data.len();
+            let b = mlp.bias(l);
+            let bias_padded = b.len().div_ceil(WORDS_PER_ROW) * WORDS_PER_ROW;
+            for c in 0..bias_padded {
+                self.data.push(if c < b.len() { b[c].raw() } else { 0 });
+            }
+            layers.push(LayerImage {
+                rows: w.rows(),
+                cols: w.cols(),
+                weight_offset,
+                bias_offset,
+            });
+        }
+        Ok(NetworkImage {
+            layers,
+            sizes: mlp.layer_sizes().to_vec(),
+            hidden_activation: mlp.hidden_activation(),
+            output_activation: mlp.output_activation(),
+        })
+    }
+
+    /// Reads one weight as `Fx32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the layer image.
+    pub fn weight(&self, layer: &LayerImage, row: usize, col: usize) -> Fx32 {
+        assert!(row < layer.rows && col < layer.cols, "weight read out of bounds");
+        Fx32::from_raw(self.data[layer.weight_offset + row * layer.padded_cols() + col])
+    }
+
+    /// Writes one weight (the Adam unit's write-back path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates fall outside the layer image.
+    pub fn set_weight(&mut self, layer: &LayerImage, row: usize, col: usize, value: Fx32) {
+        assert!(row < layer.rows && col < layer.cols, "weight write out of bounds");
+        self.data[layer.weight_offset + row * layer.padded_cols() + col] = value.raw();
+    }
+
+    /// Reads one bias element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` falls outside the layer's bias vector.
+    pub fn bias(&self, layer: &LayerImage, i: usize) -> Fx32 {
+        assert!(i < layer.rows, "bias read out of bounds");
+        Fx32::from_raw(self.data[layer.bias_offset + i])
+    }
+
+    /// Writes one bias element (the Adam unit's write-back path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` falls outside the layer's bias vector.
+    pub fn set_bias(&mut self, layer: &LayerImage, i: usize, value: Fx32) {
+        assert!(i < layer.rows, "bias write out of bounds");
+        self.data[layer.bias_offset + i] = value.raw();
+    }
+
+    /// Materializes a layer's weight matrix (diagnostics / equivalence
+    /// tests; the hardware streams rows instead).
+    pub fn layer_matrix(&self, layer: &LayerImage) -> fixar_tensor::Matrix<Fx32> {
+        fixar_tensor::Matrix::from_fn(layer.rows, layer.cols, |r, c| self.weight(layer, r, c))
+    }
+
+    /// Snapshot of the raw memory image (bitstream export).
+    pub fn as_bytes(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.data.len() * 4);
+        for w in &self.data {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        Bytes::from(out)
+    }
+
+    /// Clears the memory (model reload).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+/// The gradient memory: same geometry and capacity as the weight memory
+/// (paper: "the size of the gradient memory is same as the weight
+/// memory's"). Holds accumulated gradients awaiting the Adam unit.
+#[derive(Debug, Clone)]
+pub struct GradientMemory {
+    inner: WeightMemory,
+}
+
+impl GradientMemory {
+    /// Creates an empty gradient memory of the given capacity.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            inner: WeightMemory::new(capacity_bytes),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.inner.capacity_bytes()
+    }
+
+    /// Bytes currently occupied.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.used_bytes()
+    }
+
+    /// Allocates a zeroed gradient image mirroring a network placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::MemoryOverflow`] when the mirror image does
+    /// not fit.
+    pub fn allocate_like(&mut self, image: &NetworkImage) -> Result<(), AccelError> {
+        let mut required = 0usize;
+        for l in &image.layers {
+            required += l.rows * l.padded_cols();
+            required += l.rows.div_ceil(WORDS_PER_ROW) * WORDS_PER_ROW;
+        }
+        if self.used_bytes() + required * 4 > self.capacity_bytes() {
+            return Err(AccelError::MemoryOverflow {
+                memory: "gradient memory",
+                required: self.used_bytes() + required * 4,
+                capacity: self.capacity_bytes(),
+            });
+        }
+        self.inner.data.resize(self.inner.data.len() + required, 0);
+        Ok(())
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+/// The small activation memory holding one sample's layer activations
+/// (paper: 2.94 KB "to hold the activation data out of all 3 layers").
+#[derive(Debug, Clone)]
+pub struct ActivationMemory {
+    capacity_bytes: usize,
+}
+
+impl ActivationMemory {
+    /// Creates an activation memory of the given capacity.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self { capacity_bytes }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes one sample of the given network needs (all layer widths,
+    /// input included, at 32 bits).
+    pub fn required_bytes(sizes: &[usize]) -> usize {
+        sizes.iter().sum::<usize>() * 4
+    }
+
+    /// Validates that a network's activations fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::MemoryOverflow`] when they do not.
+    pub fn check_fit(&self, sizes: &[usize]) -> Result<(), AccelError> {
+        let required = Self::required_bytes(sizes);
+        if required > self.capacity_bytes {
+            return Err(AccelError::MemoryOverflow {
+                memory: "activation memory",
+                required,
+                capacity: self.capacity_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_nn::MlpConfig;
+
+    fn mlp(sizes: Vec<usize>) -> Mlp<Fx32> {
+        Mlp::new_random(&MlpConfig::new(sizes), 7).unwrap()
+    }
+
+    #[test]
+    fn paper_model_occupies_about_1mb() {
+        // Actor 17-400-300-6 + critic 23-400-300-1, row-padded to 512 bits.
+        let mut mem = WeightMemory::new(1_150_000);
+        mem.load_mlp(&mlp(vec![17, 400, 300, 6])).unwrap();
+        mem.load_mlp(&mlp(vec![23, 400, 300, 1])).unwrap();
+        let mb = mem.used_bytes() as f64 / 1e6;
+        assert!(
+            (1.0..=1.15).contains(&mb),
+            "padded DDPG image should be ≈1.05 MB, got {mb} MB"
+        );
+    }
+
+    #[test]
+    fn overflow_is_refused() {
+        let mut mem = WeightMemory::new(1_000);
+        let err = mem.load_mlp(&mlp(vec![17, 400, 300, 6])).unwrap_err();
+        assert!(matches!(err, AccelError::MemoryOverflow { .. }));
+        // Nothing was committed.
+        assert_eq!(mem.used_bytes(), 0);
+    }
+
+    #[test]
+    fn roundtrip_weight_read_write() {
+        let net = mlp(vec![4, 8, 2]);
+        let mut mem = WeightMemory::new(64 * 1024);
+        let image = mem.load_mlp(&net).unwrap();
+        // Every weight reads back exactly.
+        for (l, layer) in image.layers.iter().enumerate() {
+            for r in 0..layer.rows {
+                for c in 0..layer.cols {
+                    assert_eq!(mem.weight(layer, r, c), net.weight(l)[(r, c)]);
+                }
+            }
+            for i in 0..layer.rows {
+                assert_eq!(mem.bias(layer, i), net.bias(l)[i]);
+            }
+        }
+        // Write-back works.
+        let new_val = Fx32::from_f64(0.625);
+        mem.set_weight(&image.layers[0], 1, 2, new_val);
+        assert_eq!(mem.weight(&image.layers[0], 1, 2), new_val);
+    }
+
+    #[test]
+    fn layer_matrix_reconstruction_is_exact() {
+        let net = mlp(vec![5, 7, 3]);
+        let mut mem = WeightMemory::new(64 * 1024);
+        let image = mem.load_mlp(&net).unwrap();
+        for (l, layer) in image.layers.iter().enumerate() {
+            assert_eq!(&mem.layer_matrix(layer), net.weight(l));
+        }
+    }
+
+    #[test]
+    fn bytes_snapshot_has_padded_length() {
+        let net = mlp(vec![4, 8, 2]);
+        let mut mem = WeightMemory::new(64 * 1024);
+        mem.load_mlp(&net).unwrap();
+        let bytes = mem.as_bytes();
+        assert_eq!(bytes.len(), mem.used_bytes());
+        // 512-bit alignment: every row is a multiple of 64 bytes.
+        assert_eq!(bytes.len() % 64, 0);
+    }
+
+    #[test]
+    fn gradient_memory_mirrors_weight_layout() {
+        let net = mlp(vec![17, 400, 300, 6]);
+        let mut wmem = WeightMemory::new(1_150_000);
+        let image = wmem.load_mlp(&net).unwrap();
+        let mut gmem = GradientMemory::new(1_150_000);
+        gmem.allocate_like(&image).unwrap();
+        assert!(gmem.used_bytes() >= net.param_count() * 4);
+        assert!(gmem.used_bytes() <= gmem.capacity_bytes());
+        gmem.clear();
+        assert_eq!(gmem.used_bytes(), 0);
+    }
+
+    #[test]
+    fn activation_memory_sizing_matches_paper() {
+        // Critic 23-400-300-1: 724 words ≈ 2.9 KB fits the 2.94 KB memory.
+        let act = ActivationMemory::new(3_010);
+        act.check_fit(&[23, 400, 300, 1]).unwrap();
+        act.check_fit(&[17, 400, 300, 6]).unwrap();
+        // A 4× wider network does not fit.
+        assert!(act.check_fit(&[23, 1600, 300, 1]).is_err());
+        assert_eq!(ActivationMemory::required_bytes(&[23, 400, 300, 1]), 2896);
+    }
+
+    #[test]
+    fn out_of_bounds_reads_panic() {
+        let net = mlp(vec![4, 8, 2]);
+        let mut mem = WeightMemory::new(64 * 1024);
+        let image = mem.load_mlp(&net).unwrap();
+        let layer = image.layers[0];
+        assert!(std::panic::catch_unwind(|| mem.weight(&layer, 100, 0)).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! The configurable-datapath processing element (paper §V-C, Fig. 5).
+
+use fixar_fixed::{Fx32, Q16};
+
+/// Precision mode of a PE's datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeMode {
+    /// One 32-bit activation per cycle: the two 32×16 multipliers compute
+    /// the high and low halves of a 32×32 product, and the upper partial
+    /// product is left-shifted and added to the lower one.
+    #[default]
+    Full,
+    /// Two independent 16-bit activations per cycle: each multiplier
+    /// produces its own MAC result — the post-quantization 2× throughput
+    /// mode.
+    Half,
+}
+
+/// One multiply-and-accumulate processing element with the configurable
+/// datapath of Fig. 5: two 32(weight)×16(activation) multipliers whose
+/// partial products either combine into a full 32×32 product or serve two
+/// half-precision lanes.
+///
+/// The element is stateless apart from its mode; accumulation happens in
+/// the array column (see [`crate::AapCore`]). All arithmetic is integer;
+/// results are raw fixed-point products in double-width (`i64`)
+/// precision, exactly what a DSP cascade hands to the accumulator.
+///
+/// # Example
+///
+/// ```
+/// use fixar_accel::{ConfigurablePe, PeMode};
+///
+/// let pe = ConfigurablePe::new(PeMode::Full);
+/// // 3 × 5 = 15 regardless of the two-multiplier decomposition.
+/// assert_eq!(pe.mac_full(3, 5), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfigurablePe {
+    mode: PeMode,
+}
+
+impl ConfigurablePe {
+    /// Creates a PE in the given mode.
+    pub fn new(mode: PeMode) -> Self {
+        Self { mode }
+    }
+
+    /// Current datapath mode.
+    pub fn mode(self) -> PeMode {
+        self.mode
+    }
+
+    /// Reconfigures the datapath (a mode register write, zero cycles in
+    /// the schedule model).
+    pub fn set_mode(&mut self, mode: PeMode) {
+        self.mode = mode;
+    }
+
+    /// Full-precision product `weight × activation` computed exactly as
+    /// the hardware does: split the 32-bit activation into a signed high
+    /// half and an unsigned low half, run both 32×16 multipliers, shift
+    /// the upper partial product left by 16, and add.
+    ///
+    /// The result equals the exact 64-bit product for every input pair —
+    /// the decomposition is lossless (property-tested over the full
+    /// operand space).
+    #[inline]
+    pub fn mac_full(self, weight: i32, activation: i32) -> i64 {
+        // Signed high half: arithmetic shift keeps the sign.
+        let act_hi = (activation >> 16) as i64;
+        // Unsigned low half: plain bits.
+        let act_lo = (activation & 0xFFFF) as i64;
+        let p_hi = weight as i64 * act_hi; // 32×16 multiplier A
+        let p_lo = weight as i64 * act_lo; // 32×16 multiplier B
+        (p_hi << 16) + p_lo
+    }
+
+    /// Half-precision mode: two *independent* products from the two
+    /// multipliers, one per 16-bit activation lane.
+    #[inline]
+    pub fn mac_half(self, weight: i32, act_lane0: i16, act_lane1: i16) -> (i64, i64) {
+        (
+            weight as i64 * act_lane0 as i64,
+            weight as i64 * act_lane1 as i64,
+        )
+    }
+
+    /// Number of MAC results this PE produces per cycle in its mode.
+    #[inline]
+    pub fn macs_per_cycle(self) -> u64 {
+        match self.mode {
+            PeMode::Full => 1,
+            PeMode::Half => 2,
+        }
+    }
+}
+
+/// Rounds a raw double-width product down to the `Fx32` grid with the
+/// same round-to-nearest the [`fixar_fixed::Q32`] multiplier uses — the
+/// PE output register.
+#[inline]
+pub(crate) fn round_product_to_fx32(product: i64) -> Fx32 {
+    const F: u32 = 20;
+    let rounded = (product + (1i64 << (F - 1))) >> F;
+    Fx32::from_raw(rounded.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+}
+
+/// Half-precision lane product scaling: a `Q16<10>` activation times a
+/// `Q32<20>` weight yields a raw product with 30 fractional bits; rescale
+/// to the 20-bit grid.
+#[inline]
+pub(crate) fn round_half_product_to_fx32(product: i64) -> Fx32 {
+    const SHIFT: u32 = 10; // 30 − 20
+    let rounded = (product + (1i64 << (SHIFT - 1))) >> SHIFT;
+    Fx32::from_raw(rounded.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+}
+
+/// Convenience: the `Q16` format used on half-precision activation lanes.
+pub(crate) type HalfAct = Q16<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_decomposition_is_exact() {
+        let pe = ConfigurablePe::new(PeMode::Full);
+        let cases = [
+            (0i32, 0i32),
+            (1, 1),
+            (-1, 1),
+            (1, -1),
+            (-1, -1),
+            (i32::MAX, i32::MAX),
+            (i32::MIN, i32::MAX),
+            (i32::MAX, i32::MIN),
+            (i32::MIN, i32::MIN),
+            (123_456_789, -987_654_321),
+            (-40_000, 70_000),
+        ];
+        for (w, a) in cases {
+            assert_eq!(pe.mac_full(w, a), w as i64 * a as i64, "w={w} a={a}");
+        }
+    }
+
+    #[test]
+    fn pe_decomposition_exact_on_pseudorandom_grid() {
+        let pe = ConfigurablePe::new(PeMode::Full);
+        let mut x: i64 = 0x243F_6A88_85A3_08D3u64 as i64;
+        for _ in 0..10_000 {
+            // xorshift for cheap pseudorandom coverage
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let w = (x >> 32) as i32;
+            let a = x as i32;
+            assert_eq!(pe.mac_full(w, a), w as i64 * a as i64);
+        }
+    }
+
+    #[test]
+    fn half_mode_lanes_are_independent() {
+        let pe = ConfigurablePe::new(PeMode::Half);
+        let (p0, p1) = pe.mac_half(1000, 7, -9);
+        assert_eq!(p0, 7000);
+        assert_eq!(p1, -9000);
+        // Changing one lane never affects the other.
+        let (q0, _) = pe.mac_half(1000, 7, 12345);
+        assert_eq!(q0, p0);
+    }
+
+    #[test]
+    fn throughput_doubles_in_half_mode() {
+        assert_eq!(ConfigurablePe::new(PeMode::Full).macs_per_cycle(), 1);
+        assert_eq!(ConfigurablePe::new(PeMode::Half).macs_per_cycle(), 2);
+    }
+
+    #[test]
+    fn product_rounding_matches_q32_multiplier() {
+        // The PE product path must agree with the software Q32 multiply
+        // bit for bit — that is the bridge between the accelerator model
+        // and the fixar-nn reference.
+        let pe = ConfigurablePe::new(PeMode::Full);
+        let samples = [
+            (0.5, 0.25),
+            (-1.75, 3.5),
+            (100.0, -0.001),
+            (1999.0, 1.0),
+            (0.0009765625, 0.0009765625),
+        ];
+        for (a, b) in samples {
+            let qa = Fx32::from_f64(a);
+            let qb = Fx32::from_f64(b);
+            let hw = round_product_to_fx32(pe.mac_full(qa.raw(), qb.raw()));
+            let sw = qa * qb;
+            assert_eq!(hw, sw, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn half_product_scaling_is_consistent() {
+        // A Q6.10 activation times a Q12.20 weight, rescaled to Q12.20,
+        // must approximate the real product within one output ulp plus
+        // the activation's own quantization error.
+        let pe = ConfigurablePe::new(PeMode::Half);
+        for (w, a) in [(1.5f64, 0.5f64), (-2.25, 3.125), (0.125, -7.0)] {
+            let qw = Fx32::from_f64(w);
+            let qa = HalfAct::from_f64(a);
+            let (p0, _) = pe.mac_half(qw.raw(), qa.raw(), 0);
+            let got = round_half_product_to_fx32(p0).to_f64();
+            assert!((got - w * a).abs() < 1e-3, "w={w} a={a} got={got}");
+        }
+    }
+
+    #[test]
+    fn mode_register_roundtrip() {
+        let mut pe = ConfigurablePe::default();
+        assert_eq!(pe.mode(), PeMode::Full);
+        pe.set_mode(PeMode::Half);
+        assert_eq!(pe.mode(), PeMode::Half);
+    }
+}

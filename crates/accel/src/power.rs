@@ -1,0 +1,102 @@
+//! Power and energy-efficiency model (Fig. 10b).
+//!
+//! The paper measures average board power with the Xilinx Board Utility:
+//! 20.4 W for the U50 card and 56.7 W for the Titan RTX, averaged over
+//! the three DDPG benchmarks. This model splits the FPGA figure into a
+//! static floor plus a utilization-scaled dynamic part so that design
+//! sweeps (ablation benches) respond to load, while the default design
+//! point reproduces the paper's numbers exactly.
+
+/// Average-power model for the accelerator card and the GPU baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Static FPGA board power (W): PCIe, HBM PHY, clocking.
+    pub fpga_static_w: f64,
+    /// Dynamic FPGA power at 100% PE occupancy (W).
+    pub fpga_dynamic_full_w: f64,
+    /// Measured GPU average power (W).
+    pub gpu_avg_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // 7.0 + 14.5 × 0.924 ≈ 20.4 W at the paper's 92.4% utilization.
+        Self {
+            fpga_static_w: 7.0,
+            fpga_dynamic_full_w: 14.5,
+            gpu_avg_w: 56.7,
+        }
+    }
+}
+
+impl PowerModel {
+    /// FPGA board power at a given PE occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is outside `[0, 1]`.
+    pub fn fpga_power_w(&self, utilization: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0, 1]"
+        );
+        self.fpga_static_w + self.fpga_dynamic_full_w * utilization
+    }
+
+    /// Energy efficiency in IPS/W.
+    pub fn ips_per_watt(ips: f64, watts: f64) -> f64 {
+        ips / watts
+    }
+
+    /// FPGA energy efficiency at the given throughput and occupancy.
+    pub fn fpga_ips_per_watt(&self, ips: f64, utilization: f64) -> f64 {
+        Self::ips_per_watt(ips, self.fpga_power_w(utilization))
+    }
+
+    /// GPU energy efficiency at the given throughput.
+    pub fn gpu_ips_per_watt(&self, ips: f64) -> f64 {
+        Self::ips_per_watt(ips, self.gpu_avg_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reproduces_paper_average_power() {
+        let m = PowerModel::default();
+        let p = m.fpga_power_w(0.924);
+        assert!((p - 20.4).abs() < 0.05, "power at 92.4% util = {p}");
+    }
+
+    #[test]
+    fn paper_headline_efficiency() {
+        // 53 826.8 IPS at 20.4 W → 2638.0 IPS/W.
+        let eff = PowerModel::ips_per_watt(53_826.8, 20.4);
+        assert!((eff - 2_638.0).abs() < 1.0, "eff={eff}");
+    }
+
+    #[test]
+    fn gpu_efficiency_ratio_matches_15_4x() {
+        let m = PowerModel::default();
+        let fpga = m.fpga_ips_per_watt(53_826.8, 0.924);
+        // GPU at 53 826.8 / 5.5 IPS (the paper's 5.5× throughput gap).
+        let gpu = m.gpu_ips_per_watt(53_826.8 / 5.5);
+        let ratio = fpga / gpu;
+        assert!((ratio - 15.4).abs() < 0.5, "efficiency ratio {ratio}");
+    }
+
+    #[test]
+    fn idle_power_is_the_static_floor() {
+        let m = PowerModel::default();
+        assert_eq!(m.fpga_power_w(0.0), 7.0);
+        assert!(m.fpga_power_w(1.0) > m.fpga_power_w(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn utilization_is_validated() {
+        let _ = PowerModel::default().fpga_power_w(1.5);
+    }
+}

@@ -1,0 +1,152 @@
+//! The hardware pseudo-random number generator (paper Fig. 2's "PRNG"
+//! module), which "injects random noise to the final results of the
+//! actor's inference to help action exploration".
+
+use fixar_fixed::Fx32;
+
+/// 32-bit xorshift linear-feedback generator — three shift/XOR stages,
+/// exactly the class of PRNG an FPGA implements in a handful of LUTs.
+/// Full period `2³² − 1` over nonzero states.
+///
+/// # Example
+///
+/// ```
+/// use fixar_accel::Lfsr32;
+///
+/// let mut rng = Lfsr32::new(0xDEADBEEF);
+/// let a = rng.next_u32();
+/// let b = rng.next_u32();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lfsr32 {
+    state: u32,
+}
+
+impl Lfsr32 {
+    /// Creates the generator; a zero seed (the xorshift fixed point) is
+    /// remapped to a nonzero constant.
+    pub fn new(seed: u32) -> Self {
+        Self {
+            state: if seed == 0 { 0x1234_5678 } else { seed },
+        }
+    }
+
+    /// Next raw 32-bit state.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+
+    /// Uniform value in `[0, 1)` with 32 fraction bits.
+    #[inline]
+    pub fn next_unit(&mut self) -> f64 {
+        self.next_u32() as f64 / 4_294_967_296.0
+    }
+}
+
+/// Irwin–Hall Gaussian generator: the sum of 12 uniform variates minus 6
+/// approximates `N(0, 1)` — an adder tree in hardware, no transcendental
+/// functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrwinHallGaussian {
+    lfsr: Lfsr32,
+}
+
+impl IrwinHallGaussian {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u32) -> Self {
+        Self {
+            lfsr: Lfsr32::new(seed),
+        }
+    }
+
+    /// One approximately standard-normal draw.
+    #[inline]
+    pub fn next_standard(&mut self) -> f64 {
+        let mut acc = 0.0;
+        for _ in 0..12 {
+            acc += self.lfsr.next_unit();
+        }
+        acc - 6.0
+    }
+
+    /// Exploration noise vector in the accelerator's fixed-point format,
+    /// as injected after the actor's output layer.
+    pub fn noise_vector(&mut self, dim: usize, sigma: f64) -> Vec<Fx32> {
+        (0..dim)
+            .map(|_| Fx32::from_f64(self.next_standard() * sigma))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut a = Lfsr32::new(0);
+        // A true xorshift at state 0 would stay at 0 forever.
+        assert_ne!(a.next_u32(), 0);
+    }
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let mut a = Lfsr32::new(42);
+        let mut b = Lfsr32::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn no_short_cycles_in_first_million() {
+        let mut rng = Lfsr32::new(1);
+        let first = rng.next_u32();
+        for _ in 0..1_000_000 {
+            assert_ne!(rng.next_u32(), 0, "xorshift never hits zero");
+        }
+        // Not back at the start within 1M draws (period is 2³²−1).
+        let mut rng2 = Lfsr32::new(1);
+        rng2.next_u32();
+        let _ = first;
+        assert_eq!(rng2.state, first);
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = Lfsr32::new(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_unit()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn irwin_hall_moments_approximate_standard_normal() {
+        let mut g = IrwinHallGaussian::new(3);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| g.next_standard()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+        // Bounded support: |sum of 12 uniforms − 6| ≤ 6.
+        assert!(xs.iter().all(|x| x.abs() <= 6.0));
+    }
+
+    #[test]
+    fn noise_vector_scales_with_sigma() {
+        let mut g = IrwinHallGaussian::new(9);
+        let v = g.noise_vector(1000, 0.1);
+        assert_eq!(v.len(), 1000);
+        let max = v.iter().map(|x| x.to_f64().abs()).fold(0.0, f64::max);
+        assert!(max <= 0.6 + 1e-9, "max={max}"); // 6σ bound
+        assert!(max > 0.05, "noise should not be degenerate");
+    }
+}

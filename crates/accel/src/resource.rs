@@ -1,0 +1,268 @@
+//! Parametric FPGA resource model — regenerates Table I.
+//!
+//! Component costs are linear in their driving design parameter and
+//! calibrated so the paper's design point (2 cores × 256 PEs, 2.1 MB of
+//! on-chip model state, 16 Adam lanes) reproduces Table I exactly. The
+//! host-interface blocks (kernel interface, HBM controller, PCIe DMA) are
+//! fixed IP and do not scale.
+
+use crate::accelerator::AccelConfig;
+
+/// One component's (or total) resource footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceUsage {
+    /// Lookup tables.
+    pub lut: f64,
+    /// Flip-flops.
+    pub ff: f64,
+    /// BRAM36 blocks.
+    pub bram: f64,
+    /// UltraRAM blocks.
+    pub uram: f64,
+    /// DSP slices.
+    pub dsp: f64,
+}
+
+impl ResourceUsage {
+    fn add(&mut self, other: ResourceUsage) {
+        self.lut += other.lut;
+        self.ff += other.ff;
+        self.bram += other.bram;
+        self.uram += other.uram;
+        self.dsp += other.dsp;
+    }
+}
+
+/// The Alveo U50 resource budget (XCU50 device), back-computed from the
+/// paper's utilization percentages.
+pub const U50_BUDGET: ResourceUsage = ResourceUsage {
+    lut: 870_000.0,
+    ff: 1_740_000.0,
+    bram: 1_344.0,
+    uram: 640.0,
+    dsp: 5_933.0,
+};
+
+// Calibration constants: Table I values at the default design point.
+const PE_COUNT_REF: f64 = 512.0;
+const MEM_BYTES_REF: f64 = 2_300_000.0; // weight + gradient capacity
+const ADAM_LANES_REF: f64 = 16.0;
+const CORES_REF: f64 = 2.0;
+
+/// Parametric resource estimator.
+///
+/// # Example
+///
+/// ```
+/// use fixar_accel::{AccelConfig, ResourceModel, U50_BUDGET};
+///
+/// let model = ResourceModel::new(AccelConfig::default());
+/// let total = model.total();
+/// assert!(total.lut < U50_BUDGET.lut);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResourceModel {
+    cfg: AccelConfig,
+}
+
+impl ResourceModel {
+    /// Builds the estimator for a design point.
+    pub fn new(cfg: AccelConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Per-component estimates in Table I's row order.
+    pub fn components(&self) -> Vec<(&'static str, ResourceUsage)> {
+        let pe_scale = self.cfg.pe_count_total() as f64 / PE_COUNT_REF;
+        let mem_scale =
+            (self.cfg.weight_mem_bytes + self.cfg.gradient_mem_bytes) as f64 / MEM_BYTES_REF;
+        let adam_scale = self.cfg.adam_lanes as f64 / ADAM_LANES_REF;
+        let core_scale = self.cfg.n_cores as f64 / CORES_REF;
+        vec![
+            (
+                "PEs",
+                ResourceUsage {
+                    lut: 216_300.0 * pe_scale,
+                    ff: 161_800.0 * pe_scale,
+                    bram: 0.0,
+                    uram: 0.0,
+                    dsp: 2_295.0 * pe_scale,
+                },
+            ),
+            (
+                "On-chip Memory",
+                ResourceUsage {
+                    lut: 10_300.0 * mem_scale,
+                    ff: 0.0,
+                    bram: 584.0 * mem_scale,
+                    uram: 128.0 * mem_scale,
+                    dsp: 0.0,
+                },
+            ),
+            (
+                "Adam Optimizer",
+                ResourceUsage {
+                    lut: 46_700.0 * adam_scale,
+                    ff: 70_200.0 * adam_scale,
+                    bram: 0.0,
+                    uram: 0.0,
+                    dsp: 3.0 * adam_scale,
+                },
+            ),
+            (
+                "Control Unit",
+                ResourceUsage {
+                    lut: 69_000.0 * core_scale,
+                    ff: 45_400.0 * core_scale,
+                    bram: 0.0,
+                    uram: 0.0,
+                    dsp: 0.0,
+                },
+            ),
+            (
+                "Kernel Interface",
+                ResourceUsage {
+                    lut: 68_800.0,
+                    ff: 15_200.0,
+                    bram: 12.0,
+                    uram: 0.0,
+                    dsp: 0.0,
+                },
+            ),
+            (
+                "HBM Interface",
+                ResourceUsage {
+                    lut: 8_200.0,
+                    ff: 13_100.0,
+                    bram: 2.0,
+                    uram: 0.0,
+                    dsp: 0.0,
+                },
+            ),
+            (
+                "PCIe DMA",
+                ResourceUsage {
+                    lut: 88_800.0,
+                    ff: 103_200.0,
+                    bram: 176.0,
+                    uram: 0.0,
+                    dsp: 4.0,
+                },
+            ),
+        ]
+    }
+
+    /// Summed footprint.
+    pub fn total(&self) -> ResourceUsage {
+        let mut total = ResourceUsage::default();
+        for (_, usage) in self.components() {
+            total.add(usage);
+        }
+        total
+    }
+
+    /// Utilization fractions against a device budget, in Table I's
+    /// column order `(LUT, FF, BRAM, URAM, DSP)`.
+    pub fn utilization(&self, budget: &ResourceUsage) -> (f64, f64, f64, f64, f64) {
+        let t = self.total();
+        (
+            t.lut / budget.lut,
+            t.ff / budget.ff,
+            t.bram / budget.bram,
+            t.uram / budget.uram,
+            t.dsp / budget.dsp,
+        )
+    }
+
+    /// `true` if the design fits the budget in every resource class.
+    pub fn fits(&self, budget: &ResourceUsage) -> bool {
+        let (lut, ff, bram, uram, dsp) = self.utilization(budget);
+        lut <= 1.0 && ff <= 1.0 && bram <= 1.0 && uram <= 1.0 && dsp <= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_design_point_reproduces_table1_totals() {
+        let model = ResourceModel::new(AccelConfig::default());
+        let t = model.total();
+        // Table I totals: 508.1K LUT, 408.9K FF, 774 BRAM, 128 URAM,
+        // 2302 DSP (±0.5% for the capacity-vs-usage rounding).
+        assert!((t.lut - 508_100.0).abs() / 508_100.0 < 0.005, "lut={}", t.lut);
+        assert!((t.ff - 408_900.0).abs() / 408_900.0 < 0.005, "ff={}", t.ff);
+        assert!((t.bram - 774.0).abs() / 774.0 < 0.005, "bram={}", t.bram);
+        assert!((t.uram - 128.0).abs() / 128.0 < 0.005, "uram={}", t.uram);
+        assert!((t.dsp - 2_302.0).abs() / 2_302.0 < 0.005, "dsp={}", t.dsp);
+    }
+
+    #[test]
+    fn default_utilization_matches_paper_percentages() {
+        let model = ResourceModel::new(AccelConfig::default());
+        let (lut, _, bram, uram, dsp) = model.utilization(&U50_BUDGET);
+        assert!((lut - 0.584).abs() < 0.01, "lut util {lut}");
+        assert!((bram - 0.576).abs() < 0.01, "bram util {bram}");
+        assert!((uram - 0.20).abs() < 0.01, "uram util {uram}");
+        assert!((dsp - 0.388).abs() < 0.01, "dsp util {dsp}");
+        assert!(model.fits(&U50_BUDGET));
+    }
+
+    #[test]
+    fn pe_resources_scale_with_core_count() {
+        let mut cfg = AccelConfig::default();
+        cfg.n_cores = 4;
+        let four = ResourceModel::new(cfg);
+        let two = ResourceModel::new(AccelConfig::default());
+        let pe4 = four.components()[0].1;
+        let pe2 = two.components()[0].1;
+        assert!((pe4.dsp / pe2.dsp - 2.0).abs() < 1e-9);
+        let (lut4, ..) = four.utilization(&U50_BUDGET);
+        let (lut2, ..) = two.utilization(&U50_BUDGET);
+        assert!(lut4 > lut2, "more cores must cost more LUTs");
+        // Eight cores are far beyond the U50's LUT budget (the paper
+        // stops at N = 2 for SLR-crossing reasons well before that).
+        let mut cfg8 = AccelConfig::default();
+        cfg8.n_cores = 8;
+        assert!(
+            !ResourceModel::new(cfg8).fits(&U50_BUDGET),
+            "8 cores should not fit the U50"
+        );
+    }
+
+    #[test]
+    fn host_interface_blocks_are_fixed() {
+        let mut cfg = AccelConfig::default();
+        cfg.n_cores = 4;
+        cfg.adam_lanes = 32;
+        let scaled = ResourceModel::new(cfg);
+        let base = ResourceModel::new(AccelConfig::default());
+        for name in ["Kernel Interface", "HBM Interface", "PCIe DMA"] {
+            let s = scaled
+                .components()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .unwrap()
+                .1;
+            let b = base
+                .components()
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .unwrap()
+                .1;
+            assert_eq!(s.lut, b.lut, "{name} must not scale");
+        }
+    }
+
+    #[test]
+    fn component_rows_match_table1() {
+        let model = ResourceModel::new(AccelConfig::default());
+        let rows = model.components();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].0, "PEs");
+        assert_eq!(rows[0].1.dsp, 2_295.0);
+        assert_eq!(rows[2].1.dsp, 3.0); // Adam
+        assert_eq!(rows[6].1.bram, 176.0); // PCIe DMA
+    }
+}

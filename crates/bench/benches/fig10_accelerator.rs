@@ -1,0 +1,108 @@
+//! Fig. 10 — Accelerator-only comparison: (a) throughput (FIXAR flat,
+//! GPU ramping with batch), (b) energy efficiency (IPS/W).
+//!
+//! Also criterion-measures the structural AAP-core MVM in both datapath
+//! modes — the kernel whose doubling produces the FIXAR bar heights.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fixar::prelude::*;
+use fixar_accel::AapCore;
+use fixar_bench::{paper, paper_networks, render_table, verdict};
+use fixar_tensor::Matrix;
+
+fn print_fig10() {
+    let model = FixarPlatformModel::for_benchmark(17, 6).expect("paper dims");
+    let gpu = CpuGpuPlatformModel::for_benchmark();
+    let power = PowerModel::default();
+
+    println!("\n=== Fig. 10a: accelerator throughput (IPS) ===");
+    let mut rows = Vec::new();
+    for batch in paper::BATCH_SIZES {
+        let f = model.accelerator_ips(batch, Precision::Half16);
+        let g = gpu.accelerator_ips(batch);
+        rows.push(vec![
+            batch.to_string(),
+            format!("{f:.1}"),
+            format!("{g:.1}"),
+            format!("{:.2}x", f / g),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["batch", "FIXAR IPS", "GPU IPS", "gap"], &rows)
+    );
+
+    println!("=== Fig. 10b: accelerator energy efficiency (IPS/W) ===");
+    let mut rows = Vec::new();
+    for batch in paper::BATCH_SIZES {
+        let util = model.accelerator_utilization(batch, Precision::Half16);
+        let f_ips = model.accelerator_ips(batch, Precision::Half16);
+        let g_ips = gpu.accelerator_ips(batch);
+        let f_eff = PowerModel::ips_per_watt(f_ips, paper::FPGA_POWER_W);
+        let g_eff = power.gpu_ips_per_watt(g_ips);
+        rows.push(vec![
+            batch.to_string(),
+            format!("{f_eff:.1}"),
+            format!("{g_eff:.1}"),
+            format!("{:.1}x", f_eff / g_eff),
+            format!("{:.1}%", util * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["batch", "FIXAR IPS/W", "GPU IPS/W", "gap", "PE util"],
+            &rows
+        )
+    );
+    let f512 = model.accelerator_ips(512, Precision::Half16);
+    println!("{}", verdict("accelerator IPS @512", f512, paper::ACCEL_IPS));
+    println!(
+        "{}",
+        verdict(
+            "energy efficiency",
+            PowerModel::ips_per_watt(f512, paper::FPGA_POWER_W),
+            paper::IPS_PER_WATT
+        )
+    );
+    println!(
+        "{}\n",
+        verdict(
+            "accelerator gap @512",
+            f512 / gpu.accelerator_ips(512),
+            paper::ACCEL_SPEEDUP
+        )
+    );
+}
+
+fn bench_aap_core(c: &mut Criterion) {
+    print_fig10();
+
+    let (actor, _) = paper_networks();
+    let w: &Matrix<Fx32> = actor.weight(1); // the 300×400 hidden layer
+    let x32: Vec<Fx32> = (0..w.cols())
+        .map(|i| Fx32::from_f64((i as f64 * 0.37).sin()))
+        .collect();
+    let x16: Vec<Q16<10>> = x32.iter().map(|v| Q16::from_f64(v.to_f64())).collect();
+    let core = AapCore::new(16, 16);
+
+    let mut group = c.benchmark_group("fig10_aap_mvm_300x400");
+    group.bench_function("full_precision", |b| {
+        b.iter(|| {
+            let mut y = vec![Fx32::ZERO; w.rows()];
+            core.mvm_columns(std::hint::black_box(w), &x32, 0, 1, &mut y);
+            y
+        })
+    });
+    group.bench_function("half_precision", |b| {
+        b.iter(|| {
+            let mut y = vec![Fx32::ZERO; w.rows()];
+            core.mvm_columns_half(std::hint::black_box(w), &x16, 0, 1, &mut y);
+            y
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aap_core);
+criterion_main!(benches);

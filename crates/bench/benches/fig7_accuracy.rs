@@ -1,0 +1,86 @@
+//! Fig. 7 — Algorithm accuracy across precision modes.
+//!
+//! Regenerates the reward-curve comparison (float32 / fixed32 / fixed16 /
+//! FIXAR dynamic) at bench scale on Pendulum, then criterion-measures one
+//! DDPG training batch in each numeric backend. Full-scale curves:
+//! `cargo run --release -p fixar-bench --bin fig7_accuracy`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fixar::prelude::*;
+use fixar_bench::{format_curve, quick_precision_study, render_table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn print_fig7() {
+    println!("\n=== Fig. 7: algorithm accuracy (bench scale: Pendulum, 2000 steps) ===");
+    let reports = quick_precision_study(2000, 500);
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.label().to_string(),
+                format!("{:.1}", r.training.tail_mean(2)),
+                r.training
+                    .qat_switch_step
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["mode", "final avg reward", "qat switch step"], &rows)
+    );
+    for r in &reports {
+        println!("{:>22}: {}", r.mode.label(), format_curve(r));
+    }
+    let float = reports[0].training.tail_mean(2);
+    let fixed16 = reports[2].training.tail_mean(2);
+    let dynamic = reports[3].training.tail_mean(2);
+    println!(
+        "shape check: dynamic-fixed tracks float ({dynamic:.1} vs {float:.1}); \
+         fixed16-from-scratch trails ({fixed16:.1})\n"
+    );
+}
+
+fn toy_batch(state_dim: usize, action_dim: usize, n: usize) -> Vec<Transition> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n)
+        .map(|_| Transition {
+            state: (0..state_dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            action: (0..action_dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            reward: rng.gen_range(-1.0..1.0),
+            next_state: (0..state_dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            terminal: false,
+        })
+        .collect()
+}
+
+fn bench_train_batch(c: &mut Criterion) {
+    print_fig7();
+
+    let mut group = c.benchmark_group("fig7_train_batch");
+    group.sample_size(10);
+    let cfg = fixar_bench::quick_study_config();
+    let data = toy_batch(3, 1, cfg.batch_size);
+
+    group.bench_function("float32", |b| {
+        let mut agent = Ddpg::<f32>::new(3, 1, cfg).unwrap();
+        let refs: Vec<&Transition> = data.iter().collect();
+        b.iter(|| agent.train_batch(&refs).unwrap());
+    });
+    group.bench_function("fixed32", |b| {
+        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        let refs: Vec<&Transition> = data.iter().collect();
+        b.iter(|| agent.train_batch(&refs).unwrap());
+    });
+    group.bench_function("fixed16", |b| {
+        let mut agent = Ddpg::<Fx16>::new(3, 1, cfg).unwrap();
+        let refs: Vec<&Transition> = data.iter().collect();
+        b.iter(|| agent.train_batch(&refs).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_batch);
+criterion_main!(benches);

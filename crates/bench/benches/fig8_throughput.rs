@@ -1,0 +1,71 @@
+//! Fig. 8 — End-to-end training throughput (IPS) of the FIXAR platform
+//! vs the CPU-GPU platform, per benchmark × batch size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fixar::prelude::*;
+use fixar_bench::{paper, render_table, verdict};
+
+fn print_fig8() {
+    println!("\n=== Fig. 8: platform training throughput (IPS) ===");
+    let gpu = CpuGpuPlatformModel::for_benchmark();
+    let mut rows = Vec::new();
+    for kind in EnvKind::PAPER_BENCHMARKS {
+        let spec_env = kind.make(0);
+        let spec = spec_env.spec();
+        let fixar = FixarPlatformModel::for_benchmark(spec.obs_dim, spec.action_dim)
+            .expect("paper dims are valid");
+        for batch in paper::BATCH_SIZES {
+            let f = fixar.ips(batch, Precision::Half16).expect("positive batch");
+            let g = gpu.ips(batch);
+            rows.push(vec![
+                kind.name().to_string(),
+                batch.to_string(),
+                format!("{f:.1}"),
+                format!("{g:.1}"),
+                format!("{:.2}x", f / g),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "batch", "FIXAR IPS", "CPU-GPU IPS", "speedup"],
+            &rows
+        )
+    );
+    let hc = FixarPlatformModel::for_benchmark(17, 6).unwrap();
+    println!(
+        "{}",
+        verdict(
+            "HalfCheetah platform IPS @512",
+            hc.ips(512, Precision::Half16).unwrap(),
+            paper::PLATFORM_IPS
+        )
+    );
+    println!(
+        "{}\n",
+        verdict(
+            "platform speedup @512",
+            hc.ips(512, Precision::Half16).unwrap() / CpuGpuPlatformModel::for_benchmark().ips(512),
+            paper::PLATFORM_SPEEDUP
+        )
+    );
+}
+
+fn bench_platform_models(c: &mut Criterion) {
+    print_fig8();
+
+    let fixar = FixarPlatformModel::for_benchmark(17, 6).unwrap();
+    let gpu = CpuGpuPlatformModel::for_benchmark();
+    let mut group = c.benchmark_group("fig8_models");
+    group.bench_function("fixar_breakdown_512", |b| {
+        b.iter(|| fixar.breakdown(std::hint::black_box(512), Precision::Half16).unwrap())
+    });
+    group.bench_function("cpu_gpu_breakdown_512", |b| {
+        b.iter(|| gpu.breakdown(std::hint::black_box(512)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_platform_models);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Fig. 9 — Execution-time breakdown of a FIXAR timestep: (a) absolute
+//! milliseconds per component, (b) component ratios, across batch sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fixar::prelude::*;
+use fixar_accel::TrainingSchedule;
+use fixar_bench::{paper, render_table};
+
+fn print_fig9() {
+    let model = FixarPlatformModel::for_benchmark(17, 6).expect("paper dims");
+    println!("\n=== Fig. 9a: execution time of one FIXAR timestep (HalfCheetah, ms) ===");
+    let mut rows = Vec::new();
+    for batch in paper::BATCH_SIZES {
+        let b = model.breakdown(batch, Precision::Half16).expect("positive batch");
+        rows.push(vec![
+            batch.to_string(),
+            format!("{:.2}", b.cpu_env_s * 1e3),
+            format!("{:.2}", b.runtime_s * 1e3),
+            format!("{:.2}", b.accel_s * 1e3),
+            format!("{:.2}", b.total_s() * 1e3),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["batch", "CPU env", "runtime/PCIe", "FPGA", "total"],
+            &rows
+        )
+    );
+
+    println!("=== Fig. 9b: execution time ratio (%) and bottleneck ===");
+    let mut rows = Vec::new();
+    for batch in paper::BATCH_SIZES {
+        let b = model.breakdown(batch, Precision::Half16).expect("positive batch");
+        let (c, r, a) = b.fractions();
+        rows.push(vec![
+            batch.to_string(),
+            format!("{:.1}", c * 100.0),
+            format!("{:.1}", r * 100.0),
+            format!("{:.1}", a * 100.0),
+            b.bottleneck().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["batch", "CPU %", "runtime %", "FPGA %", "bottleneck"], &rows)
+    );
+    println!(
+        "shape check: CPU time constant, runtime grows marginally, FPGA linear; \
+         bottleneck shifts to the FPGA at large batch\n"
+    );
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    print_fig9();
+
+    let cfg = AccelConfig::default();
+    let actor = [17usize, 400, 300, 6];
+    let critic = [23usize, 400, 300, 1];
+    let mut group = c.benchmark_group("fig9_schedule");
+    group.bench_function("training_schedule_512", |b| {
+        b.iter(|| {
+            TrainingSchedule::for_ddpg(
+                &cfg,
+                std::hint::black_box(&actor),
+                std::hint::black_box(&critic),
+                512,
+                Precision::Half16,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Table I — FPGA resource usage on the Xilinx Alveo U50, per component,
+//! with device-utilization percentages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fixar::prelude::*;
+use fixar_accel::ResourceModel;
+use fixar_bench::render_table;
+
+fn fmt_k(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.1}K", v / 1000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn print_table1() {
+    println!("\n=== Table I: FPGA resource usage on Xilinx Alveo U50 ===");
+    let model = ResourceModel::new(AccelConfig::default());
+    let mut rows: Vec<Vec<String>> = model
+        .components()
+        .into_iter()
+        .map(|(name, u)| {
+            vec![
+                name.to_string(),
+                fmt_k(u.lut),
+                fmt_k(u.ff),
+                format!("{:.0}", u.bram),
+                format!("{:.0}", u.uram),
+                format!("{:.0}", u.dsp),
+            ]
+        })
+        .collect();
+    let total = model.total();
+    let (lut, ff, bram, uram, dsp) = model.utilization(&U50_BUDGET);
+    rows.push(vec![
+        "Total".into(),
+        fmt_k(total.lut),
+        fmt_k(total.ff),
+        format!("{:.0}", total.bram),
+        format!("{:.0}", total.uram),
+        format!("{:.0}", total.dsp),
+    ]);
+    rows.push(vec![
+        "(utilization)".into(),
+        format!("{:.1}%", lut * 100.0),
+        format!("{:.1}%", ff * 100.0),
+        format!("{:.1}%", bram * 100.0),
+        format!("{:.1}%", uram * 100.0),
+        format!("{:.1}%", dsp * 100.0),
+    ]);
+    println!(
+        "{}",
+        render_table(&["Component", "LUT", "FF", "BRAM", "URAM", "DSP"], &rows)
+    );
+    println!(
+        "paper totals: 508.1K LUT (58.4%), 408.8K FF (23.5%), 774 BRAM (57.6%), \
+         128 URAM (20.0%), 2302 DSP (38.8%)\n"
+    );
+
+    // Ablation sweep: how resources scale with the core count (the
+    // design-space exploration behind the paper's N = 2 choice).
+    println!("=== Table I ablation: scaling with AAP core count ===");
+    let mut rows = Vec::new();
+    for n_cores in [1usize, 2, 4, 8] {
+        let mut cfg = AccelConfig::default();
+        cfg.n_cores = n_cores;
+        let m = ResourceModel::new(cfg);
+        let (lut, _, _, _, dsp) = m.utilization(&U50_BUDGET);
+        rows.push(vec![
+            n_cores.to_string(),
+            format!("{:.1}%", lut * 100.0),
+            format!("{:.1}%", dsp * 100.0),
+            if m.fits(&U50_BUDGET) { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["cores", "LUT util", "DSP util", "fits U50"], &rows)
+    );
+}
+
+fn bench_resource_model(c: &mut Criterion) {
+    print_table1();
+
+    let model = ResourceModel::new(AccelConfig::default());
+    c.bench_function("table1_resource_total", |b| {
+        b.iter(|| std::hint::black_box(&model).total())
+    });
+}
+
+criterion_group!(benches, bench_resource_model);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Table II — Comparison with prior FPGA DRL accelerators (FA3C
+//! ASPLOS'19, PPO FCCM'20), including the network-size-normalized peak
+//! throughput column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fixar::prelude::*;
+use fixar_accel::comparison::{self, PlatformEntry};
+use fixar_bench::{paper, render_table};
+
+fn row(e: &PlatformEntry, fixar_kb: f64) -> Vec<String> {
+    vec![
+        e.name.to_string(),
+        e.platform.to_string(),
+        format!("{:.0}MHz", e.clock_mhz),
+        e.algorithm.to_string(),
+        e.task_env.to_string(),
+        e.precision.label().to_string(),
+        e.dsp.to_string(),
+        format!("{:.1}KB", e.network_kb),
+        format!("{:.1}", e.peak_ips),
+        format!("{:.1}", e.normalized_peak_ips(fixar_kb)),
+        e.ips_per_watt
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "-".into()),
+    ]
+}
+
+fn print_table2() {
+    println!("\n=== Table II: comparison with previous works ===");
+    // Our modelled numbers for the FIXAR row: full-precision peak and the
+    // post-QAT efficiency.
+    let model = FixarPlatformModel::for_benchmark(17, 6).expect("paper dims");
+    let peak_full = model.accelerator_ips(512, Precision::Full32);
+    let ips_half = model.accelerator_ips(512, Precision::Half16);
+    let eff = PowerModel::ips_per_watt(ips_half, paper::FPGA_POWER_W);
+
+    let entries = comparison::table2(peak_full, eff);
+    let fixar_kb = entries[2].network_kb;
+    let rows: Vec<Vec<String>> = entries.iter().map(|e| row(e, fixar_kb)).collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "work", "platform", "clock", "algorithm", "tasks", "precision", "DSP",
+                "net size", "peak IPS", "norm. IPS", "IPS/W"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "paper's FIXAR row: peak {} IPS, normalized {} IPS, {} IPS/W\n",
+        paper::PEAK_IPS_FULL,
+        paper::PEAK_IPS_FULL,
+        paper::IPS_PER_WATT
+    );
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    print_table2();
+
+    let entries = comparison::table2(38_779.8, 2_638.0);
+    c.bench_function("table2_normalization", |b| {
+        b.iter(|| {
+            entries
+                .iter()
+                .map(|e| e.normalized_peak_ips(std::hint::black_box(514.4)))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_normalization);
+criterion_main!(benches);

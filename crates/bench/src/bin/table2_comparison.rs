@@ -1,0 +1,57 @@
+//! Table II harness: FIXAR vs prior FPGA DRL accelerators, with both the
+//! paper's reported FIXAR numbers and this model's regenerated ones.
+//!
+//! ```text
+//! cargo run --release -p fixar-bench --bin table2_comparison
+//! ```
+
+use fixar::prelude::*;
+use fixar_accel::comparison::{self, PlatformEntry};
+use fixar_bench::{paper, render_table};
+
+fn row(e: &PlatformEntry, fixar_kb: f64) -> Vec<String> {
+    vec![
+        e.name.to_string(),
+        e.platform.to_string(),
+        format!("{:.0}MHz", e.clock_mhz),
+        e.algorithm.to_string(),
+        e.task_env.to_string(),
+        e.precision.label().to_string(),
+        e.dsp.to_string(),
+        format!("{:.1}KB", e.network_kb),
+        format!("{:.1}", e.peak_ips),
+        format!("{:.1}", e.normalized_peak_ips(fixar_kb)),
+        e.ips_per_watt
+            .map(|v| format!("{v:.1}"))
+            .unwrap_or_else(|| "-".into()),
+    ]
+}
+
+fn main() {
+    println!("Table II: comparison with previous works\n");
+
+    let model = FixarPlatformModel::for_benchmark(17, 6).expect("paper dims");
+    let peak_full = model.accelerator_ips(512, Precision::Full32);
+    let ips_half = model.accelerator_ips(512, Precision::Half16);
+    let eff = PowerModel::ips_per_watt(ips_half, paper::FPGA_POWER_W);
+
+    println!("with this reproduction's modelled FIXAR numbers:");
+    let entries = comparison::table2(peak_full, eff);
+    let fixar_kb = entries[2].network_kb;
+    let rows: Vec<Vec<String>> = entries.iter().map(|e| row(e, fixar_kb)).collect();
+    let headers = [
+        "work", "platform", "clock", "algorithm", "tasks", "precision", "DSP", "net size",
+        "peak IPS", "norm. IPS", "IPS/W",
+    ];
+    println!("{}", render_table(&headers, &rows));
+
+    println!("with the paper's reported FIXAR numbers:");
+    let entries = comparison::table2(paper::PEAK_IPS_FULL, paper::IPS_PER_WATT);
+    let rows: Vec<Vec<String>> = entries.iter().map(|e| row(e, fixar_kb)).collect();
+    println!("{}", render_table(&headers, &rows));
+
+    println!(
+        "takeaways reproduced: FIXAR has the fewest DSPs, the only fixed-point \
+         datapath, the best normalized peak IPS, and the best IPS/W."
+    );
+}

@@ -1,0 +1,192 @@
+//! Shared helpers for the FIXAR benchmark harnesses.
+//!
+//! Each paper artifact (Figs. 7–10, Tables I–II) has both a criterion
+//! bench (`benches/`) that prints the regenerated rows and measures the
+//! relevant kernel, and a standalone binary (`src/bin/`) for longer,
+//! configurable runs. This library holds the pieces they share: an ASCII
+//! table renderer, the paper's reference numbers, and the scaled-down
+//! precision-study runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fixar::prelude::*;
+use fixar::FixarRunReport;
+
+/// The paper's reported numbers, used to annotate regenerated artifacts.
+pub mod paper {
+    /// Fig. 10a: accelerator throughput, flat across batch sizes.
+    pub const ACCEL_IPS: f64 = 53_826.8;
+    /// Table II: peak (full-precision) accelerator throughput.
+    pub const PEAK_IPS_FULL: f64 = 38_779.8;
+    /// Abstract/Fig. 8: end-to-end platform throughput at batch 512.
+    pub const PLATFORM_IPS: f64 = 25_293.3;
+    /// Fig. 10b: accelerator energy efficiency.
+    pub const IPS_PER_WATT: f64 = 2_638.0;
+    /// §VI-C: measured average FPGA board power.
+    pub const FPGA_POWER_W: f64 = 20.4;
+    /// §VI-C: measured average GPU board power.
+    pub const GPU_POWER_W: f64 = 56.7;
+    /// §VI-C: accelerator-level FIXAR/GPU throughput ratio.
+    pub const ACCEL_SPEEDUP: f64 = 5.5;
+    /// Abstract: platform-level FIXAR/CPU-GPU throughput ratio.
+    pub const PLATFORM_SPEEDUP: f64 = 2.7;
+    /// §VI-C: reported PE-array utilization.
+    pub const UTILIZATION: f64 = 0.924;
+    /// Batch sizes swept by Figs. 8–10.
+    pub const BATCH_SIZES: [usize; 4] = [64, 128, 256, 512];
+}
+
+/// Renders a fixed-width ASCII table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:w$} |", w = w));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (c, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {c:>w$} |", w = w));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Scaled-down Fig. 7 configuration: Pendulum with small networks so a
+/// four-arm study completes inside a bench run. The *relative* behaviour
+/// of the arms (who learns, who fails, the QAT dip) is what transfers to
+/// the full-scale runs.
+pub fn quick_study_config() -> DdpgConfig {
+    let mut cfg = DdpgConfig::small_test();
+    cfg.hidden = (64, 48);
+    cfg.batch_size = 64;
+    cfg.warmup_steps = 500;
+    cfg.actor_lr = 1e-3;
+    cfg.critic_lr = 1e-3;
+    cfg.exploration_sigma = 0.15;
+    // Two workers mirror the two AAP cores and roughly halve the
+    // wall-clock of the software fixed-point arms.
+    cfg.parallel_workers = 2;
+    cfg
+}
+
+/// Runs the four-arm precision study on Pendulum at reduced scale.
+///
+/// # Panics
+///
+/// Panics if any arm fails to run (benchmark harness context).
+pub fn quick_precision_study(total_steps: u64, eval_every: u64) -> Vec<FixarRunReport> {
+    let cfg = quick_study_config().with_qat(total_steps / 3, 16);
+    fixar::precision_study(EnvKind::Pendulum, cfg, total_steps, eval_every, 3)
+        .expect("precision study should run")
+}
+
+/// Formats a reward curve as aligned `step:reward` pairs.
+pub fn format_curve(report: &FixarRunReport) -> String {
+    report
+        .training
+        .curve
+        .iter()
+        .map(|p| format!("{:>6}:{:>8.1}", p.step, p.avg_reward))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// The paper's HalfCheetah-sized actor/critic pair in `Fx32`.
+///
+/// # Panics
+///
+/// Panics on construction failure (static configuration).
+pub fn paper_networks() -> (Mlp<Fx32>, Mlp<Fx32>) {
+    let actor = Mlp::new_random(
+        &MlpConfig::new(vec![17, 400, 300, 6]).with_output_activation(Activation::Tanh),
+        11,
+    )
+    .expect("static config");
+    let critic = Mlp::new_random(&MlpConfig::new(vec![23, 400, 300, 1]), 12).expect("static config");
+    (actor, critic)
+}
+
+/// Summary verdict line comparing a measured value against the paper.
+pub fn verdict(label: &str, measured: f64, paper_value: f64) -> String {
+    let ratio = measured / paper_value;
+    format!("{label}: measured {measured:.1} vs paper {paper_value:.1} (x{ratio:.3})")
+}
+
+/// Reads `--name value` from the process arguments, falling back to a
+/// default. Used by the full-scale harness binaries.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses a benchmark name into an [`EnvKind`] (defaults to Pendulum so
+/// harnesses are fast unless asked otherwise).
+pub fn env_kind_arg() -> EnvKind {
+    match arg::<String>("env", "pendulum".into()).to_lowercase().as_str() {
+        "halfcheetah" | "cheetah" => EnvKind::HalfCheetah,
+        "hopper" => EnvKind::Hopper,
+        "swimmer" => EnvKind::Swimmer,
+        _ => EnvKind::Pendulum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renderer_aligns_columns() {
+        let s = render_table(
+            &["name", "ips"],
+            &[
+                vec!["fixar".into(), "53826.8".into()],
+                vec!["gpu".into(), "9787.0".into()],
+            ],
+        );
+        assert!(s.contains("| name "));
+        assert!(s.contains("53826.8"));
+        // Every line has the same width.
+        let lens: std::collections::HashSet<usize> =
+            s.lines().map(|l| l.chars().count()).collect();
+        assert_eq!(lens.len(), 1, "{s}");
+    }
+
+    #[test]
+    fn verdict_reports_ratio() {
+        let v = verdict("ips", 50_000.0, 53_826.8);
+        assert!(v.contains("x0.929"));
+    }
+
+    #[test]
+    fn paper_networks_have_paper_sizes() {
+        let (actor, critic) = paper_networks();
+        assert_eq!(actor.param_count(), 129_306);
+        assert_eq!(critic.param_count(), 130_201);
+    }
+}

@@ -1,0 +1,154 @@
+//! Analytic pendulum swing-up (the Gym `Pendulum-v1` dynamics).
+//!
+//! Not part of the paper's benchmark set, but invaluable here: its DDPG
+//! learning signal appears within a few thousand steps, so the integration
+//! tests and quickstart example can demonstrate the full FIXAR training
+//! pipeline in seconds instead of hours.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{EnvSpec, Environment, StepResult};
+
+const MAX_SPEED: f64 = 8.0;
+const MAX_TORQUE: f64 = 2.0;
+const DT: f64 = 0.05;
+const GRAVITY: f64 = 10.0;
+const MASS: f64 = 1.0;
+const LENGTH: f64 = 1.0;
+const MAX_STEPS: usize = 200;
+
+/// Torque-limited pendulum swing-up with a 3-dimensional observation
+/// `[cos θ, sin θ, θ̇]` and a single torque action.
+#[derive(Debug, Clone)]
+pub struct Pendulum {
+    theta: f64,
+    theta_dot: f64,
+    steps: usize,
+    rng: StdRng,
+}
+
+impl Pendulum {
+    /// Creates the environment with a reset seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            theta: std::f64::consts::PI,
+            theta_dot: 0.0,
+            steps: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        vec![self.theta.cos(), self.theta.sin(), self.theta_dot]
+    }
+}
+
+/// Wraps an angle into `[-π, π]`.
+fn angle_normalize(x: f64) -> f64 {
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut a = (x + std::f64::consts::PI) % two_pi;
+    if a < 0.0 {
+        a += two_pi;
+    }
+    a - std::f64::consts::PI
+}
+
+impl Environment for Pendulum {
+    fn spec(&self) -> EnvSpec {
+        EnvSpec {
+            name: "Pendulum",
+            obs_dim: 3,
+            action_dim: 1,
+            max_episode_steps: MAX_STEPS,
+        }
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        self.theta = self.rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        self.theta_dot = self.rng.gen_range(-1.0..1.0);
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn seed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    fn step(&mut self, action: &[f64]) -> StepResult {
+        assert_eq!(action.len(), 1, "pendulum takes exactly one action");
+        let u = (action[0].clamp(-1.0, 1.0)) * MAX_TORQUE;
+        let th = angle_normalize(self.theta);
+        let cost = th * th + 0.1 * self.theta_dot * self.theta_dot + 0.001 * u * u;
+
+        // θ̈ = 3g/(2l)·sin θ + 3/(m l²)·u, θ measured from upright.
+        let acc = 3.0 * GRAVITY / (2.0 * LENGTH) * self.theta.sin()
+            + 3.0 / (MASS * LENGTH * LENGTH) * u;
+        self.theta_dot = (self.theta_dot + acc * DT).clamp(-MAX_SPEED, MAX_SPEED);
+        self.theta += self.theta_dot * DT;
+        self.steps += 1;
+
+        StepResult {
+            observation: self.observation(),
+            reward: -cost,
+            terminated: false,
+            truncated: self.steps >= MAX_STEPS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reward_is_best_at_upright_rest() {
+        let mut env = Pendulum::new(0);
+        env.reset();
+        env.theta = 0.0;
+        env.theta_dot = 0.0;
+        let r_up = env.step(&[0.0]).reward;
+        env.theta = std::f64::consts::PI;
+        env.theta_dot = 0.0;
+        let r_down = env.step(&[0.0]).reward;
+        assert!(r_up > r_down);
+        assert!(r_up > -0.1, "upright no-torque reward ~ 0, got {r_up}");
+    }
+
+    #[test]
+    fn speed_is_clamped() {
+        let mut env = Pendulum::new(0);
+        env.reset();
+        for _ in 0..100 {
+            env.step(&[1.0]);
+        }
+        assert!(env.theta_dot.abs() <= MAX_SPEED);
+    }
+
+    #[test]
+    fn angle_normalize_wraps() {
+        // 3π and −3π both normalize to ±π (the same physical angle).
+        assert!((angle_normalize(3.0 * std::f64::consts::PI).abs() - std::f64::consts::PI).abs() < 1e-9);
+        assert!((angle_normalize(0.5) - 0.5).abs() < 1e-12);
+        assert!((angle_normalize(-3.0 * std::f64::consts::PI).abs() - std::f64::consts::PI).abs() < 1e-9);
+        assert!(angle_normalize(2.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gravity_pulls_pendulum_from_near_upright() {
+        let mut env = Pendulum::new(0);
+        env.reset();
+        env.theta = 0.1; // slightly off upright
+        env.theta_dot = 0.0;
+        env.step(&[0.0]);
+        assert!(env.theta_dot > 0.0, "should accelerate away from upright");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one action")]
+    fn wrong_action_dim_panics() {
+        let mut env = Pendulum::new(0);
+        env.reset();
+        let _ = env.step(&[0.0, 1.0]);
+    }
+}

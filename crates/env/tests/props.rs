@@ -1,0 +1,94 @@
+//! Property-based tests for the environments: whatever the agent does,
+//! the simulation must stay finite, deterministic, and within spec.
+
+use fixar_env::{EnvKind, Environment};
+use proptest::prelude::*;
+
+fn action_seq(dim: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-1.5..1.5f64, dim), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary (even out-of-range) action sequences keep every
+    /// benchmark's observations and rewards finite and correctly sized.
+    #[test]
+    fn rollouts_stay_finite_and_well_shaped(
+        seed in 0u64..500,
+        actions in action_seq(6, 40),
+    ) {
+        for kind in [EnvKind::HalfCheetah, EnvKind::Hopper, EnvKind::Swimmer, EnvKind::Pendulum] {
+            let mut env = kind.make(seed);
+            let spec = env.spec();
+            let obs = env.reset();
+            prop_assert_eq!(obs.len(), spec.obs_dim);
+            for a in &actions {
+                let trimmed: Vec<f64> = a.iter().take(spec.action_dim).cloned().collect();
+                let res = env.step(&trimmed);
+                prop_assert_eq!(res.observation.len(), spec.obs_dim);
+                prop_assert!(res.observation.iter().all(|v| v.is_finite()));
+                prop_assert!(res.reward.is_finite());
+                if res.done() {
+                    env.reset();
+                }
+            }
+        }
+    }
+
+    /// Identical seeds and actions produce identical trajectories — the
+    /// determinism the four-arm precision study depends on.
+    #[test]
+    fn trajectories_are_reproducible(
+        seed in 0u64..200,
+        actions in action_seq(3, 25),
+    ) {
+        for kind in [EnvKind::Hopper, EnvKind::Pendulum] {
+            let mut a = kind.make(seed);
+            let mut b = kind.make(seed);
+            prop_assert_eq!(a.reset(), b.reset());
+            let dim = a.spec().action_dim;
+            for act in &actions {
+                let trimmed: Vec<f64> = act.iter().take(dim).cloned().collect();
+                prop_assert_eq!(a.step(&trimmed), b.step(&trimmed));
+            }
+        }
+    }
+
+    /// Out-of-range actions behave exactly like their clamped versions
+    /// (the documented clamping contract).
+    #[test]
+    fn actions_are_clamped_not_amplified(
+        seed in 0u64..200,
+        raw in prop::collection::vec(-10.0..10.0f64, 2),
+    ) {
+        let mut wild = EnvKind::Swimmer.make(seed);
+        let mut tame = EnvKind::Swimmer.make(seed);
+        wild.reset();
+        tame.reset();
+        let clamped: Vec<f64> = raw.iter().map(|v| v.clamp(-1.0, 1.0)).collect();
+        for _ in 0..10 {
+            let rw = wild.step(&raw);
+            let rt = tame.step(&clamped);
+            prop_assert_eq!(rw, rt);
+        }
+    }
+
+    /// Episodes never exceed the spec's step cap.
+    #[test]
+    fn episodes_respect_the_cap(seed in 0u64..100) {
+        let mut env = EnvKind::Pendulum.make(seed);
+        env.reset();
+        let cap = env.spec().max_episode_steps;
+        let mut steps = 0;
+        loop {
+            let res = env.step(&[0.3]);
+            steps += 1;
+            prop_assert!(steps <= cap, "episode exceeded cap");
+            if res.done() {
+                break;
+            }
+        }
+        prop_assert_eq!(steps, cap); // Pendulum only truncates
+    }
+}

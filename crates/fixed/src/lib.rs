@@ -1,0 +1,100 @@
+//! Saturating fixed-point arithmetic for the FIXAR platform.
+//!
+//! FIXAR (DAC 2021) trains deep reinforcement learning agents entirely in
+//! fixed-point: weights and gradients stay in 32-bit fixed-point for the
+//! whole run, while activations start at 32 bits and are quantized to
+//! 16 bits after a *quantization delay* (Algorithm 1 of the paper). This
+//! crate provides the numeric substrate for that scheme:
+//!
+//! * [`Q32`] and [`Q16`] — saturating signed fixed-point scalars with a
+//!   const-generic number of fractional bits, backed by `i32`/`i16` and
+//!   widening through `i64`/`i32` exactly as a hardware MAC would.
+//! * [`Scalar`] — the numeric abstraction the whole FIXAR neural-network
+//!   stack is generic over, implemented for `f32`, `f64`, [`Q32`], and
+//!   [`Q16`]. Swapping the scalar swaps the arithmetic of the entire
+//!   training pipeline, which is how the Fig. 7 precision study is run.
+//! * [`AffineQuantizer`] — the paper's activation quantizer
+//!   `Qn(A) = floor(A/δ) + z` with `δ = (|Amin|+|Amax|)/2^n` and
+//!   `z = floor(−Amin/δ)`.
+//! * [`RangeMonitor`] — running min/max capture used during the
+//!   quantization-delay window to calibrate the quantizer.
+//!
+//! # Default formats
+//!
+//! The paper does not publish its binary-point positions, so FIXAR-rs picks
+//! formats that make its Fig. 7 behaviour numerically honest (see
+//! `DESIGN.md` §4):
+//!
+//! * [`Fx32`] = `Q32<20>` (Q12.20): range ±2048, resolution ≈ 9.5e-7 —
+//!   viable for Adam moments and 1e-4 learning-rate updates.
+//! * [`Fx16`] = `Q16<10>` (Q6.10): range ±32, resolution ≈ 9.8e-4 —
+//!   too coarse to train DDPG from scratch, which is exactly the failure
+//!   the paper reports for pure 16-bit training.
+//!
+//! # Example
+//!
+//! ```
+//! use fixar_fixed::{Fx32, Scalar};
+//!
+//! let a = Fx32::from_f64(1.5);
+//! let b = Fx32::from_f64(-0.25);
+//! let mac = a * b + Fx32::one();
+//! assert!((mac.to_f64() - 0.625).abs() < 1e-5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod math;
+mod monitor;
+mod q16;
+mod q32;
+mod quant;
+mod scalar;
+
+pub use monitor::RangeMonitor;
+pub use q16::Q16;
+pub use q32::Q32;
+pub use quant::{AffineQuantizer, QuantError};
+pub use scalar::Scalar;
+
+/// Default 32-bit fixed-point format (Q12.20) used by FIXAR for weights,
+/// gradients, Adam state, and full-precision activations.
+pub type Fx32 = Q32<20>;
+
+/// Default 16-bit fixed-point format (Q6.10) used for the pure 16-bit
+/// training mode of the Fig. 7 precision study.
+pub type Fx16 = Q16<10>;
+
+/// Number of bits used by the half-precision activation quantizer after the
+/// quantization delay (Algorithm 1 runs with `n = 16`).
+pub const HALF_PRECISION_BITS: u32 = 16;
+
+/// Number of bits of the full-precision fixed-point format.
+pub const FULL_PRECISION_BITS: u32 = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_formats_roundtrip_small_values() {
+        for &x in &[0.0, 1.0, -1.0, 0.5, 1e-3, -1e-3, 100.25] {
+            assert!((Fx32::from_f64(x).to_f64() - x).abs() < 2.0 / (1 << 20) as f64);
+        }
+        for &x in &[0.0, 1.0, -1.0, 0.5, 3.125] {
+            assert!((Fx16::from_f64(x).to_f64() - x).abs() < 2.0 / (1 << 10) as f64);
+        }
+    }
+
+    #[test]
+    fn fx16_is_much_coarser_than_fx32() {
+        let ulp32 = Fx32::from_raw(1).to_f64();
+        let ulp16 = Fx16::from_raw(1).to_f64();
+        assert!(ulp16 / ulp32 > 500.0);
+        // A learning-rate-sized update disappears in Fx16 but not in Fx32.
+        let lr_update = 1e-4;
+        assert_eq!(Fx16::from_f64(lr_update).raw(), 0);
+        assert!(Fx32::from_f64(lr_update).raw() > 0);
+    }
+}

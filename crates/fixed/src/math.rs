@@ -1,0 +1,225 @@
+//! Integer-only math kernels shared by the fixed-point scalar types.
+//!
+//! These mirror how an FPGA activation unit evaluates nonlinear functions:
+//! the lookup tables below are the ROM contents (computed offline in full
+//! precision, stored here as Q2.30 integer constants) and everything at
+//! runtime — indexing, interpolation, Newton iterations — is integer
+//! arithmetic.
+
+/// `tanh(i * 4/64)` for `i = 0..=64`, in Q2.30.
+///
+/// 64 piecewise-linear segments over `[0, 4]`; beyond 4 the function is
+/// saturated to ±1, where `tanh` is within 7e-4 of its asymptote.
+const TANH_Q30: [i64; 65] = [
+    0, 67021619, 133523019, 199000008, 262979411, 325032097, 384783327, 441919982,
+    496194519, 547425766, 595496917, 640351229, 681985995, 720445410, 755812887, 788203292,
+    817755498, 844625518, 868980407, 890993016, 910837623, 928686409, 944706725, 959059047,
+    971895537, 983359117, 993582944, 1002690226, 1010794288, 1017998824, 1024398298, 1030078428,
+    1035116732, 1039583108, 1043540415, 1047045057, 1050147544, 1052893030, 1055321814, 1057469822,
+    1059369036, 1061047900, 1062531689, 1063842843, 1065001270, 1066024621, 1066928539, 1067726879,
+    1068431906, 1069054476, 1069604193, 1070089550, 1070518060, 1070896360, 1071230320, 1071525125,
+    1071785356, 1072015063, 1072217818, 1072396782, 1072554741, 1072694159, 1072817210, 1072925813,
+    1073021665,
+];
+
+/// `2^(i/32)` for `i = 0..=32`, in Q2.30.
+const POW2_Q30: [i64; 33] = [
+    1073741824, 1097253708, 1121280436, 1145833280, 1170923762, 1196563654, 1222764986, 1249540052,
+    1276901417, 1304861917, 1333434672, 1362633090, 1392470869, 1422962010, 1454120821, 1485961921,
+    1518500250, 1551751076, 1585730000, 1620452965, 1655936265, 1692196547, 1729250827, 1767116489,
+    1805811301, 1845353420, 1885761398, 1927054196, 1969251188, 2012372174, 2056437387, 2101467502,
+    2147483648,
+];
+
+/// `log2(e)` in Q2.30.
+const LOG2E_Q30: i64 = 1549082005;
+
+const Q30: u32 = 30;
+
+/// Rescale a Q2.30 value to a Q`frac` value with round-to-nearest.
+#[inline]
+fn q30_to_frac(v: i64, frac: u32) -> i64 {
+    debug_assert!(frac <= Q30);
+    let shift = Q30 - frac;
+    if shift == 0 {
+        v
+    } else {
+        (v + (1i64 << (shift - 1))) >> shift
+    }
+}
+
+/// Hyperbolic tangent of a fixed-point value with `frac` fractional bits,
+/// evaluated over a 64-segment piecewise-linear ROM (integer datapath).
+///
+/// Input and output are raw fixed-point integers sharing the same format.
+/// The result always lies in `[-2^frac, 2^frac]` (i.e. `[-1.0, 1.0]`).
+pub(crate) fn tanh_raw(raw: i64, frac: u32) -> i64 {
+    debug_assert!(frac >= 4 && frac <= Q30, "tanh_raw requires 4..=30 fractional bits");
+    let one = 1i64 << frac;
+    let xmax = 4 * one;
+    let ax = raw.abs();
+    let y = if ax >= xmax {
+        one
+    } else {
+        // Segment width is xmax/64 = 2^(frac-4) raw units, so index and
+        // remainder extraction are pure shifts/masks, as in hardware.
+        let seg_shift = frac - 4;
+        let idx = (ax >> seg_shift) as usize;
+        let rem = ax & ((1i64 << seg_shift) - 1);
+        let y0 = q30_to_frac(TANH_Q30[idx], frac);
+        let y1 = q30_to_frac(TANH_Q30[idx + 1], frac);
+        y0 + (((y1 - y0) * rem) >> seg_shift)
+    };
+    if raw < 0 {
+        -y
+    } else {
+        y
+    }
+}
+
+/// `e^x` for a fixed-point value with `frac` fractional bits.
+///
+/// Uses the classic range reduction `e^x = 2^(x·log2 e)`, splitting the
+/// product into integer and fractional parts; the fractional power of two
+/// comes from a 32-segment piecewise-linear ROM. Returns `i64::MAX` on
+/// overflow (callers saturate).
+pub(crate) fn exp_raw(raw: i64, frac: u32) -> i64 {
+    debug_assert!(frac >= 5 && frac <= Q30);
+    // t = x * log2(e), still with `frac` fractional bits.
+    let t = (raw.saturating_mul(LOG2E_Q30)) >> Q30;
+    let k = t >> frac; // floor of t: integer exponent
+    let r = t - (k << frac); // fractional part in [0, 2^frac)
+    // 2^r via the POW2 ROM: 32 segments over [0, 1).
+    let seg_shift = frac - 5;
+    let idx = (r >> seg_shift) as usize;
+    let rem = r & ((1i64 << seg_shift) - 1);
+    let y0 = POW2_Q30[idx];
+    let y1 = POW2_Q30[idx + 1];
+    let frac_pow = y0 + (((y1 - y0) * rem) >> seg_shift); // Q2.30 in [1, 2]
+    // result = frac_pow * 2^k, rescaled from Q30 to `frac`.
+    let shift = Q30 as i64 - frac as i64 - k;
+    if shift <= 0 {
+        let up = (-shift) as u32;
+        if up >= 33 || frac_pow > (i64::MAX >> up) {
+            return i64::MAX;
+        }
+        frac_pow << up
+    } else if shift >= 63 {
+        0
+    } else {
+        (frac_pow + (1i64 << (shift - 1))) >> shift
+    }
+}
+
+/// Integer square root of a `u64`, by Newton's method seeded from the bit
+/// length (integer-only; converges in a handful of iterations).
+pub(crate) fn isqrt_u64(v: u64) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let bits = 64 - v.leading_zeros();
+    let mut x = 1u64 << bits.div_ceil(2);
+    loop {
+        let next = (x + v / x) >> 1;
+        if next >= x {
+            return x;
+        }
+        x = next;
+    }
+}
+
+/// Fixed-point square root: `sqrt(raw / 2^frac) * 2^frac` for `raw >= 0`.
+///
+/// `sqrt(v)` in format Qf is `isqrt(raw << frac)` because
+/// `sqrt(raw/2^f)·2^f = sqrt(raw·2^f)`.
+pub(crate) fn sqrt_raw(raw: i64, frac: u32) -> i64 {
+    if raw <= 0 {
+        return 0;
+    }
+    isqrt_u64((raw as u64) << frac) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err_tanh(frac: u32, x: f64) -> f64 {
+        let raw = (x * (1i64 << frac) as f64).round() as i64;
+        let got = tanh_raw(raw, frac) as f64 / (1i64 << frac) as f64;
+        (got - x.tanh()).abs()
+    }
+
+    #[test]
+    fn tanh_matches_reference_within_pwl_error() {
+        for i in -100..=100 {
+            let x = i as f64 * 0.06;
+            assert!(err_tanh(20, x) < 2e-3, "x={x} err={}", err_tanh(20, x));
+        }
+    }
+
+    #[test]
+    fn tanh_saturates_to_one() {
+        assert_eq!(tanh_raw(100 << 20, 20), 1 << 20);
+        assert_eq!(tanh_raw(-(100i64 << 20), 20), -(1i64 << 20));
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        for i in 0..200 {
+            let raw = i * 12345;
+            assert_eq!(tanh_raw(raw, 20), -tanh_raw(-raw, 20));
+        }
+    }
+
+    #[test]
+    fn exp_matches_reference() {
+        for i in -40..=40 {
+            let x = i as f64 * 0.25;
+            let raw = (x * (1i64 << 20) as f64).round() as i64;
+            let got = exp_raw(raw, 20) as f64 / (1i64 << 20) as f64;
+            let want = x.exp();
+            // PWL interpolation error is relative; output-grid rounding adds
+            // up to one ulp of absolute error for tiny results.
+            let ulp = 1.0 / (1i64 << 20) as f64;
+            let err = (got - want).abs();
+            assert!(err < 5e-3 * want + ulp, "x={x} got={got} want={want}");
+        }
+    }
+
+    #[test]
+    fn exp_overflow_saturates() {
+        assert_eq!(exp_raw(1000 << 20, 20), i64::MAX);
+    }
+
+    #[test]
+    fn isqrt_exact_squares() {
+        for v in 0u64..2000 {
+            assert_eq!(isqrt_u64(v * v), v);
+        }
+        assert_eq!(isqrt_u64(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn isqrt_floor_property() {
+        for v in [2u64, 3, 5, 8, 15, 24, 99, 10_000_000_019] {
+            let r = isqrt_u64(v);
+            assert!(r * r <= v);
+            assert!((r + 1).checked_mul(r + 1).map(|s| s > v).unwrap_or(true));
+        }
+    }
+
+    #[test]
+    fn sqrt_raw_matches_reference() {
+        for i in 0..500 {
+            let x = i as f64 * 0.37;
+            let raw = (x * (1i64 << 20) as f64).round() as i64;
+            let got = sqrt_raw(raw, 20) as f64 / (1i64 << 20) as f64;
+            assert!((got - x.sqrt()).abs() < 2e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sqrt_of_negative_clamps_to_zero() {
+        assert_eq!(sqrt_raw(-5, 20), 0);
+    }
+}

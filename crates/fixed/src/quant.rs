@@ -1,0 +1,267 @@
+//! The activation quantizer of FIXAR's Algorithm 1.
+
+use core::fmt;
+use std::error::Error;
+
+use crate::monitor::RangeMonitor;
+use crate::Scalar;
+
+/// Error constructing an [`AffineQuantizer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// The requested bit width was 0 or above 31.
+    InvalidBits(u32),
+    /// The calibration range was empty or degenerate (`min == max == 0`,
+    /// or `min > max`).
+    DegenerateRange {
+        /// Calibrated minimum.
+        min: f64,
+        /// Calibrated maximum.
+        max: f64,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidBits(b) => {
+                write!(f, "quantizer bit width must be 1..=31, got {b}")
+            }
+            QuantError::DegenerateRange { min, max } => {
+                write!(f, "degenerate calibration range [{min}, {max}]")
+            }
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+/// Affine (asymmetric) quantizer implementing the paper's Algorithm 1:
+///
+/// ```text
+/// Qn(A, Amin, Amax) = floor(A / δ) + z
+///     δ = (|Amin| + |Amax|) / 2^n
+///     z = floor(-Amin / δ)
+/// ```
+///
+/// Codes are clamped to `[0, 2^n - 1]`; dequantization is
+/// `(q - z) · δ`. The quantizer is calibrated once, from the min/max
+/// captured by a [`RangeMonitor`] during the quantization-delay window,
+/// and then stays frozen for the rest of training — exactly the paper's
+/// protocol.
+///
+/// # Example
+///
+/// ```
+/// use fixar_fixed::AffineQuantizer;
+///
+/// let q = AffineQuantizer::from_range(-2.0, 6.0, 16)?;
+/// let x = 1.2345_f64;
+/// let err = (q.dequantize(q.quantize(x)) - x).abs();
+/// assert!(err <= q.delta());
+/// # Ok::<(), fixar_fixed::QuantError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffineQuantizer {
+    delta: f64,
+    zero_point: i64,
+    bits: u32,
+    max_code: i64,
+}
+
+impl AffineQuantizer {
+    /// Builds a quantizer from a calibrated `[min, max]` range and a bit
+    /// width `n` (the paper uses `n = 16`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidBits`] for `bits == 0 || bits > 31` and
+    /// [`QuantError::DegenerateRange`] when `min > max` or both are zero.
+    pub fn from_range(min: f64, max: f64, bits: u32) -> Result<Self, QuantError> {
+        if bits == 0 || bits > 31 {
+            return Err(QuantError::InvalidBits(bits));
+        }
+        if min > max || (min == 0.0 && max == 0.0) || !min.is_finite() || !max.is_finite() {
+            return Err(QuantError::DegenerateRange { min, max });
+        }
+        let levels = (1u64 << bits) as f64;
+        let delta = (min.abs() + max.abs()) / levels;
+        let zero_point = (-min / delta).floor() as i64;
+        Ok(Self {
+            delta,
+            zero_point,
+            bits,
+            max_code: (1i64 << bits) - 1,
+        })
+    }
+
+    /// Builds a quantizer from the range captured by a [`RangeMonitor`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuantError::DegenerateRange`] when the monitor never
+    /// observed a value, and [`QuantError::InvalidBits`] as in
+    /// [`AffineQuantizer::from_range`].
+    pub fn from_monitor(monitor: &RangeMonitor, bits: u32) -> Result<Self, QuantError> {
+        match monitor.range() {
+            Some((min, max)) => Self::from_range(min, max, bits),
+            None => Err(QuantError::DegenerateRange {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            }),
+        }
+    }
+
+    /// Quantization step size δ.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Zero point z.
+    #[inline]
+    pub fn zero_point(&self) -> i64 {
+        self.zero_point
+    }
+
+    /// Bit width n.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Quantizes a value to an n-bit code: `clamp(floor(x/δ) + z)`.
+    #[inline]
+    pub fn quantize(&self, x: f64) -> i64 {
+        let q = (x / self.delta).floor() as i64 + self.zero_point;
+        q.clamp(0, self.max_code)
+    }
+
+    /// Reconstructs the real value of a code: `(q − z) · δ`.
+    #[inline]
+    pub fn dequantize(&self, code: i64) -> f64 {
+        (code - self.zero_point) as f64 * self.delta
+    }
+
+    /// Quantize-then-dequantize ("fake quantization"): projects `x` onto
+    /// the n-bit grid. This is what the QAT training path applies to
+    /// activations after the quantization delay.
+    #[inline]
+    pub fn fake_quantize(&self, x: f64) -> f64 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Fake-quantizes a scalar of any backend in place of its real value.
+    #[inline]
+    pub fn fake_quantize_scalar<S: Scalar>(&self, x: S) -> S {
+        S::from_f64(self.fake_quantize(x.to_f64()))
+    }
+
+    /// Fake-quantizes a slice in place.
+    pub fn fake_quantize_slice<S: Scalar>(&self, xs: &mut [S]) {
+        for x in xs {
+            *x = self.fake_quantize_scalar(*x);
+        }
+    }
+
+    /// Worst-case absolute reconstruction error for in-range inputs (one
+    /// quantization step, since Algorithm 1 floors).
+    #[inline]
+    pub fn max_error(&self) -> f64 {
+        self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fx32;
+
+    #[test]
+    fn algorithm1_formulas() {
+        // δ = (|min|+|max|)/2^n, z = floor(−min/δ)
+        let q = AffineQuantizer::from_range(-2.0, 6.0, 4).unwrap();
+        assert!((q.delta() - 8.0 / 16.0).abs() < 1e-12);
+        assert_eq!(q.zero_point(), 4);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_delta() {
+        let q = AffineQuantizer::from_range(-3.0, 5.0, 16).unwrap();
+        for i in 0..1000 {
+            let x = -3.0 + i as f64 * 8.0 / 1000.0;
+            let err = (q.fake_quantize(x) - x).abs();
+            assert!(err <= q.delta() + 1e-12, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn codes_clamp_to_n_bits() {
+        let q = AffineQuantizer::from_range(-1.0, 1.0, 8).unwrap();
+        assert_eq!(q.quantize(100.0), 255);
+        assert_eq!(q.quantize(-100.0), 0);
+    }
+
+    #[test]
+    fn asymmetric_ranges_are_supported() {
+        // A post-ReLU tensor has min = 0.
+        let q = AffineQuantizer::from_range(0.0, 10.0, 16).unwrap();
+        assert_eq!(q.zero_point(), 0);
+        assert!((q.fake_quantize(5.0) - 5.0).abs() <= q.delta());
+        assert_eq!(q.quantize(-1.0), 0);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(matches!(
+            AffineQuantizer::from_range(-1.0, 1.0, 0),
+            Err(QuantError::InvalidBits(0))
+        ));
+        assert!(matches!(
+            AffineQuantizer::from_range(-1.0, 1.0, 32),
+            Err(QuantError::InvalidBits(32))
+        ));
+        assert!(matches!(
+            AffineQuantizer::from_range(1.0, -1.0, 8),
+            Err(QuantError::DegenerateRange { .. })
+        ));
+        assert!(matches!(
+            AffineQuantizer::from_range(0.0, 0.0, 8),
+            Err(QuantError::DegenerateRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_monitor_requires_observations() {
+        let empty = RangeMonitor::new();
+        assert!(AffineQuantizer::from_monitor(&empty, 16).is_err());
+
+        let mut m = RangeMonitor::new();
+        m.observe(-1.5);
+        m.observe(2.5);
+        let q = AffineQuantizer::from_monitor(&m, 16).unwrap();
+        assert!((q.delta() - 4.0 / 65536.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fake_quantize_slice_in_fixed_point() {
+        let q = AffineQuantizer::from_range(-4.0, 4.0, 8).unwrap();
+        let mut xs = vec![
+            Fx32::from_f64(0.123),
+            Fx32::from_f64(-1.9),
+            Fx32::from_f64(3.99),
+        ];
+        let orig: Vec<f64> = xs.iter().map(|x| x.to_f64()).collect();
+        q.fake_quantize_slice(&mut xs);
+        for (x, o) in xs.iter().zip(orig) {
+            assert!((x.to_f64() - o).abs() <= q.delta() + 1e-5);
+        }
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_useful() {
+        let e = AffineQuantizer::from_range(-1.0, 1.0, 0).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.starts_with("quantizer bit width"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the fixed-point substrate.
+
+use fixar_fixed::{AffineQuantizer, Fx16, Fx32, Q16, Q32, RangeMonitor, Scalar};
+use proptest::prelude::*;
+
+/// Range of f64 inputs that stay well inside Fx32's Q12.20 span.
+fn fx32_val() -> impl Strategy<Value = f64> {
+    -1000.0..1000.0f64
+}
+
+/// Range of f64 inputs that stay inside Fx16's Q6.10 span.
+fn fx16_val() -> impl Strategy<Value = f64> {
+    -30.0..30.0f64
+}
+
+proptest! {
+    #[test]
+    fn q32_roundtrip_within_half_ulp(x in fx32_val()) {
+        let ulp = 1.0 / (1u64 << 20) as f64;
+        let y = Fx32::from_f64(x).to_f64();
+        prop_assert!((x - y).abs() <= ulp / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn q16_roundtrip_within_half_ulp(x in fx16_val()) {
+        let ulp = 1.0 / (1u64 << 10) as f64;
+        let y = Fx16::from_f64(x).to_f64();
+        prop_assert!((x - y).abs() <= ulp / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn q32_add_is_commutative(a in any::<i32>(), b in any::<i32>()) {
+        let (x, y) = (Fx32::from_raw(a), Fx32::from_raw(b));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn q32_mul_is_commutative(a in any::<i32>(), b in any::<i32>()) {
+        let (x, y) = (Fx32::from_raw(a), Fx32::from_raw(b));
+        prop_assert_eq!(x * y, y * x);
+    }
+
+    #[test]
+    fn q32_add_never_wraps(a in any::<i32>(), b in any::<i32>()) {
+        // The saturating sum is always between the two operand extremes
+        // extended by the other operand — i.e. sign-consistent, unlike a
+        // wrapping add.
+        let (x, y) = (Fx32::from_raw(a), Fx32::from_raw(b));
+        let s = x + y;
+        if a >= 0 && b >= 0 {
+            prop_assert!(s >= x.min(y));
+        }
+        if a <= 0 && b <= 0 {
+            prop_assert!(s <= x.max(y));
+        }
+    }
+
+    #[test]
+    fn q32_mul_matches_f64_within_tolerance(x in fx32_val(), y in -1.0..1.0f64) {
+        let got = (Fx32::from_f64(x) * Fx32::from_f64(y)).to_f64();
+        let want = x * y;
+        // Operand rounding can contribute up to |y|·ulp + |x|·ulp; product
+        // rounding one more ulp.
+        let ulp = 1.0 / (1u64 << 20) as f64;
+        let bound = ulp * (x.abs() + y.abs() + 2.0);
+        prop_assert!((got - want).abs() <= bound, "got={got} want={want}");
+    }
+
+    #[test]
+    fn q32_neg_is_involutive_away_from_min(a in (i32::MIN + 1)..i32::MAX) {
+        let x = Fx32::from_raw(a);
+        prop_assert_eq!(-(-x), x);
+    }
+
+    #[test]
+    fn q32_ordering_matches_f64(a in any::<i32>(), b in any::<i32>()) {
+        let (x, y) = (Fx32::from_raw(a), Fx32::from_raw(b));
+        prop_assert_eq!(x < y, x.to_f64() < y.to_f64());
+    }
+
+    #[test]
+    fn q32_tanh_bounded(a in any::<i32>()) {
+        let t = Fx32::from_raw(a).tanh().to_f64();
+        prop_assert!((-1.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn q32_sqrt_is_nonnegative_and_inverts_square(x in 0.0..1000.0f64) {
+        let s = Fx32::from_f64(x).sqrt();
+        prop_assert!(s >= Fx32::ZERO);
+        let sq = (s * s).to_f64();
+        // Newton isqrt floors; error scales with sqrt(x) times ulp.
+        prop_assert!((sq - x).abs() < 0.05 + x * 1e-4, "x={x} sq={sq}");
+    }
+
+    #[test]
+    fn q16_mul_saturation_is_ordered(a in any::<i16>(), b in any::<i16>()) {
+        // Saturating mul of Q16 always equals the f64 product clamped to
+        // the representable range, up to rounding.
+        let (x, y) = (Q16::<10>::from_raw(a), Q16::<10>::from_raw(b));
+        let got = (x * y).to_f64();
+        let want = (x.to_f64() * y.to_f64())
+            .clamp(Q16::<10>::MIN.to_f64(), Q16::<10>::MAX.to_f64());
+        prop_assert!((got - want).abs() <= 1.5 / 1024.0, "got={got} want={want}");
+    }
+
+    #[test]
+    fn quantizer_roundtrip_error_is_bounded(
+        lo in -100.0..-0.01f64,
+        hi in 0.01..100.0f64,
+        t in 0.0..1.0f64,
+        bits in 4u32..20,
+    ) {
+        let q = AffineQuantizer::from_range(lo, hi, bits).unwrap();
+        let x = lo + t * (hi - lo);
+        let err = (q.fake_quantize(x) - x).abs();
+        prop_assert!(err <= q.delta() + 1e-9, "x={x} err={err} delta={}", q.delta());
+    }
+
+    #[test]
+    fn quantizer_codes_fit_in_bits(
+        lo in -100.0..-0.01f64,
+        hi in 0.01..100.0f64,
+        x in -1e6..1e6f64,
+        bits in 1u32..24,
+    ) {
+        let q = AffineQuantizer::from_range(lo, hi, bits).unwrap();
+        let code = q.quantize(x);
+        prop_assert!(code >= 0);
+        prop_assert!(code < (1i64 << bits));
+    }
+
+    #[test]
+    fn quantizer_is_monotone(
+        a in -50.0..50.0f64,
+        b in -50.0..50.0f64,
+    ) {
+        let q = AffineQuantizer::from_range(-50.0, 50.0, 16).unwrap();
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(q.quantize(x) <= q.quantize(y));
+    }
+
+    #[test]
+    fn monitor_bounds_every_observation(xs in prop::collection::vec(-1e3..1e3f64, 1..50)) {
+        let mut m = RangeMonitor::new();
+        for &x in &xs {
+            m.observe(x);
+        }
+        let (lo, hi) = m.range().unwrap();
+        for &x in &xs {
+            prop_assert!(x >= lo && x <= hi);
+        }
+        prop_assert_eq!(m.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn monitor_merge_equals_joint_observation(
+        xs in prop::collection::vec(-1e3..1e3f64, 1..20),
+        ys in prop::collection::vec(-1e3..1e3f64, 1..20),
+    ) {
+        let mut a = RangeMonitor::new();
+        let mut b = RangeMonitor::new();
+        let mut joint = RangeMonitor::new();
+        for &x in &xs { a.observe(x); joint.observe(x); }
+        for &y in &ys { b.observe(y); joint.observe(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.range(), joint.range());
+        prop_assert_eq!(a.count(), joint.count());
+    }
+
+    #[test]
+    fn scalar_generic_mac_consistent_with_f64(
+        x in -10.0..10.0f64,
+        w in -1.0..1.0f64,
+        acc in -100.0..100.0f64,
+    ) {
+        fn mac<S: Scalar>(x: f64, w: f64, acc: f64) -> f64 {
+            S::from_f64(x).mul_add(S::from_f64(w), S::from_f64(acc)).to_f64()
+        }
+        let want = mac::<f64>(x, w, acc);
+        prop_assert!((mac::<Fx32>(x, w, acc) - want).abs() < 1e-3);
+        prop_assert!((mac::<Q32<16>>(x, w, acc) - want).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Activation functions of the FIXAR networks.
+
+use fixar_fixed::Scalar;
+
+/// Activation function applied after a linear layer.
+///
+/// The paper's networks use ReLU on hidden layers; the actor applies an
+/// additional `tanh` at the output (bounded continuous actions) and the
+/// critic emits the raw Q-value. In hardware these are evaluated by the
+/// activation unit between the accumulator and the activation memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Pass-through (critic output).
+    #[default]
+    Identity,
+    /// Rectified linear unit (hidden layers).
+    Relu,
+    /// Hyperbolic tangent (actor output).
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to one pre-activation value.
+    #[inline]
+    pub fn apply<S: Scalar>(self, z: S) -> S {
+        match self {
+            Activation::Identity => z,
+            Activation::Relu => z.relu(),
+            Activation::Tanh => z.tanh(),
+        }
+    }
+
+    /// Applies the activation elementwise in place.
+    #[inline]
+    pub fn apply_slice<S: Scalar>(self, zs: &mut [S]) {
+        if self == Activation::Identity {
+            return;
+        }
+        for z in zs {
+            *z = self.apply(*z);
+        }
+    }
+
+    /// Derivative with respect to the pre-activation `z`, expressed in
+    /// terms of both `z` and the already-computed output `y = f(z)` (the
+    /// tanh derivative reuses `y`, as the hardware does).
+    #[inline]
+    pub fn derivative<S: Scalar>(self, z: S, y: S) -> S {
+        match self {
+            Activation::Identity => S::one(),
+            Activation::Relu => {
+                if z > S::zero() {
+                    S::one()
+                } else {
+                    S::zero()
+                }
+            }
+            Activation::Tanh => S::one() - y * y,
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Identity => "identity",
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_fixed::Fx32;
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-1.5f64), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5f64), 2.5);
+    }
+
+    #[test]
+    fn tanh_derivative_uses_output() {
+        let z = 0.7f64;
+        let y = z.tanh();
+        let d = Activation::Tanh.derivative(z, y);
+        assert!((d - (1.0 - y * y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_derivative_is_step() {
+        assert_eq!(Activation::Relu.derivative(0.5f64, 0.5), 1.0);
+        assert_eq!(Activation::Relu.derivative(-0.5f64, 0.0), 0.0);
+        // At exactly zero the subgradient 0 is used, matching hardware.
+        assert_eq!(Activation::Relu.derivative(0.0f64, 0.0), 0.0);
+    }
+
+    #[test]
+    fn identity_is_transparent() {
+        let mut xs = vec![Fx32::from_f64(1.0), Fx32::from_f64(-2.0)];
+        let orig = xs.clone();
+        Activation::Identity.apply_slice(&mut xs);
+        assert_eq!(xs, orig);
+        assert_eq!(Activation::Identity.derivative(orig[0], orig[0]), Fx32::ONE);
+    }
+
+    #[test]
+    fn fixed_point_tanh_saturates_to_one() {
+        let y = Activation::Tanh.apply(Fx32::from_f64(50.0));
+        assert_eq!(y.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Activation::Relu.name(), "relu");
+        assert_eq!(Activation::Tanh.name(), "tanh");
+        assert_eq!(Activation::Identity.name(), "identity");
+    }
+}

@@ -1,0 +1,264 @@
+//! Adam optimizer in backend arithmetic.
+//!
+//! FIXAR runs weight update on-chip in a dedicated Adam module; moments,
+//! gradients, and weights are all 32-bit fixed-point. This implementation
+//! keeps the *data path* (moments, elementwise update) in the backend
+//! scalar `S` and computes only the per-step scalar constant
+//! `lr_t = lr·sqrt(1−β₂ᵗ)/(1−β₁ᵗ)` in `f64` — exactly what a hardware
+//! control processor would precompute once per step.
+
+use fixar_fixed::Scalar;
+use fixar_tensor::Matrix;
+
+use crate::error::NnError;
+use crate::mlp::{Mlp, MlpGrads};
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Learning rate (paper: `1e-4` for both actor and critic).
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Denominator offset. The default `1e-4` is chosen to be representable
+    /// in Q12.20 and to degrade gracefully when tiny second moments
+    /// underflow in fixed point (see DESIGN.md §4); it is applied to every
+    /// backend so precision comparisons are confound-free.
+    pub eps: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 1e-4,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-4,
+        }
+    }
+}
+
+impl AdamConfig {
+    /// Builder-style learning-rate override.
+    pub fn with_lr(mut self, lr: f64) -> Self {
+        self.lr = lr;
+        self
+    }
+}
+
+/// Adam state for one [`Mlp`].
+///
+/// # Example
+///
+/// ```
+/// use fixar_nn::{Adam, AdamConfig, Mlp, MlpConfig, MlpGrads};
+///
+/// let cfg = MlpConfig::new(vec![2, 4, 1]);
+/// let mut mlp = Mlp::<f32>::new_random(&cfg, 0)?;
+/// let mut opt = Adam::new(&mlp, AdamConfig::default());
+/// let mut grads = MlpGrads::zeros_like(&mlp);
+/// let trace = mlp.forward_trace(&[0.5, -0.5])?;
+/// mlp.backward(&trace, &[1.0], &mut grads)?;
+/// opt.step(&mut mlp, &grads)?;
+/// # Ok::<(), fixar_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam<S> {
+    cfg: AdamConfig,
+    m_w: Vec<Matrix<S>>,
+    v_w: Vec<Matrix<S>>,
+    m_b: Vec<Vec<S>>,
+    v_b: Vec<Vec<S>>,
+    t: u64,
+}
+
+impl<S: Scalar> Adam<S> {
+    /// Creates zeroed optimizer state shaped like `mlp`.
+    pub fn new(mlp: &Mlp<S>, cfg: AdamConfig) -> Self {
+        let m_w = (0..mlp.num_layers())
+            .map(|l| Matrix::zeros(mlp.weight(l).rows(), mlp.weight(l).cols()))
+            .collect::<Vec<_>>();
+        let v_w = m_w.clone();
+        let m_b = (0..mlp.num_layers())
+            .map(|l| vec![S::zero(); mlp.bias(l).len()])
+            .collect::<Vec<_>>();
+        let v_b = m_b.clone();
+        Self {
+            cfg,
+            m_w,
+            v_w,
+            m_b,
+            v_b,
+            t: 0,
+        }
+    }
+
+    /// Hyperparameters.
+    pub fn config(&self) -> AdamConfig {
+        self.cfg
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update of `mlp` from accumulated `grads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `grads` (or this optimizer)
+    /// was shaped for a different network.
+    pub fn step(&mut self, mlp: &mut Mlp<S>, grads: &MlpGrads<S>) -> Result<(), NnError> {
+        if grads.w.len() != mlp.num_layers() || self.m_w.len() != mlp.num_layers() {
+            return Err(NnError::InvalidConfig(
+                "optimizer/gradient shape does not match network".into(),
+            ));
+        }
+        self.t += 1;
+        let t = self.t as i32;
+        // Per-step scalar constants (host/control-processor side).
+        let bias_corr = (1.0 - self.cfg.beta2.powi(t)).sqrt() / (1.0 - self.cfg.beta1.powi(t));
+        let lr_t = S::from_f64(self.cfg.lr * bias_corr);
+        let b1 = S::from_f64(self.cfg.beta1);
+        let one_minus_b1 = S::from_f64(1.0 - self.cfg.beta1);
+        let b2 = S::from_f64(self.cfg.beta2);
+        let one_minus_b2 = S::from_f64(1.0 - self.cfg.beta2);
+        let eps = S::from_f64(self.cfg.eps);
+
+        for l in 0..mlp.num_layers() {
+            if grads.w[l].shape() != mlp.weight(l).shape() {
+                return Err(NnError::InvalidConfig(
+                    "gradient matrix shape mismatch".into(),
+                ));
+            }
+            update_slice(
+                mlp.weight_mut(l).as_mut_slice(),
+                grads.w[l].as_slice(),
+                self.m_w[l].as_mut_slice(),
+                self.v_w[l].as_mut_slice(),
+                (b1, one_minus_b1, b2, one_minus_b2, lr_t, eps),
+            );
+            update_slice(
+                mlp.bias_mut(l),
+                &grads.b[l],
+                &mut self.m_b[l],
+                &mut self.v_b[l],
+                (b1, one_minus_b1, b2, one_minus_b2, lr_t, eps),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Elementwise Adam update — the inner loop of the FPGA Adam unit.
+#[allow(clippy::type_complexity)]
+fn update_slice<S: Scalar>(
+    params: &mut [S],
+    grads: &[S],
+    m: &mut [S],
+    v: &mut [S],
+    (b1, omb1, b2, omb2, lr_t, eps): (S, S, S, S, S, S),
+) {
+    for i in 0..params.len() {
+        let g = grads[i];
+        m[i] = b1 * m[i] + omb1 * g;
+        v[i] = b2 * v[i] + omb2 * (g * g);
+        let denom = v[i].sqrt() + eps;
+        params[i] = params[i] - lr_t * (m[i] / denom);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpConfig;
+    use fixar_fixed::{Fx16, Fx32};
+
+    /// Trains y = w·x toward a fixed target with Adam; returns final loss.
+    fn fit_line<S: Scalar>(lr: f64, steps: usize) -> f64 {
+        let cfg = MlpConfig::new(vec![1, 1]);
+        let mut mlp = Mlp::<S>::new_random(&cfg, 4).unwrap();
+        let mut opt = Adam::new(&mlp, AdamConfig::default().with_lr(lr));
+        let x = [S::from_f64(1.0)];
+        let target = 0.75;
+        let mut loss = f64::MAX;
+        for _ in 0..steps {
+            let trace = mlp.forward_trace(&x).unwrap();
+            let err = trace.output[0].to_f64() - target;
+            loss = 0.5 * err * err;
+            let dl = vec![S::from_f64(err)];
+            let mut grads = MlpGrads::zeros_like(&mlp);
+            mlp.backward(&trace, &dl, &mut grads).unwrap();
+            opt.step(&mut mlp, &grads).unwrap();
+        }
+        loss
+    }
+
+    #[test]
+    fn adam_fits_in_float64() {
+        assert!(fit_line::<f64>(0.01, 500) < 1e-4);
+    }
+
+    #[test]
+    fn adam_fits_in_fixed32() {
+        assert!(fit_line::<Fx32>(0.01, 500) < 1e-3);
+    }
+
+    #[test]
+    fn adam_fails_to_fit_in_fixed16_with_small_lr() {
+        // The paper's observation: 16-bit fixed-point from scratch cannot
+        // train — at lr = 1e-4 the per-step scale itself is below one ulp
+        // of Q6.10, so the model never moves at all.
+        let cfg = MlpConfig::new(vec![1, 1]);
+        let mut mlp = Mlp::<Fx16>::new_random(&cfg, 4).unwrap();
+        let before = mlp.clone();
+        let mut opt = Adam::new(&mlp, AdamConfig::default().with_lr(1e-4));
+        let x = [Fx16::from_f64(1.0)];
+        for _ in 0..100 {
+            let trace = mlp.forward_trace(&x).unwrap();
+            let err = trace.output[0].to_f64() - 0.75;
+            let mut grads = MlpGrads::zeros_like(&mlp);
+            mlp.backward(&trace, &[Fx16::from_f64(err)], &mut grads)
+                .unwrap();
+            opt.step(&mut mlp, &grads).unwrap();
+        }
+        assert_eq!(mlp, before, "fixed16 training must stagnate completely");
+        // Meanwhile the same protocol in f64 makes measurable progress.
+        assert!(fit_line::<f64>(1e-2, 500) < 1e-4);
+    }
+
+    #[test]
+    fn step_counts_and_config_access() {
+        let cfg = MlpConfig::new(vec![2, 2]);
+        let mut mlp = Mlp::<f64>::new_random(&cfg, 0).unwrap();
+        let mut opt = Adam::new(&mlp, AdamConfig::default());
+        assert_eq!(opt.steps(), 0);
+        let grads = MlpGrads::zeros_like(&mlp);
+        opt.step(&mut mlp, &grads).unwrap();
+        assert_eq!(opt.steps(), 1);
+        assert_eq!(opt.config().lr, 1e-4);
+    }
+
+    #[test]
+    fn zero_gradient_changes_nothing() {
+        let cfg = MlpConfig::new(vec![3, 3]);
+        let mut mlp = Mlp::<f64>::new_random(&cfg, 8).unwrap();
+        let before = mlp.clone();
+        let grads = MlpGrads::zeros_like(&mlp);
+        let mut opt = Adam::new(&mlp, AdamConfig::default());
+        opt.step(&mut mlp, &grads).unwrap();
+        assert_eq!(mlp, before);
+    }
+
+    #[test]
+    fn mismatched_grads_rejected() {
+        let mut mlp = Mlp::<f64>::new_random(&MlpConfig::new(vec![2, 2]), 0).unwrap();
+        let other = Mlp::<f64>::new_random(&MlpConfig::new(vec![2, 3, 2]), 0).unwrap();
+        let grads = MlpGrads::zeros_like(&other);
+        let mut opt = Adam::new(&mlp, AdamConfig::default());
+        assert!(opt.step(&mut mlp, &grads).is_err());
+    }
+}

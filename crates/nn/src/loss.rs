@@ -1,0 +1,84 @@
+//! Loss helpers for the DDPG critic regression.
+
+use fixar_fixed::Scalar;
+
+/// Half mean-squared error `½·mean((pred − target)²)` as `f64`
+/// (reporting/diagnostics only — the training path works with gradients).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn half_mse<S: Scalar>(pred: &[S], target: &[S]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "half_mse requires equal lengths");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = pred
+        .iter()
+        .zip(target)
+        .map(|(&p, &t)| {
+            let d = p.to_f64() - t.to_f64();
+            d * d
+        })
+        .sum();
+    0.5 * sum / pred.len() as f64
+}
+
+/// Gradient of the half-MSE with respect to `pred`, pre-scaled by `scale`
+/// (pass `1/batch` so per-sample gradients can be accumulated without
+/// saturating fixed-point buffers).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn half_mse_grad<S: Scalar>(pred: &[S], target: &[S], scale: f64) -> Vec<S> {
+    assert_eq!(
+        pred.len(),
+        target.len(),
+        "half_mse_grad requires equal lengths"
+    );
+    let s = S::from_f64(scale);
+    pred.iter()
+        .zip(target)
+        .map(|(&p, &t)| (p - t) * s)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_fixed::Fx32;
+
+    #[test]
+    fn mse_of_equal_vectors_is_zero() {
+        assert_eq!(half_mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(half_mse::<f64>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mse_hand_computed() {
+        // ½·mean((1)², (−2)²) = ½·2.5 = 1.25
+        let got = half_mse(&[2.0, 0.0], &[1.0, 2.0]);
+        assert!((got - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_is_scaled_difference() {
+        let g = half_mse_grad(&[2.0, 0.0], &[1.0, 2.0], 0.5);
+        assert_eq!(g, vec![0.5, -1.0]);
+    }
+
+    #[test]
+    fn grad_in_fixed_point() {
+        let pred = [Fx32::from_f64(1.0)];
+        let target = [Fx32::from_f64(0.0)];
+        let g = half_mse_grad(&pred, &target, 1.0 / 64.0);
+        assert!((g[0].to_f64() - 1.0 / 64.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_panic() {
+        let _ = half_mse::<f64>(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,655 @@
+//! Multilayer perceptron with back-propagation and QAT hooks.
+
+use fixar_fixed::Scalar;
+use fixar_tensor::{vector, Matrix};
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::init::{seeded_rng, WeightInit};
+use crate::qat::QatRuntime;
+
+/// Configuration of a fully-connected network.
+///
+/// `layer_sizes` includes the input dimension, e.g. the paper's actor for
+/// HalfCheetah is `vec![17, 400, 300, 6]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Layer widths, input first. Must have at least two entries.
+    pub layer_sizes: Vec<usize>,
+    /// Activation after every hidden layer (paper: ReLU).
+    pub hidden_activation: Activation,
+    /// Activation after the output layer (actor: tanh, critic: identity).
+    pub output_activation: Activation,
+    /// Initialization for hidden layers.
+    pub hidden_init: WeightInit,
+    /// Initialization for the output layer (DDPG: small uniform).
+    pub output_init: WeightInit,
+}
+
+impl MlpConfig {
+    /// Creates a configuration with the paper's defaults: ReLU hidden
+    /// layers, identity output, Xavier hidden init, ±3e-3 output init.
+    pub fn new(layer_sizes: Vec<usize>) -> Self {
+        Self {
+            layer_sizes,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Identity,
+            hidden_init: WeightInit::XavierUniform,
+            output_init: WeightInit::Uniform(3e-3),
+        }
+    }
+
+    /// Sets the output activation (builder style).
+    pub fn with_output_activation(mut self, act: Activation) -> Self {
+        self.output_activation = act;
+        self
+    }
+
+    /// Sets the hidden activation (builder style).
+    pub fn with_hidden_activation(mut self, act: Activation) -> Self {
+        self.hidden_activation = act;
+        self
+    }
+
+    /// Number of weight layers (`layer_sizes.len() - 1`).
+    pub fn num_layers(&self) -> usize {
+        self.layer_sizes.len().saturating_sub(1)
+    }
+
+    fn validate(&self) -> Result<(), NnError> {
+        if self.layer_sizes.len() < 2 {
+            return Err(NnError::InvalidConfig(
+                "layer_sizes needs at least an input and an output width".into(),
+            ));
+        }
+        if self.layer_sizes.iter().any(|&w| w == 0) {
+            return Err(NnError::InvalidConfig("zero-width layer".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-layer gradients of an [`Mlp`], accumulated across a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpGrads<S> {
+    /// Weight gradients, one matrix per layer.
+    pub w: Vec<Matrix<S>>,
+    /// Bias gradients, one vector per layer.
+    pub b: Vec<Vec<S>>,
+}
+
+impl<S: Scalar> MlpGrads<S> {
+    /// Zero gradients shaped like `mlp`.
+    pub fn zeros_like(mlp: &Mlp<S>) -> Self {
+        Self {
+            w: mlp
+                .weights
+                .iter()
+                .map(|w| Matrix::zeros(w.rows(), w.cols()))
+                .collect(),
+            b: mlp.biases.iter().map(|b| vec![S::zero(); b.len()]).collect(),
+        }
+    }
+
+    /// Resets all gradients to zero.
+    pub fn reset(&mut self) {
+        for w in &mut self.w {
+            w.fill_zero();
+        }
+        for b in &mut self.b {
+            for v in b {
+                *v = S::zero();
+            }
+        }
+    }
+
+    /// Scales all gradients by a constant (e.g. `1/batch`).
+    pub fn scale(&mut self, factor: S) {
+        for w in &mut self.w {
+            w.map_inplace(|v| v * factor);
+        }
+        for b in &mut self.b {
+            vector::scale(factor, b);
+        }
+    }
+
+    /// Accumulates another gradient buffer into this one — the reduction
+    /// of per-core partial gradients into the shared gradient memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers were shaped from different networks.
+    pub fn accumulate(&mut self, other: &MlpGrads<S>) {
+        assert_eq!(self.w.len(), other.w.len(), "gradient layer count mismatch");
+        for (mine, theirs) in self.w.iter_mut().zip(&other.w) {
+            let dst = mine.as_mut_slice();
+            for (d, &s) in dst.iter_mut().zip(theirs.as_slice()) {
+                *d = *d + s;
+            }
+        }
+        for (mine, theirs) in self.b.iter_mut().zip(&other.b) {
+            for (d, &s) in mine.iter_mut().zip(theirs) {
+                *d = *d + s;
+            }
+        }
+    }
+}
+
+/// Activations captured during a forward pass, needed by back-propagation.
+///
+/// When the pass ran with quantization enabled, `inputs` holds the
+/// *quantized* activations — so the weight-gradient outer products consume
+/// exactly what Algorithm 1 prescribes (`Update θ with Qn(A)`).
+#[derive(Debug, Clone)]
+pub struct ForwardTrace<S> {
+    /// Input to each layer: `inputs[0]` is the network input, `inputs[l]`
+    /// the (possibly quantized) output of layer `l-1`.
+    pub inputs: Vec<Vec<S>>,
+    /// Pre-activation `z = W·a + b` of each layer.
+    pub pre: Vec<Vec<S>>,
+    /// Final network output (after output activation and, under QAT,
+    /// quantization).
+    pub output: Vec<S>,
+}
+
+/// Fully-connected network, generic over the numeric backend.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp<S> {
+    weights: Vec<Matrix<S>>,
+    biases: Vec<Vec<S>>,
+    hidden_act: Activation,
+    output_act: Activation,
+    layer_sizes: Vec<usize>,
+}
+
+impl<S: Scalar> Mlp<S> {
+    /// Creates a network with freshly initialized weights.
+    ///
+    /// Weights are drawn in `f64` from a deterministic RNG seeded with
+    /// `seed`, then converted to `S`; the same seed yields the same
+    /// underlying model at every precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for malformed configurations.
+    pub fn new_random(cfg: &MlpConfig, seed: u64) -> Result<Self, NnError> {
+        cfg.validate()?;
+        let mut rng = seeded_rng(seed);
+        let n = cfg.num_layers();
+        let mut weights = Vec::with_capacity(n);
+        let mut biases = Vec::with_capacity(n);
+        for l in 0..n {
+            let (fan_in, fan_out) = (cfg.layer_sizes[l], cfg.layer_sizes[l + 1]);
+            let init = if l + 1 == n {
+                cfg.output_init
+            } else {
+                cfg.hidden_init
+            };
+            let wf = init.sample(fan_in, fan_out, fan_in * fan_out, &mut rng);
+            let bf = init.sample(fan_in, fan_out, fan_out, &mut rng);
+            let data = wf.into_iter().map(S::from_f64).collect();
+            weights.push(
+                Matrix::from_vec(fan_out, fan_in, data).expect("init produced sized buffer"),
+            );
+            biases.push(bf.into_iter().map(S::from_f64).collect());
+        }
+        Ok(Self {
+            weights,
+            biases,
+            hidden_act: cfg.hidden_activation,
+            output_act: cfg.output_activation,
+            layer_sizes: cfg.layer_sizes.clone(),
+        })
+    }
+
+    /// Number of weight layers.
+    #[inline]
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Layer widths, input first.
+    #[inline]
+    pub fn layer_sizes(&self) -> &[usize] {
+        &self.layer_sizes
+    }
+
+    /// Input dimension.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.layer_sizes[0]
+    }
+
+    /// Output dimension.
+    #[inline]
+    pub fn output_dim(&self) -> usize {
+        *self.layer_sizes.last().expect("validated non-empty")
+    }
+
+    /// Hidden activation function.
+    #[inline]
+    pub fn hidden_activation(&self) -> Activation {
+        self.hidden_act
+    }
+
+    /// Output activation function.
+    #[inline]
+    pub fn output_activation(&self) -> Activation {
+        self.output_act
+    }
+
+    /// Weight matrix of layer `l` (rows = fan-out, cols = fan-in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= num_layers()`.
+    #[inline]
+    pub fn weight(&self, l: usize) -> &Matrix<S> {
+        &self.weights[l]
+    }
+
+    /// Mutable weight matrix of layer `l` (used by optimizers and the
+    /// accelerator write-back path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= num_layers()`.
+    #[inline]
+    pub fn weight_mut(&mut self, l: usize) -> &mut Matrix<S> {
+        &mut self.weights[l]
+    }
+
+    /// Bias vector of layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= num_layers()`.
+    #[inline]
+    pub fn bias(&self, l: usize) -> &[S] {
+        &self.biases[l]
+    }
+
+    /// Mutable bias vector of layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= num_layers()`.
+    #[inline]
+    pub fn bias_mut(&mut self, l: usize) -> &mut [S] {
+        &mut self.biases[l]
+    }
+
+    /// Total number of parameters (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.weights.iter().map(Matrix::len).sum::<usize>()
+            + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Model size in bytes at this backend's precision (what the paper
+    /// reports as "network size"; 32-bit weights for `Fx32`).
+    pub fn model_bytes(&self) -> usize {
+        self.param_count() * (S::BITS as usize / 8)
+    }
+
+    /// Plain inference without gradient bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x.len() != input_dim()`.
+    pub fn forward(&self, x: &[S]) -> Result<Vec<S>, NnError> {
+        let mut qat = QatRuntime::disabled(self.num_layers() + 1);
+        Ok(self.forward_qat(x, &mut qat)?.output)
+    }
+
+    /// Forward pass capturing the trace needed by [`Mlp::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x.len() != input_dim()`.
+    pub fn forward_trace(&self, x: &[S]) -> Result<ForwardTrace<S>, NnError> {
+        let mut qat = QatRuntime::disabled(self.num_layers() + 1);
+        self.forward_qat(x, &mut qat)
+    }
+
+    /// Forward pass through the QAT runtime: in `Calibrate` mode every
+    /// activation point feeds its [`fixar_fixed::RangeMonitor`]; in
+    /// `Quantize` mode activations are projected onto the n-bit grid
+    /// before being stored and propagated.
+    ///
+    /// Quantization point `0` is the network input; point `l+1` is the
+    /// post-activation output of layer `l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] on input-size mismatch and
+    /// [`NnError::InvalidConfig`] if `qat` was built for a different
+    /// number of points.
+    pub fn forward_qat(&self, x: &[S], qat: &mut QatRuntime) -> Result<ForwardTrace<S>, NnError> {
+        self.forward_with(x, qat.num_points(), |point, xs| qat.process(point, xs))
+    }
+
+    /// Forward pass against an immutable QAT runtime: frozen quantizers
+    /// apply but no ranges are recorded. This is the thread-parallel
+    /// training path — workers share `&self` and `&QatRuntime`,
+    /// calibrating (if needed) into per-worker clones merged afterwards
+    /// with [`QatRuntime::merge_from`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mlp::forward_qat`].
+    pub fn forward_qat_frozen(
+        &self,
+        x: &[S],
+        qat: &QatRuntime,
+    ) -> Result<ForwardTrace<S>, NnError> {
+        self.forward_with(x, qat.num_points(), |point, xs| qat.apply(point, xs))
+    }
+
+    fn forward_with(
+        &self,
+        x: &[S],
+        qat_points: usize,
+        mut process: impl FnMut(usize, &mut [S]),
+    ) -> Result<ForwardTrace<S>, NnError> {
+        if x.len() != self.input_dim() {
+            return Err(NnError::Shape(fixar_tensor::ShapeError::new(
+                "mlp input",
+                (self.input_dim(), 1),
+                (x.len(), 1),
+            )));
+        }
+        if qat_points != self.num_layers() + 1 {
+            return Err(NnError::InvalidConfig(format!(
+                "qat runtime has {} points, network needs {}",
+                qat_points,
+                self.num_layers() + 1
+            )));
+        }
+        let n = self.num_layers();
+        let mut inputs = Vec::with_capacity(n);
+        let mut pre = Vec::with_capacity(n);
+
+        let mut a = x.to_vec();
+        process(0, &mut a);
+        for l in 0..n {
+            let mut z = self.weights[l].gemv_alloc(&a)?;
+            for (zi, &bi) in z.iter_mut().zip(&self.biases[l]) {
+                *zi = *zi + bi;
+            }
+            let act = if l + 1 == n {
+                self.output_act
+            } else {
+                self.hidden_act
+            };
+            let mut y = z.clone();
+            act.apply_slice(&mut y);
+            process(l + 1, &mut y);
+            inputs.push(a);
+            pre.push(z);
+            a = y;
+        }
+        Ok(ForwardTrace {
+            inputs,
+            pre,
+            output: a,
+        })
+    }
+
+    /// Back-propagates `dl_dout` (∂loss/∂output) through the trace,
+    /// accumulating parameter gradients into `grads` and returning
+    /// ∂loss/∂input (the path by which the critic "leads the BP and WU of
+    /// the actor network").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `dl_dout.len() != output_dim()` or
+    /// `grads` was not shaped by [`MlpGrads::zeros_like`] on this network.
+    pub fn backward(
+        &self,
+        trace: &ForwardTrace<S>,
+        dl_dout: &[S],
+        grads: &mut MlpGrads<S>,
+    ) -> Result<Vec<S>, NnError> {
+        let n = self.num_layers();
+        if dl_dout.len() != self.output_dim() {
+            return Err(NnError::Shape(fixar_tensor::ShapeError::new(
+                "mlp backward",
+                (self.output_dim(), 1),
+                (dl_dout.len(), 1),
+            )));
+        }
+        if grads.w.len() != n {
+            return Err(NnError::InvalidConfig(
+                "gradient buffer has wrong layer count".into(),
+            ));
+        }
+        // Output-layer delta: dL/dz = dL/dy ⊙ f'(z).
+        let mut delta: Vec<S> = dl_dout
+            .iter()
+            .zip(trace.pre[n - 1].iter().zip(&trace.output))
+            .map(|(&g, (&z, &y))| g * self.output_act.derivative(z, y))
+            .collect();
+
+        let mut input_err = Vec::new();
+        for l in (0..n).rev() {
+            grads.w[l].add_outer(&delta, &trace.inputs[l])?;
+            for (gb, &d) in grads.b[l].iter_mut().zip(&delta) {
+                *gb = *gb + d;
+            }
+            let err = self.weights[l].gemv_t_alloc(&delta)?;
+            if l > 0 {
+                delta = err
+                    .iter()
+                    .zip(trace.pre[l - 1].iter().zip(&trace.inputs[l]))
+                    .map(|(&e, (&z, &y))| e * self.hidden_act.derivative(z, y))
+                    .collect();
+            } else {
+                input_err = err;
+            }
+        }
+        Ok(input_err)
+    }
+
+    /// Polyak/soft update `θ ← τ·θ_src + (1−τ)·θ` used for DDPG target
+    /// networks, computed in the backend arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the architectures differ.
+    pub fn soft_update_from(&mut self, src: &Mlp<S>, tau: f64) -> Result<(), NnError> {
+        if self.layer_sizes != src.layer_sizes {
+            return Err(NnError::InvalidConfig(
+                "soft update requires identical architectures".into(),
+            ));
+        }
+        let t = S::from_f64(tau);
+        for (w, ws) in self.weights.iter_mut().zip(&src.weights) {
+            let dst = w.as_mut_slice();
+            for (d, &s) in dst.iter_mut().zip(ws.as_slice()) {
+                *d = *d + t * (s - *d);
+            }
+        }
+        for (b, bs) in self.biases.iter_mut().zip(&src.biases) {
+            for (d, &s) in b.iter_mut().zip(bs) {
+                *d = *d + t * (s - *d);
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts the model to another backend through `f64` (used when the
+    /// dynamic-fixed mode hands a pre-trained full-precision model to the
+    /// quantized phase, and to build bit-identical accelerator images).
+    pub fn cast<T: Scalar>(&self) -> Mlp<T> {
+        Mlp {
+            weights: self.weights.iter().map(Matrix::cast).collect(),
+            biases: self
+                .biases
+                .iter()
+                .map(|b| b.iter().map(|v| T::from_f64(v.to_f64())).collect())
+                .collect(),
+            hidden_act: self.hidden_act,
+            output_act: self.output_act,
+            layer_sizes: self.layer_sizes.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_fixed::Fx32;
+
+    fn tiny_cfg() -> MlpConfig {
+        MlpConfig::new(vec![3, 5, 2]).with_output_activation(Activation::Tanh)
+    }
+
+    #[test]
+    fn construction_validates_config() {
+        assert!(Mlp::<f64>::new_random(&MlpConfig::new(vec![3]), 0).is_err());
+        assert!(Mlp::<f64>::new_random(&MlpConfig::new(vec![3, 0, 2]), 0).is_err());
+        assert!(Mlp::<f64>::new_random(&tiny_cfg(), 0).is_ok());
+    }
+
+    #[test]
+    fn same_seed_same_model_across_precisions() {
+        let f = Mlp::<f64>::new_random(&tiny_cfg(), 123).unwrap();
+        let q = Mlp::<Fx32>::new_random(&tiny_cfg(), 123).unwrap();
+        for l in 0..f.num_layers() {
+            for (a, b) in f.weight(l).as_slice().iter().zip(q.weight(l).as_slice()) {
+                assert!((a - b.to_f64()).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_shape_checked() {
+        let mlp = Mlp::<f64>::new_random(&tiny_cfg(), 1).unwrap();
+        assert!(mlp.forward(&[1.0, 2.0]).is_err());
+        assert_eq!(mlp.forward(&[1.0, 2.0, 3.0]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn tanh_output_is_bounded() {
+        let mlp = Mlp::<f64>::new_random(&tiny_cfg(), 5).unwrap();
+        let y = mlp.forward(&[10.0, -10.0, 10.0]).unwrap();
+        assert!(y.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let cfg = MlpConfig::new(vec![4, 6, 3]).with_output_activation(Activation::Tanh);
+        let mlp = Mlp::<f64>::new_random(&cfg, 9).unwrap();
+        let x = [0.3, -0.7, 0.5, 0.1];
+        // Loss: L = ½ Σ y_k², so dL/dy = y.
+        let trace = mlp.forward_trace(&x).unwrap();
+        let dl_dout = trace.output.clone();
+        let mut grads = MlpGrads::zeros_like(&mlp);
+        let input_err = mlp.backward(&trace, &dl_dout, &mut grads).unwrap();
+
+        let loss = |m: &Mlp<f64>| -> f64 {
+            let y = m.forward(&x).unwrap();
+            0.5 * y.iter().map(|v| v * v).sum::<f64>()
+        };
+        let eps = 1e-6;
+        // Check a sample of weight coordinates in every layer.
+        for l in 0..mlp.num_layers() {
+            for &(r, c) in &[(0usize, 0usize), (1, 2), (2, 1)] {
+                if r >= mlp.weight(l).rows() || c >= mlp.weight(l).cols() {
+                    continue;
+                }
+                let mut plus = mlp.clone();
+                plus.weight_mut(l)[(r, c)] += eps;
+                let mut minus = mlp.clone();
+                minus.weight_mut(l)[(r, c)] -= eps;
+                let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                let an = grads.w[l][(r, c)];
+                assert!(
+                    (fd - an).abs() < 1e-6,
+                    "layer {l} w[{r}][{c}]: fd={fd} an={an}"
+                );
+            }
+            // And one bias coordinate.
+            let mut plus = mlp.clone();
+            plus.bias_mut(l)[0] += eps;
+            let mut minus = mlp.clone();
+            minus.bias_mut(l)[0] -= eps;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!((fd - grads.b[l][0]).abs() < 1e-6, "layer {l} bias");
+        }
+        // Input gradient against finite differences too.
+        for i in 0..x.len() {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let yp = mlp.forward(&xp).unwrap();
+            let ym = mlp.forward(&xm).unwrap();
+            let lp = 0.5 * yp.iter().map(|v| v * v).sum::<f64>();
+            let lm = 0.5 * ym.iter().map(|v| v * v).sum::<f64>();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - input_err[i]).abs() < 1e-6, "input {i}");
+        }
+    }
+
+    #[test]
+    fn soft_update_moves_toward_source() {
+        let mut target = Mlp::<f64>::new_random(&tiny_cfg(), 1).unwrap();
+        let online = Mlp::<f64>::new_random(&tiny_cfg(), 2).unwrap();
+        let before = target.weight(0)[(0, 0)];
+        let src = online.weight(0)[(0, 0)];
+        target.soft_update_from(&online, 0.25).unwrap();
+        let after = target.weight(0)[(0, 0)];
+        assert!((after - (before + 0.25 * (src - before))).abs() < 1e-12);
+        // tau = 1 copies exactly.
+        target.soft_update_from(&online, 1.0).unwrap();
+        assert_eq!(target.weight(0)[(0, 0)], src);
+    }
+
+    #[test]
+    fn soft_update_rejects_architecture_mismatch() {
+        let mut a = Mlp::<f64>::new_random(&tiny_cfg(), 1).unwrap();
+        let b = Mlp::<f64>::new_random(&MlpConfig::new(vec![3, 4, 2]), 1).unwrap();
+        assert!(a.soft_update_from(&b, 0.1).is_err());
+    }
+
+    #[test]
+    fn param_count_matches_paper_model() {
+        // HalfCheetah actor: 17*400+400 + 400*300+300 + 300*6+6 = 129_306.
+        let cfg = MlpConfig::new(vec![17, 400, 300, 6]);
+        let mlp = Mlp::<Fx32>::new_random(&cfg, 0).unwrap();
+        assert_eq!(mlp.param_count(), 129_306);
+        assert_eq!(mlp.model_bytes(), 129_306 * 4);
+    }
+
+    #[test]
+    fn fixed_point_forward_tracks_float() {
+        let cfg = MlpConfig::new(vec![6, 16, 4]).with_output_activation(Activation::Tanh);
+        let f = Mlp::<f64>::new_random(&cfg, 33).unwrap();
+        let q: Mlp<Fx32> = f.cast();
+        let x = [0.2, -0.4, 0.6, -0.8, 1.0, -0.1];
+        let xf = f.forward(&x).unwrap();
+        let xq = q
+            .forward(&x.iter().map(|&v| Fx32::from_f64(v)).collect::<Vec<_>>())
+            .unwrap();
+        for (a, b) in xf.iter().zip(&xq) {
+            assert!((a - b.to_f64()).abs() < 3e-3, "float={a} fixed={}", b.to_f64());
+        }
+    }
+
+    #[test]
+    fn grads_reset_and_scale() {
+        let mlp = Mlp::<f64>::new_random(&tiny_cfg(), 3).unwrap();
+        let mut grads = MlpGrads::zeros_like(&mlp);
+        let trace = mlp.forward_trace(&[1.0, 1.0, 1.0]).unwrap();
+        mlp.backward(&trace, &[1.0, 1.0], &mut grads).unwrap();
+        let norm_before = grads.w[0].max_abs();
+        assert!(norm_before > 0.0);
+        grads.scale(0.5);
+        assert!((grads.w[0].max_abs() - norm_before * 0.5).abs() < 1e-12);
+        grads.reset();
+        assert_eq!(grads.w[0].max_abs(), 0.0);
+    }
+}

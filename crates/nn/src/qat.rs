@@ -1,0 +1,361 @@
+//! The quantization-aware-training runtime of Algorithm 1.
+
+use fixar_fixed::{AffineQuantizer, QuantError, RangeMonitor, Scalar};
+
+/// Phase of the QAT schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QatMode {
+    /// No monitoring, no quantization (plain full-precision training, and
+    /// the float/pure-fixed baselines of Fig. 7).
+    #[default]
+    Off,
+    /// Full-precision compute while min/max of every activation point is
+    /// captured (the `t < d` branch of Algorithm 1).
+    Calibrate,
+    /// Activations are projected onto the n-bit affine grid before use
+    /// (the `t ≥ d` branch).
+    Quantize,
+}
+
+/// Per-network QAT state: one activation point per layer boundary.
+///
+/// Point `0` is the network input; point `l+1` is the post-activation
+/// output of layer `l`. The runtime is driven by
+/// [`Mlp::forward_qat`](crate::Mlp::forward_qat); the training loop only
+/// switches modes and calls [`QatRuntime::freeze`] when the quantization
+/// delay elapses.
+///
+/// # Example
+///
+/// ```
+/// use fixar_nn::{QatMode, QatRuntime};
+///
+/// let mut qat = QatRuntime::new(3, 16);
+/// assert_eq!(qat.mode(), QatMode::Calibrate);
+/// // ... run forward passes, then:
+/// // qat.freeze()?;
+/// ```
+#[derive(Debug, Clone)]
+pub struct QatRuntime {
+    mode: QatMode,
+    bits: u32,
+    headroom: f64,
+    monitors: Vec<RangeMonitor>,
+    quantizers: Vec<Option<AffineQuantizer>>,
+    excluded: Vec<bool>,
+}
+
+impl QatRuntime {
+    /// Creates a runtime in `Calibrate` mode with `num_points` activation
+    /// points (a network with `L` layers needs `L + 1`) quantizing to
+    /// `bits` bits after freezing.
+    pub fn new(num_points: usize, bits: u32) -> Self {
+        Self {
+            mode: QatMode::Calibrate,
+            bits,
+            headroom: 1.0,
+            monitors: vec![RangeMonitor::new(); num_points],
+            quantizers: vec![None; num_points],
+            excluded: vec![false; num_points],
+        }
+    }
+
+    /// Creates a permanently-off runtime (baselines and plain inference).
+    pub fn disabled(num_points: usize) -> Self {
+        Self {
+            mode: QatMode::Off,
+            bits: 0,
+            headroom: 1.0,
+            monitors: vec![RangeMonitor::new(); num_points],
+            quantizers: vec![None; num_points],
+            excluded: vec![false; num_points],
+        }
+    }
+
+    /// Sets the calibration headroom: frozen ranges are widened by this
+    /// factor (about zero), so activations that drift moderately beyond
+    /// their calibration-window extremes still quantize instead of
+    /// clamping. A fixed-range hardware design always budgets headroom;
+    /// `1.0` (the default) freezes the observed range exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headroom < 1.0`.
+    pub fn with_headroom(mut self, headroom: f64) -> Self {
+        assert!(headroom >= 1.0, "headroom must be at least 1.0");
+        self.headroom = headroom;
+        self
+    }
+
+    /// Excludes a point from quantization (it stays full-precision after
+    /// the freeze). The DDPG agent excludes each network's *final output*
+    /// point: the critic's Q-value is a regression output, not a hidden
+    /// activation — its range keeps drifting as the policy improves, and
+    /// clamping it to a frozen range strangles TD learning. (The actor's
+    /// tanh output re-enters the critic through its quantized input point
+    /// anyway.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point >= num_points()`.
+    pub fn exclude_point(&mut self, point: usize) {
+        self.excluded[point] = true;
+    }
+
+    /// Current mode.
+    #[inline]
+    pub fn mode(&self) -> QatMode {
+        self.mode
+    }
+
+    /// Number of activation points.
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Quantizer bit width.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Captured range monitor of a point (read-only diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point >= num_points()`.
+    pub fn monitor(&self, point: usize) -> &RangeMonitor {
+        &self.monitors[point]
+    }
+
+    /// Frozen quantizer of a point, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point >= num_points()`.
+    pub fn quantizer(&self, point: usize) -> Option<&AffineQuantizer> {
+        self.quantizers[point].as_ref()
+    }
+
+    /// `true` once any activation point has calibration data — freezing
+    /// before this would be meaningless.
+    pub fn has_observations(&self) -> bool {
+        self.monitors.iter().any(|m| m.count() > 0)
+    }
+
+    /// Ends calibration: builds one [`AffineQuantizer`] per point from the
+    /// captured ranges and switches to `Quantize` mode.
+    ///
+    /// Points whose monitor captured no usable range (e.g. an
+    /// always-zero ReLU lane) are left unquantized and pass through.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError`] if *no* point captured a usable range —
+    /// freezing before any calibration forward pass is a protocol bug.
+    pub fn freeze(&mut self) -> Result<(), QuantError> {
+        let mut any = false;
+        for ((m, q), &excluded) in self
+            .monitors
+            .iter()
+            .zip(&mut self.quantizers)
+            .zip(&self.excluded)
+        {
+            if excluded {
+                *q = None;
+                // An excluded point with data still counts as calibrated.
+                any |= m.count() > 0;
+                continue;
+            }
+            // Widen away from zero only, so asymmetric (e.g. post-ReLU)
+            // ranges keep their tight side and zero stays a code point.
+            let h = self.headroom.max(1.0);
+            let widened = m.range().map(|(lo, hi)| {
+                let lo = if lo < 0.0 { lo * h } else { lo };
+                let hi = if hi > 0.0 { hi * h } else { hi };
+                (lo, hi)
+            });
+            match widened.map(|(lo, hi)| AffineQuantizer::from_range(lo, hi, self.bits)) {
+                Some(Ok(quant)) => {
+                    *q = Some(quant);
+                    any = true;
+                }
+                _ => *q = None,
+            }
+        }
+        if !any {
+            return Err(QuantError::DegenerateRange {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            });
+        }
+        self.mode = QatMode::Quantize;
+        Ok(())
+    }
+
+    /// Processes one activation point in place according to the mode.
+    /// Called by the network forward pass.
+    pub fn process<S: Scalar>(&mut self, point: usize, xs: &mut [S]) {
+        match self.mode {
+            QatMode::Off => {}
+            QatMode::Calibrate => self.monitors[point].observe_slice(xs),
+            QatMode::Quantize => {
+                if let Some(q) = &self.quantizers[point] {
+                    q.fake_quantize_slice(xs);
+                }
+            }
+        }
+    }
+
+    /// Read-only variant of [`QatRuntime::process`]: applies frozen
+    /// quantizers but records nothing. In `Calibrate` mode this is a
+    /// no-op — thread-parallel callers calibrate into per-worker clones
+    /// and merge them back with [`QatRuntime::merge_from`].
+    pub fn apply<S: Scalar>(&self, point: usize, xs: &mut [S]) {
+        if self.mode == QatMode::Quantize {
+            if let Some(q) = &self.quantizers[point] {
+                q.fake_quantize_slice(xs);
+            }
+        }
+    }
+
+    /// Folds another runtime's captured ranges into this one (the
+    /// reduction step after per-worker calibration). Quantizers and mode
+    /// are not affected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtimes have different point counts.
+    pub fn merge_from(&mut self, other: &QatRuntime) {
+        assert_eq!(
+            self.monitors.len(),
+            other.monitors.len(),
+            "merging runtimes with different point counts"
+        );
+        for (mine, theirs) in self.monitors.iter_mut().zip(&other.monitors) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_fixed::Fx32;
+
+    #[test]
+    fn calibrate_then_freeze_then_quantize() {
+        let mut qat = QatRuntime::new(2, 8);
+        let mut xs = [Fx32::from_f64(1.0), Fx32::from_f64(-2.0)];
+        qat.process(0, &mut xs);
+        qat.process(1, &mut xs);
+        assert_eq!(qat.monitor(0).count(), 2);
+        // Calibration never mutates the data.
+        assert_eq!(xs[0].to_f64(), 1.0);
+
+        qat.freeze().unwrap();
+        assert_eq!(qat.mode(), QatMode::Quantize);
+        let mut ys = [Fx32::from_f64(0.333), Fx32::from_f64(-1.111)];
+        let before: Vec<f64> = ys.iter().map(|v| v.to_f64()).collect();
+        qat.process(0, &mut ys);
+        let delta = qat.quantizer(0).unwrap().delta();
+        for (y, b) in ys.iter().zip(before) {
+            assert!((y.to_f64() - b).abs() <= delta + 1e-6);
+        }
+    }
+
+    #[test]
+    fn freeze_without_observations_fails() {
+        let mut qat = QatRuntime::new(2, 8);
+        assert!(qat.freeze().is_err());
+        assert_eq!(qat.mode(), QatMode::Calibrate);
+    }
+
+    #[test]
+    fn dead_points_pass_through_after_freeze() {
+        let mut qat = QatRuntime::new(2, 8);
+        let mut xs = [1.0f64, 2.0];
+        qat.process(0, &mut xs); // point 1 never observed
+        qat.freeze().unwrap();
+        assert!(qat.quantizer(0).is_some());
+        assert!(qat.quantizer(1).is_none());
+        let mut ys = [0.12345f64];
+        qat.process(1, &mut ys);
+        assert_eq!(ys[0], 0.12345); // untouched
+    }
+
+    #[test]
+    fn excluded_points_stay_full_precision() {
+        let mut qat = QatRuntime::new(2, 8);
+        qat.exclude_point(1);
+        let mut xs = [1.0f64, -2.0];
+        qat.process(0, &mut xs);
+        qat.process(1, &mut xs);
+        qat.freeze().unwrap();
+        assert!(qat.quantizer(0).is_some());
+        assert!(qat.quantizer(1).is_none(), "excluded point must not quantize");
+        let mut ys = [0.123456f64];
+        qat.process(1, &mut ys);
+        assert_eq!(ys[0], 0.123456);
+    }
+
+    #[test]
+    fn headroom_widens_frozen_ranges_away_from_zero() {
+        let mut base = QatRuntime::new(1, 8);
+        let mut wide = QatRuntime::new(1, 8).with_headroom(2.0);
+        let mut xs = [-1.0f64, 3.0];
+        base.process(0, &mut xs);
+        wide.process(0, &mut xs);
+        base.freeze().unwrap();
+        wide.freeze().unwrap();
+        // Base clamps at the observed max; the widened runtime still
+        // quantizes a value 1.5× beyond it.
+        let probe = 4.5f64;
+        let base_out = base.quantizer(0).unwrap().fake_quantize(probe);
+        let wide_out = wide.quantizer(0).unwrap().fake_quantize(probe);
+        assert!(base_out < 3.1, "base should clamp: {base_out}");
+        assert!((wide_out - probe).abs() < 0.1, "widened should cover: {wide_out}");
+        // δ widens proportionally (2× range → 2× step at equal bits).
+        let ratio = wide.quantizer(0).unwrap().delta() / base.quantizer(0).unwrap().delta();
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn headroom_below_one_rejected() {
+        let _ = QatRuntime::new(1, 8).with_headroom(0.5);
+    }
+
+    #[test]
+    fn apply_is_read_only_during_calibration() {
+        let mut qat = QatRuntime::new(1, 8);
+        let mut xs = [1.0f64];
+        qat.apply(0, &mut xs);
+        assert_eq!(qat.monitor(0).count(), 0, "apply must not record");
+        assert_eq!(xs[0], 1.0);
+    }
+
+    #[test]
+    fn merge_from_combines_worker_monitors() {
+        let mut main = QatRuntime::new(1, 8);
+        let mut w1 = main.clone();
+        let mut w2 = main.clone();
+        w1.process(0, &mut [1.0f64, -3.0]);
+        w2.process(0, &mut [5.0f64]);
+        main.merge_from(&w1);
+        main.merge_from(&w2);
+        assert_eq!(main.monitor(0).range(), Some((-3.0, 5.0)));
+        assert_eq!(main.monitor(0).count(), 3);
+    }
+
+    #[test]
+    fn disabled_runtime_is_identity() {
+        let mut qat = QatRuntime::disabled(3);
+        assert_eq!(qat.mode(), QatMode::Off);
+        let mut xs = [0.5f64];
+        qat.process(2, &mut xs);
+        assert_eq!(xs[0], 0.5);
+        assert_eq!(qat.monitor(2).count(), 0);
+    }
+}

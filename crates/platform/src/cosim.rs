@@ -1,0 +1,226 @@
+//! Functional + timing co-simulation of the FIXAR platform.
+
+use fixar_accel::{AccelConfig, FixarAccelerator, Precision};
+use fixar_env::Environment;
+use fixar_fixed::Fx32;
+use fixar_rl::{DdpgConfig, RlError, Trainer, TrainingReport};
+
+use crate::models::{FixarPlatformModel, HostModel, TimestepBreakdown};
+
+/// Result of a co-simulated training run: the learning outcome plus the
+/// platform time it would have consumed on the modelled hardware.
+#[derive(Debug, Clone)]
+pub struct CosimReport {
+    /// Reward curve and training statistics (from `fixar-rl`).
+    pub training: TrainingReport,
+    /// Total simulated wall-clock seconds on the CPU-FPGA platform.
+    pub sim_time_s: f64,
+    /// Samples per simulated second over the whole run.
+    pub avg_ips: f64,
+    /// Breakdown of the final timestep (post-QAT when the schedule
+    /// fired).
+    pub final_breakdown: TimestepBreakdown,
+    /// Simulated time at which activations switched to 16 bits.
+    pub qat_switch_time_s: Option<f64>,
+}
+
+/// Co-simulator: real DDPG+QAT training in `Fx32` arithmetic (the exact
+/// numerics of the accelerator datapath) advancing a simulated platform
+/// clock per timestep. After the QAT schedule freezes, the accelerator
+/// model switches to half-precision and the simulated timestep shortens —
+/// the dynamic-precision speedup happens *during* the run, as on the real
+/// platform.
+///
+/// # Example
+///
+/// ```no_run
+/// use fixar_env::Pendulum;
+/// use fixar_platform::FixarCosim;
+/// use fixar_rl::DdpgConfig;
+///
+/// let cfg = DdpgConfig::small_test().with_qat(500, 16);
+/// let mut cosim = FixarCosim::new(
+///     Box::new(Pendulum::new(1)),
+///     Box::new(Pendulum::new(2)),
+///     cfg,
+/// )?;
+/// let report = cosim.run(1_000, 500, 2)?;
+/// assert!(report.sim_time_s > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct FixarCosim {
+    trainer: Trainer<Fx32>,
+    model: FixarPlatformModel,
+    accel: FixarAccelerator,
+    batch: usize,
+    sim_time_s: f64,
+}
+
+impl FixarCosim {
+    /// Builds the co-simulator with default hardware models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError`] for inconsistent environments/configs; panics
+    /// never — hardware-model errors surface as `InvalidConfig`.
+    pub fn new(
+        env: Box<dyn Environment>,
+        eval_env: Box<dyn Environment>,
+        cfg: DdpgConfig,
+    ) -> Result<Self, RlError> {
+        let spec = env.spec();
+        let model = FixarPlatformModel::new(
+            HostModel::default(),
+            AccelConfig::default(),
+            spec.obs_dim,
+            spec.action_dim,
+        )
+        .map_err(|e| RlError::InvalidConfig(e.to_string()))?;
+        let accel = FixarAccelerator::new(AccelConfig::default())
+            .map_err(|e| RlError::InvalidConfig(e.to_string()))?;
+        let batch = cfg.batch_size;
+        let trainer = Trainer::new(env, eval_env, cfg)?;
+        Ok(Self {
+            trainer,
+            model,
+            accel,
+            batch,
+            sim_time_s: 0.0,
+        })
+    }
+
+    /// The wrapped trainer (inspection).
+    pub fn trainer(&self) -> &Trainer<Fx32> {
+        &self.trainer
+    }
+
+    /// The accelerator model, with the agent's networks loaded after a
+    /// run (weight-memory image inspection).
+    pub fn accelerator(&self) -> &FixarAccelerator {
+        &self.accel
+    }
+
+    /// Simulated platform seconds elapsed so far.
+    pub fn sim_time_s(&self) -> f64 {
+        self.sim_time_s
+    }
+
+    /// Runs `steps` timesteps of functional training, advancing the
+    /// simulated clock per Fig. 3's sequence, and loads the final
+    /// weights into the accelerator's weight memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors from `fixar-rl`.
+    pub fn run(
+        &mut self,
+        steps: u64,
+        eval_every: u64,
+        eval_episodes: usize,
+    ) -> Result<CosimReport, RlError> {
+        // Chunked execution so the simulated clock can react to the QAT
+        // switch with eval-period granularity.
+        let chunk = eval_every.min(steps).max(1);
+        let mut curve = Vec::new();
+        let mut episodes = 0;
+        let mut qat_switch_step = None;
+        let mut qat_switch_time = None;
+        let mut final_metrics = Default::default();
+        let mut done = 0u64;
+        while done < steps {
+            let n = chunk.min(steps - done);
+            let precision = if self.trainer.agent().qat_frozen() {
+                Precision::Half16
+            } else {
+                Precision::Full32
+            };
+            let breakdown = self
+                .model
+                .breakdown(self.batch, precision)
+                .map_err(|e| RlError::InvalidConfig(e.to_string()))?;
+            let report = self.trainer.run(n, eval_every, eval_episodes)?;
+            self.sim_time_s += breakdown.total_s() * n as f64;
+            curve.extend(report.curve);
+            episodes += report.train_episodes;
+            final_metrics = report.final_metrics;
+            if let Some(s) = report.qat_switch_step {
+                qat_switch_step = Some(s);
+                qat_switch_time = Some(self.sim_time_s);
+            }
+            done += n;
+        }
+
+        // Mirror the trained weights into the accelerator image.
+        let agent = self.trainer.agent();
+        self.accel
+            .load_ddpg(agent.actor(), agent.critic())
+            .map_err(|e| RlError::InvalidConfig(e.to_string()))?;
+
+        let final_precision = if self.trainer.agent().qat_frozen() {
+            Precision::Half16
+        } else {
+            Precision::Full32
+        };
+        let final_breakdown = self
+            .model
+            .breakdown(self.batch, final_precision)
+            .map_err(|e| RlError::InvalidConfig(e.to_string()))?;
+        let total_steps = done;
+        Ok(CosimReport {
+            training: TrainingReport {
+                curve,
+                train_episodes: episodes,
+                total_steps,
+                qat_switch_step,
+                final_metrics,
+            },
+            sim_time_s: self.sim_time_s,
+            avg_ips: self.batch as f64 * total_steps as f64 / self.sim_time_s,
+            final_breakdown,
+            qat_switch_time_s: qat_switch_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_env::Pendulum;
+    use fixar_rl::DdpgConfig;
+
+    fn cosim(cfg: DdpgConfig) -> FixarCosim {
+        FixarCosim::new(Box::new(Pendulum::new(1)), Box::new(Pendulum::new(2)), cfg).unwrap()
+    }
+
+    #[test]
+    fn cosim_advances_simulated_time() {
+        let mut c = cosim(DdpgConfig::small_test());
+        let report = c.run(100, 100, 1).unwrap();
+        assert!(report.sim_time_s > 0.0);
+        assert!(report.avg_ips > 0.0);
+        assert_eq!(report.training.total_steps, 100);
+        // Simulated time per timestep is in the milliseconds regime.
+        let per_step = report.sim_time_s / 100.0;
+        assert!((1e-4..0.2).contains(&per_step), "per-step {per_step}s");
+    }
+
+    #[test]
+    fn qat_switch_speeds_up_the_simulated_platform() {
+        let cfg = DdpgConfig::small_test().with_qat(150, 16);
+        let mut c = cosim(cfg);
+        let report = c.run(300, 50, 1).unwrap();
+        assert!(report.training.qat_switch_step.is_some());
+        assert!(report.qat_switch_time_s.is_some());
+        // Final timestep runs in half precision: strictly faster than the
+        // full-precision breakdown at the same batch.
+        let full = c.model.breakdown(c.batch, Precision::Full32).unwrap();
+        assert!(report.final_breakdown.total_s() < full.total_s());
+    }
+
+    #[test]
+    fn trained_weights_land_in_the_accelerator_memory() {
+        let mut c = cosim(DdpgConfig::small_test());
+        c.run(80, 80, 1).unwrap();
+        assert!(c.accelerator().model_bytes() > 0);
+    }
+}

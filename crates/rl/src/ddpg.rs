@@ -1,0 +1,856 @@
+//! Deep Deterministic Policy Gradients in backend arithmetic.
+
+use fixar_fixed::Scalar;
+use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, MlpGrads, QatMode, QatRuntime};
+
+use crate::error::RlError;
+use crate::replay::Transition;
+
+/// Algorithm 1's schedule: full-precision calibration for `delay`
+/// training timesteps, then `bits`-bit quantized activations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QatSchedule {
+    /// Quantization delay `d` in timesteps.
+    pub delay: u64,
+    /// Post-delay activation bit width `n` (paper: 16).
+    pub bits: u32,
+    /// Calibration headroom: frozen ranges widen by this factor away
+    /// from zero so moderate post-delay activation drift quantizes
+    /// instead of clamping (see `QatRuntime::with_headroom`). Default 1.5.
+    pub headroom: f64,
+}
+
+/// DDPG hyperparameters (defaults follow the paper where stated, and
+/// Lillicrap et al. 2015 otherwise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdpgConfig {
+    /// Hidden-layer widths (paper: 400 and 300).
+    pub hidden: (usize, usize),
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Target-network soft-update rate τ.
+    pub tau: f64,
+    /// Actor Adam learning rate (paper: 1e-4).
+    pub actor_lr: f64,
+    /// Critic Adam learning rate (paper: 1e-4).
+    pub critic_lr: f64,
+    /// Adam epsilon (shared across backends; see `fixar_nn::AdamConfig`).
+    pub adam_eps: f64,
+    /// Training batch size `B` (paper sweeps 64–512).
+    pub batch_size: usize,
+    /// Replay buffer capacity.
+    pub replay_capacity: usize,
+    /// Uniform-random action steps before training starts.
+    pub warmup_steps: u64,
+    /// Exploration noise standard deviation.
+    pub exploration_sigma: f64,
+    /// Quantization-aware-training schedule; `None` disables QAT (the
+    /// float32/fixed32/fixed16 study arms).
+    pub qat: Option<QatSchedule>,
+    /// Seed for weight init and all agent-side randomness.
+    pub seed: u64,
+    /// Worker threads for intra-batch-parallel training (the software
+    /// twin of the AAP core count); `1` keeps the strictly sequential
+    /// reference path.
+    pub parallel_workers: usize,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        Self {
+            hidden: (400, 300),
+            gamma: 0.99,
+            tau: 0.005,
+            actor_lr: 1e-4,
+            critic_lr: 1e-4,
+            adam_eps: 1e-4,
+            batch_size: 64,
+            replay_capacity: 100_000,
+            warmup_steps: 1_000,
+            exploration_sigma: 0.1,
+            qat: None,
+            seed: 0,
+            parallel_workers: 1,
+        }
+    }
+}
+
+impl DdpgConfig {
+    /// A deliberately tiny configuration so debug-mode tests finish in
+    /// seconds: 16×12 hidden units, batch 16, short warmup.
+    pub fn small_test() -> Self {
+        Self {
+            hidden: (16, 12),
+            batch_size: 16,
+            replay_capacity: 10_000,
+            warmup_steps: 64,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style QAT schedule (with the default 1.5× calibration
+    /// headroom).
+    pub fn with_qat(mut self, delay: u64, bits: u32) -> Self {
+        self.qat = Some(QatSchedule {
+            delay,
+            bits,
+            headroom: 1.5,
+        });
+        self
+    }
+
+    /// Builder-style batch size.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch;
+        self
+    }
+
+    /// Builder-style seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<(), RlError> {
+        if self.batch_size == 0 {
+            return Err(RlError::InvalidConfig("batch_size must be positive".into()));
+        }
+        if self.parallel_workers == 0 {
+            return Err(RlError::InvalidConfig(
+                "parallel_workers must be at least 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.gamma) {
+            return Err(RlError::InvalidConfig("gamma must be in [0, 1]".into()));
+        }
+        if !(0.0..=1.0).contains(&self.tau) {
+            return Err(RlError::InvalidConfig("tau must be in [0, 1]".into()));
+        }
+        if let Some(q) = self.qat {
+            if q.bits == 0 || q.bits > 31 {
+                return Err(RlError::InvalidConfig(format!(
+                    "qat bits must be 1..=31, got {}",
+                    q.bits
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Diagnostics from one training batch.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct TrainMetrics {
+    /// Critic half-MSE against the TD targets.
+    pub critic_loss: f64,
+    /// Mean predicted Q over the batch.
+    pub mean_q: f64,
+}
+
+/// The DDPG agent: actor/critic with target networks, fixed-point-capable
+/// optimizers, and the QAT runtimes of Algorithm 1.
+///
+/// The generic parameter selects the arithmetic — `f32` for the CPU-GPU
+/// baseline, `Fx32`/`Fx16` for the FIXAR fixed-point modes.
+#[derive(Debug, Clone)]
+pub struct Ddpg<S: Scalar> {
+    actor: Mlp<S>,
+    critic: Mlp<S>,
+    actor_target: Mlp<S>,
+    critic_target: Mlp<S>,
+    actor_opt: Adam<S>,
+    critic_opt: Adam<S>,
+    actor_qat: QatRuntime,
+    critic_qat: QatRuntime,
+    actor_target_qat: QatRuntime,
+    critic_target_qat: QatRuntime,
+    actor_grads: MlpGrads<S>,
+    critic_grads: MlpGrads<S>,
+    critic_scratch: MlpGrads<S>,
+    cfg: DdpgConfig,
+    state_dim: usize,
+    action_dim: usize,
+    train_steps: u64,
+    qat_frozen: bool,
+}
+
+impl<S: Scalar> Ddpg<S> {
+    /// Builds the agent for the given observation/action dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for malformed configurations or
+    /// zero dimensions.
+    pub fn new(state_dim: usize, action_dim: usize, cfg: DdpgConfig) -> Result<Self, RlError> {
+        cfg.validate()?;
+        if state_dim == 0 || action_dim == 0 {
+            return Err(RlError::InvalidConfig(
+                "state and action dimensions must be positive".into(),
+            ));
+        }
+        let (h1, h2) = cfg.hidden;
+        let actor_cfg = MlpConfig::new(vec![state_dim, h1, h2, action_dim])
+            .with_output_activation(Activation::Tanh);
+        let critic_cfg = MlpConfig::new(vec![state_dim + action_dim, h1, h2, 1]);
+        let actor = Mlp::new_random(&actor_cfg, cfg.seed)?;
+        let critic = Mlp::new_random(&critic_cfg, cfg.seed.wrapping_add(1))?;
+        let actor_target = actor.clone();
+        let critic_target = critic.clone();
+        let actor_opt = Adam::new(
+            &actor,
+            AdamConfig {
+                lr: cfg.actor_lr,
+                eps: cfg.adam_eps,
+                ..AdamConfig::default()
+            },
+        );
+        let critic_opt = Adam::new(
+            &critic,
+            AdamConfig {
+                lr: cfg.critic_lr,
+                eps: cfg.adam_eps,
+                ..AdamConfig::default()
+            },
+        );
+        let points = actor.num_layers() + 1;
+        let cpoints = critic.num_layers() + 1;
+        let (actor_qat, critic_qat, actor_target_qat, critic_target_qat) = match cfg.qat {
+            Some(q) => {
+                let make = |n: usize| {
+                    let mut rt = QatRuntime::new(n, q.bits).with_headroom(q.headroom);
+                    // The final output is a regression result (Q-value)
+                    // or the action handed to the host — not a hidden
+                    // activation; clamping it to a frozen range would
+                    // strangle TD learning as Q magnitudes drift.
+                    rt.exclude_point(n - 1);
+                    rt
+                };
+                (make(points), make(cpoints), make(points), make(cpoints))
+            }
+            None => (
+                QatRuntime::disabled(points),
+                QatRuntime::disabled(cpoints),
+                QatRuntime::disabled(points),
+                QatRuntime::disabled(cpoints),
+            ),
+        };
+        let actor_grads = MlpGrads::zeros_like(&actor);
+        let critic_grads = MlpGrads::zeros_like(&critic);
+        let critic_scratch = critic_grads.clone();
+        Ok(Self {
+            actor,
+            critic,
+            actor_target,
+            critic_target,
+            actor_opt,
+            critic_opt,
+            actor_qat,
+            critic_qat,
+            actor_target_qat,
+            critic_target_qat,
+            actor_grads,
+            critic_grads,
+            critic_scratch,
+            cfg,
+            state_dim,
+            action_dim,
+            train_steps: 0,
+            qat_frozen: false,
+        })
+    }
+
+    /// Observation dimension.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Action dimension.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    /// Configuration the agent was built with.
+    pub fn config(&self) -> &DdpgConfig {
+        &self.cfg
+    }
+
+    /// The online actor network (read access for the accelerator loader).
+    pub fn actor(&self) -> &Mlp<S> {
+        &self.actor
+    }
+
+    /// The online critic network.
+    pub fn critic(&self) -> &Mlp<S> {
+        &self.critic
+    }
+
+    /// Completed training batches.
+    pub fn train_steps(&self) -> u64 {
+        self.train_steps
+    }
+
+    /// `true` once the QAT schedule has switched to quantized activations.
+    pub fn qat_frozen(&self) -> bool {
+        self.qat_frozen
+    }
+
+    /// Current QAT phase of the actor runtime (diagnostics).
+    pub fn qat_mode(&self) -> QatMode {
+        self.actor_qat.mode()
+    }
+
+    /// Advances the QAT schedule: once `global_step` reaches the delay,
+    /// every runtime whose range monitors have calibration data freezes
+    /// into 16-bit quantizers. Runtimes that have not executed yet (e.g.
+    /// the critic while the delay falls inside the exploration warmup)
+    /// freeze on the first later step at which they have data. Returns
+    /// `true` on the step the switch completes for all four runtimes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Nn`]-wrapped calibration errors if a runtime
+    /// with observations fails to build any quantizer (degenerate
+    /// all-zero ranges) — a protocol bug, not a timing artifact.
+    pub fn on_timestep(&mut self, global_step: u64) -> Result<bool, RlError> {
+        let Some(q) = self.cfg.qat else {
+            return Ok(false);
+        };
+        if self.qat_frozen || global_step < q.delay {
+            return Ok(false);
+        }
+        let mut all_frozen = true;
+        for rt in [
+            &mut self.actor_qat,
+            &mut self.critic_qat,
+            &mut self.actor_target_qat,
+            &mut self.critic_target_qat,
+        ] {
+            if rt.mode() == QatMode::Quantize {
+                continue;
+            }
+            if rt.has_observations() {
+                rt.freeze().map_err(fixar_nn::NnError::Quant)?;
+            } else {
+                all_frozen = false;
+            }
+        }
+        self.qat_frozen = all_frozen;
+        Ok(all_frozen)
+    }
+
+    /// Actor inference: `state → action` in the backend arithmetic,
+    /// returned as `f64` for the environment. During QAT calibration this
+    /// also feeds the activation range monitors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Nn`] on dimension mismatch.
+    pub fn act(&mut self, state: &[f64]) -> Result<Vec<f64>, RlError> {
+        let s: Vec<S> = state.iter().map(|&v| S::from_f64(v)).collect();
+        let trace = self.actor.forward_qat(&s, &mut self.actor_qat)?;
+        Ok(trace.output.iter().map(|v| v.to_f64()).collect())
+    }
+
+    /// One training update from a sampled batch, following the paper's
+    /// Fig. 3 sequence: critic BP/WU from TD targets, then actor BP/WU
+    /// led by the critic's action gradient, then target soft updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::ReplayUnderflow`] for an empty batch and
+    /// [`RlError::Nn`] on shape mismatches.
+    pub fn train_batch(&mut self, batch: &[&Transition]) -> Result<TrainMetrics, RlError> {
+        if batch.is_empty() {
+            return Err(RlError::ReplayUnderflow {
+                have: 0,
+                need: self.cfg.batch_size,
+            });
+        }
+        let b = batch.len();
+        let scale = 1.0 / b as f64;
+        let gamma = S::from_f64(self.cfg.gamma);
+
+        // TD targets from the target networks (no gradients).
+        let mut targets = Vec::with_capacity(b);
+        for t in batch {
+            let s_next: Vec<S> = t.next_state.iter().map(|&v| S::from_f64(v)).collect();
+            let a_next = self
+                .actor_target
+                .forward_qat(&s_next, &mut self.actor_target_qat)?
+                .output;
+            let mut critic_in = s_next;
+            critic_in.extend_from_slice(&a_next);
+            let q_next = self
+                .critic_target
+                .forward_qat(&critic_in, &mut self.critic_target_qat)?
+                .output[0];
+            let bootstrap = if t.terminal { S::zero() } else { gamma * q_next };
+            targets.push(S::from_f64(t.reward) + bootstrap);
+        }
+
+        // Critic regression toward the targets.
+        self.critic_grads.reset();
+        let mut critic_loss = 0.0;
+        let mut q_sum = 0.0;
+        for (t, &y) in batch.iter().zip(&targets) {
+            let mut critic_in: Vec<S> = t.state.iter().map(|&v| S::from_f64(v)).collect();
+            critic_in.extend(t.action.iter().map(|&v| S::from_f64(v)));
+            let trace = self.critic.forward_qat(&critic_in, &mut self.critic_qat)?;
+            let q = trace.output[0];
+            q_sum += q.to_f64();
+            let td = q.to_f64() - y.to_f64();
+            critic_loss += 0.5 * td * td * scale;
+            let dl = [(q - y) * S::from_f64(scale)];
+            self.critic.backward(&trace, &dl, &mut self.critic_grads)?;
+        }
+        self.critic_opt.step(&mut self.critic, &self.critic_grads)?;
+
+        // Actor ascent on Q: the critic's input gradient w.r.t. the action
+        // "leads the BP and WU of the actor network".
+        self.actor_grads.reset();
+        self.critic_scratch.reset();
+        let minus_scale = [S::from_f64(-scale)];
+        for t in batch {
+            let s: Vec<S> = t.state.iter().map(|&v| S::from_f64(v)).collect();
+            let atrace = self.actor.forward_qat(&s, &mut self.actor_qat)?;
+            let mut critic_in = s;
+            critic_in.extend_from_slice(&atrace.output);
+            let ctrace = self.critic.forward_qat(&critic_in, &mut self.critic_qat)?;
+            let dq_dinput = self
+                .critic
+                .backward(&ctrace, &minus_scale, &mut self.critic_scratch)?;
+            let dq_da = &dq_dinput[self.state_dim..];
+            self.actor.backward(&atrace, dq_da, &mut self.actor_grads)?;
+        }
+        self.actor_opt.step(&mut self.actor, &self.actor_grads)?;
+
+        // Target soft updates.
+        self.actor_target.soft_update_from(&self.actor, self.cfg.tau)?;
+        self.critic_target
+            .soft_update_from(&self.critic, self.cfg.tau)?;
+
+        self.train_steps += 1;
+        Ok(TrainMetrics {
+            critic_loss,
+            mean_q: q_sum * scale,
+        })
+    }
+
+    /// Intra-batch-parallel training update — the software twin of the
+    /// accelerator's adaptive parallelism: the batch splits into
+    /// `workers` contiguous shards (one per AAP core), each shard
+    /// accumulates its own gradients, and the partial gradients merge in
+    /// shard order into the shared buffer (the gradient memory). With
+    /// `workers == 1` this is bit-identical to [`Ddpg::train_batch`];
+    /// with more workers the result is deterministic and independent of
+    /// thread scheduling, differing from the sequential result only in
+    /// the (saturating) gradient accumulation order — exactly as the
+    /// hardware differs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ddpg::train_batch`].
+    pub fn train_batch_parallel(
+        &mut self,
+        batch: &[&Transition],
+        workers: usize,
+    ) -> Result<TrainMetrics, RlError> {
+        if workers <= 1 || batch.len() < 2 {
+            return self.train_batch(batch);
+        }
+        if batch.is_empty() {
+            return Err(RlError::ReplayUnderflow {
+                have: 0,
+                need: self.cfg.batch_size,
+            });
+        }
+        let b = batch.len();
+        let scale = 1.0 / b as f64;
+        let gamma = S::from_f64(self.cfg.gamma);
+        let shard_len = b.div_ceil(workers.min(b));
+        let shards: Vec<&[&Transition]> = batch.chunks(shard_len).collect();
+
+        // Phase A — TD targets and critic gradients, one worker per shard.
+        struct CriticShard<S: Scalar> {
+            grads: MlpGrads<S>,
+            actor_t_qat: QatRuntime,
+            critic_t_qat: QatRuntime,
+            critic_qat: QatRuntime,
+            loss: f64,
+            q_sum: f64,
+        }
+        let actor_target = &self.actor_target;
+        let critic_target = &self.critic_target;
+        let critic = &self.critic;
+        let state_dim = self.state_dim;
+        let base_actor_t_qat = &self.actor_target_qat;
+        let base_critic_t_qat = &self.critic_target_qat;
+        let base_critic_qat = &self.critic_qat;
+
+        let shard_results: Vec<Result<CriticShard<S>, RlError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        scope.spawn(move |_| -> Result<CriticShard<S>, RlError> {
+                            let mut actor_t_qat = base_actor_t_qat.clone();
+                            let mut critic_t_qat = base_critic_t_qat.clone();
+                            let mut critic_qat = base_critic_qat.clone();
+                            let mut grads = MlpGrads::zeros_like(critic);
+                            let mut loss = 0.0;
+                            let mut q_sum = 0.0;
+                            for t in *shard {
+                                let s_next: Vec<S> =
+                                    t.next_state.iter().map(|&v| S::from_f64(v)).collect();
+                                let a_next = actor_target
+                                    .forward_qat(&s_next, &mut actor_t_qat)?
+                                    .output;
+                                let mut critic_in = s_next;
+                                critic_in.extend_from_slice(&a_next);
+                                let q_next = critic_target
+                                    .forward_qat(&critic_in, &mut critic_t_qat)?
+                                    .output[0];
+                                let bootstrap =
+                                    if t.terminal { S::zero() } else { gamma * q_next };
+                                let y = S::from_f64(t.reward) + bootstrap;
+
+                                let mut input: Vec<S> =
+                                    t.state.iter().map(|&v| S::from_f64(v)).collect();
+                                input.extend(t.action.iter().map(|&v| S::from_f64(v)));
+                                let trace = critic.forward_qat(&input, &mut critic_qat)?;
+                                let q = trace.output[0];
+                                q_sum += q.to_f64();
+                                let td = q.to_f64() - y.to_f64();
+                                loss += 0.5 * td * td * scale;
+                                let dl = [(q - y) * S::from_f64(scale)];
+                                critic.backward(&trace, &dl, &mut grads)?;
+                            }
+                            Ok(CriticShard {
+                                grads,
+                                actor_t_qat,
+                                critic_t_qat,
+                                critic_qat,
+                                loss,
+                                q_sum,
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread must not panic"))
+                    .collect()
+            })
+            .expect("crossbeam scope must not panic");
+
+        self.critic_grads.reset();
+        let mut critic_loss = 0.0;
+        let mut q_sum = 0.0;
+        for result in shard_results {
+            let shard = result?;
+            self.critic_grads.accumulate(&shard.grads);
+            self.actor_target_qat.merge_from(&shard.actor_t_qat);
+            self.critic_target_qat.merge_from(&shard.critic_t_qat);
+            self.critic_qat.merge_from(&shard.critic_qat);
+            critic_loss += shard.loss;
+            q_sum += shard.q_sum;
+        }
+        self.critic_opt.step(&mut self.critic, &self.critic_grads)?;
+
+        // Phase B — actor gradients against the freshly updated critic.
+        struct ActorShard<S: Scalar> {
+            grads: MlpGrads<S>,
+            actor_qat: QatRuntime,
+            critic_qat: QatRuntime,
+        }
+        let actor = &self.actor;
+        let critic = &self.critic;
+        let base_actor_qat = &self.actor_qat;
+        let base_critic_qat = &self.critic_qat;
+        let minus_scale = [S::from_f64(-scale)];
+
+        let shard_results: Vec<Result<ActorShard<S>, RlError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        let minus_scale = minus_scale;
+                        scope.spawn(move |_| -> Result<ActorShard<S>, RlError> {
+                            let mut actor_qat = base_actor_qat.clone();
+                            let mut critic_qat = base_critic_qat.clone();
+                            let mut grads = MlpGrads::zeros_like(actor);
+                            let mut scratch = MlpGrads::zeros_like(critic);
+                            for t in *shard {
+                                let s: Vec<S> =
+                                    t.state.iter().map(|&v| S::from_f64(v)).collect();
+                                let atrace = actor.forward_qat(&s, &mut actor_qat)?;
+                                let mut critic_in = s;
+                                critic_in.extend_from_slice(&atrace.output);
+                                let ctrace = critic.forward_qat(&critic_in, &mut critic_qat)?;
+                                let dq_dinput =
+                                    critic.backward(&ctrace, &minus_scale, &mut scratch)?;
+                                let dq_da = &dq_dinput[state_dim..];
+                                actor.backward(&atrace, dq_da, &mut grads)?;
+                            }
+                            Ok(ActorShard {
+                                grads,
+                                actor_qat,
+                                critic_qat,
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread must not panic"))
+                    .collect()
+            })
+            .expect("crossbeam scope must not panic");
+
+        self.actor_grads.reset();
+        for result in shard_results {
+            let shard = result?;
+            self.actor_grads.accumulate(&shard.grads);
+            self.actor_qat.merge_from(&shard.actor_qat);
+            self.critic_qat.merge_from(&shard.critic_qat);
+        }
+        self.actor_opt.step(&mut self.actor, &self.actor_grads)?;
+
+        self.actor_target.soft_update_from(&self.actor, self.cfg.tau)?;
+        self.critic_target
+            .soft_update_from(&self.critic, self.cfg.tau)?;
+
+        self.train_steps += 1;
+        Ok(TrainMetrics {
+            critic_loss,
+            mean_q: q_sum * scale,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_fixed::Fx32;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_batch(rng: &mut StdRng, n: usize) -> Vec<Transition> {
+        (0..n)
+            .map(|_| Transition {
+                state: vec![rng.gen_range(-1.0..1.0); 3],
+                action: vec![rng.gen_range(-1.0..1.0)],
+                reward: rng.gen_range(-1.0..1.0),
+                next_state: vec![rng.gen_range(-1.0..1.0); 3],
+                terminal: rng.gen_bool(0.1),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let mut bad = DdpgConfig::small_test();
+        bad.batch_size = 0;
+        assert!(Ddpg::<f64>::new(3, 1, bad).is_err());
+        assert!(Ddpg::<f64>::new(0, 1, DdpgConfig::small_test()).is_err());
+        let mut bad_qat = DdpgConfig::small_test();
+        bad_qat.qat = Some(QatSchedule { delay: 10, bits: 0, headroom: 1.5 });
+        assert!(Ddpg::<f64>::new(3, 1, bad_qat).is_err());
+    }
+
+    #[test]
+    fn act_produces_bounded_actions() {
+        let mut agent = Ddpg::<f64>::new(3, 2, DdpgConfig::small_test()).unwrap();
+        let a = agent.act(&[0.5, -0.5, 1.0]).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn train_batch_reduces_critic_loss_on_fixed_data() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = toy_batch(&mut rng, 16);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let mut agent = Ddpg::<f64>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let first = agent.train_batch(&refs).unwrap();
+        let mut last = first;
+        for _ in 0..200 {
+            last = agent.train_batch(&refs).unwrap();
+        }
+        assert!(
+            last.critic_loss < first.critic_loss,
+            "critic loss should fall: {} -> {}",
+            first.critic_loss,
+            last.critic_loss
+        );
+        assert_eq!(agent.train_steps(), 201);
+    }
+
+    #[test]
+    fn fixed32_training_also_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = toy_batch(&mut rng, 16);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let mut cfg = DdpgConfig::small_test();
+        cfg.critic_lr = 1e-3;
+        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        let first = agent.train_batch(&refs).unwrap();
+        let mut last = first;
+        for _ in 0..200 {
+            last = agent.train_batch(&refs).unwrap();
+        }
+        assert!(
+            last.critic_loss < first.critic_loss,
+            "fixed-point critic loss should fall: {} -> {}",
+            first.critic_loss,
+            last.critic_loss
+        );
+    }
+
+    #[test]
+    fn qat_schedule_freezes_at_delay() {
+        let cfg = DdpgConfig::small_test().with_qat(100, 16);
+        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        assert_eq!(agent.qat_mode(), QatMode::Calibrate);
+        // Generate observations so calibration has data.
+        agent.act(&[0.1, 0.2, 0.3]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = toy_batch(&mut rng, 8);
+        let refs: Vec<&Transition> = data.iter().collect();
+        agent.train_batch(&refs).unwrap();
+
+        assert!(!agent.on_timestep(99).unwrap());
+        assert!(!agent.qat_frozen());
+        assert!(agent.on_timestep(100).unwrap());
+        assert!(agent.qat_frozen());
+        assert_eq!(agent.qat_mode(), QatMode::Quantize);
+        // Idempotent afterwards.
+        assert!(!agent.on_timestep(101).unwrap());
+        // Training continues in quantized mode.
+        agent.train_batch(&refs).unwrap();
+    }
+
+    #[test]
+    fn freeze_defers_until_calibration_data_exists() {
+        let cfg = DdpgConfig::small_test().with_qat(0, 16);
+        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        // No forward pass has run: the switch waits instead of erroring.
+        assert!(!agent.on_timestep(0).unwrap());
+        assert!(!agent.qat_frozen());
+        // Give every runtime (online + target) data, then it completes.
+        agent.act(&[0.1, 0.2, 0.3]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = toy_batch(&mut rng, 8);
+        let refs: Vec<&Transition> = data.iter().collect();
+        agent.train_batch(&refs).unwrap();
+        assert!(agent.on_timestep(1).unwrap());
+        assert!(agent.qat_frozen());
+    }
+
+    #[test]
+    fn no_qat_modes_never_freeze() {
+        let mut agent = Ddpg::<f64>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        assert_eq!(agent.qat_mode(), QatMode::Off);
+        assert!(!agent.on_timestep(1_000_000).unwrap());
+        assert!(!agent.qat_frozen());
+    }
+
+    #[test]
+    fn empty_batch_is_an_error() {
+        let mut agent = Ddpg::<f64>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        assert!(matches!(
+            agent.train_batch(&[]),
+            Err(RlError::ReplayUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_one_worker_is_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = toy_batch(&mut rng, 16);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let mut seq = Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let mut par = seq.clone();
+        for _ in 0..5 {
+            let a = seq.train_batch(&refs).unwrap();
+            let b = par.train_batch_parallel(&refs, 1).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(seq.actor(), par.actor());
+        assert_eq!(seq.critic(), par.critic());
+    }
+
+    #[test]
+    fn parallel_workers_deterministic_and_close_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = toy_batch(&mut rng, 32);
+        let refs: Vec<&Transition> = data.iter().collect();
+
+        // Determinism: two 4-worker runs agree exactly despite thread
+        // scheduling (shard-order merges).
+        let mut a = Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let mut b = a.clone();
+        for _ in 0..3 {
+            a.train_batch_parallel(&refs, 4).unwrap();
+            b.train_batch_parallel(&refs, 4).unwrap();
+        }
+        assert_eq!(a.actor(), b.actor());
+        assert_eq!(a.critic(), b.critic());
+
+        // Fidelity: the shard-merged gradients stay numerically close to
+        // the sequential reference (differences only from saturating
+        // accumulation order).
+        let mut seq = Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        for _ in 0..3 {
+            seq.train_batch(&refs).unwrap();
+        }
+        for l in 0..seq.actor().num_layers() {
+            for (x, y) in seq
+                .actor()
+                .weight(l)
+                .as_slice()
+                .iter()
+                .zip(a.actor().weight(l).as_slice())
+            {
+                assert!(
+                    (x.to_f64() - y.to_f64()).abs() < 1e-4,
+                    "layer {l}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_workers_rejected_by_config() {
+        let mut cfg = DdpgConfig::small_test();
+        cfg.parallel_workers = 0;
+        assert!(Ddpg::<f64>::new(3, 1, cfg).is_err());
+    }
+
+    #[test]
+    fn parallel_training_works_under_qat() {
+        let cfg = DdpgConfig::small_test().with_qat(1, 16);
+        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        agent.act(&[0.1, 0.2, 0.3]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = toy_batch(&mut rng, 16);
+        let refs: Vec<&Transition> = data.iter().collect();
+        agent.train_batch_parallel(&refs, 2).unwrap();
+        assert!(agent.on_timestep(2).unwrap());
+        // Quantized phase also trains in parallel.
+        agent.train_batch_parallel(&refs, 2).unwrap();
+        assert_eq!(agent.train_steps(), 2);
+    }
+
+    #[test]
+    fn paper_network_shapes() {
+        // HalfCheetah: actor 17-400-300-6, critic 23-400-300-1.
+        let agent = Ddpg::<f32>::new(17, 6, DdpgConfig::default()).unwrap();
+        assert_eq!(agent.actor().layer_sizes(), &[17, 400, 300, 6]);
+        assert_eq!(agent.critic().layer_sizes(), &[23, 400, 300, 1]);
+        // Combined model ≈ 1.05 MB of 32-bit parameters (paper's weight
+        // memory sizing).
+        let bytes = agent.actor().model_bytes() + agent.critic().model_bytes();
+        assert!((bytes as f64 / 1e6 - 1.038).abs() < 0.02, "bytes={bytes}");
+    }
+}

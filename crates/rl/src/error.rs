@@ -1,0 +1,63 @@
+//! Error type of the RL layer.
+
+use core::fmt;
+use std::error::Error;
+
+use fixar_nn::NnError;
+
+/// Error produced by agent construction or training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RlError {
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// The training configuration is inconsistent (e.g. zero batch size,
+    /// quantization delay beyond total steps).
+    InvalidConfig(String),
+    /// Training was asked to sample a batch from an underfilled replay
+    /// buffer.
+    ReplayUnderflow {
+        /// Transitions currently stored.
+        have: usize,
+        /// Batch size requested.
+        need: usize,
+    },
+}
+
+impl fmt::Display for RlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlError::Nn(e) => write!(f, "network error: {e}"),
+            RlError::InvalidConfig(msg) => write!(f, "invalid rl config: {msg}"),
+            RlError::ReplayUnderflow { have, need } => {
+                write!(f, "replay buffer has {have} transitions, batch needs {need}")
+            }
+        }
+    }
+}
+
+impl Error for RlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RlError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for RlError {
+    fn from(e: NnError) -> Self {
+        RlError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = RlError::ReplayUnderflow { have: 3, need: 64 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("64"));
+    }
+}

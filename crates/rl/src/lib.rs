@@ -1,0 +1,59 @@
+//! DDPG with fixed-point quantization-aware training — FIXAR's algorithm
+//! layer.
+//!
+//! Implements the paper's training pipeline end to end:
+//!
+//! * [`ReplayBuffer`] — the transition store the host CPU samples batches
+//!   from,
+//! * [`GaussianNoise`] / [`OrnsteinUhlenbeck`] — action exploration (the
+//!   hardware injects this with its PRNG module; here it is the software
+//!   twin),
+//! * [`Ddpg`] — actor/critic networks with target networks, Adam, and
+//!   the Fig. 3 update sequence (critic BP/WU → actor BP/WU led by the
+//!   critic → actor FP),
+//! * [`QatSchedule`] — Algorithm 1: calibrate activation ranges for
+//!   `delay` steps at 32-bit fixed-point, then re-train with 16-bit
+//!   quantized activations,
+//! * [`Trainer`] — the timestep loop with the paper's evaluation protocol
+//!   (evaluate every 5000 steps, averaging cumulative reward over 10
+//!   episodes "until the agent falls down"),
+//! * [`PrecisionMode`] — the four arms of the Fig. 7 precision study.
+//!
+//! Everything is generic over the numeric backend, so the *same* code
+//! runs the float baseline and the fixed-point FIXAR runs.
+//!
+//! # Example
+//!
+//! ```
+//! use fixar_env::Pendulum;
+//! use fixar_rl::{DdpgConfig, Trainer};
+//!
+//! let cfg = DdpgConfig::small_test(); // tiny nets for fast tests
+//! let mut trainer = Trainer::<f32>::new(
+//!     Box::new(Pendulum::new(1)),
+//!     Box::new(Pendulum::new(2)),
+//!     cfg,
+//! )?;
+//! let report = trainer.run(200, 100, 2)?;
+//! assert_eq!(report.curve.len(), 2);
+//! # Ok::<(), fixar_rl::RlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ddpg;
+mod error;
+mod noise;
+mod precision;
+mod replay;
+mod td3;
+mod trainer;
+
+pub use ddpg::{Ddpg, DdpgConfig, QatSchedule, TrainMetrics};
+pub use error::RlError;
+pub use noise::{ExplorationNoise, GaussianNoise, OrnsteinUhlenbeck};
+pub use precision::PrecisionMode;
+pub use replay::{ReplayBuffer, Transition};
+pub use td3::{Td3, Td3Config};
+pub use trainer::{EvalPoint, Trainer, TrainingReport};

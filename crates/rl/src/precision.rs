@@ -1,0 +1,77 @@
+//! The four arms of the paper's Fig. 7 precision study.
+
+use core::fmt;
+
+/// Numeric regime a training run executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrecisionMode {
+    /// 32-bit floating-point end to end (the CPU-GPU baseline).
+    Float32,
+    /// 32-bit fixed-point end to end (no quantization step).
+    Fixed32,
+    /// 16-bit fixed-point from scratch — the arm the paper shows
+    /// *failing* to train.
+    Fixed16,
+    /// FIXAR's dynamic dual precision: 32-bit fixed-point with activation
+    /// ranges calibrated for the quantization delay, then 16-bit
+    /// quantized activations for the rest of training (weights and
+    /// gradients stay 32-bit).
+    DynamicFixed,
+}
+
+impl PrecisionMode {
+    /// All four study arms in the order Fig. 7 plots them.
+    pub const ALL: [PrecisionMode; 4] = [
+        PrecisionMode::Float32,
+        PrecisionMode::Fixed32,
+        PrecisionMode::Fixed16,
+        PrecisionMode::DynamicFixed,
+    ];
+
+    /// `true` for the modes whose arithmetic is fixed-point.
+    pub fn is_fixed_point(self) -> bool {
+        !matches!(self, PrecisionMode::Float32)
+    }
+
+    /// `true` for the FIXAR mode with the quantization-delay schedule.
+    pub fn uses_qat(self) -> bool {
+        matches!(self, PrecisionMode::DynamicFixed)
+    }
+
+    /// Label used by reports and the Fig. 7 harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            PrecisionMode::Float32 => "float32",
+            PrecisionMode::Fixed32 => "fixed32",
+            PrecisionMode::Fixed16 => "fixed16",
+            PrecisionMode::DynamicFixed => "fixar-dynamic(32->16)",
+        }
+    }
+}
+
+impl fmt::Display for PrecisionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_the_paper_study_arms() {
+        assert_eq!(PrecisionMode::ALL.len(), 4);
+        assert!(PrecisionMode::DynamicFixed.uses_qat());
+        assert!(!PrecisionMode::Fixed32.uses_qat());
+        assert!(PrecisionMode::Fixed16.is_fixed_point());
+        assert!(!PrecisionMode::Float32.is_fixed_point());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            PrecisionMode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

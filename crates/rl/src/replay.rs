@@ -1,0 +1,182 @@
+//! Experience replay.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One environment transition `(s, a, r, s', done)`.
+///
+/// Stored in `f64` on the host side; batches are converted to the
+/// accelerator's numeric format when they are shipped over "PCIe".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State the action was taken in.
+    pub state: Vec<f64>,
+    /// Action taken (normalized to `[-1, 1]`).
+    pub action: Vec<f64>,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Resulting state.
+    pub next_state: Vec<f64>,
+    /// `true` if `next_state` is terminal (no bootstrapping).
+    pub terminal: bool,
+}
+
+/// Fixed-capacity uniform-replay ring buffer.
+///
+/// # Example
+///
+/// ```
+/// use fixar_rl::{ReplayBuffer, Transition};
+///
+/// let mut buf = ReplayBuffer::new(100);
+/// buf.push(Transition {
+///     state: vec![0.0],
+///     action: vec![0.1],
+///     reward: 1.0,
+///     next_state: vec![0.2],
+///     terminal: false,
+/// });
+/// assert_eq!(buf.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    storage: Vec<Transition>,
+    capacity: usize,
+    write_head: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay buffer needs positive capacity");
+        Self {
+            storage: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            write_head: 0,
+        }
+    }
+
+    /// Stored transition count.
+    pub fn len(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty()
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a transition, overwriting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.storage.len() < self.capacity {
+            self.storage.push(t);
+        } else {
+            self.storage[self.write_head] = t;
+        }
+        self.write_head = (self.write_head + 1) % self.capacity;
+    }
+
+    /// Samples `batch` transitions uniformly (with replacement — the
+    /// hardware batch builder does the same single-ported read pattern).
+    ///
+    /// Returns an empty vector when the buffer holds fewer than `batch`
+    /// transitions; callers treat that as "keep exploring".
+    pub fn sample<'a>(&'a self, batch: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
+        if self.storage.len() < batch {
+            return Vec::new();
+        }
+        (0..batch)
+            .map(|_| &self.storage[rng.gen_range(0..self.storage.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(v: f64) -> Transition {
+        Transition {
+            state: vec![v],
+            action: vec![v],
+            reward: v,
+            next_state: vec![v + 1.0],
+            terminal: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        // Oldest (0, 1) were overwritten by (3, 4); 2 survives.
+        let rewards: Vec<f64> = buf.storage.iter().map(|t| t.reward).collect();
+        assert!(rewards.contains(&2.0));
+        assert!(rewards.contains(&3.0));
+        assert!(rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sample_respects_underflow() {
+        let mut buf = ReplayBuffer::new(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        buf.push(t(1.0));
+        assert!(buf.sample(2, &mut rng).is_empty());
+        buf.push(t(2.0));
+        assert_eq!(buf.sample(2, &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let mut buf = ReplayBuffer::new(100);
+        for i in 0..100 {
+            buf.push(t(i as f64));
+        }
+        let a: Vec<f64> = buf
+            .sample(10, &mut StdRng::seed_from_u64(7))
+            .iter()
+            .map(|t| t.reward)
+            .collect();
+        let b: Vec<f64> = buf
+            .sample(10, &mut StdRng::seed_from_u64(7))
+            .iter()
+            .map(|t| t.reward)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_covers_the_buffer() {
+        let mut buf = ReplayBuffer::new(16);
+        for i in 0..16 {
+            buf.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            for tr in buf.sample(16, &mut rng) {
+                seen.insert(tr.reward as i64);
+            }
+        }
+        assert_eq!(seen.len(), 16, "uniform sampling should reach every slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

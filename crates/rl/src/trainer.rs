@@ -1,0 +1,311 @@
+//! The training loop and the paper's evaluation protocol.
+
+use fixar_fixed::Scalar;
+use fixar_env::Environment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ddpg::{Ddpg, DdpgConfig, TrainMetrics};
+use crate::error::RlError;
+use crate::noise::{ExplorationNoise, GaussianNoise};
+use crate::replay::{ReplayBuffer, Transition};
+
+/// One point of a Fig. 7 reward curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EvalPoint {
+    /// Global timestep of the evaluation.
+    pub step: u64,
+    /// Average cumulative reward over the evaluation episodes.
+    pub avg_reward: f64,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainingReport {
+    /// Evaluation curve (the Fig. 7 series).
+    pub curve: Vec<EvalPoint>,
+    /// Training episodes completed.
+    pub train_episodes: usize,
+    /// Total environment steps taken.
+    pub total_steps: u64,
+    /// Timestep at which QAT froze, if the schedule fired.
+    pub qat_switch_step: Option<u64>,
+    /// Metrics from the final training batch.
+    pub final_metrics: TrainMetrics,
+}
+
+impl TrainingReport {
+    /// Mean reward over the last `n` evaluation points (saturation level).
+    pub fn tail_mean(&self, n: usize) -> f64 {
+        if self.curve.is_empty() {
+            return 0.0;
+        }
+        let tail = &self.curve[self.curve.len().saturating_sub(n)..];
+        tail.iter().map(|p| p.avg_reward).sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// Drives one agent/environment pair through the paper's timestep loop
+/// (Fig. 3): act with exploration noise → environment step → store the
+/// transition → sample a batch → train → periodically evaluate.
+///
+/// See the [crate docs](crate) for an example.
+pub struct Trainer<S: Scalar> {
+    env: Box<dyn Environment>,
+    eval_env: Box<dyn Environment>,
+    agent: Ddpg<S>,
+    replay: ReplayBuffer,
+    noise: Box<dyn ExplorationNoise>,
+    rng: StdRng,
+    cfg: DdpgConfig,
+    steps_taken: u64,
+}
+
+impl<S: Scalar> Trainer<S> {
+    /// Builds a trainer from a training environment, a separate
+    /// evaluation environment (the paper evaluates on fresh random
+    /// starts), and a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] if the two environments
+    /// disagree on dimensions or the config is malformed.
+    pub fn new(
+        env: Box<dyn Environment>,
+        eval_env: Box<dyn Environment>,
+        cfg: DdpgConfig,
+    ) -> Result<Self, RlError> {
+        let spec = env.spec();
+        let espec = eval_env.spec();
+        if spec.obs_dim != espec.obs_dim || spec.action_dim != espec.action_dim {
+            return Err(RlError::InvalidConfig(format!(
+                "train env {}({}, {}) and eval env {}({}, {}) disagree",
+                spec.name, spec.obs_dim, spec.action_dim, espec.name, espec.obs_dim, espec.action_dim
+            )));
+        }
+        let agent = Ddpg::new(spec.obs_dim, spec.action_dim, cfg)?;
+        let replay = ReplayBuffer::new(cfg.replay_capacity);
+        let noise = Box::new(GaussianNoise::new(spec.action_dim, cfg.exploration_sigma));
+        Ok(Self {
+            env,
+            eval_env,
+            agent,
+            replay,
+            noise,
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5eed)),
+            cfg,
+            steps_taken: 0,
+        })
+    }
+
+    /// Replaces the exploration noise process (e.g. Ornstein–Uhlenbeck).
+    pub fn set_noise(&mut self, noise: Box<dyn ExplorationNoise>) {
+        self.noise = noise;
+    }
+
+    /// The agent (e.g. for loading its networks onto the accelerator).
+    pub fn agent(&self) -> &Ddpg<S> {
+        &self.agent
+    }
+
+    /// Mutable agent access.
+    pub fn agent_mut(&mut self) -> &mut Ddpg<S> {
+        &mut self.agent
+    }
+
+    /// Transitions currently stored in replay.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Runs `total_steps` environment steps, training once per step after
+    /// warmup and evaluating every `eval_every` steps over
+    /// `eval_episodes` episodes (paper: 5000 and 10).
+    ///
+    /// # Errors
+    ///
+    /// Propagates agent errors; see [`Ddpg::train_batch`].
+    pub fn run(
+        &mut self,
+        total_steps: u64,
+        eval_every: u64,
+        eval_episodes: usize,
+    ) -> Result<TrainingReport, RlError> {
+        if eval_every == 0 {
+            return Err(RlError::InvalidConfig("eval_every must be positive".into()));
+        }
+        let mut obs = self.env.reset();
+        self.noise.reset();
+        let mut episodes = 0;
+        let mut curve = Vec::new();
+        let mut qat_switch_step = None;
+        let mut final_metrics = TrainMetrics::default();
+
+        for step in 1..=total_steps {
+            if self.agent.on_timestep(self.steps_taken + step)? {
+                qat_switch_step = Some(self.steps_taken + step);
+            }
+
+            // The actor runs a forward pass every timestep — Algorithm 1
+            // monitors activations from t = 1, and the hardware computes
+            // an action each step regardless. During warmup the policy
+            // output is discarded in favour of uniform exploration.
+            let mut policy_action = self.agent.act(&obs)?;
+            let action: Vec<f64> = if self.steps_taken + step <= self.cfg.warmup_steps {
+                (0..self.agent.action_dim())
+                    .map(|_| self.rng.gen_range(-1.0..1.0))
+                    .collect()
+            } else {
+                for (ai, ni) in policy_action
+                    .iter_mut()
+                    .zip(self.noise.sample(&mut self.rng))
+                {
+                    *ai = (*ai + ni).clamp(-1.0, 1.0);
+                }
+                policy_action
+            };
+
+            let res = self.env.step(&action);
+            self.replay.push(Transition {
+                state: obs.clone(),
+                action,
+                reward: res.reward,
+                next_state: res.observation.clone(),
+                terminal: res.terminated,
+            });
+            if res.done() {
+                obs = self.env.reset();
+                self.noise.reset();
+                episodes += 1;
+            } else {
+                obs = res.observation;
+            }
+
+            if self.steps_taken + step > self.cfg.warmup_steps {
+                let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+                if !batch.is_empty() {
+                    final_metrics = if self.cfg.parallel_workers > 1 {
+                        self.agent
+                            .train_batch_parallel(&batch, self.cfg.parallel_workers)?
+                    } else {
+                        self.agent.train_batch(&batch)?
+                    };
+                }
+            }
+
+            if (self.steps_taken + step) % eval_every == 0 {
+                let avg = self.evaluate(eval_episodes)?;
+                curve.push(EvalPoint {
+                    step: self.steps_taken + step,
+                    avg_reward: avg,
+                });
+            }
+        }
+        self.steps_taken += total_steps;
+        Ok(TrainingReport {
+            curve,
+            train_episodes: episodes,
+            total_steps: self.steps_taken,
+            qat_switch_step,
+            final_metrics,
+        })
+    }
+
+    /// The paper's evaluation: average cumulative reward over `episodes`
+    /// fresh episodes, each run without exploration noise "until the
+    /// agent falls down" (or the step cap).
+    ///
+    /// # Errors
+    ///
+    /// Propagates actor inference errors.
+    pub fn evaluate(&mut self, episodes: usize) -> Result<f64, RlError> {
+        let mut total = 0.0;
+        for _ in 0..episodes.max(1) {
+            let mut obs = self.eval_env.reset();
+            loop {
+                let action = self.agent.act(&obs)?;
+                let res = self.eval_env.step(&action);
+                total += res.reward;
+                if res.done() {
+                    break;
+                }
+                obs = res.observation;
+            }
+        }
+        Ok(total / episodes.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_env::Pendulum;
+
+    fn pendulum_trainer(cfg: DdpgConfig) -> Trainer<f64> {
+        Trainer::new(Box::new(Pendulum::new(1)), Box::new(Pendulum::new(99)), cfg).unwrap()
+    }
+
+    #[test]
+    fn run_produces_expected_curve_points() {
+        let mut t = pendulum_trainer(DdpgConfig::small_test());
+        let report = t.run(300, 100, 1).unwrap();
+        assert_eq!(report.curve.len(), 3);
+        assert_eq!(report.curve[0].step, 100);
+        assert_eq!(report.curve[2].step, 300);
+        assert_eq!(report.total_steps, 300);
+        assert!(report.curve.iter().all(|p| p.avg_reward.is_finite()));
+    }
+
+    #[test]
+    fn replay_fills_during_run() {
+        let mut t = pendulum_trainer(DdpgConfig::small_test());
+        t.run(150, 150, 1).unwrap();
+        assert_eq!(t.replay_len(), 150);
+    }
+
+    #[test]
+    fn consecutive_runs_continue_step_count() {
+        let mut t = pendulum_trainer(DdpgConfig::small_test());
+        t.run(100, 100, 1).unwrap();
+        let report = t.run(100, 100, 1).unwrap();
+        assert_eq!(report.total_steps, 200);
+        assert_eq!(report.curve[0].step, 200);
+    }
+
+    #[test]
+    fn mismatched_envs_rejected() {
+        use fixar_env::Swimmer;
+        let r = Trainer::<f64>::new(
+            Box::new(Pendulum::new(0)),
+            Box::new(Swimmer::new(0)),
+            DdpgConfig::small_test(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn evaluation_is_noise_free_and_finite() {
+        let mut t = pendulum_trainer(DdpgConfig::small_test());
+        let a = t.evaluate(2).unwrap();
+        assert!(a.is_finite());
+        // Pendulum rewards are strictly non-positive.
+        assert!(a <= 0.0);
+    }
+
+    #[test]
+    fn tail_mean_summarizes_curve() {
+        let report = TrainingReport {
+            curve: vec![
+                EvalPoint { step: 1, avg_reward: 0.0 },
+                EvalPoint { step: 2, avg_reward: 10.0 },
+                EvalPoint { step: 3, avg_reward: 20.0 },
+            ],
+            train_episodes: 0,
+            total_steps: 3,
+            qat_switch_step: None,
+            final_metrics: TrainMetrics::default(),
+        };
+        assert_eq!(report.tail_mean(2), 15.0);
+        assert_eq!(report.tail_mean(100), 10.0);
+    }
+}

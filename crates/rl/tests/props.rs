@@ -1,0 +1,95 @@
+//! Property-based tests for the RL layer.
+
+use fixar_fixed::Fx32;
+use fixar_rl::{Ddpg, DdpgConfig, ReplayBuffer, Transition};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn transition(dim_s: usize, dim_a: usize, v: f64) -> Transition {
+    Transition {
+        state: vec![v; dim_s],
+        action: vec![v * 0.5; dim_a],
+        reward: v,
+        next_state: vec![v + 0.1; dim_s],
+        terminal: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The replay buffer never loses the most recent `capacity` items
+    /// and never yields anything it was not given.
+    #[test]
+    fn replay_retains_exactly_the_newest_items(
+        capacity in 1usize..64,
+        pushes in 1usize..200,
+    ) {
+        let mut buf = ReplayBuffer::new(capacity);
+        for i in 0..pushes {
+            buf.push(transition(2, 1, i as f64));
+        }
+        prop_assert_eq!(buf.len(), pushes.min(capacity));
+        let newest_floor = pushes.saturating_sub(capacity) as f64;
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in buf.sample(buf.len().min(16), &mut rng) {
+            prop_assert!(t.reward >= newest_floor, "stale item {} survived", t.reward);
+            prop_assert!(t.reward < pushes as f64);
+        }
+    }
+
+    /// Actions from any state are tanh-bounded in every backend.
+    #[test]
+    fn actions_always_bounded(
+        seed in 0u64..100,
+        state in prop::collection::vec(-100.0..100.0f64, 3),
+    ) {
+        let cfg = DdpgConfig::small_test().with_seed(seed);
+        let mut f = Ddpg::<f64>::new(3, 2, cfg).unwrap();
+        let mut q = Ddpg::<Fx32>::new(3, 2, cfg).unwrap();
+        for agent_actions in [f.act(&state).unwrap(), q.act(&state).unwrap()] {
+            prop_assert!(agent_actions.iter().all(|v| (-1.0..=1.0).contains(v)));
+        }
+    }
+
+    /// One training batch leaves every weight finite in float backends
+    /// (no NaN/inf escapes the loss path), for arbitrary reward scales.
+    #[test]
+    fn training_keeps_weights_finite(
+        seed in 0u64..50,
+        reward_scale in 0.01..100.0f64,
+    ) {
+        let cfg = DdpgConfig::small_test().with_seed(seed);
+        let mut agent = Ddpg::<f64>::new(3, 1, cfg).unwrap();
+        let data: Vec<Transition> = (0..16)
+            .map(|i| transition(3, 1, (i as f64 * 0.3).sin() * reward_scale))
+            .collect();
+        let refs: Vec<&Transition> = data.iter().collect();
+        agent.train_batch(&refs).unwrap();
+        for l in 0..agent.actor().num_layers() {
+            for w in agent.actor().weight(l).as_slice() {
+                prop_assert!(w.is_finite());
+            }
+        }
+    }
+
+    /// Parallel training is invariant to the worker count's relation to
+    /// the batch (more workers than samples, odd shard sizes, …) — it
+    /// must always produce finite results and count exactly one step.
+    #[test]
+    fn parallel_training_robust_to_worker_counts(
+        workers in 1usize..9,
+        batch_size in 2usize..24,
+    ) {
+        let cfg = DdpgConfig::small_test();
+        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        let data: Vec<Transition> = (0..batch_size)
+            .map(|i| transition(3, 1, (i as f64 * 0.7).cos()))
+            .collect();
+        let refs: Vec<&Transition> = data.iter().collect();
+        let metrics = agent.train_batch_parallel(&refs, workers).unwrap();
+        prop_assert!(metrics.critic_loss.is_finite());
+        prop_assert_eq!(agent.train_steps(), 1);
+    }
+}

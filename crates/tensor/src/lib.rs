@@ -1,0 +1,29 @@
+//! Dense matrix/vector kernels generic over the FIXAR [`Scalar`] trait.
+//!
+//! This crate provides exactly the kernel set the FIXAR accelerator
+//! implements in hardware: matrix-vector multiplication by **column-wise
+//! matrix decomposition** (Fig. 4 of the paper), the transposed variant
+//! used in back-propagation, and outer-product gradient accumulation.
+//!
+//! # Accumulation-order contract
+//!
+//! Saturating fixed-point addition is not associative, so the *order* of a
+//! dot-product reduction is part of its semantics. Every kernel here
+//! accumulates in **column order** — for each matrix column `j` (one
+//! broadcast activation element), partial products are added into the
+//! output vector — because that is the order the adaptive array processing
+//! core produces them. The accelerator model in `fixar-accel` replays the
+//! same order, which is what makes the cycle-level model bit-exact against
+//! this reference. Each product is rounded to the scalar format before
+//! accumulation (the PE output register), and accumulation saturates (the
+//! accumulator clamp).
+//!
+//! [`Scalar`]: fixar_fixed::Scalar
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+pub mod vector;
+
+pub use matrix::{Matrix, ShapeError};

@@ -1,0 +1,475 @@
+//! Row-major dense matrix with hardware-order kernels.
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+use std::error::Error;
+
+use fixar_fixed::Scalar;
+
+/// Error returned when operand shapes do not line up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    what: &'static str,
+    expected: (usize, usize),
+    got: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a shape error; `expected`/`got` are `(rows, cols)` pairs
+    /// (use `1` for the free dimension of a vector).
+    pub fn new(what: &'static str, expected: (usize, usize), got: (usize, usize)) -> Self {
+        Self {
+            what,
+            expected,
+            got,
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: expected {}x{}, got {}x{}",
+            self.what, self.expected.0, self.expected.1, self.got.0, self.got.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Row-major dense matrix over any FIXAR scalar.
+///
+/// The weight matrices of the FIXAR actor/critic are stored row by row in
+/// the on-chip weight memory (16 weights per 512-bit word); this type is
+/// the software image of that storage. See the crate docs for the
+/// accumulation-order contract of the multiply kernels.
+///
+/// # Example
+///
+/// ```
+/// use fixar_tensor::Matrix;
+///
+/// let w = Matrix::<f32>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let y = w.gemv_alloc(&[1.0, 1.0])?;
+/// assert_eq!(y, vec![3.0, 7.0]);
+/// # Ok::<(), fixar_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<S> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Matrix<S> {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![S::zero(); rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[S]]) -> Result<Self, ShapeError> {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(ShapeError::new("from_rows", (i, ncols), (i, row.len())));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new("from_vec", (rows, cols), (data.len(), 1)));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for a 0-element matrix.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[S] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [S] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Matrix-vector product `y = W·x` in hardware column order.
+    ///
+    /// Column-wise decomposition: for each column `j`, the broadcast input
+    /// element `x[j]` multiplies the whole column, and the partial-sum
+    /// vector is accumulated into `y` — the order the AAP core produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `x.len() == cols && y.len() == rows`.
+    pub fn gemv(&self, x: &[S], y: &mut [S]) -> Result<(), ShapeError> {
+        if x.len() != self.cols {
+            return Err(ShapeError::new("gemv input", (self.cols, 1), (x.len(), 1)));
+        }
+        if y.len() != self.rows {
+            return Err(ShapeError::new("gemv output", (self.rows, 1), (y.len(), 1)));
+        }
+        for v in y.iter_mut() {
+            *v = S::zero();
+        }
+        for (j, &xj) in x.iter().enumerate() {
+            // One broadcast step: x[j] enters every PE row mapped to col j.
+            for i in 0..self.rows {
+                let prod = self.data[i * self.cols + j] * xj;
+                y[i] = y[i] + prod;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating variant of [`Matrix::gemv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `x.len() == cols`.
+    pub fn gemv_alloc(&self, x: &[S]) -> Result<Vec<S>, ShapeError> {
+        let mut y = vec![S::zero(); self.rows];
+        self.gemv(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Transposed matrix-vector product `y = Wᵀ·e` in hardware column
+    /// order (used by back-propagation; the accelerator feeds rows of `W`
+    /// to PE rows instead of columns, solving the transpose for free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `e.len() == rows && y.len() == cols`.
+    pub fn gemv_t(&self, e: &[S], y: &mut [S]) -> Result<(), ShapeError> {
+        if e.len() != self.rows {
+            return Err(ShapeError::new("gemv_t input", (self.rows, 1), (e.len(), 1)));
+        }
+        if y.len() != self.cols {
+            return Err(ShapeError::new(
+                "gemv_t output",
+                (self.cols, 1),
+                (y.len(), 1),
+            ));
+        }
+        for v in y.iter_mut() {
+            *v = S::zero();
+        }
+        // For Wᵀ the "columns" of the decomposition are the rows of W:
+        // broadcast e[i] across row i and accumulate down the outputs.
+        for (i, &ei) in e.iter().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (j, &w) in row.iter().enumerate() {
+                y[j] = y[j] + w * ei;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating variant of [`Matrix::gemv_t`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `e.len() == rows`.
+    pub fn gemv_t_alloc(&self, e: &[S]) -> Result<Vec<S>, ShapeError> {
+        let mut y = vec![S::zero(); self.cols];
+        self.gemv_t(e, &mut y)?;
+        Ok(y)
+    }
+
+    /// Rank-1 update `W += e ⊗ a` (gradient accumulation:
+    /// `dW[i][j] += e[i]·a[j]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `e.len() == rows && a.len() == cols`.
+    pub fn add_outer(&mut self, e: &[S], a: &[S]) -> Result<(), ShapeError> {
+        if e.len() != self.rows {
+            return Err(ShapeError::new(
+                "add_outer rows",
+                (self.rows, 1),
+                (e.len(), 1),
+            ));
+        }
+        if a.len() != self.cols {
+            return Err(ShapeError::new(
+                "add_outer cols",
+                (self.cols, 1),
+                (a.len(), 1),
+            ));
+        }
+        for (i, &ei) in e.iter().enumerate() {
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (j, &aj) in a.iter().enumerate() {
+                row[j] = row[j] + ei * aj;
+            }
+        }
+        Ok(())
+    }
+
+    /// Elementwise `self += other * scale`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix<S>, scale: S) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new("add_scaled", self.shape(), other.shape()));
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = *a + b * scale;
+        }
+        Ok(())
+    }
+
+    /// Sets every element to zero (gradient reset between batches).
+    pub fn fill_zero(&mut self) {
+        for v in &mut self.data {
+            *v = S::zero();
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(S) -> S) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns the transposed matrix (a data copy; the accelerator never
+    /// materializes this — it redistributes reads instead).
+    pub fn transposed(&self) -> Matrix<S> {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.data[c * self.cols + r])
+    }
+
+    /// Converts every element to another scalar backend through `f64`.
+    pub fn cast<T: Scalar>(&self) -> Matrix<T> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+        }
+    }
+
+    /// Largest absolute element, as `f64` (diagnostics).
+    pub fn max_abs(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|v| v.to_f64().abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl<S: Scalar> Index<(usize, usize)> for Matrix<S> {
+    type Output = S;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &S {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<S: Scalar> IndexMut<(usize, usize)> for Matrix<S> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut S {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_fixed::{Fx32, Q16};
+
+    fn mat2x3() -> Matrix<f64> {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn gemv_matches_hand_computation() {
+        let y = mat2x3().gemv_alloc(&[1.0, 0.5, -1.0]).unwrap();
+        assert_eq!(y, vec![1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_transposed_gemv() {
+        let w = mat2x3();
+        let e = [2.0, -1.0];
+        let direct = w.gemv_t_alloc(&e).unwrap();
+        let via_copy = w.transposed().gemv_alloc(&e).unwrap();
+        assert_eq!(direct, via_copy);
+    }
+
+    #[test]
+    fn gemv_rejects_bad_shapes() {
+        let w = mat2x3();
+        assert!(w.gemv_alloc(&[1.0, 2.0]).is_err());
+        let mut y = vec![0.0; 3];
+        assert!(w.gemv(&[1.0, 2.0, 3.0], &mut y).is_err());
+        assert!(w.gemv_t_alloc(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn add_outer_accumulates_gradient() {
+        let mut g = Matrix::<f64>::zeros(2, 3);
+        g.add_outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]).unwrap();
+        g.add_outer(&[1.0, 0.0], &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(g.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(g.row(1), &[6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn add_scaled_and_fill_zero() {
+        let mut a = Matrix::<f64>::zeros(2, 2);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        a.add_scaled(&b, 0.5).unwrap();
+        assert_eq!(a[(1, 1)], 2.0);
+        a.fill_zero();
+        assert_eq!(a.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let rows: &[&[f64]] = &[&[1.0, 2.0], &[3.0]];
+        assert!(Matrix::from_rows(rows).is_err());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![0.0f64; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0f64; 4]).is_ok());
+    }
+
+    #[test]
+    fn fixed_point_gemv_tracks_float_reference() {
+        let wf = Matrix::<f64>::from_fn(8, 8, |r, c| ((r * 13 + c * 7) % 11) as f64 * 0.1 - 0.5);
+        let xf: Vec<f64> = (0..8).map(|i| i as f64 * 0.25 - 1.0).collect();
+        let yf = wf.gemv_alloc(&xf).unwrap();
+
+        let wq: Matrix<Fx32> = wf.cast();
+        let xq: Vec<Fx32> = xf.iter().map(|&v| Fx32::from_f64(v)).collect();
+        let yq = wq.gemv_alloc(&xq).unwrap();
+        for (a, b) in yf.iter().zip(&yq) {
+            assert!((a - b.to_f64()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn saturating_accumulation_clamps_not_wraps() {
+        // 8 products of 30*1 in Q6.10 saturate at 32 instead of wrapping.
+        type Q = Q16<10>;
+        let w = Matrix::<Q>::from_fn(1, 8, |_, _| Q::from_f64(30.0));
+        let x = vec![Q::from_f64(1.0); 8];
+        let y = w.gemv_alloc(&x).unwrap();
+        assert_eq!(y[0], Q::MAX);
+    }
+
+    #[test]
+    fn index_panics_out_of_bounds() {
+        let w = mat2x3();
+        let result = std::panic::catch_unwind(|| w[(5, 0)]);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cast_roundtrip_preserves_values_within_resolution() {
+        let wf = Matrix::<f64>::from_fn(3, 3, |r, c| (r as f64 - c as f64) * 0.3);
+        let back: Matrix<f64> = wf.cast::<Fx32>().cast();
+        for (a, b) in wf.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shape_error_message_is_descriptive() {
+        let err = mat2x3().gemv_alloc(&[1.0]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("gemv input"));
+        assert!(msg.contains("3"));
+    }
+}

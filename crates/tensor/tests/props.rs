@@ -1,0 +1,86 @@
+//! Property-based tests for the tensor kernels.
+
+use fixar_fixed::Fx32;
+use fixar_tensor::{vector, Matrix};
+use proptest::prelude::*;
+
+fn small_matrix() -> impl Strategy<Value = Matrix<f64>> {
+    (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0..10.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("sized"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn gemv_is_linear_in_x(w in small_matrix(), s in -3.0..3.0f64) {
+        let x: Vec<f64> = (0..w.cols()).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y1 = w.gemv_alloc(&x).unwrap();
+        let xs: Vec<f64> = x.iter().map(|v| v * s).collect();
+        let y2 = w.gemv_alloc(&xs).unwrap();
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a * s - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gemv_t_is_adjoint_of_gemv(w in small_matrix()) {
+        // <W x, e> == <x, Wᵀ e> for float arithmetic.
+        let x: Vec<f64> = (0..w.cols()).map(|i| (i as f64 + 0.5) * 0.3).collect();
+        let e: Vec<f64> = (0..w.rows()).map(|i| (i as f64 - 1.0) * 0.4).collect();
+        let wx = w.gemv_alloc(&x).unwrap();
+        let wte = w.gemv_t_alloc(&e).unwrap();
+        let lhs = vector::dot(&wx, &e);
+        let rhs = vector::dot(&x, &wte);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn transpose_is_involutive(w in small_matrix()) {
+        prop_assert_eq!(w.transposed().transposed(), w);
+    }
+
+    #[test]
+    fn add_outer_matches_explicit_loop(
+        e in prop::collection::vec(-5.0..5.0f64, 1..6),
+        a in prop::collection::vec(-5.0..5.0f64, 1..6),
+    ) {
+        let mut g = Matrix::<f64>::zeros(e.len(), a.len());
+        g.add_outer(&e, &a).unwrap();
+        for i in 0..e.len() {
+            for j in 0..a.len() {
+                prop_assert!((g[(i, j)] - e[i] * a[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_gemv_tracks_float_within_error_budget(w in small_matrix()) {
+        // Error per output: cols * (operand rounding + product rounding).
+        let x: Vec<f64> = (0..w.cols()).map(|i| ((i * 31) % 7) as f64 - 3.0).collect();
+        let yf = w.gemv_alloc(&x).unwrap();
+        let wq: Matrix<Fx32> = w.cast();
+        let xq = vector::from_f64_slice::<Fx32>(&x);
+        let yq = wq.gemv_alloc(&xq).unwrap();
+        let ulp = 1.0 / (1u64 << 20) as f64;
+        let bound = ulp * w.cols() as f64 * 40.0;
+        for (a, b) in yf.iter().zip(&yq) {
+            prop_assert!((a - b.to_f64()).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn dot_of_cat_is_sum_of_dots(
+        a in prop::collection::vec(-5.0..5.0f64, 1..8),
+        b in prop::collection::vec(-5.0..5.0f64, 1..8),
+    ) {
+        let ones_a = vec![1.0; a.len()];
+        let ones_b = vec![1.0; b.len()];
+        let mut cat = a.clone();
+        cat.extend_from_slice(&b);
+        let ones_cat = vec![1.0; cat.len()];
+        let lhs = vector::dot(&cat, &ones_cat);
+        let rhs = vector::dot(&a, &ones_a) + vector::dot(&b, &ones_b);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: train a DDPG agent with FIXAR's dynamic fixed-point
+//! quantization-aware training on the fast Pendulum task.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The run starts in 32-bit fixed-point, calibrates activation ranges,
+//! switches to 16-bit activations at the quantization delay, and keeps
+//! learning — the core behaviour of the paper's Algorithm 1 — in about a
+//! minute of CPU time.
+
+use fixar_repro::prelude::*;
+use fixar::{EnvKind, FixarSystem, PrecisionMode};
+
+fn main() -> Result<(), RlError> {
+    // Small networks keep the software fixed-point simulation quick; the
+    // full paper-scale configuration is `DdpgConfig::default()`.
+    let mut cfg = DdpgConfig::small_test();
+    cfg.hidden = (64, 48);
+    cfg.batch_size = 64;
+    cfg.warmup_steps = 500;
+    cfg.actor_lr = 1e-3;
+    cfg.critic_lr = 1e-3;
+    cfg.exploration_sigma = 0.15;
+
+    let total_steps = 8_000;
+    let quant_delay = 3_000;
+
+    println!("FIXAR quickstart: DDPG on Pendulum, dynamic fixed-point (32 -> 16 bit)");
+    println!("training {total_steps} steps, quantization delay {quant_delay}...\n");
+
+    let report = FixarSystem::new(EnvKind::Pendulum, PrecisionMode::DynamicFixed)
+        .with_config(cfg.with_qat(quant_delay, 16))
+        .run(total_steps, 1_000, 4)?;
+
+    println!("reward curve (Pendulum: closer to 0 is better):");
+    for point in &report.training.curve {
+        let bar = "#".repeat(((point.avg_reward + 1600.0) / 40.0).max(0.0) as usize);
+        println!(
+            "  step {:>5}  avg reward {:>8.1}  {bar}",
+            point.step, point.avg_reward
+        );
+    }
+    if let Some(switch) = report.training.qat_switch_step {
+        println!("\nactivations quantized to 16-bit fixed-point at step {switch}");
+    }
+    println!(
+        "final avg reward: {:.1} (a random policy scores about -1200)",
+        report.training.tail_mean(2)
+    );
+    println!(
+        "modelled FIXAR platform throughput at batch {}: {:.0} IPS",
+        cfg.batch_size, report.platform_ips
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Platform throughput sweep: Figs. 8–10 in one run — FIXAR vs the
+//! CPU-GPU baseline across benchmarks and batch sizes, with the
+//! execution-time breakdown and energy efficiency.
+//!
+//! ```text
+//! cargo run --release --example throughput_sweep
+//! ```
+
+use fixar_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = CpuGpuPlatformModel::for_benchmark();
+    let power = PowerModel::default();
+
+    println!("=== end-to-end platform IPS (post-QAT) ===");
+    println!("{:<12} {:>6} {:>12} {:>12} {:>9}", "benchmark", "batch", "FIXAR", "CPU-GPU", "speedup");
+    for kind in EnvKind::PAPER_BENCHMARKS {
+        let spec_env = kind.make(0);
+        let spec = spec_env.spec();
+        let model = FixarPlatformModel::for_benchmark(spec.obs_dim, spec.action_dim)?;
+        for batch in [64usize, 128, 256, 512] {
+            let f = model.ips(batch, Precision::Half16)?;
+            let g = gpu.ips(batch);
+            println!(
+                "{:<12} {:>6} {:>12.1} {:>12.1} {:>8.2}x",
+                kind.name(),
+                batch,
+                f,
+                g,
+                f / g
+            );
+        }
+    }
+
+    println!("\n=== HalfCheetah timestep breakdown (ms) ===");
+    let model = FixarPlatformModel::for_benchmark(17, 6)?;
+    println!(
+        "{:>6} {:>8} {:>9} {:>8} {:>8}  bottleneck",
+        "batch", "CPU", "runtime", "FPGA", "total"
+    );
+    for batch in [64usize, 128, 256, 512] {
+        let b = model.breakdown(batch, Precision::Half16)?;
+        println!(
+            "{:>6} {:>8.2} {:>9.2} {:>8.2} {:>8.2}  {}",
+            batch,
+            b.cpu_env_s * 1e3,
+            b.runtime_s * 1e3,
+            b.accel_s * 1e3,
+            b.total_s() * 1e3,
+            b.bottleneck()
+        );
+    }
+
+    println!("\n=== accelerator-only comparison at batch 512 ===");
+    let f_ips = model.accelerator_ips(512, Precision::Half16);
+    let g_ips = gpu.accelerator_ips(512);
+    let util = model.accelerator_utilization(512, Precision::Half16);
+    let f_w = power.fpga_power_w(util);
+    println!("FIXAR: {f_ips:>9.1} IPS at {f_w:.1} W -> {:>7.1} IPS/W", f_ips / f_w);
+    println!(
+        "GPU:   {g_ips:>9.1} IPS at {:.1} W -> {:>7.1} IPS/W",
+        56.7,
+        power.gpu_ips_per_watt(g_ips)
+    );
+    println!(
+        "gaps: {:.1}x throughput, {:.1}x efficiency (paper: 5.5x and 15.4x)",
+        f_ips / g_ips,
+        (f_ips / f_w) / power.gpu_ips_per_watt(g_ips)
+    );
+    Ok(())
+}

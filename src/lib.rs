@@ -1,0 +1,13 @@
+//! Workspace-level helper crate for the FIXAR reproduction.
+//!
+//! The real functionality lives in the `fixar-*` crates; this package only
+//! hosts the repository-level examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). It re-exports the facade crate for
+//! convenience so examples can simply `use fixar_repro::prelude::*`.
+
+pub use fixar;
+
+/// Convenience re-exports used by the repository examples and tests.
+pub mod prelude {
+    pub use fixar::prelude::*;
+}

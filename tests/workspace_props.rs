@@ -1,0 +1,109 @@
+//! Workspace-level property tests spanning crates: the invariants that
+//! tie the numeric substrate, the NN stack, and the accelerator model
+//! together.
+
+use fixar_repro::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The structural AAP-core path equals the software forward pass for
+    /// arbitrary small networks and inputs (full precision).
+    #[test]
+    fn accel_forward_equals_nn_forward(
+        seed in 0u64..1000,
+        in_dim in 2usize..8,
+        hidden in 4usize..24,
+        out_dim in 1usize..4,
+        scale in 0.1f64..2.0,
+    ) {
+        let actor = Mlp::<Fx32>::new_random(
+            &MlpConfig::new(vec![in_dim, hidden, out_dim])
+                .with_output_activation(Activation::Tanh),
+            seed,
+        ).unwrap();
+        let critic = Mlp::<Fx32>::new_random(
+            &MlpConfig::new(vec![in_dim + out_dim, hidden, 1]),
+            seed + 1,
+        ).unwrap();
+        let mut accel = FixarAccelerator::new(AccelConfig::default()).unwrap();
+        accel.load_ddpg(&actor, &critic).unwrap();
+        let state: Vec<Fx32> = (0..in_dim)
+            .map(|i| Fx32::from_f64(((i as f64) * 0.71 + seed as f64 * 0.01).sin() * scale))
+            .collect();
+        let (hw, _) = accel.actor_inference(&state, Precision::Full32).unwrap();
+        let sw = actor.forward(&state).unwrap();
+        prop_assert_eq!(hw, sw);
+    }
+
+    /// Fake quantization through the full QAT runtime never moves an
+    /// activation by more than one quantizer step.
+    #[test]
+    fn qat_projection_error_is_bounded(
+        lo in -10.0..-0.1f64,
+        hi in 0.1..10.0f64,
+        x in -12.0..12.0f64,
+    ) {
+        let q = AffineQuantizer::from_range(lo, hi, 16).unwrap();
+        let v = Fx32::from_f64(x);
+        let out = q.fake_quantize_scalar(v);
+        let clamped = x.clamp(lo, hi);
+        // In-range inputs move at most one step (+ Fx32 grid noise);
+        // out-of-range inputs clamp toward the range.
+        prop_assert!(
+            (out.to_f64() - clamped).abs() <= q.delta() + 2e-5,
+            "x={} out={} delta={}", x, out.to_f64(), q.delta()
+        );
+    }
+
+    /// Platform IPS is monotone in batch size for both platforms
+    /// (Fig. 8's visual claim) for any reasonable benchmark shape.
+    #[test]
+    fn platform_ips_monotone_in_batch(
+        obs in 3usize..32,
+        act in 1usize..8,
+    ) {
+        let model = FixarPlatformModel::for_benchmark(obs, act).unwrap();
+        let mut prev = 0.0;
+        for batch in [32usize, 64, 128, 256, 512] {
+            let ips = model.ips(batch, Precision::Half16).unwrap();
+            prop_assert!(ips > prev);
+            prev = ips;
+        }
+    }
+
+    /// Training is seed-deterministic end to end: two trainers with the
+    /// same seeds produce identical weights after identical steps.
+    #[test]
+    fn training_is_seed_deterministic(seed in 0u64..50) {
+        let run = |s: u64| {
+            let cfg = DdpgConfig::small_test().with_seed(s);
+            let mut t = Trainer::<Fx32>::new(
+                Box::new(fixar_env::Pendulum::new(s)),
+                Box::new(fixar_env::Pendulum::new(s + 1)),
+                cfg,
+            ).unwrap();
+            t.run(120, 120, 1).unwrap();
+            t.agent().actor().weight(0).as_slice()[..4].to_vec()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// The resource model scales monotonically with every driving
+    /// parameter and never reports negative usage.
+    #[test]
+    fn resource_model_is_monotone(cores in 1usize..6, lanes in 1usize..64) {
+        let mut cfg = AccelConfig::default();
+        cfg.n_cores = cores;
+        cfg.adam_lanes = lanes;
+        let m = ResourceModel::new(cfg);
+        let t = m.total();
+        prop_assert!(t.lut > 0.0 && t.ff > 0.0 && t.dsp > 0.0);
+        let mut bigger = cfg;
+        bigger.n_cores = cores + 1;
+        let tb = ResourceModel::new(bigger).total();
+        prop_assert!(tb.lut > t.lut);
+        prop_assert!(tb.dsp > t.dsp);
+    }
+}
