@@ -3,9 +3,10 @@
 
 use fixar_fixed::Fx32;
 use fixar_nn::Mlp;
+use fixar_tensor::Matrix;
 
 use crate::core_array::AapCore;
-use crate::dataflow::{InferenceSchedule, Precision, TrainingSchedule};
+use crate::dataflow::{BatchedInferenceSchedule, InferenceSchedule, Precision, TrainingSchedule};
 use crate::error::AccelError;
 use crate::memory::{ActivationMemory, GradientMemory, NetworkImage, WeightMemory};
 use crate::pe::HalfAct;
@@ -81,7 +82,9 @@ impl AccelConfig {
             return Err(AccelError::InvalidConfig("clock must be positive".into()));
         }
         if self.adam_lanes == 0 {
-            return Err(AccelError::InvalidConfig("adam_lanes must be positive".into()));
+            return Err(AccelError::InvalidConfig(
+                "adam_lanes must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -316,11 +319,11 @@ impl FixarAccelerator {
             let mut z = vec![Fx32::ZERO; layer.rows];
             for partial in &partials {
                 for (zi, &p) in z.iter_mut().zip(partial) {
-                    *zi = *zi + p;
+                    *zi += p;
                 }
             }
             for (i, zi) in z.iter_mut().enumerate() {
-                *zi = *zi + self.weight_mem.bias(layer, i);
+                *zi += self.weight_mem.bias(layer, i);
             }
             let activation = if l + 1 == n {
                 image.output_activation
@@ -333,6 +336,75 @@ impl FixarAccelerator {
             act = z;
         }
         act
+    }
+
+    /// Batched structural actor inference: one minibatch sample per row
+    /// of `states`, every row executed through the same AAP-core
+    /// column-wise dataflow as [`FixarAccelerator::actor_inference`]
+    /// (bit-exact vs `Mlp::forward_batch` in full precision), with the
+    /// cycle count from the **batched** schedule — samples sharded
+    /// across cores, one pipeline fill per layer per batch. Takes
+    /// `&self`: any number of serving threads can run batched inference
+    /// over one loaded accelerator concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Shape`] if no network is loaded or
+    /// `states.cols()` differs from the actor's input width.
+    pub fn actor_inference_batch(
+        &self,
+        states: &Matrix<Fx32>,
+        precision: Precision,
+    ) -> Result<(Matrix<Fx32>, u64), AccelError> {
+        let image = self
+            .actor_image
+            .as_ref()
+            .ok_or_else(|| AccelError::Shape("no actor loaded".into()))?;
+        self.batch_inference(image, states, precision)
+    }
+
+    /// Batched structural critic inference (Q-values of a batch of
+    /// state/action rows). See [`FixarAccelerator::actor_inference_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Shape`] if no network is loaded or
+    /// `inputs.cols()` differs from the critic's input width.
+    pub fn critic_inference_batch(
+        &self,
+        inputs: &Matrix<Fx32>,
+        precision: Precision,
+    ) -> Result<(Matrix<Fx32>, u64), AccelError> {
+        let image = self
+            .critic_image
+            .as_ref()
+            .ok_or_else(|| AccelError::Shape("no critic loaded".into()))?;
+        self.batch_inference(image, inputs, precision)
+    }
+
+    fn batch_inference(
+        &self,
+        image: &NetworkImage,
+        inputs: &Matrix<Fx32>,
+        precision: Precision,
+    ) -> Result<(Matrix<Fx32>, u64), AccelError> {
+        if inputs.cols() != image.sizes[0] {
+            return Err(AccelError::Shape(format!(
+                "batch rows have {} elements, network expects {}",
+                inputs.cols(),
+                image.sizes[0]
+            )));
+        }
+        let out_dim = *image.sizes.last().expect("loaded image has layers");
+        let mut out = Matrix::zeros(inputs.rows(), out_dim);
+        for b in 0..inputs.rows() {
+            let y = self.forward_image(image, inputs.row(b), precision);
+            out.row_mut(b).copy_from_slice(&y);
+        }
+        let cycles =
+            BatchedInferenceSchedule::for_mlp(&self.cfg, &image.sizes, inputs.rows(), precision)
+                .cycles;
+        Ok((out, cycles))
     }
 
     /// Cycle breakdown for one training timestep of the loaded DDPG pair
@@ -361,6 +433,50 @@ impl FixarAccelerator {
             .ok_or_else(|| AccelError::Shape("no critic loaded".into()))?;
         let sched =
             TrainingSchedule::for_ddpg(&self.cfg, &actor.sizes, &critic.sizes, batch, precision);
+        Ok(TimestepCycles {
+            forward: sched.forward_cycles,
+            backward: sched.backward_cycles,
+            weight_update: sched.weight_update_cycles,
+            inference: sched.inference_cycles,
+            total: sched.total_cycles(),
+            utilization: sched.utilization(),
+            seconds: sched.latency_s(&self.cfg),
+            ips: sched.ips(&self.cfg),
+        })
+    }
+
+    /// Cycle breakdown for one training timestep driven by the batched
+    /// matrix-matrix kernels (see
+    /// [`TrainingSchedule::for_ddpg_batched`]) — the timing twin of
+    /// `Ddpg::train_minibatch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Shape`] if no networks are loaded, or
+    /// [`AccelError::InvalidConfig`] for a zero batch.
+    pub fn train_timestep_cycles_batched(
+        &self,
+        batch: usize,
+        precision: Precision,
+    ) -> Result<TimestepCycles, AccelError> {
+        if batch == 0 {
+            return Err(AccelError::InvalidConfig("batch must be positive".into()));
+        }
+        let actor = self
+            .actor_image
+            .as_ref()
+            .ok_or_else(|| AccelError::Shape("no actor loaded".into()))?;
+        let critic = self
+            .critic_image
+            .as_ref()
+            .ok_or_else(|| AccelError::Shape("no critic loaded".into()))?;
+        let sched = TrainingSchedule::for_ddpg_batched(
+            &self.cfg,
+            &actor.sizes,
+            &critic.sizes,
+            batch,
+            precision,
+        );
         Ok(TimestepCycles {
             forward: sched.forward_cycles,
             backward: sched.backward_cycles,
@@ -419,7 +535,9 @@ mod tests {
         let (actor, critic) = small_agent();
         let mut accel = FixarAccelerator::new(AccelConfig::default()).unwrap();
         accel.load_ddpg(&actor, &critic).unwrap();
-        let state: Vec<Fx32> = (0..5).map(|i| Fx32::from_f64(i as f64 * 0.2 - 0.5)).collect();
+        let state: Vec<Fx32> = (0..5)
+            .map(|i| Fx32::from_f64(i as f64 * 0.2 - 0.5))
+            .collect();
         let (hw, cycles) = accel.actor_inference(&state, Precision::Full32).unwrap();
         let sw = actor.forward(&state).unwrap();
         assert_eq!(hw, sw, "accelerator and fixar-nn must agree bit-for-bit");
@@ -436,14 +554,13 @@ mod tests {
         let (actor, critic) = small_agent();
         let mut accel = FixarAccelerator::new(AccelConfig::default()).unwrap();
         accel.load_ddpg(&actor, &critic).unwrap();
-        let state: Vec<Fx32> = (0..5).map(|i| Fx32::from_f64((i as f64 * 0.7).sin())).collect();
+        let state: Vec<Fx32> = (0..5)
+            .map(|i| Fx32::from_f64((i as f64 * 0.7).sin()))
+            .collect();
         let (full, _) = accel.actor_inference(&state, Precision::Full32).unwrap();
         let (half, _) = accel.actor_inference(&state, Precision::Half16).unwrap();
         for (f, h) in full.iter().zip(&half) {
-            assert!(
-                (f.to_f64() - h.to_f64()).abs() < 0.05,
-                "full={f} half={h}"
-            );
+            assert!((f.to_f64() - h.to_f64()).abs() < 0.05, "full={f} half={h}");
         }
         // On paper-scale layers the lane doubling shows up in the cycle
         // count (the tiny test net hides under tile quantization).
@@ -453,7 +570,10 @@ mod tests {
         let state = vec![Fx32::from_f64(0.1); 17];
         let (_, c_full) = accel.actor_inference(&state, Precision::Full32).unwrap();
         let (_, c_half) = accel.actor_inference(&state, Precision::Half16).unwrap();
-        assert!(c_half < c_full, "half mode must be faster: {c_half} vs {c_full}");
+        assert!(
+            c_half < c_full,
+            "half mode must be faster: {c_half} vs {c_full}"
+        );
     }
 
     #[test]
@@ -500,14 +620,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut cfg = AccelConfig::default();
-        cfg.n_cores = 0;
+        let cfg = AccelConfig {
+            n_cores: 0,
+            ..AccelConfig::default()
+        };
         assert!(FixarAccelerator::new(cfg).is_err());
-        let mut cfg = AccelConfig::default();
-        cfg.clock_hz = 0.0;
+        let cfg = AccelConfig {
+            clock_hz: 0.0,
+            ..AccelConfig::default()
+        };
         assert!(FixarAccelerator::new(cfg).is_err());
-        let mut cfg = AccelConfig::default();
-        cfg.adam_lanes = 0;
+        let cfg = AccelConfig {
+            adam_lanes: 0,
+            ..AccelConfig::default()
+        };
         assert!(FixarAccelerator::new(cfg).is_err());
     }
 

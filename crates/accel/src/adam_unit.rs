@@ -220,7 +220,8 @@ mod tests {
         let (net, mut mem, image) = setup();
         let before = mem.as_bytes();
         let mut unit = AdamUnit::new(AdamConfig::default(), &image);
-        unit.step(&mut mem, &image, &MlpGrads::zeros_like(&net)).unwrap();
+        unit.step(&mut mem, &image, &MlpGrads::zeros_like(&net))
+            .unwrap();
         assert_eq!(mem.as_bytes(), before);
     }
 

@@ -111,7 +111,11 @@ pub fn fixar(peak_ips: f64, ips_per_watt: f64) -> PlatformEntry {
 
 /// All three rows in Table II's column order.
 pub fn table2(fixar_peak_ips: f64, fixar_ips_per_watt: f64) -> Vec<PlatformEntry> {
-    vec![fa3c(), fccm20_ppo(), fixar(fixar_peak_ips, fixar_ips_per_watt)]
+    vec![
+        fa3c(),
+        fccm20_ppo(),
+        fixar(fixar_peak_ips, fixar_ips_per_watt),
+    ]
 }
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 use fixar_fixed::Fx32;
 use fixar_tensor::Matrix;
 
-use crate::pe::{round_half_product_to_fx32, round_product_to_fx32, ConfigurablePe, HalfAct, PeMode};
+use crate::pe::{
+    round_half_product_to_fx32, round_product_to_fx32, ConfigurablePe, HalfAct, PeMode,
+};
 
 /// One adaptive array processing core: a `rows × cols` grid of
 /// [`ConfigurablePe`]s with an activation line buffer feeding row
@@ -102,7 +104,7 @@ impl AapCore {
             let xj = x[j];
             for i in 0..w.rows() {
                 let prod = self.pe.mac_full(w[(i, j)].raw(), xj.raw());
-                y[i] = y[i] + round_product_to_fx32(prod);
+                y[i] += round_product_to_fx32(prod);
             }
             j += stride;
         }
@@ -138,11 +140,11 @@ impl AapCore {
             for i in 0..w.rows() {
                 let w0 = w[(i, j0)].raw();
                 let (p0, _) = self.pe.mac_half(w0, a0.raw(), 0);
-                y[i] = y[i] + round_half_product_to_fx32(p0);
+                y[i] += round_half_product_to_fx32(p0);
                 if j1 < w.cols() {
                     let w1 = w[(i, j1)].raw();
                     let (_, p1) = self.pe.mac_half(w1, 0, a1.raw());
-                    y[i] = y[i] + round_half_product_to_fx32(p1);
+                    y[i] += round_half_product_to_fx32(p1);
                 }
             }
             pair += stride;
@@ -175,7 +177,7 @@ impl AapCore {
             let ei = e[i];
             for j in 0..w.cols() {
                 let prod = self.pe.mac_full(w[(i, j)].raw(), ei.raw());
-                y[j] = y[j] + round_product_to_fx32(prod);
+                y[j] += round_product_to_fx32(prod);
             }
             i += stride;
         }
@@ -208,7 +210,9 @@ mod tests {
     #[test]
     fn single_core_matches_reference_gemv_exactly() {
         let w = test_matrix(12, 9);
-        let x: Vec<Fx32> = (0..9).map(|i| Fx32::from_f64(i as f64 * 0.2 - 0.8)).collect();
+        let x: Vec<Fx32> = (0..9)
+            .map(|i| Fx32::from_f64(i as f64 * 0.2 - 0.8))
+            .collect();
         let core = AapCore::new(16, 16);
         let mut y = vec![Fx32::ZERO; 12];
         core.mvm_columns(&w, &x, 0, 1, &mut y);
@@ -219,7 +223,9 @@ mod tests {
     #[test]
     fn two_cores_interleaved_match_reference_without_saturation() {
         let w = test_matrix(20, 17);
-        let x: Vec<Fx32> = (0..17).map(|i| Fx32::from_f64((i as f64 * 0.11).sin())).collect();
+        let x: Vec<Fx32> = (0..17)
+            .map(|i| Fx32::from_f64((i as f64 * 0.11).sin()))
+            .collect();
         let core = AapCore::new(16, 16);
         let mut y0 = vec![Fx32::ZERO; 20];
         let mut y1 = vec![Fx32::ZERO; 20];
@@ -271,7 +277,9 @@ mod tests {
     #[test]
     fn transposed_path_matches_reference_gemv_t_exactly() {
         let w = test_matrix(14, 11);
-        let e: Vec<Fx32> = (0..14).map(|i| Fx32::from_f64((i as f64 * 0.23).sin())).collect();
+        let e: Vec<Fx32> = (0..14)
+            .map(|i| Fx32::from_f64((i as f64 * 0.23).sin()))
+            .collect();
         let core = AapCore::new(16, 16);
         let mut y = vec![Fx32::ZERO; 11];
         core.mvm_rows(&w, &e, 0, 1, &mut y);
@@ -282,7 +290,9 @@ mod tests {
     #[test]
     fn transposed_path_interleaves_across_cores() {
         let w = test_matrix(21, 9);
-        let e: Vec<Fx32> = (0..21).map(|i| Fx32::from_f64((i as f64 * 0.17).cos())).collect();
+        let e: Vec<Fx32> = (0..21)
+            .map(|i| Fx32::from_f64((i as f64 * 0.17).cos()))
+            .collect();
         let core = AapCore::new(16, 16);
         let mut y0 = vec![Fx32::ZERO; 9];
         let mut y1 = vec![Fx32::ZERO; 9];

@@ -157,7 +157,10 @@ impl WeightMemory {
     ///
     /// Panics if the coordinates fall outside the layer image.
     pub fn weight(&self, layer: &LayerImage, row: usize, col: usize) -> Fx32 {
-        assert!(row < layer.rows && col < layer.cols, "weight read out of bounds");
+        assert!(
+            row < layer.rows && col < layer.cols,
+            "weight read out of bounds"
+        );
         Fx32::from_raw(self.data[layer.weight_offset + row * layer.padded_cols() + col])
     }
 
@@ -167,7 +170,10 @@ impl WeightMemory {
     ///
     /// Panics if the coordinates fall outside the layer image.
     pub fn set_weight(&mut self, layer: &LayerImage, row: usize, col: usize, value: Fx32) {
-        assert!(row < layer.rows && col < layer.cols, "weight write out of bounds");
+        assert!(
+            row < layer.rows && col < layer.cols,
+            "weight write out of bounds"
+        );
         self.data[layer.weight_offset + row * layer.padded_cols() + col] = value.raw();
     }
 

@@ -191,7 +191,11 @@ mod tests {
         let t = model.total();
         // Table I totals: 508.1K LUT, 408.9K FF, 774 BRAM, 128 URAM,
         // 2302 DSP (±0.5% for the capacity-vs-usage rounding).
-        assert!((t.lut - 508_100.0).abs() / 508_100.0 < 0.005, "lut={}", t.lut);
+        assert!(
+            (t.lut - 508_100.0).abs() / 508_100.0 < 0.005,
+            "lut={}",
+            t.lut
+        );
         assert!((t.ff - 408_900.0).abs() / 408_900.0 < 0.005, "ff={}", t.ff);
         assert!((t.bram - 774.0).abs() / 774.0 < 0.005, "bram={}", t.bram);
         assert!((t.uram - 128.0).abs() / 128.0 < 0.005, "uram={}", t.uram);
@@ -211,8 +215,10 @@ mod tests {
 
     #[test]
     fn pe_resources_scale_with_core_count() {
-        let mut cfg = AccelConfig::default();
-        cfg.n_cores = 4;
+        let cfg = AccelConfig {
+            n_cores: 4,
+            ..AccelConfig::default()
+        };
         let four = ResourceModel::new(cfg);
         let two = ResourceModel::new(AccelConfig::default());
         let pe4 = four.components()[0].1;
@@ -223,8 +229,10 @@ mod tests {
         assert!(lut4 > lut2, "more cores must cost more LUTs");
         // Eight cores are far beyond the U50's LUT budget (the paper
         // stops at N = 2 for SLR-crossing reasons well before that).
-        let mut cfg8 = AccelConfig::default();
-        cfg8.n_cores = 8;
+        let cfg8 = AccelConfig {
+            n_cores: 8,
+            ..AccelConfig::default()
+        };
         assert!(
             !ResourceModel::new(cfg8).fits(&U50_BUDGET),
             "8 cores should not fit the U50"
@@ -233,9 +241,11 @@ mod tests {
 
     #[test]
     fn host_interface_blocks_are_fixed() {
-        let mut cfg = AccelConfig::default();
-        cfg.n_cores = 4;
-        cfg.adam_lanes = 32;
+        let cfg = AccelConfig {
+            n_cores: 4,
+            adam_lanes: 32,
+            ..AccelConfig::default()
+        };
         let scaled = ResourceModel::new(cfg);
         let base = ResourceModel::new(AccelConfig::default());
         for name in ["Kernel Interface", "HBM Interface", "PCIe DMA"] {

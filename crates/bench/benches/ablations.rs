@@ -17,8 +17,10 @@ fn print_core_sweep() {
     println!("\n=== ablation: AAP core count (batch 512, post-QAT) ===");
     let mut rows = Vec::new();
     for n_cores in [1usize, 2, 4, 8] {
-        let mut cfg = AccelConfig::default();
-        cfg.n_cores = n_cores;
+        let cfg = AccelConfig {
+            n_cores,
+            ..AccelConfig::default()
+        };
         let sched = TrainingSchedule::for_ddpg(&cfg, &ACTOR, &CRITIC, 512, Precision::Half16);
         let res = ResourceModel::new(cfg);
         let (lut, ..) = res.utilization(&U50_BUDGET);
@@ -56,10 +58,7 @@ fn print_bits_sweep() {
             format!("{:.2e}", rms),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["bits", "step δ", "rms error"], &rows)
-    );
+    println!("{}", render_table(&["bits", "step δ", "rms error"], &rows));
     println!("paper: 16 bits keeps δ ≈ 2.4e-4 over a ±8 range — far below ReLU activations.\n");
 }
 
@@ -96,8 +95,10 @@ fn print_adam_sweep() {
     println!("=== ablation: Adam unit lanes (weight-update cycles, batch 512) ===");
     let mut rows = Vec::new();
     for lanes in [1usize, 4, 16, 64] {
-        let mut cfg = AccelConfig::default();
-        cfg.adam_lanes = lanes;
+        let cfg = AccelConfig {
+            adam_lanes: lanes,
+            ..AccelConfig::default()
+        };
         let sched = TrainingSchedule::for_ddpg(&cfg, &ACTOR, &CRITIC, 512, Precision::Half16);
         let share = sched.weight_update_cycles as f64 / sched.total_cycles() as f64;
         rows.push(vec![

@@ -1,0 +1,129 @@
+//! Per-sample vs batched DDPG training-step throughput across batch
+//! sizes {32, 64, 128} — the speedup delivered by routing a minibatch
+//! through the stack as one `Matrix` per layer
+//! (`Ddpg::train_minibatch`) instead of `batch` vector passes
+//! (`Ddpg::train_batch`). Both paths produce bit-identical `Fx32`
+//! weights (property-tested in `crates/rl/tests/props.rs`), so this
+//! bench isolates pure compute-path throughput.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fixar::prelude::*;
+use fixar_rl::TransitionBatch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BATCH_SIZES: [usize; 3] = [32, 64, 128];
+
+fn study_config() -> DdpgConfig {
+    // Pendulum-shaped agent at the quick-study network scale (64×48
+    // hidden): big enough that kernel time dominates, small enough for a
+    // bench run.
+    let mut cfg = DdpgConfig::small_test();
+    cfg.hidden = (64, 48);
+    cfg
+}
+
+fn toy_transitions(n: usize, state_dim: usize, action_dim: usize) -> Vec<Transition> {
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    (0..n)
+        .map(|_| Transition {
+            state: (0..state_dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            action: (0..action_dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            reward: rng.gen_range(-1.0..1.0),
+            next_state: (0..state_dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            terminal: rng.gen_bool(0.05),
+        })
+        .collect()
+}
+
+/// Median seconds per training step over `reps` timed repetitions.
+fn time_steps(mut step: impl FnMut(), reps: usize) -> f64 {
+    // One warmup call, then timed reps.
+    step();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            step();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+fn print_speedup_table() {
+    println!("\n=== Batched vs per-sample DDPG training step (Fx32, 64x48 hidden) ===");
+    let mut rows = Vec::new();
+    for &batch_size in &BATCH_SIZES {
+        let data = toy_transitions(batch_size, 3, 1);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).expect("homogeneous batch");
+        let cfg = study_config().with_batch_size(batch_size);
+
+        let mut per_sample = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+        let mut batched = per_sample.clone();
+
+        let reps = 31;
+        let t_per_sample = time_steps(
+            || {
+                per_sample.train_batch(&refs).expect("train");
+            },
+            reps,
+        );
+        let t_batched = time_steps(
+            || {
+                batched.train_minibatch(&batch).expect("train");
+            },
+            reps,
+        );
+        rows.push(vec![
+            batch_size.to_string(),
+            format!("{:.3}", t_per_sample * 1e3),
+            format!("{:.3}", t_batched * 1e3),
+            format!("{:.2}x", t_per_sample / t_batched),
+        ]);
+    }
+    println!(
+        "{}",
+        fixar_bench::render_table(
+            &["batch", "per-sample ms/step", "batched ms/step", "speedup"],
+            &rows
+        )
+    );
+}
+
+fn bench_training_paths(c: &mut Criterion) {
+    print_speedup_table();
+
+    for &batch_size in &BATCH_SIZES {
+        let data = toy_transitions(batch_size, 3, 1);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).expect("homogeneous batch");
+        let cfg = study_config().with_batch_size(batch_size);
+
+        let mut group = c.benchmark_group(format!("ddpg_train_step_b{batch_size}"));
+        group.sample_size(10);
+        group.bench_function("per_sample", |b| {
+            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+            b.iter(|| {
+                agent
+                    .train_batch(std::hint::black_box(&refs))
+                    .expect("train")
+            });
+        });
+        group.bench_function("batched", |b| {
+            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+            b.iter(|| {
+                agent
+                    .train_minibatch(std::hint::black_box(&batch))
+                    .expect("train")
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_training_paths);
+criterion_main!(benches);

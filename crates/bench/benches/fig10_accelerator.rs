@@ -56,7 +56,10 @@ fn print_fig10() {
         )
     );
     let f512 = model.accelerator_ips(512, Precision::Half16);
-    println!("{}", verdict("accelerator IPS @512", f512, paper::ACCEL_IPS));
+    println!(
+        "{}",
+        verdict("accelerator IPS @512", f512, paper::ACCEL_IPS)
+    );
     println!(
         "{}",
         verdict(

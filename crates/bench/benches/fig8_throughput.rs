@@ -59,7 +59,11 @@ fn bench_platform_models(c: &mut Criterion) {
     let gpu = CpuGpuPlatformModel::for_benchmark();
     let mut group = c.benchmark_group("fig8_models");
     group.bench_function("fixar_breakdown_512", |b| {
-        b.iter(|| fixar.breakdown(std::hint::black_box(512), Precision::Half16).unwrap())
+        b.iter(|| {
+            fixar
+                .breakdown(std::hint::black_box(512), Precision::Half16)
+                .unwrap()
+        })
     });
     group.bench_function("cpu_gpu_breakdown_512", |b| {
         b.iter(|| gpu.breakdown(std::hint::black_box(512)))

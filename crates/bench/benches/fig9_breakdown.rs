@@ -11,7 +11,9 @@ fn print_fig9() {
     println!("\n=== Fig. 9a: execution time of one FIXAR timestep (HalfCheetah, ms) ===");
     let mut rows = Vec::new();
     for batch in paper::BATCH_SIZES {
-        let b = model.breakdown(batch, Precision::Half16).expect("positive batch");
+        let b = model
+            .breakdown(batch, Precision::Half16)
+            .expect("positive batch");
         rows.push(vec![
             batch.to_string(),
             format!("{:.2}", b.cpu_env_s * 1e3),
@@ -31,7 +33,9 @@ fn print_fig9() {
     println!("=== Fig. 9b: execution time ratio (%) and bottleneck ===");
     let mut rows = Vec::new();
     for batch in paper::BATCH_SIZES {
-        let b = model.breakdown(batch, Precision::Half16).expect("positive batch");
+        let b = model
+            .breakdown(batch, Precision::Half16)
+            .expect("positive batch");
         let (c, r, a) = b.fractions();
         rows.push(vec![
             batch.to_string(),
@@ -43,7 +47,10 @@ fn print_fig9() {
     }
     println!(
         "{}",
-        render_table(&["batch", "CPU %", "runtime %", "FPGA %", "bottleneck"], &rows)
+        render_table(
+            &["batch", "CPU %", "runtime %", "FPGA %", "bottleneck"],
+            &rows
+        )
     );
     println!(
         "shape check: CPU time constant, runtime grows marginally, FPGA linear; \

@@ -28,7 +28,9 @@ fn bench_scalar_ops(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("scalar_tanh");
-    group.bench_function("f32_libm", |b| b.iter(|| std::hint::black_box(0.7f32).tanh()));
+    group.bench_function("f32_libm", |b| {
+        b.iter(|| std::hint::black_box(0.7f32).tanh())
+    });
     group.bench_function("fx32_rom", |b| {
         b.iter(|| std::hint::black_box(Fx32::from_f64(0.7)).tanh())
     });
@@ -55,7 +57,12 @@ fn bench_pe(c: &mut Criterion) {
     let pe_full = ConfigurablePe::new(PeMode::Full);
     let pe_half = ConfigurablePe::new(PeMode::Half);
     group.bench_function("mac_full_32x32", |b| {
-        b.iter(|| pe_full.mac_full(std::hint::black_box(123_456), std::hint::black_box(-654_321)))
+        b.iter(|| {
+            pe_full.mac_full(
+                std::hint::black_box(123_456),
+                std::hint::black_box(-654_321),
+            )
+        })
     });
     group.bench_function("mac_half_two_lanes", |b| {
         b.iter(|| {

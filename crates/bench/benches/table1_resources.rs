@@ -63,8 +63,10 @@ fn print_table1() {
     println!("=== Table I ablation: scaling with AAP core count ===");
     let mut rows = Vec::new();
     for n_cores in [1usize, 2, 4, 8] {
-        let mut cfg = AccelConfig::default();
-        cfg.n_cores = n_cores;
+        let cfg = AccelConfig {
+            n_cores,
+            ..AccelConfig::default()
+        };
         let m = ResourceModel::new(cfg);
         let (lut, _, _, _, dsp) = m.utilization(&U50_BUDGET);
         rows.push(vec![

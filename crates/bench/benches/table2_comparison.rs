@@ -41,8 +41,17 @@ fn print_table2() {
         "{}",
         render_table(
             &[
-                "work", "platform", "clock", "algorithm", "tasks", "precision", "DSP",
-                "net size", "peak IPS", "norm. IPS", "IPS/W"
+                "work",
+                "platform",
+                "clock",
+                "algorithm",
+                "tasks",
+                "precision",
+                "DSP",
+                "net size",
+                "peak IPS",
+                "norm. IPS",
+                "IPS/W"
             ],
             &rows
         )

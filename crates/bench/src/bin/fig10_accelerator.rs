@@ -71,7 +71,10 @@ fn main() {
         "{}",
         render_table(&["accelerator", "IPS", "avg W", "IPS/W"], &rows)
     );
-    println!("{}", verdict("FIXAR accelerator IPS", f512, paper::ACCEL_IPS));
+    println!(
+        "{}",
+        verdict("FIXAR accelerator IPS", f512, paper::ACCEL_IPS)
+    );
     println!(
         "{}",
         verdict(

@@ -69,6 +69,8 @@ fn main() {
     let fixed16 = reports[2].training.tail_mean(3);
     let dynamic = reports[3].training.tail_mean(3);
     println!("\nshape summary (higher is better):");
-    println!("  float32 {float:.1} | fixed32 {fixed32:.1} | dynamic {dynamic:.1} | fixed16 {fixed16:.1}");
+    println!(
+        "  float32 {float:.1} | fixed32 {fixed32:.1} | dynamic {dynamic:.1} | fixed16 {fixed16:.1}"
+    );
     println!("  paper: dynamic ≈ fixed32 ≈ float32 saturation; fixed16-from-scratch fails");
 }

@@ -62,19 +62,26 @@ fn main() {
     let cosim_steps: u64 = arg("cosim-steps", 1_500);
     let mut cfg = fixar_bench::quick_study_config().with_qat(cosim_steps / 3, 16);
     cfg.batch_size = arg("batch", 64);
-    println!("\nco-simulation: Pendulum, {cosim_steps} steps, batch {}", cfg.batch_size);
+    println!(
+        "\nco-simulation: Pendulum, {cosim_steps} steps, batch {}",
+        cfg.batch_size
+    );
     let mut cosim = FixarCosim::new(
         Box::new(fixar_env::Pendulum::new(1)),
         Box::new(fixar_env::Pendulum::new(2)),
         cfg,
     )
     .expect("cosim builds");
-    let report = cosim.run(cosim_steps, cosim_steps / 3, 2).expect("cosim runs");
+    let report = cosim
+        .run(cosim_steps, cosim_steps / 3, 2)
+        .expect("cosim runs");
     println!(
         "  simulated platform time {:.2}s, measured {:.1} IPS, QAT switch at {:?} (t={:?}s)",
         report.sim_time_s,
         report.avg_ips,
         report.training.qat_switch_step,
-        report.qat_switch_time_s.map(|t| (t * 100.0).round() / 100.0),
+        report
+            .qat_switch_time_s
+            .map(|t| (t * 100.0).round() / 100.0),
     );
 }

@@ -22,7 +22,11 @@ fn main() {
         (Precision::Full32, "full precision (before QAT)"),
         (Precision::Half16, "half precision (after QAT)"),
     ] {
-        println!("Fig. 9a — {} timestep breakdown, {} (ms):", kind.name(), name);
+        println!(
+            "Fig. 9a — {} timestep breakdown, {} (ms):",
+            kind.name(),
+            name
+        );
         let mut rows = Vec::new();
         for batch in paper::BATCH_SIZES {
             let b = model.breakdown(batch, precision).expect("positive batch");
@@ -58,7 +62,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["batch", "CPU %", "runtime %", "FPGA %", "bottleneck"], &rows)
+            render_table(
+                &["batch", "CPU %", "runtime %", "FPGA %", "bottleneck"],
+                &rows
+            )
         );
     }
     println!(

@@ -1,0 +1,91 @@
+//! Kernel-level microbenchmark: batched matrix-matrix kernels vs their
+//! per-row (per-sample) counterparts at the quick-study layer shape
+//! (48×64) and batch 128, in `Fx32`. Prints ns/sample for each kernel —
+//! the raw numbers behind the end-to-end speedup measured by
+//! `benches/batched_training.rs`.
+
+use fixar_fixed::Fx32;
+use fixar_tensor::Matrix;
+use std::time::Instant;
+
+fn main() {
+    let w =
+        Matrix::<f64>::from_fn(48, 64, |r, c| ((r * 7 + c) % 13) as f64 * 0.1 - 0.6).cast::<Fx32>();
+    let a = Matrix::<f64>::from_fn(128, 64, |b, c| ((b + c * 3) % 11) as f64 * 0.15 - 0.7)
+        .cast::<Fx32>();
+    let e =
+        Matrix::<f64>::from_fn(128, 48, |b, c| ((b * 3 + c) % 7) as f64 * 0.2 - 0.6).cast::<Fx32>();
+    let reps = 2000;
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        let y = w.gemv_batch_alloc(std::hint::black_box(&a)).unwrap();
+        std::hint::black_box(y);
+    }
+    println!(
+        "gemv_batch      {:>8.1} ns/sample",
+        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
+    );
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for b in 0..128 {
+            let y = w.gemv_alloc(std::hint::black_box(a.row(b))).unwrap();
+            std::hint::black_box(y);
+        }
+    }
+    println!(
+        "gemv per-row    {:>8.1} ns/sample",
+        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
+    );
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        let y = w.gemv_t_batch_alloc(std::hint::black_box(&e)).unwrap();
+        std::hint::black_box(y);
+    }
+    println!(
+        "gemv_t_batch    {:>8.1} ns/sample",
+        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
+    );
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for b in 0..128 {
+            let y = w.gemv_t_alloc(std::hint::black_box(e.row(b))).unwrap();
+            std::hint::black_box(y);
+        }
+    }
+    println!(
+        "gemv_t per-row  {:>8.1} ns/sample",
+        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
+    );
+
+    let mut g1 = Matrix::<Fx32>::zeros(48, 64);
+    let t = Instant::now();
+    for _ in 0..reps {
+        g1.add_outer_batch(std::hint::black_box(&e), std::hint::black_box(&a))
+            .unwrap();
+    }
+    println!(
+        "add_outer_batch {:>8.1} ns/sample",
+        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
+    );
+
+    let mut g2 = Matrix::<Fx32>::zeros(48, 64);
+    let t = Instant::now();
+    for _ in 0..reps {
+        for b in 0..128 {
+            g2.add_outer(
+                std::hint::black_box(e.row(b)),
+                std::hint::black_box(a.row(b)),
+            )
+            .unwrap();
+        }
+    }
+    println!(
+        "add_outer/row   {:>8.1} ns/sample",
+        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
+    );
+    std::hint::black_box((g1, g2));
+}

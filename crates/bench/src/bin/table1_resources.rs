@@ -52,7 +52,10 @@ fn print_design_point(label: &str, cfg: AccelConfig) {
 
 fn main() {
     println!("Table I: FPGA resource usage on Xilinx Alveo U50\n");
-    print_design_point("paper design point (2 cores, 16x16 PEs)", AccelConfig::default());
+    print_design_point(
+        "paper design point (2 cores, 16x16 PEs)",
+        AccelConfig::default(),
+    );
     println!(
         "paper totals: 508.1K LUT (58.4%), 408.8K FF (23.5%), 774 BRAM (57.6%), \
          128 URAM (20.0%), 2302 DSP (38.8%)\n"
@@ -61,9 +64,11 @@ fn main() {
     println!("design-space sweep:");
     let mut rows = Vec::new();
     for (cores, lanes) in [(1usize, 16usize), (2, 16), (2, 32), (4, 16), (8, 16)] {
-        let mut cfg = AccelConfig::default();
-        cfg.n_cores = cores;
-        cfg.adam_lanes = lanes;
+        let cfg = AccelConfig {
+            n_cores: cores,
+            adam_lanes: lanes,
+            ..AccelConfig::default()
+        };
         let m = ResourceModel::new(cfg);
         let t = m.total();
         rows.push(vec![

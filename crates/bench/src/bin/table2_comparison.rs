@@ -40,8 +40,17 @@ fn main() {
     let fixar_kb = entries[2].network_kb;
     let rows: Vec<Vec<String>> = entries.iter().map(|e| row(e, fixar_kb)).collect();
     let headers = [
-        "work", "platform", "clock", "algorithm", "tasks", "precision", "DSP", "net size",
-        "peak IPS", "norm. IPS", "IPS/W",
+        "work",
+        "platform",
+        "clock",
+        "algorithm",
+        "tasks",
+        "precision",
+        "DSP",
+        "net size",
+        "peak IPS",
+        "norm. IPS",
+        "IPS/W",
     ];
     println!("{}", render_table(&headers, &rows));
 

@@ -123,7 +123,8 @@ pub fn paper_networks() -> (Mlp<Fx32>, Mlp<Fx32>) {
         11,
     )
     .expect("static config");
-    let critic = Mlp::new_random(&MlpConfig::new(vec![23, 400, 300, 1]), 12).expect("static config");
+    let critic =
+        Mlp::new_random(&MlpConfig::new(vec![23, 400, 300, 1]), 12).expect("static config");
     (actor, critic)
 }
 
@@ -148,7 +149,10 @@ pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
 /// Parses a benchmark name into an [`EnvKind`] (defaults to Pendulum so
 /// harnesses are fast unless asked otherwise).
 pub fn env_kind_arg() -> EnvKind {
-    match arg::<String>("env", "pendulum".into()).to_lowercase().as_str() {
+    match arg::<String>("env", "pendulum".into())
+        .to_lowercase()
+        .as_str()
+    {
         "halfcheetah" | "cheetah" => EnvKind::HalfCheetah,
         "hopper" => EnvKind::Hopper,
         "swimmer" => EnvKind::Swimmer,
@@ -172,8 +176,7 @@ mod tests {
         assert!(s.contains("| name "));
         assert!(s.contains("53826.8"));
         // Every line has the same width.
-        let lens: std::collections::HashSet<usize> =
-            s.lines().map(|l| l.chars().count()).collect();
+        let lens: std::collections::HashSet<usize> = s.lines().map(|l| l.chars().count()).collect();
         assert_eq!(lens.len(), 1, "{s}");
     }
 

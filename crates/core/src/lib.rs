@@ -49,12 +49,11 @@ pub mod prelude {
         AccelConfig, FixarAccelerator, GpuModel, PowerModel, Precision, ResourceModel, U50_BUDGET,
     };
     pub use fixar_env::{EnvKind, EnvSpec, Environment, StepResult};
-    pub use fixar_fixed::{AffineQuantizer, Fx16, Fx32, Q16, Q32, RangeMonitor, Scalar};
+    pub use fixar_fixed::{AffineQuantizer, Fx16, Fx32, RangeMonitor, Scalar, Q16, Q32};
     pub use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, QatMode, QatRuntime};
     pub use fixar_platform::{CpuGpuPlatformModel, FixarCosim, FixarPlatformModel};
     pub use fixar_rl::{
-        Ddpg, DdpgConfig, PrecisionMode, ReplayBuffer, RlError, Trainer, TrainingReport,
-        Transition,
+        Ddpg, DdpgConfig, PrecisionMode, ReplayBuffer, RlError, Trainer, TrainingReport, Transition,
     };
 
     pub use crate::{FixarRunReport, FixarSystem};
@@ -147,15 +146,20 @@ impl FixarSystem {
         let env = self.env.make(self.train_seed);
         let eval_env = self.env.make(self.eval_seed);
         let training = match self.mode {
-            PrecisionMode::Float32 => {
-                Trainer::<f32>::new(env, eval_env, cfg)?.run(total_steps, eval_every, eval_episodes)?
-            }
-            PrecisionMode::Fixed32 | PrecisionMode::DynamicFixed => {
-                Trainer::<Fx32>::new(env, eval_env, cfg)?.run(total_steps, eval_every, eval_episodes)?
-            }
-            PrecisionMode::Fixed16 => {
-                Trainer::<Fx16>::new(env, eval_env, cfg)?.run(total_steps, eval_every, eval_episodes)?
-            }
+            PrecisionMode::Float32 => Trainer::<f32>::new(env, eval_env, cfg)?.run(
+                total_steps,
+                eval_every,
+                eval_episodes,
+            )?,
+            PrecisionMode::Fixed32 | PrecisionMode::DynamicFixed => Trainer::<Fx32>::new(
+                env, eval_env, cfg,
+            )?
+            .run(total_steps, eval_every, eval_episodes)?,
+            PrecisionMode::Fixed16 => Trainer::<Fx16>::new(env, eval_env, cfg)?.run(
+                total_steps,
+                eval_every,
+                eval_episodes,
+            )?,
         };
         let platform_ips = self
             .modelled_ips(&cfg, training.qat_switch_step.is_some())
@@ -173,8 +177,9 @@ impl FixarSystem {
         let spec_env = self.env.make(0);
         let spec = spec_env.spec();
         match self.mode {
-            PrecisionMode::Float32 => Ok(fixar_platform::CpuGpuPlatformModel::for_benchmark()
-                .ips(cfg.batch_size)),
+            PrecisionMode::Float32 => {
+                Ok(fixar_platform::CpuGpuPlatformModel::for_benchmark().ips(cfg.batch_size))
+            }
             _ => {
                 let model = FixarPlatformModel::for_benchmark(spec.obs_dim, spec.action_dim)?;
                 let precision = if self.mode.uses_qat() && qat_fired {

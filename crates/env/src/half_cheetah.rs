@@ -65,25 +65,21 @@ impl HalfCheetah {
                 // Segments point straight down: capsule local +x maps to
                 // world −y under a −π/2 rotation.
                 let seg = world.add_body(
-                    BodyDef::dynamic(
-                        mass,
-                        Shape::Capsule {
-                            half_len,
-                            radius,
-                        },
-                    )
-                    .at(center)
-                    .rotated(-std::f64::consts::FRAC_PI_2),
+                    BodyDef::dynamic(mass, Shape::Capsule { half_len, radius })
+                        .at(center)
+                        .rotated(-std::f64::consts::FRAC_PI_2),
                 );
                 // Passive springs follow MuJoCo's HalfCheetah, which has
                 // stiff return springs on every leg joint.
                 let (stiffness, damping) = [(35.0, 1.2), (25.0, 1.0), (12.0, 0.6)][seg_idx];
-                joints.push(world.add_joint(
-                    JointDef::new(parent, seg, parent_anchor, Vec2::new(-half_len, 0.0))
-                        .with_limits(-1.0, 1.0)
-                        .with_motor(gears[leg * 3 + seg_idx])
-                        .with_spring(stiffness, damping),
-                ));
+                joints.push(
+                    world.add_joint(
+                        JointDef::new(parent, seg, parent_anchor, Vec2::new(-half_len, 0.0))
+                            .with_limits(-1.0, 1.0)
+                            .with_motor(gears[leg * 3 + seg_idx])
+                            .with_spring(stiffness, damping),
+                    ),
+                );
                 parent = seg;
                 parent_anchor = Vec2::new(half_len, 0.0);
                 top_y -= 2.0 * half_len;

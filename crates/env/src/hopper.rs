@@ -209,7 +209,11 @@ mod tests {
         let mut env = Hopper::new(2);
         env.reset();
         let r = env.step(&[0.0; 3]);
-        assert!(r.reward > 0.0, "idle hopper earns the alive bonus: {}", r.reward);
+        assert!(
+            r.reward > 0.0,
+            "idle hopper earns the alive bonus: {}",
+            r.reward
+        );
     }
 
     #[test]
@@ -234,10 +238,12 @@ mod tests {
         env.reset();
         let torso = env.rig.torso;
         let pos = env.rig.world.body(torso).position();
-        env.rig
-            .world
-            .body_mut(torso)
-            .set_state(fixar_sim::Vec2::new(pos.x, 0.3), env.initial_torso_angle, fixar_sim::Vec2::ZERO, 0.0);
+        env.rig.world.body_mut(torso).set_state(
+            fixar_sim::Vec2::new(pos.x, 0.3),
+            env.initial_torso_angle,
+            fixar_sim::Vec2::ZERO,
+            0.0,
+        );
         assert!(env.has_fallen());
     }
 }

@@ -34,9 +34,9 @@
 #![warn(missing_docs)]
 
 mod half_cheetah;
-mod rig;
 mod hopper;
 mod pendulum;
+mod rig;
 mod swimmer;
 
 pub use half_cheetah::HalfCheetah;

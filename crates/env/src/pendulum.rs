@@ -65,7 +65,9 @@ impl Environment for Pendulum {
     }
 
     fn reset(&mut self) -> Vec<f64> {
-        self.theta = self.rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        self.theta = self
+            .rng
+            .gen_range(-std::f64::consts::PI..std::f64::consts::PI);
         self.theta_dot = self.rng.gen_range(-1.0..1.0);
         self.steps = 0;
         self.observation()
@@ -82,8 +84,8 @@ impl Environment for Pendulum {
         let cost = th * th + 0.1 * self.theta_dot * self.theta_dot + 0.001 * u * u;
 
         // θ̈ = 3g/(2l)·sin θ + 3/(m l²)·u, θ measured from upright.
-        let acc = 3.0 * GRAVITY / (2.0 * LENGTH) * self.theta.sin()
-            + 3.0 / (MASS * LENGTH * LENGTH) * u;
+        let acc =
+            3.0 * GRAVITY / (2.0 * LENGTH) * self.theta.sin() + 3.0 / (MASS * LENGTH * LENGTH) * u;
         self.theta_dot = (self.theta_dot + acc * DT).clamp(-MAX_SPEED, MAX_SPEED);
         self.theta += self.theta_dot * DT;
         self.steps += 1;
@@ -128,9 +130,14 @@ mod tests {
     #[test]
     fn angle_normalize_wraps() {
         // 3π and −3π both normalize to ±π (the same physical angle).
-        assert!((angle_normalize(3.0 * std::f64::consts::PI).abs() - std::f64::consts::PI).abs() < 1e-9);
+        assert!(
+            (angle_normalize(3.0 * std::f64::consts::PI).abs() - std::f64::consts::PI).abs() < 1e-9
+        );
         assert!((angle_normalize(0.5) - 0.5).abs() < 1e-12);
-        assert!((angle_normalize(-3.0 * std::f64::consts::PI).abs() - std::f64::consts::PI).abs() < 1e-9);
+        assert!(
+            (angle_normalize(-3.0 * std::f64::consts::PI).abs() - std::f64::consts::PI).abs()
+                < 1e-9
+        );
         assert!(angle_normalize(2.0 * std::f64::consts::PI).abs() < 1e-9);
     }
 

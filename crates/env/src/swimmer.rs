@@ -30,39 +30,53 @@ pub struct Swimmer {
 impl Swimmer {
     /// Assembles the morphology with a reset seed.
     pub fn new(seed: u64) -> Self {
-        let mut cfg = WorldConfig::default();
-        cfg.gravity = 0.0;
-        cfg.ground_enabled = false;
-        cfg.linear_damping = 0.0;
-        cfg.angular_damping = 0.0;
-        cfg.fluid_drag_perp = 4.0;
-        cfg.fluid_drag_par = 0.15;
+        let cfg = WorldConfig {
+            gravity: 0.0,
+            ground_enabled: false,
+            linear_damping: 0.0,
+            angular_damping: 0.0,
+            fluid_drag_perp: 4.0,
+            fluid_drag_par: 0.15,
+            ..WorldConfig::default()
+        };
         let mut world = World::new(cfg);
 
         let mut links = Vec::with_capacity(3);
         for i in 0..3 {
-            links.push(world.add_body(
-                BodyDef::dynamic(
-                    1.0,
-                    Shape::Capsule {
-                        half_len: 0.5,
-                        radius: 0.05,
-                    },
-                )
-                .at(Vec2::new(-(i as f64), 0.0)),
-            ));
+            links.push(
+                world.add_body(
+                    BodyDef::dynamic(
+                        1.0,
+                        Shape::Capsule {
+                            half_len: 0.5,
+                            radius: 0.05,
+                        },
+                    )
+                    .at(Vec2::new(-(i as f64), 0.0)),
+                ),
+            );
         }
         let gears = vec![6.0, 6.0];
         let joints = vec![
             world.add_joint(
-                JointDef::new(links[0], links[1], Vec2::new(-0.5, 0.0), Vec2::new(0.5, 0.0))
-                    .with_limits(-1.7, 1.7)
-                    .with_motor(gears[0]),
+                JointDef::new(
+                    links[0],
+                    links[1],
+                    Vec2::new(-0.5, 0.0),
+                    Vec2::new(0.5, 0.0),
+                )
+                .with_limits(-1.7, 1.7)
+                .with_motor(gears[0]),
             ),
             world.add_joint(
-                JointDef::new(links[1], links[2], Vec2::new(-0.5, 0.0), Vec2::new(0.5, 0.0))
-                    .with_limits(-1.7, 1.7)
-                    .with_motor(gears[1]),
+                JointDef::new(
+                    links[1],
+                    links[2],
+                    Vec2::new(-0.5, 0.0),
+                    Vec2::new(0.5, 0.0),
+                )
+                .with_limits(-1.7, 1.7)
+                .with_motor(gears[1]),
             ),
         ];
 
@@ -120,11 +134,19 @@ impl Environment for Swimmer {
 
     fn step(&mut self, action: &[f64]) -> StepResult {
         assert_eq!(action.len(), 2, "swimmer takes 2 actions");
-        let com_x_before: f64 =
-            self.links.iter().map(|&l| self.rig.world.body(l).position().x).sum::<f64>() / 3.0;
+        let com_x_before: f64 = self
+            .links
+            .iter()
+            .map(|&l| self.rig.world.body(l).position().x)
+            .sum::<f64>()
+            / 3.0;
         self.rig.actuate(action);
-        let com_x_after: f64 =
-            self.links.iter().map(|&l| self.rig.world.body(l).position().x).sum::<f64>() / 3.0;
+        let com_x_after: f64 = self
+            .links
+            .iter()
+            .map(|&l| self.rig.world.body(l).position().x)
+            .sum::<f64>()
+            / 3.0;
         let forward_velocity = (com_x_after - com_x_before) / self.rig.control_dt();
         self.steps += 1;
         StepResult {

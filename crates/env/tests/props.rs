@@ -1,7 +1,7 @@
 //! Property-based tests for the environments: whatever the agent does,
 //! the simulation must stay finite, deterministic, and within spec.
 
-use fixar_env::{EnvKind, Environment};
+use fixar_env::EnvKind;
 use proptest::prelude::*;
 
 fn action_seq(dim: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {

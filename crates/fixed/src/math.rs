@@ -11,15 +11,14 @@
 /// 64 piecewise-linear segments over `[0, 4]`; beyond 4 the function is
 /// saturated to ±1, where `tanh` is within 7e-4 of its asymptote.
 const TANH_Q30: [i64; 65] = [
-    0, 67021619, 133523019, 199000008, 262979411, 325032097, 384783327, 441919982,
-    496194519, 547425766, 595496917, 640351229, 681985995, 720445410, 755812887, 788203292,
-    817755498, 844625518, 868980407, 890993016, 910837623, 928686409, 944706725, 959059047,
-    971895537, 983359117, 993582944, 1002690226, 1010794288, 1017998824, 1024398298, 1030078428,
-    1035116732, 1039583108, 1043540415, 1047045057, 1050147544, 1052893030, 1055321814, 1057469822,
-    1059369036, 1061047900, 1062531689, 1063842843, 1065001270, 1066024621, 1066928539, 1067726879,
-    1068431906, 1069054476, 1069604193, 1070089550, 1070518060, 1070896360, 1071230320, 1071525125,
-    1071785356, 1072015063, 1072217818, 1072396782, 1072554741, 1072694159, 1072817210, 1072925813,
-    1073021665,
+    0, 67021619, 133523019, 199000008, 262979411, 325032097, 384783327, 441919982, 496194519,
+    547425766, 595496917, 640351229, 681985995, 720445410, 755812887, 788203292, 817755498,
+    844625518, 868980407, 890993016, 910837623, 928686409, 944706725, 959059047, 971895537,
+    983359117, 993582944, 1002690226, 1010794288, 1017998824, 1024398298, 1030078428, 1035116732,
+    1039583108, 1043540415, 1047045057, 1050147544, 1052893030, 1055321814, 1057469822, 1059369036,
+    1061047900, 1062531689, 1063842843, 1065001270, 1066024621, 1066928539, 1067726879, 1068431906,
+    1069054476, 1069604193, 1070089550, 1070518060, 1070896360, 1071230320, 1071525125, 1071785356,
+    1072015063, 1072217818, 1072396782, 1072554741, 1072694159, 1072817210, 1072925813, 1073021665,
 ];
 
 /// `2^(i/32)` for `i = 0..=32`, in Q2.30.
@@ -54,7 +53,10 @@ fn q30_to_frac(v: i64, frac: u32) -> i64 {
 /// Input and output are raw fixed-point integers sharing the same format.
 /// The result always lies in `[-2^frac, 2^frac]` (i.e. `[-1.0, 1.0]`).
 pub(crate) fn tanh_raw(raw: i64, frac: u32) -> i64 {
-    debug_assert!(frac >= 4 && frac <= Q30, "tanh_raw requires 4..=30 fractional bits");
+    debug_assert!(
+        (4..=Q30).contains(&frac),
+        "tanh_raw requires 4..=30 fractional bits"
+    );
     let one = 1i64 << frac;
     let xmax = 4 * one;
     let ax = raw.abs();
@@ -84,19 +86,19 @@ pub(crate) fn tanh_raw(raw: i64, frac: u32) -> i64 {
 /// comes from a 32-segment piecewise-linear ROM. Returns `i64::MAX` on
 /// overflow (callers saturate).
 pub(crate) fn exp_raw(raw: i64, frac: u32) -> i64 {
-    debug_assert!(frac >= 5 && frac <= Q30);
+    debug_assert!((5..=Q30).contains(&frac));
     // t = x * log2(e), still with `frac` fractional bits.
     let t = (raw.saturating_mul(LOG2E_Q30)) >> Q30;
     let k = t >> frac; // floor of t: integer exponent
     let r = t - (k << frac); // fractional part in [0, 2^frac)
-    // 2^r via the POW2 ROM: 32 segments over [0, 1).
+                             // 2^r via the POW2 ROM: 32 segments over [0, 1).
     let seg_shift = frac - 5;
     let idx = (r >> seg_shift) as usize;
     let rem = r & ((1i64 << seg_shift) - 1);
     let y0 = POW2_Q30[idx];
     let y1 = POW2_Q30[idx + 1];
     let frac_pow = y0 + (((y1 - y0) * rem) >> seg_shift); // Q2.30 in [1, 2]
-    // result = frac_pow * 2^k, rescaled from Q30 to `frac`.
+                                                          // result = frac_pow * 2^k, rescaled from Q30 to `frac`.
     let shift = Q30 as i64 - frac as i64 - k;
     if shift <= 0 {
         let up = (-shift) as u32;

@@ -337,7 +337,8 @@ mod tests {
         assert_eq!(<f32 as Scalar>::NAME, "float32");
         assert_eq!(<Fx32 as Scalar>::NAME, "fixed32");
         assert_eq!(<Fx16 as Scalar>::NAME, "fixed16");
-        assert!(Fx32::IS_FIXED_POINT && !f32::IS_FIXED_POINT);
+        let (fixed, float) = (Fx32::IS_FIXED_POINT, f32::IS_FIXED_POINT);
+        assert!(fixed && !float);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the fixed-point substrate.
 
-use fixar_fixed::{AffineQuantizer, Fx16, Fx32, Q16, Q32, RangeMonitor, Scalar};
+use fixar_fixed::{AffineQuantizer, Fx16, Fx32, RangeMonitor, Scalar, Q16, Q32};
 use proptest::prelude::*;
 
 /// Range of f64 inputs that stay well inside Fx32's Q12.20 span.

@@ -167,7 +167,7 @@ fn update_slice<S: Scalar>(
         m[i] = b1 * m[i] + omb1 * g;
         v[i] = b2 * v[i] + omb2 * (g * g);
         let denom = v[i].sqrt() + eps;
-        params[i] = params[i] - lr_t * (m[i] / denom);
+        params[i] -= lr_t * (m[i] / denom);
     }
 }
 

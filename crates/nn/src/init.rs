@@ -63,6 +63,9 @@ mod tests {
         let mut rng = seeded_rng(3);
         let vals = WeightInit::Uniform(0.003).sample(1, 1, 1000, &mut rng);
         assert!(vals.iter().all(|v| v.abs() <= 0.003));
-        assert!(vals.iter().any(|v| v.abs() > 1e-4), "should not be all-zero");
+        assert!(
+            vals.iter().any(|v| v.abs() > 1e-4),
+            "should not be all-zero"
+        );
     }
 }

@@ -44,5 +44,5 @@ pub use adam::{Adam, AdamConfig};
 pub use error::NnError;
 pub use init::WeightInit;
 pub use loss::{half_mse, half_mse_grad};
-pub use mlp::{ForwardTrace, Mlp, MlpConfig, MlpGrads};
+pub use mlp::{BatchTrace, ForwardTrace, Mlp, MlpConfig, MlpGrads};
 pub use qat::{QatMode, QatRuntime};

@@ -62,7 +62,7 @@ impl MlpConfig {
                 "layer_sizes needs at least an input and an output width".into(),
             ));
         }
-        if self.layer_sizes.iter().any(|&w| w == 0) {
+        if self.layer_sizes.contains(&0) {
             return Err(NnError::InvalidConfig("zero-width layer".into()));
         }
         Ok(())
@@ -87,7 +87,11 @@ impl<S: Scalar> MlpGrads<S> {
                 .iter()
                 .map(|w| Matrix::zeros(w.rows(), w.cols()))
                 .collect(),
-            b: mlp.biases.iter().map(|b| vec![S::zero(); b.len()]).collect(),
+            b: mlp
+                .biases
+                .iter()
+                .map(|b| vec![S::zero(); b.len()])
+                .collect(),
         }
     }
 
@@ -124,12 +128,12 @@ impl<S: Scalar> MlpGrads<S> {
         for (mine, theirs) in self.w.iter_mut().zip(&other.w) {
             let dst = mine.as_mut_slice();
             for (d, &s) in dst.iter_mut().zip(theirs.as_slice()) {
-                *d = *d + s;
+                *d += s;
             }
         }
         for (mine, theirs) in self.b.iter_mut().zip(&other.b) {
             for (d, &s) in mine.iter_mut().zip(theirs) {
-                *d = *d + s;
+                *d += s;
             }
         }
     }
@@ -150,6 +154,30 @@ pub struct ForwardTrace<S> {
     /// Final network output (after output activation and, under QAT,
     /// quantization).
     pub output: Vec<S>,
+}
+
+/// Activations captured during a **batched** forward pass: the same data
+/// as [`ForwardTrace`], with one minibatch sample per matrix row.
+///
+/// Row `b` of every matrix is bit-identical to the vectors a per-sample
+/// [`ForwardTrace`] of sample `b` would hold (see the accumulation-order
+/// contract in the `fixar-tensor` crate docs).
+#[derive(Debug, Clone)]
+pub struct BatchTrace<S> {
+    /// Input to each layer: `inputs[0]` is the `(batch, in_dim)` network
+    /// input, `inputs[l]` the (possibly quantized) output of layer `l-1`.
+    pub inputs: Vec<Matrix<S>>,
+    /// Pre-activation `Z = A·Wᵀ + b` of each layer, `(batch, fan_out)`.
+    pub pre: Vec<Matrix<S>>,
+    /// Final network output, `(batch, out_dim)`.
+    pub output: Matrix<S>,
+}
+
+impl<S: Scalar> BatchTrace<S> {
+    /// Number of samples in the traced minibatch.
+    pub fn batch_size(&self) -> usize {
+        self.output.rows()
+    }
 }
 
 /// Fully-connected network, generic over the numeric backend.
@@ -190,9 +218,8 @@ impl<S: Scalar> Mlp<S> {
             let wf = init.sample(fan_in, fan_out, fan_in * fan_out, &mut rng);
             let bf = init.sample(fan_in, fan_out, fan_out, &mut rng);
             let data = wf.into_iter().map(S::from_f64).collect();
-            weights.push(
-                Matrix::from_vec(fan_out, fan_in, data).expect("init produced sized buffer"),
-            );
+            weights
+                .push(Matrix::from_vec(fan_out, fan_in, data).expect("init produced sized buffer"));
             biases.push(bf.into_iter().map(S::from_f64).collect());
         }
         Ok(Self {
@@ -376,7 +403,7 @@ impl<S: Scalar> Mlp<S> {
         for l in 0..n {
             let mut z = self.weights[l].gemv_alloc(&a)?;
             for (zi, &bi) in z.iter_mut().zip(&self.biases[l]) {
-                *zi = *zi + bi;
+                *zi += bi;
             }
             let act = if l + 1 == n {
                 self.output_act
@@ -395,6 +422,186 @@ impl<S: Scalar> Mlp<S> {
             pre,
             output: a,
         })
+    }
+
+    /// Batched inference: one minibatch sample per row of `x`, no
+    /// gradient bookkeeping. Row `b` of the result is bit-identical to
+    /// `forward(x.row(b))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x.cols() != input_dim()`.
+    pub fn forward_batch(&self, x: &Matrix<S>) -> Result<Matrix<S>, NnError> {
+        let mut qat = QatRuntime::disabled(self.num_layers() + 1);
+        Ok(self.forward_batch_qat(x, &mut qat)?.output)
+    }
+
+    /// Batched forward pass capturing the trace needed by
+    /// [`Mlp::backward_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x.cols() != input_dim()`.
+    pub fn forward_batch_trace(&self, x: &Matrix<S>) -> Result<BatchTrace<S>, NnError> {
+        let mut qat = QatRuntime::disabled(self.num_layers() + 1);
+        self.forward_batch_qat(x, &mut qat)
+    }
+
+    /// Batched forward pass through the QAT runtime: every quantization
+    /// point observes (or quantizes) the **whole activation matrix** of
+    /// the minibatch in one call, instead of one sample vector at a time.
+    /// Range monitors see exactly the same values as `batch` per-sample
+    /// passes (min/max/count are order-independent), and frozen
+    /// quantizers apply elementwise, so the batched pass stays
+    /// bit-exact with the per-sample path under every QAT mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] on input-width mismatch and
+    /// [`NnError::InvalidConfig`] if `qat` was built for a different
+    /// number of points.
+    pub fn forward_batch_qat(
+        &self,
+        x: &Matrix<S>,
+        qat: &mut QatRuntime,
+    ) -> Result<BatchTrace<S>, NnError> {
+        self.forward_batch_with(x, qat.num_points(), |point, xs| qat.process(point, xs))
+    }
+
+    /// Batched forward pass against an immutable QAT runtime (frozen
+    /// quantizers apply, nothing is recorded) — the batched analogue of
+    /// [`Mlp::forward_qat_frozen`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mlp::forward_batch_qat`].
+    pub fn forward_batch_qat_frozen(
+        &self,
+        x: &Matrix<S>,
+        qat: &QatRuntime,
+    ) -> Result<BatchTrace<S>, NnError> {
+        self.forward_batch_with(x, qat.num_points(), |point, xs| qat.apply(point, xs))
+    }
+
+    fn forward_batch_with(
+        &self,
+        x: &Matrix<S>,
+        qat_points: usize,
+        mut process: impl FnMut(usize, &mut [S]),
+    ) -> Result<BatchTrace<S>, NnError> {
+        if x.cols() != self.input_dim() {
+            return Err(NnError::Shape(fixar_tensor::ShapeError::new(
+                "mlp batch input",
+                (x.rows(), self.input_dim()),
+                x.shape(),
+            )));
+        }
+        if qat_points != self.num_layers() + 1 {
+            return Err(NnError::InvalidConfig(format!(
+                "qat runtime has {} points, network needs {}",
+                qat_points,
+                self.num_layers() + 1
+            )));
+        }
+        let n = self.num_layers();
+        let mut inputs = Vec::with_capacity(n);
+        let mut pre = Vec::with_capacity(n);
+
+        let mut a = x.clone();
+        process(0, a.as_mut_slice());
+        for l in 0..n {
+            let mut z = self.weights[l].gemv_batch_alloc(&a)?;
+            z.add_row_broadcast(&self.biases[l])?;
+            let act = if l + 1 == n {
+                self.output_act
+            } else {
+                self.hidden_act
+            };
+            let mut y = z.clone();
+            act.apply_slice(y.as_mut_slice());
+            process(l + 1, y.as_mut_slice());
+            inputs.push(a);
+            pre.push(z);
+            a = y;
+        }
+        Ok(BatchTrace {
+            inputs,
+            pre,
+            output: a,
+        })
+    }
+
+    /// Back-propagates a minibatch of output gradients (`dl_dout`, one
+    /// sample per row) through the batched trace, accumulating parameter
+    /// gradients into `grads` and returning the `(batch, input_dim)`
+    /// matrix of input gradients.
+    ///
+    /// Gradient accumulation across the batch runs in **ascending sample
+    /// order** (the documented reduction order of the gradient memory),
+    /// so the accumulated `grads` are bit-identical to calling
+    /// [`Mlp::backward`] on each sample's trace in row order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `dl_dout` is not
+    /// `(batch, output_dim())` or `grads` was shaped for another network.
+    pub fn backward_batch(
+        &self,
+        trace: &BatchTrace<S>,
+        dl_dout: &Matrix<S>,
+        grads: &mut MlpGrads<S>,
+    ) -> Result<Matrix<S>, NnError> {
+        let n = self.num_layers();
+        let bsz = trace.batch_size();
+        if dl_dout.shape() != (bsz, self.output_dim()) {
+            return Err(NnError::Shape(fixar_tensor::ShapeError::new(
+                "mlp batch backward",
+                (bsz, self.output_dim()),
+                dl_dout.shape(),
+            )));
+        }
+        if grads.w.len() != n {
+            return Err(NnError::InvalidConfig(
+                "gradient buffer has wrong layer count".into(),
+            ));
+        }
+        // Output-layer delta: dL/dZ = dL/dY ⊙ f'(Z), elementwise over the
+        // whole minibatch matrix.
+        let mut delta = dl_dout.clone();
+        for ((d, &z), &y) in delta
+            .as_mut_slice()
+            .iter_mut()
+            .zip(trace.pre[n - 1].as_slice())
+            .zip(trace.output.as_slice())
+        {
+            *d *= self.output_act.derivative(z, y);
+        }
+
+        for l in (0..n).rev() {
+            grads.w[l].add_outer_batch(&delta, &trace.inputs[l])?;
+            // Bias gradients: ascending sample order, like the weights.
+            for b in 0..bsz {
+                for (gb, &d) in grads.b[l].iter_mut().zip(delta.row(b)) {
+                    *gb += d;
+                }
+            }
+            let err = self.weights[l].gemv_t_batch_alloc(&delta)?;
+            if l > 0 {
+                delta = err;
+                for ((d, &z), &y) in delta
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(trace.pre[l - 1].as_slice())
+                    .zip(trace.inputs[l].as_slice())
+                {
+                    *d *= self.hidden_act.derivative(z, y);
+                }
+            } else {
+                return Ok(err);
+            }
+        }
+        // Zero-layer networks are rejected at construction; `n >= 1`.
+        unreachable!("validated networks have at least one layer");
     }
 
     /// Back-propagates `dl_dout` (∂loss/∂output) through the trace,
@@ -436,7 +643,7 @@ impl<S: Scalar> Mlp<S> {
         for l in (0..n).rev() {
             grads.w[l].add_outer(&delta, &trace.inputs[l])?;
             for (gb, &d) in grads.b[l].iter_mut().zip(&delta) {
-                *gb = *gb + d;
+                *gb += d;
             }
             let err = self.weights[l].gemv_t_alloc(&delta)?;
             if l > 0 {
@@ -635,8 +842,131 @@ mod tests {
             .forward(&x.iter().map(|&v| Fx32::from_f64(v)).collect::<Vec<_>>())
             .unwrap();
         for (a, b) in xf.iter().zip(&xq) {
-            assert!((a - b.to_f64()).abs() < 3e-3, "float={a} fixed={}", b.to_f64());
+            assert!(
+                (a - b.to_f64()).abs() < 3e-3,
+                "float={a} fixed={}",
+                b.to_f64()
+            );
         }
+    }
+
+    /// Deterministic pseudo-random Fx32 batch for a given input width.
+    fn fx32_batch(batch: usize, dim: usize) -> Matrix<Fx32> {
+        Matrix::<f64>::from_fn(batch, dim, |b, i| {
+            (((b * 13 + i * 7) % 17) as f64 - 8.0) * 0.11
+        })
+        .cast()
+    }
+
+    #[test]
+    fn forward_batch_bit_exact_with_per_sample_forward() {
+        let cfg = MlpConfig::new(vec![6, 16, 9, 4]).with_output_activation(Activation::Tanh);
+        let mlp = Mlp::<Fx32>::new_random(&cfg, 77).unwrap();
+        let x = fx32_batch(9, 6);
+        let y = mlp.forward_batch(&x).unwrap();
+        assert_eq!(y.shape(), (9, 4));
+        for b in 0..x.rows() {
+            assert_eq!(
+                y.row(b),
+                mlp.forward(x.row(b)).unwrap().as_slice(),
+                "row {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_batch_trace_rows_match_per_sample_traces() {
+        let cfg = MlpConfig::new(vec![5, 12, 3]);
+        let mlp = Mlp::<Fx32>::new_random(&cfg, 3).unwrap();
+        let x = fx32_batch(6, 5);
+        let bt = mlp.forward_batch_trace(&x).unwrap();
+        for b in 0..x.rows() {
+            let t = mlp.forward_trace(x.row(b)).unwrap();
+            for l in 0..mlp.num_layers() {
+                assert_eq!(bt.inputs[l].row(b), t.inputs[l].as_slice());
+                assert_eq!(bt.pre[l].row(b), t.pre[l].as_slice());
+            }
+            assert_eq!(bt.output.row(b), t.output.as_slice());
+        }
+        assert_eq!(bt.batch_size(), 6);
+    }
+
+    #[test]
+    fn backward_batch_bit_exact_with_sample_order_backward() {
+        let cfg = MlpConfig::new(vec![5, 14, 8, 2]).with_output_activation(Activation::Tanh);
+        let mlp = Mlp::<Fx32>::new_random(&cfg, 21).unwrap();
+        let x = fx32_batch(7, 5);
+        let dl = Matrix::<f64>::from_fn(7, 2, |b, i| ((b + i * 3) % 5) as f64 * 0.2 - 0.4)
+            .cast::<Fx32>();
+
+        // Batched path.
+        let bt = mlp.forward_batch_trace(&x).unwrap();
+        let mut batched = MlpGrads::zeros_like(&mlp);
+        let input_err_b = mlp.backward_batch(&bt, &dl, &mut batched).unwrap();
+
+        // Per-sample reference, ascending sample order.
+        let mut looped = MlpGrads::zeros_like(&mlp);
+        for b in 0..x.rows() {
+            let t = mlp.forward_trace(x.row(b)).unwrap();
+            let err = mlp.backward(&t, dl.row(b), &mut looped).unwrap();
+            assert_eq!(input_err_b.row(b), err.as_slice(), "input grad row {b}");
+        }
+        assert_eq!(batched.w, looped.w, "weight gradients must be bit-exact");
+        assert_eq!(batched.b, looped.b, "bias gradients must be bit-exact");
+    }
+
+    #[test]
+    fn batched_qat_calibration_and_quantization_match_per_sample() {
+        let cfg = MlpConfig::new(vec![4, 10, 2]).with_output_activation(Activation::Tanh);
+        let mlp = Mlp::<Fx32>::new_random(&cfg, 9).unwrap();
+        let x = fx32_batch(8, 4);
+
+        let mut qat_batched = QatRuntime::new(mlp.num_layers() + 1, 8);
+        let mut qat_looped = qat_batched.clone();
+
+        mlp.forward_batch_qat(&x, &mut qat_batched).unwrap();
+        for b in 0..x.rows() {
+            mlp.forward_qat(x.row(b), &mut qat_looped).unwrap();
+        }
+        for p in 0..qat_batched.num_points() {
+            assert_eq!(
+                qat_batched.monitor(p).range(),
+                qat_looped.monitor(p).range(),
+                "point {p} range"
+            );
+            assert_eq!(
+                qat_batched.monitor(p).count(),
+                qat_looped.monitor(p).count(),
+                "point {p} count"
+            );
+        }
+
+        qat_batched.freeze().unwrap();
+        qat_looped.freeze().unwrap();
+        let yb = mlp.forward_batch_qat(&x, &mut qat_batched).unwrap().output;
+        for b in 0..x.rows() {
+            let y = mlp.forward_qat(x.row(b), &mut qat_looped).unwrap().output;
+            assert_eq!(yb.row(b), y.as_slice(), "quantized row {b}");
+        }
+
+        // The frozen (read-only) variant agrees too.
+        let yf = mlp
+            .forward_batch_qat_frozen(&x, &qat_batched)
+            .unwrap()
+            .output;
+        assert_eq!(yf, yb);
+    }
+
+    #[test]
+    fn batch_shape_errors_are_reported() {
+        let mlp = Mlp::<f64>::new_random(&tiny_cfg(), 1).unwrap();
+        let bad = Matrix::<f64>::zeros(4, 2);
+        assert!(mlp.forward_batch(&bad).is_err());
+        let x = Matrix::<f64>::zeros(4, 3);
+        let t = mlp.forward_batch_trace(&x).unwrap();
+        let bad_dl = Matrix::<f64>::zeros(3, 2);
+        let mut grads = MlpGrads::zeros_like(&mlp);
+        assert!(mlp.backward_batch(&t, &bad_dl, &mut grads).is_err());
     }
 
     #[test]

@@ -294,7 +294,10 @@ mod tests {
         qat.process(1, &mut xs);
         qat.freeze().unwrap();
         assert!(qat.quantizer(0).is_some());
-        assert!(qat.quantizer(1).is_none(), "excluded point must not quantize");
+        assert!(
+            qat.quantizer(1).is_none(),
+            "excluded point must not quantize"
+        );
         let mut ys = [0.123456f64];
         qat.process(1, &mut ys);
         assert_eq!(ys[0], 0.123456);
@@ -315,7 +318,10 @@ mod tests {
         let base_out = base.quantizer(0).unwrap().fake_quantize(probe);
         let wide_out = wide.quantizer(0).unwrap().fake_quantize(probe);
         assert!(base_out < 3.1, "base should clamp: {base_out}");
-        assert!((wide_out - probe).abs() < 0.1, "widened should cover: {wide_out}");
+        assert!(
+            (wide_out - probe).abs() < 0.1,
+            "widened should cover: {wide_out}"
+        );
         // δ widens proportionally (2× range → 2× step at equal bits).
         let ratio = wide.quantizer(0).unwrap().delta() / base.quantizer(0).unwrap().delta();
         assert!((ratio - 2.0).abs() < 1e-9);
@@ -329,7 +335,7 @@ mod tests {
 
     #[test]
     fn apply_is_read_only_during_calibration() {
-        let mut qat = QatRuntime::new(1, 8);
+        let qat = QatRuntime::new(1, 8);
         let mut xs = [1.0f64];
         qat.apply(0, &mut xs);
         assert_eq!(qat.monitor(0).count(), 0, "apply must not record");

@@ -103,7 +103,12 @@ impl FixarPlatformModel {
     ///
     /// Returns [`AccelError::InvalidConfig`] for zero dimensions.
     pub fn for_benchmark(obs_dim: usize, action_dim: usize) -> Result<Self, AccelError> {
-        Self::new(HostModel::default(), AccelConfig::default(), obs_dim, action_dim)
+        Self::new(
+            HostModel::default(),
+            AccelConfig::default(),
+            obs_dim,
+            action_dim,
+        )
     }
 
     /// Fully parameterized constructor.
@@ -314,7 +319,10 @@ mod tests {
         assert!(b512.runtime_s / b64.runtime_s < 4.0);
         // FPGA time is roughly linear in batch.
         let accel_ratio = b512.accel_s / b64.accel_s;
-        assert!((6.0..9.0).contains(&accel_ratio), "accel ratio {accel_ratio}");
+        assert!(
+            (6.0..9.0).contains(&accel_ratio),
+            "accel ratio {accel_ratio}"
+        );
     }
 
     #[test]

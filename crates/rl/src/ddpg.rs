@@ -2,9 +2,10 @@
 
 use fixar_fixed::Scalar;
 use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, MlpGrads, QatMode, QatRuntime};
+use fixar_tensor::Matrix;
 
 use crate::error::RlError;
-use crate::replay::Transition;
+use crate::replay::{Transition, TransitionBatch};
 
 /// Algorithm 1's schedule: full-precision calibration for `delay`
 /// training timesteps, then `bits`-bit quantized activations.
@@ -139,7 +140,7 @@ impl DdpgConfig {
 }
 
 /// Diagnostics from one training batch.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TrainMetrics {
     /// Critic half-MSE against the TD targets.
     pub critic_loss: f64,
@@ -351,9 +352,118 @@ impl<S: Scalar> Ddpg<S> {
         Ok(trace.output.iter().map(|v| v.to_f64()).collect())
     }
 
-    /// One training update from a sampled batch, following the paper's
-    /// Fig. 3 sequence: critic BP/WU from TD targets, then actor BP/WU
-    /// led by the critic's action gradient, then target soft updates.
+    /// One training update with the whole minibatch flowing through the
+    /// stack as **one matrix per layer** — the software image of the
+    /// accelerator's intra-batch parallelism, and the hot path the
+    /// [`Trainer`](crate::Trainer) drives.
+    ///
+    /// The update follows the paper's Fig. 3 sequence exactly like
+    /// [`Ddpg::train_batch`]: critic BP/WU from TD targets, then actor
+    /// BP/WU led by the critic's action gradient, then target soft
+    /// updates. Per-element kernel reduction order and the
+    /// ascending-sample gradient accumulation order are preserved (see
+    /// the `fixar-tensor` crate docs), so the resulting weights are
+    /// **bit-identical** to the per-sample path on the same batch in
+    /// every backend, including `Fx32` — property-tested in
+    /// `tests/props.rs` and `tests/workspace_props.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::ReplayUnderflow`] for an empty batch and
+    /// [`RlError::Nn`] on shape mismatches.
+    pub fn train_minibatch(&mut self, batch: &TransitionBatch) -> Result<TrainMetrics, RlError> {
+        if batch.is_empty() {
+            return Err(RlError::ReplayUnderflow {
+                have: 0,
+                need: self.cfg.batch_size,
+            });
+        }
+        let b = batch.len();
+        let scale = 1.0 / b as f64;
+        let gamma = S::from_f64(self.cfg.gamma);
+
+        // TD targets from the target networks (no gradients), one batched
+        // pass per network instead of `b` vector passes.
+        let s_next: Matrix<S> = batch.next_states().cast();
+        let a_next = self
+            .actor_target
+            .forward_batch_qat(&s_next, &mut self.actor_target_qat)?
+            .output;
+        let target_in = s_next.hcat(&a_next).map_err(fixar_nn::NnError::Shape)?;
+        let q_next = self
+            .critic_target
+            .forward_batch_qat(&target_in, &mut self.critic_target_qat)?
+            .output;
+        let targets: Vec<S> = (0..b)
+            .map(|i| {
+                let bootstrap = if batch.terminals()[i] {
+                    S::zero()
+                } else {
+                    gamma * q_next[(i, 0)]
+                };
+                S::from_f64(batch.rewards()[i]) + bootstrap
+            })
+            .collect();
+
+        // Critic regression toward the targets: one batched forward, one
+        // batched backward, gradients reduced in ascending sample order.
+        self.critic_grads.reset();
+        let states: Matrix<S> = batch.states().cast();
+        let actions: Matrix<S> = batch.actions().cast();
+        let critic_in = states.hcat(&actions).map_err(fixar_nn::NnError::Shape)?;
+        let trace = self
+            .critic
+            .forward_batch_qat(&critic_in, &mut self.critic_qat)?;
+        let mut critic_loss = 0.0;
+        let mut q_sum = 0.0;
+        let mut dl = Matrix::zeros(b, 1);
+        for (i, &y) in targets.iter().enumerate() {
+            let q = trace.output[(i, 0)];
+            q_sum += q.to_f64();
+            let td = q.to_f64() - y.to_f64();
+            critic_loss += 0.5 * td * td * scale;
+            dl[(i, 0)] = (q - y) * S::from_f64(scale);
+        }
+        self.critic
+            .backward_batch(&trace, &dl, &mut self.critic_grads)?;
+        self.critic_opt.step(&mut self.critic, &self.critic_grads)?;
+
+        // Actor ascent on Q through the batched critic input gradient.
+        self.actor_grads.reset();
+        self.critic_scratch.reset();
+        let atrace = self.actor.forward_batch_qat(&states, &mut self.actor_qat)?;
+        let policy_in = states
+            .hcat(&atrace.output)
+            .map_err(fixar_nn::NnError::Shape)?;
+        let ctrace = self
+            .critic
+            .forward_batch_qat(&policy_in, &mut self.critic_qat)?;
+        let minus_scale = Matrix::from_fn(b, 1, |_, _| S::from_f64(-scale));
+        let dq_dinput =
+            self.critic
+                .backward_batch(&ctrace, &minus_scale, &mut self.critic_scratch)?;
+        let dq_da = dq_dinput.columns(self.state_dim, self.state_dim + self.action_dim);
+        self.actor
+            .backward_batch(&atrace, &dq_da, &mut self.actor_grads)?;
+        self.actor_opt.step(&mut self.actor, &self.actor_grads)?;
+
+        // Target soft updates.
+        self.actor_target
+            .soft_update_from(&self.actor, self.cfg.tau)?;
+        self.critic_target
+            .soft_update_from(&self.critic, self.cfg.tau)?;
+
+        self.train_steps += 1;
+        Ok(TrainMetrics {
+            critic_loss,
+            mean_q: q_sum * scale,
+        })
+    }
+
+    /// One training update from a sampled batch, processed **one sample
+    /// at a time** through the vector kernels — the bit-exactness
+    /// reference for [`Ddpg::train_minibatch`] and the building block of
+    /// the sharded [`Ddpg::train_batch_parallel`] path.
     ///
     /// # Errors
     ///
@@ -384,7 +494,11 @@ impl<S: Scalar> Ddpg<S> {
                 .critic_target
                 .forward_qat(&critic_in, &mut self.critic_target_qat)?
                 .output[0];
-            let bootstrap = if t.terminal { S::zero() } else { gamma * q_next };
+            let bootstrap = if t.terminal {
+                S::zero()
+            } else {
+                gamma * q_next
+            };
             targets.push(S::from_f64(t.reward) + bootstrap);
         }
 
@@ -416,16 +530,17 @@ impl<S: Scalar> Ddpg<S> {
             let mut critic_in = s;
             critic_in.extend_from_slice(&atrace.output);
             let ctrace = self.critic.forward_qat(&critic_in, &mut self.critic_qat)?;
-            let dq_dinput = self
-                .critic
-                .backward(&ctrace, &minus_scale, &mut self.critic_scratch)?;
+            let dq_dinput =
+                self.critic
+                    .backward(&ctrace, &minus_scale, &mut self.critic_scratch)?;
             let dq_da = &dq_dinput[self.state_dim..];
             self.actor.backward(&atrace, dq_da, &mut self.actor_grads)?;
         }
         self.actor_opt.step(&mut self.actor, &self.actor_grads)?;
 
         // Target soft updates.
-        self.actor_target.soft_update_from(&self.actor, self.cfg.tau)?;
+        self.actor_target
+            .soft_update_from(&self.actor, self.cfg.tau)?;
         self.critic_target
             .soft_update_from(&self.critic, self.cfg.tau)?;
 
@@ -502,16 +617,18 @@ impl<S: Scalar> Ddpg<S> {
                             for t in *shard {
                                 let s_next: Vec<S> =
                                     t.next_state.iter().map(|&v| S::from_f64(v)).collect();
-                                let a_next = actor_target
-                                    .forward_qat(&s_next, &mut actor_t_qat)?
-                                    .output;
+                                let a_next =
+                                    actor_target.forward_qat(&s_next, &mut actor_t_qat)?.output;
                                 let mut critic_in = s_next;
                                 critic_in.extend_from_slice(&a_next);
                                 let q_next = critic_target
                                     .forward_qat(&critic_in, &mut critic_t_qat)?
                                     .output[0];
-                                let bootstrap =
-                                    if t.terminal { S::zero() } else { gamma * q_next };
+                                let bootstrap = if t.terminal {
+                                    S::zero()
+                                } else {
+                                    gamma * q_next
+                                };
                                 let y = S::from_f64(t.reward) + bootstrap;
 
                                 let mut input: Vec<S> =
@@ -574,15 +691,13 @@ impl<S: Scalar> Ddpg<S> {
                 let handles: Vec<_> = shards
                     .iter()
                     .map(|shard| {
-                        let minus_scale = minus_scale;
                         scope.spawn(move |_| -> Result<ActorShard<S>, RlError> {
                             let mut actor_qat = base_actor_qat.clone();
                             let mut critic_qat = base_critic_qat.clone();
                             let mut grads = MlpGrads::zeros_like(actor);
                             let mut scratch = MlpGrads::zeros_like(critic);
                             for t in *shard {
-                                let s: Vec<S> =
-                                    t.state.iter().map(|&v| S::from_f64(v)).collect();
+                                let s: Vec<S> = t.state.iter().map(|&v| S::from_f64(v)).collect();
                                 let atrace = actor.forward_qat(&s, &mut actor_qat)?;
                                 let mut critic_in = s;
                                 critic_in.extend_from_slice(&atrace.output);
@@ -616,7 +731,8 @@ impl<S: Scalar> Ddpg<S> {
         }
         self.actor_opt.step(&mut self.actor, &self.actor_grads)?;
 
-        self.actor_target.soft_update_from(&self.actor, self.cfg.tau)?;
+        self.actor_target
+            .soft_update_from(&self.actor, self.cfg.tau)?;
         self.critic_target
             .soft_update_from(&self.critic, self.cfg.tau)?;
 
@@ -654,7 +770,11 @@ mod tests {
         assert!(Ddpg::<f64>::new(3, 1, bad).is_err());
         assert!(Ddpg::<f64>::new(0, 1, DdpgConfig::small_test()).is_err());
         let mut bad_qat = DdpgConfig::small_test();
-        bad_qat.qat = Some(QatSchedule { delay: 10, bits: 0, headroom: 1.5 });
+        bad_qat.qat = Some(QatSchedule {
+            delay: 10,
+            bits: 0,
+            headroom: 1.5,
+        });
         assert!(Ddpg::<f64>::new(3, 1, bad_qat).is_err());
     }
 
@@ -818,6 +938,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn minibatch_update_is_bit_identical_to_per_sample_fx32() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data = toy_batch(&mut rng, 24);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).unwrap();
+
+        let mut per_sample = Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let mut batched = per_sample.clone();
+        for step in 0..5 {
+            let a = per_sample.train_batch(&refs).unwrap();
+            let b = batched.train_minibatch(&batch).unwrap();
+            assert_eq!(a, b, "metrics diverged at step {step}");
+        }
+        assert_eq!(per_sample.actor(), batched.actor(), "actor weights");
+        assert_eq!(per_sample.critic(), batched.critic(), "critic weights");
+        assert_eq!(per_sample.train_steps(), batched.train_steps());
+    }
+
+    #[test]
+    fn minibatch_update_is_bit_identical_in_f64_and_under_qat() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let data = toy_batch(&mut rng, 16);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).unwrap();
+
+        // Plain f64.
+        let mut a = Ddpg::<f64>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let mut b = a.clone();
+        for _ in 0..3 {
+            a.train_batch(&refs).unwrap();
+            b.train_minibatch(&batch).unwrap();
+        }
+        assert_eq!(a.actor(), b.actor());
+
+        // QAT: calibrate, freeze, then train quantized — both paths.
+        let cfg = DdpgConfig::small_test().with_qat(1, 16);
+        let mut qa = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        let mut qb = qa.clone();
+        qa.act(&[0.1, 0.2, 0.3]).unwrap();
+        qb.act(&[0.1, 0.2, 0.3]).unwrap();
+        qa.train_batch(&refs).unwrap();
+        qb.train_minibatch(&batch).unwrap();
+        assert!(qa.on_timestep(2).unwrap());
+        assert!(qb.on_timestep(2).unwrap());
+        qa.train_batch(&refs).unwrap();
+        qb.train_minibatch(&batch).unwrap();
+        assert_eq!(qa.actor(), qb.actor(), "QAT actor weights");
+        assert_eq!(qa.critic(), qb.critic(), "QAT critic weights");
+    }
+
+    #[test]
+    fn minibatch_empty_batch_is_an_error() {
+        let mut agent = Ddpg::<f64>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let empty = TransitionBatch::from_transitions(&[]).unwrap();
+        assert!(matches!(
+            agent.train_minibatch(&empty),
+            Err(RlError::ReplayUnderflow { .. })
+        ));
     }
 
     #[test]

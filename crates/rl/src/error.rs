@@ -29,7 +29,10 @@ impl fmt::Display for RlError {
             RlError::Nn(e) => write!(f, "network error: {e}"),
             RlError::InvalidConfig(msg) => write!(f, "invalid rl config: {msg}"),
             RlError::ReplayUnderflow { have, need } => {
-                write!(f, "replay buffer has {have} transitions, batch needs {need}")
+                write!(
+                    f,
+                    "replay buffer has {have} transitions, batch needs {need}"
+                )
             }
         }
     }

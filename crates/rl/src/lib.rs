@@ -10,7 +10,10 @@
 //!   twin),
 //! * [`Ddpg`] — actor/critic networks with target networks, Adam, and
 //!   the Fig. 3 update sequence (critic BP/WU → actor BP/WU led by the
-//!   critic → actor FP),
+//!   critic → actor FP). The hot path is [`Ddpg::train_minibatch`],
+//!   which moves the whole sampled batch ([`TransitionBatch`]) through
+//!   the stack as one matrix per layer, bit-identical to the per-sample
+//!   reference [`Ddpg::train_batch`],
 //! * [`QatSchedule`] — Algorithm 1: calibrate activation ranges for
 //!   `delay` steps at 32-bit fixed-point, then re-train with 16-bit
 //!   quantized activations,
@@ -54,6 +57,6 @@ pub use ddpg::{Ddpg, DdpgConfig, QatSchedule, TrainMetrics};
 pub use error::RlError;
 pub use noise::{ExplorationNoise, GaussianNoise, OrnsteinUhlenbeck};
 pub use precision::PrecisionMode;
-pub use replay::{ReplayBuffer, Transition};
+pub use replay::{ReplayBuffer, Transition, TransitionBatch};
 pub use td3::{Td3, Td3Config};
 pub use trainer::{EvalPoint, Trainer, TrainingReport};

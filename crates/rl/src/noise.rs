@@ -149,7 +149,11 @@ mod tests {
         let ou_xs: Vec<f64> = (0..5000).map(|_| ou.sample(&mut rng)[0]).collect();
         let g_xs: Vec<f64> = (0..5000).map(|_| gaussian.sample(&mut rng)[0]).collect();
         assert!(auto(&ou_xs) > 0.5, "OU autocorrelation {}", auto(&ou_xs));
-        assert!(auto(&g_xs).abs() < 0.1, "IID autocorrelation {}", auto(&g_xs));
+        assert!(
+            auto(&g_xs).abs() < 0.1,
+            "IID autocorrelation {}",
+            auto(&g_xs)
+        );
     }
 
     #[test]

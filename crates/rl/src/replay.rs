@@ -1,5 +1,6 @@
 //! Experience replay.
 
+use fixar_tensor::{Matrix, ShapeError};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -98,6 +99,107 @@ impl ReplayBuffer {
             .map(|_| &self.storage[rng.gen_range(0..self.storage.len())])
             .collect()
     }
+
+    /// Samples `batch` transitions **directly into batch matrices** —
+    /// the entry point of the batched training path. Draws the same
+    /// index sequence as [`ReplayBuffer::sample`], so a trainer switching
+    /// between the two paths consumes its RNG identically.
+    ///
+    /// Returns `None` when the buffer holds fewer than `batch`
+    /// transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if stored transitions have inconsistent dimensions (the
+    /// push path does not validate, matching [`ReplayBuffer::sample`]'s
+    /// contract that callers store homogeneous transitions).
+    pub fn sample_batch(&self, batch: usize, rng: &mut StdRng) -> Option<TransitionBatch> {
+        if self.storage.len() < batch || batch == 0 {
+            return None;
+        }
+        let picks: Vec<&Transition> = (0..batch)
+            .map(|_| &self.storage[rng.gen_range(0..self.storage.len())])
+            .collect();
+        Some(TransitionBatch::from_transitions(&picks).expect("homogeneous replay storage"))
+    }
+}
+
+/// A minibatch of transitions in structure-of-arrays form: one sample
+/// per matrix row, ready for the batched kernels without per-sample
+/// staging. Row `b` holds exactly the fields of the `b`-th sampled
+/// [`Transition`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionBatch {
+    states: Matrix<f64>,
+    actions: Matrix<f64>,
+    rewards: Vec<f64>,
+    next_states: Matrix<f64>,
+    terminals: Vec<bool>,
+}
+
+impl TransitionBatch {
+    /// Packs borrowed transitions into batch matrices, in slice order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the transitions disagree on state or
+    /// action dimensions.
+    pub fn from_transitions(batch: &[&Transition]) -> Result<Self, ShapeError> {
+        let state_dim = batch.first().map_or(0, |t| t.state.len());
+        let action_dim = batch.first().map_or(0, |t| t.action.len());
+        Ok(Self {
+            states: Matrix::from_row_fn(batch, state_dim, |t| t.state.as_slice())?,
+            actions: Matrix::from_row_fn(batch, action_dim, |t| t.action.as_slice())?,
+            rewards: batch.iter().map(|t| t.reward).collect(),
+            next_states: Matrix::from_row_fn(batch, state_dim, |t| t.next_state.as_slice())?,
+            terminals: batch.iter().map(|t| t.terminal).collect(),
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.rewards.len()
+    }
+
+    /// `true` for a 0-sample batch.
+    pub fn is_empty(&self) -> bool {
+        self.rewards.is_empty()
+    }
+
+    /// State dimension.
+    pub fn state_dim(&self) -> usize {
+        self.states.cols()
+    }
+
+    /// Action dimension.
+    pub fn action_dim(&self) -> usize {
+        self.actions.cols()
+    }
+
+    /// `(batch, state_dim)` state matrix.
+    pub fn states(&self) -> &Matrix<f64> {
+        &self.states
+    }
+
+    /// `(batch, action_dim)` action matrix.
+    pub fn actions(&self) -> &Matrix<f64> {
+        &self.actions
+    }
+
+    /// Per-sample rewards.
+    pub fn rewards(&self) -> &[f64] {
+        &self.rewards
+    }
+
+    /// `(batch, state_dim)` successor-state matrix.
+    pub fn next_states(&self) -> &Matrix<f64> {
+        &self.next_states
+    }
+
+    /// Per-sample terminal flags.
+    pub fn terminals(&self) -> &[bool] {
+        &self.terminals
+    }
 }
 
 #[cfg(test)]
@@ -178,5 +280,54 @@ mod tests {
     #[should_panic(expected = "positive capacity")]
     fn zero_capacity_rejected() {
         let _ = ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn sample_batch_matches_sample_draw_sequence() {
+        let mut buf = ReplayBuffer::new(64);
+        for i in 0..64 {
+            buf.push(t(i as f64));
+        }
+        let refs = buf.sample(16, &mut StdRng::seed_from_u64(11));
+        let batch = buf
+            .sample_batch(16, &mut StdRng::seed_from_u64(11))
+            .expect("filled buffer");
+        assert_eq!(batch.len(), 16);
+        let from_refs = TransitionBatch::from_transitions(&refs).unwrap();
+        assert_eq!(batch, from_refs, "same RNG stream must pick same rows");
+    }
+
+    #[test]
+    fn sample_batch_respects_underflow() {
+        let mut buf = ReplayBuffer::new(8);
+        buf.push(t(1.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(buf.sample_batch(2, &mut rng).is_none());
+        assert!(buf.sample_batch(0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn transition_batch_rows_mirror_transitions() {
+        let data: Vec<Transition> = (0..4).map(|i| t(i as f64)).collect();
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.state_dim(), 1);
+        assert_eq!(batch.action_dim(), 1);
+        for (b, tr) in data.iter().enumerate() {
+            assert_eq!(batch.states().row(b), tr.state.as_slice());
+            assert_eq!(batch.actions().row(b), tr.action.as_slice());
+            assert_eq!(batch.next_states().row(b), tr.next_state.as_slice());
+            assert_eq!(batch.rewards()[b], tr.reward);
+            assert_eq!(batch.terminals()[b], tr.terminal);
+        }
+    }
+
+    #[test]
+    fn transition_batch_rejects_ragged_dimensions() {
+        let a = t(1.0);
+        let mut b = t(2.0);
+        b.state = vec![1.0, 2.0];
+        assert!(TransitionBatch::from_transitions(&[&a, &b]).is_err());
     }
 }

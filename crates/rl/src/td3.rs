@@ -18,12 +18,13 @@
 
 use fixar_fixed::Scalar;
 use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, MlpGrads};
+use fixar_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::ddpg::TrainMetrics;
 use crate::error::RlError;
-use crate::replay::Transition;
+use crate::replay::{Transition, TransitionBatch};
 
 /// TD3 hyperparameters (defaults follow Fujimoto et al.).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -212,20 +213,30 @@ impl<S: Scalar> Td3<S> {
         Ok(out.iter().map(|v| v.to_f64()).collect())
     }
 
+    /// One clipped Gaussian smoothing-noise draw (two uniforms through
+    /// Box–Muller). Both the per-sample and the batched update draw
+    /// through this single helper, so their RNG consumption — part of
+    /// the bit-exactness contract — cannot drift apart.
+    fn smoothing_noise(&mut self) -> f64 {
+        let n: f64 = {
+            let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        (n * self.cfg.target_noise_sigma)
+            .clamp(-self.cfg.target_noise_clip, self.cfg.target_noise_clip)
+    }
+
     /// Clipped double-Q TD target for one transition.
     fn td_target(&mut self, t: &Transition, gamma: S) -> Result<S, RlError> {
         let s_next: Vec<S> = t.next_state.iter().map(|&v| S::from_f64(v)).collect();
         let mut a_next = self.actor_target.forward(&s_next)?;
         // Target policy smoothing: clipped Gaussian noise, then clamp the
-        // action back into the tanh range.
-        for a in &mut a_next {
-            let n: f64 = {
-                let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-                let u2: f64 = self.rng.gen_range(0.0..1.0);
-                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-            };
-            let noise = (n * self.cfg.target_noise_sigma)
-                .clamp(-self.cfg.target_noise_clip, self.cfg.target_noise_clip);
+        // action back into the tanh range (noise drawn per element in
+        // ascending order — the RNG contract shared with the batched
+        // path).
+        let noises: Vec<f64> = (0..a_next.len()).map(|_| self.smoothing_noise()).collect();
+        for (a, noise) in a_next.iter_mut().zip(noises) {
             let v = (a.to_f64() + noise).clamp(-1.0, 1.0);
             *a = S::from_f64(v);
         }
@@ -238,8 +249,128 @@ impl<S: Scalar> Td3<S> {
         Ok(S::from_f64(t.reward) + bootstrap)
     }
 
-    /// One TD3 training update from a batch. Critics update every call;
-    /// the actor and targets update every `policy_delay` calls.
+    /// One TD3 training update with the minibatch flowing through the
+    /// stack as batch matrices (the TD3 analogue of
+    /// [`Ddpg::train_minibatch`](crate::Ddpg::train_minibatch)).
+    ///
+    /// The smoothing-noise RNG is consumed in exactly the per-sample
+    /// order (ascending sample, then ascending action dimension), and
+    /// gradients accumulate in ascending sample order, so the update is
+    /// **bit-identical** to [`Td3::train_batch`] on the same batch from
+    /// the same agent state, in every backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::ReplayUnderflow`] for an empty batch and
+    /// [`RlError::Nn`] on shape mismatches.
+    pub fn train_minibatch(&mut self, batch: &TransitionBatch) -> Result<TrainMetrics, RlError> {
+        if batch.is_empty() {
+            return Err(RlError::ReplayUnderflow { have: 0, need: 1 });
+        }
+        let b = batch.len();
+        let scale = 1.0 / b as f64;
+        let gamma = S::from_f64(self.cfg.gamma);
+
+        // Clipped double-Q targets: batched target-actor pass, per-sample
+        // noise draws in the per-sample RNG order, batched twin target
+        // critics, elementwise min.
+        let s_next: Matrix<S> = batch.next_states().cast();
+        let mut a_next = self.actor_target.forward_batch(&s_next)?;
+        for i in 0..b {
+            for k in 0..self.action_dim {
+                let noise = self.smoothing_noise();
+                let v = (a_next[(i, k)].to_f64() + noise).clamp(-1.0, 1.0);
+                a_next[(i, k)] = S::from_f64(v);
+            }
+        }
+        let target_in = s_next.hcat(&a_next).map_err(fixar_nn::NnError::Shape)?;
+        let q1_next = self.critic1_target.forward_batch(&target_in)?;
+        let q2_next = self.critic2_target.forward_batch(&target_in)?;
+        let targets: Vec<S> = (0..b)
+            .map(|i| {
+                let q_min = q1_next[(i, 0)].min(q2_next[(i, 0)]);
+                let bootstrap = if batch.terminals()[i] {
+                    S::zero()
+                } else {
+                    gamma * q_min
+                };
+                S::from_f64(batch.rewards()[i]) + bootstrap
+            })
+            .collect();
+
+        // Both critics regress toward the shared clipped targets.
+        let states: Matrix<S> = batch.states().cast();
+        let actions: Matrix<S> = batch.actions().cast();
+        let critic_in = states.hcat(&actions).map_err(fixar_nn::NnError::Shape)?;
+        let mut critic_loss = 0.0;
+        let mut q_sum = 0.0;
+        for critic_idx in 0..2 {
+            self.critic_grads.reset();
+            let critic = if critic_idx == 0 {
+                &self.critic1
+            } else {
+                &self.critic2
+            };
+            let trace = critic.forward_batch_trace(&critic_in)?;
+            let mut dl = Matrix::zeros(b, 1);
+            for (i, &y) in targets.iter().enumerate() {
+                let q = trace.output[(i, 0)];
+                if critic_idx == 0 {
+                    q_sum += q.to_f64();
+                }
+                let td = q.to_f64() - y.to_f64();
+                critic_loss += 0.5 * td * td * scale * 0.5;
+                dl[(i, 0)] = (q - y) * S::from_f64(scale);
+            }
+            if critic_idx == 0 {
+                self.critic1
+                    .backward_batch(&trace, &dl, &mut self.critic_grads)?;
+                self.critic1_opt
+                    .step(&mut self.critic1, &self.critic_grads)?;
+            } else {
+                self.critic2
+                    .backward_batch(&trace, &dl, &mut self.critic_grads)?;
+                self.critic2_opt
+                    .step(&mut self.critic2, &self.critic_grads)?;
+            }
+        }
+        self.critic_updates += 1;
+
+        // Delayed policy and target updates (through critic 1 only).
+        if self.critic_updates.is_multiple_of(self.cfg.policy_delay) {
+            self.actor_grads.reset();
+            self.critic_scratch.reset();
+            let atrace = self.actor.forward_batch_trace(&states)?;
+            let policy_in = states
+                .hcat(&atrace.output)
+                .map_err(fixar_nn::NnError::Shape)?;
+            let ctrace = self.critic1.forward_batch_trace(&policy_in)?;
+            let minus_scale = Matrix::from_fn(b, 1, |_, _| S::from_f64(-scale));
+            let dq_dinput =
+                self.critic1
+                    .backward_batch(&ctrace, &minus_scale, &mut self.critic_scratch)?;
+            let dq_da = dq_dinput.columns(self.state_dim, self.state_dim + self.action_dim);
+            self.actor
+                .backward_batch(&atrace, &dq_da, &mut self.actor_grads)?;
+            self.actor_opt.step(&mut self.actor, &self.actor_grads)?;
+            self.actor_target
+                .soft_update_from(&self.actor, self.cfg.tau)?;
+            self.critic1_target
+                .soft_update_from(&self.critic1, self.cfg.tau)?;
+            self.critic2_target
+                .soft_update_from(&self.critic2, self.cfg.tau)?;
+        }
+
+        Ok(TrainMetrics {
+            critic_loss,
+            mean_q: q_sum * scale,
+        })
+    }
+
+    /// One TD3 training update from a batch, one sample at a time — the
+    /// bit-exactness reference for [`Td3::train_minibatch`]. Critics
+    /// update every call; the actor and targets update every
+    /// `policy_delay` calls.
     ///
     /// # Errors
     ///
@@ -286,16 +417,18 @@ impl<S: Scalar> Td3<S> {
                 }
             }
             if critic_idx == 0 {
-                self.critic1_opt.step(&mut self.critic1, &self.critic_grads)?;
+                self.critic1_opt
+                    .step(&mut self.critic1, &self.critic_grads)?;
             } else {
-                self.critic2_opt.step(&mut self.critic2, &self.critic_grads)?;
+                self.critic2_opt
+                    .step(&mut self.critic2, &self.critic_grads)?;
             }
         }
         self.critic_updates += 1;
 
         // Delayed policy and target updates (through critic 1 only, per
         // the TD3 paper).
-        if self.critic_updates % self.cfg.policy_delay == 0 {
+        if self.critic_updates.is_multiple_of(self.cfg.policy_delay) {
             self.actor_grads.reset();
             self.critic_scratch.reset();
             let minus_scale = [S::from_f64(-scale)];
@@ -312,7 +445,8 @@ impl<S: Scalar> Td3<S> {
                 self.actor.backward(&atrace, dq_da, &mut self.actor_grads)?;
             }
             self.actor_opt.step(&mut self.actor, &self.actor_grads)?;
-            self.actor_target.soft_update_from(&self.actor, self.cfg.tau)?;
+            self.actor_target
+                .soft_update_from(&self.actor, self.cfg.tau)?;
             self.critic1_target
                 .soft_update_from(&self.critic1, self.cfg.tau)?;
             self.critic2_target
@@ -428,6 +562,42 @@ mod tests {
             let upper = t.reward + gamma * q1.max(q2) + 0.2; // smoothing slack
             assert!(y <= upper, "target {y} above loose bound {upper}");
         }
+    }
+
+    #[test]
+    fn minibatch_update_is_bit_identical_to_per_sample() {
+        let data = toy_batch(20);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).unwrap();
+
+        // Fx32 and f64: same agent state, same RNG stream, same batch —
+        // both paths must agree bit-for-bit across several updates
+        // (including the delayed actor update at step 2).
+        let mut a32 = Td3::<Fx32>::new(3, 1, Td3Config::small_test()).unwrap();
+        let mut b32 = a32.clone();
+        for step in 0..4 {
+            let ma = a32.train_batch(&refs).unwrap();
+            let mb = b32.train_minibatch(&batch).unwrap();
+            assert_eq!(ma, mb, "Fx32 metrics diverged at step {step}");
+        }
+        assert_eq!(a32.actor(), b32.actor());
+        assert_eq!(a32.critics(), b32.critics());
+
+        let mut a64 = Td3::<f64>::new(3, 1, Td3Config::small_test()).unwrap();
+        let mut b64 = a64.clone();
+        for _ in 0..4 {
+            a64.train_batch(&refs).unwrap();
+            b64.train_minibatch(&batch).unwrap();
+        }
+        assert_eq!(a64.actor(), b64.actor());
+        assert_eq!(a64.critic_updates(), b64.critic_updates());
+    }
+
+    #[test]
+    fn minibatch_empty_batch_is_an_error() {
+        let mut agent = Td3::<f64>::new(3, 1, Td3Config::small_test()).unwrap();
+        let empty = TransitionBatch::from_transitions(&[]).unwrap();
+        assert!(agent.train_minibatch(&empty).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The training loop and the paper's evaluation protocol.
 
-use fixar_fixed::Scalar;
 use fixar_env::Environment;
+use fixar_fixed::Scalar;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -11,7 +11,7 @@ use crate::noise::{ExplorationNoise, GaussianNoise};
 use crate::replay::{ReplayBuffer, Transition};
 
 /// One point of a Fig. 7 reward curve.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalPoint {
     /// Global timestep of the evaluation.
     pub step: u64,
@@ -20,7 +20,7 @@ pub struct EvalPoint {
 }
 
 /// Outcome of a training run.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingReport {
     /// Evaluation curve (the Fig. 7 series).
     pub curve: Vec<EvalPoint>,
@@ -80,7 +80,12 @@ impl<S: Scalar> Trainer<S> {
         if spec.obs_dim != espec.obs_dim || spec.action_dim != espec.action_dim {
             return Err(RlError::InvalidConfig(format!(
                 "train env {}({}, {}) and eval env {}({}, {}) disagree",
-                spec.name, spec.obs_dim, spec.action_dim, espec.name, espec.obs_dim, espec.action_dim
+                spec.name,
+                spec.obs_dim,
+                spec.action_dim,
+                espec.name,
+                espec.obs_dim,
+                espec.action_dim
             )));
         }
         let agent = Ddpg::new(spec.obs_dim, spec.action_dim, cfg)?;
@@ -182,18 +187,26 @@ impl<S: Scalar> Trainer<S> {
             }
 
             if self.steps_taken + step > self.cfg.warmup_steps {
-                let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
-                if !batch.is_empty() {
-                    final_metrics = if self.cfg.parallel_workers > 1 {
-                        self.agent
-                            .train_batch_parallel(&batch, self.cfg.parallel_workers)?
-                    } else {
-                        self.agent.train_batch(&batch)?
-                    };
+                if self.cfg.parallel_workers > 1 {
+                    // Sharded per-sample path (one shard per modelled AAP
+                    // core, merged in shard order).
+                    let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
+                    if !batch.is_empty() {
+                        final_metrics = self
+                            .agent
+                            .train_batch_parallel(&batch, self.cfg.parallel_workers)?;
+                    }
+                } else if let Some(batch) =
+                    self.replay.sample_batch(self.cfg.batch_size, &mut self.rng)
+                {
+                    // Batched hot path: the minibatch flows through the
+                    // stack as one matrix per layer (bit-identical to the
+                    // per-sample path).
+                    final_metrics = self.agent.train_minibatch(&batch)?;
                 }
             }
 
-            if (self.steps_taken + step) % eval_every == 0 {
+            if (self.steps_taken + step).is_multiple_of(eval_every) {
                 let avg = self.evaluate(eval_episodes)?;
                 curve.push(EvalPoint {
                     step: self.steps_taken + step,
@@ -296,9 +309,18 @@ mod tests {
     fn tail_mean_summarizes_curve() {
         let report = TrainingReport {
             curve: vec![
-                EvalPoint { step: 1, avg_reward: 0.0 },
-                EvalPoint { step: 2, avg_reward: 10.0 },
-                EvalPoint { step: 3, avg_reward: 20.0 },
+                EvalPoint {
+                    step: 1,
+                    avg_reward: 0.0,
+                },
+                EvalPoint {
+                    step: 2,
+                    avg_reward: 10.0,
+                },
+                EvalPoint {
+                    step: 3,
+                    avg_reward: 20.0,
+                },
             ],
             train_episodes: 0,
             total_steps: 3,

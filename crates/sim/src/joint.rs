@@ -156,9 +156,11 @@ impl RevoluteJoint {
         let rb = pb - b.position;
 
         // Effective mass matrix K of the point constraint.
-        let k11 = a.inv_mass + b.inv_mass + a.inv_inertia * ra.y * ra.y + b.inv_inertia * rb.y * rb.y;
+        let k11 =
+            a.inv_mass + b.inv_mass + a.inv_inertia * ra.y * ra.y + b.inv_inertia * rb.y * rb.y;
         let k12 = -a.inv_inertia * ra.x * ra.y - b.inv_inertia * rb.x * rb.y;
-        let k22 = a.inv_mass + b.inv_mass + a.inv_inertia * ra.x * ra.x + b.inv_inertia * rb.x * rb.x;
+        let k22 =
+            a.inv_mass + b.inv_mass + a.inv_inertia * ra.x * ra.x + b.inv_inertia * rb.x * rb.x;
         let det = k11 * k22 - k12 * k12;
         if det.abs() < 1e-12 {
             return; // two static bodies — nothing to solve
@@ -202,8 +204,13 @@ mod tests {
         let (a, b) = two_bodies();
         let _ = (&a, &b);
         let mut j = joint(
-            JointDef::new(BodyHandle(0), BodyHandle(1), Vec2::ZERO, Vec2::new(-1.0, 0.0))
-                .with_motor(10.0),
+            JointDef::new(
+                BodyHandle(0),
+                BodyHandle(1),
+                Vec2::ZERO,
+                Vec2::new(-1.0, 0.0),
+            )
+            .with_motor(10.0),
         );
         j.set_motor_torque(50.0);
         assert_eq!(j.motor_torque(), 10.0);
@@ -215,12 +222,16 @@ mod tests {
     fn motor_applies_equal_and_opposite() {
         let (mut a, mut b) = two_bodies();
         // Make `a` dynamic so we can observe the reaction torque.
-        let mut a_dyn =
-            RigidBody::from_def(&BodyDef::dynamic(1.0, Shape::Circle { radius: 0.1 }));
+        let mut a_dyn = RigidBody::from_def(&BodyDef::dynamic(1.0, Shape::Circle { radius: 0.1 }));
         std::mem::swap(&mut a, &mut a_dyn);
         let mut j = joint(
-            JointDef::new(BodyHandle(0), BodyHandle(1), Vec2::ZERO, Vec2::new(-1.0, 0.0))
-                .with_motor(5.0),
+            JointDef::new(
+                BodyHandle(0),
+                BodyHandle(1),
+                Vec2::ZERO,
+                Vec2::new(-1.0, 0.0),
+            )
+            .with_motor(5.0),
         );
         j.set_motor_torque(3.0);
         j.apply_torques(&mut a, &mut b, 0.0, 0.0);
@@ -231,13 +242,22 @@ mod tests {
     #[test]
     fn limits_push_back_when_exceeded() {
         let (mut a, mut b) = two_bodies();
-        let mut j = joint(
-            JointDef::new(BodyHandle(0), BodyHandle(1), Vec2::ZERO, Vec2::new(-1.0, 0.0))
-                .with_limits(-0.5, 0.5),
+        let j = joint(
+            JointDef::new(
+                BodyHandle(0),
+                BodyHandle(1),
+                Vec2::ZERO,
+                Vec2::new(-1.0, 0.0),
+            )
+            .with_limits(-0.5, 0.5),
         );
         b.set_state(b.position, 1.0, Vec2::ZERO, 0.0); // rel angle = 1.0 > hi
         j.apply_torques(&mut a, &mut b, 100.0, 1.0);
-        assert!(b.torque < 0.0, "limit torque must push back, got {}", b.torque);
+        assert!(
+            b.torque < 0.0,
+            "limit torque must push back, got {}",
+            b.torque
+        );
     }
 
     #[test]

@@ -351,17 +351,18 @@ mod tests {
 
     fn ball_world() -> (World, BodyHandle) {
         let mut w = World::new(WorldConfig::default());
-        let b = w.add_body(
-            BodyDef::dynamic(1.0, Shape::Circle { radius: 0.1 }).at(Vec2::new(0.0, 2.0)),
-        );
+        let b = w
+            .add_body(BodyDef::dynamic(1.0, Shape::Circle { radius: 0.1 }).at(Vec2::new(0.0, 2.0)));
         (w, b)
     }
 
     #[test]
     fn free_fall_matches_kinematics() {
-        let mut cfg = WorldConfig::default();
-        cfg.ground_enabled = false;
-        cfg.linear_damping = 0.0;
+        let cfg = WorldConfig {
+            ground_enabled: false,
+            linear_damping: 0.0,
+            ..WorldConfig::default()
+        };
         let mut w = World::new(cfg);
         let b = w.add_body(
             BodyDef::dynamic(1.0, Shape::Circle { radius: 0.1 }).at(Vec2::new(0.0, 100.0)),
@@ -373,7 +374,10 @@ mod tests {
         let expected = 100.0 - 0.5 * 9.81 * t * t;
         let got = w.body(b).position().y;
         // Semi-implicit Euler lags the exact parabola by O(dt·g·t).
-        assert!((got - expected).abs() < 0.05, "got={got} expected={expected}");
+        assert!(
+            (got - expected).abs() < 0.05,
+            "got={got} expected={expected}"
+        );
     }
 
     #[test]
@@ -392,18 +396,27 @@ mod tests {
         let run = || {
             let (mut w, b) = ball_world();
             let j = w.add_body(
-                BodyDef::dynamic(0.5, Shape::Capsule {
-                    half_len: 0.3,
-                    radius: 0.05,
-                })
+                BodyDef::dynamic(
+                    0.5,
+                    Shape::Capsule {
+                        half_len: 0.3,
+                        radius: 0.05,
+                    },
+                )
                 .at(Vec2::new(0.3, 2.0)),
             );
-            w.add_joint(JointDef::new(b, j, Vec2::new(0.1, 0.0), Vec2::new(-0.3, 0.0)).with_motor(5.0));
+            w.add_joint(
+                JointDef::new(b, j, Vec2::new(0.1, 0.0), Vec2::new(-0.3, 0.0)).with_motor(5.0),
+            );
             for i in 0..500 {
                 w.set_motor_torque(JointHandle(0), (i as f64 * 0.01).sin() * 5.0);
                 w.step();
             }
-            (w.body(b).position(), w.body(j).position(), w.kinetic_energy())
+            (
+                w.body(b).position(),
+                w.body(j).position(),
+                w.kinetic_energy(),
+            )
         };
         let (p1, q1, e1) = run();
         let (p2, q2, e2) = run();
@@ -414,12 +427,15 @@ mod tests {
 
     #[test]
     fn pendulum_swings_and_energy_stays_bounded() {
-        let mut cfg = WorldConfig::default();
-        cfg.ground_enabled = false;
-        cfg.linear_damping = 0.0;
-        cfg.angular_damping = 0.0;
+        let cfg = WorldConfig {
+            ground_enabled: false,
+            linear_damping: 0.0,
+            angular_damping: 0.0,
+            ..WorldConfig::default()
+        };
         let mut w = World::new(cfg);
-        let pivot = w.add_body(BodyDef::fixed(Shape::Circle { radius: 0.01 }).at(Vec2::new(0.0, 2.0)));
+        let pivot =
+            w.add_body(BodyDef::fixed(Shape::Circle { radius: 0.01 }).at(Vec2::new(0.0, 2.0)));
         let bob = w.add_body(
             BodyDef::dynamic(1.0, Shape::Circle { radius: 0.05 }).at(Vec2::new(1.0, 2.0)),
         );
@@ -443,9 +459,11 @@ mod tests {
 
     #[test]
     fn motor_spins_a_free_wheel() {
-        let mut cfg = WorldConfig::default();
-        cfg.ground_enabled = false;
-        cfg.gravity = 0.0;
+        let cfg = WorldConfig {
+            ground_enabled: false,
+            gravity: 0.0,
+            ..WorldConfig::default()
+        };
         let mut w = World::new(cfg);
         let anchor = w.add_body(BodyDef::fixed(Shape::Circle { radius: 0.01 }));
         let wheel = w.add_body(BodyDef::dynamic(1.0, Shape::Circle { radius: 0.2 }));
@@ -461,17 +479,23 @@ mod tests {
 
     #[test]
     fn fluid_drag_slows_motion() {
-        let mut cfg = WorldConfig::default();
-        cfg.ground_enabled = false;
-        cfg.gravity = 0.0;
-        cfg.fluid_drag_perp = 5.0;
-        cfg.fluid_drag_par = 0.5;
+        let cfg = WorldConfig {
+            ground_enabled: false,
+            gravity: 0.0,
+            fluid_drag_perp: 5.0,
+            fluid_drag_par: 0.5,
+            ..WorldConfig::default()
+        };
         let mut w = World::new(cfg);
-        let b = w.add_body(BodyDef::dynamic(1.0, Shape::Capsule {
-            half_len: 0.5,
-            radius: 0.05,
-        }));
-        w.body_mut(b).set_state(Vec2::ZERO, 0.0, Vec2::new(0.0, 1.0), 0.0);
+        let b = w.add_body(BodyDef::dynamic(
+            1.0,
+            Shape::Capsule {
+                half_len: 0.5,
+                radius: 0.05,
+            },
+        ));
+        w.body_mut(b)
+            .set_state(Vec2::ZERO, 0.0, Vec2::new(0.0, 1.0), 0.0);
         let v0 = w.body(b).velocity().length();
         for _ in 0..200 {
             w.step();
@@ -483,17 +507,22 @@ mod tests {
     #[test]
     fn drag_is_anisotropic() {
         let decay = |vel: Vec2| {
-            let mut cfg = WorldConfig::default();
-            cfg.ground_enabled = false;
-            cfg.gravity = 0.0;
-            cfg.linear_damping = 0.0;
-            cfg.fluid_drag_perp = 5.0;
-            cfg.fluid_drag_par = 0.2;
+            let cfg = WorldConfig {
+                ground_enabled: false,
+                gravity: 0.0,
+                linear_damping: 0.0,
+                fluid_drag_perp: 5.0,
+                fluid_drag_par: 0.2,
+                ..WorldConfig::default()
+            };
             let mut w = World::new(cfg);
-            let b = w.add_body(BodyDef::dynamic(1.0, Shape::Capsule {
-                half_len: 0.5,
-                radius: 0.05,
-            }));
+            let b = w.add_body(BodyDef::dynamic(
+                1.0,
+                Shape::Capsule {
+                    half_len: 0.5,
+                    radius: 0.05,
+                },
+            ));
             w.body_mut(b).set_state(Vec2::ZERO, 0.0, vel, 0.0);
             for _ in 0..100 {
                 w.step();
@@ -502,7 +531,10 @@ mod tests {
         };
         let along = decay(Vec2::new(1.0, 0.0));
         let across = decay(Vec2::new(0.0, 1.0));
-        assert!(across < along * 0.5, "axial {along} vs perpendicular {across}");
+        assert!(
+            across < along * 0.5,
+            "axial {along} vs perpendicular {across}"
+        );
     }
 
     #[test]
@@ -516,8 +548,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "dt must be positive")]
     fn invalid_config_rejected() {
-        let mut cfg = WorldConfig::default();
-        cfg.dt = 0.0;
+        let cfg = WorldConfig {
+            dt: 0.0,
+            ..WorldConfig::default()
+        };
         let _ = World::new(cfg);
     }
 
@@ -526,26 +560,34 @@ mod tests {
         // A 4-link chain with driven joints must remain numerically sane.
         let mut w = World::new(WorldConfig::default());
         let mut prev = w.add_body(
-            BodyDef::dynamic(2.0, Shape::Capsule {
-                half_len: 0.25,
-                radius: 0.05,
-            })
+            BodyDef::dynamic(
+                2.0,
+                Shape::Capsule {
+                    half_len: 0.25,
+                    radius: 0.05,
+                },
+            )
             .at(Vec2::new(0.0, 1.0)),
         );
         let mut joints = Vec::new();
         for i in 1..4 {
             let next = w.add_body(
-                BodyDef::dynamic(1.0, Shape::Capsule {
-                    half_len: 0.25,
-                    radius: 0.05,
-                })
+                BodyDef::dynamic(
+                    1.0,
+                    Shape::Capsule {
+                        half_len: 0.25,
+                        radius: 0.05,
+                    },
+                )
                 .at(Vec2::new(0.5 * i as f64, 1.0)),
             );
-            joints.push(w.add_joint(
-                JointDef::new(prev, next, Vec2::new(0.25, 0.0), Vec2::new(-0.25, 0.0))
-                    .with_motor(30.0)
-                    .with_limits(-1.0, 1.0),
-            ));
+            joints.push(
+                w.add_joint(
+                    JointDef::new(prev, next, Vec2::new(0.25, 0.0), Vec2::new(-0.25, 0.0))
+                        .with_motor(30.0)
+                        .with_limits(-1.0, 1.0),
+                ),
+            );
             prev = next;
         }
         for s in 0..2000 {

@@ -3,7 +3,12 @@
 //! This crate provides exactly the kernel set the FIXAR accelerator
 //! implements in hardware: matrix-vector multiplication by **column-wise
 //! matrix decomposition** (Fig. 4 of the paper), the transposed variant
-//! used in back-propagation, and outer-product gradient accumulation.
+//! used in back-propagation, and outer-product gradient accumulation —
+//! plus their **batched matrix-matrix forms** ([`Matrix::gemv_batch`],
+//! [`Matrix::gemv_t_batch`], [`Matrix::add_outer_batch`],
+//! [`Matrix::matmul`]) that move a whole minibatch through a layer as one
+//! operand, the software image of the accelerator's intra-batch
+//! parallelism.
 //!
 //! # Accumulation-order contract
 //!
@@ -17,6 +22,15 @@
 //! this reference. Each product is rounded to the scalar format before
 //! accumulation (the PE output register), and accumulation saturates (the
 //! accumulator clamp).
+//!
+//! The batched kernels extend the contract to minibatches: a batch is one
+//! row-major matrix with **one sample per row**, every output element
+//! keeps the exact per-element reduction order of its per-sample kernel
+//! (ascending `j` for forward, ascending `i` for the transpose), and
+//! batch-level reductions (gradient accumulation across samples) run in
+//! **ascending sample order**. Batched results are therefore bit-exact
+//! with running the per-sample kernel row by row — only the loop nest
+//! (and the throughput) differs.
 //!
 //! [`Scalar`]: fixar_fixed::Scalar
 

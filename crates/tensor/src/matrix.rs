@@ -199,9 +199,9 @@ impl<S: Scalar> Matrix<S> {
         }
         for (j, &xj) in x.iter().enumerate() {
             // One broadcast step: x[j] enters every PE row mapped to col j.
-            for i in 0..self.rows {
+            for (i, yi) in y.iter_mut().enumerate() {
                 let prod = self.data[i * self.cols + j] * xj;
-                y[i] = y[i] + prod;
+                *yi += prod;
             }
         }
         Ok(())
@@ -227,7 +227,11 @@ impl<S: Scalar> Matrix<S> {
     /// Returns [`ShapeError`] unless `e.len() == rows && y.len() == cols`.
     pub fn gemv_t(&self, e: &[S], y: &mut [S]) -> Result<(), ShapeError> {
         if e.len() != self.rows {
-            return Err(ShapeError::new("gemv_t input", (self.rows, 1), (e.len(), 1)));
+            return Err(ShapeError::new(
+                "gemv_t input",
+                (self.rows, 1),
+                (e.len(), 1),
+            ));
         }
         if y.len() != self.cols {
             return Err(ShapeError::new(
@@ -244,7 +248,7 @@ impl<S: Scalar> Matrix<S> {
         for (i, &ei) in e.iter().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for (j, &w) in row.iter().enumerate() {
-                y[j] = y[j] + w * ei;
+                y[j] += w * ei;
             }
         }
         Ok(())
@@ -285,10 +289,331 @@ impl<S: Scalar> Matrix<S> {
         for (i, &ei) in e.iter().enumerate() {
             let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
             for (j, &aj) in a.iter().enumerate() {
-                row[j] = row[j] + ei * aj;
+                row[j] += ei * aj;
             }
         }
         Ok(())
+    }
+
+    /// Batched matrix-vector product `Y[b] = W·A[b]` for a minibatch
+    /// stored one sample per row: `a` is `(batch, cols)`, `y` is
+    /// `(batch, rows)`.
+    ///
+    /// # Accumulation order
+    ///
+    /// Bit-exact with calling [`Matrix::gemv`] on every row of `a` in
+    /// row order: for each output element `y[b][i]`, partial products are
+    /// reduced over the columns `j` in ascending order — the same
+    /// per-element reduction sequence as the column-broadcast hardware
+    /// dataflow. (Only the *loop nest* differs: the batched kernel walks
+    /// `W` row-major with a register accumulator, which is what makes it
+    /// faster; saturation and rounding are per-element, so the result is
+    /// identical.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `a.cols() == cols` and `y` is
+    /// `(a.rows(), rows)`.
+    pub fn gemv_batch(&self, a: &Matrix<S>, y: &mut Matrix<S>) -> Result<(), ShapeError> {
+        if a.cols != self.cols {
+            return Err(ShapeError::new(
+                "gemv_batch input",
+                (a.rows, self.cols),
+                a.shape(),
+            ));
+        }
+        if y.shape() != (a.rows, self.rows) {
+            return Err(ShapeError::new(
+                "gemv_batch output",
+                (a.rows, self.rows),
+                y.shape(),
+            ));
+        }
+        // Column-broadcast form over a materialized transpose: for each
+        // input column `j`, the broadcast element `x[j]` multiplies the
+        // contiguous row `j` of Wᵀ and accumulates into the whole output
+        // row — element-independent within a step, so it vectorizes,
+        // while every output element still reduces in ascending `j`,
+        // exactly the per-element order of `gemv`'s column broadcast
+        // (bit-exact per row). The one-off transpose copy is amortized
+        // over the whole minibatch — this is what a per-sample kernel
+        // cannot do.
+        let cols = self.cols;
+        let wt = self.transposed();
+        for b in 0..a.rows {
+            let a_row = &a.data[b * cols..(b + 1) * cols];
+            let y_row = &mut y.data[b * self.rows..(b + 1) * self.rows];
+            for v in y_row.iter_mut() {
+                *v = S::zero();
+            }
+            for (j, &xj) in a_row.iter().enumerate() {
+                let wt_row = &wt.data[j * self.rows..(j + 1) * self.rows];
+                for (yi, &w) in y_row.iter_mut().zip(wt_row) {
+                    *yi += w * xj;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating variant of [`Matrix::gemv_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `a.cols() == cols`.
+    pub fn gemv_batch_alloc(&self, a: &Matrix<S>) -> Result<Matrix<S>, ShapeError> {
+        let mut y = Matrix::zeros(a.rows(), self.rows);
+        self.gemv_batch(a, &mut y)?;
+        Ok(y)
+    }
+
+    /// Batched transposed product `Y[b] = Wᵀ·E[b]` (back-propagation of a
+    /// whole minibatch of error rows): `e` is `(batch, rows)`, `y` is
+    /// `(batch, cols)`.
+    ///
+    /// # Accumulation order
+    ///
+    /// Bit-exact with calling [`Matrix::gemv_t`] on every row of `e` in
+    /// row order: for each output element `y[b][j]`, contributions are
+    /// reduced over `i` (the rows of `W`) in ascending order, exactly as
+    /// the row-broadcast transpose dataflow produces them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `e.cols() == rows` and `y` is
+    /// `(e.rows(), cols)`.
+    pub fn gemv_t_batch(&self, e: &Matrix<S>, y: &mut Matrix<S>) -> Result<(), ShapeError> {
+        if e.cols != self.rows {
+            return Err(ShapeError::new(
+                "gemv_t_batch input",
+                (e.rows, self.rows),
+                e.shape(),
+            ));
+        }
+        if y.shape() != (e.rows, self.cols) {
+            return Err(ShapeError::new(
+                "gemv_t_batch output",
+                (e.rows, self.cols),
+                y.shape(),
+            ));
+        }
+        for v in y.data.iter_mut() {
+            *v = S::zero();
+        }
+        let cols = self.cols;
+        // Four samples per pass (independent per-element chains, each
+        // still accumulating in ascending `i` — bit-exact with `gemv_t`
+        // per row), sharing every streamed weight row across the lanes.
+        let mut b = 0;
+        while b + 4 <= e.rows {
+            for i in 0..self.rows {
+                let w_row = &self.data[i * cols..(i + 1) * cols];
+                let e0 = e.data[b * e.cols + i];
+                let e1 = e.data[(b + 1) * e.cols + i];
+                let e2 = e.data[(b + 2) * e.cols + i];
+                let e3 = e.data[(b + 3) * e.cols + i];
+                for (j, &w) in w_row.iter().enumerate() {
+                    y.data[b * cols + j] += w * e0;
+                    y.data[(b + 1) * cols + j] += w * e1;
+                    y.data[(b + 2) * cols + j] += w * e2;
+                    y.data[(b + 3) * cols + j] += w * e3;
+                }
+            }
+            b += 4;
+        }
+        // Remainder rows: plain per-sample loop, same chain order.
+        for b in b..e.rows {
+            let e_row = &e.data[b * e.cols..(b + 1) * e.cols];
+            let y_row = &mut y.data[b * cols..(b + 1) * cols];
+            for (i, &ei) in e_row.iter().enumerate() {
+                let w_row = &self.data[i * cols..(i + 1) * cols];
+                for (yj, &w) in y_row.iter_mut().zip(w_row) {
+                    *yj += w * ei;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocating variant of [`Matrix::gemv_t_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `e.cols() == rows`.
+    pub fn gemv_t_batch_alloc(&self, e: &Matrix<S>) -> Result<Matrix<S>, ShapeError> {
+        let mut y = Matrix::zeros(e.rows(), self.cols);
+        self.gemv_t_batch(e, &mut y)?;
+        Ok(y)
+    }
+
+    /// Batched rank-1 gradient accumulation
+    /// `W += Σ_b E[b] ⊗ A[b]`, summed **in row (sample) order** — the
+    /// documented batch-reduction order of the gradient memory. Bit-exact
+    /// with calling [`Matrix::add_outer`] per sample row in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `e` is `(batch, rows)` and `a` is
+    /// `(batch, cols)` with equal batch sizes.
+    pub fn add_outer_batch(&mut self, e: &Matrix<S>, a: &Matrix<S>) -> Result<(), ShapeError> {
+        if e.rows != a.rows {
+            return Err(ShapeError::new(
+                "add_outer_batch batch",
+                e.shape(),
+                a.shape(),
+            ));
+        }
+        if e.cols != self.rows {
+            return Err(ShapeError::new(
+                "add_outer_batch rows",
+                (e.rows, self.rows),
+                e.shape(),
+            ));
+        }
+        if a.cols != self.cols {
+            return Err(ShapeError::new(
+                "add_outer_batch cols",
+                (a.rows, self.cols),
+                a.shape(),
+            ));
+        }
+        for b in 0..e.rows {
+            let e_row = &e.data[b * e.cols..(b + 1) * e.cols];
+            let a_row = &a.data[b * a.cols..(b + 1) * a.cols];
+            for (i, &ei) in e_row.iter().enumerate() {
+                let w_row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+                for (w, &aj) in w_row.iter_mut().zip(a_row) {
+                    *w += ei * aj;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// General matrix-matrix product `C = self · rhs` with the crate's
+    /// reduction contract: every output element accumulates its products
+    /// over the shared dimension `k` in ascending order, each product
+    /// rounded to the scalar format before the saturating add.
+    ///
+    /// [`Matrix::gemv_batch`] is this kernel specialized to
+    /// `A · selfᵀ` layouts; `w.gemv_batch_alloc(&a)` equals
+    /// `a.matmul(&w.transposed())` bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `rhs.rows() == cols`.
+    pub fn matmul(&self, rhs: &Matrix<S>) -> Result<Matrix<S>, ShapeError> {
+        if rhs.rows != self.cols {
+            return Err(ShapeError::new(
+                "matmul",
+                (self.cols, rhs.cols),
+                rhs.shape(),
+            ));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            // Ascending-k accumulation, streaming `rhs` row-major.
+            for (k, &aik) in a_row.iter().enumerate() {
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Adds `bias` to every row (the batched bias broadcast of the
+    /// accumulator stage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `bias.len() == cols`.
+    pub fn add_row_broadcast(&mut self, bias: &[S]) -> Result<(), ShapeError> {
+        if bias.len() != self.cols {
+            return Err(ShapeError::new(
+                "add_row_broadcast",
+                (1, self.cols),
+                (1, bias.len()),
+            ));
+        }
+        for b in 0..self.rows {
+            let row = &mut self.data[b * self.cols..(b + 1) * self.cols];
+            for (v, &bi) in row.iter_mut().zip(bias) {
+                *v += bi;
+            }
+        }
+        Ok(())
+    }
+
+    /// Horizontal concatenation `[self | rhs]` row by row (builds the
+    /// critic's `(state ‖ action)` batch input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless the operands have equal row counts.
+    pub fn hcat(&self, rhs: &Matrix<S>) -> Result<Matrix<S>, ShapeError> {
+        if self.rows != rhs.rows {
+            return Err(ShapeError::new("hcat", self.shape(), rhs.shape()));
+        }
+        let cols = self.cols + rhs.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for b in 0..self.rows {
+            data.extend_from_slice(self.row(b));
+            data.extend_from_slice(rhs.row(b));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        })
+    }
+
+    /// Copies a contiguous column range into a new `(rows, hi - lo)`
+    /// matrix (extracts `∂Q/∂a` from the critic's input gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi <= cols`.
+    pub fn columns(&self, lo: usize, hi: usize) -> Matrix<S> {
+        assert!(lo <= hi && hi <= self.cols, "column range out of bounds");
+        let mut data = Vec::with_capacity(self.rows * (hi - lo));
+        for b in 0..self.rows {
+            data.extend_from_slice(&self.row(b)[lo..hi]);
+        }
+        Matrix {
+            rows: self.rows,
+            cols: hi - lo,
+            data,
+        }
+    }
+
+    /// Builds a `(rows.len(), cols)` batch matrix from row slices drawn
+    /// through `f` (e.g. replay transitions to a state batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any produced row has the wrong length.
+    pub fn from_row_fn<'a, T: 'a>(
+        items: &'a [T],
+        cols: usize,
+        mut f: impl FnMut(&'a T) -> &'a [S],
+    ) -> Result<Matrix<S>, ShapeError> {
+        let mut data = Vec::with_capacity(items.len() * cols);
+        for (b, item) in items.iter().enumerate() {
+            let row = f(item);
+            if row.len() != cols {
+                return Err(ShapeError::new("from_row_fn", (b, cols), (b, row.len())));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: items.len(),
+            cols,
+            data,
+        })
     }
 
     /// Elementwise `self += other * scale`.
@@ -301,7 +626,7 @@ impl<S: Scalar> Matrix<S> {
             return Err(ShapeError::new("add_scaled", self.shape(), other.shape()));
         }
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a = *a + b * scale;
+            *a += b * scale;
         }
         Ok(())
     }
@@ -471,5 +796,125 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("gemv input"));
         assert!(msg.contains("3"));
+    }
+
+    /// Pseudo-random Fx32 batch/weight pair for bit-exactness checks.
+    fn fx32_case(rows: usize, cols: usize, batch: usize) -> (Matrix<Fx32>, Matrix<Fx32>) {
+        let w = Matrix::<f64>::from_fn(rows, cols, |r, c| {
+            (((r * 31 + c * 17) % 23) as f64 - 11.0) * 0.13
+        })
+        .cast::<Fx32>();
+        let a = Matrix::<f64>::from_fn(batch, cols, |b, c| {
+            (((b * 7 + c * 13) % 19) as f64 - 9.0) * 0.21
+        })
+        .cast::<Fx32>();
+        (w, a)
+    }
+
+    #[test]
+    fn gemv_batch_bit_exact_with_per_row_gemv() {
+        let (w, a) = fx32_case(5, 7, 6);
+        let y = w.gemv_batch_alloc(&a).unwrap();
+        for b in 0..a.rows() {
+            assert_eq!(y.row(b), w.gemv_alloc(a.row(b)).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn gemv_t_batch_bit_exact_with_per_row_gemv_t() {
+        let (w, _) = fx32_case(5, 7, 6);
+        let e = Matrix::<f64>::from_fn(6, 5, |b, i| ((b * 5 + i) % 11) as f64 * 0.3 - 1.5)
+            .cast::<Fx32>();
+        let y = w.gemv_t_batch_alloc(&e).unwrap();
+        for b in 0..e.rows() {
+            assert_eq!(y.row(b), w.gemv_t_alloc(e.row(b)).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn add_outer_batch_bit_exact_with_sample_order_loop() {
+        let (w, a) = fx32_case(5, 7, 6);
+        let e = Matrix::<f64>::from_fn(6, 5, |b, i| ((b * 3 + i) % 13) as f64 * 0.17 - 1.0)
+            .cast::<Fx32>();
+        let mut batched = Matrix::<Fx32>::zeros(w.rows(), w.cols());
+        batched.add_outer_batch(&e, &a).unwrap();
+        let mut looped = Matrix::<Fx32>::zeros(w.rows(), w.cols());
+        for b in 0..e.rows() {
+            looped.add_outer(e.row(b), a.row(b)).unwrap();
+        }
+        assert_eq!(batched, looped);
+    }
+
+    #[test]
+    fn gemv_batch_is_matmul_against_transpose() {
+        // The documented identity: W.gemv_batch(A) == A · Wᵀ, bit-exact
+        // in fixed point.
+        let (w, a) = fx32_case(4, 6, 5);
+        let via_batch = w.gemv_batch_alloc(&a).unwrap();
+        let via_matmul = a.matmul(&w.transposed()).unwrap();
+        assert_eq!(via_batch, via_matmul);
+    }
+
+    #[test]
+    fn matmul_matches_float_reference() {
+        let a = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::<f64>::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+        assert!(a.matmul(&Matrix::<f64>::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn batched_kernels_saturate_like_per_sample() {
+        // Saturating accumulation must clamp identically on both paths.
+        type Q = Q16<10>;
+        let w = Matrix::<Q>::from_fn(1, 8, |_, _| Q::from_f64(30.0));
+        let a = Matrix::<Q>::from_fn(3, 8, |_, _| Q::from_f64(1.0));
+        let y = w.gemv_batch_alloc(&a).unwrap();
+        for b in 0..3 {
+            assert_eq!(y[(b, 0)], Q::MAX);
+        }
+    }
+
+    #[test]
+    fn add_row_broadcast_and_hcat_and_columns() {
+        let mut z = Matrix::<f64>::zeros(2, 3);
+        z.add_row_broadcast(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(z.row(1), &[1.0, 2.0, 3.0]);
+        assert!(z.add_row_broadcast(&[1.0]).is_err());
+
+        let s = Matrix::<f64>::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let a = Matrix::<f64>::from_rows(&[&[5.0], &[6.0]]).unwrap();
+        let cat = s.hcat(&a).unwrap();
+        assert_eq!(cat.row(0), &[1.0, 2.0, 5.0]);
+        assert_eq!(cat.row(1), &[3.0, 4.0, 6.0]);
+        assert!(s.hcat(&Matrix::<f64>::zeros(3, 1)).is_err());
+
+        let right = cat.columns(2, 3);
+        assert_eq!(right.shape(), (2, 1));
+        assert_eq!(right[(1, 0)], 6.0);
+    }
+
+    #[test]
+    fn from_row_fn_builds_batches_and_validates() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let m = Matrix::<f64>::from_row_fn(&rows, 2, |r| r.as_slice()).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert!(Matrix::<f64>::from_row_fn(&rows, 3, |r| r.as_slice()).is_err());
+    }
+
+    #[test]
+    fn batched_shape_errors() {
+        let (w, a) = fx32_case(4, 6, 5);
+        let bad = Matrix::<Fx32>::zeros(5, 4);
+        assert!(w.gemv_batch_alloc(&bad).is_err());
+        let mut y = Matrix::<Fx32>::zeros(4, 4);
+        assert!(w.gemv_batch(&a, &mut y).is_err());
+        assert!(w.gemv_t_batch_alloc(&a).is_err());
+        let mut g = Matrix::<Fx32>::zeros(4, 6);
+        let e = Matrix::<Fx32>::zeros(3, 4);
+        assert!(g.add_outer_batch(&e, &a).is_err());
     }
 }

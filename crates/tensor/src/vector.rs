@@ -13,9 +13,7 @@ use fixar_fixed::Scalar;
 /// Panics if the slices have different lengths.
 pub fn dot<S: Scalar>(a: &[S], b: &[S]) -> S {
     assert_eq!(a.len(), b.len(), "dot requires equal lengths");
-    a.iter()
-        .zip(b)
-        .fold(S::zero(), |acc, (&x, &y)| acc + x * y)
+    a.iter().zip(b).fold(S::zero(), |acc, (&x, &y)| acc + x * y)
 }
 
 /// `y[i] += alpha · x[i]`.
@@ -26,7 +24,7 @@ pub fn dot<S: Scalar>(a: &[S], b: &[S]) -> S {
 pub fn axpy<S: Scalar>(alpha: S, x: &[S], y: &mut [S]) {
     assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
     for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi = *yi + alpha * xi;
+        *yi += alpha * xi;
     }
 }
 
@@ -47,7 +45,7 @@ pub fn hadamard<S: Scalar>(a: &[S], b: &[S], out: &mut [S]) {
 /// Elementwise in-place scale `x[i] *= alpha`.
 pub fn scale<S: Scalar>(alpha: S, x: &mut [S]) {
     for xi in x {
-        *xi = *xi * alpha;
+        *xi *= alpha;
     }
 }
 

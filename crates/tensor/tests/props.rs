@@ -70,6 +70,73 @@ proptest! {
     }
 
     #[test]
+    fn gemv_batch_rows_equal_per_sample_gemv_fx32(
+        w in small_matrix(),
+        batch in 1usize..9,
+    ) {
+        // Bit-exactness of the batched forward kernel, in fixed point.
+        let wq: Matrix<Fx32> = w.cast();
+        let a = Matrix::<f64>::from_fn(batch, w.cols(), |b, c| {
+            ((b * 13 + c * 7) as f64 * 0.37).sin() * 4.0
+        }).cast::<Fx32>();
+        let y = wq.gemv_batch_alloc(&a).unwrap();
+        for b in 0..batch {
+            let reference = wq.gemv_alloc(a.row(b)).unwrap();
+            prop_assert_eq!(y.row(b), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn gemv_t_batch_rows_equal_per_sample_gemv_t_fx32(
+        w in small_matrix(),
+        batch in 1usize..9,
+    ) {
+        let wq: Matrix<Fx32> = w.cast();
+        let e = Matrix::<f64>::from_fn(batch, w.rows(), |b, r| {
+            ((b * 5 + r * 11) as f64 * 0.29).cos() * 3.0
+        }).cast::<Fx32>();
+        let y = wq.gemv_t_batch_alloc(&e).unwrap();
+        for b in 0..batch {
+            let reference = wq.gemv_t_alloc(e.row(b)).unwrap();
+            prop_assert_eq!(y.row(b), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn add_outer_batch_equals_sample_order_accumulation_fx32(
+        w in small_matrix(),
+        batch in 1usize..9,
+    ) {
+        // The documented batch-reduction order: ascending sample index.
+        let e = Matrix::<f64>::from_fn(batch, w.rows(), |b, r| {
+            ((b * 3 + r) as f64 * 0.41).sin() * 2.0
+        }).cast::<Fx32>();
+        let a = Matrix::<f64>::from_fn(batch, w.cols(), |b, c| {
+            ((b * 7 + c) as f64 * 0.53).cos() * 2.0
+        }).cast::<Fx32>();
+        let mut batched: Matrix<Fx32> = w.cast();
+        let mut looped = batched.clone();
+        batched.add_outer_batch(&e, &a).unwrap();
+        for b in 0..batch {
+            looped.add_outer(e.row(b), a.row(b)).unwrap();
+        }
+        prop_assert_eq!(batched, looped);
+    }
+
+    #[test]
+    fn gemv_batch_is_matmul_against_transpose(w in small_matrix(), batch in 1usize..7) {
+        // W.gemv_batch(A) == A · Wᵀ — the matrix-matrix identity, exact
+        // in fixed point because the per-element reduction orders match.
+        let wq: Matrix<Fx32> = w.cast();
+        let a = Matrix::<f64>::from_fn(batch, w.cols(), |b, c| {
+            ((b + c * 3) as f64 * 0.61).sin()
+        }).cast::<Fx32>();
+        let lhs = wq.gemv_batch_alloc(&a).unwrap();
+        let rhs = a.matmul(&wq.transposed()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
     fn dot_of_cat_is_sum_of_dots(
         a in prop::collection::vec(-5.0..5.0f64, 1..8),
         b in prop::collection::vec(-5.0..5.0f64, 1..8),

@@ -26,13 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Structural inference through the PE array, both datapath modes.
-    let state: Vec<Fx32> = (0..17).map(|i| Fx32::from_f64((i as f64 * 0.3).sin())).collect();
+    let state: Vec<Fx32> = (0..17)
+        .map(|i| Fx32::from_f64((i as f64 * 0.3).sin()))
+        .collect();
     let (action_full, cycles_full) = accel.actor_inference(&state, Precision::Full32)?;
     let (action_half, cycles_half) = accel.actor_inference(&state, Precision::Half16)?;
     let sw_action = actor.forward(&state)?;
     println!("actor inference (state -> 6 actions):");
     println!("  full precision: {cycles_full} cycles");
-    println!("  half precision: {cycles_half} cycles ({:.2}x fewer)", cycles_full as f64 / cycles_half as f64);
+    println!(
+        "  half precision: {cycles_half} cycles ({:.2}x fewer)",
+        cycles_full as f64 / cycles_half as f64
+    );
     let max_dev = action_full
         .iter()
         .zip(&sw_action)
@@ -87,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let noise = accel.exploration_noise(6, 0.1);
     println!(
         "PRNG exploration noise (sigma 0.1): {:?}",
-        noise.iter().map(|v| (v.to_f64() * 1e4).round() / 1e4).collect::<Vec<_>>()
+        noise
+            .iter()
+            .map(|v| (v.to_f64() * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
     );
     Ok(())
 }

@@ -12,8 +12,8 @@
 //! improves during the full-precision phase, dips briefly right after
 //! the 16-bit switch, and recovers as re-training proceeds.
 
-use fixar_repro::prelude::*;
 use fixar::{EnvKind, FixarSystem, PrecisionMode};
+use fixar_repro::prelude::*;
 
 fn main() -> Result<(), RlError> {
     let total_steps = 6_000;
@@ -22,13 +22,15 @@ fn main() -> Result<(), RlError> {
     // Paper hyperparameters, with lighter hidden layers so the example
     // stays in the minutes range. Change to `hidden: (400, 300)` for the
     // exact paper topology.
-    let mut cfg = DdpgConfig::default();
-    cfg.hidden = (96, 72);
-    cfg.batch_size = 64;
-    cfg.warmup_steps = 1_000;
-    cfg.actor_lr = 1e-3;
-    cfg.critic_lr = 1e-3;
-    cfg.replay_capacity = 50_000;
+    let cfg = DdpgConfig {
+        hidden: (96, 72),
+        batch_size: 64,
+        warmup_steps: 1_000,
+        actor_lr: 1e-3,
+        critic_lr: 1e-3,
+        replay_capacity: 50_000,
+        ..DdpgConfig::default()
+    };
 
     println!("FIXAR on HalfCheetah (17 obs, 6 actions), dynamic fixed-point");
     println!(

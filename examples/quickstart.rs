@@ -10,8 +10,8 @@
 //! learning — the core behaviour of the paper's Algorithm 1 — in about a
 //! minute of CPU time.
 
-use fixar_repro::prelude::*;
 use fixar::{EnvKind, FixarSystem, PrecisionMode};
+use fixar_repro::prelude::*;
 
 fn main() -> Result<(), RlError> {
     // Small networks keep the software fixed-point simulation quick; the

@@ -48,7 +48,11 @@ fn main() -> Result<(), RlError> {
             next_state: res.observation.clone(),
             terminal: res.terminated,
         });
-        obs = if res.done() { env.reset() } else { res.observation };
+        obs = if res.done() {
+            env.reset()
+        } else {
+            res.observation
+        };
 
         if step > warmup {
             let sample = replay.sample(batch, &mut rng);

@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let power = PowerModel::default();
 
     println!("=== end-to-end platform IPS (post-QAT) ===");
-    println!("{:<12} {:>6} {:>12} {:>12} {:>9}", "benchmark", "batch", "FIXAR", "CPU-GPU", "speedup");
+    println!(
+        "{:<12} {:>6} {:>12} {:>12} {:>9}",
+        "benchmark", "batch", "FIXAR", "CPU-GPU", "speedup"
+    );
     for kind in EnvKind::PAPER_BENCHMARKS {
         let spec_env = kind.make(0);
         let spec = spec_env.spec();
@@ -56,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g_ips = gpu.accelerator_ips(512);
     let util = model.accelerator_utilization(512, Precision::Half16);
     let f_w = power.fpga_power_w(util);
-    println!("FIXAR: {f_ips:>9.1} IPS at {f_w:.1} W -> {:>7.1} IPS/W", f_ips / f_w);
+    println!(
+        "FIXAR: {f_ips:>9.1} IPS at {f_w:.1} W -> {:>7.1} IPS/W",
+        f_ips / f_w
+    );
     println!(
         "GPU:   {g_ips:>9.1} IPS at {:.1} W -> {:>7.1} IPS/W",
         56.7,

@@ -1,0 +1,226 @@
+//! Offline shim of the `criterion` API used by `crates/bench`.
+//!
+//! The build environment cannot fetch crates.io, so this crate provides
+//! the same macros/types (`criterion_group!`, `criterion_main!`,
+//! [`Criterion`], benchmark groups, `Bencher::iter`) backed by a simple
+//! but honest wall-clock harness: each benchmark is warmed up, then
+//! sampled `sample_size` times with an iteration count calibrated to a
+//! per-sample time budget, and the median/mean per-iteration time is
+//! printed in criterion's familiar `time: [...]` shape. No statistics
+//! beyond that — good enough to compare kernels at order-of-magnitude
+//! to 2× resolution, which is what the FIXAR benches assert about.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness handle (one per `criterion_group!` function).
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement: Duration::from_millis(400),
+            warm_up: Duration::from_millis(80),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            id.as_ref(),
+            self.sample_size,
+            self.measurement,
+            self.warm_up,
+            &mut f,
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_benchmark(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.measurement,
+            self.criterion.warm_up,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (parity with criterion; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; drives the measured routine.
+pub struct Bencher {
+    /// Mean per-iteration time of the median sample, in nanoseconds.
+    result_ns: f64,
+    iters_per_sample: u64,
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, called in a tight loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up budget elapses, counting calls
+        // so we can calibrate the per-sample iteration count.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std_black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement.as_secs_f64() / self.samples as f64;
+        self.iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut sample_means: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(routine());
+            }
+            sample_means.push(t.elapsed().as_secs_f64() * 1e9 / self.iters_per_sample as f64);
+        }
+        sample_means.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.result_ns = sample_means[sample_means.len() / 2];
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_benchmark<F>(id: &str, samples: usize, measurement: Duration, warm_up: Duration, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        result_ns: 0.0,
+        iters_per_sample: 0,
+        samples: samples.max(2),
+        warm_up,
+        measurement,
+    };
+    f(&mut b);
+    println!(
+        "{id:<48} time: [{}]  ({} iters/sample × {} samples)",
+        format_time(b.result_ns),
+        b.iters_per_sample,
+        b.samples.max(2),
+    );
+}
+
+/// Declares a group function running each listed benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_orders_cheap_vs_expensive() {
+        let mut c = Criterion {
+            sample_size: 4,
+            measurement: Duration::from_millis(20),
+            warm_up: Duration::from_millis(2),
+        };
+        let mut cheap_ns = 0.0;
+        let mut costly_ns = 0.0;
+        {
+            let mut g = c.benchmark_group("t");
+            g.bench_function("warm", |b| b.iter(|| black_box(1u64).wrapping_mul(3)));
+            g.finish();
+        }
+        // Direct Bencher probing for the ordering assertion.
+        let mut b = Bencher {
+            result_ns: 0.0,
+            iters_per_sample: 0,
+            samples: 4,
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(20),
+        };
+        b.iter(|| black_box(2u64).wrapping_add(2));
+        cheap_ns = f64::max(cheap_ns, b.result_ns);
+        b.iter(|| (0..2000u64).fold(0u64, |a, x| a.wrapping_add(black_box(x))));
+        costly_ns = f64::max(costly_ns, b.result_ns);
+        assert!(costly_ns > cheap_ns * 5.0, "{costly_ns} vs {cheap_ns}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Offline shim for the subset of `crossbeam` used by this workspace:
+//! `crossbeam::thread::scope(...)` with `scope.spawn(|_| ...)` and
+//! `handle.join()`, implemented over `std::thread::scope` (stable since
+//! Rust 1.63). Semantics match the workspace's usage: all threads join
+//! before `scope` returns, and panics surface through `join()`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` if the
+        /// thread panicked).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a placeholder
+        /// argument for signature compatibility with `crossbeam`, which
+        /// passes the scope itself (no caller in this workspace uses it).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, non-`'static` threads
+    /// can be spawned; returns once every spawned thread has joined.
+    ///
+    /// # Errors
+    ///
+    /// The real crossbeam returns `Err` when an *unjoined* thread
+    /// panicked. With `std::thread::scope` such a panic propagates as a
+    /// panic instead, so this shim always returns `Ok` — callers that
+    /// `.expect()` the result behave identically either way.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_all_threads_and_collects_results() {
+        let data = [1, 2, 3, 4];
+        let chunks: Vec<&[i32]> = data.chunks(2).collect();
+        let sums: Vec<i32> = super::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|c| scope.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        })
+        .expect("scope");
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let caught = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .expect("scope itself succeeds");
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline shim of the `proptest` API surface used by this workspace.
+//!
+//! Provides the [`Strategy`] trait (ranges, tuples, `any::<T>()`,
+//! `prop::collection::vec`, `prop_map` / `prop_flat_map`), the
+//! [`proptest!`] macro with `#![proptest_config(...)]` support, and the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via the
+//!   assertion message) but is not minimized.
+//! * **Deterministic seeding** — cases derive from a fixed seed mixed
+//!   with the case index, so test runs are reproducible without
+//!   `proptest-regressions` files.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner/config types (`proptest::test_runner` in the real crate).
+pub mod test_runner {
+    /// Per-`proptest!`-block configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Failure raised by `prop_assert!`-style macros.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self(msg.into())
+        }
+    }
+}
+
+/// Source of randomness handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for one test, derived from its name hash.
+    pub fn for_test(name_hash: u64) -> Self {
+        Self(StdRng::seed_from_u64(name_hash ^ 0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// A generator of values of an associated type.
+///
+/// The real proptest `Strategy` produces shrinkable value *trees*; this
+/// shim generates plain values.
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value and draws from
+    /// it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}) rejected 1000 candidates", self.whence);
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws a uniformly distributed value over the whole type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.0.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.0.gen_bool(0.5)
+    }
+}
+
+/// Full-range strategy for `T` (see [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Namespaced helpers mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection`).
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use core::ops::Range;
+        use rand::Rng;
+
+        /// Length specification: an exact `usize` or a `Range<usize>`.
+        pub trait IntoSizeRange {
+            /// Draws a concrete length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl IntoSizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                rng.0.gen_range(self.clone())
+            }
+        }
+
+        /// Strategy producing `Vec`s of values from `element`.
+        pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.len.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` test expects in scope.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop, proptest, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne};
+}
+
+/// Compile-time FNV-1a hash of a test name, for deterministic seeding.
+#[must_use]
+pub const fn fnv1a(name: &str) -> u64 {
+    let bytes = name.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+/// Declares property tests: each `#[test] fn name(x in strategy, ...)`
+/// runs its body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@block ($cfg) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])* fn $name:ident $($rest:tt)*
+    ) => {
+        $crate::proptest!(@block ($crate::test_runner::Config::default())
+            $(#[$meta])* fn $name $($rest)*);
+    };
+    (@block ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::TestRng::for_test($crate::fnv1a(stringify!($name)));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        case + 1,
+                        config.cases,
+                        e.0
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` that fails the surrounding proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the surrounding proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let lhs = $a;
+        let rhs = $b;
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", lhs, rhs),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let lhs = $a;
+        let rhs = $b;
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that fails the surrounding proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let lhs = $a;
+        let rhs = $b;
+        if lhs == rhs {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                lhs, rhs
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_respected(x in -3.0..3.0f64, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n), "n={n}");
+        }
+
+        #[test]
+        fn vec_lengths_respected(xs in prop::collection::vec(0.0..1.0f64, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn flat_map_composes(m in (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
+            prop::collection::vec(0.0..1.0f64, r * c).prop_map(move |v| (r, c, v))
+        })) {
+            let (r, c, v) = m;
+            prop_assert_eq!(v.len(), r * c);
+        }
+
+        #[test]
+        fn any_covers_negative_ints(_x in any::<i32>()) {
+            // Smoke: generation itself succeeds.
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_test(crate::fnv1a("t"));
+        let mut b = crate::TestRng::for_test(crate::fnv1a("t"));
+        let s = 0.0..1.0f64;
+        for _ in 0..20 {
+            assert_eq!(
+                crate::Strategy::generate(&s, &mut a),
+                crate::Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

@@ -51,7 +51,9 @@ fn paper_size_networks_bit_exact_and_on_chip() {
     let mb = accel.model_bytes() as f64 / 1e6;
     assert!((1.0..1.15).contains(&mb), "on-chip image {mb} MB");
 
-    let state: Vec<Fx32> = (0..17).map(|i| Fx32::from_f64(i as f64 * 0.1 - 0.8)).collect();
+    let state: Vec<Fx32> = (0..17)
+        .map(|i| Fx32::from_f64(i as f64 * 0.1 - 0.8))
+        .collect();
     let (hw, cycles) = accel.actor_inference(&state, Precision::Full32).unwrap();
     assert_eq!(hw, actor.forward(&state).unwrap());
     // Intra-layer parallelism: one inference in the hundreds of cycles.
@@ -88,6 +90,84 @@ fn weight_memory_image_roundtrips_the_model() {
     assert_eq!(bytes.len() % 64, 0);
     assert_eq!(bytes.len(), accel.model_bytes());
     assert!(bytes.len() >= (actor.param_count() + critic.param_count()) * 4);
+}
+
+#[test]
+fn batched_structural_inference_bit_exact_vs_forward_batch() {
+    // The batched compute path end to end: the accelerator's batched
+    // structural execution must agree bit-for-bit with
+    // `Mlp::forward_batch`, which in turn is bit-exact with the
+    // per-sample kernels — one arithmetic answer across all three paths.
+    use fixar_tensor::Matrix;
+    for (sizes_a, sizes_c, seed, batch) in [
+        (vec![3, 8, 2], vec![5, 8, 1], 41u64, 4usize),
+        (vec![5, 24, 18, 2], vec![7, 24, 18, 1], 42, 9),
+        (vec![8, 33, 17, 2], vec![10, 33, 17, 1], 43, 16), // ragged widths
+    ] {
+        let (actor, critic) = random_pair(sizes_a, sizes_c, seed);
+        let mut accel = FixarAccelerator::new(AccelConfig::default()).unwrap();
+        accel.load_ddpg(&actor, &critic).unwrap();
+
+        let states = Matrix::<f64>::from_fn(batch, actor.input_dim(), |b, i| {
+            ((b * 11 + i * 5) as f64 * 0.23).sin()
+        })
+        .cast::<Fx32>();
+        let (hw, cycles) = accel
+            .actor_inference_batch(&states, Precision::Full32)
+            .unwrap();
+        let sw = actor.forward_batch(&states).unwrap();
+        assert_eq!(hw, sw, "seed {seed}: batched actor mismatch");
+        assert!(cycles > 0);
+
+        let sa = Matrix::<f64>::from_fn(batch, critic.input_dim(), |b, i| {
+            ((b * 7 + i * 3) as f64 * 0.31).cos()
+        })
+        .cast::<Fx32>();
+        let (hw_q, _) = accel
+            .critic_inference_batch(&sa, Precision::Full32)
+            .unwrap();
+        let sw_q = critic.forward_batch(&sa).unwrap();
+        assert_eq!(hw_q, sw_q, "seed {seed}: batched critic mismatch");
+
+        // And each row equals the single-vector structural path.
+        for b in 0..batch {
+            let (row_hw, _) = accel
+                .actor_inference(states.row(b), Precision::Full32)
+                .unwrap();
+            assert_eq!(hw.row(b), row_hw.as_slice(), "row {b}");
+        }
+    }
+}
+
+#[test]
+fn batched_cycle_model_outperforms_per_sample_model() {
+    // The batched kernels' timing twin: same arithmetic, higher
+    // occupancy, more IPS — on the loaded paper-size pair.
+    let (actor, critic) = random_pair(vec![17, 400, 300, 6], vec![23, 400, 300, 1], 77);
+    let mut accel = FixarAccelerator::new(AccelConfig::default()).unwrap();
+    accel.load_ddpg(&actor, &critic).unwrap();
+    for precision in [Precision::Full32, Precision::Half16] {
+        for batch in [64usize, 128, 512] {
+            let per_sample = accel.train_timestep_cycles(batch, precision).unwrap();
+            let batched = accel
+                .train_timestep_cycles_batched(batch, precision)
+                .unwrap();
+            assert!(
+                batched.ips > per_sample.ips,
+                "batch {batch} {precision:?}: {} <= {}",
+                batched.ips,
+                per_sample.ips
+            );
+            assert!(batched.utilization > per_sample.utilization);
+            assert_eq!(
+                batched.total,
+                batched.forward + batched.backward + batched.weight_update + batched.inference
+            );
+        }
+    }
+    assert!(accel
+        .train_timestep_cycles_batched(0, Precision::Full32)
+        .is_err());
 }
 
 #[test]

@@ -10,9 +10,9 @@
 //! training state can be advanced by either implementation
 //! interchangeably.
 
-use fixar_repro::prelude::*;
 use fixar_accel::{AapCore, AdamUnit, WeightMemory};
 use fixar_nn::MlpGrads;
+use fixar_repro::prelude::*;
 
 /// Structural forward pass through the weight-memory image, capturing
 /// the same trace the software forward produces.
@@ -31,7 +31,7 @@ fn hw_forward(
         let mut z = vec![Fx32::ZERO; layer.rows];
         core.mvm_columns(&w, &act, 0, 1, &mut z);
         for (i, zi) in z.iter_mut().enumerate() {
-            *zi = *zi + mem.bias(layer, i);
+            *zi += mem.bias(layer, i);
         }
         let a = if l + 1 == n {
             image.output_activation
@@ -67,7 +67,11 @@ fn hw_backward(
             .iter()
             .map(|l| fixar_tensor::Matrix::zeros(l.rows, l.cols))
             .collect(),
-        b: image.layers.iter().map(|l| vec![Fx32::ZERO; l.rows]).collect(),
+        b: image
+            .layers
+            .iter()
+            .map(|l| vec![Fx32::ZERO; l.rows])
+            .collect(),
     };
     let mut delta: Vec<Fx32> = dl_dout
         .iter()
@@ -79,7 +83,7 @@ fn hw_backward(
         let w = mem.layer_matrix(layer);
         grads.w[l].add_outer(&delta, &inputs[l]).unwrap();
         for (gb, &d) in grads.b[l].iter_mut().zip(&delta) {
-            *gb = *gb + d;
+            *gb += d;
         }
         if l > 0 {
             // Transposed structural dataflow: weight rows → PE rows.
@@ -168,7 +172,10 @@ fn hardware_training_step_moves_the_q_function() {
         &image,
     );
 
-    let x: Vec<Fx32> = vec![0.2, -0.4, 0.7].into_iter().map(Fx32::from_f64).collect();
+    let x: Vec<Fx32> = vec![0.2, -0.4, 0.7]
+        .into_iter()
+        .map(Fx32::from_f64)
+        .collect();
     let target = 0.9;
     let mut first_err = None;
     let mut last_err = 0.0;

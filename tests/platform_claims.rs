@@ -1,8 +1,8 @@
 //! The paper's quantitative claims, checked against the integrated
 //! models (the per-figure details live in `crates/bench`).
 
-use fixar_repro::prelude::*;
 use fixar_accel::comparison;
+use fixar_repro::prelude::*;
 
 #[test]
 fn headline_abstract_numbers() {
@@ -74,7 +74,10 @@ fn figure10_fixar_flat_gpu_ramping() {
     let fmin = f.iter().cloned().fold(f64::MAX, f64::min);
     assert!(fmax / fmin < 1.10, "FIXAR accel IPS not flat: {f:?}");
     // GPU: strictly increasing and more than 2× from 64 to 512.
-    assert!(g.windows(2).all(|w| w[1] > w[0]), "GPU IPS not rising: {g:?}");
+    assert!(
+        g.windows(2).all(|w| w[1] > w[0]),
+        "GPU IPS not rising: {g:?}"
+    );
     assert!(g[3] / g[0] > 2.0, "GPU ramp too shallow: {g:?}");
 }
 
@@ -101,7 +104,11 @@ fn table2_fixar_leads_normalized_and_efficiency() {
     let fixar_kb = rows[2].network_kb;
     let fixar_norm = rows[2].normalized_peak_ips(fixar_kb);
     for other in &rows[..2] {
-        assert!(fixar_norm > other.normalized_peak_ips(fixar_kb), "{}", other.name);
+        assert!(
+            fixar_norm > other.normalized_peak_ips(fixar_kb),
+            "{}",
+            other.name
+        );
     }
     assert!(rows[2].ips_per_watt.unwrap() > rows[0].ips_per_watt.unwrap());
 }

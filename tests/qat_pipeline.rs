@@ -1,8 +1,8 @@
 //! End-to-end tests of Algorithm 1's schedule: calibration → freeze →
 //! quantized re-training, through the full trainer stack.
 
-use fixar_repro::prelude::*;
 use fixar::{EnvKind, FixarSystem};
+use fixar_repro::prelude::*;
 
 #[test]
 fn dynamic_mode_switches_and_keeps_training() {
@@ -77,14 +77,12 @@ fn fixed16_from_scratch_stagnates_while_fixed32_moves() {
             cfg,
         )
         .unwrap();
-        let before: Vec<f64> = trainer.agent().actor().weight(0).as_slice()
-            [..8]
+        let before: Vec<f64> = trainer.agent().actor().weight(0).as_slice()[..8]
             .iter()
             .map(|v| v.to_f64())
             .collect();
         trainer.run(300, 300, 1).unwrap();
-        let after: Vec<f64> = trainer.agent().actor().weight(0).as_slice()
-            [..8]
+        let after: Vec<f64> = trainer.agent().actor().weight(0).as_slice()[..8]
             .iter()
             .map(|v| v.to_f64())
             .collect();

@@ -37,6 +37,38 @@ proptest! {
         prop_assert_eq!(hw, sw);
     }
 
+    /// The batched structural AAP-core path equals the batched software
+    /// forward pass — and therefore (by the nn-layer contract) the
+    /// per-sample path too — for arbitrary small networks and batches.
+    #[test]
+    fn accel_batched_forward_equals_nn_forward_batch(
+        seed in 0u64..500,
+        in_dim in 2usize..8,
+        hidden in 4usize..24,
+        out_dim in 1usize..4,
+        batch in 1usize..10,
+    ) {
+        use fixar_tensor::Matrix;
+        let actor = Mlp::<Fx32>::new_random(
+            &MlpConfig::new(vec![in_dim, hidden, out_dim])
+                .with_output_activation(Activation::Tanh),
+            seed,
+        ).unwrap();
+        let critic = Mlp::<Fx32>::new_random(
+            &MlpConfig::new(vec![in_dim + out_dim, hidden, 1]),
+            seed + 1,
+        ).unwrap();
+        let mut accel = FixarAccelerator::new(AccelConfig::default()).unwrap();
+        accel.load_ddpg(&actor, &critic).unwrap();
+        let states = Matrix::<f64>::from_fn(batch, in_dim, |b, i| {
+            ((b * 17 + i * 3) as f64 * 0.19 + seed as f64 * 0.01).sin()
+        }).cast::<Fx32>();
+        let (hw, cycles) = accel.actor_inference_batch(&states, Precision::Full32).unwrap();
+        let sw = actor.forward_batch(&states).unwrap();
+        prop_assert_eq!(hw, sw);
+        prop_assert!(cycles > 0);
+    }
+
     /// Fake quantization through the full QAT runtime never moves an
     /// activation by more than one quantizer step.
     #[test]
@@ -94,9 +126,11 @@ proptest! {
     /// parameter and never reports negative usage.
     #[test]
     fn resource_model_is_monotone(cores in 1usize..6, lanes in 1usize..64) {
-        let mut cfg = AccelConfig::default();
-        cfg.n_cores = cores;
-        cfg.adam_lanes = lanes;
+        let cfg = AccelConfig {
+            n_cores: cores,
+            adam_lanes: lanes,
+        ..AccelConfig::default()
+        };
         let m = ResourceModel::new(cfg);
         let t = m.total();
         prop_assert!(t.lut > 0.0 && t.ff > 0.0 && t.dsp > 0.0);
