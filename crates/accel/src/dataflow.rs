@@ -46,6 +46,24 @@ fn mlp_macs(sizes: &[usize]) -> u64 {
     sizes.windows(2).map(|w| (w[0] * w[1]) as u64).sum()
 }
 
+/// Ideal speedup of sharding `batch` samples contiguously across
+/// `lanes` parallel lanes with a barrier join: the step completes when
+/// the longest lane (`ceil(batch / lanes)` samples) finishes. An empty
+/// batch is the single-lane degenerate case (speedup 1).
+fn shard_lane_speedup(batch: usize, lanes: usize) -> f64 {
+    if batch == 0 {
+        return 1.0;
+    }
+    batch as f64 / batch.div_ceil(lanes.max(1)) as f64
+}
+
+/// Fraction of `lanes` kept busy under the same sharding: always
+/// exactly `speedup / lanes`, i.e. `batch / (lanes · ceil(batch /
+/// lanes))` for a non-empty batch and `1 / lanes` for an empty one.
+fn shard_lane_utilization(batch: usize, lanes: usize) -> f64 {
+    shard_lane_speedup(batch, lanes) / lanes.max(1) as f64
+}
+
 /// Parameter count (weights + biases) the Adam unit touches for one
 /// DDPG actor/critic pair.
 fn ddpg_params(actor_sizes: &[usize], critic_sizes: &[usize]) -> u64 {
@@ -241,6 +259,25 @@ impl TrainingSchedule {
         self.ideal_cycles / self.total_cycles() as f64
     }
 
+    /// Utilization of `lanes` parallel shard lanes at this schedule's
+    /// batch size: the batch shards contiguously (the longest lane gets
+    /// `ceil(batch / lanes)` samples) and the timestep completes at the
+    /// barrier join, so lane utilization is
+    /// `batch / (lanes · ceil(batch / lanes))` — the load-balance
+    /// factor the Fig. 8/9 throughput arms assume of the intra-batch
+    /// parallel lanes (AAP cores in hardware, the persistent worker
+    /// pool in the software twin). `1.0` whenever `lanes` divides the
+    /// batch, which holds for every paper batch size at 1/2/4/8 lanes.
+    pub fn lane_utilization(&self, lanes: usize) -> f64 {
+        shard_lane_utilization(self.batch, lanes)
+    }
+
+    /// Ideal speedup over one lane at this batch size (the numerator of
+    /// [`TrainingSchedule::lane_utilization`]).
+    pub fn lane_speedup(&self, lanes: usize) -> f64 {
+        shard_lane_speedup(self.batch, lanes)
+    }
+
     /// Cycle schedule for one training timestep driven by the **batched
     /// matrix-matrix kernels** (`gemv_batch` / `gemv_t_batch` /
     /// `add_outer_batch` in `fixar-tensor`): the whole minibatch streams
@@ -396,6 +433,17 @@ impl BatchedInferenceSchedule {
     pub fn ips(&self, cfg: &AccelConfig) -> f64 {
         self.batch as f64 / self.latency_s(cfg)
     }
+
+    /// Utilization of `lanes` parallel shard lanes for this batched
+    /// inference (see [`TrainingSchedule::lane_utilization`]).
+    pub fn lane_utilization(&self, lanes: usize) -> f64 {
+        shard_lane_utilization(self.batch, lanes)
+    }
+
+    /// Ideal speedup over one lane at this batch size.
+    pub fn lane_speedup(&self, lanes: usize) -> f64 {
+        shard_lane_speedup(self.batch, lanes)
+    }
 }
 
 #[cfg(test)]
@@ -539,6 +587,41 @@ mod tests {
             (0.80..=1.0).contains(&util),
             "batched utilization {util} below the paper regime"
         );
+    }
+
+    #[test]
+    fn lane_utilization_reports_shard_load_balance() {
+        let cfg = AccelConfig::default();
+        let sched =
+            TrainingSchedule::for_ddpg_batched(&cfg, &ACTOR, &CRITIC, 64, Precision::Half16);
+        // The paper's batch sizes divide evenly at 1/2/4/8 lanes: full
+        // utilization, speedup == lanes.
+        for lanes in [1, 2, 4, 8] {
+            assert!((sched.lane_utilization(lanes) - 1.0).abs() < 1e-12);
+            assert!((sched.lane_speedup(lanes) - lanes as f64).abs() < 1e-12);
+        }
+        // Ragged shards leave the barrier waiting on the longest lane.
+        let ragged =
+            TrainingSchedule::for_ddpg_batched(&cfg, &ACTOR, &CRITIC, 65, Precision::Half16);
+        let u = ragged.lane_utilization(8);
+        assert!((u - 65.0 / 72.0).abs() < 1e-12, "utilization {u}");
+        assert!(ragged.lane_speedup(8) < 8.0);
+        // More lanes than samples: extra lanes idle.
+        let tiny = TrainingSchedule::for_ddpg_batched(&cfg, &ACTOR, &CRITIC, 3, Precision::Full32);
+        assert!((tiny.lane_utilization(8) - 3.0 / 8.0).abs() < 1e-12);
+        // Degenerate inputs: zero lanes clamp to one lane, and the
+        // speedup/lanes identity holds everywhere.
+        assert!((tiny.lane_utilization(0) - 1.0).abs() < 1e-12);
+        assert!((tiny.lane_speedup(0) - 1.0).abs() < 1e-12);
+        for lanes in [1usize, 3, 8] {
+            assert!(
+                (tiny.lane_utilization(lanes) * lanes as f64 - tiny.lane_speedup(lanes)).abs()
+                    < 1e-12
+            );
+        }
+        let inf = BatchedInferenceSchedule::for_mlp(&cfg, &ACTOR, 64, Precision::Full32);
+        assert!((inf.lane_utilization(4) - 1.0).abs() < 1e-12);
+        assert!((inf.lane_speedup(4) - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -2,19 +2,27 @@
 //! sizes {32, 64, 128} — the speedup delivered by routing a minibatch
 //! through the stack as one `Matrix` per layer
 //! (`Ddpg::train_minibatch`) instead of `batch` vector passes
-//! (`Ddpg::train_batch`). Both paths produce bit-identical `Fx32`
-//! weights (property-tested in `crates/rl/tests/props.rs`), so this
+//! (`Ddpg::train_batch`) — plus the **worker-count sweep** of the
+//! pool-parallel kernel path (workers 1/2/4/8 × the same batch sizes).
+//! Every path produces bit-identical `Fx32` weights (property-tested in
+//! `crates/rl/tests/props.rs` and `tests/workspace_props.rs`), so this
 //! bench isolates pure compute-path throughput.
+//!
+//! Parallel scaling is bounded by the host's cores: the sweep prints
+//! the detected core count alongside the speedups (on a single-core
+//! host the sharded path measures pure pool overhead, by design).
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fixar::prelude::*;
 use fixar_rl::TransitionBatch;
+use fixar_tensor::Parallelism;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const BATCH_SIZES: [usize; 3] = [32, 64, 128];
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn study_config() -> DdpgConfig {
     // Pendulum-shaped agent at the quick-study network scale (64×48
@@ -94,8 +102,67 @@ fn print_speedup_table() {
     );
 }
 
+/// Worker-count sweep of the pool-parallel batched training step: the
+/// kernels of `train_minibatch` shard across 1/2/4/8 pool workers at a
+/// network scale where kernel time dominates (256×192 hidden). Speedup
+/// is reported against the 1-worker (sequential-kernel) batched path.
+fn print_worker_sweep_table() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\n=== Pool-parallel batched training step: worker sweep \
+         (Fx32, 256x192 hidden, {cores} host core(s)) ==="
+    );
+    let mut rows = Vec::new();
+    for &batch_size in &BATCH_SIZES {
+        let data = toy_transitions(batch_size, 3, 1);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).expect("homogeneous batch");
+        let mut cfg = study_config().with_batch_size(batch_size);
+        cfg.hidden = (256, 192);
+
+        let reps = 15;
+        let mut base_ms = 0.0;
+        let mut row = vec![batch_size.to_string()];
+        for &workers in &WORKER_COUNTS {
+            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+            agent.set_parallelism(Parallelism::with_workers(workers));
+            let t = time_steps(
+                || {
+                    agent.train_minibatch(&batch).expect("train");
+                },
+                reps,
+            );
+            if workers == 1 {
+                base_ms = t * 1e3;
+                row.push(format!("{base_ms:.2}"));
+            } else {
+                row.push(format!("{:.2} ({:.2}x)", t * 1e3, base_ms / (t * 1e3)));
+            }
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        fixar_bench::render_table(
+            &[
+                "batch",
+                "1 worker ms/step",
+                "2 workers",
+                "4 workers",
+                "8 workers"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "(speedup vs the 1-worker batched path; scaling requires free host \
+         cores — all worker counts produce bit-identical Fx32 weights)"
+    );
+}
+
 fn bench_training_paths(c: &mut Criterion) {
     print_speedup_table();
+    print_worker_sweep_table();
 
     for &batch_size in &BATCH_SIZES {
         let data = toy_transitions(batch_size, 3, 1);
@@ -115,6 +182,15 @@ fn bench_training_paths(c: &mut Criterion) {
         });
         group.bench_function("batched", |b| {
             let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+            b.iter(|| {
+                agent
+                    .train_minibatch(std::hint::black_box(&batch))
+                    .expect("train")
+            });
+        });
+        group.bench_function("batched_pool4", |b| {
+            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+            agent.set_parallelism(Parallelism::with_workers(4));
             b.iter(|| {
                 agent
                     .train_minibatch(std::hint::black_box(&batch))

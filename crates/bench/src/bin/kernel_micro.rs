@@ -1,91 +1,153 @@
 //! Kernel-level microbenchmark: batched matrix-matrix kernels vs their
-//! per-row (per-sample) counterparts at the quick-study layer shape
-//! (48×64) and batch 128, in `Fx32`. Prints ns/sample for each kernel —
-//! the raw numbers behind the end-to-end speedup measured by
-//! `benches/batched_training.rs`.
+//! per-row (per-sample) counterparts, plus the **pool-parallel scaling
+//! sweep** of every batched kernel across worker counts {1, 2, 4, 8},
+//! at the quick-study layer shape (192×128) and batch 128 in `Fx32`.
+//! Prints ns/sample per kernel — the raw numbers behind the end-to-end
+//! speedups measured by `benches/batched_training.rs`.
+//!
+//! Environment:
+//!
+//! * `FIXAR_KERNEL_MICRO_REPS` — timed repetitions per kernel
+//!   (default 2000; CI's bench-smoke job uses a short count);
+//! * `FIXAR_BENCH_JSON` — when set to a path, also writes the results
+//!   as a JSON document (the `BENCH_kernel_micro.json` artifact that
+//!   seeds the perf trajectory).
 
 use fixar_fixed::Fx32;
-use fixar_tensor::Matrix;
+use fixar_tensor::{Matrix, Parallelism};
+use std::fmt::Write as _;
 use std::time::Instant;
 
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 128;
+const ROWS: usize = 192;
+const COLS: usize = 128;
+
+struct Record {
+    name: String,
+    ns_per_sample: f64,
+}
+
+fn time_ns_per_sample(reps: usize, samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let t = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e9 / (reps * samples) as f64
+}
+
 fn main() {
-    let w =
-        Matrix::<f64>::from_fn(48, 64, |r, c| ((r * 7 + c) % 13) as f64 * 0.1 - 0.6).cast::<Fx32>();
-    let a = Matrix::<f64>::from_fn(128, 64, |b, c| ((b + c * 3) % 11) as f64 * 0.15 - 0.7)
+    let reps: usize = std::env::var("FIXAR_KERNEL_MICRO_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(2000);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("kernel_micro: {ROWS}x{COLS} weights, batch {BATCH}, Fx32, {reps} reps, {cores} host core(s)");
+
+    let w = Matrix::<f64>::from_fn(ROWS, COLS, |r, c| ((r * 7 + c) % 13) as f64 * 0.1 - 0.6)
         .cast::<Fx32>();
-    let e =
-        Matrix::<f64>::from_fn(128, 48, |b, c| ((b * 3 + c) % 7) as f64 * 0.2 - 0.6).cast::<Fx32>();
-    let reps = 2000;
+    let a = Matrix::<f64>::from_fn(BATCH, COLS, |b, c| ((b + c * 3) % 11) as f64 * 0.15 - 0.7)
+        .cast::<Fx32>();
+    let e = Matrix::<f64>::from_fn(BATCH, ROWS, |b, c| ((b * 3 + c) % 7) as f64 * 0.2 - 0.6)
+        .cast::<Fx32>();
+    let mut records: Vec<Record> = Vec::new();
+    let push = |records: &mut Vec<Record>, name: String, ns: f64| {
+        println!("{name:<28} {ns:>9.1} ns/sample");
+        records.push(Record {
+            name,
+            ns_per_sample: ns,
+        });
+    };
 
-    let t = Instant::now();
-    for _ in 0..reps {
-        let y = w.gemv_batch_alloc(std::hint::black_box(&a)).unwrap();
-        std::hint::black_box(y);
-    }
-    println!(
-        "gemv_batch      {:>8.1} ns/sample",
-        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
-    );
-
-    let t = Instant::now();
-    for _ in 0..reps {
-        for b in 0..128 {
-            let y = w.gemv_alloc(std::hint::black_box(a.row(b))).unwrap();
-            std::hint::black_box(y);
+    // Per-row (per-sample) references.
+    let ns = time_ns_per_sample(reps, BATCH, || {
+        for b in 0..BATCH {
+            std::hint::black_box(w.gemv_alloc(std::hint::black_box(a.row(b))).unwrap());
         }
-    }
-    println!(
-        "gemv per-row    {:>8.1} ns/sample",
-        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
-    );
-
-    let t = Instant::now();
-    for _ in 0..reps {
-        let y = w.gemv_t_batch_alloc(std::hint::black_box(&e)).unwrap();
-        std::hint::black_box(y);
-    }
-    println!(
-        "gemv_t_batch    {:>8.1} ns/sample",
-        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
-    );
-
-    let t = Instant::now();
-    for _ in 0..reps {
-        for b in 0..128 {
-            let y = w.gemv_t_alloc(std::hint::black_box(e.row(b))).unwrap();
-            std::hint::black_box(y);
+    });
+    push(&mut records, "gemv per-row".into(), ns);
+    let ns = time_ns_per_sample(reps, BATCH, || {
+        for b in 0..BATCH {
+            std::hint::black_box(w.gemv_t_alloc(std::hint::black_box(e.row(b))).unwrap());
         }
-    }
-    println!(
-        "gemv_t per-row  {:>8.1} ns/sample",
-        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
-    );
-
-    let mut g1 = Matrix::<Fx32>::zeros(48, 64);
-    let t = Instant::now();
-    for _ in 0..reps {
-        g1.add_outer_batch(std::hint::black_box(&e), std::hint::black_box(&a))
-            .unwrap();
-    }
-    println!(
-        "add_outer_batch {:>8.1} ns/sample",
-        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
-    );
-
-    let mut g2 = Matrix::<Fx32>::zeros(48, 64);
-    let t = Instant::now();
-    for _ in 0..reps {
-        for b in 0..128 {
-            g2.add_outer(
+    });
+    push(&mut records, "gemv_t per-row".into(), ns);
+    let mut g = Matrix::<Fx32>::zeros(ROWS, COLS);
+    let ns = time_ns_per_sample(reps, BATCH, || {
+        for b in 0..BATCH {
+            g.add_outer(
                 std::hint::black_box(e.row(b)),
                 std::hint::black_box(a.row(b)),
             )
             .unwrap();
         }
+    });
+    push(&mut records, "add_outer per-row".into(), ns);
+
+    // Batched kernels across worker counts (1 worker = the sequential
+    // batched kernel; every count is bit-identical, only throughput
+    // differs — and scaling requires free host cores).
+    for &workers in &WORKER_COUNTS {
+        let par = Parallelism::with_workers(workers);
+        let ns = time_ns_per_sample(reps, BATCH, || {
+            std::hint::black_box(
+                w.gemv_batch_par_alloc(std::hint::black_box(&a), &par)
+                    .unwrap(),
+            );
+        });
+        push(&mut records, format!("gemv_batch w{workers}"), ns);
     }
-    println!(
-        "add_outer/row   {:>8.1} ns/sample",
-        t.elapsed().as_secs_f64() * 1e9 / (reps * 128) as f64
-    );
-    std::hint::black_box((g1, g2));
+    for &workers in &WORKER_COUNTS {
+        let par = Parallelism::with_workers(workers);
+        let ns = time_ns_per_sample(reps, BATCH, || {
+            std::hint::black_box(
+                w.gemv_t_batch_par_alloc(std::hint::black_box(&e), &par)
+                    .unwrap(),
+            );
+        });
+        push(&mut records, format!("gemv_t_batch w{workers}"), ns);
+    }
+    for &workers in &WORKER_COUNTS {
+        let par = Parallelism::with_workers(workers);
+        let mut g = Matrix::<Fx32>::zeros(ROWS, COLS);
+        let ns = time_ns_per_sample(reps, BATCH, || {
+            g.add_outer_batch_par(std::hint::black_box(&e), std::hint::black_box(&a), &par)
+                .unwrap();
+        });
+        push(&mut records, format!("add_outer_batch w{workers}"), ns);
+    }
+    let wt = w.transposed();
+    for &workers in &WORKER_COUNTS {
+        let par = Parallelism::with_workers(workers);
+        let ns = time_ns_per_sample(reps, BATCH, || {
+            std::hint::black_box(a.matmul_par(std::hint::black_box(&wt), &par).unwrap());
+        });
+        push(&mut records, format!("matmul w{workers}"), ns);
+    }
+
+    if let Ok(path) = std::env::var("FIXAR_BENCH_JSON") {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"kernel_micro\",");
+        let _ = writeln!(
+            json,
+            "  \"shape\": {{\"rows\": {ROWS}, \"cols\": {COLS}, \"batch\": {BATCH}}},"
+        );
+        let _ = writeln!(json, "  \"reps\": {reps},");
+        let _ = writeln!(json, "  \"host_cores\": {cores},");
+        let _ = writeln!(json, "  \"backend\": \"Fx32\",");
+        json.push_str("  \"kernels\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            let comma = if i + 1 == records.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{}\", \"ns_per_sample\": {:.1}}}{comma}",
+                r.name, r.ns_per_sample
+            );
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write bench JSON");
+        println!("wrote {path}");
+    }
 }

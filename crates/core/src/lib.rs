@@ -13,7 +13,7 @@
 //!   activation quantizer,
 //! * [`fixar_tensor`] / [`fixar_nn`] — hardware-order matrix kernels and
 //!   the MLP training stack,
-//! * [`fixar_sim`] / [`fixar_env`] — the planar physics engine and the
+//! * `fixar_sim` / [`fixar_env`] — the planar physics engine and the
 //!   MuJoCo-dimensioned locomotion benchmarks,
 //! * [`fixar_rl`] — DDPG with the QAT controller,
 //! * [`fixar_accel`] — the cycle-level U50 accelerator model (PEs, AAP

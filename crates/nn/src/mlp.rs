@@ -1,6 +1,7 @@
 //! Multilayer perceptron with back-propagation and QAT hooks.
 
 use fixar_fixed::Scalar;
+use fixar_pool::Parallelism;
 use fixar_tensor::{vector, Matrix};
 
 use crate::activation::Activation;
@@ -436,6 +437,24 @@ impl<S: Scalar> Mlp<S> {
         Ok(self.forward_batch_qat(x, &mut qat)?.output)
     }
 
+    /// Pool-parallel [`Mlp::forward_batch`]: every layer's batched MVM
+    /// shards across the workers of `par` (see
+    /// [`Matrix::gemv_batch_par`]); bit-identical to the sequential
+    /// batched pass — and hence to the per-sample pass — at every
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x.cols() != input_dim()`.
+    pub fn forward_batch_par(
+        &self,
+        x: &Matrix<S>,
+        par: &Parallelism,
+    ) -> Result<Matrix<S>, NnError> {
+        let mut qat = QatRuntime::disabled(self.num_layers() + 1);
+        Ok(self.forward_batch_qat_par(x, &mut qat, par)?.output)
+    }
+
     /// Batched forward pass capturing the trace needed by
     /// [`Mlp::backward_batch`].
     ///
@@ -445,6 +464,20 @@ impl<S: Scalar> Mlp<S> {
     pub fn forward_batch_trace(&self, x: &Matrix<S>) -> Result<BatchTrace<S>, NnError> {
         let mut qat = QatRuntime::disabled(self.num_layers() + 1);
         self.forward_batch_qat(x, &mut qat)
+    }
+
+    /// Pool-parallel [`Mlp::forward_batch_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Shape`] if `x.cols() != input_dim()`.
+    pub fn forward_batch_trace_par(
+        &self,
+        x: &Matrix<S>,
+        par: &Parallelism,
+    ) -> Result<BatchTrace<S>, NnError> {
+        let mut qat = QatRuntime::disabled(self.num_layers() + 1);
+        self.forward_batch_qat_par(x, &mut qat, par)
     }
 
     /// Batched forward pass through the QAT runtime: every quantization
@@ -465,7 +498,31 @@ impl<S: Scalar> Mlp<S> {
         x: &Matrix<S>,
         qat: &mut QatRuntime,
     ) -> Result<BatchTrace<S>, NnError> {
-        self.forward_batch_with(x, qat.num_points(), |point, xs| qat.process(point, xs))
+        self.forward_batch_with(
+            x,
+            qat.num_points(),
+            &Parallelism::sequential(),
+            |point, xs| qat.process(point, xs),
+        )
+    }
+
+    /// Pool-parallel [`Mlp::forward_batch_qat`]: the batched MVMs shard
+    /// across the pool; QAT observation/quantization still processes the
+    /// whole activation matrix on the calling thread (monitors are
+    /// order-independent, frozen quantizers elementwise), so the trace
+    /// is bit-identical to the sequential batched pass under every QAT
+    /// mode.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mlp::forward_batch_qat`].
+    pub fn forward_batch_qat_par(
+        &self,
+        x: &Matrix<S>,
+        qat: &mut QatRuntime,
+        par: &Parallelism,
+    ) -> Result<BatchTrace<S>, NnError> {
+        self.forward_batch_with(x, qat.num_points(), par, |point, xs| qat.process(point, xs))
     }
 
     /// Batched forward pass against an immutable QAT runtime (frozen
@@ -480,13 +537,33 @@ impl<S: Scalar> Mlp<S> {
         x: &Matrix<S>,
         qat: &QatRuntime,
     ) -> Result<BatchTrace<S>, NnError> {
-        self.forward_batch_with(x, qat.num_points(), |point, xs| qat.apply(point, xs))
+        self.forward_batch_with(
+            x,
+            qat.num_points(),
+            &Parallelism::sequential(),
+            |point, xs| qat.apply(point, xs),
+        )
+    }
+
+    /// Pool-parallel [`Mlp::forward_batch_qat_frozen`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mlp::forward_batch_qat`].
+    pub fn forward_batch_qat_frozen_par(
+        &self,
+        x: &Matrix<S>,
+        qat: &QatRuntime,
+        par: &Parallelism,
+    ) -> Result<BatchTrace<S>, NnError> {
+        self.forward_batch_with(x, qat.num_points(), par, |point, xs| qat.apply(point, xs))
     }
 
     fn forward_batch_with(
         &self,
         x: &Matrix<S>,
         qat_points: usize,
+        par: &Parallelism,
         mut process: impl FnMut(usize, &mut [S]),
     ) -> Result<BatchTrace<S>, NnError> {
         if x.cols() != self.input_dim() {
@@ -510,7 +587,7 @@ impl<S: Scalar> Mlp<S> {
         let mut a = x.clone();
         process(0, a.as_mut_slice());
         for l in 0..n {
-            let mut z = self.weights[l].gemv_batch_alloc(&a)?;
+            let mut z = self.weights[l].gemv_batch_par_alloc(&a, par)?;
             z.add_row_broadcast(&self.biases[l])?;
             let act = if l + 1 == n {
                 self.output_act
@@ -551,6 +628,37 @@ impl<S: Scalar> Mlp<S> {
         dl_dout: &Matrix<S>,
         grads: &mut MlpGrads<S>,
     ) -> Result<Matrix<S>, NnError> {
+        self.backward_batch_with(trace, dl_dout, grads, &Parallelism::sequential())
+    }
+
+    /// Pool-parallel [`Mlp::backward_batch`]: per layer, the transposed
+    /// error MVM shards across batch rows and the weight-gradient
+    /// accumulation shards across weight rows (see
+    /// [`Matrix::gemv_t_batch_par`] / [`Matrix::add_outer_batch_par`]),
+    /// so the accumulated gradients stay bit-identical to the
+    /// sequential batched backward — and to the per-sample backward in
+    /// ascending sample order — at every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mlp::backward_batch`].
+    pub fn backward_batch_par(
+        &self,
+        trace: &BatchTrace<S>,
+        dl_dout: &Matrix<S>,
+        grads: &mut MlpGrads<S>,
+        par: &Parallelism,
+    ) -> Result<Matrix<S>, NnError> {
+        self.backward_batch_with(trace, dl_dout, grads, par)
+    }
+
+    fn backward_batch_with(
+        &self,
+        trace: &BatchTrace<S>,
+        dl_dout: &Matrix<S>,
+        grads: &mut MlpGrads<S>,
+        par: &Parallelism,
+    ) -> Result<Matrix<S>, NnError> {
         let n = self.num_layers();
         let bsz = trace.batch_size();
         if dl_dout.shape() != (bsz, self.output_dim()) {
@@ -578,14 +686,14 @@ impl<S: Scalar> Mlp<S> {
         }
 
         for l in (0..n).rev() {
-            grads.w[l].add_outer_batch(&delta, &trace.inputs[l])?;
+            grads.w[l].add_outer_batch_par(&delta, &trace.inputs[l], par)?;
             // Bias gradients: ascending sample order, like the weights.
             for b in 0..bsz {
                 for (gb, &d) in grads.b[l].iter_mut().zip(delta.row(b)) {
                     *gb += d;
                 }
             }
-            let err = self.weights[l].gemv_t_batch_alloc(&delta)?;
+            let err = self.weights[l].gemv_t_batch_par_alloc(&delta, par)?;
             if l > 0 {
                 delta = err;
                 for ((d, &z), &y) in delta
@@ -967,6 +1075,53 @@ mod tests {
         let bad_dl = Matrix::<f64>::zeros(3, 2);
         let mut grads = MlpGrads::zeros_like(&mlp);
         assert!(mlp.backward_batch(&t, &bad_dl, &mut grads).is_err());
+    }
+
+    #[test]
+    fn pool_parallel_batch_passes_bit_exact_with_sequential() {
+        use fixar_pool::Parallelism;
+        let cfg = MlpConfig::new(vec![5, 14, 8, 2]).with_output_activation(Activation::Tanh);
+        let mlp = Mlp::<Fx32>::new_random(&cfg, 21).unwrap();
+        let x = fx32_batch(11, 5);
+        let dl = Matrix::<f64>::from_fn(11, 2, |b, i| ((b + i * 3) % 5) as f64 * 0.2 - 0.4)
+            .cast::<Fx32>();
+
+        // Sequential reference.
+        let trace_seq = mlp.forward_batch_trace(&x).unwrap();
+        let mut grads_seq = MlpGrads::zeros_like(&mlp);
+        let err_seq = mlp.backward_batch(&trace_seq, &dl, &mut grads_seq).unwrap();
+
+        for workers in [1, 2, 3, 4, 8] {
+            let par = Parallelism::with_workers(workers);
+            let trace = mlp.forward_batch_trace_par(&x, &par).unwrap();
+            assert_eq!(trace.output, trace_seq.output, "{workers} workers");
+            let mut grads = MlpGrads::zeros_like(&mlp);
+            let err = mlp
+                .backward_batch_par(&trace, &dl, &mut grads, &par)
+                .unwrap();
+            assert_eq!(err, err_seq, "{workers} workers input grads");
+            assert_eq!(grads.w, grads_seq.w, "{workers} workers weight grads");
+            assert_eq!(grads.b, grads_seq.b, "{workers} workers bias grads");
+            assert_eq!(mlp.forward_batch_par(&x, &par).unwrap(), trace_seq.output);
+        }
+
+        // QAT: calibration counts and frozen quantized outputs agree too.
+        let par = Parallelism::with_workers(4);
+        let mut qat_seq = QatRuntime::new(mlp.num_layers() + 1, 8);
+        let mut qat_par = qat_seq.clone();
+        mlp.forward_batch_qat(&x, &mut qat_seq).unwrap();
+        mlp.forward_batch_qat_par(&x, &mut qat_par, &par).unwrap();
+        for p in 0..qat_seq.num_points() {
+            assert_eq!(qat_seq.monitor(p).range(), qat_par.monitor(p).range());
+        }
+        qat_seq.freeze().unwrap();
+        qat_par.freeze().unwrap();
+        let y_seq = mlp.forward_batch_qat_frozen(&x, &qat_seq).unwrap().output;
+        let y_par = mlp
+            .forward_batch_qat_frozen_par(&x, &qat_par, &par)
+            .unwrap()
+            .output;
+        assert_eq!(y_seq, y_par);
     }
 
     #[test]

@@ -2,10 +2,52 @@
 
 use fixar_fixed::Scalar;
 use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, MlpGrads, QatMode, QatRuntime};
+use fixar_pool::Parallelism;
 use fixar_tensor::Matrix;
 
 use crate::error::RlError;
 use crate::replay::{Transition, TransitionBatch};
+
+/// Runs `f` over every item on the pool behind `par`, one task per
+/// item, collecting the outcomes in **ascending item order** (the
+/// deterministic shard-merge order). Falls back to a plain sequential
+/// loop when `par` carries no pool or when already on a pool thread.
+///
+/// Worker panics are contained by the pool and surface as
+/// [`RlError::Worker`] instead of aborting the process.
+pub(crate) fn pool_shard_map<I, T, F>(
+    par: &Parallelism,
+    items: &[I],
+    f: F,
+) -> Result<Vec<T>, RlError>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> Result<T, RlError> + Sync,
+{
+    if par.shards(items.len()) <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(idx, item)| f(idx, item))
+            .collect();
+    }
+    let pool = par.pool().expect("shards > 1 implies a pool");
+    let mut slots: Vec<Option<Result<T, RlError>>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    pool.scope(|scope| {
+        let f = &f;
+        for (slot, (idx, item)) in slots.iter_mut().zip(items.iter().enumerate()) {
+            scope.execute(move || {
+                *slot = Some(f(idx, item));
+            });
+        }
+    })?;
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("scope joined every task"))
+        .collect()
+}
 
 /// Algorithm 1's schedule: full-precision calibration for `delay`
 /// training timesteps, then `bits`-bit quantized activations.
@@ -50,9 +92,12 @@ pub struct DdpgConfig {
     pub qat: Option<QatSchedule>,
     /// Seed for weight init and all agent-side randomness.
     pub seed: u64,
-    /// Worker threads for intra-batch-parallel training (the software
-    /// twin of the AAP core count); `1` keeps the strictly sequential
-    /// reference path.
+    /// Worker threads for kernel-level parallel training (the software
+    /// twin of the AAP core count): the batched kernels of
+    /// [`Ddpg::train_minibatch`] shard across a persistent pool,
+    /// bit-identical to the sequential path at every count. `1` keeps
+    /// the strictly sequential reference path. The `FIXAR_WORKERS`
+    /// environment variable overrides this at agent construction.
     pub parallel_workers: usize,
 }
 
@@ -169,6 +214,7 @@ pub struct Ddpg<S: Scalar> {
     critic_grads: MlpGrads<S>,
     critic_scratch: MlpGrads<S>,
     cfg: DdpgConfig,
+    par: Parallelism,
     state_dim: usize,
     action_dim: usize,
     train_steps: u64,
@@ -238,6 +284,7 @@ impl<S: Scalar> Ddpg<S> {
         let actor_grads = MlpGrads::zeros_like(&actor);
         let critic_grads = MlpGrads::zeros_like(&critic);
         let critic_scratch = critic_grads.clone();
+        let par = Parallelism::from_env_or(cfg.parallel_workers);
         Ok(Self {
             actor,
             critic,
@@ -253,11 +300,26 @@ impl<S: Scalar> Ddpg<S> {
             critic_grads,
             critic_scratch,
             cfg,
+            par,
             state_dim,
             action_dim,
             train_steps: 0,
             qat_frozen: false,
         })
+    }
+
+    /// The parallelism handle driving the batched kernels (worker count
+    /// resolved from the config and the `FIXAR_WORKERS` override).
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.par
+    }
+
+    /// Replaces the parallelism handle — used by benches and the
+    /// worker-sweep property tests to pin an explicit worker count
+    /// regardless of the environment. Any count yields bit-identical
+    /// training results; only throughput changes.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     /// Observation dimension.
@@ -387,12 +449,12 @@ impl<S: Scalar> Ddpg<S> {
         let s_next: Matrix<S> = batch.next_states().cast();
         let a_next = self
             .actor_target
-            .forward_batch_qat(&s_next, &mut self.actor_target_qat)?
+            .forward_batch_qat_par(&s_next, &mut self.actor_target_qat, &self.par)?
             .output;
         let target_in = s_next.hcat(&a_next).map_err(fixar_nn::NnError::Shape)?;
         let q_next = self
             .critic_target
-            .forward_batch_qat(&target_in, &mut self.critic_target_qat)?
+            .forward_batch_qat_par(&target_in, &mut self.critic_target_qat, &self.par)?
             .output;
         let targets: Vec<S> = (0..b)
             .map(|i| {
@@ -411,9 +473,9 @@ impl<S: Scalar> Ddpg<S> {
         let states: Matrix<S> = batch.states().cast();
         let actions: Matrix<S> = batch.actions().cast();
         let critic_in = states.hcat(&actions).map_err(fixar_nn::NnError::Shape)?;
-        let trace = self
-            .critic
-            .forward_batch_qat(&critic_in, &mut self.critic_qat)?;
+        let trace =
+            self.critic
+                .forward_batch_qat_par(&critic_in, &mut self.critic_qat, &self.par)?;
         let mut critic_loss = 0.0;
         let mut q_sum = 0.0;
         let mut dl = Matrix::zeros(b, 1);
@@ -425,26 +487,31 @@ impl<S: Scalar> Ddpg<S> {
             dl[(i, 0)] = (q - y) * S::from_f64(scale);
         }
         self.critic
-            .backward_batch(&trace, &dl, &mut self.critic_grads)?;
+            .backward_batch_par(&trace, &dl, &mut self.critic_grads, &self.par)?;
         self.critic_opt.step(&mut self.critic, &self.critic_grads)?;
 
         // Actor ascent on Q through the batched critic input gradient.
         self.actor_grads.reset();
         self.critic_scratch.reset();
-        let atrace = self.actor.forward_batch_qat(&states, &mut self.actor_qat)?;
+        let atrace = self
+            .actor
+            .forward_batch_qat_par(&states, &mut self.actor_qat, &self.par)?;
         let policy_in = states
             .hcat(&atrace.output)
             .map_err(fixar_nn::NnError::Shape)?;
-        let ctrace = self
-            .critic
-            .forward_batch_qat(&policy_in, &mut self.critic_qat)?;
-        let minus_scale = Matrix::from_fn(b, 1, |_, _| S::from_f64(-scale));
-        let dq_dinput =
+        let ctrace =
             self.critic
-                .backward_batch(&ctrace, &minus_scale, &mut self.critic_scratch)?;
+                .forward_batch_qat_par(&policy_in, &mut self.critic_qat, &self.par)?;
+        let minus_scale = Matrix::from_fn(b, 1, |_, _| S::from_f64(-scale));
+        let dq_dinput = self.critic.backward_batch_par(
+            &ctrace,
+            &minus_scale,
+            &mut self.critic_scratch,
+            &self.par,
+        )?;
         let dq_da = dq_dinput.columns(self.state_dim, self.state_dim + self.action_dim);
         self.actor
-            .backward_batch(&atrace, &dq_da, &mut self.actor_grads)?;
+            .backward_batch_par(&atrace, &dq_da, &mut self.actor_grads, &self.par)?;
         self.actor_opt.step(&mut self.actor, &self.actor_grads)?;
 
         // Target soft updates.
@@ -551,20 +618,28 @@ impl<S: Scalar> Ddpg<S> {
         })
     }
 
-    /// Intra-batch-parallel training update — the software twin of the
-    /// accelerator's adaptive parallelism: the batch splits into
-    /// `workers` contiguous shards (one per AAP core), each shard
-    /// accumulates its own gradients, and the partial gradients merge in
-    /// shard order into the shared buffer (the gradient memory). With
-    /// `workers == 1` this is bit-identical to [`Ddpg::train_batch`];
-    /// with more workers the result is deterministic and independent of
-    /// thread scheduling, differing from the sequential result only in
-    /// the (saturating) gradient accumulation order — exactly as the
-    /// hardware differs.
+    /// Intra-batch-parallel training update over the **persistent
+    /// worker pool** — the software twin of the accelerator's per-core
+    /// gradient memory: the batch splits into `workers` contiguous
+    /// shards (one per AAP core), each shard accumulates its own
+    /// gradients through the per-sample kernels, and the partial
+    /// gradients merge in **ascending shard order** into the shared
+    /// buffer. With `workers == 1` this is bit-identical to
+    /// [`Ddpg::train_batch`]; with more workers the result is
+    /// deterministic and independent of thread scheduling, differing
+    /// from the sequential result only in the (saturating) gradient
+    /// accumulation order — exactly as the hardware differs.
+    ///
+    /// Contrast [`Ddpg::train_minibatch`], whose kernel-level sharding
+    /// is bit-identical to sequential at *every* worker count — that is
+    /// the hot path; this method remains as the shard-merge model of
+    /// the hardware's gradient-memory reduction.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Ddpg::train_batch`].
+    /// Same conditions as [`Ddpg::train_batch`], plus
+    /// [`RlError::Worker`] if a pool task panics (contained by the
+    /// pool: the process no longer aborts and the pool stays usable).
     pub fn train_batch_parallel(
         &mut self,
         batch: &[&Transition],
@@ -573,19 +648,14 @@ impl<S: Scalar> Ddpg<S> {
         if workers <= 1 || batch.len() < 2 {
             return self.train_batch(batch);
         }
-        if batch.is_empty() {
-            return Err(RlError::ReplayUnderflow {
-                have: 0,
-                need: self.cfg.batch_size,
-            });
-        }
         let b = batch.len();
         let scale = 1.0 / b as f64;
         let gamma = S::from_f64(self.cfg.gamma);
         let shard_len = b.div_ceil(workers.min(b));
         let shards: Vec<&[&Transition]> = batch.chunks(shard_len).collect();
+        let par = Parallelism::with_workers(workers);
 
-        // Phase A — TD targets and critic gradients, one worker per shard.
+        // Phase A — TD targets and critic gradients, one task per shard.
         struct CriticShard<S: Scalar> {
             grads: MlpGrads<S>,
             actor_t_qat: QatRuntime,
@@ -602,69 +672,57 @@ impl<S: Scalar> Ddpg<S> {
         let base_critic_t_qat = &self.critic_target_qat;
         let base_critic_qat = &self.critic_qat;
 
-        let shard_results: Vec<Result<CriticShard<S>, RlError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|shard| {
-                        scope.spawn(move |_| -> Result<CriticShard<S>, RlError> {
-                            let mut actor_t_qat = base_actor_t_qat.clone();
-                            let mut critic_t_qat = base_critic_t_qat.clone();
-                            let mut critic_qat = base_critic_qat.clone();
-                            let mut grads = MlpGrads::zeros_like(critic);
-                            let mut loss = 0.0;
-                            let mut q_sum = 0.0;
-                            for t in *shard {
-                                let s_next: Vec<S> =
-                                    t.next_state.iter().map(|&v| S::from_f64(v)).collect();
-                                let a_next =
-                                    actor_target.forward_qat(&s_next, &mut actor_t_qat)?.output;
-                                let mut critic_in = s_next;
-                                critic_in.extend_from_slice(&a_next);
-                                let q_next = critic_target
-                                    .forward_qat(&critic_in, &mut critic_t_qat)?
-                                    .output[0];
-                                let bootstrap = if t.terminal {
-                                    S::zero()
-                                } else {
-                                    gamma * q_next
-                                };
-                                let y = S::from_f64(t.reward) + bootstrap;
+        let shard_results: Vec<CriticShard<S>> = pool_shard_map(
+            &par,
+            &shards,
+            |_, shard| -> Result<CriticShard<S>, RlError> {
+                let mut actor_t_qat = base_actor_t_qat.clone();
+                let mut critic_t_qat = base_critic_t_qat.clone();
+                let mut critic_qat = base_critic_qat.clone();
+                let mut grads = MlpGrads::zeros_like(critic);
+                let mut loss = 0.0;
+                let mut q_sum = 0.0;
+                for t in *shard {
+                    let s_next: Vec<S> = t.next_state.iter().map(|&v| S::from_f64(v)).collect();
+                    let a_next = actor_target.forward_qat(&s_next, &mut actor_t_qat)?.output;
+                    let mut critic_in = s_next;
+                    critic_in.extend_from_slice(&a_next);
+                    let q_next = critic_target
+                        .forward_qat(&critic_in, &mut critic_t_qat)?
+                        .output[0];
+                    let bootstrap = if t.terminal {
+                        S::zero()
+                    } else {
+                        gamma * q_next
+                    };
+                    let y = S::from_f64(t.reward) + bootstrap;
 
-                                let mut input: Vec<S> =
-                                    t.state.iter().map(|&v| S::from_f64(v)).collect();
-                                input.extend(t.action.iter().map(|&v| S::from_f64(v)));
-                                let trace = critic.forward_qat(&input, &mut critic_qat)?;
-                                let q = trace.output[0];
-                                q_sum += q.to_f64();
-                                let td = q.to_f64() - y.to_f64();
-                                loss += 0.5 * td * td * scale;
-                                let dl = [(q - y) * S::from_f64(scale)];
-                                critic.backward(&trace, &dl, &mut grads)?;
-                            }
-                            Ok(CriticShard {
-                                grads,
-                                actor_t_qat,
-                                critic_t_qat,
-                                critic_qat,
-                                loss,
-                                q_sum,
-                            })
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread must not panic"))
-                    .collect()
-            })
-            .expect("crossbeam scope must not panic");
+                    let mut input: Vec<S> = t.state.iter().map(|&v| S::from_f64(v)).collect();
+                    input.extend(t.action.iter().map(|&v| S::from_f64(v)));
+                    let trace = critic.forward_qat(&input, &mut critic_qat)?;
+                    let q = trace.output[0];
+                    q_sum += q.to_f64();
+                    let td = q.to_f64() - y.to_f64();
+                    loss += 0.5 * td * td * scale;
+                    let dl = [(q - y) * S::from_f64(scale)];
+                    critic.backward(&trace, &dl, &mut grads)?;
+                }
+                Ok(CriticShard {
+                    grads,
+                    actor_t_qat,
+                    critic_t_qat,
+                    critic_qat,
+                    loss,
+                    q_sum,
+                })
+            },
+        )?;
 
         self.critic_grads.reset();
         let mut critic_loss = 0.0;
         let mut q_sum = 0.0;
-        for result in shard_results {
-            let shard = result?;
+        // Ascending-shard merge into the shared gradient buffer.
+        for shard in shard_results {
             self.critic_grads.accumulate(&shard.grads);
             self.actor_target_qat.merge_from(&shard.actor_t_qat);
             self.critic_target_qat.merge_from(&shard.critic_t_qat);
@@ -686,45 +744,34 @@ impl<S: Scalar> Ddpg<S> {
         let base_critic_qat = &self.critic_qat;
         let minus_scale = [S::from_f64(-scale)];
 
-        let shard_results: Vec<Result<ActorShard<S>, RlError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|shard| {
-                        scope.spawn(move |_| -> Result<ActorShard<S>, RlError> {
-                            let mut actor_qat = base_actor_qat.clone();
-                            let mut critic_qat = base_critic_qat.clone();
-                            let mut grads = MlpGrads::zeros_like(actor);
-                            let mut scratch = MlpGrads::zeros_like(critic);
-                            for t in *shard {
-                                let s: Vec<S> = t.state.iter().map(|&v| S::from_f64(v)).collect();
-                                let atrace = actor.forward_qat(&s, &mut actor_qat)?;
-                                let mut critic_in = s;
-                                critic_in.extend_from_slice(&atrace.output);
-                                let ctrace = critic.forward_qat(&critic_in, &mut critic_qat)?;
-                                let dq_dinput =
-                                    critic.backward(&ctrace, &minus_scale, &mut scratch)?;
-                                let dq_da = &dq_dinput[state_dim..];
-                                actor.backward(&atrace, dq_da, &mut grads)?;
-                            }
-                            Ok(ActorShard {
-                                grads,
-                                actor_qat,
-                                critic_qat,
-                            })
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread must not panic"))
-                    .collect()
-            })
-            .expect("crossbeam scope must not panic");
+        let shard_results: Vec<ActorShard<S>> = pool_shard_map(
+            &par,
+            &shards,
+            |_, shard| -> Result<ActorShard<S>, RlError> {
+                let mut actor_qat = base_actor_qat.clone();
+                let mut critic_qat = base_critic_qat.clone();
+                let mut grads = MlpGrads::zeros_like(actor);
+                let mut scratch = MlpGrads::zeros_like(critic);
+                for t in *shard {
+                    let s: Vec<S> = t.state.iter().map(|&v| S::from_f64(v)).collect();
+                    let atrace = actor.forward_qat(&s, &mut actor_qat)?;
+                    let mut critic_in = s;
+                    critic_in.extend_from_slice(&atrace.output);
+                    let ctrace = critic.forward_qat(&critic_in, &mut critic_qat)?;
+                    let dq_dinput = critic.backward(&ctrace, &minus_scale, &mut scratch)?;
+                    let dq_da = &dq_dinput[state_dim..];
+                    actor.backward(&atrace, dq_da, &mut grads)?;
+                }
+                Ok(ActorShard {
+                    grads,
+                    actor_qat,
+                    critic_qat,
+                })
+            },
+        )?;
 
         self.actor_grads.reset();
-        for result in shard_results {
-            let shard = result?;
+        for shard in shard_results {
             self.actor_grads.accumulate(&shard.grads);
             self.actor_qat.merge_from(&shard.actor_qat);
             self.critic_qat.merge_from(&shard.critic_qat);
@@ -1021,6 +1068,94 @@ mod tests {
         // Quantized phase also trains in parallel.
         agent.train_batch_parallel(&refs, 2).unwrap();
         assert_eq!(agent.train_steps(), 2);
+    }
+
+    #[test]
+    fn shard_map_panics_become_typed_errors_not_aborts() {
+        // The satellite contract: a panicking pool task must surface as
+        // RlError::Worker (process intact, pool reusable), not abort
+        // through an expect().
+        let par = Parallelism::with_workers(2);
+        let items = [0usize, 1, 2, 3];
+        let err = pool_shard_map(&par, &items, |idx, &item| {
+            if idx == 1 {
+                panic!("injected shard failure {item}");
+            }
+            Ok(item * 10)
+        })
+        .unwrap_err();
+        match &err {
+            RlError::Worker(msg) => {
+                assert!(msg.contains("injected shard failure"), "got: {msg}")
+            }
+            other => panic!("expected RlError::Worker, got {other:?}"),
+        }
+        // The pool survives: the same handle runs clean work afterwards,
+        // merged in ascending item order.
+        let ok = pool_shard_map(&par, &items, |_, &item| Ok(item * 10)).unwrap();
+        assert_eq!(ok, vec![0, 10, 20, 30]);
+        // Shard-level Err values (not panics) propagate too.
+        let err = pool_shard_map(&par, &items, |idx, &item| {
+            if idx == 2 {
+                Err(RlError::InvalidConfig("bad shard".into()))
+            } else {
+                Ok(item)
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, RlError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn pooled_minibatch_bit_exact_across_worker_counts() {
+        // The tentpole contract end to end: kernel-sharded
+        // train_minibatch produces bit-identical Fx32 weights at every
+        // worker count — equal to the sequential batched path and to
+        // the per-sample reference.
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = toy_batch(&mut rng, 24);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).unwrap();
+
+        let mut reference = Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let mut sequential = reference.clone();
+        sequential.set_parallelism(Parallelism::sequential());
+        let mut pooled: Vec<Ddpg<Fx32>> = [2, 3, 8]
+            .iter()
+            .map(|&w| {
+                let mut agent = reference.clone();
+                agent.set_parallelism(Parallelism::with_workers(w));
+                agent
+            })
+            .collect();
+        for step in 0..4 {
+            let m_ref = reference.train_batch(&refs).unwrap();
+            let m_seq = sequential.train_minibatch(&batch).unwrap();
+            assert_eq!(m_ref, m_seq, "sequential metrics at step {step}");
+            for agent in pooled.iter_mut() {
+                let m = agent.train_minibatch(&batch).unwrap();
+                assert_eq!(m_ref, m, "pooled metrics at step {step}");
+            }
+        }
+        for agent in &pooled {
+            assert_eq!(sequential.actor(), agent.actor(), "actor weights");
+            assert_eq!(sequential.critic(), agent.critic(), "critic weights");
+        }
+        assert_eq!(reference.actor(), sequential.actor());
+    }
+
+    #[test]
+    fn parallelism_handle_resolves_from_config() {
+        let mut cfg = DdpgConfig::small_test();
+        cfg.parallel_workers = 3;
+        let agent = Ddpg::<f64>::new(3, 1, cfg).unwrap();
+        // Unless FIXAR_WORKERS overrides it, the config count sticks.
+        if std::env::var(fixar_pool::WORKERS_ENV).is_err() {
+            assert_eq!(agent.parallelism().workers(), 3);
+            assert!(agent.parallelism().pool().is_some());
+        } else {
+            assert!(agent.parallelism().workers() >= 1);
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use core::fmt;
 use std::error::Error;
 
 use fixar_nn::NnError;
+use fixar_pool::PoolError;
 
 /// Error produced by agent construction or training.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +22,11 @@ pub enum RlError {
         /// Batch size requested.
         need: usize,
     },
+    /// A pool worker panicked during a sharded training update. The
+    /// panic was contained on the worker thread (the process does not
+    /// abort) and the pool remains usable; the message carries the
+    /// panic payload.
+    Worker(String),
 }
 
 impl fmt::Display for RlError {
@@ -34,6 +40,7 @@ impl fmt::Display for RlError {
                     "replay buffer has {have} transitions, batch needs {need}"
                 )
             }
+            RlError::Worker(msg) => write!(f, "training worker failed: {msg}"),
         }
     }
 }
@@ -50,6 +57,12 @@ impl Error for RlError {
 impl From<NnError> for RlError {
     fn from(e: NnError) -> Self {
         RlError::Nn(e)
+    }
+}
+
+impl From<PoolError> for RlError {
+    fn from(e: PoolError) -> Self {
+        RlError::Worker(e.to_string())
     }
 }
 

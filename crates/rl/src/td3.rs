@@ -18,6 +18,7 @@
 
 use fixar_fixed::Scalar;
 use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, MlpGrads};
+use fixar_pool::Parallelism;
 use fixar_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,6 +50,10 @@ pub struct Td3Config {
     pub policy_delay: u64,
     /// Seed for weight init and smoothing noise.
     pub seed: u64,
+    /// Worker threads for kernel-level parallel training (see
+    /// `DdpgConfig::parallel_workers`); the `FIXAR_WORKERS` environment
+    /// variable overrides it at agent construction.
+    pub parallel_workers: usize,
 }
 
 impl Default for Td3Config {
@@ -64,6 +69,7 @@ impl Default for Td3Config {
             target_noise_clip: 0.5,
             policy_delay: 2,
             seed: 0,
+            parallel_workers: 1,
         }
     }
 }
@@ -80,6 +86,11 @@ impl Td3Config {
     fn validate(&self) -> Result<(), RlError> {
         if self.policy_delay == 0 {
             return Err(RlError::InvalidConfig("policy_delay must be >= 1".into()));
+        }
+        if self.parallel_workers == 0 {
+            return Err(RlError::InvalidConfig(
+                "parallel_workers must be at least 1".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.gamma) || !(0.0..=1.0).contains(&self.tau) {
             return Err(RlError::InvalidConfig(
@@ -122,6 +133,7 @@ pub struct Td3<S: Scalar> {
     critic_grads: MlpGrads<S>,
     critic_scratch: MlpGrads<S>,
     cfg: Td3Config,
+    par: Parallelism,
     state_dim: usize,
     action_dim: usize,
     rng: StdRng,
@@ -174,6 +186,7 @@ impl<S: Scalar> Td3<S> {
             actor,
             critic1,
             critic2,
+            par: Parallelism::from_env_or(cfg.parallel_workers),
             cfg,
             state_dim,
             action_dim,
@@ -200,6 +213,17 @@ impl<S: Scalar> Td3<S> {
     /// Critic updates performed so far.
     pub fn critic_updates(&self) -> u64 {
         self.critic_updates
+    }
+
+    /// The parallelism handle driving the batched kernels.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.par
+    }
+
+    /// Replaces the parallelism handle (any worker count yields
+    /// bit-identical training results; only throughput changes).
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
     }
 
     /// Actor inference.
@@ -275,7 +299,7 @@ impl<S: Scalar> Td3<S> {
         // noise draws in the per-sample RNG order, batched twin target
         // critics, elementwise min.
         let s_next: Matrix<S> = batch.next_states().cast();
-        let mut a_next = self.actor_target.forward_batch(&s_next)?;
+        let mut a_next = self.actor_target.forward_batch_par(&s_next, &self.par)?;
         for i in 0..b {
             for k in 0..self.action_dim {
                 let noise = self.smoothing_noise();
@@ -284,8 +308,12 @@ impl<S: Scalar> Td3<S> {
             }
         }
         let target_in = s_next.hcat(&a_next).map_err(fixar_nn::NnError::Shape)?;
-        let q1_next = self.critic1_target.forward_batch(&target_in)?;
-        let q2_next = self.critic2_target.forward_batch(&target_in)?;
+        let q1_next = self
+            .critic1_target
+            .forward_batch_par(&target_in, &self.par)?;
+        let q2_next = self
+            .critic2_target
+            .forward_batch_par(&target_in, &self.par)?;
         let targets: Vec<S> = (0..b)
             .map(|i| {
                 let q_min = q1_next[(i, 0)].min(q2_next[(i, 0)]);
@@ -311,7 +339,7 @@ impl<S: Scalar> Td3<S> {
             } else {
                 &self.critic2
             };
-            let trace = critic.forward_batch_trace(&critic_in)?;
+            let trace = critic.forward_batch_trace_par(&critic_in, &self.par)?;
             let mut dl = Matrix::zeros(b, 1);
             for (i, &y) in targets.iter().enumerate() {
                 let q = trace.output[(i, 0)];
@@ -324,12 +352,12 @@ impl<S: Scalar> Td3<S> {
             }
             if critic_idx == 0 {
                 self.critic1
-                    .backward_batch(&trace, &dl, &mut self.critic_grads)?;
+                    .backward_batch_par(&trace, &dl, &mut self.critic_grads, &self.par)?;
                 self.critic1_opt
                     .step(&mut self.critic1, &self.critic_grads)?;
             } else {
                 self.critic2
-                    .backward_batch(&trace, &dl, &mut self.critic_grads)?;
+                    .backward_batch_par(&trace, &dl, &mut self.critic_grads, &self.par)?;
                 self.critic2_opt
                     .step(&mut self.critic2, &self.critic_grads)?;
             }
@@ -340,18 +368,23 @@ impl<S: Scalar> Td3<S> {
         if self.critic_updates.is_multiple_of(self.cfg.policy_delay) {
             self.actor_grads.reset();
             self.critic_scratch.reset();
-            let atrace = self.actor.forward_batch_trace(&states)?;
+            let atrace = self.actor.forward_batch_trace_par(&states, &self.par)?;
             let policy_in = states
                 .hcat(&atrace.output)
                 .map_err(fixar_nn::NnError::Shape)?;
-            let ctrace = self.critic1.forward_batch_trace(&policy_in)?;
+            let ctrace = self
+                .critic1
+                .forward_batch_trace_par(&policy_in, &self.par)?;
             let minus_scale = Matrix::from_fn(b, 1, |_, _| S::from_f64(-scale));
-            let dq_dinput =
-                self.critic1
-                    .backward_batch(&ctrace, &minus_scale, &mut self.critic_scratch)?;
+            let dq_dinput = self.critic1.backward_batch_par(
+                &ctrace,
+                &minus_scale,
+                &mut self.critic_scratch,
+                &self.par,
+            )?;
             let dq_da = dq_dinput.columns(self.state_dim, self.state_dim + self.action_dim);
             self.actor
-                .backward_batch(&atrace, &dq_da, &mut self.actor_grads)?;
+                .backward_batch_par(&atrace, &dq_da, &mut self.actor_grads, &self.par)?;
             self.actor_opt.step(&mut self.actor, &self.actor_grads)?;
             self.actor_target
                 .soft_update_from(&self.actor, self.cfg.tau)?;
@@ -591,6 +624,35 @@ mod tests {
         }
         assert_eq!(a64.actor(), b64.actor());
         assert_eq!(a64.critic_updates(), b64.critic_updates());
+    }
+
+    #[test]
+    fn pooled_td3_minibatch_bit_exact_across_worker_counts() {
+        let data = toy_batch(20);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).unwrap();
+
+        let mut reference = Td3::<Fx32>::new(3, 1, Td3Config::small_test()).unwrap();
+        let mut pooled: Vec<Td3<Fx32>> = [1, 2, 4, 8]
+            .iter()
+            .map(|&w| {
+                let mut agent = reference.clone();
+                agent.set_parallelism(Parallelism::with_workers(w));
+                agent
+            })
+            .collect();
+        // Four updates so the delayed actor update fires twice.
+        for step in 0..4 {
+            let m_ref = reference.train_batch(&refs).unwrap();
+            for agent in pooled.iter_mut() {
+                let m = agent.train_minibatch(&batch).unwrap();
+                assert_eq!(m_ref, m, "metrics diverged at step {step}");
+            }
+        }
+        for agent in &pooled {
+            assert_eq!(reference.actor(), agent.actor());
+            assert_eq!(reference.critics(), agent.critics());
+        }
     }
 
     #[test]

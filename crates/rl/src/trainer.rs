@@ -187,21 +187,13 @@ impl<S: Scalar> Trainer<S> {
             }
 
             if self.steps_taken + step > self.cfg.warmup_steps {
-                if self.cfg.parallel_workers > 1 {
-                    // Sharded per-sample path (one shard per modelled AAP
-                    // core, merged in shard order).
-                    let batch = self.replay.sample(self.cfg.batch_size, &mut self.rng);
-                    if !batch.is_empty() {
-                        final_metrics = self
-                            .agent
-                            .train_batch_parallel(&batch, self.cfg.parallel_workers)?;
-                    }
-                } else if let Some(batch) =
-                    self.replay.sample_batch(self.cfg.batch_size, &mut self.rng)
-                {
+                if let Some(batch) = self.replay.sample_batch(self.cfg.batch_size, &mut self.rng) {
                     // Batched hot path: the minibatch flows through the
-                    // stack as one matrix per layer (bit-identical to the
-                    // per-sample path).
+                    // stack as one matrix per layer, and the batched
+                    // kernels shard across the agent's persistent worker
+                    // pool (`parallel_workers` / `FIXAR_WORKERS`) —
+                    // bit-identical to the sequential and per-sample
+                    // paths at every worker count.
                     final_metrics = self.agent.train_minibatch(&batch)?;
                 }
             }

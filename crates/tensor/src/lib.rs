@@ -32,6 +32,17 @@
 //! with running the per-sample kernel row by row — only the loop nest
 //! (and the throughput) differs.
 //!
+//! The pool-parallel kernels (`*_par`, backed by the persistent
+//! [`fixar_pool::WorkerPool`]) extend it once more: work shards into
+//! **disjoint output regions** — batch rows for the forward/transposed
+//! MVMs and `matmul`, *weight rows* for `add_outer_batch` (whose
+//! reduction runs across the batch) — and every shard executes the very
+//! same span loop nest as the sequential kernel over its range. No
+//! reduction chain changes and no two workers touch the same element,
+//! so parallel output is **bit-identical to sequential at every worker
+//! count**, for every backend including saturating `Fx32`, independent
+//! of thread scheduling.
+//!
 //! [`Scalar`]: fixar_fixed::Scalar
 
 #![forbid(unsafe_code)]
@@ -40,4 +51,5 @@
 mod matrix;
 pub mod vector;
 
+pub use fixar_pool::{Parallelism, PoolError, WorkerPool};
 pub use matrix::{Matrix, ShapeError};

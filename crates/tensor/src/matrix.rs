@@ -1,10 +1,11 @@
 //! Row-major dense matrix with hardware-order kernels.
 
 use core::fmt;
-use core::ops::{Index, IndexMut};
+use core::ops::{Index, IndexMut, Range};
 use std::error::Error;
 
 use fixar_fixed::Scalar;
+use fixar_pool::{split_ranges, Parallelism};
 
 /// Error returned when operand shapes do not line up.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -315,6 +316,22 @@ impl<S: Scalar> Matrix<S> {
     /// Returns [`ShapeError`] unless `a.cols() == cols` and `y` is
     /// `(a.rows(), rows)`.
     pub fn gemv_batch(&self, a: &Matrix<S>, y: &mut Matrix<S>) -> Result<(), ShapeError> {
+        self.check_gemv_batch(a, y)?;
+        // Column-broadcast form over a materialized transpose: for each
+        // input column `j`, the broadcast element `x[j]` multiplies the
+        // contiguous row `j` of Wᵀ and accumulates into the whole output
+        // row — element-independent within a step, so it vectorizes,
+        // while every output element still reduces in ascending `j`,
+        // exactly the per-element order of `gemv`'s column broadcast
+        // (bit-exact per row). The one-off transpose copy is amortized
+        // over the whole minibatch — this is what a per-sample kernel
+        // cannot do.
+        let wt = self.transposed();
+        gemv_batch_span(&wt, a, 0..a.rows, &mut y.data);
+        Ok(())
+    }
+
+    fn check_gemv_batch(&self, a: &Matrix<S>, y: &Matrix<S>) -> Result<(), ShapeError> {
         if a.cols != self.cols {
             return Err(ShapeError::new(
                 "gemv_batch input",
@@ -329,31 +346,66 @@ impl<S: Scalar> Matrix<S> {
                 y.shape(),
             ));
         }
-        // Column-broadcast form over a materialized transpose: for each
-        // input column `j`, the broadcast element `x[j]` multiplies the
-        // contiguous row `j` of Wᵀ and accumulates into the whole output
-        // row — element-independent within a step, so it vectorizes,
-        // while every output element still reduces in ascending `j`,
-        // exactly the per-element order of `gemv`'s column broadcast
-        // (bit-exact per row). The one-off transpose copy is amortized
-        // over the whole minibatch — this is what a per-sample kernel
-        // cannot do.
-        let cols = self.cols;
-        let wt = self.transposed();
-        for b in 0..a.rows {
-            let a_row = &a.data[b * cols..(b + 1) * cols];
-            let y_row = &mut y.data[b * self.rows..(b + 1) * self.rows];
-            for v in y_row.iter_mut() {
-                *v = S::zero();
-            }
-            for (j, &xj) in a_row.iter().enumerate() {
-                let wt_row = &wt.data[j * self.rows..(j + 1) * self.rows];
-                for (yi, &w) in y_row.iter_mut().zip(wt_row) {
-                    *yi += w * xj;
-                }
-            }
-        }
         Ok(())
+    }
+
+    /// Pool-parallel [`Matrix::gemv_batch`]: batch rows shard
+    /// contiguously across the pool of `par`, each worker computing its
+    /// disjoint slice of output rows with the *same* per-element
+    /// ascending-`j` reduction chain as the sequential kernel. Shard
+    /// outputs are disjoint, so the merge is trivial and the result is
+    /// **bit-identical** to the sequential kernel for every backend
+    /// (including saturating `Fx32`) at every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::gemv_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics (impossible for in-contract
+    /// operands; it would be a kernel bug, exactly as in the sequential
+    /// form).
+    pub fn gemv_batch_par(
+        &self,
+        a: &Matrix<S>,
+        y: &mut Matrix<S>,
+        par: &Parallelism,
+    ) -> Result<(), ShapeError> {
+        let shards = par.shards(a.rows);
+        if shards <= 1 {
+            return self.gemv_batch(a, y);
+        }
+        self.check_gemv_batch(a, y)?;
+        let out_dim = self.rows;
+        let wt = self.transposed();
+        let pool = par.pool().expect("shards > 1 implies a pool");
+        pool.scope(|scope| {
+            let mut rest = y.data.as_mut_slice();
+            for range in split_ranges(a.rows, shards) {
+                let (chunk, tail) = rest.split_at_mut(range.len() * out_dim);
+                rest = tail;
+                let wt = &wt;
+                scope.execute(move || gemv_batch_span(wt, a, range, chunk));
+            }
+        })
+        .unwrap_or_else(|e| panic!("gemv_batch_par worker panicked: {e}"));
+        Ok(())
+    }
+
+    /// Allocating variant of [`Matrix::gemv_batch_par`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `a.cols() == cols`.
+    pub fn gemv_batch_par_alloc(
+        &self,
+        a: &Matrix<S>,
+        par: &Parallelism,
+    ) -> Result<Matrix<S>, ShapeError> {
+        let mut y = Matrix::zeros(a.rows(), self.rows);
+        self.gemv_batch_par(a, &mut y, par)?;
+        Ok(y)
     }
 
     /// Allocating variant of [`Matrix::gemv_batch`].
@@ -383,6 +435,12 @@ impl<S: Scalar> Matrix<S> {
     /// Returns [`ShapeError`] unless `e.cols() == rows` and `y` is
     /// `(e.rows(), cols)`.
     pub fn gemv_t_batch(&self, e: &Matrix<S>, y: &mut Matrix<S>) -> Result<(), ShapeError> {
+        self.check_gemv_t_batch(e, y)?;
+        gemv_t_batch_span(self, e, 0..e.rows, &mut y.data);
+        Ok(())
+    }
+
+    fn check_gemv_t_batch(&self, e: &Matrix<S>, y: &Matrix<S>) -> Result<(), ShapeError> {
         if e.cols != self.rows {
             return Err(ShapeError::new(
                 "gemv_t_batch input",
@@ -397,42 +455,61 @@ impl<S: Scalar> Matrix<S> {
                 y.shape(),
             ));
         }
-        for v in y.data.iter_mut() {
-            *v = S::zero();
-        }
-        let cols = self.cols;
-        // Four samples per pass (independent per-element chains, each
-        // still accumulating in ascending `i` — bit-exact with `gemv_t`
-        // per row), sharing every streamed weight row across the lanes.
-        let mut b = 0;
-        while b + 4 <= e.rows {
-            for i in 0..self.rows {
-                let w_row = &self.data[i * cols..(i + 1) * cols];
-                let e0 = e.data[b * e.cols + i];
-                let e1 = e.data[(b + 1) * e.cols + i];
-                let e2 = e.data[(b + 2) * e.cols + i];
-                let e3 = e.data[(b + 3) * e.cols + i];
-                for (j, &w) in w_row.iter().enumerate() {
-                    y.data[b * cols + j] += w * e0;
-                    y.data[(b + 1) * cols + j] += w * e1;
-                    y.data[(b + 2) * cols + j] += w * e2;
-                    y.data[(b + 3) * cols + j] += w * e3;
-                }
-            }
-            b += 4;
-        }
-        // Remainder rows: plain per-sample loop, same chain order.
-        for b in b..e.rows {
-            let e_row = &e.data[b * e.cols..(b + 1) * e.cols];
-            let y_row = &mut y.data[b * cols..(b + 1) * cols];
-            for (i, &ei) in e_row.iter().enumerate() {
-                let w_row = &self.data[i * cols..(i + 1) * cols];
-                for (yj, &w) in y_row.iter_mut().zip(w_row) {
-                    *yj += w * ei;
-                }
-            }
-        }
         Ok(())
+    }
+
+    /// Pool-parallel [`Matrix::gemv_t_batch`]: batch rows shard
+    /// contiguously across the pool, each worker running the sequential
+    /// kernel's loop nest (including its four-sample unroll) over its
+    /// disjoint output slice. Per-element chains stay ascending-`i`, so
+    /// the result is **bit-identical** to the sequential kernel at
+    /// every worker count, in every backend.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::gemv_t_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics (a kernel bug).
+    pub fn gemv_t_batch_par(
+        &self,
+        e: &Matrix<S>,
+        y: &mut Matrix<S>,
+        par: &Parallelism,
+    ) -> Result<(), ShapeError> {
+        let shards = par.shards(e.rows);
+        if shards <= 1 {
+            return self.gemv_t_batch(e, y);
+        }
+        self.check_gemv_t_batch(e, y)?;
+        let cols = self.cols;
+        let pool = par.pool().expect("shards > 1 implies a pool");
+        pool.scope(|scope| {
+            let mut rest = y.data.as_mut_slice();
+            for range in split_ranges(e.rows, shards) {
+                let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+                rest = tail;
+                scope.execute(move || gemv_t_batch_span(self, e, range, chunk));
+            }
+        })
+        .unwrap_or_else(|err| panic!("gemv_t_batch_par worker panicked: {err}"));
+        Ok(())
+    }
+
+    /// Allocating variant of [`Matrix::gemv_t_batch_par`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `e.cols() == rows`.
+    pub fn gemv_t_batch_par_alloc(
+        &self,
+        e: &Matrix<S>,
+        par: &Parallelism,
+    ) -> Result<Matrix<S>, ShapeError> {
+        let mut y = Matrix::zeros(e.rows(), self.cols);
+        self.gemv_t_batch_par(e, &mut y, par)?;
+        Ok(y)
     }
 
     /// Allocating variant of [`Matrix::gemv_t_batch`].
@@ -456,6 +533,13 @@ impl<S: Scalar> Matrix<S> {
     /// Returns [`ShapeError`] unless `e` is `(batch, rows)` and `a` is
     /// `(batch, cols)` with equal batch sizes.
     pub fn add_outer_batch(&mut self, e: &Matrix<S>, a: &Matrix<S>) -> Result<(), ShapeError> {
+        self.check_add_outer_batch(e, a)?;
+        let (rows, cols) = self.shape();
+        add_outer_batch_span(e, a, 0..rows, cols, &mut self.data);
+        Ok(())
+    }
+
+    fn check_add_outer_batch(&self, e: &Matrix<S>, a: &Matrix<S>) -> Result<(), ShapeError> {
         if e.rows != a.rows {
             return Err(ShapeError::new(
                 "add_outer_batch batch",
@@ -477,16 +561,48 @@ impl<S: Scalar> Matrix<S> {
                 a.shape(),
             ));
         }
-        for b in 0..e.rows {
-            let e_row = &e.data[b * e.cols..(b + 1) * e.cols];
-            let a_row = &a.data[b * a.cols..(b + 1) * a.cols];
-            for (i, &ei) in e_row.iter().enumerate() {
-                let w_row = &mut self.data[i * self.cols..(i + 1) * self.cols];
-                for (w, &aj) in w_row.iter_mut().zip(a_row) {
-                    *w += ei * aj;
-                }
-            }
+        Ok(())
+    }
+
+    /// Pool-parallel [`Matrix::add_outer_batch`]. Unlike the MVM
+    /// kernels, gradient accumulation reduces **across** the batch, so
+    /// sharding the batch would change the per-element accumulation
+    /// chain under saturation. Instead the *weight rows* shard: each
+    /// worker owns a disjoint row range of the gradient matrix and
+    /// walks the whole batch in ascending sample order for those rows —
+    /// the exact sequential chain per element, hence **bit-identical**
+    /// to the sequential kernel at every worker count in every backend.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::add_outer_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics (a kernel bug).
+    pub fn add_outer_batch_par(
+        &mut self,
+        e: &Matrix<S>,
+        a: &Matrix<S>,
+        par: &Parallelism,
+    ) -> Result<(), ShapeError> {
+        let shards = par.shards(self.rows);
+        if shards <= 1 {
+            return self.add_outer_batch(e, a);
         }
+        self.check_add_outer_batch(e, a)?;
+        let cols = self.cols;
+        let rows = self.rows;
+        let pool = par.pool().expect("shards > 1 implies a pool");
+        pool.scope(|scope| {
+            let mut rest = self.data.as_mut_slice();
+            for range in split_ranges(rows, shards) {
+                let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+                rest = tail;
+                scope.execute(move || add_outer_batch_span(e, a, range, cols, chunk));
+            }
+        })
+        .unwrap_or_else(|err| panic!("add_outer_batch_par worker panicked: {err}"));
         Ok(())
     }
 
@@ -503,6 +619,13 @@ impl<S: Scalar> Matrix<S> {
     ///
     /// Returns [`ShapeError`] unless `rhs.rows() == cols`.
     pub fn matmul(&self, rhs: &Matrix<S>) -> Result<Matrix<S>, ShapeError> {
+        self.check_matmul(rhs)?;
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        matmul_span(self, rhs, 0..self.rows, &mut out.data);
+        Ok(out)
+    }
+
+    fn check_matmul(&self, rhs: &Matrix<S>) -> Result<(), ShapeError> {
         if rhs.rows != self.cols {
             return Err(ShapeError::new(
                 "matmul",
@@ -510,18 +633,39 @@ impl<S: Scalar> Matrix<S> {
                 rhs.shape(),
             ));
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            // Ascending-k accumulation, streaming `rhs` row-major.
-            for (k, &aik) in a_row.iter().enumerate() {
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &bkj) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bkj;
-                }
-            }
+        Ok(())
+    }
+
+    /// Pool-parallel [`Matrix::matmul`]: output rows shard contiguously
+    /// across the pool, every element keeping the ascending-`k`
+    /// reduction chain — **bit-identical** to the sequential kernel at
+    /// every worker count in every backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `rhs.rows() == cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics (a kernel bug).
+    pub fn matmul_par(&self, rhs: &Matrix<S>, par: &Parallelism) -> Result<Matrix<S>, ShapeError> {
+        let shards = par.shards(self.rows);
+        if shards <= 1 {
+            return self.matmul(rhs);
         }
+        self.check_matmul(rhs)?;
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let out_cols = rhs.cols;
+        let pool = par.pool().expect("shards > 1 implies a pool");
+        pool.scope(|scope| {
+            let mut rest = out.data.as_mut_slice();
+            for range in split_ranges(self.rows, shards) {
+                let (chunk, tail) = rest.split_at_mut(range.len() * out_cols);
+                rest = tail;
+                scope.execute(move || matmul_span(self, rhs, range, chunk));
+            }
+        })
+        .unwrap_or_else(|err| panic!("matmul_par worker panicked: {err}"));
         Ok(out)
     }
 
@@ -683,6 +827,130 @@ impl<S: Scalar> IndexMut<(usize, usize)> for Matrix<S> {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut S {
         assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
         &mut self.data[r * self.cols + c]
+    }
+}
+
+// --- shard span kernels ---------------------------------------------------
+//
+// Each span computes a contiguous output region with exactly the
+// per-element reduction chain of its sequential kernel; the sequential
+// kernels call their span with the full range, the `_par` kernels call
+// one span per pool worker over disjoint ranges. Sharing the loop nests
+// is what *guarantees* sequential ≡ parallel bit-for-bit.
+
+/// Forward-MVM span: output rows `batch` of `Y = A·Wᵀ` into `y_chunk`
+/// (`batch.len() * wt.cols` elements), reading the pre-transposed
+/// weights `wt` (`(in_dim, out_dim)` row-major). Ascending-`j` chains.
+fn gemv_batch_span<S: Scalar>(
+    wt: &Matrix<S>,
+    a: &Matrix<S>,
+    batch: Range<usize>,
+    y_chunk: &mut [S],
+) {
+    let cols = a.cols;
+    let out_dim = wt.cols;
+    for (local_b, b) in batch.enumerate() {
+        let a_row = &a.data[b * cols..(b + 1) * cols];
+        let y_row = &mut y_chunk[local_b * out_dim..(local_b + 1) * out_dim];
+        for v in y_row.iter_mut() {
+            *v = S::zero();
+        }
+        for (j, &xj) in a_row.iter().enumerate() {
+            let wt_row = &wt.data[j * out_dim..(j + 1) * out_dim];
+            for (yi, &w) in y_row.iter_mut().zip(wt_row) {
+                *yi += w * xj;
+            }
+        }
+    }
+}
+
+/// Transposed-MVM span: output rows `batch` of `Y = E·W` into `y_chunk`.
+/// Four samples per pass (independent per-element chains, each still
+/// accumulating in ascending `i` — bit-exact with `gemv_t` per row),
+/// sharing every streamed weight row across the lanes.
+fn gemv_t_batch_span<S: Scalar>(
+    w: &Matrix<S>,
+    e: &Matrix<S>,
+    batch: Range<usize>,
+    y_chunk: &mut [S],
+) {
+    let cols = w.cols;
+    let start = batch.start;
+    for v in y_chunk.iter_mut() {
+        *v = S::zero();
+    }
+    let mut b = start;
+    while b + 4 <= batch.end {
+        let base = (b - start) * cols;
+        for i in 0..w.rows {
+            let w_row = &w.data[i * cols..(i + 1) * cols];
+            let e0 = e.data[b * e.cols + i];
+            let e1 = e.data[(b + 1) * e.cols + i];
+            let e2 = e.data[(b + 2) * e.cols + i];
+            let e3 = e.data[(b + 3) * e.cols + i];
+            for (j, &w) in w_row.iter().enumerate() {
+                y_chunk[base + j] += w * e0;
+                y_chunk[base + cols + j] += w * e1;
+                y_chunk[base + 2 * cols + j] += w * e2;
+                y_chunk[base + 3 * cols + j] += w * e3;
+            }
+        }
+        b += 4;
+    }
+    // Remainder rows: plain per-sample loop, same chain order.
+    for b in b..batch.end {
+        let e_row = &e.data[b * e.cols..(b + 1) * e.cols];
+        let y_row = &mut y_chunk[(b - start) * cols..(b - start + 1) * cols];
+        for (i, &ei) in e_row.iter().enumerate() {
+            let w_row = &w.data[i * cols..(i + 1) * cols];
+            for (yj, &w) in y_row.iter_mut().zip(w_row) {
+                *yj += w * ei;
+            }
+        }
+    }
+}
+
+/// Gradient-accumulation span: rows `w_rows` of `W += Σ_b E[b] ⊗ A[b]`
+/// into `w_chunk`, walking the **whole batch in ascending sample
+/// order** for those rows — the documented batch-reduction order.
+fn add_outer_batch_span<S: Scalar>(
+    e: &Matrix<S>,
+    a: &Matrix<S>,
+    w_rows: Range<usize>,
+    w_cols: usize,
+    w_chunk: &mut [S],
+) {
+    for b in 0..e.rows {
+        let e_row = &e.data[b * e.cols..(b + 1) * e.cols];
+        let a_row = &a.data[b * a.cols..(b + 1) * a.cols];
+        for (local_i, i) in w_rows.clone().enumerate() {
+            let ei = e_row[i];
+            let w_row = &mut w_chunk[local_i * w_cols..(local_i + 1) * w_cols];
+            for (w, &aj) in w_row.iter_mut().zip(a_row) {
+                *w += ei * aj;
+            }
+        }
+    }
+}
+
+/// Matmul span: output rows `lhs_rows` of `C = lhs · rhs` into
+/// `out_chunk` (pre-zeroed), ascending-`k` chains, streaming `rhs`
+/// row-major.
+fn matmul_span<S: Scalar>(
+    lhs: &Matrix<S>,
+    rhs: &Matrix<S>,
+    lhs_rows: Range<usize>,
+    out_chunk: &mut [S],
+) {
+    for (local_i, i) in lhs_rows.enumerate() {
+        let a_row = &lhs.data[i * lhs.cols..(i + 1) * lhs.cols];
+        let out_row = &mut out_chunk[local_i * rhs.cols..(local_i + 1) * rhs.cols];
+        for (k, &aik) in a_row.iter().enumerate() {
+            let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (o, &bkj) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bkj;
+            }
+        }
     }
 }
 
@@ -916,5 +1184,79 @@ mod tests {
         let mut g = Matrix::<Fx32>::zeros(4, 6);
         let e = Matrix::<Fx32>::zeros(3, 4);
         assert!(g.add_outer_batch(&e, &a).is_err());
+    }
+
+    #[test]
+    fn parallel_kernels_bit_exact_with_sequential_across_worker_counts() {
+        // The tentpole contract at the kernel level: every pool-parallel
+        // kernel equals its sequential form bit-for-bit in saturating
+        // Fx32, for worker counts spanning under- and over-subscription
+        // of the batch and awkward shard remainders.
+        let (w, a) = fx32_case(7, 9, 13);
+        let e = Matrix::<f64>::from_fn(13, 7, |b, i| ((b * 5 + i * 3) % 17) as f64 * 0.23 - 1.8)
+            .cast::<Fx32>();
+        let y_seq = w.gemv_batch_alloc(&a).unwrap();
+        let yt_seq = w.gemv_t_batch_alloc(&e).unwrap();
+        let mut g_seq = Matrix::<Fx32>::zeros(7, 9);
+        g_seq.add_outer_batch(&e, &a).unwrap();
+        let m_seq = a.matmul(&w.transposed()).unwrap();
+
+        for workers in [1, 2, 3, 4, 8, 16] {
+            let par = Parallelism::with_workers(workers);
+            assert_eq!(w.gemv_batch_par_alloc(&a, &par).unwrap(), y_seq);
+            assert_eq!(w.gemv_t_batch_par_alloc(&e, &par).unwrap(), yt_seq);
+            let mut g = Matrix::<Fx32>::zeros(7, 9);
+            g.add_outer_batch_par(&e, &a, &par).unwrap();
+            assert_eq!(g, g_seq);
+            assert_eq!(a.matmul_par(&w.transposed(), &par).unwrap(), m_seq);
+        }
+    }
+
+    #[test]
+    fn parallel_kernels_saturate_like_sequential() {
+        // Saturating accumulation must clamp identically on the sharded
+        // path: the per-element chains are shared code, so a mid-chain
+        // clamp lands at the same partial sum.
+        type Q = Q16<10>;
+        let w = Matrix::<Q>::from_fn(3, 8, |_, _| Q::from_f64(30.0));
+        let a = Matrix::<Q>::from_fn(9, 8, |_, _| Q::from_f64(1.0));
+        let par = Parallelism::with_workers(4);
+        let seq = w.gemv_batch_alloc(&a).unwrap();
+        let parr = w.gemv_batch_par_alloc(&a, &par).unwrap();
+        assert_eq!(seq, parr);
+        assert_eq!(parr[(8, 2)], Q::MAX);
+
+        // Gradient saturation, W-row sharded.
+        let e = Matrix::<Q>::from_fn(9, 3, |_, _| Q::from_f64(30.0));
+        let mut g_seq = Matrix::<Q>::zeros(3, 8);
+        g_seq.add_outer_batch(&e, &a).unwrap();
+        let mut g_par = Matrix::<Q>::zeros(3, 8);
+        g_par.add_outer_batch_par(&e, &a, &par).unwrap();
+        assert_eq!(g_seq, g_par);
+    }
+
+    #[test]
+    fn parallel_kernels_validate_shapes_and_handle_degenerate_batches() {
+        let (w, a) = fx32_case(4, 6, 5);
+        let par = Parallelism::with_workers(2);
+        let bad = Matrix::<Fx32>::zeros(5, 4);
+        assert!(w.gemv_batch_par_alloc(&bad, &par).is_err());
+        assert!(w.gemv_t_batch_par_alloc(&a, &par).is_err());
+        let mut g = Matrix::<Fx32>::zeros(4, 6);
+        let e3 = Matrix::<Fx32>::zeros(3, 4);
+        assert!(g.add_outer_batch_par(&e3, &a, &par).is_err());
+        assert!(w.matmul_par(&Matrix::<Fx32>::zeros(3, 2), &par).is_err());
+
+        // Single-row batch degrades to the sequential kernel.
+        let one = Matrix::<Fx32>::zeros(1, 6);
+        let y = w.gemv_batch_par_alloc(&one, &par).unwrap();
+        assert_eq!(y, w.gemv_batch_alloc(&one).unwrap());
+
+        // Empty batch is a no-op on both paths.
+        let empty = Matrix::<Fx32>::zeros(0, 6);
+        assert_eq!(
+            w.gemv_batch_par_alloc(&empty, &par).unwrap().shape(),
+            (0, 4)
+        );
     }
 }

@@ -122,6 +122,42 @@ proptest! {
         prop_assert_eq!(run(seed), run(seed));
     }
 
+    /// The pool-parallel batched inference path of the accelerator is
+    /// bit-identical to its sequential form at every worker count.
+    #[test]
+    fn accel_batched_inference_bit_exact_across_worker_counts(
+        seed in 0u64..100,
+        in_dim in 2usize..6,
+        hidden in 4usize..16,
+        batch in 1usize..12,
+    ) {
+        use fixar_tensor::{Matrix, Parallelism};
+        let actor = Mlp::<Fx32>::new_random(
+            &MlpConfig::new(vec![in_dim, hidden, 2])
+                .with_output_activation(Activation::Tanh),
+            seed,
+        ).unwrap();
+        let critic = Mlp::<Fx32>::new_random(
+            &MlpConfig::new(vec![in_dim + 2, hidden, 1]),
+            seed + 1,
+        ).unwrap();
+        let mut accel = FixarAccelerator::new(AccelConfig::default()).unwrap();
+        accel.load_ddpg(&actor, &critic).unwrap();
+        let states = Matrix::<f64>::from_fn(batch, in_dim, |b, i| {
+            ((b * 11 + i * 5) as f64 * 0.17 + seed as f64 * 0.01).sin()
+        }).cast::<Fx32>();
+
+        accel.set_parallelism(Parallelism::sequential());
+        let (seq, seq_cycles) = accel.actor_inference_batch(&states, Precision::Full32).unwrap();
+        for workers in [2usize, 4] {
+            accel.set_parallelism(Parallelism::with_workers(workers));
+            let (par, cycles) = accel.actor_inference_batch(&states, Precision::Full32).unwrap();
+            prop_assert_eq!(&par, &seq, "workers {}", workers);
+            // The cycle model describes the hardware, not the host pool.
+            prop_assert_eq!(cycles, seq_cycles);
+        }
+    }
+
     /// The resource model scales monotonically with every driving
     /// parameter and never reports negative usage.
     #[test]
@@ -139,5 +175,85 @@ proptest! {
         let tb = ResourceModel::new(bigger).total();
         prop_assert!(tb.lut > t.lut);
         prop_assert!(tb.dsp > t.dsp);
+    }
+}
+
+// Fewer cases for the worker sweeps: each case trains several agents at
+// several worker counts through multiple full updates.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole contract across the whole stack: pool-parallel
+    /// `train_minibatch` ≡ sequential `train_minibatch` ≡ per-sample
+    /// `train_batch`, down to the raw `Fx32` weight bits, for DDPG and
+    /// TD3 across worker counts 1–4.
+    #[test]
+    fn pooled_training_bit_exact_across_worker_counts(
+        seed in 0u64..1000,
+        batch_size in 2usize..14,
+    ) {
+        use fixar_rl::{Td3, Td3Config, TransitionBatch};
+        use fixar_tensor::Parallelism;
+        let data: Vec<Transition> = (0..batch_size)
+            .map(|i| {
+                let v = ((i as f64) * 0.7 + seed as f64 * 0.13).sin();
+                Transition {
+                    state: vec![v, -v * 0.5, v * 0.25],
+                    action: vec![v * 0.5],
+                    reward: v,
+                    next_state: vec![v + 0.1, v - 0.1, v],
+                    terminal: i % 7 == 6,
+                }
+            })
+            .collect();
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).unwrap();
+
+        // DDPG: per-sample reference vs minibatch at workers 1..=4.
+        let cfg = DdpgConfig::small_test().with_seed(seed);
+        let mut reference = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        let mut agents: Vec<Ddpg<Fx32>> = (1usize..=4)
+            .map(|w| {
+                let mut a = reference.clone();
+                a.set_parallelism(Parallelism::with_workers(w));
+                a
+            })
+            .collect();
+        for _ in 0..2 {
+            let m_ref = reference.train_batch(&refs).unwrap();
+            for a in agents.iter_mut() {
+                prop_assert_eq!(m_ref, a.train_minibatch(&batch).unwrap());
+            }
+        }
+        for a in &agents {
+            for l in 0..reference.actor().num_layers() {
+                prop_assert_eq!(reference.actor().weight(l), a.actor().weight(l));
+                prop_assert_eq!(reference.critic().weight(l), a.critic().weight(l));
+                prop_assert_eq!(reference.actor().bias(l), a.actor().bias(l));
+                prop_assert_eq!(reference.critic().bias(l), a.critic().bias(l));
+            }
+        }
+
+        // TD3: twin critics, delayed policy, shared RNG stream.
+        let tcfg = Td3Config { seed, ..Td3Config::small_test() };
+        let mut treference = Td3::<Fx32>::new(3, 1, tcfg).unwrap();
+        let mut tagents: Vec<Td3<Fx32>> = (1usize..=4)
+            .map(|w| {
+                let mut a = treference.clone();
+                a.set_parallelism(Parallelism::with_workers(w));
+                a
+            })
+            .collect();
+        // Two updates: the second fires the delayed actor update.
+        for _ in 0..2 {
+            let m_ref = treference.train_batch(&refs).unwrap();
+            for a in tagents.iter_mut() {
+                prop_assert_eq!(m_ref, a.train_minibatch(&batch).unwrap());
+            }
+        }
+        for a in &tagents {
+            prop_assert_eq!(treference.actor(), a.actor());
+            prop_assert_eq!(treference.critics(), a.critics());
+        }
     }
 }
