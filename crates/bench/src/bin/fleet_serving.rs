@@ -1,0 +1,139 @@
+//! Fleet-serving throughput: environment steps/sec of the vectorized
+//! rollout loop (batched action selection + lockstep fleet stepping)
+//! across fleet sizes {1, 4, 16, 64} × pool worker counts {1, 2, 4},
+//! against the per-sample baseline (`act` once per env — the pre-fleet
+//! rollout path, one `gemv` per env per step).
+//!
+//! The agent runs `Fx32` at the quick-study network scale so actor
+//! inference, not the toy physics, dominates. Every configuration is
+//! bit-identical in its actions (kernel contract); this bench isolates
+//! pure serving throughput.
+//!
+//! Environment:
+//!
+//! * `FIXAR_FLEET_BENCH_STEPS` — timed fleet steps per configuration
+//!   (default 300; CI's bench-smoke job uses a short count);
+//! * `FIXAR_BENCH_JSON` — when set to a path, also writes the results
+//!   as a JSON document (the `BENCH_fleet_serving.json` artifact that
+//!   extends the perf trajectory with a serving-throughput series).
+
+use fixar_env::{EnvKind, EnvPool};
+use fixar_fixed::Fx32;
+use fixar_rl::{Ddpg, DdpgConfig};
+use fixar_tensor::{Matrix, Parallelism};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const FLEET_SIZES: [usize; 4] = [1, 4, 16, 64];
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Record {
+    fleet: usize,
+    workers: usize,
+    path: &'static str,
+    steps_per_sec: f64,
+}
+
+fn agent_config() -> DdpgConfig {
+    // Pendulum-shaped agent at the quick-study network scale (64×48
+    // hidden): inference cost dominates the lockstep physics.
+    let mut cfg = DdpgConfig::small_test();
+    cfg.hidden = (64, 48);
+    cfg
+}
+
+/// Environment steps/sec of `steps` lockstep fleet steps driven by
+/// `select` (which fills `actions` from the packed observations).
+fn time_rollout(
+    pool: &mut EnvPool,
+    steps: usize,
+    mut select: impl FnMut(&Matrix<f64>, &mut Matrix<f64>),
+) -> f64 {
+    let n = pool.len();
+    let mut actions = Matrix::<f64>::zeros(n, pool.spec().action_dim);
+    pool.reset_all();
+    // Warmup step, then timed loop.
+    let obs = pool.observations().clone();
+    select(&obs, &mut actions);
+    pool.step(&actions);
+    let t = Instant::now();
+    for _ in 0..steps {
+        let obs = pool.observations().clone();
+        select(&obs, &mut actions);
+        pool.step(&actions);
+    }
+    (steps * n) as f64 / t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let steps: usize = std::env::var("FIXAR_FLEET_BENCH_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(300);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "fleet_serving: Pendulum fleet, 64x48 actor, Fx32, {steps} fleet steps/config, {cores} host core(s)"
+    );
+
+    let cfg = agent_config();
+    let mut records: Vec<Record> = Vec::new();
+    for &fleet in &FLEET_SIZES {
+        let mut pool = EnvPool::from_kind(EnvKind::Pendulum, fleet, 0);
+        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+
+        // Per-sample baseline: one vector forward per env per step.
+        let sps = time_rollout(&mut pool, steps, |obs, actions| {
+            for i in 0..obs.rows() {
+                let a = agent.act(obs.row(i)).expect("actor inference");
+                actions.row_mut(i).copy_from_slice(&a);
+            }
+        });
+        println!("fleet {fleet:>3}  per-sample act   {sps:>12.0} env steps/s");
+        records.push(Record {
+            fleet,
+            workers: 1,
+            path: "per_sample",
+            steps_per_sec: sps,
+        });
+
+        // Batched fleet selection across worker counts.
+        for &workers in &WORKER_COUNTS {
+            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+            agent.set_parallelism(Parallelism::with_workers(workers));
+            let sps = time_rollout(&mut pool, steps, |obs, actions| {
+                let a = agent.select_actions_batch(obs).expect("batched inference");
+                actions.as_mut_slice().copy_from_slice(a.as_slice());
+            });
+            println!("fleet {fleet:>3}  batched w{workers}       {sps:>12.0} env steps/s");
+            records.push(Record {
+                fleet,
+                workers,
+                path: "batched",
+                steps_per_sec: sps,
+            });
+        }
+    }
+
+    if let Ok(path) = std::env::var("FIXAR_BENCH_JSON") {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"fleet_serving\",");
+        let _ = writeln!(json, "  \"env\": \"Pendulum\",");
+        let _ = writeln!(json, "  \"hidden\": [64, 48],");
+        let _ = writeln!(json, "  \"backend\": \"Fx32\",");
+        let _ = writeln!(json, "  \"fleet_steps\": {steps},");
+        let _ = writeln!(json, "  \"host_cores\": {cores},");
+        json.push_str("  \"series\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            let comma = if i + 1 == records.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "    {{\"fleet\": {}, \"workers\": {}, \"path\": \"{}\", \"env_steps_per_sec\": {:.0}}}{comma}",
+                r.fleet, r.workers, r.path, r.steps_per_sec
+            );
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+}

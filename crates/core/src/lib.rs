@@ -48,12 +48,13 @@ pub mod prelude {
     pub use fixar_accel::{
         AccelConfig, FixarAccelerator, GpuModel, PowerModel, Precision, ResourceModel, U50_BUDGET,
     };
-    pub use fixar_env::{EnvKind, EnvSpec, Environment, StepResult};
+    pub use fixar_env::{EnvKind, EnvPool, EnvSpec, Environment, EpisodeStats, StepResult};
     pub use fixar_fixed::{AffineQuantizer, Fx16, Fx32, RangeMonitor, Scalar, Q16, Q32};
     pub use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, QatMode, QatRuntime};
     pub use fixar_platform::{CpuGpuPlatformModel, FixarCosim, FixarPlatformModel};
     pub use fixar_rl::{
-        Ddpg, DdpgConfig, PrecisionMode, ReplayBuffer, RlError, Trainer, TrainingReport, Transition,
+        Ddpg, DdpgConfig, PrecisionMode, ReplayBuffer, RlError, Trainer, TrainingReport,
+        Transition, VecTrainer,
     };
 
     pub use crate::{FixarRunReport, FixarSystem};

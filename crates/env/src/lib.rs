@@ -18,6 +18,11 @@
 //! "episode = 1000 timesteps". All environments are deterministic given a
 //! seed, which the Fig. 7 precision study relies on.
 //!
+//! For multi-env serving, [`EnvPool`] owns a homogeneous fleet of
+//! environments with independent seeds and episode lifecycles, steps
+//! them in lockstep with auto-reset, and packs observations into one
+//! matrix per step for the batched inference path.
+//!
 //! # Example
 //!
 //! ```
@@ -36,12 +41,14 @@
 mod half_cheetah;
 mod hopper;
 mod pendulum;
+mod pool;
 mod rig;
 mod swimmer;
 
 pub use half_cheetah::HalfCheetah;
 pub use hopper::Hopper;
 pub use pendulum::Pendulum;
+pub use pool::{fleet_env_seed, EnvPool, EpisodeStats, FleetStep, FLEET_SEED_STRIDE};
 pub use swimmer::Swimmer;
 
 /// Static description of an environment's interface.

@@ -414,6 +414,35 @@ impl<S: Scalar> Ddpg<S> {
         Ok(trace.output.iter().map(|v| v.to_f64()).collect())
     }
 
+    /// Batched actor inference for a fleet of environments: one
+    /// observation per row of `states`, one batched QAT-aware forward
+    /// pass over the worker pool instead of `states.rows()` per-sample
+    /// `gemv` passes — the rollout hot path of
+    /// [`VecTrainer`](crate::VecTrainer) and the software twin of
+    /// `FixarAccelerator::actor_inference_batch`.
+    ///
+    /// Row `i` of the result is **bit-identical** to
+    /// [`Ddpg::act`]`(states.row(i))` (the batched kernels preserve
+    /// per-element reduction order, and QAT range monitors are
+    /// order-independent), so serving a fleet never perturbs any single
+    /// env's action stream. During QAT calibration the pass feeds the
+    /// activation range monitors, exactly like [`Ddpg::act`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Nn`] if `states.cols()` differs from the
+    /// observation dimension.
+    pub fn select_actions_batch(&mut self, states: &Matrix<f64>) -> Result<Matrix<f64>, RlError> {
+        let s: Matrix<S> = states.cast();
+        let out = self
+            .actor
+            .forward_batch_qat_par(&s, &mut self.actor_qat, &self.par)?
+            .output;
+        Ok(Matrix::from_fn(out.rows(), out.cols(), |r, c| {
+            out[(r, c)].to_f64()
+        }))
+    }
+
     /// One training update with the whole minibatch flowing through the
     /// stack as **one matrix per layer** — the software image of the
     /// accelerator's intra-batch parallelism, and the hot path the

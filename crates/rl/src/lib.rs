@@ -20,6 +20,10 @@
 //! * [`Trainer`] — the timestep loop with the paper's evaluation protocol
 //!   (evaluate every 5000 steps, averaging cumulative reward over 10
 //!   episodes "until the agent falls down"),
+//! * [`VecTrainer`] — the multi-env serving loop: a fleet of
+//!   environments (`fixar_env::EnvPool`) stepped in lockstep with all
+//!   action selection batched through [`Ddpg::select_actions_batch`],
+//!   bit-identical to [`Trainer`] at fleet size 1,
 //! * [`PrecisionMode`] — the four arms of the Fig. 7 precision study.
 //!
 //! Everything is generic over the numeric backend, so the *same* code
@@ -52,6 +56,7 @@ mod precision;
 mod replay;
 mod td3;
 mod trainer;
+mod vec_trainer;
 
 pub use ddpg::{Ddpg, DdpgConfig, QatSchedule, TrainMetrics};
 pub use error::RlError;
@@ -60,3 +65,4 @@ pub use precision::PrecisionMode;
 pub use replay::{ReplayBuffer, Transition, TransitionBatch};
 pub use td3::{Td3, Td3Config};
 pub use trainer::{EvalPoint, Trainer, TrainingReport};
+pub use vec_trainer::{action_stream_seed, replay_stream_seed, VecTrainer};

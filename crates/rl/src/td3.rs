@@ -237,6 +237,23 @@ impl<S: Scalar> Td3<S> {
         Ok(out.iter().map(|v| v.to_f64()).collect())
     }
 
+    /// Batched actor inference for a fleet of environments — the TD3
+    /// twin of [`Ddpg::select_actions_batch`](crate::Ddpg::select_actions_batch):
+    /// one observation per row, one pool-parallel batched forward pass,
+    /// row `i` bit-identical to [`Td3::act`]`(states.row(i))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Nn`] if `states.cols()` differs from the
+    /// observation dimension.
+    pub fn select_actions_batch(&self, states: &Matrix<f64>) -> Result<Matrix<f64>, RlError> {
+        let s: Matrix<S> = states.cast();
+        let out = self.actor.forward_batch_par(&s, &self.par)?;
+        Ok(Matrix::from_fn(out.rows(), out.cols(), |r, c| {
+            out[(r, c)].to_f64()
+        }))
+    }
+
     /// One clipped Gaussian smoothing-noise draw (two uniforms through
     /// Box–Muller). Both the per-sample and the batched update draw
     /// through this single helper, so their RNG consumption — part of

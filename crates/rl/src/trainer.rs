@@ -9,6 +9,7 @@ use crate::ddpg::{Ddpg, DdpgConfig, TrainMetrics};
 use crate::error::RlError;
 use crate::noise::{ExplorationNoise, GaussianNoise};
 use crate::replay::{ReplayBuffer, Transition};
+use crate::vec_trainer::{action_stream_seed, replay_stream_seed};
 
 /// One point of a Fig. 7 reward curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,9 +46,57 @@ impl TrainingReport {
     }
 }
 
+/// Rejects train/eval environment pairs that disagree on dimensions —
+/// shared by the scalar and fleet trainers so the check cannot drift.
+pub(crate) fn check_env_compat(
+    spec: &fixar_env::EnvSpec,
+    espec: &fixar_env::EnvSpec,
+) -> Result<(), RlError> {
+    if spec.obs_dim != espec.obs_dim || spec.action_dim != espec.action_dim {
+        return Err(RlError::InvalidConfig(format!(
+            "train env {}({}, {}) and eval env {}({}, {}) disagree",
+            spec.name, spec.obs_dim, spec.action_dim, espec.name, espec.obs_dim, espec.action_dim
+        )));
+    }
+    Ok(())
+}
+
+/// The paper's evaluation protocol — average cumulative reward over
+/// `episodes` fresh noise-free episodes, each run "until the agent
+/// falls down" (or the step cap). One implementation shared by
+/// [`Trainer::evaluate`] and `VecTrainer::evaluate`, which is part of
+/// what keeps their [`TrainingReport`]s bit-identical at fleet size 1.
+pub(crate) fn evaluate_policy<S: Scalar>(
+    agent: &mut Ddpg<S>,
+    env: &mut dyn Environment,
+    episodes: usize,
+) -> Result<f64, RlError> {
+    let mut total = 0.0;
+    for _ in 0..episodes.max(1) {
+        let mut obs = env.reset();
+        loop {
+            let action = agent.act(&obs)?;
+            let res = env.step(&action);
+            total += res.reward;
+            if res.done() {
+                break;
+            }
+            obs = res.observation;
+        }
+    }
+    Ok(total / episodes.max(1) as f64)
+}
+
 /// Drives one agent/environment pair through the paper's timestep loop
 /// (Fig. 3): act with exploration noise → environment step → store the
 /// transition → sample a batch → train → periodically evaluate.
+///
+/// Randomness is split into two streams shared with the fleet path:
+/// warmup exploration and noise draw from the **action stream**
+/// ([`action_stream_seed`]`(seed, 0)` — slot 0 of a fleet), replay
+/// sampling from the **replay stream** ([`replay_stream_seed`]). This
+/// is what lets a [`VecTrainer`](crate::VecTrainer) with fleet size 1
+/// reproduce this trainer bit-for-bit.
 ///
 /// See the [crate docs](crate) for an example.
 pub struct Trainer<S: Scalar> {
@@ -56,7 +105,8 @@ pub struct Trainer<S: Scalar> {
     agent: Ddpg<S>,
     replay: ReplayBuffer,
     noise: Box<dyn ExplorationNoise>,
-    rng: StdRng,
+    action_rng: StdRng,
+    replay_rng: StdRng,
     cfg: DdpgConfig,
     steps_taken: u64,
 }
@@ -76,18 +126,7 @@ impl<S: Scalar> Trainer<S> {
         cfg: DdpgConfig,
     ) -> Result<Self, RlError> {
         let spec = env.spec();
-        let espec = eval_env.spec();
-        if spec.obs_dim != espec.obs_dim || spec.action_dim != espec.action_dim {
-            return Err(RlError::InvalidConfig(format!(
-                "train env {}({}, {}) and eval env {}({}, {}) disagree",
-                spec.name,
-                spec.obs_dim,
-                spec.action_dim,
-                espec.name,
-                espec.obs_dim,
-                espec.action_dim
-            )));
-        }
+        check_env_compat(&spec, &eval_env.spec())?;
         let agent = Ddpg::new(spec.obs_dim, spec.action_dim, cfg)?;
         let replay = ReplayBuffer::new(cfg.replay_capacity);
         let noise = Box::new(GaussianNoise::new(spec.action_dim, cfg.exploration_sigma));
@@ -97,7 +136,8 @@ impl<S: Scalar> Trainer<S> {
             agent,
             replay,
             noise,
-            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5eed)),
+            action_rng: StdRng::seed_from_u64(action_stream_seed(cfg.seed, 0)),
+            replay_rng: StdRng::seed_from_u64(replay_stream_seed(cfg.seed)),
             cfg,
             steps_taken: 0,
         })
@@ -121,6 +161,12 @@ impl<S: Scalar> Trainer<S> {
     /// Transitions currently stored in replay.
     pub fn replay_len(&self) -> usize {
         self.replay.len()
+    }
+
+    /// Read access to the replay buffer (the fleet-equivalence tests
+    /// compare full contents against a [`VecTrainer`](crate::VecTrainer)).
+    pub fn replay(&self) -> &ReplayBuffer {
+        &self.replay
     }
 
     /// Runs `total_steps` environment steps, training once per step after
@@ -158,12 +204,12 @@ impl<S: Scalar> Trainer<S> {
             let mut policy_action = self.agent.act(&obs)?;
             let action: Vec<f64> = if self.steps_taken + step <= self.cfg.warmup_steps {
                 (0..self.agent.action_dim())
-                    .map(|_| self.rng.gen_range(-1.0..1.0))
+                    .map(|_| self.action_rng.gen_range(-1.0..1.0))
                     .collect()
             } else {
                 for (ai, ni) in policy_action
                     .iter_mut()
-                    .zip(self.noise.sample(&mut self.rng))
+                    .zip(self.noise.sample(&mut self.action_rng))
                 {
                     *ai = (*ai + ni).clamp(-1.0, 1.0);
                 }
@@ -187,7 +233,10 @@ impl<S: Scalar> Trainer<S> {
             }
 
             if self.steps_taken + step > self.cfg.warmup_steps {
-                if let Some(batch) = self.replay.sample_batch(self.cfg.batch_size, &mut self.rng) {
+                if let Some(batch) = self
+                    .replay
+                    .sample_batch(self.cfg.batch_size, &mut self.replay_rng)
+                {
                     // Batched hot path: the minibatch flows through the
                     // stack as one matrix per layer, and the batched
                     // kernels shard across the agent's persistent worker
@@ -224,20 +273,7 @@ impl<S: Scalar> Trainer<S> {
     ///
     /// Propagates actor inference errors.
     pub fn evaluate(&mut self, episodes: usize) -> Result<f64, RlError> {
-        let mut total = 0.0;
-        for _ in 0..episodes.max(1) {
-            let mut obs = self.eval_env.reset();
-            loop {
-                let action = self.agent.act(&obs)?;
-                let res = self.eval_env.step(&action);
-                total += res.reward;
-                if res.done() {
-                    break;
-                }
-                obs = res.observation;
-            }
-        }
-        Ok(total / episodes.max(1) as f64)
+        evaluate_policy(&mut self.agent, self.eval_env.as_mut(), episodes)
     }
 }
 

@@ -1,0 +1,431 @@
+//! Vectorized multi-env serving: one agent, a fleet of environments,
+//! batched action selection.
+//!
+//! [`VecTrainer`] drives an [`EnvPool`] in lockstep: every fleet step
+//! packs the `N` current observations into one matrix, routes them
+//! through [`Ddpg::select_actions_batch`] (one batched kernel pass over
+//! the worker pool instead of `N` per-sample `gemv`s), applies
+//! exploration noise per row from per-env noise streams, steps the
+//! fleet, and feeds all `N` transitions into the shared replay buffer
+//! in ascending env order.
+//!
+//! # Determinism contract
+//!
+//! * Env slot `i` draws its warmup actions and exploration noise from
+//!   its own `StdRng` seeded with [`action_stream_seed`]`(seed, i)`;
+//!   replay sampling draws from a separate stream seeded with
+//!   [`replay_stream_seed`]`(seed)`. Slot 0's action stream is exactly
+//!   the scalar [`Trainer`](crate::Trainer)'s, so a fleet of one
+//!   reproduces the scalar trainer **bit-for-bit** (weights, replay
+//!   contents, reward curve) — property-tested in
+//!   `tests/fleet_props.rs`.
+//! * Because each slot owns its stream, any single env's action
+//!   sequence is independent of the fleet size around it: with frozen
+//!   agent weights, slot `i`'s trajectory in an `N`-env fleet is
+//!   bit-identical to a solo rollout of the same env seed and stream.
+//! * Transitions are pushed in ascending env index every fleet step,
+//!   and the batched kernels are bit-exact at every worker count, so
+//!   fleet runs are bit-identical across `FIXAR_WORKERS` settings.
+
+use fixar_env::{EnvPool, Environment};
+use fixar_fixed::Scalar;
+use fixar_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ddpg::{Ddpg, DdpgConfig, TrainMetrics};
+use crate::error::RlError;
+use crate::noise::{ExplorationNoise, GaussianNoise};
+use crate::replay::{ReplayBuffer, Transition};
+use crate::trainer::{check_env_compat, evaluate_policy, EvalPoint, TrainingReport};
+
+/// Per-env action-stream stride: an odd constant deliberately different
+/// from the SplitMix64 gamma of the vendored `rand` shim (and from
+/// `fixar_env::FLEET_SEED_STRIDE`), so no two slots' streams are
+/// shifted copies of each other.
+const ACTION_STREAM_STRIDE: u64 = 0xD6E8_FEB8_6659_FD93;
+
+/// Seed of fleet slot `env_idx`'s action stream (warmup exploration and
+/// noise draws) for an agent seeded with `seed`. Slot 0 matches the
+/// scalar [`Trainer`](crate::Trainer)'s action stream — the anchor of
+/// the fleet-of-one equivalence contract.
+pub fn action_stream_seed(seed: u64, env_idx: usize) -> u64 {
+    seed.wrapping_add(0x5eed)
+        .wrapping_add((env_idx as u64).wrapping_mul(ACTION_STREAM_STRIDE))
+}
+
+/// Seed of the replay-sampling stream for an agent seeded with `seed` —
+/// shared by the scalar [`Trainer`](crate::Trainer) and [`VecTrainer`],
+/// and deliberately separate from every action stream so batch draws
+/// never perturb exploration.
+pub fn replay_stream_seed(seed: u64) -> u64 {
+    seed.wrapping_add(0xba7c4)
+}
+
+/// Drives one agent against a fleet of environments: batched action
+/// selection through the worker pool, lockstep stepping with auto-reset,
+/// deterministic env-order replay insertion, and training every
+/// `train_every` fleet steps.
+///
+/// Step accounting: `run(total_fleet_steps, ..)` advances every env by
+/// `total_fleet_steps` control steps, i.e. `N × total_fleet_steps`
+/// environment steps total. Warmup, evaluation, training cadence, and
+/// the QAT delay are all counted in **fleet steps** (per-env local
+/// steps), so a config reaches the same training phase at any fleet
+/// size; [`EvalPoint::step`], [`TrainingReport::total_steps`], and
+/// [`TrainingReport::qat_switch_step`] report global env steps.
+///
+/// # Example
+///
+/// ```
+/// use fixar_env::{EnvKind, EnvPool};
+/// use fixar_rl::{DdpgConfig, VecTrainer};
+///
+/// let pool = EnvPool::from_kind(EnvKind::Pendulum, 4, 1);
+/// let mut trainer = VecTrainer::<f32>::new(
+///     pool,
+///     EnvKind::Pendulum.make(99),
+///     DdpgConfig::small_test(),
+/// )?;
+/// let report = trainer.run(50, 50, 1)?;
+/// assert_eq!(report.total_steps, 200); // 50 fleet steps x 4 envs
+/// assert_eq!(report.curve.len(), 1);
+/// # Ok::<(), fixar_rl::RlError>(())
+/// ```
+pub struct VecTrainer<S: Scalar> {
+    pool: EnvPool,
+    eval_env: Box<dyn Environment>,
+    agent: Ddpg<S>,
+    replay: ReplayBuffer,
+    noises: Vec<Box<dyn ExplorationNoise>>,
+    action_rngs: Vec<StdRng>,
+    replay_rng: StdRng,
+    cfg: DdpgConfig,
+    train_every: u64,
+    fleet_steps: u64,
+}
+
+impl<S: Scalar> VecTrainer<S> {
+    /// Builds a fleet trainer from an environment pool, a separate
+    /// evaluation environment, and a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] if the evaluation environment
+    /// disagrees with the pool on dimensions or the config is
+    /// malformed.
+    pub fn new(
+        pool: EnvPool,
+        eval_env: Box<dyn Environment>,
+        cfg: DdpgConfig,
+    ) -> Result<Self, RlError> {
+        let spec = pool.spec().clone();
+        check_env_compat(&spec, &eval_env.spec())?;
+        let agent = Ddpg::new(spec.obs_dim, spec.action_dim, cfg)?;
+        let replay = ReplayBuffer::new(cfg.replay_capacity);
+        let n = pool.len();
+        let noises: Vec<Box<dyn ExplorationNoise>> = (0..n)
+            .map(|_| {
+                Box::new(GaussianNoise::new(spec.action_dim, cfg.exploration_sigma))
+                    as Box<dyn ExplorationNoise>
+            })
+            .collect();
+        let action_rngs = (0..n)
+            .map(|i| StdRng::seed_from_u64(action_stream_seed(cfg.seed, i)))
+            .collect();
+        Ok(Self {
+            pool,
+            eval_env,
+            agent,
+            replay,
+            noises,
+            action_rngs,
+            replay_rng: StdRng::seed_from_u64(replay_stream_seed(cfg.seed)),
+            cfg,
+            train_every: 1,
+            fleet_steps: 0,
+        })
+    }
+
+    /// Fleet size `N`.
+    pub fn fleet_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The environment pool (per-env episode accounting lives here).
+    pub fn pool(&self) -> &EnvPool {
+        &self.pool
+    }
+
+    /// The agent (e.g. for loading its networks onto the accelerator).
+    pub fn agent(&self) -> &Ddpg<S> {
+        &self.agent
+    }
+
+    /// Mutable agent access (worker-count pinning in tests/benches).
+    pub fn agent_mut(&mut self) -> &mut Ddpg<S> {
+        &mut self.agent
+    }
+
+    /// Transitions currently stored in replay.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// Read access to the replay buffer (fleet-equivalence tests
+    /// compare full contents).
+    pub fn replay(&self) -> &ReplayBuffer {
+        &self.replay
+    }
+
+    /// Replaces every slot's exploration-noise process with a fresh one
+    /// built by `make` (called with the slot index).
+    pub fn set_noise_with(&mut self, make: impl Fn(usize) -> Box<dyn ExplorationNoise>) {
+        for (i, slot) in self.noises.iter_mut().enumerate() {
+            *slot = make(i);
+        }
+    }
+
+    /// Sets the training cadence: one minibatch update every `every`
+    /// fleet steps (default 1, the scalar trainer's cadence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] for `every == 0`.
+    pub fn set_train_every(&mut self, every: u64) -> Result<(), RlError> {
+        if every == 0 {
+            return Err(RlError::InvalidConfig(
+                "train_every must be positive".into(),
+            ));
+        }
+        self.train_every = every;
+        Ok(())
+    }
+
+    /// Runs `total_fleet_steps` lockstep fleet steps: batched action
+    /// selection → fleet step → `N` replay pushes in ascending env
+    /// order → one minibatch update every `train_every` fleet steps
+    /// after warmup → evaluation every `eval_every` fleet steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates agent errors; see [`Ddpg::train_minibatch`].
+    pub fn run(
+        &mut self,
+        total_fleet_steps: u64,
+        eval_every: u64,
+        eval_episodes: usize,
+    ) -> Result<TrainingReport, RlError> {
+        if eval_every == 0 {
+            return Err(RlError::InvalidConfig("eval_every must be positive".into()));
+        }
+        let n = self.pool.len();
+        let action_dim = self.agent.action_dim();
+        self.pool.reset_all();
+        for noise in &mut self.noises {
+            noise.reset();
+        }
+        let mut episodes = 0;
+        let mut curve = Vec::new();
+        let mut qat_switch_step = None;
+        let mut final_metrics = TrainMetrics::default();
+        let mut actions = Matrix::<f64>::zeros(n, action_dim);
+
+        for k in 1..=total_fleet_steps {
+            // Per-env local step count (== global env steps / N).
+            let local = self.fleet_steps + k;
+            let global = local * n as u64;
+            // Every cadence — warmup, training, evaluation, and the QAT
+            // delay — counts fleet steps (per-env local steps), so the
+            // same config reaches the same training phase at any fleet
+            // size; only the reported step numbers scale by N.
+            if self.agent.on_timestep(local)? {
+                qat_switch_step = Some(global);
+            }
+
+            // One batched actor pass for the whole fleet — the rollout
+            // hot path never touches a per-sample gemv. During warmup
+            // the policy rows are discarded in favour of uniform
+            // exploration, exactly like the scalar trainer (the pass
+            // still runs so QAT monitors observe from t = 1).
+            let states = self.pool.observations().clone();
+            let policy = self.agent.select_actions_batch(&states)?;
+            for i in 0..n {
+                if local <= self.cfg.warmup_steps {
+                    for d in 0..action_dim {
+                        actions[(i, d)] = self.action_rngs[i].gen_range(-1.0..1.0);
+                    }
+                } else {
+                    let ni = self.noises[i].sample(&mut self.action_rngs[i]);
+                    for d in 0..action_dim {
+                        actions[(i, d)] = (policy[(i, d)] + ni[d]).clamp(-1.0, 1.0);
+                    }
+                }
+            }
+
+            let fs = self.pool.step(&actions);
+            // Replay insertion in ascending env index — part of the
+            // determinism contract, independent of pool scheduling.
+            for i in 0..n {
+                self.replay.push(Transition {
+                    state: states.row(i).to_vec(),
+                    action: actions.row(i).to_vec(),
+                    reward: fs.rewards[i],
+                    next_state: fs.next_observations.row(i).to_vec(),
+                    terminal: fs.terminated[i],
+                });
+                if fs.terminated[i] || fs.truncated[i] {
+                    self.noises[i].reset();
+                }
+            }
+            episodes += fs.finished.len();
+
+            if local > self.cfg.warmup_steps && local.is_multiple_of(self.train_every) {
+                if let Some(batch) = self
+                    .replay
+                    .sample_batch(self.cfg.batch_size, &mut self.replay_rng)
+                {
+                    final_metrics = self.agent.train_minibatch(&batch)?;
+                }
+            }
+
+            if local.is_multiple_of(eval_every) {
+                let avg = self.evaluate(eval_episodes)?;
+                curve.push(EvalPoint {
+                    step: global,
+                    avg_reward: avg,
+                });
+            }
+        }
+        self.fleet_steps += total_fleet_steps;
+        Ok(TrainingReport {
+            curve,
+            train_episodes: episodes,
+            total_steps: self.fleet_steps * n as u64,
+            qat_switch_step,
+            final_metrics,
+        })
+    }
+
+    /// The paper's evaluation protocol — the very same implementation
+    /// [`Trainer::evaluate`](crate::Trainer::evaluate) runs: average
+    /// cumulative reward over `episodes` fresh noise-free episodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates actor inference errors.
+    pub fn evaluate(&mut self, episodes: usize) -> Result<f64, RlError> {
+        evaluate_policy(&mut self.agent, self.eval_env.as_mut(), episodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_env::EnvKind;
+    use fixar_pool::Parallelism;
+
+    fn pendulum_fleet(n: usize, cfg: DdpgConfig) -> VecTrainer<f64> {
+        VecTrainer::new(
+            EnvPool::from_kind(EnvKind::Pendulum, n, cfg.seed),
+            EnvKind::Pendulum.make(99),
+            cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn run_produces_expected_curve_and_counts() {
+        let mut t = pendulum_fleet(4, DdpgConfig::small_test());
+        let report = t.run(100, 50, 1).unwrap();
+        assert_eq!(report.curve.len(), 2);
+        assert_eq!(report.curve[0].step, 200); // 50 fleet steps x 4 envs
+        assert_eq!(report.curve[1].step, 400);
+        assert_eq!(report.total_steps, 400);
+        assert!(report.curve.iter().all(|p| p.avg_reward.is_finite()));
+    }
+
+    #[test]
+    fn replay_receives_n_transitions_per_fleet_step() {
+        let mut t = pendulum_fleet(3, DdpgConfig::small_test());
+        t.run(40, 40, 1).unwrap();
+        assert_eq!(t.replay_len(), 120);
+    }
+
+    #[test]
+    fn consecutive_runs_continue_step_count() {
+        let mut t = pendulum_fleet(2, DdpgConfig::small_test());
+        t.run(50, 50, 1).unwrap();
+        let report = t.run(50, 50, 1).unwrap();
+        assert_eq!(report.total_steps, 200);
+        assert_eq!(report.curve[0].step, 200);
+    }
+
+    #[test]
+    fn mismatched_eval_env_rejected() {
+        let r = VecTrainer::<f64>::new(
+            EnvPool::from_kind(EnvKind::Pendulum, 2, 0),
+            EnvKind::Swimmer.make(0),
+            DdpgConfig::small_test(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn zero_cadences_rejected() {
+        let mut t = pendulum_fleet(2, DdpgConfig::small_test());
+        assert!(t.set_train_every(0).is_err());
+        assert!(t.run(10, 0, 1).is_err());
+        t.set_train_every(4).unwrap();
+    }
+
+    #[test]
+    fn replay_insertion_order_is_env_major_ascending() {
+        // Transitions land as [step0 env0, step0 env1, ..., step1 env0,
+        // ...]: the k-th fleet step's slot-i transition sits at k*n + i,
+        // and its state row is slot i's observation before that step.
+        let n = 3;
+        let mut t = pendulum_fleet(n, DdpgConfig::small_test());
+        t.run(10, 10, 1).unwrap();
+        // Rebuild the expected trajectory from a fresh identical fleet.
+        let mut t2 = pendulum_fleet(n, DdpgConfig::small_test());
+        t2.run(10, 10, 1).unwrap();
+        let a = t.replay().as_slice();
+        let b = t2.replay().as_slice();
+        assert_eq!(a, b);
+        // Env identity per slot: replay rows 0..n are the distinct
+        // initial observations of slots 0..n in ascending order.
+        let mut pool = EnvPool::from_kind(EnvKind::Pendulum, n, 0);
+        let obs = pool.reset_all();
+        for (i, tr) in a.iter().take(n).enumerate() {
+            assert_eq!(tr.state.as_slice(), obs.row(i), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn replay_order_is_independent_of_worker_count() {
+        // The regression the satellite asks for: if replay insertion
+        // order ever depended on pool scheduling, worker counts would
+        // disagree on the buffer contents.
+        let run = |workers: usize| {
+            let mut t = pendulum_fleet(4, DdpgConfig::small_test());
+            t.agent_mut()
+                .set_parallelism(Parallelism::with_workers(workers));
+            t.run(80, 80, 1).unwrap();
+            t
+        };
+        let t1 = run(1);
+        let t4 = run(4);
+        assert_eq!(t1.replay().as_slice(), t4.replay().as_slice());
+        assert_eq!(t1.agent().actor(), t4.agent().actor());
+    }
+
+    #[test]
+    fn per_slot_episode_accounting_survives_training() {
+        let mut t = pendulum_fleet(2, DdpgConfig::small_test());
+        // Pendulum truncates at 200: 410 fleet steps = 2 episodes/slot.
+        let report = t.run(410, 410, 1).unwrap();
+        assert_eq!(report.train_episodes, 4);
+        assert_eq!(t.pool().episodes_completed(), &[2, 2]);
+    }
+}
