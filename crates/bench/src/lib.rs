@@ -37,6 +37,90 @@ pub mod paper {
     pub const BATCH_SIZES: [usize; 4] = [64, 128, 256, 512];
 }
 
+/// The pre-SoA replay buffer, kept verbatim as the behavioural
+/// reference for the structure-of-arrays rewrite — **the** single copy
+/// shared by the `replay_scale` bench bin (timing baseline, bit-equality
+/// gate) and `tests/replay_props.rs` (legacy-equivalence pillar), so
+/// the two cannot drift onto different reference semantics.
+pub mod legacy_replay {
+    use fixar_rl::{Transition, TransitionBatch};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Array-of-structs ring buffer: the pre-SoA `ReplayBuffer`,
+    /// verbatim (struct-per-transition storage, per-row borrow
+    /// sampling, row-copy batch packing through `from_transitions`).
+    pub struct LegacyReplayBuffer {
+        /// Stored transitions in ring order (slot order).
+        pub storage: Vec<Transition>,
+        capacity: usize,
+        write_head: usize,
+    }
+
+    impl LegacyReplayBuffer {
+        /// Creates a buffer holding at most `capacity` transitions.
+        pub fn new(capacity: usize) -> Self {
+            Self {
+                storage: Vec::with_capacity(capacity),
+                capacity,
+                write_head: 0,
+            }
+        }
+
+        /// Inserts a transition, overwriting the oldest once full.
+        pub fn push(&mut self, t: Transition) {
+            if self.storage.len() < self.capacity {
+                self.storage.push(t);
+            } else {
+                self.storage[self.write_head] = t;
+            }
+            self.write_head = (self.write_head + 1) % self.capacity;
+        }
+
+        /// Uniform borrow sampling with replacement — the legacy draw
+        /// sequence (`batch` ascending `gen_range(0..len)` calls), or
+        /// no draws at all on underflow.
+        pub fn sample<'a>(&'a self, batch: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
+            if self.storage.len() < batch {
+                return Vec::new();
+            }
+            (0..batch)
+                .map(|_| &self.storage[rng.gen_range(0..self.storage.len())])
+                .collect()
+        }
+
+        /// Legacy row-copy batch sampling: `sample` + `from_transitions`.
+        pub fn sample_batch(&self, batch: usize, rng: &mut StdRng) -> Option<TransitionBatch> {
+            if batch == 0 {
+                return None;
+            }
+            let picks = self.sample(batch, rng);
+            if picks.is_empty() {
+                return None;
+            }
+            Some(TransitionBatch::from_transitions(&picks).expect("homogeneous"))
+        }
+    }
+
+    /// Deterministic synthetic transition `i` with the given dimensions
+    /// (`reward == i`, so eviction checks can read the push index back).
+    pub fn synthetic_transition(i: usize, state_dim: usize, action_dim: usize) -> Transition {
+        Transition {
+            state: (0..state_dim)
+                .map(|d| (i * 7 + d) as f64 * 0.13 - 1.0)
+                .collect(),
+            action: (0..action_dim)
+                .map(|d| ((i + d * 3) % 5) as f64 * 0.4 - 1.0)
+                .collect(),
+            reward: i as f64,
+            next_state: (0..state_dim)
+                .map(|d| (i * 7 + d) as f64 * 0.13 - 0.5)
+                .collect(),
+            terminal: i.is_multiple_of(9),
+        }
+    }
+}
+
 /// Renders a fixed-width ASCII table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let ncols = headers.len();

@@ -53,8 +53,8 @@ pub mod prelude {
     pub use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, QatMode, QatRuntime};
     pub use fixar_platform::{CpuGpuPlatformModel, FixarCosim, FixarPlatformModel};
     pub use fixar_rl::{
-        Ddpg, DdpgConfig, PrecisionMode, ReplayBuffer, RlError, Trainer, TrainingReport,
-        Transition, VecTrainer,
+        Ddpg, DdpgConfig, PrecisionMode, PrioritizedConfig, ReplayBuffer, ReplayStrategy, RlError,
+        Trainer, TrainingReport, Transition, VecTrainer,
     };
 
     pub use crate::{FixarRunReport, FixarSystem};

@@ -6,7 +6,7 @@ use fixar_pool::Parallelism;
 use fixar_tensor::Matrix;
 
 use crate::error::RlError;
-use crate::replay::{Transition, TransitionBatch};
+use crate::replay::{ReplayStrategy, Transition, TransitionBatch};
 
 /// Runs `f` over every item on the pool behind `par`, one task per
 /// item, collecting the outcomes in **ascending item order** (the
@@ -83,6 +83,10 @@ pub struct DdpgConfig {
     pub batch_size: usize,
     /// Replay buffer capacity.
     pub replay_capacity: usize,
+    /// Replay sampling strategy (uniform — the paper's protocol and the
+    /// bit-exact legacy behaviour — or proportional prioritized replay;
+    /// see [`ReplayStrategy`]).
+    pub replay: ReplayStrategy,
     /// Uniform-random action steps before training starts.
     pub warmup_steps: u64,
     /// Exploration noise standard deviation.
@@ -112,6 +116,7 @@ impl Default for DdpgConfig {
             adam_eps: 1e-4,
             batch_size: 64,
             replay_capacity: 100_000,
+            replay: ReplayStrategy::Uniform,
             warmup_steps: 1_000,
             exploration_sigma: 0.1,
             qat: None,
@@ -157,6 +162,13 @@ impl DdpgConfig {
         self
     }
 
+    /// Builder-style replay strategy (see [`ReplayStrategy`] for the
+    /// determinism contract of each arm).
+    pub fn with_replay(mut self, replay: ReplayStrategy) -> Self {
+        self.replay = replay;
+        self
+    }
+
     fn validate(&self) -> Result<(), RlError> {
         if self.batch_size == 0 {
             return Err(RlError::InvalidConfig("batch_size must be positive".into()));
@@ -179,6 +191,9 @@ impl DdpgConfig {
                     q.bits
                 )));
             }
+        }
+        if let ReplayStrategy::Prioritized(p) = self.replay {
+            p.validate().map_err(RlError::InvalidConfig)?;
         }
         Ok(())
     }
@@ -463,11 +478,46 @@ impl<S: Scalar> Ddpg<S> {
     /// Returns [`RlError::ReplayUnderflow`] for an empty batch and
     /// [`RlError::Nn`] on shape mismatches.
     pub fn train_minibatch(&mut self, batch: &TransitionBatch) -> Result<TrainMetrics, RlError> {
+        self.train_minibatch_weighted(batch, None).map(|(m, _)| m)
+    }
+
+    /// [`Ddpg::train_minibatch`] with optional per-sample importance
+    /// weights — the prioritized-replay entry point. `weights[i]`
+    /// scales sample `i`'s contribution to the critic regression (both
+    /// the loss and the TD-error gradient); the actor ascent and the
+    /// target updates are unweighted, per the usual prioritized-DDPG
+    /// formulation. Returns the metrics **and the per-sample TD errors
+    /// `q_i − y_i`** the caller feeds back into the priority structure.
+    ///
+    /// With `weights == None` this is *exactly* [`Ddpg::train_minibatch`]
+    /// (the unweighted expressions are untouched, not multiplied by a
+    /// `1.0` that could re-round), so uniform-strategy training stays on
+    /// the bit-exact legacy path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::ReplayUnderflow`] for an empty batch,
+    /// [`RlError::InvalidConfig`] if `weights` disagrees with the batch
+    /// length, and [`RlError::Nn`] on shape mismatches.
+    pub fn train_minibatch_weighted(
+        &mut self,
+        batch: &TransitionBatch,
+        weights: Option<&[f64]>,
+    ) -> Result<(TrainMetrics, Vec<f64>), RlError> {
         if batch.is_empty() {
             return Err(RlError::ReplayUnderflow {
                 have: 0,
                 need: self.cfg.batch_size,
             });
+        }
+        if let Some(w) = weights {
+            if w.len() != batch.len() {
+                return Err(RlError::InvalidConfig(format!(
+                    "importance weights ({}) disagree with batch ({})",
+                    w.len(),
+                    batch.len()
+                )));
+            }
         }
         let b = batch.len();
         let scale = 1.0 / b as f64;
@@ -507,13 +557,23 @@ impl<S: Scalar> Ddpg<S> {
                 .forward_batch_qat_par(&critic_in, &mut self.critic_qat, &self.par)?;
         let mut critic_loss = 0.0;
         let mut q_sum = 0.0;
+        let mut td_errors = Vec::with_capacity(b);
         let mut dl = Matrix::zeros(b, 1);
         for (i, &y) in targets.iter().enumerate() {
             let q = trace.output[(i, 0)];
             q_sum += q.to_f64();
             let td = q.to_f64() - y.to_f64();
-            critic_loss += 0.5 * td * td * scale;
-            dl[(i, 0)] = (q - y) * S::from_f64(scale);
+            td_errors.push(td);
+            match weights {
+                None => {
+                    critic_loss += 0.5 * td * td * scale;
+                    dl[(i, 0)] = (q - y) * S::from_f64(scale);
+                }
+                Some(w) => {
+                    critic_loss += 0.5 * w[i] * td * td * scale;
+                    dl[(i, 0)] = (q - y) * S::from_f64(w[i] * scale);
+                }
+            }
         }
         self.critic
             .backward_batch_par(&trace, &dl, &mut self.critic_grads, &self.par)?;
@@ -550,10 +610,13 @@ impl<S: Scalar> Ddpg<S> {
             .soft_update_from(&self.critic, self.cfg.tau)?;
 
         self.train_steps += 1;
-        Ok(TrainMetrics {
-            critic_loss,
-            mean_q: q_sum * scale,
-        })
+        Ok((
+            TrainMetrics {
+                critic_loss,
+                mean_q: q_sum * scale,
+            },
+            td_errors,
+        ))
     }
 
     /// One training update from a sampled batch, processed **one sample

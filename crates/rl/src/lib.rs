@@ -4,7 +4,10 @@
 //! Implements the paper's training pipeline end to end:
 //!
 //! * [`ReplayBuffer`] — the transition store the host CPU samples batches
-//!   from,
+//!   from: a structure-of-arrays ring buffer whose `sample_batch` is a
+//!   column gather straight into the batch matrices, with
+//!   [`ReplayStrategy`] selecting uniform (bit-exact legacy) or
+//!   proportional prioritized sampling ([`PrioritizedReplay`]),
 //! * [`GaussianNoise`] / [`OrnsteinUhlenbeck`] — action exploration (the
 //!   hardware injects this with its PRNG module; here it is the software
 //!   twin),
@@ -62,7 +65,10 @@ pub use ddpg::{Ddpg, DdpgConfig, QatSchedule, TrainMetrics};
 pub use error::RlError;
 pub use noise::{ExplorationNoise, GaussianNoise, OrnsteinUhlenbeck};
 pub use precision::PrecisionMode;
-pub use replay::{ReplayBuffer, Transition, TransitionBatch};
+pub use replay::{
+    PrioritizedConfig, PrioritizedReplay, ReplayBuffer, ReplaySampler, ReplayStrategy,
+    SampledBatch, Transition, TransitionBatch,
+};
 pub use td3::{Td3, Td3Config};
 pub use trainer::{EvalPoint, Trainer, TrainingReport};
-pub use vec_trainer::{action_stream_seed, replay_stream_seed, VecTrainer};
+pub use vec_trainer::{action_stream_seed, priority_stream_seed, replay_stream_seed, VecTrainer};

@@ -1,5 +1,36 @@
-//! Experience replay.
+//! Experience replay at scale: a structure-of-arrays ring buffer with
+//! gather-based sampling and prioritized replay.
+//!
+//! # Layout
+//!
+//! [`ReplayBuffer`] stores transitions **pre-transposed**: states,
+//! actions, and next-states live in column-major `Matrix<f64>` panels
+//! (one stored sample per logical column, held as the row-major
+//! transpose `(capacity, dim)` — see [`Matrix::gather_columns`]),
+//! rewards and terminal flags in one flat interleaved lane (a pick
+//! touches a single cache line for both). All lanes are
+//! allocated **once**, to full capacity, so steady-state insertion is a
+//! wrap-around write with no allocation and no per-transition `Vec`s.
+//! Sampling a minibatch is then a column gather straight into the batch
+//! matrices the batched kernels consume — no per-sample row staging,
+//! no pointer chasing through `Vec<f64>` fields.
+//!
+//! # Determinism contract
+//!
+//! * Uniform sampling draws exactly the index sequence of the legacy
+//!   array-of-structs buffer (`batch` × `gen_range(0..len)` on the
+//!   caller's RNG), and the gathered [`TransitionBatch`] is
+//!   bit-identical to packing the same picks through
+//!   [`TransitionBatch::from_transitions`] — so trainers built on this
+//!   buffer reproduce their pre-SoA runs bit-for-bit.
+//! * The pool-parallel gather ([`Matrix::gather_columns_par`]) is
+//!   bit-identical to the sequential one at every worker count.
+//! * Prioritized sampling ([`PrioritizedReplay`]) draws from its own
+//!   RNG stream (`priority_stream_seed`) and walks a deterministic
+//!   sum-tree, so prioritized runs are reproducible per seed and
+//!   invariant to `FIXAR_WORKERS`.
 
+use fixar_pool::Parallelism;
 use fixar_tensor::{Matrix, ShapeError};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -22,7 +53,7 @@ pub struct Transition {
     pub terminal: bool,
 }
 
-/// Fixed-capacity uniform-replay ring buffer.
+/// Fixed-capacity replay ring buffer in structure-of-arrays form.
 ///
 /// # Example
 ///
@@ -41,13 +72,26 @@ pub struct Transition {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReplayBuffer {
-    storage: Vec<Transition>,
+    /// Stored transpose of the column-major `(state_dim, capacity)`
+    /// state panel: stored row `i` = slot `i`'s state, contiguous.
+    states: Matrix<f64>,
+    actions: Matrix<f64>,
+    next_states: Matrix<f64>,
+    /// `(reward, terminal)` per slot, interleaved so one pick reads one
+    /// cache line for both scalars.
+    meta: Vec<(f64, bool)>,
     capacity: usize,
+    len: usize,
     write_head: usize,
 }
 
 impl ReplayBuffer {
-    /// Creates a buffer holding at most `capacity` transitions.
+    /// Creates a buffer holding at most `capacity` transitions. The
+    /// state/action dimensions are learned from the first push, at
+    /// which point every lane is allocated to full capacity in one
+    /// shot; prefer [`ReplayBuffer::with_dims`] when the dimensions are
+    /// known up front (the trainers always know them) so construction
+    /// does the single allocation instead.
     ///
     /// # Panics
     ///
@@ -55,20 +99,47 @@ impl ReplayBuffer {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay buffer needs positive capacity");
         Self {
-            storage: Vec::with_capacity(capacity.min(1 << 20)),
+            states: Matrix::zeros(0, 0),
+            actions: Matrix::zeros(0, 0),
+            next_states: Matrix::zeros(0, 0),
+            meta: Vec::new(),
             capacity,
+            len: 0,
             write_head: 0,
         }
     }
 
+    /// Creates a buffer with every lane preallocated to full capacity —
+    /// no allocation ever happens on the push path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_dims(capacity: usize, state_dim: usize, action_dim: usize) -> Self {
+        let mut buf = Self::new(capacity);
+        buf.allocate(state_dim, action_dim);
+        buf
+    }
+
+    fn allocate(&mut self, state_dim: usize, action_dim: usize) {
+        self.states = Matrix::zeros(self.capacity, state_dim);
+        self.actions = Matrix::zeros(self.capacity, action_dim);
+        self.next_states = Matrix::zeros(self.capacity, state_dim);
+        self.meta = vec![(0.0, false); self.capacity];
+    }
+
+    fn allocated(&self) -> bool {
+        self.states.rows() == self.capacity
+    }
+
     /// Stored transition count.
     pub fn len(&self) -> usize {
-        self.storage.len()
+        self.len
     }
 
     /// `true` when nothing is stored.
     pub fn is_empty(&self) -> bool {
-        self.storage.is_empty()
+        self.len == 0
     }
 
     /// Maximum capacity.
@@ -76,60 +147,225 @@ impl ReplayBuffer {
         self.capacity
     }
 
-    /// Inserts a transition, overwriting the oldest once full.
-    pub fn push(&mut self, t: Transition) {
-        if self.storage.len() < self.capacity {
-            self.storage.push(t);
-        } else {
-            self.storage[self.write_head] = t;
+    /// `(state_dim, action_dim)` once known (after construction via
+    /// [`ReplayBuffer::with_dims`] or the first push).
+    pub fn dims(&self) -> Option<(usize, usize)> {
+        self.allocated()
+            .then(|| (self.states.cols(), self.actions.cols()))
+    }
+
+    /// The state panel's stored transpose (`(capacity, state_dim)`;
+    /// rows beyond [`ReplayBuffer::len`] are unwritten zeros). Exposed
+    /// for the capacity-stability tests and the replay benches.
+    pub fn state_panel(&self) -> &Matrix<f64> {
+        &self.states
+    }
+
+    /// The action panel's stored transpose (`(capacity, action_dim)`).
+    pub fn action_panel(&self) -> &Matrix<f64> {
+        &self.actions
+    }
+
+    /// The next-state panel's stored transpose.
+    pub fn next_state_panel(&self) -> &Matrix<f64> {
+        &self.next_states
+    }
+
+    /// Inserts a transition, overwriting the oldest once full. Returns
+    /// the slot index written (the hook prioritized replay uses to
+    /// assign the new transition its initial priority).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition's dimensions disagree with the buffer's
+    /// (fixed at construction or by the first push) — the push path is
+    /// where the homogeneous-storage contract is now enforced.
+    pub fn push(&mut self, t: Transition) -> usize {
+        if !self.allocated() {
+            self.allocate(t.state.len(), t.action.len());
+        }
+        let (state_dim, action_dim) = (self.states.cols(), self.actions.cols());
+        assert_eq!(t.state.len(), state_dim, "replay push: state dim changed");
+        assert_eq!(
+            t.action.len(),
+            action_dim,
+            "replay push: action dim changed"
+        );
+        assert_eq!(
+            t.next_state.len(),
+            state_dim,
+            "replay push: next-state dim changed"
+        );
+        let slot = self.write_head;
+        self.states.row_mut(slot).copy_from_slice(&t.state);
+        self.actions.row_mut(slot).copy_from_slice(&t.action);
+        self.next_states
+            .row_mut(slot)
+            .copy_from_slice(&t.next_state);
+        self.meta[slot] = (t.reward, t.terminal);
+        if self.len < self.capacity {
+            self.len += 1;
         }
         self.write_head = (self.write_head + 1) % self.capacity;
+        slot
+    }
+
+    /// Draws `batch` slot indices uniformly with replacement — the
+    /// **single shared draw path** of uniform sampling: exactly `batch`
+    /// `gen_range(0..len)` calls in order (the legacy buffer's draw
+    /// sequence, so pre-SoA runs reproduce bit-for-bit), or no draws at
+    /// all when the buffer holds fewer than `batch` transitions
+    /// (returns an empty vector; callers treat that as "keep
+    /// exploring").
+    pub fn sample_indices(&self, batch: usize, rng: &mut StdRng) -> Vec<usize> {
+        if self.len < batch {
+            return Vec::new();
+        }
+        (0..batch).map(|_| rng.gen_range(0..self.len)).collect()
     }
 
     /// Samples `batch` transitions uniformly (with replacement — the
-    /// hardware batch builder does the same single-ported read pattern).
-    ///
-    /// Returns an empty vector when the buffer holds fewer than `batch`
-    /// transitions; callers treat that as "keep exploring".
-    pub fn sample<'a>(&'a self, batch: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
-        if self.storage.len() < batch {
-            return Vec::new();
-        }
-        (0..batch)
-            .map(|_| &self.storage[rng.gen_range(0..self.storage.len())])
+    /// hardware batch builder does the same single-ported read pattern),
+    /// materialized from the panels. Returns an empty vector when the
+    /// buffer holds fewer than `batch` transitions.
+    pub fn sample(&self, batch: usize, rng: &mut StdRng) -> Vec<Transition> {
+        self.sample_indices(batch, rng)
+            .into_iter()
+            .map(|i| self.transition(i))
             .collect()
     }
 
     /// Samples `batch` transitions **directly into batch matrices** —
-    /// the entry point of the batched training path. The gather is
-    /// [`ReplayBuffer::sample`] itself (one shared draw path, so the two
-    /// cannot drift): identical RNG states produce identical index
-    /// sequences and leave the RNG in identical states.
+    /// the entry point of the batched training path. The draw is
+    /// [`ReplayBuffer::sample_indices`] (one shared path with
+    /// [`ReplayBuffer::sample`], so the two cannot drift) and the pack
+    /// is a column gather over the panels, bit-identical to routing the
+    /// same picks through [`TransitionBatch::from_transitions`].
     ///
-    /// Returns `None` when the buffer holds fewer than `batch`
-    /// transitions.
+    /// Returns `None` when `batch == 0` or the buffer holds fewer than
+    /// `batch` transitions.
+    pub fn sample_batch(&self, batch: usize, rng: &mut StdRng) -> Option<TransitionBatch> {
+        self.sample_batch_par(batch, rng, &Parallelism::sequential())
+    }
+
+    /// Pool-parallel [`ReplayBuffer::sample_batch`]: the gather shards
+    /// disjoint output columns across the pool, bit-identical to the
+    /// sequential form at every worker count (see
+    /// [`Matrix::gather_columns_par`]). The RNG draw sequence is on the
+    /// calling thread and identical to the sequential path.
+    pub fn sample_batch_par(
+        &self,
+        batch: usize,
+        rng: &mut StdRng,
+        par: &Parallelism,
+    ) -> Option<TransitionBatch> {
+        if batch == 0 || self.len < batch {
+            return None;
+        }
+        if par.shards(batch) <= 1 {
+            // Fused draw + gather: each index is drawn and its column
+            // copied in the same pass — no index vector, no second
+            // validation sweep. The draw sequence (`batch` ascending
+            // `gen_range(0..len)` calls) and the gathered bytes are
+            // identical to the two-phase path below.
+            return Some(self.gather_fused(batch, || rng.gen_range(0..self.len)));
+        }
+        let indices = self.sample_indices(batch, rng);
+        Some(self.gather_par(&indices, par))
+    }
+
+    /// The one sequential gather loop both hot paths share: `pick()`
+    /// yields the next (in-range) slot, and all five lanes fill in a
+    /// single fused pass — pure appends into reserved storage, so both
+    /// callers produce identical bytes by construction.
+    fn gather_fused(&self, n: usize, mut pick: impl FnMut() -> usize) -> TransitionBatch {
+        let (state_dim, action_dim) = (self.states.cols(), self.actions.cols());
+        let mut states = Vec::with_capacity(n * state_dim);
+        let mut actions = Vec::with_capacity(n * action_dim);
+        let mut next_states = Vec::with_capacity(n * state_dim);
+        let mut rewards = Vec::with_capacity(n);
+        let mut terminals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = pick();
+            states.extend_from_slice(self.states.row(i));
+            actions.extend_from_slice(self.actions.row(i));
+            next_states.extend_from_slice(self.next_states.row(i));
+            let (reward, terminal) = self.meta[i];
+            rewards.push(reward);
+            terminals.push(terminal);
+        }
+        TransitionBatch {
+            states: Matrix::from_vec(n, state_dim, states).expect("sized"),
+            actions: Matrix::from_vec(n, action_dim, actions).expect("sized"),
+            rewards,
+            next_states: Matrix::from_vec(n, state_dim, next_states).expect("sized"),
+            terminals,
+        }
+    }
+
+    /// Gathers the transitions at `indices` into batch matrices (one
+    /// contiguous column copy per pick, per panel).
     ///
     /// # Panics
     ///
-    /// Panics if stored transitions have inconsistent dimensions (the
-    /// push path does not validate, matching [`ReplayBuffer::sample`]'s
-    /// contract that callers store homogeneous transitions).
-    pub fn sample_batch(&self, batch: usize, rng: &mut StdRng) -> Option<TransitionBatch> {
-        if batch == 0 {
-            return None;
-        }
-        let picks = self.sample(batch, rng);
-        if picks.is_empty() {
-            return None;
-        }
-        Some(TransitionBatch::from_transitions(&picks).expect("homogeneous replay storage"))
+    /// Panics if any index is `>= len()` — evicted or unwritten slots
+    /// can never be gathered.
+    pub fn gather(&self, indices: &[usize]) -> TransitionBatch {
+        self.gather_par(indices, &Parallelism::sequential())
     }
 
-    /// Read access to the stored transitions in ring order (the order
+    /// Pool-parallel [`ReplayBuffer::gather`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len()`.
+    pub fn gather_par(&self, indices: &[usize], par: &Parallelism) -> TransitionBatch {
+        assert!(
+            indices.iter().all(|&i| i < self.len),
+            "replay gather index out of live range"
+        );
+        if par.shards(indices.len()) <= 1 {
+            // Sequential hot path: the shared fused pass, walking the
+            // given indices. Bit-identical to the per-panel kernel
+            // gathers below (both are plain copies).
+            let mut it = indices.iter();
+            return self.gather_fused(indices.len(), || *it.next().expect("n == indices.len()"));
+        }
+        let gather = |panel: &Matrix<f64>| {
+            panel
+                .gather_columns_par(indices, par)
+                .expect("indices checked against len <= capacity")
+        };
+        TransitionBatch {
+            states: gather(&self.states),
+            actions: gather(&self.actions),
+            rewards: indices.iter().map(|&i| self.meta[i].0).collect(),
+            next_states: gather(&self.next_states),
+            terminals: indices.iter().map(|&i| self.meta[i].1).collect(),
+        }
+    }
+
+    /// Materializes the transition at `slot` (ring order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= len()`.
+    pub fn transition(&self, slot: usize) -> Transition {
+        assert!(slot < self.len, "replay slot out of live range");
+        Transition {
+            state: self.states.row(slot).to_vec(),
+            action: self.actions.row(slot).to_vec(),
+            reward: self.meta[slot].0,
+            next_state: self.next_states.row(slot).to_vec(),
+            terminal: self.meta[slot].1,
+        }
+    }
+
+    /// Materializes the stored transitions in ring order (the order
     /// they were pushed, modulo wraparound) — the fleet-equivalence
     /// tests compare two trainers' replay contents through this.
-    pub fn as_slice(&self) -> &[Transition] {
-        &self.storage
+    pub fn transitions(&self) -> Vec<Transition> {
+        (0..self.len).map(|i| self.transition(i)).collect()
     }
 }
 
@@ -147,7 +383,10 @@ pub struct TransitionBatch {
 }
 
 impl TransitionBatch {
-    /// Packs borrowed transitions into batch matrices, in slice order.
+    /// Packs borrowed transitions into batch matrices, in slice order —
+    /// the legacy row-copy path, kept as the bit-exactness reference
+    /// for the panel gather (and for callers that build batches from
+    /// loose transitions).
     ///
     /// # Errors
     ///
@@ -211,6 +450,363 @@ impl TransitionBatch {
     }
 }
 
+/// Configuration of proportional prioritized replay (Schaul et al.):
+/// priorities `p_i = (|δ_i| + eps)^alpha`, importance weights
+/// `w_i = (N · P(i))^-beta` normalized by the batch maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrioritizedConfig {
+    /// Priority exponent `α` (0 = uniform, 1 = fully proportional).
+    pub alpha: f64,
+    /// Importance-sampling exponent `β` (bias correction strength).
+    pub beta: f64,
+    /// Floor added to `|δ|` so no transition starves.
+    pub eps: f64,
+}
+
+impl Default for PrioritizedConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.6,
+            beta: 0.4,
+            eps: 1e-6,
+        }
+    }
+}
+
+impl PrioritizedConfig {
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if !(self.alpha.is_finite() && self.alpha >= 0.0) {
+            return Err(format!(
+                "prioritized alpha must be >= 0, got {}",
+                self.alpha
+            ));
+        }
+        if !(self.beta.is_finite() && self.beta >= 0.0) {
+            return Err(format!("prioritized beta must be >= 0, got {}", self.beta));
+        }
+        if !(self.eps.is_finite() && self.eps > 0.0) {
+            return Err(format!("prioritized eps must be > 0, got {}", self.eps));
+        }
+        Ok(())
+    }
+}
+
+/// How a trainer samples its replay buffer.
+///
+/// `Uniform` is the paper's protocol and the bit-exactness anchor: a
+/// uniform-strategy run reproduces the pre-SoA trainer bit-for-bit.
+/// `Prioritized` is the new workload the SoA ring unlocks: proportional
+/// prioritized experience replay over a sum-tree, with importance
+/// weights applied in the batched critic loss.
+///
+/// # Example
+///
+/// ```
+/// use fixar_rl::{DdpgConfig, PrioritizedConfig, ReplayStrategy};
+///
+/// // The default is the paper's uniform replay.
+/// assert_eq!(DdpgConfig::default().replay, ReplayStrategy::Uniform);
+///
+/// // Opt a trainer into prioritized replay:
+/// let cfg = DdpgConfig::small_test()
+///     .with_replay(ReplayStrategy::Prioritized(PrioritizedConfig::default()));
+/// let trainer = fixar_rl::Trainer::<f32>::new(
+///     fixar_env::EnvKind::Pendulum.make(1),
+///     fixar_env::EnvKind::Pendulum.make(2),
+///     cfg,
+/// )?;
+/// # let _ = trainer;
+/// # Ok::<(), fixar_rl::RlError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ReplayStrategy {
+    /// Uniform sampling with replacement (the legacy behaviour,
+    /// bit-for-bit).
+    #[default]
+    Uniform,
+    /// Proportional prioritized replay (sum-tree, importance weights).
+    Prioritized(PrioritizedConfig),
+}
+
+/// Flat binary sum-tree over `capacity` leaves (padded to a power of
+/// two). Leaf `i` holds slot `i`'s priority mass; every internal node
+/// holds the sum of its children, so a proportional draw is a
+/// deterministic root-to-leaf descent.
+#[derive(Debug, Clone)]
+struct SumTree {
+    base: usize,
+    tree: Vec<f64>,
+}
+
+impl SumTree {
+    fn new(capacity: usize) -> Self {
+        let base = capacity.next_power_of_two().max(1);
+        Self {
+            base,
+            tree: vec![0.0; 2 * base],
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.tree[1]
+    }
+
+    fn get(&self, leaf: usize) -> f64 {
+        self.tree[self.base + leaf]
+    }
+
+    fn set(&mut self, leaf: usize, mass: f64) {
+        let mut node = self.base + leaf;
+        self.tree[node] = mass;
+        node /= 2;
+        while node >= 1 {
+            // Recompute from the children (not += delta): parents are
+            // always the exact sum of their current children, so the
+            // tree state depends only on the leaf values, never on the
+            // update history.
+            self.tree[node] = self.tree[2 * node] + self.tree[2 * node + 1];
+            node /= 2;
+        }
+    }
+
+    /// Leaf whose cumulative-mass interval contains `mass ∈ [0, total)`.
+    fn find(&self, mut mass: f64) -> usize {
+        let mut node = 1;
+        while node < self.base {
+            let left = 2 * node;
+            if mass < self.tree[left] {
+                node = left;
+            } else {
+                mass -= self.tree[left];
+                node = left + 1;
+            }
+        }
+        node - self.base
+    }
+}
+
+/// Proportional prioritized experience replay (Schaul et al. 2016) over
+/// the SoA ring: a sum-tree maps TD-error-derived priorities to slots,
+/// sampling is a stratified proportional draw, and per-sample
+/// importance weights correct the induced bias inside the batched loss
+/// (`Ddpg::train_minibatch_weighted`).
+///
+/// All tree updates and draws happen on the calling thread, so
+/// prioritized runs are deterministic per seed and invariant to the
+/// worker count (only the gather is pool-parallel, and that is
+/// bit-exact).
+#[derive(Debug, Clone)]
+pub struct PrioritizedReplay {
+    tree: SumTree,
+    cfg: PrioritizedConfig,
+    max_priority: f64,
+    capacity: usize,
+}
+
+impl PrioritizedReplay {
+    /// Creates the priority structure for a buffer of `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is malformed or `capacity == 0`.
+    pub fn new(capacity: usize, cfg: PrioritizedConfig) -> Self {
+        assert!(capacity > 0, "prioritized replay needs positive capacity");
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
+        Self {
+            tree: SumTree::new(capacity),
+            cfg,
+            max_priority: 1.0,
+            capacity,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PrioritizedConfig {
+        &self.cfg
+    }
+
+    /// Current priority mass of `slot` (diagnostics/tests).
+    pub fn priority(&self, slot: usize) -> f64 {
+        self.tree.get(slot)
+    }
+
+    /// Hook for [`ReplayBuffer::push`]: the freshly written slot gets
+    /// the maximum priority seen so far (new experience is sampled at
+    /// least once before its TD error is known), and an overwritten
+    /// slot's old priority is replaced — evicted transitions lose all
+    /// sampling mass atomically with their eviction.
+    pub fn on_insert(&mut self, slot: usize) {
+        assert!(slot < self.capacity, "slot out of range");
+        self.tree.set(slot, self.max_priority);
+    }
+
+    /// Draws `batch` slot indices proportionally to priority mass,
+    /// stratified: draw `k` is uniform in the `k`-th of `batch` equal
+    /// segments of the total mass (lower variance than independent
+    /// draws, same deterministic RNG consumption: exactly `batch`
+    /// `gen_range` calls). Indices are clamped into the live range
+    /// `0..len`, so evicted/unwritten slots are never yielded.
+    pub fn sample_indices(&self, len: usize, batch: usize, rng: &mut StdRng) -> Vec<usize> {
+        let total = self.tree.total();
+        assert!(
+            total > 0.0 && len > 0,
+            "prioritized sampling from an empty mass"
+        );
+        (0..batch)
+            .map(|k| {
+                let lo = total * k as f64 / batch as f64;
+                let hi = total * (k + 1) as f64 / batch as f64;
+                let mass = rng.gen_range(lo..hi);
+                self.tree
+                    .find(mass.min(total * (1.0 - f64::EPSILON)))
+                    .min(len - 1)
+            })
+            .collect()
+    }
+
+    /// Importance weights `w_i = (len · P(i))^-beta`, normalized by the
+    /// batch maximum so weights only scale updates **down**.
+    pub fn weights(&self, len: usize, indices: &[usize]) -> Vec<f64> {
+        let total = self.tree.total();
+        let mut w: Vec<f64> = indices
+            .iter()
+            .map(|&i| {
+                let p = self.tree.get(i) / total;
+                (len as f64 * p).powf(-self.cfg.beta)
+            })
+            .collect();
+        let max = w.iter().copied().fold(0.0_f64, f64::max);
+        if max > 0.0 {
+            for v in &mut w {
+                *v /= max;
+            }
+        }
+        w
+    }
+
+    /// Re-prioritizes `indices` from their fresh TD errors:
+    /// `p_i = (|δ_i| + eps)^alpha`, applied in ascending position order
+    /// (later duplicates win, deterministically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` and `td_errors` disagree in length — a
+    /// silent `zip` truncation would leave the tail's insert-time max
+    /// priorities in place and permanently oversample those slots.
+    pub fn update_priorities(&mut self, indices: &[usize], td_errors: &[f64]) {
+        assert_eq!(
+            indices.len(),
+            td_errors.len(),
+            "one TD error per re-prioritized index"
+        );
+        for (&i, &td) in indices.iter().zip(td_errors) {
+            let p = (td.abs() + self.cfg.eps).powf(self.cfg.alpha);
+            self.tree.set(i, p);
+            self.max_priority = self.max_priority.max(p);
+        }
+    }
+}
+
+/// A sampled minibatch plus the bookkeeping prioritized replay needs:
+/// which slots were drawn, and the importance weight per sample
+/// (`None` under the uniform strategy — the unweighted loss stays on
+/// its bit-exact legacy path).
+#[derive(Debug, Clone)]
+pub struct SampledBatch {
+    /// The gathered minibatch.
+    pub batch: TransitionBatch,
+    /// Slot index each row was gathered from.
+    pub indices: Vec<usize>,
+    /// Per-sample importance weights (prioritized only).
+    pub weights: Option<Vec<f64>>,
+}
+
+/// Runtime sampler unifying the two [`ReplayStrategy`] arms — the
+/// object the trainers drive: `on_insert` after every push, `sample`
+/// before every update, `update_priorities` after it.
+#[derive(Debug, Clone)]
+pub enum ReplaySampler {
+    /// Uniform draws on the caller's replay stream (legacy behaviour).
+    Uniform,
+    /// Sum-tree proportional draws on the priority stream.
+    Prioritized(PrioritizedReplay),
+}
+
+impl ReplaySampler {
+    /// Builds the sampler for a strategy over `capacity` slots.
+    pub fn new(strategy: ReplayStrategy, capacity: usize) -> Self {
+        match strategy {
+            ReplayStrategy::Uniform => Self::Uniform,
+            ReplayStrategy::Prioritized(cfg) => {
+                Self::Prioritized(PrioritizedReplay::new(capacity, cfg))
+            }
+        }
+    }
+
+    /// `true` for the prioritized arm (trainers use this to pick the
+    /// RNG stream the draw consumes).
+    pub fn is_prioritized(&self) -> bool {
+        matches!(self, Self::Prioritized(_))
+    }
+
+    /// Records that `slot` was just (over)written.
+    pub fn on_insert(&mut self, slot: usize) {
+        if let Self::Prioritized(p) = self {
+            p.on_insert(slot);
+        }
+    }
+
+    /// Samples a minibatch from `buf`, or `None` when `batch == 0` or
+    /// fewer than `batch` transitions are stored (no RNG draws happen
+    /// in that case, on either arm). Uniform consumes exactly the
+    /// legacy draw sequence and returns no weights; prioritized draws
+    /// through the sum-tree and attaches importance weights. Both arms
+    /// gather through the pool behind `par`, bit-identical at every
+    /// worker count.
+    pub fn sample(
+        &self,
+        buf: &ReplayBuffer,
+        batch: usize,
+        rng: &mut StdRng,
+        par: &Parallelism,
+    ) -> Option<SampledBatch> {
+        if batch == 0 || buf.len() < batch {
+            return None;
+        }
+        match self {
+            Self::Uniform => {
+                let indices = buf.sample_indices(batch, rng);
+                let gathered = buf.gather_par(&indices, par);
+                Some(SampledBatch {
+                    batch: gathered,
+                    indices,
+                    weights: None,
+                })
+            }
+            Self::Prioritized(p) => {
+                let indices = p.sample_indices(buf.len(), batch, rng);
+                let weights = p.weights(buf.len(), &indices);
+                let gathered = buf.gather_par(&indices, par);
+                Some(SampledBatch {
+                    batch: gathered,
+                    indices,
+                    weights: Some(weights),
+                })
+            }
+        }
+    }
+
+    /// Feeds fresh TD errors back into the priority structure (no-op
+    /// for uniform).
+    pub fn update_priorities(&mut self, indices: &[usize], td_errors: &[f64]) {
+        if let Self::Prioritized(p) = self {
+            p.update_priorities(indices, td_errors);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,10 +830,86 @@ mod tests {
         }
         assert_eq!(buf.len(), 3);
         // Oldest (0, 1) were overwritten by (3, 4); 2 survives.
-        let rewards: Vec<f64> = buf.storage.iter().map(|t| t.reward).collect();
+        let rewards: Vec<f64> = buf.transitions().iter().map(|t| t.reward).collect();
         assert!(rewards.contains(&2.0));
         assert!(rewards.contains(&3.0));
         assert!(rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn wraparound_never_yields_evicted_transitions() {
+        // The satellite contract at both a dividing (12 = 3×4) and a
+        // non-dividing (13) insertion count for capacity 4.
+        for pushes in [12usize, 13] {
+            let cap = 4;
+            let mut buf = ReplayBuffer::new(cap);
+            for i in 0..pushes {
+                buf.push(t(i as f64));
+            }
+            assert_eq!(buf.len(), cap);
+            let floor = (pushes - cap) as f64;
+            let live: Vec<f64> = buf.transitions().iter().map(|t| t.reward).collect();
+            assert!(live.iter().all(|&r| r >= floor && r < pushes as f64));
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..40 {
+                let batch = buf.sample_batch(cap, &mut rng).unwrap();
+                for b in 0..batch.len() {
+                    let r = batch.rewards()[b];
+                    assert!(
+                        r >= floor && r < pushes as f64,
+                        "pushes {pushes}: evicted reward {r} sampled"
+                    );
+                    seen.insert(r as i64);
+                }
+            }
+            assert_eq!(seen.len(), cap, "pushes {pushes}: all live slots reachable");
+        }
+    }
+
+    #[test]
+    fn lanes_are_allocated_once_and_stay_put() {
+        // Capacity-stability: with_dims allocates every lane up front;
+        // no push (filling or wrapping) ever reallocates or grows them.
+        let cap = 8;
+        let mut buf = ReplayBuffer::with_dims(cap, 2, 1);
+        let state_ptr = buf.state_panel().as_slice().as_ptr();
+        let action_ptr = buf.action_panel().as_slice().as_ptr();
+        let next_ptr = buf.next_state_panel().as_slice().as_ptr();
+        assert_eq!(buf.state_panel().shape(), (cap, 2));
+        assert_eq!(buf.dims(), Some((2, 1)));
+        for i in 0..3 * cap {
+            buf.push(Transition {
+                state: vec![i as f64; 2],
+                action: vec![i as f64],
+                reward: i as f64,
+                next_state: vec![i as f64 + 1.0; 2],
+                terminal: false,
+            });
+            assert_eq!(buf.state_panel().as_slice().as_ptr(), state_ptr);
+            assert_eq!(buf.action_panel().as_slice().as_ptr(), action_ptr);
+            assert_eq!(buf.next_state_panel().as_slice().as_ptr(), next_ptr);
+            assert_eq!(buf.state_panel().len(), cap * 2, "panel never grows");
+        }
+        // Lazy-dims construction allocates exactly once, on first push.
+        let mut lazy = ReplayBuffer::new(cap);
+        assert_eq!(lazy.dims(), None);
+        lazy.push(t(0.0));
+        let lazy_ptr = lazy.state_panel().as_slice().as_ptr();
+        for i in 1..3 * cap {
+            lazy.push(t(i as f64));
+            assert_eq!(lazy.state_panel().as_slice().as_ptr(), lazy_ptr);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state dim changed")]
+    fn push_rejects_ragged_dimensions() {
+        let mut buf = ReplayBuffer::new(4);
+        buf.push(t(1.0));
+        let mut bad = t(2.0);
+        bad.state = vec![1.0, 2.0];
+        buf.push(bad);
     }
 
     #[test]
@@ -297,11 +969,12 @@ mod tests {
         for i in 0..64 {
             buf.push(t(i as f64));
         }
-        let refs = buf.sample(16, &mut StdRng::seed_from_u64(11));
+        let picks = buf.sample(16, &mut StdRng::seed_from_u64(11));
         let batch = buf
             .sample_batch(16, &mut StdRng::seed_from_u64(11))
             .expect("filled buffer");
         assert_eq!(batch.len(), 16);
+        let refs: Vec<&Transition> = picks.iter().collect();
         let from_refs = TransitionBatch::from_transitions(&refs).unwrap();
         assert_eq!(batch, from_refs, "same RNG stream must pick same rows");
     }
@@ -310,8 +983,9 @@ mod tests {
     fn sample_paths_share_one_gather_from_any_rng_state() {
         // The anti-drift contract: from the *same mid-stream* RNG state,
         // `sample` and `sample_batch` draw identical indices and leave
-        // the RNG in identical states (sample_batch delegates to sample,
-        // so a divergence here means the shared gather was forked).
+        // the RNG in identical states (both delegate to
+        // `sample_indices`, so a divergence means the shared draw path
+        // was forked).
         let mut buf = ReplayBuffer::new(32);
         for i in 0..32 {
             buf.push(t(i as f64));
@@ -322,8 +996,9 @@ mod tests {
             let _: f64 = rng_a.gen_range(0.0..1.0);
         }
         let mut rng_b = rng_a.clone();
-        let refs = buf.sample(8, &mut rng_a);
+        let picks = buf.sample(8, &mut rng_a);
         let batch = buf.sample_batch(8, &mut rng_b).expect("filled buffer");
+        let refs: Vec<&Transition> = picks.iter().collect();
         assert_eq!(batch, TransitionBatch::from_transitions(&refs).unwrap());
         // Both paths consumed exactly the same draws.
         assert_eq!(rng_a, rng_b);
@@ -334,14 +1009,15 @@ mod tests {
     }
 
     #[test]
-    fn as_slice_exposes_ring_order() {
+    fn transitions_expose_ring_order() {
         let mut buf = ReplayBuffer::new(3);
         for i in 0..4 {
             buf.push(t(i as f64));
         }
         // Slot 0 was overwritten by the 4th push (ring order).
-        let rewards: Vec<f64> = buf.as_slice().iter().map(|t| t.reward).collect();
+        let rewards: Vec<f64> = buf.transitions().iter().map(|t| t.reward).collect();
         assert_eq!(rewards, vec![3.0, 1.0, 2.0]);
+        assert_eq!(buf.transition(1), t(1.0));
     }
 
     #[test]
@@ -351,6 +1027,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(buf.sample_batch(2, &mut rng).is_none());
         assert!(buf.sample_batch(0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn gather_par_is_bit_identical_across_worker_counts() {
+        let mut buf = ReplayBuffer::new(24);
+        for i in 0..24 {
+            buf.push(t(i as f64));
+        }
+        let indices: Vec<usize> = (0..17).map(|k| (k * 5 + 2) % 24).collect();
+        let seq = buf.gather(&indices);
+        for workers in [1usize, 2, 8] {
+            let par = Parallelism::with_workers(workers);
+            assert_eq!(buf.gather_par(&indices, &par), seq, "workers {workers}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of live range")]
+    fn gather_rejects_dead_slots() {
+        let mut buf = ReplayBuffer::new(8);
+        buf.push(t(0.0));
+        buf.push(t(1.0));
+        let _ = buf.gather(&[0, 2]); // slot 2 is unwritten
     }
 
     #[test]
@@ -376,5 +1075,142 @@ mod tests {
         let mut b = t(2.0);
         b.state = vec![1.0, 2.0];
         assert!(TransitionBatch::from_transitions(&[&a, &b]).is_err());
+    }
+
+    // --- prioritized replay -------------------------------------------
+
+    #[test]
+    fn sum_tree_masses_partition_the_total() {
+        let mut tree = SumTree::new(5);
+        for (i, p) in [1.0, 2.0, 0.5, 4.0, 0.25].iter().enumerate() {
+            tree.set(i, *p);
+        }
+        assert!((tree.total() - 7.75).abs() < 1e-12);
+        // Walking the cumulative intervals lands on each leaf.
+        assert_eq!(tree.find(0.5), 0);
+        assert_eq!(tree.find(1.0), 1);
+        assert_eq!(tree.find(2.9), 1);
+        assert_eq!(tree.find(3.2), 2);
+        assert_eq!(tree.find(3.6), 3);
+        assert_eq!(tree.find(7.6), 4);
+        // Updates recompute exactly: with leaf 3 zeroed the cumulative
+        // intervals become [0,1) [1,3) [3,3.5) — [3.5,3.75).
+        tree.set(3, 0.0);
+        assert!((tree.total() - 3.75).abs() < 1e-12);
+        assert_eq!(tree.find(3.3), 2);
+        assert_eq!(tree.find(3.6), 4);
+    }
+
+    #[test]
+    fn prioritized_sampling_prefers_high_priority_slots() {
+        let cap = 16;
+        let mut pr = PrioritizedReplay::new(cap, PrioritizedConfig::default());
+        for slot in 0..cap {
+            pr.on_insert(slot);
+        }
+        // Slot 3 gets a huge TD error, the rest tiny ones.
+        let indices: Vec<usize> = (0..cap).collect();
+        let tds: Vec<f64> = (0..cap).map(|i| if i == 3 { 50.0 } else { 0.01 }).collect();
+        pr.update_priorities(&indices, &tds);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hits = 0usize;
+        let mut draws = 0usize;
+        for _ in 0..200 {
+            for i in pr.sample_indices(cap, 8, &mut rng) {
+                assert!(i < cap);
+                hits += usize::from(i == 3);
+                draws += 1;
+            }
+        }
+        assert!(
+            hits as f64 > 0.5 * draws as f64,
+            "slot 3 holds ~87% of the mass but got {hits}/{draws}"
+        );
+    }
+
+    #[test]
+    fn prioritized_weights_are_normalized_and_downweight_frequent_picks() {
+        let cap = 8;
+        let mut pr = PrioritizedReplay::new(cap, PrioritizedConfig::default());
+        for slot in 0..cap {
+            pr.on_insert(slot);
+        }
+        let indices: Vec<usize> = (0..cap).collect();
+        let tds: Vec<f64> = (0..cap).map(|i| 0.1 + i as f64).collect();
+        pr.update_priorities(&indices, &tds);
+        let w = pr.weights(cap, &indices);
+        // Normalized by the max: everything in (0, 1], rarest pick = 1.
+        assert!(w.iter().all(|&v| v > 0.0 && v <= 1.0));
+        assert_eq!(w[0], 1.0, "lowest-priority slot carries the max weight");
+        // Higher priority => sampled more often => smaller weight.
+        for k in 1..cap {
+            assert!(w[k] <= w[k - 1], "weights must fall with priority");
+        }
+    }
+
+    #[test]
+    fn prioritized_sampling_is_deterministic_per_seed() {
+        let mut pr = PrioritizedReplay::new(32, PrioritizedConfig::default());
+        for slot in 0..32 {
+            pr.on_insert(slot);
+        }
+        pr.update_priorities(&[4, 9], &[3.0, 7.0]);
+        let a = pr.sample_indices(32, 16, &mut StdRng::seed_from_u64(42));
+        let b = pr.sample_indices(32, 16, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampler_uniform_matches_raw_buffer_draws_and_carries_no_weights() {
+        let mut buf = ReplayBuffer::new(32);
+        for i in 0..32 {
+            buf.push(t(i as f64));
+        }
+        let par = Parallelism::sequential();
+        let sampler = ReplaySampler::new(ReplayStrategy::Uniform, 32);
+        let direct = buf.sample_batch(8, &mut StdRng::seed_from_u64(9)).unwrap();
+        let sampled = sampler
+            .sample(&buf, 8, &mut StdRng::seed_from_u64(9), &par)
+            .unwrap();
+        assert_eq!(sampled.batch, direct, "one shared uniform draw path");
+        assert!(sampled.weights.is_none());
+        assert!(sampler
+            .sample(&buf, 0, &mut StdRng::seed_from_u64(9), &par)
+            .is_none());
+        assert!(sampler
+            .sample(&buf, 64, &mut StdRng::seed_from_u64(9), &par)
+            .is_none());
+    }
+
+    #[test]
+    fn sampler_prioritized_rows_match_their_drawn_slots() {
+        let cap = 16;
+        let mut buf = ReplayBuffer::new(cap);
+        let mut sampler = ReplaySampler::new(
+            ReplayStrategy::Prioritized(PrioritizedConfig::default()),
+            cap,
+        );
+        assert!(sampler.is_prioritized());
+        for i in 0..cap {
+            let slot = buf.push(t(i as f64));
+            sampler.on_insert(slot);
+        }
+        let par = Parallelism::with_workers(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sampler.sample(&buf, 6, &mut rng, &par).unwrap();
+        let w = s.weights.as_ref().expect("prioritized carries weights");
+        assert_eq!(w.len(), 6);
+        for (k, &slot) in s.indices.iter().enumerate() {
+            assert_eq!(
+                s.batch.rewards()[k],
+                slot as f64,
+                "row {k} gathers slot {slot}"
+            );
+        }
+        // TD feedback shifts mass deterministically.
+        sampler.update_priorities(&s.indices, &[10.0; 6]);
+        if let ReplaySampler::Prioritized(p) = &sampler {
+            assert!(p.priority(s.indices[0]) > 1.0);
+        }
     }
 }

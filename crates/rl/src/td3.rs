@@ -305,8 +305,44 @@ impl<S: Scalar> Td3<S> {
     /// Returns [`RlError::ReplayUnderflow`] for an empty batch and
     /// [`RlError::Nn`] on shape mismatches.
     pub fn train_minibatch(&mut self, batch: &TransitionBatch) -> Result<TrainMetrics, RlError> {
+        self.train_minibatch_weighted(batch, None).map(|(m, _)| m)
+    }
+
+    /// [`Td3::train_minibatch`] with optional per-sample importance
+    /// weights — the TD3 twin of
+    /// [`Ddpg::train_minibatch_weighted`](crate::Ddpg::train_minibatch_weighted):
+    /// `weights[i]` scales sample `i`'s contribution to **both** twin
+    /// critics' regression; the delayed actor/target updates stay
+    /// unweighted. Returns the metrics and the per-sample TD errors of
+    /// critic 1 (the critic that leads the actor), for priority
+    /// feedback.
+    ///
+    /// With `weights == None` this is *exactly* [`Td3::train_minibatch`]
+    /// — the unweighted loss expressions are untouched, so the
+    /// uniform-strategy bit-exactness contract with
+    /// [`Td3::train_batch`] carries over unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::ReplayUnderflow`] for an empty batch,
+    /// [`RlError::InvalidConfig`] if `weights` disagrees with the batch
+    /// length, and [`RlError::Nn`] on shape mismatches.
+    pub fn train_minibatch_weighted(
+        &mut self,
+        batch: &TransitionBatch,
+        weights: Option<&[f64]>,
+    ) -> Result<(TrainMetrics, Vec<f64>), RlError> {
         if batch.is_empty() {
             return Err(RlError::ReplayUnderflow { have: 0, need: 1 });
+        }
+        if let Some(w) = weights {
+            if w.len() != batch.len() {
+                return Err(RlError::InvalidConfig(format!(
+                    "importance weights ({}) disagree with batch ({})",
+                    w.len(),
+                    batch.len()
+                )));
+            }
         }
         let b = batch.len();
         let scale = 1.0 / b as f64;
@@ -349,6 +385,7 @@ impl<S: Scalar> Td3<S> {
         let critic_in = states.hcat(&actions).map_err(fixar_nn::NnError::Shape)?;
         let mut critic_loss = 0.0;
         let mut q_sum = 0.0;
+        let mut td_errors = Vec::with_capacity(b);
         for critic_idx in 0..2 {
             self.critic_grads.reset();
             let critic = if critic_idx == 0 {
@@ -364,8 +401,19 @@ impl<S: Scalar> Td3<S> {
                     q_sum += q.to_f64();
                 }
                 let td = q.to_f64() - y.to_f64();
-                critic_loss += 0.5 * td * td * scale * 0.5;
-                dl[(i, 0)] = (q - y) * S::from_f64(scale);
+                if critic_idx == 0 {
+                    td_errors.push(td);
+                }
+                match weights {
+                    None => {
+                        critic_loss += 0.5 * td * td * scale * 0.5;
+                        dl[(i, 0)] = (q - y) * S::from_f64(scale);
+                    }
+                    Some(w) => {
+                        critic_loss += 0.5 * w[i] * td * td * scale * 0.5;
+                        dl[(i, 0)] = (q - y) * S::from_f64(w[i] * scale);
+                    }
+                }
             }
             if critic_idx == 0 {
                 self.critic1
@@ -411,10 +459,13 @@ impl<S: Scalar> Td3<S> {
                 .soft_update_from(&self.critic2, self.cfg.tau)?;
         }
 
-        Ok(TrainMetrics {
-            critic_loss,
-            mean_q: q_sum * scale,
-        })
+        Ok((
+            TrainMetrics {
+                critic_loss,
+                mean_q: q_sum * scale,
+            },
+            td_errors,
+        ))
     }
 
     /// One TD3 training update from a batch, one sample at a time — the

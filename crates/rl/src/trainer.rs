@@ -8,8 +8,8 @@ use rand::{Rng, SeedableRng};
 use crate::ddpg::{Ddpg, DdpgConfig, TrainMetrics};
 use crate::error::RlError;
 use crate::noise::{ExplorationNoise, GaussianNoise};
-use crate::replay::{ReplayBuffer, Transition};
-use crate::vec_trainer::{action_stream_seed, replay_stream_seed};
+use crate::replay::{ReplayBuffer, ReplaySampler, Transition};
+use crate::vec_trainer::{action_stream_seed, priority_stream_seed, replay_stream_seed};
 
 /// One point of a Fig. 7 reward curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,12 +91,14 @@ pub(crate) fn evaluate_policy<S: Scalar>(
 /// (Fig. 3): act with exploration noise → environment step → store the
 /// transition → sample a batch → train → periodically evaluate.
 ///
-/// Randomness is split into two streams shared with the fleet path:
-/// warmup exploration and noise draw from the **action stream**
-/// ([`action_stream_seed`]`(seed, 0)` — slot 0 of a fleet), replay
-/// sampling from the **replay stream** ([`replay_stream_seed`]). This
-/// is what lets a [`VecTrainer`](crate::VecTrainer) with fleet size 1
-/// reproduce this trainer bit-for-bit.
+/// Randomness is split into streams shared with the fleet path: warmup
+/// exploration and noise draw from the **action stream**
+/// ([`action_stream_seed`]`(seed, 0)` — slot 0 of a fleet), uniform
+/// replay sampling from the **replay stream** ([`replay_stream_seed`]),
+/// and prioritized sampling (when the config opts in) from the separate
+/// **priority stream** ([`priority_stream_seed`]). This is what lets a
+/// [`VecTrainer`](crate::VecTrainer) with fleet size 1 reproduce this
+/// trainer bit-for-bit.
 ///
 /// See the [crate docs](crate) for an example.
 pub struct Trainer<S: Scalar> {
@@ -104,9 +106,11 @@ pub struct Trainer<S: Scalar> {
     eval_env: Box<dyn Environment>,
     agent: Ddpg<S>,
     replay: ReplayBuffer,
+    sampler: ReplaySampler,
     noise: Box<dyn ExplorationNoise>,
     action_rng: StdRng,
     replay_rng: StdRng,
+    priority_rng: StdRng,
     cfg: DdpgConfig,
     steps_taken: u64,
 }
@@ -128,16 +132,21 @@ impl<S: Scalar> Trainer<S> {
         let spec = env.spec();
         check_env_compat(&spec, &eval_env.spec())?;
         let agent = Ddpg::new(spec.obs_dim, spec.action_dim, cfg)?;
-        let replay = ReplayBuffer::new(cfg.replay_capacity);
+        // Dimensions are known here, so every replay lane preallocates
+        // to full capacity — the push path never allocates.
+        let replay = ReplayBuffer::with_dims(cfg.replay_capacity, spec.obs_dim, spec.action_dim);
+        let sampler = ReplaySampler::new(cfg.replay, cfg.replay_capacity);
         let noise = Box::new(GaussianNoise::new(spec.action_dim, cfg.exploration_sigma));
         Ok(Self {
             env,
             eval_env,
             agent,
             replay,
+            sampler,
             noise,
             action_rng: StdRng::seed_from_u64(action_stream_seed(cfg.seed, 0)),
             replay_rng: StdRng::seed_from_u64(replay_stream_seed(cfg.seed)),
+            priority_rng: StdRng::seed_from_u64(priority_stream_seed(cfg.seed)),
             cfg,
             steps_taken: 0,
         })
@@ -167,6 +176,12 @@ impl<S: Scalar> Trainer<S> {
     /// compare full contents against a [`VecTrainer`](crate::VecTrainer)).
     pub fn replay(&self) -> &ReplayBuffer {
         &self.replay
+    }
+
+    /// The replay sampler (priority diagnostics under the prioritized
+    /// strategy).
+    pub fn sampler(&self) -> &ReplaySampler {
+        &self.sampler
     }
 
     /// Runs `total_steps` environment steps, training once per step after
@@ -217,13 +232,14 @@ impl<S: Scalar> Trainer<S> {
             };
 
             let res = self.env.step(&action);
-            self.replay.push(Transition {
+            let slot = self.replay.push(Transition {
                 state: obs.clone(),
                 action,
                 reward: res.reward,
                 next_state: res.observation.clone(),
                 terminal: res.terminated,
             });
+            self.sampler.on_insert(slot);
             if res.done() {
                 obs = self.env.reset();
                 self.noise.reset();
@@ -233,17 +249,29 @@ impl<S: Scalar> Trainer<S> {
             }
 
             if self.steps_taken + step > self.cfg.warmup_steps {
-                if let Some(batch) = self
-                    .replay
-                    .sample_batch(self.cfg.batch_size, &mut self.replay_rng)
+                // Batched hot path: the gather packs the minibatch
+                // straight from the SoA panels (uniform draws consume
+                // exactly the legacy RNG sequence from the replay
+                // stream; prioritized draws consume the separate
+                // priority stream), and the minibatch flows through the
+                // stack as one matrix per layer on the agent's worker
+                // pool — bit-identical to the sequential and per-sample
+                // paths at every worker count.
+                let par = self.agent.parallelism().clone();
+                let rng = if self.sampler.is_prioritized() {
+                    &mut self.priority_rng
+                } else {
+                    &mut self.replay_rng
+                };
+                if let Some(sampled) =
+                    self.sampler
+                        .sample(&self.replay, self.cfg.batch_size, rng, &par)
                 {
-                    // Batched hot path: the minibatch flows through the
-                    // stack as one matrix per layer, and the batched
-                    // kernels shard across the agent's persistent worker
-                    // pool (`parallel_workers` / `FIXAR_WORKERS`) —
-                    // bit-identical to the sequential and per-sample
-                    // paths at every worker count.
-                    final_metrics = self.agent.train_minibatch(&batch)?;
+                    let (metrics, tds) = self
+                        .agent
+                        .train_minibatch_weighted(&sampled.batch, sampled.weights.as_deref())?;
+                    final_metrics = metrics;
+                    self.sampler.update_priorities(&sampled.indices, &tds);
                 }
             }
 
@@ -311,6 +339,36 @@ mod tests {
         let report = t.run(100, 100, 1).unwrap();
         assert_eq!(report.total_steps, 200);
         assert_eq!(report.curve[0].step, 200);
+    }
+
+    #[test]
+    fn prioritized_trainer_runs_and_is_deterministic_per_seed() {
+        use crate::replay::{PrioritizedConfig, ReplayStrategy};
+        let cfg = DdpgConfig::small_test()
+            .with_replay(ReplayStrategy::Prioritized(PrioritizedConfig::default()));
+        let run = || {
+            let mut t = pendulum_trainer(cfg);
+            let report = t.run(150, 150, 1).unwrap();
+            (report, t)
+        };
+        let (ra, ta) = run();
+        let (rb, tb) = run();
+        assert!(ta.sampler().is_prioritized());
+        assert!(ra.final_metrics.critic_loss.is_finite());
+        assert_eq!(ra, rb, "prioritized runs must be deterministic");
+        assert_eq!(ta.agent().actor(), tb.agent().actor());
+        assert_eq!(ta.replay().transitions(), tb.replay().transitions());
+    }
+
+    #[test]
+    fn trainer_preallocates_replay_lanes() {
+        let t = pendulum_trainer(DdpgConfig::small_test());
+        // Pendulum: 3 obs dims, 1 action dim, known at construction.
+        assert_eq!(t.replay().dims(), Some((3, 1)));
+        assert_eq!(
+            t.replay().state_panel().shape(),
+            (DdpgConfig::small_test().replay_capacity, 3)
+        );
     }
 
     #[test]

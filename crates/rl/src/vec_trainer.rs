@@ -36,7 +36,7 @@ use rand::{Rng, SeedableRng};
 use crate::ddpg::{Ddpg, DdpgConfig, TrainMetrics};
 use crate::error::RlError;
 use crate::noise::{ExplorationNoise, GaussianNoise};
-use crate::replay::{ReplayBuffer, Transition};
+use crate::replay::{ReplayBuffer, ReplaySampler, Transition};
 use crate::trainer::{check_env_compat, evaluate_policy, EvalPoint, TrainingReport};
 
 /// Per-env action-stream stride: an odd constant deliberately different
@@ -60,6 +60,16 @@ pub fn action_stream_seed(seed: u64, env_idx: usize) -> u64 {
 /// never perturb exploration.
 pub fn replay_stream_seed(seed: u64) -> u64 {
     seed.wrapping_add(0xba7c4)
+}
+
+/// Seed of the prioritized-replay sampling stream for an agent seeded
+/// with `seed` — shared by the scalar [`Trainer`](crate::Trainer) and
+/// [`VecTrainer`], derived like [`replay_stream_seed`] but deliberately
+/// distinct from it (and from every action stream), so the sum-tree
+/// draws of [`ReplayStrategy::Prioritized`](crate::ReplayStrategy)
+/// never perturb exploration or the uniform replay stream.
+pub fn priority_stream_seed(seed: u64) -> u64 {
+    seed.wrapping_add(0x9107_5eed)
 }
 
 /// Drives one agent against a fleet of environments: batched action
@@ -97,9 +107,11 @@ pub struct VecTrainer<S: Scalar> {
     eval_env: Box<dyn Environment>,
     agent: Ddpg<S>,
     replay: ReplayBuffer,
+    sampler: ReplaySampler,
     noises: Vec<Box<dyn ExplorationNoise>>,
     action_rngs: Vec<StdRng>,
     replay_rng: StdRng,
+    priority_rng: StdRng,
     cfg: DdpgConfig,
     train_every: u64,
     fleet_steps: u64,
@@ -122,7 +134,8 @@ impl<S: Scalar> VecTrainer<S> {
         let spec = pool.spec().clone();
         check_env_compat(&spec, &eval_env.spec())?;
         let agent = Ddpg::new(spec.obs_dim, spec.action_dim, cfg)?;
-        let replay = ReplayBuffer::new(cfg.replay_capacity);
+        let replay = ReplayBuffer::with_dims(cfg.replay_capacity, spec.obs_dim, spec.action_dim);
+        let sampler = ReplaySampler::new(cfg.replay, cfg.replay_capacity);
         let n = pool.len();
         let noises: Vec<Box<dyn ExplorationNoise>> = (0..n)
             .map(|_| {
@@ -138,9 +151,11 @@ impl<S: Scalar> VecTrainer<S> {
             eval_env,
             agent,
             replay,
+            sampler,
             noises,
             action_rngs,
             replay_rng: StdRng::seed_from_u64(replay_stream_seed(cfg.seed)),
+            priority_rng: StdRng::seed_from_u64(priority_stream_seed(cfg.seed)),
             cfg,
             train_every: 1,
             fleet_steps: 0,
@@ -176,6 +191,12 @@ impl<S: Scalar> VecTrainer<S> {
     /// compare full contents).
     pub fn replay(&self) -> &ReplayBuffer {
         &self.replay
+    }
+
+    /// The replay sampler (priority diagnostics under the prioritized
+    /// strategy).
+    pub fn sampler(&self) -> &ReplaySampler {
+        &self.sampler
     }
 
     /// Replaces every slot's exploration-noise process with a fresh one
@@ -267,13 +288,14 @@ impl<S: Scalar> VecTrainer<S> {
             // Replay insertion in ascending env index — part of the
             // determinism contract, independent of pool scheduling.
             for i in 0..n {
-                self.replay.push(Transition {
+                let slot = self.replay.push(Transition {
                     state: states.row(i).to_vec(),
                     action: actions.row(i).to_vec(),
                     reward: fs.rewards[i],
                     next_state: fs.next_observations.row(i).to_vec(),
                     terminal: fs.terminated[i],
                 });
+                self.sampler.on_insert(slot);
                 if fs.terminated[i] || fs.truncated[i] {
                     self.noises[i].reset();
                 }
@@ -281,11 +303,24 @@ impl<S: Scalar> VecTrainer<S> {
             episodes += fs.finished.len();
 
             if local > self.cfg.warmup_steps && local.is_multiple_of(self.train_every) {
-                if let Some(batch) = self
-                    .replay
-                    .sample_batch(self.cfg.batch_size, &mut self.replay_rng)
+                // The SoA gather + strategy dispatch — exactly the
+                // scalar trainer's training step, so fleet-of-one
+                // equivalence holds under either replay strategy.
+                let par = self.agent.parallelism().clone();
+                let rng = if self.sampler.is_prioritized() {
+                    &mut self.priority_rng
+                } else {
+                    &mut self.replay_rng
+                };
+                if let Some(sampled) =
+                    self.sampler
+                        .sample(&self.replay, self.cfg.batch_size, rng, &par)
                 {
-                    final_metrics = self.agent.train_minibatch(&batch)?;
+                    let (metrics, tds) = self
+                        .agent
+                        .train_minibatch_weighted(&sampled.batch, sampled.weights.as_deref())?;
+                    final_metrics = metrics;
+                    self.sampler.update_priorities(&sampled.indices, &tds);
                 }
             }
 
@@ -390,8 +425,8 @@ mod tests {
         // Rebuild the expected trajectory from a fresh identical fleet.
         let mut t2 = pendulum_fleet(n, DdpgConfig::small_test());
         t2.run(10, 10, 1).unwrap();
-        let a = t.replay().as_slice();
-        let b = t2.replay().as_slice();
+        let a = t.replay().transitions();
+        let b = t2.replay().transitions();
         assert_eq!(a, b);
         // Env identity per slot: replay rows 0..n are the distinct
         // initial observations of slots 0..n in ascending order.
@@ -416,8 +451,31 @@ mod tests {
         };
         let t1 = run(1);
         let t4 = run(4);
-        assert_eq!(t1.replay().as_slice(), t4.replay().as_slice());
+        assert_eq!(t1.replay().transitions(), t4.replay().transitions());
         assert_eq!(t1.agent().actor(), t4.agent().actor());
+    }
+
+    #[test]
+    fn prioritized_fleet_is_deterministic_and_worker_invariant() {
+        use crate::replay::{PrioritizedConfig, ReplayStrategy};
+        let cfg = DdpgConfig::small_test()
+            .with_replay(ReplayStrategy::Prioritized(PrioritizedConfig::default()));
+        let run = |workers: usize| {
+            let mut t = pendulum_fleet(3, cfg);
+            t.agent_mut()
+                .set_parallelism(Parallelism::with_workers(workers));
+            let report = t.run(80, 80, 1).unwrap();
+            (report, t)
+        };
+        let (r1, t1) = run(1);
+        assert!(t1.sampler().is_prioritized());
+        assert!(r1.final_metrics.critic_loss.is_finite());
+        for workers in [2usize, 4] {
+            let (r, t) = run(workers);
+            assert_eq!(r1, r, "workers {workers}: prioritized fleet reports");
+            assert_eq!(t1.agent().actor(), t.agent().actor());
+            assert_eq!(t1.replay().transitions(), t.replay().transitions());
+        }
     }
 
     #[test]

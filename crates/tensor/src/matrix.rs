@@ -734,6 +734,106 @@ impl<S: Scalar> Matrix<S> {
         }
     }
 
+    /// Gathers columns of a **column-major panel** into a row-major
+    /// batch matrix — the replay buffer's sampling kernel.
+    ///
+    /// `Matrix` is row-major, so a column-major `(dim, n)` panel is held
+    /// as its row-major transpose: `self` is `(n, dim)` and logical
+    /// column `j` of the panel (one stored sample) is stored row `j`,
+    /// contiguous in memory. `gather_columns(idx)` returns the
+    /// `(idx.len(), dim)` batch matrix whose row `k` is logical column
+    /// `idx[k]` — one contiguous copy per gathered column, no reduction
+    /// and no per-element arithmetic, hence trivially bit-exact in every
+    /// backend. Repeated indices are allowed (sampling with
+    /// replacement).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fixar_tensor::Matrix;
+    ///
+    /// // A 2-wide panel holding 3 samples (stored transpose: 3x2).
+    /// let panel = Matrix::<f64>::from_rows(&[&[0.0, 0.5], &[1.0, 1.5], &[2.0, 2.5]])?;
+    /// let batch = panel.gather_columns(&[2, 0, 2])?;
+    /// assert_eq!(batch.row(0), &[2.0, 2.5]);
+    /// assert_eq!(batch.row(1), &[0.0, 0.5]);
+    /// assert_eq!(batch.row(2), &[2.0, 2.5]);
+    /// # Ok::<(), fixar_tensor::ShapeError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any index is `>= rows()` (the panel's
+    /// column count).
+    pub fn gather_columns(&self, indices: &[usize]) -> Result<Matrix<S>, ShapeError> {
+        self.check_gather_columns(indices)?;
+        // Append-style copies into reserved (not zero-filled) storage:
+        // the hot sampling path never touches an output element twice.
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &j in indices {
+            data.extend_from_slice(&self.data[j * self.cols..(j + 1) * self.cols]);
+        }
+        Ok(Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        })
+    }
+
+    fn check_gather_columns(&self, indices: &[usize]) -> Result<(), ShapeError> {
+        for (k, &j) in indices.iter().enumerate() {
+            if j >= self.rows {
+                return Err(ShapeError::new(
+                    "gather_columns index",
+                    (self.rows, self.cols),
+                    (j, k),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pool-parallel [`Matrix::gather_columns`]: the gathered output
+    /// columns shard contiguously across the pool (`split_ranges` over
+    /// `indices`), each worker copying its disjoint slice of output
+    /// rows through the same span as the sequential kernel. Gathers are
+    /// pure copies, so the result is **bit-identical** to the
+    /// sequential form at every worker count in every backend — the
+    /// same contract as the batched MVM kernels.
+    ///
+    /// # Errors
+    ///
+    /// Same index condition as [`Matrix::gather_columns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics (a kernel bug).
+    pub fn gather_columns_par(
+        &self,
+        indices: &[usize],
+        par: &Parallelism,
+    ) -> Result<Matrix<S>, ShapeError> {
+        let shards = par.shards(indices.len());
+        if shards <= 1 {
+            return self.gather_columns(indices);
+        }
+        self.check_gather_columns(indices)?;
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        let cols = self.cols;
+        let pool = par.pool().expect("shards > 1 implies a pool");
+        pool.scope(|scope| {
+            let mut rest = out.data.as_mut_slice();
+            for range in split_ranges(indices.len(), shards) {
+                let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+                rest = tail;
+                let idx = &indices[range];
+                scope.execute(move || gather_columns_span(self, idx, chunk));
+            }
+        })
+        .unwrap_or_else(|err| panic!("gather_columns_par worker panicked: {err}"));
+        Ok(out)
+    }
+
     /// Builds a `(rows.len(), cols)` batch matrix from row slices drawn
     /// through `f` (e.g. replay transitions to a state batch).
     ///
@@ -930,6 +1030,17 @@ fn add_outer_batch_span<S: Scalar>(
                 *w += ei * aj;
             }
         }
+    }
+}
+
+/// Gather span: rows `k` of the output batch are stored rows
+/// `indices[k]` of the panel's stored transpose `src` — one contiguous
+/// `memcpy` per gathered column, no arithmetic at all (which is why the
+/// parallel form needs no accumulation-order argument).
+fn gather_columns_span<S: Scalar>(src: &Matrix<S>, indices: &[usize], out_chunk: &mut [S]) {
+    let dim = src.cols;
+    for (k, &j) in indices.iter().enumerate() {
+        out_chunk[k * dim..(k + 1) * dim].copy_from_slice(&src.data[j * dim..(j + 1) * dim]);
     }
 }
 
@@ -1233,6 +1344,48 @@ mod tests {
         let mut g_par = Matrix::<Q>::zeros(3, 8);
         g_par.add_outer_batch_par(&e, &a, &par).unwrap();
         assert_eq!(g_seq, g_par);
+    }
+
+    #[test]
+    fn gather_columns_picks_stored_rows_with_replacement() {
+        let panel = Matrix::<f64>::from_fn(5, 3, |r, c| (r * 10 + c) as f64);
+        let batch = panel.gather_columns(&[4, 0, 4, 2]).unwrap();
+        assert_eq!(batch.shape(), (4, 3));
+        assert_eq!(batch.row(0), panel.row(4));
+        assert_eq!(batch.row(1), panel.row(0));
+        assert_eq!(batch.row(2), panel.row(4));
+        assert_eq!(batch.row(3), panel.row(2));
+        // Empty gather: a 0-row batch with the panel's width.
+        assert_eq!(panel.gather_columns(&[]).unwrap().shape(), (0, 3));
+    }
+
+    #[test]
+    fn gather_columns_rejects_out_of_range_indices() {
+        let panel = Matrix::<Fx32>::zeros(4, 2);
+        let err = panel.gather_columns(&[1, 4]).unwrap_err();
+        assert!(err.to_string().contains("gather_columns index"));
+        let par = Parallelism::with_workers(2);
+        assert!(panel.gather_columns_par(&[0, 9], &par).is_err());
+    }
+
+    #[test]
+    fn gather_columns_par_bit_exact_across_worker_counts() {
+        // Same contract as the MVM kernels: disjoint output shards,
+        // bit-identical at every worker count (trivially here — gathers
+        // are pure copies — but the shard plumbing is what's under
+        // test, including remainders and over-subscription).
+        let panel =
+            Matrix::<f64>::from_fn(17, 5, |r, c| (r as f64 - c as f64) * 0.31).cast::<Fx32>();
+        let indices: Vec<usize> = (0..13).map(|k| (k * 7 + 3) % 17).collect();
+        let seq = panel.gather_columns(&indices).unwrap();
+        for workers in [1, 2, 3, 4, 8, 16] {
+            let par = Parallelism::with_workers(workers);
+            assert_eq!(
+                panel.gather_columns_par(&indices, &par).unwrap(),
+                seq,
+                "workers {workers}"
+            );
+        }
     }
 
     #[test]

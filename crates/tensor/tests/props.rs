@@ -137,6 +137,28 @@ proptest! {
     }
 
     #[test]
+    fn gather_columns_rows_equal_indexed_panel_columns_fx32(
+        w in small_matrix(),
+        picks in prop::collection::vec(0usize..64, 0..24),
+        workers in 1usize..9,
+    ) {
+        // The replay gather contract: row k of the gathered batch is
+        // stored row picks[k] of the panel (logical column picks[k] of
+        // the column-major panel), bit-for-bit, and the pool-parallel
+        // form is bit-identical to the sequential one at every worker
+        // count — including repeated indices (with-replacement draws).
+        let panel: Matrix<Fx32> = w.cast();
+        let indices: Vec<usize> = picks.into_iter().map(|p| p % panel.rows()).collect();
+        let seq = panel.gather_columns(&indices).unwrap();
+        prop_assert_eq!(seq.shape(), (indices.len(), panel.cols()));
+        for (k, &j) in indices.iter().enumerate() {
+            prop_assert_eq!(seq.row(k), panel.row(j));
+        }
+        let par = fixar_pool::Parallelism::with_workers(workers);
+        prop_assert_eq!(panel.gather_columns_par(&indices, &par).unwrap(), seq);
+    }
+
+    #[test]
     fn dot_of_cat_is_sum_of_dots(
         a in prop::collection::vec(-5.0..5.0f64, 1..8),
         b in prop::collection::vec(-5.0..5.0f64, 1..8),

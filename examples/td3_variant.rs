@@ -57,7 +57,8 @@ fn main() -> Result<(), RlError> {
         if step > warmup {
             let sample = replay.sample(batch, &mut rng);
             if !sample.is_empty() {
-                agent.train_batch(&sample)?;
+                let refs: Vec<&Transition> = sample.iter().collect();
+                agent.train_batch(&refs)?;
             }
         }
 

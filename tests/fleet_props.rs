@@ -68,8 +68,8 @@ fn fleet_of_one_reproduces_scalar_trainer_bit_for_bit() {
         assert_eq!(a, b, "seed {seed}: training reports");
         assert_agents_bit_identical(scalar.agent(), fleet.agent(), "seed");
         assert_eq!(
-            scalar.replay().as_slice(),
-            fleet.replay().as_slice(),
+            scalar.replay().transitions(),
+            fleet.replay().transitions(),
             "seed {seed}: replay contents"
         );
         // Consecutive runs stay locked (persistent rng streams).
@@ -92,7 +92,7 @@ fn fleet_of_one_matches_scalar_under_qat() {
     assert_eq!(a, b, "QAT training reports");
     assert!(scalar.agent().qat_frozen() && fleet.agent().qat_frozen());
     assert_agents_bit_identical(scalar.agent(), fleet.agent(), "QAT");
-    assert_eq!(scalar.replay().as_slice(), fleet.replay().as_slice());
+    assert_eq!(scalar.replay().transitions(), fleet.replay().transitions());
 }
 
 /// The QAT delay counts fleet steps like every other cadence, so a
@@ -152,7 +152,7 @@ fn each_slot_matches_a_solo_rollout_while_weights_are_frozen() {
                 }
             }
             let res = env.step(&action);
-            let t = &fleet.replay().as_slice()[(k as usize - 1) * n + slot];
+            let t = fleet.replay().transition((k as usize - 1) * n + slot);
             assert_eq!(t.state, obs, "slot {slot} step {k}: state");
             assert_eq!(t.action, action, "slot {slot} step {k}: action");
             assert_eq!(t.reward, res.reward, "slot {slot} step {k}: reward");
@@ -190,8 +190,8 @@ fn fleet_runs_bit_identical_across_worker_counts() {
         assert_eq!(report1, report, "workers {workers}: reports");
         assert_agents_bit_identical(t1.agent(), t.agent(), "workers");
         assert_eq!(
-            t1.replay().as_slice(),
-            t.replay().as_slice(),
+            t1.replay().transitions(),
+            t.replay().transitions(),
             "workers {workers}: replay insertion order/content"
         );
     }
@@ -212,7 +212,7 @@ fn replay_rows_are_env_major_ascending_at_every_worker_count() {
         t.agent_mut()
             .set_parallelism(Parallelism::with_workers(workers));
         t.run(5, 5, 1).unwrap();
-        let replay = t.replay().as_slice();
+        let replay = t.replay().transitions();
         assert_eq!(replay.len(), 5 * n);
         for (slot, tr) in replay.iter().take(n).enumerate() {
             assert_eq!(
@@ -304,7 +304,7 @@ proptest! {
         let rb = b.run(70, 70, 1).unwrap();
         prop_assert_eq!(&ra, &rb);
         prop_assert_eq!(a.agent().actor(), b.agent().actor());
-        prop_assert_eq!(a.replay().as_slice(), b.replay().as_slice());
+        prop_assert_eq!(a.replay().transitions(), b.replay().transitions());
         if n == 1 {
             let mut s = scalar_trainer(cfg);
             let rs = s.run(70, 70, 1).unwrap();
