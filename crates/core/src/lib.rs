@@ -46,7 +46,8 @@ pub use fixar_rl::{DdpgConfig, PrecisionMode, RlError, Trainer, TrainingReport};
 /// Convenience re-exports of the most common FIXAR types.
 pub mod prelude {
     pub use fixar_accel::{
-        AccelConfig, FixarAccelerator, GpuModel, PowerModel, Precision, ResourceModel, U50_BUDGET,
+        AccelConfig, DoubleBufferedServing, FixarAccelerator, GpuModel, PowerModel, Precision,
+        ResourceModel, U50_BUDGET,
     };
     pub use fixar_env::{EnvKind, EnvPool, EnvSpec, Environment, EpisodeStats, StepResult};
     pub use fixar_fixed::{AffineQuantizer, Fx16, Fx32, RangeMonitor, Scalar, Q16, Q32};

@@ -4,7 +4,7 @@ use core::fmt;
 use std::error::Error;
 
 use fixar_fixed::QuantError;
-use fixar_tensor::ShapeError;
+use fixar_tensor::{PoolError, ShapeError};
 
 /// Error produced by network construction, inference, or training.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +16,10 @@ pub enum NnError {
     InvalidConfig(String),
     /// QAT calibration failed (see [`QuantError`]).
     Quant(QuantError),
+    /// A worker-pool task panicked inside a fused kernel scope. The
+    /// panic was contained on its worker (sibling kernels in the scope
+    /// still ran, the process did not abort) and the pool stays usable.
+    Pool(PoolError),
 }
 
 impl fmt::Display for NnError {
@@ -24,6 +28,7 @@ impl fmt::Display for NnError {
             NnError::Shape(e) => write!(f, "tensor shape error: {e}"),
             NnError::InvalidConfig(msg) => write!(f, "invalid network config: {msg}"),
             NnError::Quant(e) => write!(f, "quantization error: {e}"),
+            NnError::Pool(e) => write!(f, "pool scope error: {e}"),
         }
     }
 }
@@ -33,6 +38,7 @@ impl Error for NnError {
         match self {
             NnError::Shape(e) => Some(e),
             NnError::Quant(e) => Some(e),
+            NnError::Pool(e) => Some(e),
             NnError::InvalidConfig(_) => None,
         }
     }
@@ -47,6 +53,12 @@ impl From<ShapeError> for NnError {
 impl From<QuantError> for NnError {
     fn from(e: QuantError) -> Self {
         NnError::Quant(e)
+    }
+}
+
+impl From<PoolError> for NnError {
+    fn from(e: PoolError) -> Self {
+        NnError::Pool(e)
     }
 }
 

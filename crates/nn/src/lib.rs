@@ -44,5 +44,8 @@ pub use adam::{Adam, AdamConfig};
 pub use error::NnError;
 pub use init::WeightInit;
 pub use loss::{half_mse, half_mse_grad};
-pub use mlp::{BatchTrace, ForwardTrace, Mlp, MlpConfig, MlpGrads};
+pub use mlp::{
+    backward_batch_fused, forward_batch_fused, forward_batch_qat_fused, forward_batch_trace_fused,
+    BatchTrace, ForwardTrace, FusedBackward, FusedForward, Mlp, MlpConfig, MlpGrads,
+};
 pub use qat::{QatMode, QatRuntime};

@@ -566,13 +566,6 @@ impl<S: Scalar> Mlp<S> {
         par: &Parallelism,
         mut process: impl FnMut(usize, &mut [S]),
     ) -> Result<BatchTrace<S>, NnError> {
-        if x.cols() != self.input_dim() {
-            return Err(NnError::Shape(fixar_tensor::ShapeError::new(
-                "mlp batch input",
-                (x.rows(), self.input_dim()),
-                x.shape(),
-            )));
-        }
         if qat_points != self.num_layers() + 1 {
             return Err(NnError::InvalidConfig(format!(
                 "qat runtime has {} points, network needs {}",
@@ -580,32 +573,13 @@ impl<S: Scalar> Mlp<S> {
                 self.num_layers() + 1
             )));
         }
-        let n = self.num_layers();
-        let mut inputs = Vec::with_capacity(n);
-        let mut pre = Vec::with_capacity(n);
-
-        let mut a = x.clone();
-        process(0, a.as_mut_slice());
-        for l in 0..n {
-            let mut z = self.weights[l].gemv_batch_par_alloc(&a, par)?;
-            z.add_row_broadcast(&self.biases[l])?;
-            let act = if l + 1 == n {
-                self.output_act
-            } else {
-                self.hidden_act
-            };
-            let mut y = z.clone();
-            act.apply_slice(y.as_mut_slice());
-            process(l + 1, y.as_mut_slice());
-            inputs.push(a);
-            pre.push(z);
-            a = y;
-        }
-        Ok(BatchTrace {
-            inputs,
-            pre,
-            output: a,
-        })
+        // One pass through the shared fused driver: the single-network
+        // forward is the one-element case of the fused multi-network
+        // forward, so the two cannot drift apart.
+        let mut p: &mut dyn FnMut(usize, &mut [S]) = &mut process;
+        let mut traces =
+            forward_batch_fused_driver(&[self], &[x], std::slice::from_mut(&mut p), par)?;
+        Ok(traces.pop().expect("one pass in, one trace out"))
     }
 
     /// Back-propagates a minibatch of output gradients (`dl_dout`, one
@@ -659,57 +633,18 @@ impl<S: Scalar> Mlp<S> {
         grads: &mut MlpGrads<S>,
         par: &Parallelism,
     ) -> Result<Matrix<S>, NnError> {
-        let n = self.num_layers();
-        let bsz = trace.batch_size();
-        if dl_dout.shape() != (bsz, self.output_dim()) {
-            return Err(NnError::Shape(fixar_tensor::ShapeError::new(
-                "mlp batch backward",
-                (bsz, self.output_dim()),
-                dl_dout.shape(),
-            )));
-        }
-        if grads.w.len() != n {
-            return Err(NnError::InvalidConfig(
-                "gradient buffer has wrong layer count".into(),
-            ));
-        }
-        // Output-layer delta: dL/dZ = dL/dY ⊙ f'(Z), elementwise over the
-        // whole minibatch matrix.
-        let mut delta = dl_dout.clone();
-        for ((d, &z), &y) in delta
-            .as_mut_slice()
-            .iter_mut()
-            .zip(trace.pre[n - 1].as_slice())
-            .zip(trace.output.as_slice())
-        {
-            *d *= self.output_act.derivative(z, y);
-        }
-
-        for l in (0..n).rev() {
-            grads.w[l].add_outer_batch_par(&delta, &trace.inputs[l], par)?;
-            // Bias gradients: ascending sample order, like the weights.
-            for b in 0..bsz {
-                for (gb, &d) in grads.b[l].iter_mut().zip(delta.row(b)) {
-                    *gb += d;
-                }
-            }
-            let err = self.weights[l].gemv_t_batch_par_alloc(&delta, par)?;
-            if l > 0 {
-                delta = err;
-                for ((d, &z), &y) in delta
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(trace.pre[l - 1].as_slice())
-                    .zip(trace.inputs[l].as_slice())
-                {
-                    *d *= self.hidden_act.derivative(z, y);
-                }
-            } else {
-                return Ok(err);
-            }
-        }
-        // Zero-layer networks are rejected at construction; `n >= 1`.
-        unreachable!("validated networks have at least one layer");
+        // One pass through the shared fused driver (see
+        // [`backward_batch_fused`]): even a single network benefits —
+        // each layer's gradient outer product and error MVM now share
+        // one fused scope (one join) instead of opening two.
+        let mut passes = [FusedBackward {
+            mlp: self,
+            trace,
+            dl_dout,
+            grads,
+        }];
+        let mut outs = backward_batch_fused(&mut passes, par)?;
+        Ok(outs.pop().expect("one pass in, one input gradient out"))
     }
 
     /// Back-propagates `dl_dout` (∂loss/∂output) through the trace,
@@ -810,6 +745,347 @@ impl<S: Scalar> Mlp<S> {
             layer_sizes: self.layer_sizes.clone(),
         }
     }
+}
+
+// --- fused multi-network passes --------------------------------------------
+//
+// Independent networks fed independent inputs (TD3's twin critics, a
+// target actor alongside an online critic) used to run one batched pass
+// after another, each layer opening its own pool scope. The fused
+// drivers below run such passes **layer-locked**: per layer step, every
+// still-active pass submits its kernels into ONE fused scope
+// (`Parallelism::fused`) and they all share a single barrier join —
+// cutting the joins per phase from `passes × layers` to `layers` while
+// keeping every worker busy on the union of the kernels. Host-side work
+// (bias broadcast, activation, QAT observation, bias gradients) stays
+// on the calling thread in ascending pass order. Per-element reduction
+// chains are untouched and distinct passes write disjoint outputs, so
+// fused results are **bit-identical** to running the passes back to
+// back — sequentially or pool-parallel — at every worker count.
+
+/// A per-pass activation hook `(point, values)` — QAT observation,
+/// quantization, or a no-op — applied on the calling thread between
+/// fused layer steps.
+type ProcessHook<'a, S> = &'a mut dyn FnMut(usize, &mut [S]);
+
+/// One independent batched QAT forward pass in a fused group: the
+/// network, its `(batch, input_dim)` input, and the QAT runtime
+/// observing (or quantizing) its activations. See
+/// [`forward_batch_qat_fused`].
+pub struct FusedForward<'a, S: Scalar> {
+    /// Network to run.
+    pub mlp: &'a Mlp<S>,
+    /// `(batch, input_dim)` input matrix.
+    pub input: &'a Matrix<S>,
+    /// QAT runtime for this pass (disabled runtimes are fine).
+    pub qat: &'a mut QatRuntime,
+}
+
+/// Runs several **independent** batched QAT forward passes layer-locked
+/// through fused scopes: one join per layer step for the whole group.
+/// Element `i` of the result is bit-identical to
+/// `passes[i].mlp.forward_batch_qat_par(passes[i].input, passes[i].qat, par)`
+/// run on its own — in every backend, at every worker count (QAT range
+/// monitors are order-independent, so observing two passes interleaved
+/// leaves each runtime exactly as running them apart would).
+///
+/// Passes may have different depths; a shallower pass simply stops
+/// contributing kernels once its layers are exhausted.
+///
+/// # Errors
+///
+/// Returns [`NnError::Shape`] on input-width mismatch,
+/// [`NnError::InvalidConfig`] if a QAT runtime was built for a
+/// different point count, and [`NnError::Pool`] if a fused kernel
+/// panicked (contained per task; sibling kernels complete and the pool
+/// survives).
+pub fn forward_batch_qat_fused<S: Scalar>(
+    passes: &mut [FusedForward<'_, S>],
+    par: &Parallelism,
+) -> Result<Vec<BatchTrace<S>>, NnError> {
+    for p in passes.iter() {
+        if p.qat.num_points() != p.mlp.num_layers() + 1 {
+            return Err(NnError::InvalidConfig(format!(
+                "qat runtime has {} points, network needs {}",
+                p.qat.num_points(),
+                p.mlp.num_layers() + 1
+            )));
+        }
+    }
+    let mut nets = Vec::with_capacity(passes.len());
+    let mut inputs = Vec::with_capacity(passes.len());
+    let mut runtimes: Vec<&mut QatRuntime> = Vec::with_capacity(passes.len());
+    for p in passes.iter_mut() {
+        nets.push(p.mlp);
+        inputs.push(p.input);
+        runtimes.push(&mut *p.qat);
+    }
+    let mut closures: Vec<_> = runtimes
+        .into_iter()
+        .map(|qat| move |point: usize, xs: &mut [S]| qat.process(point, xs))
+        .collect();
+    let mut processes: Vec<ProcessHook<'_, S>> = closures
+        .iter_mut()
+        .map(|c| c as ProcessHook<'_, S>)
+        .collect();
+    forward_batch_fused_driver(&nets, &inputs, &mut processes, par)
+}
+
+/// [`forward_batch_qat_fused`] without QAT bookkeeping, returning full
+/// traces — the fused analogue of [`Mlp::forward_batch_trace_par`] for
+/// a group of independent networks (e.g. both TD3 critics on the same
+/// `(state ‖ action)` batch before their fused backward).
+///
+/// # Errors
+///
+/// Returns [`NnError::Shape`] on input-width mismatch and
+/// [`NnError::Pool`] on a contained worker panic.
+pub fn forward_batch_trace_fused<S: Scalar>(
+    nets: &[&Mlp<S>],
+    inputs: &[&Matrix<S>],
+    par: &Parallelism,
+) -> Result<Vec<BatchTrace<S>>, NnError> {
+    let mut noops: Vec<_> = (0..nets.len())
+        .map(|_| |_: usize, _: &mut [S]| {})
+        .collect();
+    let mut processes: Vec<ProcessHook<'_, S>> =
+        noops.iter_mut().map(|c| c as ProcessHook<'_, S>).collect();
+    forward_batch_fused_driver(nets, inputs, &mut processes, par)
+}
+
+/// [`forward_batch_trace_fused`] keeping only the outputs — the fused
+/// analogue of [`Mlp::forward_batch_par`] for a group of independent
+/// networks (e.g. TD3's twin *target* critics on the smoothed target
+/// action batch).
+///
+/// # Errors
+///
+/// Returns [`NnError::Shape`] on input-width mismatch and
+/// [`NnError::Pool`] on a contained worker panic.
+pub fn forward_batch_fused<S: Scalar>(
+    nets: &[&Mlp<S>],
+    inputs: &[&Matrix<S>],
+    par: &Parallelism,
+) -> Result<Vec<Matrix<S>>, NnError> {
+    Ok(forward_batch_trace_fused(nets, inputs, par)?
+        .into_iter()
+        .map(|t| t.output)
+        .collect())
+}
+
+/// The layer-locked fused forward engine: per layer step, every active
+/// pass submits its batched MVM into one fused scope; bias broadcast,
+/// activation, and the per-pass `process` hook run on the calling
+/// thread in ascending pass order after the join.
+fn forward_batch_fused_driver<S: Scalar>(
+    nets: &[&Mlp<S>],
+    inputs: &[&Matrix<S>],
+    processes: &mut [ProcessHook<'_, S>],
+    par: &Parallelism,
+) -> Result<Vec<BatchTrace<S>>, NnError> {
+    assert_eq!(nets.len(), inputs.len(), "one input per fused network");
+    assert_eq!(nets.len(), processes.len(), "one process hook per pass");
+    for (m, x) in nets.iter().zip(inputs) {
+        if x.cols() != m.input_dim() {
+            return Err(NnError::Shape(fixar_tensor::ShapeError::new(
+                "mlp batch input",
+                (x.rows(), m.input_dim()),
+                x.shape(),
+            )));
+        }
+    }
+    let k = nets.len();
+    let mut acts: Vec<Matrix<S>> = inputs.iter().map(|x| (*x).clone()).collect();
+    for (a, process) in acts.iter_mut().zip(processes.iter_mut()) {
+        process(0, a.as_mut_slice());
+    }
+    let mut input_traces: Vec<Vec<Matrix<S>>> = nets
+        .iter()
+        .map(|m| Vec::with_capacity(m.num_layers()))
+        .collect();
+    let mut pre_traces: Vec<Vec<Matrix<S>>> = nets
+        .iter()
+        .map(|m| Vec::with_capacity(m.num_layers()))
+        .collect();
+    let steps = nets.iter().map(|m| m.num_layers()).max().unwrap_or(0);
+    for l in 0..steps {
+        // Allocate this step's pre-activation outputs up front: fused
+        // kernels write into caller-owned buffers that outlive the
+        // scope.
+        let mut zs: Vec<Option<Matrix<S>>> = nets
+            .iter()
+            .zip(&acts)
+            .map(|(m, a)| {
+                (l < m.num_layers()).then(|| Matrix::zeros(a.rows(), m.weights[l].rows()))
+            })
+            .collect();
+        par.fused(|ks| -> Result<(), fixar_tensor::ShapeError> {
+            for ((m, a), z) in nets.iter().zip(&acts).zip(zs.iter_mut()) {
+                if let Some(z) = z.as_mut() {
+                    m.weights[l].gemv_batch_par_in(a, z, ks)?;
+                }
+            }
+            Ok(())
+        })??;
+        for i in 0..k {
+            let Some(mut z) = zs[i].take() else { continue };
+            let n_i = nets[i].num_layers();
+            z.add_row_broadcast(&nets[i].biases[l])?;
+            let act = if l + 1 == n_i {
+                nets[i].output_act
+            } else {
+                nets[i].hidden_act
+            };
+            let mut y = z.clone();
+            act.apply_slice(y.as_mut_slice());
+            processes[i](l + 1, y.as_mut_slice());
+            input_traces[i].push(core::mem::replace(&mut acts[i], y));
+            pre_traces[i].push(z);
+        }
+    }
+    let mut traces = Vec::with_capacity(k);
+    for ((inputs, pre), output) in input_traces.into_iter().zip(pre_traces).zip(acts) {
+        traces.push(BatchTrace {
+            inputs,
+            pre,
+            output,
+        });
+    }
+    Ok(traces)
+}
+
+/// One independent batched backward pass in a fused group: the network,
+/// its forward trace, the output gradient, and the gradient buffer it
+/// accumulates into. See [`backward_batch_fused`].
+pub struct FusedBackward<'a, S: Scalar> {
+    /// Network to back-propagate through.
+    pub mlp: &'a Mlp<S>,
+    /// Trace captured by a batched forward of `mlp`.
+    pub trace: &'a BatchTrace<S>,
+    /// `(batch, output_dim)` loss gradient w.r.t. the output.
+    pub dl_dout: &'a Matrix<S>,
+    /// Gradient buffer shaped by [`MlpGrads::zeros_like`] on `mlp`.
+    pub grads: &'a mut MlpGrads<S>,
+}
+
+/// Runs several **independent** batched backward passes layer-locked
+/// through fused scopes, returning each pass's `(batch, input_dim)`
+/// input gradient. Per layer step one fused scope hosts, for every
+/// active pass, its gradient outer product (weight-row shards) *and*
+/// its error MVM (batch-row shards) — for TD3's twin critics that is
+/// four kernels under a single join where the unfused path paid four.
+/// Bias gradients accumulate on the calling thread (ascending sample
+/// order, as documented) while the shards run.
+///
+/// Element `i` of the result — and `passes[i].grads` — is bit-identical
+/// to `passes[i].mlp.backward_batch_par(..)` run on its own, in every
+/// backend, at every worker count.
+///
+/// # Errors
+///
+/// Returns [`NnError::Shape`] if a `dl_dout` is not
+/// `(batch, output_dim)`, [`NnError::InvalidConfig`] for a gradient
+/// buffer shaped on another network, and [`NnError::Pool`] if a fused
+/// kernel panicked (contained; siblings complete, the pool survives).
+pub fn backward_batch_fused<S: Scalar>(
+    passes: &mut [FusedBackward<'_, S>],
+    par: &Parallelism,
+) -> Result<Vec<Matrix<S>>, NnError> {
+    for p in passes.iter() {
+        let n = p.mlp.num_layers();
+        if p.dl_dout.shape() != (p.trace.batch_size(), p.mlp.output_dim()) {
+            return Err(NnError::Shape(fixar_tensor::ShapeError::new(
+                "mlp batch backward",
+                (p.trace.batch_size(), p.mlp.output_dim()),
+                p.dl_dout.shape(),
+            )));
+        }
+        if p.grads.w.len() != n {
+            return Err(NnError::InvalidConfig(
+                "gradient buffer has wrong layer count".into(),
+            ));
+        }
+    }
+    let k = passes.len();
+    // Output-layer deltas: dL/dZ = dL/dY ⊙ f'(Z), elementwise per pass.
+    let mut deltas: Vec<Matrix<S>> = passes
+        .iter()
+        .map(|p| {
+            let n = p.mlp.num_layers();
+            let mut delta = p.dl_dout.clone();
+            for ((d, &z), &y) in delta
+                .as_mut_slice()
+                .iter_mut()
+                .zip(p.trace.pre[n - 1].as_slice())
+                .zip(p.trace.output.as_slice())
+            {
+                *d *= p.mlp.output_act.derivative(z, y);
+            }
+            delta
+        })
+        .collect();
+
+    let steps = passes.iter().map(|p| p.mlp.num_layers()).max().unwrap_or(0);
+    let mut input_grads: Vec<Option<Matrix<S>>> = (0..k).map(|_| None).collect();
+    // Step `s` processes layer `n_i - 1 - s` of every pass deep enough.
+    for s in 0..steps {
+        let mut errs: Vec<Option<Matrix<S>>> = passes
+            .iter()
+            .map(|p| {
+                let n = p.mlp.num_layers();
+                (s < n)
+                    .then(|| Matrix::zeros(p.trace.batch_size(), p.mlp.weights[n - 1 - s].cols()))
+            })
+            .collect();
+        par.fused(|ks| -> Result<(), fixar_tensor::ShapeError> {
+            for ((i, p), err_slot) in passes.iter_mut().enumerate().zip(errs.iter_mut()) {
+                let n = p.mlp.num_layers();
+                if s >= n {
+                    continue;
+                }
+                let l = n - 1 - s;
+                let delta = &deltas[i];
+                let MlpGrads { w, b } = &mut *p.grads;
+                w[l].add_outer_batch_par_in(delta, &p.trace.inputs[l], ks)?;
+                let err = err_slot.as_mut().expect("active pass has an err buffer");
+                p.mlp.weights[l].gemv_t_batch_par_in(delta, err, ks)?;
+                // Bias gradients: ascending sample order on the calling
+                // thread, overlapping the queued shards (disjoint from
+                // both kernel outputs).
+                for bi in 0..delta.rows() {
+                    for (gb, &d) in b[l].iter_mut().zip(delta.row(bi)) {
+                        *gb += d;
+                    }
+                }
+            }
+            Ok(())
+        })??;
+        for (i, p) in passes.iter().enumerate() {
+            let n = p.mlp.num_layers();
+            if s >= n {
+                continue;
+            }
+            let l = n - 1 - s;
+            let mut err = errs[i].take().expect("active pass has an err buffer");
+            if l > 0 {
+                for ((d, &z), &y) in err
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(p.trace.pre[l - 1].as_slice())
+                    .zip(p.trace.inputs[l].as_slice())
+                {
+                    *d *= p.mlp.hidden_act.derivative(z, y);
+                }
+                deltas[i] = err;
+            } else {
+                input_grads[i] = Some(err);
+            }
+        }
+    }
+    Ok(input_grads
+        .into_iter()
+        .map(|g| g.expect("every validated network has at least one layer"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -1122,6 +1398,188 @@ mod tests {
             .unwrap()
             .output;
         assert_eq!(y_seq, y_par);
+    }
+
+    #[test]
+    fn fused_multi_network_forward_matches_separate_passes() {
+        use fixar_pool::Parallelism;
+        // Two independent networks of different depths on different
+        // inputs, fused layer-locked: outputs and traces must equal the
+        // separate pool-parallel passes bit-for-bit, in Fx32, at every
+        // worker count.
+        let cfg_a = MlpConfig::new(vec![5, 12, 7, 2]).with_output_activation(Activation::Tanh);
+        let cfg_b = MlpConfig::new(vec![6, 9, 1]);
+        let net_a = Mlp::<Fx32>::new_random(&cfg_a, 4).unwrap();
+        let net_b = Mlp::<Fx32>::new_random(&cfg_b, 5).unwrap();
+        let x_a = fx32_batch(8, 5);
+        let x_b = fx32_batch(8, 6);
+        let ref_a = net_a.forward_batch_trace(&x_a).unwrap();
+        let ref_b = net_b.forward_batch_trace(&x_b).unwrap();
+        for workers in [1usize, 2, 8] {
+            let par = Parallelism::with_workers(workers);
+            let traces = forward_batch_trace_fused(&[&net_a, &net_b], &[&x_a, &x_b], &par).unwrap();
+            assert_eq!(traces.len(), 2);
+            assert_eq!(traces[0].output, ref_a.output, "workers {workers}: A");
+            assert_eq!(traces[1].output, ref_b.output, "workers {workers}: B");
+            for l in 0..net_a.num_layers() {
+                assert_eq!(traces[0].inputs[l], ref_a.inputs[l]);
+                assert_eq!(traces[0].pre[l], ref_a.pre[l]);
+            }
+            for l in 0..net_b.num_layers() {
+                assert_eq!(traces[1].pre[l], ref_b.pre[l]);
+            }
+            let outs = forward_batch_fused(&[&net_a, &net_b], &[&x_a, &x_b], &par).unwrap();
+            assert_eq!(outs[0], ref_a.output);
+            assert_eq!(outs[1], ref_b.output);
+        }
+        // Shape errors surface before anything runs.
+        let bad = fx32_batch(3, 4);
+        assert!(
+            forward_batch_fused(&[&net_a, &net_b], &[&x_a, &bad], &Parallelism::sequential())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn fused_qat_forward_leaves_each_runtime_as_separate_passes_would() {
+        use fixar_pool::Parallelism;
+        let cfg = MlpConfig::new(vec![4, 10, 2]).with_output_activation(Activation::Tanh);
+        let net_a = Mlp::<Fx32>::new_random(&cfg, 9).unwrap();
+        let net_b = Mlp::<Fx32>::new_random(&cfg, 10).unwrap();
+        let x_a = fx32_batch(6, 4);
+        let x_b = fx32_batch(6, 4);
+
+        // Separate reference passes.
+        let mut qat_a_ref = QatRuntime::new(net_a.num_layers() + 1, 8);
+        let mut qat_b_ref = qat_a_ref.clone();
+        let out_a_ref = net_a
+            .forward_batch_qat(&x_a, &mut qat_a_ref)
+            .unwrap()
+            .output;
+        let out_b_ref = net_b
+            .forward_batch_qat(&x_b, &mut qat_b_ref)
+            .unwrap()
+            .output;
+
+        // Fused pass over a 2-worker pool.
+        let par = Parallelism::with_workers(2);
+        let mut qat_a = QatRuntime::new(net_a.num_layers() + 1, 8);
+        let mut qat_b = qat_a.clone();
+        let traces = forward_batch_qat_fused(
+            &mut [
+                FusedForward {
+                    mlp: &net_a,
+                    input: &x_a,
+                    qat: &mut qat_a,
+                },
+                FusedForward {
+                    mlp: &net_b,
+                    input: &x_b,
+                    qat: &mut qat_b,
+                },
+            ],
+            &par,
+        )
+        .unwrap();
+        assert_eq!(traces[0].output, out_a_ref);
+        assert_eq!(traces[1].output, out_b_ref);
+        for p in 0..qat_a.num_points() {
+            assert_eq!(qat_a.monitor(p).range(), qat_a_ref.monitor(p).range());
+            assert_eq!(qat_a.monitor(p).count(), qat_a_ref.monitor(p).count());
+            assert_eq!(qat_b.monitor(p).range(), qat_b_ref.monitor(p).range());
+        }
+        // Quantized phase agrees too.
+        qat_a.freeze().unwrap();
+        qat_a_ref.freeze().unwrap();
+        let mut frozen = qat_a.clone();
+        let fused_q = forward_batch_qat_fused(
+            &mut [FusedForward {
+                mlp: &net_a,
+                input: &x_a,
+                qat: &mut frozen,
+            }],
+            &par,
+        )
+        .unwrap();
+        let sep_q = net_a.forward_batch_qat(&x_a, &mut qat_a_ref).unwrap();
+        assert_eq!(fused_q[0].output, sep_q.output);
+        // Mismatched runtime point counts are rejected up front.
+        let mut wrong = QatRuntime::disabled(net_a.num_layers() + 5);
+        assert!(forward_batch_qat_fused(
+            &mut [FusedForward {
+                mlp: &net_a,
+                input: &x_a,
+                qat: &mut wrong,
+            }],
+            &par,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fused_twin_backward_matches_separate_backwards() {
+        use fixar_pool::Parallelism;
+        // The TD3 twin-critic shape: two same-architecture networks,
+        // same input batch, different output gradients — fused backward
+        // must reproduce each separate backward bit-for-bit (grads and
+        // input gradients), at every worker count.
+        let cfg = MlpConfig::new(vec![6, 14, 8, 1]);
+        let c1 = Mlp::<Fx32>::new_random(&cfg, 31).unwrap();
+        let c2 = Mlp::<Fx32>::new_random(&cfg, 32).unwrap();
+        let x = fx32_batch(9, 6);
+        let dl1 = Matrix::<f64>::from_fn(9, 1, |b, _| (b as f64 - 4.0) * 0.11).cast::<Fx32>();
+        let dl2 = Matrix::<f64>::from_fn(9, 1, |b, _| (b as f64 - 2.0) * 0.07).cast::<Fx32>();
+
+        let t1 = c1.forward_batch_trace(&x).unwrap();
+        let t2 = c2.forward_batch_trace(&x).unwrap();
+        let mut g1_ref = MlpGrads::zeros_like(&c1);
+        let mut g2_ref = MlpGrads::zeros_like(&c2);
+        let e1_ref = c1.backward_batch(&t1, &dl1, &mut g1_ref).unwrap();
+        let e2_ref = c2.backward_batch(&t2, &dl2, &mut g2_ref).unwrap();
+
+        for workers in [1usize, 2, 8] {
+            let par = Parallelism::with_workers(workers);
+            let mut g1 = MlpGrads::zeros_like(&c1);
+            let mut g2 = MlpGrads::zeros_like(&c2);
+            let errs = backward_batch_fused(
+                &mut [
+                    FusedBackward {
+                        mlp: &c1,
+                        trace: &t1,
+                        dl_dout: &dl1,
+                        grads: &mut g1,
+                    },
+                    FusedBackward {
+                        mlp: &c2,
+                        trace: &t2,
+                        dl_dout: &dl2,
+                        grads: &mut g2,
+                    },
+                ],
+                &par,
+            )
+            .unwrap();
+            assert_eq!(errs[0], e1_ref, "workers {workers}: input grads 1");
+            assert_eq!(errs[1], e2_ref, "workers {workers}: input grads 2");
+            assert_eq!(g1.w, g1_ref.w, "workers {workers}: weight grads 1");
+            assert_eq!(g1.b, g1_ref.b, "workers {workers}: bias grads 1");
+            assert_eq!(g2.w, g2_ref.w, "workers {workers}: weight grads 2");
+            assert_eq!(g2.b, g2_ref.b, "workers {workers}: bias grads 2");
+        }
+
+        // Bad output-gradient shape is rejected before any kernel runs.
+        let bad = Matrix::<Fx32>::zeros(3, 1);
+        let mut g = MlpGrads::zeros_like(&c1);
+        assert!(backward_batch_fused(
+            &mut [FusedBackward {
+                mlp: &c1,
+                trace: &t1,
+                dl_dout: &bad,
+                grads: &mut g,
+            }],
+            &Parallelism::sequential(),
+        )
+        .is_err());
     }
 
     #[test]

@@ -281,6 +281,119 @@ impl Drop for Scope<'_, '_> {
     }
 }
 
+/// A fused multi-kernel phase: the handle through which several
+/// *independent* kernels (disjoint output regions) enqueue their shards
+/// into **one** pool scope and share a **single** barrier join — the
+/// phase-scoped heterogeneous scheduling that replaces one-scope-per-
+/// kernel calls on hot paths (e.g. TD3's twin critics, or a layer's
+/// gradient outer product fused with its error MVM).
+///
+/// Obtained from [`Parallelism::fused`]. Two shapes exist:
+///
+/// * **pooled** — wraps a live [`Scope`]; [`KernelScope::submit`]
+///   enqueues onto the pool and [`KernelScope::shards`] reports the
+///   worker count, so `*_par_in` kernels shard exactly as their `*_par`
+///   forms do;
+/// * **sequential** — no pool (or the caller is already on a pool
+///   thread, where opening a scope would deadlock): `shards` reports 1
+///   and `submit` runs the task **inline** on the calling thread, so
+///   every `*_par_in` kernel transparently degrades to its sequential,
+///   bit-identical form.
+///
+/// # Determinism
+///
+/// Fusing kernels into one scope never reorders arithmetic: each kernel
+/// still shards into disjoint output regions computed with its
+/// sequential per-element chains, and distinct kernels in one scope
+/// write disjoint outputs by the caller's contract. Only the *join*
+/// count changes — results are bit-identical to running the kernels in
+/// separate scopes (or sequentially) at every worker count.
+///
+/// # Example
+///
+/// ```
+/// use fixar_pool::Parallelism;
+///
+/// let par = Parallelism::with_workers(2);
+/// let mut a = [0u64; 2];
+/// let mut b = [0u64; 2];
+/// par.fused(|ks| {
+///     // Two independent "kernels" share one scope and one join.
+///     let (a0, a1) = a.split_at_mut(1);
+///     ks.submit(|| a0[0] = 1);
+///     ks.submit(|| a1[0] = 2);
+///     let (b0, b1) = b.split_at_mut(1);
+///     ks.submit(|| b0[0] = 3);
+///     ks.submit(|| b1[0] = 4);
+/// })
+/// .unwrap();
+/// assert_eq!((a, b), ([1, 2], [3, 4]));
+/// ```
+pub struct KernelScope<'a, 'pool, 'scope> {
+    scope: Option<&'a Scope<'pool, 'scope>>,
+    workers: usize,
+}
+
+impl<'a, 'pool, 'scope> KernelScope<'a, 'pool, 'scope> {
+    /// A sequential kernel scope: `shards` is 1 and `submit` runs
+    /// inline. This is what `*_par_in` kernels see when no pool is
+    /// available, letting callers keep a single code path.
+    pub fn sequential() -> Self {
+        Self {
+            scope: None,
+            workers: 1,
+        }
+    }
+
+    /// A kernel scope over a live pool [`Scope`], sharding for
+    /// `workers` lanes.
+    pub fn pooled(scope: &'a Scope<'pool, 'scope>, workers: usize) -> Self {
+        Self {
+            scope: Some(scope),
+            workers: workers.max(1),
+        }
+    }
+
+    /// `true` when submissions actually reach a pool (false for the
+    /// sequential degradation).
+    pub fn is_pooled(&self) -> bool {
+        self.scope.is_some()
+    }
+
+    /// Number of shards a kernel submitting here should split `items`
+    /// into: the worker count capped by `items` when pooled, `1` when
+    /// sequential — the same arithmetic as [`Parallelism::shards`].
+    pub fn shards(&self, items: usize) -> usize {
+        if self.scope.is_some() {
+            self.workers.min(items).max(1)
+        } else {
+            1
+        }
+    }
+
+    /// Submits one kernel shard. Pooled scopes enqueue it (the shared
+    /// join happens when the owning [`Parallelism::fused`] call
+    /// returns); the sequential degradation runs it inline, preserving
+    /// submission order.
+    ///
+    /// # Panics
+    ///
+    /// On the **sequential degradation** a panicking task unwinds
+    /// straight through the caller — there is no worker thread to
+    /// contain it, so the typed-[`PoolError`] contract applies to
+    /// pooled scopes only. In-contract kernels never panic, so this
+    /// only changes how a kernel *bug* surfaces at one worker.
+    pub fn submit<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        match self.scope {
+            Some(scope) => scope.execute(f),
+            None => f(),
+        }
+    }
+}
+
 /// Contiguous ascending split of `items` into at most `parts` chunks of
 /// `ceil(items / parts)` (the shard decomposition every parallel kernel
 /// uses; identical to `slice.chunks(chunk_len)` boundaries, so shard
@@ -405,6 +518,43 @@ impl Parallelism {
             1
         } else {
             self.workers().min(items).max(1)
+        }
+    }
+
+    /// Opens **one** fused multi-kernel scope and runs `f` with its
+    /// [`KernelScope`]: every independent kernel `f` submits (directly
+    /// via [`KernelScope::submit`], or through a `*_par_in` kernel form)
+    /// shares the scope's single barrier join, which happens before
+    /// `fused` returns. With no pool — or when already on a pool thread,
+    /// where a nested scope would deadlock — `f` receives the
+    /// sequential degradation and every submission runs inline,
+    /// bit-identically.
+    ///
+    /// Anything the caller runs in `f` *after* submitting kernels
+    /// executes on the calling thread **concurrently with the queued
+    /// shards** — this is the host/accelerator overlap hook the
+    /// double-buffered fleet trainer uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::TaskPanicked`] if any submitted task
+    /// panicked on a **pooled** scope. The panic is contained per
+    /// task: sibling kernels in the scope still run to completion, the
+    /// scope still joins, and the pool stays usable. On the sequential
+    /// degradation there is no worker to contain a panic — an inline
+    /// task that panics unwinds through the caller instead (see
+    /// [`KernelScope::submit`]); only kernel *bugs* panic, so the two
+    /// modes differ only in how a bug is reported.
+    pub fn fused<'pool, 'scope, F, R>(&'pool self, f: F) -> Result<R, PoolError>
+    where
+        F: FnOnce(&KernelScope<'_, 'pool, 'scope>) -> R,
+    {
+        match self.pool() {
+            Some(pool) if !on_pool_thread() => {
+                let workers = self.workers();
+                pool.scope(move |scope| f(&KernelScope::pooled(scope, workers)))
+            }
+            _ => Ok(f(&KernelScope::sequential())),
         }
     }
 }
@@ -542,6 +692,127 @@ mod tests {
 
         // with_workers(1) never carries a pool.
         assert!(Parallelism::with_workers(1).pool().is_none());
+    }
+
+    #[test]
+    fn fused_scope_hosts_independent_kernels_with_one_join() {
+        let par = Parallelism::with_workers(3);
+        let mut left = vec![0usize; 9];
+        let mut right = vec![0usize; 5];
+        par.fused(|ks| {
+            assert!(ks.is_pooled());
+            // Kernel 1: shard `left` like a *_par kernel would.
+            let shards = ks.shards(left.len());
+            let mut rest = left.as_mut_slice();
+            for range in split_ranges(9, shards) {
+                let (chunk, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let base = range.start;
+                ks.submit(move || {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v = base + i;
+                    }
+                });
+            }
+            // Kernel 2: disjoint output, same scope, same join.
+            let mut rest = right.as_mut_slice();
+            for range in split_ranges(5, ks.shards(5)) {
+                let (chunk, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let base = range.start;
+                ks.submit(move || {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v = 100 + base + i;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(left, (0..9).collect::<Vec<_>>());
+        assert_eq!(right, (100..105).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fused_scope_panic_is_typed_and_does_not_poison_siblings() {
+        // The satellite contract: one fused kernel panicking surfaces
+        // as PoolError while sibling kernels in the same scope still
+        // complete, and the handle stays usable.
+        let par = Parallelism::with_workers(2);
+        let mut sibling = [0u64; 2];
+        let err = par
+            .fused(|ks| {
+                let (lo, hi) = sibling.split_at_mut(1);
+                ks.submit(|| panic!("injected fused-kernel failure"));
+                ks.submit(move || lo[0] = 7);
+                ks.submit(move || hi[0] = 9);
+            })
+            .unwrap_err();
+        match &err {
+            PoolError::TaskPanicked { count, first } => {
+                assert_eq!(*count, 1);
+                assert!(first.contains("injected fused-kernel failure"));
+            }
+        }
+        assert_eq!(sibling, [7, 9], "siblings must not be poisoned");
+        // The same handle opens a clean scope afterwards.
+        let ok = par.fused(|ks| ks.submit(|| {}));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn fused_scope_degrades_inline_without_a_pool_and_when_nested() {
+        // Sequential handle: submissions run inline, in order.
+        let seq = Parallelism::sequential();
+        let order = Mutex::new(Vec::new());
+        seq.fused(|ks| {
+            assert!(!ks.is_pooled());
+            assert_eq!(ks.shards(100), 1);
+            ks.submit(|| order.lock().unwrap().push(1));
+            order.lock().unwrap().push(2);
+            ks.submit(|| order.lock().unwrap().push(3));
+        })
+        .unwrap();
+        assert_eq!(*order.lock().unwrap(), vec![1, 2, 3]);
+
+        // Nested: from a pool task the same handle degrades too, so a
+        // fused kernel called inside another scope cannot deadlock.
+        let par = Parallelism::with_workers(2);
+        let nested_inline = AtomicUsize::new(0);
+        par.fused(|ks| {
+            let par = &par;
+            let nested_inline = &nested_inline;
+            ks.submit(move || {
+                par.fused(|inner| {
+                    assert!(!inner.is_pooled());
+                    inner.submit(|| {
+                        nested_inline.fetch_add(1, Ordering::SeqCst);
+                    });
+                })
+                .unwrap();
+            });
+        })
+        .unwrap();
+        assert_eq!(nested_inline.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fused_scope_overlaps_host_work_with_queued_kernels() {
+        // The closure body after submission runs on the calling thread
+        // while the task runs on a worker — both sides complete by the
+        // single join.
+        let par = Parallelism::with_workers(2);
+        let worker_side = AtomicUsize::new(0);
+        let mut host_side = 0usize;
+        par.fused(|ks| {
+            let worker_side = &worker_side;
+            ks.submit(move || {
+                worker_side.store(11, Ordering::SeqCst);
+            });
+            host_side = 22; // host work inside the scope
+        })
+        .unwrap();
+        assert_eq!(worker_side.load(Ordering::SeqCst), 11);
+        assert_eq!(host_side, 22);
     }
 
     #[test]

@@ -523,13 +523,39 @@ impl<S: Scalar> Ddpg<S> {
         let scale = 1.0 / b as f64;
         let gamma = S::from_f64(self.cfg.gamma);
 
-        // TD targets from the target networks (no gradients), one batched
-        // pass per network instead of `b` vector passes.
+        // Phase 1 — one fused scope for the two *independent* forward
+        // passes of the update: the target actor on s' (start of the TD
+        // target chain) and the online critic on (s, a) (the regression
+        // forward). The critic-target pass cannot join them — it
+        // consumes the target actor's output — so it forms phase 2.
+        // Fusing halves the joins of the pre-update forwards while
+        // keeping every result bit-identical (disjoint outputs,
+        // unchanged per-element chains, separate QAT runtimes).
+        self.critic_grads.reset();
         let s_next: Matrix<S> = batch.next_states().cast();
-        let a_next = self
-            .actor_target
-            .forward_batch_qat_par(&s_next, &mut self.actor_target_qat, &self.par)?
-            .output;
+        let states: Matrix<S> = batch.states().cast();
+        let actions: Matrix<S> = batch.actions().cast();
+        let critic_in = states.hcat(&actions).map_err(fixar_nn::NnError::Shape)?;
+        let par = self.par.clone();
+        let mut fused = fixar_nn::forward_batch_qat_fused(
+            &mut [
+                fixar_nn::FusedForward {
+                    mlp: &self.actor_target,
+                    input: &s_next,
+                    qat: &mut self.actor_target_qat,
+                },
+                fixar_nn::FusedForward {
+                    mlp: &self.critic,
+                    input: &critic_in,
+                    qat: &mut self.critic_qat,
+                },
+            ],
+            &par,
+        )?;
+        let trace = fused.pop().expect("critic pass");
+        let a_next = fused.pop().expect("target actor pass").output;
+
+        // Phase 2 — the dependent tail of the TD-target chain.
         let target_in = s_next.hcat(&a_next).map_err(fixar_nn::NnError::Shape)?;
         let q_next = self
             .critic_target
@@ -546,15 +572,10 @@ impl<S: Scalar> Ddpg<S> {
             })
             .collect();
 
-        // Critic regression toward the targets: one batched forward, one
-        // batched backward, gradients reduced in ascending sample order.
-        self.critic_grads.reset();
-        let states: Matrix<S> = batch.states().cast();
-        let actions: Matrix<S> = batch.actions().cast();
-        let critic_in = states.hcat(&actions).map_err(fixar_nn::NnError::Shape)?;
-        let trace =
-            self.critic
-                .forward_batch_qat_par(&critic_in, &mut self.critic_qat, &self.par)?;
+        // Critic regression toward the targets: the fused forward from
+        // phase 1, one batched backward (whose per-layer gradient outer
+        // product and error MVM share a fused scope), gradients reduced
+        // in ascending sample order.
         let mut critic_loss = 0.0;
         let mut q_sum = 0.0;
         let mut td_errors = Vec::with_capacity(b);

@@ -24,9 +24,12 @@
 //!   (evaluate every 5000 steps, averaging cumulative reward over 10
 //!   episodes "until the agent falls down"),
 //! * [`VecTrainer`] — the multi-env serving loop: a fleet of
-//!   environments (`fixar_env::EnvPool`) stepped in lockstep with all
-//!   action selection batched through [`Ddpg::select_actions_batch`],
-//!   bit-identical to [`Trainer`] at fleet size 1,
+//!   environments (`fixar_env::EnvPool`) stepped in lockstep — or
+//!   **double-buffered** ([`VecTrainer::set_overlap`]: the pool infers
+//!   one half-fleet's actions while the host steps the other, with
+//!   bit-identical results) — with all action selection batched through
+//!   [`Ddpg::select_actions_batch`], bit-identical to [`Trainer`] at
+//!   fleet size 1,
 //! * [`PrecisionMode`] — the four arms of the Fig. 7 precision study.
 //!
 //! Everything is generic over the numeric backend, so the *same* code

@@ -218,10 +218,20 @@ impl ReplayBuffer {
     /// (returns an empty vector; callers treat that as "keep
     /// exploring").
     pub fn sample_indices(&self, batch: usize, rng: &mut StdRng) -> Vec<usize> {
+        let mut out = Vec::with_capacity(batch);
+        self.sample_indices_into(batch, rng, &mut out);
+        out
+    }
+
+    /// [`ReplayBuffer::sample_indices`] into a caller-owned scratch
+    /// vector (cleared first, capacity reused) — the draw half of the
+    /// allocation-free sampling path. Identical RNG consumption.
+    pub fn sample_indices_into(&self, batch: usize, rng: &mut StdRng, out: &mut Vec<usize>) {
+        out.clear();
         if self.len < batch {
-            return Vec::new();
+            return;
         }
-        (0..batch).map(|_| rng.gen_range(0..self.len)).collect()
+        out.extend((0..batch).map(|_| rng.gen_range(0..self.len)));
     }
 
     /// Samples `batch` transitions uniformly (with replacement — the
@@ -259,8 +269,47 @@ impl ReplayBuffer {
         rng: &mut StdRng,
         par: &Parallelism,
     ) -> Option<TransitionBatch> {
+        let mut out = TransitionBatch::empty();
+        if self.sample_batch_par_into(batch, rng, par, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// [`ReplayBuffer::sample_batch`] into a caller-owned scratch batch
+    /// — the **allocation-free** sampling path the trainers drive: the
+    /// scratch's lanes are reshaped in place (storage reused once
+    /// grown), so after the first draw no allocation happens on the
+    /// train step. Returns `false` (scratch untouched, no RNG draws)
+    /// when `batch == 0` or the buffer holds fewer than `batch`
+    /// transitions; otherwise the scratch holds exactly the batch
+    /// [`ReplayBuffer::sample_batch`] would have returned — same draw
+    /// sequence, same bytes.
+    pub fn sample_batch_into(
+        &self,
+        batch: usize,
+        rng: &mut StdRng,
+        out: &mut TransitionBatch,
+    ) -> bool {
+        self.sample_batch_par_into(batch, rng, &Parallelism::sequential(), out)
+    }
+
+    /// Pool-parallel [`ReplayBuffer::sample_batch_into`] (see
+    /// [`ReplayBuffer::sample_batch_par`] for the worker-invariance
+    /// contract). The parallel arm stages its indices in a transient
+    /// vector; callers that need the fully allocation-free parallel
+    /// path hold the index scratch themselves and go through
+    /// [`ReplaySampler::sample_into`].
+    pub fn sample_batch_par_into(
+        &self,
+        batch: usize,
+        rng: &mut StdRng,
+        par: &Parallelism,
+        out: &mut TransitionBatch,
+    ) -> bool {
         if batch == 0 || self.len < batch {
-            return None;
+            return false;
         }
         if par.shards(batch) <= 1 {
             // Fused draw + gather: each index is drawn and its column
@@ -268,38 +317,37 @@ impl ReplayBuffer {
             // validation sweep. The draw sequence (`batch` ascending
             // `gen_range(0..len)` calls) and the gathered bytes are
             // identical to the two-phase path below.
-            return Some(self.gather_fused(batch, || rng.gen_range(0..self.len)));
+            self.gather_fused_into(batch, || rng.gen_range(0..self.len), out);
+            return true;
         }
         let indices = self.sample_indices(batch, rng);
-        Some(self.gather_par(&indices, par))
+        self.gather_par_into(&indices, par, out);
+        true
     }
 
-    /// The one sequential gather loop both hot paths share: `pick()`
+    /// The one sequential gather loop every hot path shares: `pick()`
     /// yields the next (in-range) slot, and all five lanes fill in a
-    /// single fused pass — pure appends into reserved storage, so both
-    /// callers produce identical bytes by construction.
-    fn gather_fused(&self, n: usize, mut pick: impl FnMut() -> usize) -> TransitionBatch {
+    /// single fused pass straight into the scratch batch — plain row
+    /// copies into reshaped (reused) storage, so every caller produces
+    /// identical bytes by construction.
+    fn gather_fused_into(
+        &self,
+        n: usize,
+        mut pick: impl FnMut() -> usize,
+        out: &mut TransitionBatch,
+    ) {
         let (state_dim, action_dim) = (self.states.cols(), self.actions.cols());
-        let mut states = Vec::with_capacity(n * state_dim);
-        let mut actions = Vec::with_capacity(n * action_dim);
-        let mut next_states = Vec::with_capacity(n * state_dim);
-        let mut rewards = Vec::with_capacity(n);
-        let mut terminals = Vec::with_capacity(n);
-        for _ in 0..n {
+        out.reset_for(n, state_dim, action_dim);
+        for k in 0..n {
             let i = pick();
-            states.extend_from_slice(self.states.row(i));
-            actions.extend_from_slice(self.actions.row(i));
-            next_states.extend_from_slice(self.next_states.row(i));
+            out.states.row_mut(k).copy_from_slice(self.states.row(i));
+            out.actions.row_mut(k).copy_from_slice(self.actions.row(i));
+            out.next_states
+                .row_mut(k)
+                .copy_from_slice(self.next_states.row(i));
             let (reward, terminal) = self.meta[i];
-            rewards.push(reward);
-            terminals.push(terminal);
-        }
-        TransitionBatch {
-            states: Matrix::from_vec(n, state_dim, states).expect("sized"),
-            actions: Matrix::from_vec(n, action_dim, actions).expect("sized"),
-            rewards,
-            next_states: Matrix::from_vec(n, state_dim, next_states).expect("sized"),
-            terminals,
+            out.rewards.push(reward);
+            out.terminals.push(terminal);
         }
     }
 
@@ -320,6 +368,28 @@ impl ReplayBuffer {
     ///
     /// Panics if any index is `>= len()`.
     pub fn gather_par(&self, indices: &[usize], par: &Parallelism) -> TransitionBatch {
+        let mut out = TransitionBatch::empty();
+        self.gather_par_into(indices, par, &mut out);
+        out
+    }
+
+    /// [`ReplayBuffer::gather`] into a caller-owned scratch batch
+    /// (reshaped in place, storage reused — no allocation once grown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len()`.
+    pub fn gather_into(&self, indices: &[usize], out: &mut TransitionBatch) {
+        self.gather_par_into(indices, &Parallelism::sequential(), out)
+    }
+
+    /// Pool-parallel [`ReplayBuffer::gather_into`] — the single gather
+    /// implementation all gather entry points funnel through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len()`.
+    pub fn gather_par_into(&self, indices: &[usize], par: &Parallelism, out: &mut TransitionBatch) {
         assert!(
             indices.iter().all(|&i| i < self.len),
             "replay gather index out of live range"
@@ -329,20 +399,26 @@ impl ReplayBuffer {
             // given indices. Bit-identical to the per-panel kernel
             // gathers below (both are plain copies).
             let mut it = indices.iter();
-            return self.gather_fused(indices.len(), || *it.next().expect("n == indices.len()"));
+            self.gather_fused_into(
+                indices.len(),
+                || *it.next().expect("n == indices.len()"),
+                out,
+            );
+            return;
         }
-        let gather = |panel: &Matrix<f64>| {
+        out.rewards.clear();
+        out.terminals.clear();
+        let gather = |panel: &Matrix<f64>, dst: &mut Matrix<f64>| {
             panel
-                .gather_columns_par(indices, par)
-                .expect("indices checked against len <= capacity")
+                .gather_columns_par_into(indices, par, dst)
+                .expect("indices checked against len <= capacity");
         };
-        TransitionBatch {
-            states: gather(&self.states),
-            actions: gather(&self.actions),
-            rewards: indices.iter().map(|&i| self.meta[i].0).collect(),
-            next_states: gather(&self.next_states),
-            terminals: indices.iter().map(|&i| self.meta[i].1).collect(),
-        }
+        gather(&self.states, &mut out.states);
+        gather(&self.actions, &mut out.actions);
+        gather(&self.next_states, &mut out.next_states);
+        out.rewards.extend(indices.iter().map(|&i| self.meta[i].0));
+        out.terminals
+            .extend(indices.iter().map(|&i| self.meta[i].1));
     }
 
     /// Materializes the transition at `slot` (ring order).
@@ -402,6 +478,30 @@ impl TransitionBatch {
             next_states: Matrix::from_row_fn(batch, state_dim, |t| t.next_state.as_slice())?,
             terminals: batch.iter().map(|t| t.terminal).collect(),
         })
+    }
+
+    /// An empty batch — the natural starting value for a reusable
+    /// sampling scratch (see [`ReplayBuffer::sample_batch_into`]): the
+    /// first fill sizes every lane, later fills reuse the storage.
+    pub fn empty() -> Self {
+        Self {
+            states: Matrix::zeros(0, 0),
+            actions: Matrix::zeros(0, 0),
+            rewards: Vec::new(),
+            next_states: Matrix::zeros(0, 0),
+            terminals: Vec::new(),
+        }
+    }
+
+    /// Reshapes every lane for `n` samples of the given dimensions,
+    /// reusing grown storage (matrices through
+    /// [`Matrix::reset_shape`], vectors through `clear`).
+    fn reset_for(&mut self, n: usize, state_dim: usize, action_dim: usize) {
+        self.states.reset_shape(n, state_dim);
+        self.actions.reset_shape(n, action_dim);
+        self.next_states.reset_shape(n, state_dim);
+        self.rewards.clear();
+        self.terminals.clear();
     }
 
     /// Number of samples.
@@ -601,6 +701,9 @@ pub struct PrioritizedReplay {
     cfg: PrioritizedConfig,
     max_priority: f64,
     capacity: usize,
+    /// Cached importance-weight buffer, refilled per draw instead of
+    /// reallocated (see [`PrioritizedReplay::weights_cached`]).
+    weight_buf: Vec<f64>,
 }
 
 impl PrioritizedReplay {
@@ -619,6 +722,7 @@ impl PrioritizedReplay {
             cfg,
             max_priority: 1.0,
             capacity,
+            weight_buf: Vec::new(),
         }
     }
 
@@ -649,41 +753,78 @@ impl PrioritizedReplay {
     /// `gen_range` calls). Indices are clamped into the live range
     /// `0..len`, so evicted/unwritten slots are never yielded.
     pub fn sample_indices(&self, len: usize, batch: usize, rng: &mut StdRng) -> Vec<usize> {
+        let mut out = Vec::with_capacity(batch);
+        self.sample_indices_into(len, batch, rng, &mut out);
+        out
+    }
+
+    /// [`PrioritizedReplay::sample_indices`] into a caller-owned
+    /// scratch vector (cleared first, capacity reused). Identical
+    /// stratified draw sequence — exactly `batch` `gen_range` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total priority mass is zero or `len == 0`.
+    pub fn sample_indices_into(
+        &self,
+        len: usize,
+        batch: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<usize>,
+    ) {
         let total = self.tree.total();
         assert!(
             total > 0.0 && len > 0,
             "prioritized sampling from an empty mass"
         );
-        (0..batch)
-            .map(|k| {
-                let lo = total * k as f64 / batch as f64;
-                let hi = total * (k + 1) as f64 / batch as f64;
-                let mass = rng.gen_range(lo..hi);
-                self.tree
-                    .find(mass.min(total * (1.0 - f64::EPSILON)))
-                    .min(len - 1)
-            })
-            .collect()
+        out.clear();
+        out.extend((0..batch).map(|k| {
+            let lo = total * k as f64 / batch as f64;
+            let hi = total * (k + 1) as f64 / batch as f64;
+            let mass = rng.gen_range(lo..hi);
+            self.tree
+                .find(mass.min(total * (1.0 - f64::EPSILON)))
+                .min(len - 1)
+        }));
+    }
+
+    /// The one weight computation all entry points share:
+    /// `w_i = (len · P(i))^-beta`, normalized by the batch maximum so
+    /// weights only scale updates **down**, filled into `out` (cleared
+    /// first, capacity reused).
+    fn fill_weights(tree: &SumTree, beta: f64, len: usize, indices: &[usize], out: &mut Vec<f64>) {
+        let total = tree.total();
+        out.clear();
+        out.extend(indices.iter().map(|&i| {
+            let p = tree.get(i) / total;
+            (len as f64 * p).powf(-beta)
+        }));
+        let max = out.iter().copied().fold(0.0_f64, f64::max);
+        if max > 0.0 {
+            for v in out.iter_mut() {
+                *v /= max;
+            }
+        }
     }
 
     /// Importance weights `w_i = (len · P(i))^-beta`, normalized by the
     /// batch maximum so weights only scale updates **down**.
     pub fn weights(&self, len: usize, indices: &[usize]) -> Vec<f64> {
-        let total = self.tree.total();
-        let mut w: Vec<f64> = indices
-            .iter()
-            .map(|&i| {
-                let p = self.tree.get(i) / total;
-                (len as f64 * p).powf(-self.cfg.beta)
-            })
-            .collect();
-        let max = w.iter().copied().fold(0.0_f64, f64::max);
-        if max > 0.0 {
-            for v in &mut w {
-                *v /= max;
-            }
-        }
+        let mut w = Vec::with_capacity(indices.len());
+        Self::fill_weights(&self.tree, self.cfg.beta, len, indices, &mut w);
         w
+    }
+
+    /// [`PrioritizedReplay::weights`] computed into the structure's
+    /// **cached** weight buffer — the per-draw hot path: after the
+    /// first draw at a given batch size, no allocation happens. The
+    /// returned slice is valid until the next call.
+    pub fn weights_cached(&mut self, len: usize, indices: &[usize]) -> &[f64] {
+        let Self {
+            tree, weight_buf, ..
+        } = self;
+        Self::fill_weights(tree, self.cfg.beta, len, indices, weight_buf);
+        &self.weight_buf
     }
 
     /// Re-prioritizes `indices` from their fresh TD errors:
@@ -721,6 +862,26 @@ pub struct SampledBatch {
     pub indices: Vec<usize>,
     /// Per-sample importance weights (prioritized only).
     pub weights: Option<Vec<f64>>,
+}
+
+impl SampledBatch {
+    /// An empty scratch for [`ReplaySampler::sample_into`]: the first
+    /// draw sizes every lane (batch matrices, index vector, weight
+    /// vector), every later draw reuses the storage — the train step
+    /// becomes allocation-free.
+    pub fn scratch() -> Self {
+        Self {
+            batch: TransitionBatch::empty(),
+            indices: Vec::new(),
+            weights: None,
+        }
+    }
+}
+
+impl Default for SampledBatch {
+    fn default() -> Self {
+        Self::scratch()
+    }
 }
 
 /// Runtime sampler unifying the two [`ReplayStrategy`] arms — the
@@ -765,35 +926,57 @@ impl ReplaySampler {
     /// through the sum-tree and attaches importance weights. Both arms
     /// gather through the pool behind `par`, bit-identical at every
     /// worker count.
+    ///
+    /// Allocating convenience over [`ReplaySampler::sample_into`] —
+    /// the trainers hold a [`SampledBatch::scratch`] and use the
+    /// into-form so their train step is allocation-free.
     pub fn sample(
-        &self,
+        &mut self,
         buf: &ReplayBuffer,
         batch: usize,
         rng: &mut StdRng,
         par: &Parallelism,
     ) -> Option<SampledBatch> {
+        let mut out = SampledBatch::scratch();
+        self.sample_into(buf, batch, rng, par, &mut out)
+            .then_some(out)
+    }
+
+    /// [`ReplaySampler::sample`] into a caller-owned scratch: indices,
+    /// batch lanes, and (on the prioritized arm) the weight vector are
+    /// all refilled in place — together with the importance-weight
+    /// buffer cached inside [`PrioritizedReplay`], no allocation
+    /// happens after the first draw. Returns `false` (scratch
+    /// untouched, no RNG draws) on underflow or `batch == 0`; draw
+    /// sequences and gathered bytes are identical to the allocating
+    /// form.
+    pub fn sample_into(
+        &mut self,
+        buf: &ReplayBuffer,
+        batch: usize,
+        rng: &mut StdRng,
+        par: &Parallelism,
+        out: &mut SampledBatch,
+    ) -> bool {
         if batch == 0 || buf.len() < batch {
-            return None;
+            return false;
         }
         match self {
             Self::Uniform => {
-                let indices = buf.sample_indices(batch, rng);
-                let gathered = buf.gather_par(&indices, par);
-                Some(SampledBatch {
-                    batch: gathered,
-                    indices,
-                    weights: None,
-                })
+                buf.sample_indices_into(batch, rng, &mut out.indices);
+                buf.gather_par_into(&out.indices, par, &mut out.batch);
+                out.weights = None;
+                true
             }
             Self::Prioritized(p) => {
-                let indices = p.sample_indices(buf.len(), batch, rng);
-                let weights = p.weights(buf.len(), &indices);
-                let gathered = buf.gather_par(&indices, par);
-                Some(SampledBatch {
-                    batch: gathered,
-                    indices,
-                    weights: Some(weights),
-                })
+                p.sample_indices_into(buf.len(), batch, rng, &mut out.indices);
+                let w = p.weights_cached(buf.len(), &out.indices);
+                let mut wv = out.weights.take().unwrap_or_default();
+                wv.clear();
+                wv.extend_from_slice(w);
+                out.weights = Some(wv);
+                buf.gather_par_into(&out.indices, par, &mut out.batch);
+                true
             }
         }
     }
@@ -1009,6 +1192,128 @@ mod tests {
     }
 
     #[test]
+    fn sample_batch_into_matches_allocating_form_and_reuses_storage() {
+        // The scratch-reuse satellite: same RNG stream → identical
+        // bytes as the allocating form, and once the scratch has been
+        // sized, repeated draws never reallocate any lane.
+        let mut buf = ReplayBuffer::new(64);
+        for i in 0..64 {
+            buf.push(t(i as f64));
+        }
+        let mut scratch = TransitionBatch::empty();
+        let direct = buf
+            .sample_batch(16, &mut StdRng::seed_from_u64(23))
+            .unwrap();
+        assert!(buf.sample_batch_into(16, &mut StdRng::seed_from_u64(23), &mut scratch));
+        assert_eq!(scratch, direct, "same draws, same bytes");
+        let ptr = scratch.states().as_slice().as_ptr();
+        // RNG parity: both paths consume exactly the same draws.
+        let mut rng_a = StdRng::seed_from_u64(31);
+        let mut rng_b = rng_a.clone();
+        for _ in 0..10 {
+            let alloc = buf.sample_batch(16, &mut rng_a).unwrap();
+            assert!(buf.sample_batch_into(16, &mut rng_b, &mut scratch));
+            assert_eq!(scratch, alloc);
+            assert_eq!(
+                scratch.states().as_slice().as_ptr(),
+                ptr,
+                "steady-state draws must not reallocate"
+            );
+        }
+        assert_eq!(rng_a, rng_b);
+        // Underflow leaves the scratch untouched and draws nothing.
+        let small = ReplayBuffer::with_dims(8, 1, 1);
+        let before = scratch.clone();
+        let mut rng_c = StdRng::seed_from_u64(1);
+        let state = rng_c.clone();
+        assert!(!small.sample_batch_into(4, &mut rng_c, &mut scratch));
+        assert_eq!(scratch, before);
+        assert_eq!(rng_c, state);
+        // Pool-parallel into-form agrees at every worker count.
+        let seq = buf.sample_batch(16, &mut StdRng::seed_from_u64(5)).unwrap();
+        for workers in [1usize, 2, 8] {
+            let par = Parallelism::with_workers(workers);
+            let mut out = TransitionBatch::empty();
+            assert!(buf.sample_batch_par_into(16, &mut StdRng::seed_from_u64(5), &par, &mut out));
+            assert_eq!(out, seq, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn sampler_sample_into_is_allocation_free_and_bit_identical() {
+        // Both strategy arms: sample_into refills the same scratch the
+        // allocating sample() would produce, and the prioritized arm's
+        // importance weights come from the cached buffer without
+        // per-draw allocation.
+        let cap = 32;
+        let mut buf = ReplayBuffer::new(cap);
+        let par = Parallelism::sequential();
+        for strategy in [
+            ReplayStrategy::Uniform,
+            ReplayStrategy::Prioritized(PrioritizedConfig::default()),
+        ] {
+            let mut sampler = ReplaySampler::new(strategy, cap);
+            for i in 0..cap {
+                let slot = buf.push(t(i as f64));
+                sampler.on_insert(slot);
+            }
+            let mut scratch = SampledBatch::scratch();
+            let mut rng_a = StdRng::seed_from_u64(40);
+            let mut rng_b = rng_a.clone();
+            // First draw sizes the scratch lanes.
+            assert!(sampler.sample_into(&buf, 8, &mut rng_a, &par, &mut scratch));
+            let alloc = sampler.sample(&buf, 8, &mut rng_b, &par).unwrap();
+            assert_eq!(scratch.batch, alloc.batch, "{strategy:?}: batch");
+            assert_eq!(scratch.indices, alloc.indices, "{strategy:?}: indices");
+            assert_eq!(scratch.weights, alloc.weights, "{strategy:?}: weights");
+            let batch_ptr = scratch.batch.states().as_slice().as_ptr();
+            let idx_ptr = scratch.indices.as_ptr();
+            for round in 0..6 {
+                // Priorities shift between draws on the prioritized arm.
+                sampler.update_priorities(&scratch.indices, &[0.3 * (round + 1) as f64; 8]);
+                assert!(sampler.sample_into(&buf, 8, &mut rng_a, &par, &mut scratch));
+                assert_eq!(
+                    scratch.batch.states().as_slice().as_ptr(),
+                    batch_ptr,
+                    "{strategy:?}: batch lanes must be reused"
+                );
+                assert_eq!(
+                    scratch.indices.as_ptr(),
+                    idx_ptr,
+                    "{strategy:?}: index scratch must be reused"
+                );
+                if sampler.is_prioritized() {
+                    let w = scratch.weights.as_ref().expect("prioritized weights");
+                    assert_eq!(w.len(), 8);
+                    assert!(w.iter().all(|&v| v > 0.0 && v <= 1.0));
+                } else {
+                    assert!(scratch.weights.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_priority_weights_match_the_pure_form() {
+        let cap = 16;
+        let mut pr = PrioritizedReplay::new(cap, PrioritizedConfig::default());
+        for slot in 0..cap {
+            pr.on_insert(slot);
+        }
+        let indices: Vec<usize> = (0..cap).collect();
+        let tds: Vec<f64> = (0..cap).map(|i| 0.2 + i as f64 * 0.5).collect();
+        pr.update_priorities(&indices, &tds);
+        let pure = pr.weights(cap, &indices);
+        let cached = pr.weights_cached(cap, &indices).to_vec();
+        assert_eq!(pure, cached);
+        // The cache is refilled, not appended, and reuses its storage.
+        let ptr = pr.weights_cached(cap, &indices).as_ptr();
+        let again = pr.weights_cached(cap, &indices[..8]);
+        assert_eq!(again.len(), 8);
+        assert_eq!(again.as_ptr(), ptr);
+    }
+
+    #[test]
     fn transitions_expose_ring_order() {
         let mut buf = ReplayBuffer::new(3);
         for i in 0..4 {
@@ -1167,7 +1472,7 @@ mod tests {
             buf.push(t(i as f64));
         }
         let par = Parallelism::sequential();
-        let sampler = ReplaySampler::new(ReplayStrategy::Uniform, 32);
+        let mut sampler = ReplaySampler::new(ReplayStrategy::Uniform, 32);
         let direct = buf.sample_batch(8, &mut StdRng::seed_from_u64(9)).unwrap();
         let sampled = sampler
             .sample(&buf, 8, &mut StdRng::seed_from_u64(9), &par)

@@ -131,6 +131,9 @@ pub struct Td3<S: Scalar> {
     critic2_opt: Adam<S>,
     actor_grads: MlpGrads<S>,
     critic_grads: MlpGrads<S>,
+    /// Second gradient buffer so both twin critics can accumulate
+    /// inside one fused backward scope (disjoint outputs).
+    critic2_grads: MlpGrads<S>,
     critic_scratch: MlpGrads<S>,
     cfg: Td3Config,
     par: Parallelism,
@@ -182,6 +185,7 @@ impl<S: Scalar> Td3<S> {
             critic2_opt: adam(cfg.critic_lr, &critic2),
             actor_grads: MlpGrads::zeros_like(&actor),
             critic_grads: MlpGrads::zeros_like(&critic1),
+            critic2_grads: MlpGrads::zeros_like(&critic2),
             critic_scratch: MlpGrads::zeros_like(&critic1),
             actor,
             critic1,
@@ -347,10 +351,15 @@ impl<S: Scalar> Td3<S> {
         let b = batch.len();
         let scale = 1.0 / b as f64;
         let gamma = S::from_f64(self.cfg.gamma);
+        let par = self.par.clone();
 
-        // Clipped double-Q targets: batched target-actor pass, per-sample
-        // noise draws in the per-sample RNG order, batched twin target
-        // critics, elementwise min.
+        // Clipped double-Q targets: batched target-actor pass,
+        // per-sample noise draws in the per-sample RNG order, then the
+        // twin *target* critics — two independent networks on the same
+        // smoothed batch — as ONE fused scope per layer instead of two
+        // back-to-back batched passes (the heterogeneous-scheduling
+        // tentpole at work; outputs are disjoint, per-element chains
+        // untouched, so the min-bootstrap is bit-identical).
         let s_next: Matrix<S> = batch.next_states().cast();
         let mut a_next = self.actor_target.forward_batch_par(&s_next, &self.par)?;
         for i in 0..b {
@@ -361,15 +370,14 @@ impl<S: Scalar> Td3<S> {
             }
         }
         let target_in = s_next.hcat(&a_next).map_err(fixar_nn::NnError::Shape)?;
-        let q1_next = self
-            .critic1_target
-            .forward_batch_par(&target_in, &self.par)?;
-        let q2_next = self
-            .critic2_target
-            .forward_batch_par(&target_in, &self.par)?;
+        let q_next = fixar_nn::forward_batch_fused(
+            &[&self.critic1_target, &self.critic2_target],
+            &[&target_in, &target_in],
+            &par,
+        )?;
         let targets: Vec<S> = (0..b)
             .map(|i| {
-                let q_min = q1_next[(i, 0)].min(q2_next[(i, 0)]);
+                let q_min = q_next[0][(i, 0)].min(q_next[1][(i, 0)]);
                 let bootstrap = if batch.terminals()[i] {
                     S::zero()
                 } else {
@@ -379,22 +387,29 @@ impl<S: Scalar> Td3<S> {
             })
             .collect();
 
-        // Both critics regress toward the shared clipped targets.
+        // Both critics regress toward the shared clipped targets: the
+        // twin forwards fuse (one scope per layer), the losses and TD
+        // errors accumulate in the sequential order (critic 1's samples
+        // then critic 2's), and the twin backwards fuse — each critic
+        // owning its gradient buffer, so all four per-layer kernels
+        // (2× outer product, 2× error MVM) share a single join.
         let states: Matrix<S> = batch.states().cast();
         let actions: Matrix<S> = batch.actions().cast();
         let critic_in = states.hcat(&actions).map_err(fixar_nn::NnError::Shape)?;
         let mut critic_loss = 0.0;
         let mut q_sum = 0.0;
         let mut td_errors = Vec::with_capacity(b);
+        self.critic_grads.reset();
+        self.critic2_grads.reset();
+        let traces = fixar_nn::forward_batch_trace_fused(
+            &[&self.critic1, &self.critic2],
+            &[&critic_in, &critic_in],
+            &par,
+        )?;
+        let mut dls = [Matrix::<S>::zeros(b, 1), Matrix::<S>::zeros(b, 1)];
         for critic_idx in 0..2 {
-            self.critic_grads.reset();
-            let critic = if critic_idx == 0 {
-                &self.critic1
-            } else {
-                &self.critic2
-            };
-            let trace = critic.forward_batch_trace_par(&critic_in, &self.par)?;
-            let mut dl = Matrix::zeros(b, 1);
+            let trace = &traces[critic_idx];
+            let dl = &mut dls[critic_idx];
             for (i, &y) in targets.iter().enumerate() {
                 let q = trace.output[(i, 0)];
                 if critic_idx == 0 {
@@ -415,18 +430,29 @@ impl<S: Scalar> Td3<S> {
                     }
                 }
             }
-            if critic_idx == 0 {
-                self.critic1
-                    .backward_batch_par(&trace, &dl, &mut self.critic_grads, &self.par)?;
-                self.critic1_opt
-                    .step(&mut self.critic1, &self.critic_grads)?;
-            } else {
-                self.critic2
-                    .backward_batch_par(&trace, &dl, &mut self.critic_grads, &self.par)?;
-                self.critic2_opt
-                    .step(&mut self.critic2, &self.critic_grads)?;
-            }
         }
+        let [dl1, dl2] = &dls;
+        fixar_nn::backward_batch_fused(
+            &mut [
+                fixar_nn::FusedBackward {
+                    mlp: &self.critic1,
+                    trace: &traces[0],
+                    dl_dout: dl1,
+                    grads: &mut self.critic_grads,
+                },
+                fixar_nn::FusedBackward {
+                    mlp: &self.critic2,
+                    trace: &traces[1],
+                    dl_dout: dl2,
+                    grads: &mut self.critic2_grads,
+                },
+            ],
+            &par,
+        )?;
+        self.critic1_opt
+            .step(&mut self.critic1, &self.critic_grads)?;
+        self.critic2_opt
+            .step(&mut self.critic2, &self.critic2_grads)?;
         self.critic_updates += 1;
 
         // Delayed policy and target updates (through critic 1 only).

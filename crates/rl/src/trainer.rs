@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use crate::ddpg::{Ddpg, DdpgConfig, TrainMetrics};
 use crate::error::RlError;
 use crate::noise::{ExplorationNoise, GaussianNoise};
-use crate::replay::{ReplayBuffer, ReplaySampler, Transition};
+use crate::replay::{ReplayBuffer, ReplaySampler, SampledBatch, Transition};
 use crate::vec_trainer::{action_stream_seed, priority_stream_seed, replay_stream_seed};
 
 /// One point of a Fig. 7 reward curve.
@@ -107,6 +107,9 @@ pub struct Trainer<S: Scalar> {
     agent: Ddpg<S>,
     replay: ReplayBuffer,
     sampler: ReplaySampler,
+    /// Reusable sampling scratch: after the first draw, the whole
+    /// sample-gather-train step allocates nothing.
+    scratch: SampledBatch,
     noise: Box<dyn ExplorationNoise>,
     action_rng: StdRng,
     replay_rng: StdRng,
@@ -143,6 +146,7 @@ impl<S: Scalar> Trainer<S> {
             agent,
             replay,
             sampler,
+            scratch: SampledBatch::scratch(),
             noise,
             action_rng: StdRng::seed_from_u64(action_stream_seed(cfg.seed, 0)),
             replay_rng: StdRng::seed_from_u64(replay_stream_seed(cfg.seed)),
@@ -250,28 +254,33 @@ impl<S: Scalar> Trainer<S> {
 
             if self.steps_taken + step > self.cfg.warmup_steps {
                 // Batched hot path: the gather packs the minibatch
-                // straight from the SoA panels (uniform draws consume
-                // exactly the legacy RNG sequence from the replay
-                // stream; prioritized draws consume the separate
-                // priority stream), and the minibatch flows through the
-                // stack as one matrix per layer on the agent's worker
-                // pool — bit-identical to the sequential and per-sample
-                // paths at every worker count.
+                // straight from the SoA panels **into the held scratch**
+                // (uniform draws consume exactly the legacy RNG sequence
+                // from the replay stream; prioritized draws consume the
+                // separate priority stream), and the minibatch flows
+                // through the stack as one matrix per layer on the
+                // agent's worker pool — bit-identical to the sequential
+                // and per-sample paths at every worker count, with no
+                // allocation after the first draw.
                 let par = self.agent.parallelism().clone();
                 let rng = if self.sampler.is_prioritized() {
                     &mut self.priority_rng
                 } else {
                     &mut self.replay_rng
                 };
-                if let Some(sampled) =
-                    self.sampler
-                        .sample(&self.replay, self.cfg.batch_size, rng, &par)
-                {
-                    let (metrics, tds) = self
-                        .agent
-                        .train_minibatch_weighted(&sampled.batch, sampled.weights.as_deref())?;
+                if self.sampler.sample_into(
+                    &self.replay,
+                    self.cfg.batch_size,
+                    rng,
+                    &par,
+                    &mut self.scratch,
+                ) {
+                    let (metrics, tds) = self.agent.train_minibatch_weighted(
+                        &self.scratch.batch,
+                        self.scratch.weights.as_deref(),
+                    )?;
                     final_metrics = metrics;
-                    self.sampler.update_priorities(&sampled.indices, &tds);
+                    self.sampler.update_priorities(&self.scratch.indices, &tds);
                 }
             }
 

@@ -27,7 +27,7 @@
 //!   and the batched kernels are bit-exact at every worker count, so
 //!   fleet runs are bit-identical across `FIXAR_WORKERS` settings.
 
-use fixar_env::{EnvPool, Environment};
+use fixar_env::{EnvPool, Environment, FleetStep};
 use fixar_fixed::Scalar;
 use fixar_tensor::Matrix;
 use rand::rngs::StdRng;
@@ -36,7 +36,7 @@ use rand::{Rng, SeedableRng};
 use crate::ddpg::{Ddpg, DdpgConfig, TrainMetrics};
 use crate::error::RlError;
 use crate::noise::{ExplorationNoise, GaussianNoise};
-use crate::replay::{ReplayBuffer, ReplaySampler, Transition};
+use crate::replay::{ReplayBuffer, ReplaySampler, SampledBatch, Transition};
 use crate::trainer::{check_env_compat, evaluate_policy, EvalPoint, TrainingReport};
 
 /// Per-env action-stream stride: an odd constant deliberately different
@@ -108,6 +108,9 @@ pub struct VecTrainer<S: Scalar> {
     agent: Ddpg<S>,
     replay: ReplayBuffer,
     sampler: ReplaySampler,
+    /// Reusable sampling scratch: after the first draw, the whole
+    /// sample-gather-train step allocates nothing.
+    scratch: SampledBatch,
     noises: Vec<Box<dyn ExplorationNoise>>,
     action_rngs: Vec<StdRng>,
     replay_rng: StdRng,
@@ -115,6 +118,7 @@ pub struct VecTrainer<S: Scalar> {
     cfg: DdpgConfig,
     train_every: u64,
     fleet_steps: u64,
+    overlap: bool,
 }
 
 impl<S: Scalar> VecTrainer<S> {
@@ -152,6 +156,7 @@ impl<S: Scalar> VecTrainer<S> {
             agent,
             replay,
             sampler,
+            scratch: SampledBatch::scratch(),
             noises,
             action_rngs,
             replay_rng: StdRng::seed_from_u64(replay_stream_seed(cfg.seed)),
@@ -159,6 +164,7 @@ impl<S: Scalar> VecTrainer<S> {
             cfg,
             train_every: 1,
             fleet_steps: 0,
+            overlap: false,
         })
     }
 
@@ -207,6 +213,32 @@ impl<S: Scalar> VecTrainer<S> {
         }
     }
 
+    /// Opts into (or out of) **double-buffered serving**: the fleet
+    /// splits into two observation buffers and, each fleet step, the
+    /// pool computes one buffer's actions *while the host steps the
+    /// other buffer's environments* — the Fig. 9 host/accelerator
+    /// overlap, expressed with the fused-scope primitive
+    /// (`Parallelism::fused` runs host work in the scope body
+    /// concurrently with the queued selection task).
+    ///
+    /// Per-phase barriers keep the contract intact: transitions still
+    /// commit to replay in ascending env order once *both* halves have
+    /// stepped, every slot keeps its own action stream, and batched
+    /// selection is row-exact regardless of how the fleet is split — so
+    /// an overlapped run is **bit-identical** to the lockstep run
+    /// (weights, replay contents, reports) at every worker count,
+    /// including a fleet of one (where overlap degrades to lockstep).
+    /// Enforced by `tests/sched_props.rs` and the `vec_trainer` unit
+    /// tests.
+    pub fn set_overlap(&mut self, enabled: bool) {
+        self.overlap = enabled;
+    }
+
+    /// `true` when double-buffered serving is enabled.
+    pub fn overlap(&self) -> bool {
+        self.overlap
+    }
+
     /// Sets the training cadence: one minibatch update every `every`
     /// fleet steps (default 1, the scalar trainer's cadence).
     ///
@@ -223,10 +255,41 @@ impl<S: Scalar> VecTrainer<S> {
         Ok(())
     }
 
-    /// Runs `total_fleet_steps` lockstep fleet steps: batched action
-    /// selection → fleet step → `N` replay pushes in ascending env
-    /// order → one minibatch update every `train_every` fleet steps
-    /// after warmup → evaluation every `eval_every` fleet steps.
+    /// Turns policy rows into executed actions for the slot range
+    /// `base..base + policy.rows()`: uniform warmup draws, or policy
+    /// plus exploration noise, each slot consuming **its own** action
+    /// stream — so the per-slot draw sequences are identical whether
+    /// the fleet is served lockstep (one call over all slots) or
+    /// double-buffered (one call per buffer).
+    fn fill_actions(
+        &mut self,
+        local: u64,
+        base: usize,
+        policy: &Matrix<f64>,
+        out: &mut Matrix<f64>,
+    ) {
+        let action_dim = policy.cols();
+        for r in 0..policy.rows() {
+            let i = base + r;
+            if local <= self.cfg.warmup_steps {
+                for d in 0..action_dim {
+                    out[(r, d)] = self.action_rngs[i].gen_range(-1.0..1.0);
+                }
+            } else {
+                let ni = self.noises[i].sample(&mut self.action_rngs[i]);
+                for d in 0..action_dim {
+                    out[(r, d)] = (policy[(r, d)] + ni[d]).clamp(-1.0, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Runs `total_fleet_steps` fleet steps (lockstep, or
+    /// double-buffered when [`VecTrainer::set_overlap`] is on — the
+    /// results are bit-identical): batched action selection → fleet
+    /// step → `N` replay pushes in ascending env order → one minibatch
+    /// update every `train_every` fleet steps after warmup → evaluation
+    /// every `eval_every` fleet steps.
     ///
     /// # Errors
     ///
@@ -264,63 +327,119 @@ impl<S: Scalar> VecTrainer<S> {
                 qat_switch_step = Some(global);
             }
 
-            // One batched actor pass for the whole fleet — the rollout
-            // hot path never touches a per-sample gemv. During warmup
-            // the policy rows are discarded in favour of uniform
-            // exploration, exactly like the scalar trainer (the pass
-            // still runs so QAT monitors observe from t = 1).
+            // Selection and stepping. Lockstep: one batched actor pass
+            // for the whole fleet, then one fleet step. Overlapped
+            // (double-buffered): the fleet splits into buffers A
+            // (slots 0..n/2) and B (the rest); A's actions are selected
+            // pool-parallel, then ONE fused scope runs B's selection on
+            // a worker while the host steps A's environments — the
+            // host/accelerator overlap of the paper's Fig. 9 — and the
+            // host finishes with B's step. Batched selection is
+            // row-exact however the fleet is split, every slot draws
+            // from its own streams, and QAT range monitors are
+            // order-independent, so both modes are bit-identical. In
+            // warmup the policy rows are discarded in favour of uniform
+            // exploration, exactly like the scalar trainer (the passes
+            // still run so QAT monitors observe from t = 1).
             let states = self.pool.observations().clone();
-            let policy = self.agent.select_actions_batch(&states)?;
-            for i in 0..n {
-                if local <= self.cfg.warmup_steps {
-                    for d in 0..action_dim {
-                        actions[(i, d)] = self.action_rngs[i].gen_range(-1.0..1.0);
-                    }
-                } else {
-                    let ni = self.noises[i].sample(&mut self.action_rngs[i]);
-                    for d in 0..action_dim {
-                        actions[(i, d)] = (policy[(i, d)] + ni[d]).clamp(-1.0, 1.0);
-                    }
+            let h = n / 2;
+            let mut segments: Vec<(FleetStep, usize)> = Vec::with_capacity(2);
+            if self.overlap && n >= 2 {
+                // Phase A: pool-parallel selection for buffer A.
+                let obs_a = states.row_range(0, h);
+                let obs_b = states.row_range(h, n);
+                let policy_a = self.agent.select_actions_batch(&obs_a)?;
+                let mut actions_a = Matrix::<f64>::zeros(h, action_dim);
+                self.fill_actions(local, 0, &policy_a, &mut actions_a);
+                // Phase B: buffer B's selection runs on a pool worker
+                // (sequentially there — nested kernels degrade) while
+                // this thread steps buffer A's environments; the fused
+                // scope's join is the phase barrier.
+                let par = self.agent.parallelism().clone();
+                let mut policy_b_slot: Option<Result<Matrix<f64>, RlError>> = None;
+                let mut fs_a_slot: Option<FleetStep> = None;
+                {
+                    let agent = &mut self.agent;
+                    let env_pool = &mut self.pool;
+                    let slot = &mut policy_b_slot;
+                    let obs_b = &obs_b;
+                    let actions_a = &actions_a;
+                    par.fused(|ks| {
+                        ks.submit(move || {
+                            *slot = Some(agent.select_actions_batch(obs_b));
+                        });
+                        // Host side of the overlap: env physics for A.
+                        fs_a_slot = Some(env_pool.step_range(0..h, actions_a));
+                    })
+                    .map_err(RlError::from)?;
                 }
+                let policy_b = policy_b_slot.expect("selection task joined")?;
+                // Phase C: exploration + stepping for buffer B.
+                let mut actions_b = Matrix::<f64>::zeros(n - h, action_dim);
+                self.fill_actions(local, h, &policy_b, &mut actions_b);
+                let fs_b = self.pool.step_range(h..n, &actions_b);
+                for r in 0..h {
+                    actions.row_mut(r).copy_from_slice(actions_a.row(r));
+                }
+                for r in 0..(n - h) {
+                    actions.row_mut(h + r).copy_from_slice(actions_b.row(r));
+                }
+                segments.push((fs_a_slot.expect("host stepped buffer A"), 0));
+                segments.push((fs_b, h));
+            } else {
+                let policy = self.agent.select_actions_batch(&states)?;
+                self.fill_actions(local, 0, &policy, &mut actions);
+                let fs = self.pool.step(&actions);
+                segments.push((fs, 0));
             }
 
-            let fs = self.pool.step(&actions);
-            // Replay insertion in ascending env index — part of the
-            // determinism contract, independent of pool scheduling.
-            for i in 0..n {
-                let slot = self.replay.push(Transition {
-                    state: states.row(i).to_vec(),
-                    action: actions.row(i).to_vec(),
-                    reward: fs.rewards[i],
-                    next_state: fs.next_observations.row(i).to_vec(),
-                    terminal: fs.terminated[i],
-                });
-                self.sampler.on_insert(slot);
-                if fs.terminated[i] || fs.truncated[i] {
-                    self.noises[i].reset();
+            // Commit barrier: replay insertion in ascending env index —
+            // by now every slot has stepped, so the insertion order is
+            // the lockstep order in both modes, independent of pool
+            // scheduling. Part of the determinism contract.
+            for (fs, base) in &segments {
+                for r in 0..fs.rewards.len() {
+                    let i = base + r;
+                    let slot = self.replay.push(Transition {
+                        state: states.row(i).to_vec(),
+                        action: actions.row(i).to_vec(),
+                        reward: fs.rewards[r],
+                        next_state: fs.next_observations.row(r).to_vec(),
+                        terminal: fs.terminated[r],
+                    });
+                    self.sampler.on_insert(slot);
+                    if fs.terminated[r] || fs.truncated[r] {
+                        self.noises[i].reset();
+                    }
                 }
+                episodes += fs.finished.len();
             }
-            episodes += fs.finished.len();
 
             if local > self.cfg.warmup_steps && local.is_multiple_of(self.train_every) {
-                // The SoA gather + strategy dispatch — exactly the
-                // scalar trainer's training step, so fleet-of-one
-                // equivalence holds under either replay strategy.
+                // The SoA gather into the held scratch + strategy
+                // dispatch — exactly the scalar trainer's training
+                // step, so fleet-of-one equivalence holds under either
+                // replay strategy, with no allocation after the first
+                // draw.
                 let par = self.agent.parallelism().clone();
                 let rng = if self.sampler.is_prioritized() {
                     &mut self.priority_rng
                 } else {
                     &mut self.replay_rng
                 };
-                if let Some(sampled) =
-                    self.sampler
-                        .sample(&self.replay, self.cfg.batch_size, rng, &par)
-                {
-                    let (metrics, tds) = self
-                        .agent
-                        .train_minibatch_weighted(&sampled.batch, sampled.weights.as_deref())?;
+                if self.sampler.sample_into(
+                    &self.replay,
+                    self.cfg.batch_size,
+                    rng,
+                    &par,
+                    &mut self.scratch,
+                ) {
+                    let (metrics, tds) = self.agent.train_minibatch_weighted(
+                        &self.scratch.batch,
+                        self.scratch.weights.as_deref(),
+                    )?;
                     final_metrics = metrics;
-                    self.sampler.update_priorities(&sampled.indices, &tds);
+                    self.sampler.update_priorities(&self.scratch.indices, &tds);
                 }
             }
 
@@ -476,6 +595,54 @@ mod tests {
             assert_eq!(t1.agent().actor(), t.agent().actor());
             assert_eq!(t1.replay().transitions(), t.replay().transitions());
         }
+    }
+
+    #[test]
+    fn overlapped_runs_are_bit_identical_to_lockstep() {
+        // The double-buffering acceptance criterion at the unit level:
+        // same seed, same fleet — overlapped and lockstep runs agree on
+        // reports, weights, and full replay contents, at even and odd
+        // fleet sizes and at several worker counts (including a fleet
+        // of one, where overlap degrades to lockstep).
+        for n in [1usize, 2, 3, 4] {
+            let cfg = DdpgConfig::small_test().with_seed(17);
+            let run = |overlap: bool, workers: usize| {
+                let mut t = pendulum_fleet(n, cfg);
+                t.set_overlap(overlap);
+                t.agent_mut()
+                    .set_parallelism(Parallelism::with_workers(workers));
+                let report = t.run(90, 90, 1).unwrap();
+                (report, t)
+            };
+            let (r_lock, t_lock) = run(false, 1);
+            for workers in [1usize, 2, 4] {
+                let (r_over, t_over) = run(true, workers);
+                assert!(t_over.overlap());
+                assert_eq!(r_lock, r_over, "fleet {n}, workers {workers}: reports");
+                assert_eq!(
+                    t_lock.agent().actor(),
+                    t_over.agent().actor(),
+                    "fleet {n}, workers {workers}: actor weights"
+                );
+                assert_eq!(
+                    t_lock.replay().transitions(),
+                    t_over.replay().transitions(),
+                    "fleet {n}, workers {workers}: replay contents"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_episode_accounting_matches_lockstep() {
+        // Auto-reset bookkeeping survives the half-fleet stepping:
+        // Pendulum truncates at 200, so 410 fleet steps complete 2
+        // episodes per slot in either mode.
+        let mut t = pendulum_fleet(3, DdpgConfig::small_test());
+        t.set_overlap(true);
+        let report = t.run(410, 410, 1).unwrap();
+        assert_eq!(report.train_episodes, 6);
+        assert_eq!(t.pool().episodes_completed(), &[2, 2, 2]);
     }
 
     #[test]

@@ -43,6 +43,20 @@
 //! count**, for every backend including saturating `Fx32`, independent
 //! of thread scheduling.
 //!
+//! The `*_par_in` forms ([`Matrix::gemv_batch_par_in`],
+//! [`Matrix::gemv_t_batch_par_in`], [`Matrix::add_outer_batch_par_in`],
+//! [`Matrix::matmul_par_in`], [`Matrix::gather_columns_par_in`]) extend
+//! the contract a final time: instead of opening a scope per kernel
+//! call, they enqueue their shards into a **caller-owned fused scope**
+//! ([`fixar_pool::Parallelism::fused`]), so several *independent*
+//! kernels — disjoint output regions, e.g. the twin TD3 critics' MVMs
+//! or a layer's gradient outer product alongside its error MVM — share
+//! one barrier join per phase. The shards are the same span loop nests,
+//! so fused output is bit-identical to per-kernel scopes and to
+//! sequential execution at every worker count.
+//!
+//! [`fixar_pool::Parallelism::fused`]: Parallelism::fused
+//!
 //! [`Scalar`]: fixar_fixed::Scalar
 
 #![forbid(unsafe_code)]
@@ -51,5 +65,5 @@
 mod matrix;
 pub mod vector;
 
-pub use fixar_pool::{Parallelism, PoolError, WorkerPool};
+pub use fixar_pool::{KernelScope, Parallelism, PoolError, WorkerPool};
 pub use matrix::{Matrix, ShapeError};

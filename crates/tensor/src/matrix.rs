@@ -3,9 +3,10 @@
 use core::fmt;
 use core::ops::{Index, IndexMut, Range};
 use std::error::Error;
+use std::sync::Arc;
 
 use fixar_fixed::Scalar;
-use fixar_pool::{split_ranges, Parallelism};
+use fixar_pool::{split_ranges, KernelScope, Parallelism};
 
 /// Error returned when operand shapes do not line up.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -419,6 +420,46 @@ impl<S: Scalar> Matrix<S> {
         Ok(y)
     }
 
+    /// [`Matrix::gemv_batch`] submitted into a **caller-owned fused
+    /// scope** instead of opening its own: the shards enqueue through
+    /// `ks` and join together with every other kernel fused into the
+    /// same [`fixar_pool::Parallelism::fused`] call — one barrier for
+    /// the whole phase instead of one per kernel. On the sequential
+    /// degradation (no pool, or nested on a pool thread) the shards run
+    /// inline, bit-identically.
+    ///
+    /// The result is only complete once the owning fused scope joins;
+    /// `y` must stay borrowed until then (the `'scope` bound enforces
+    /// it). Outputs of distinct kernels fused into one scope must be
+    /// disjoint — that is the caller's contract, exactly as for shards
+    /// of a single kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::gemv_batch`], checked on the
+    /// calling thread before anything enqueues.
+    pub fn gemv_batch_par_in<'scope>(
+        &'scope self,
+        a: &'scope Matrix<S>,
+        y: &'scope mut Matrix<S>,
+        ks: &KernelScope<'_, '_, 'scope>,
+    ) -> Result<(), ShapeError> {
+        self.check_gemv_batch(a, y)?;
+        let out_dim = self.rows;
+        // The transpose is shared by every shard and must survive until
+        // the fused scope joins, which outlives this call — hence Arc.
+        let wt = Arc::new(self.transposed());
+        let shards = ks.shards(a.rows);
+        let mut rest = y.data.as_mut_slice();
+        for range in split_ranges(a.rows, shards) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * out_dim);
+            rest = tail;
+            let wt = Arc::clone(&wt);
+            ks.submit(move || gemv_batch_span(&wt, a, range, chunk));
+        }
+        Ok(())
+    }
+
     /// Batched transposed product `Y[b] = Wᵀ·E[b]` (back-propagation of a
     /// whole minibatch of error rows): `e` is `(batch, rows)`, `y` is
     /// `(batch, cols)`.
@@ -523,6 +564,34 @@ impl<S: Scalar> Matrix<S> {
         Ok(y)
     }
 
+    /// [`Matrix::gemv_t_batch`] submitted into a caller-owned fused
+    /// scope (see [`Matrix::gemv_batch_par_in`] for the fused-scope
+    /// contract): shards enqueue through `ks`, the join belongs to the
+    /// owning [`fixar_pool::Parallelism::fused`] call, and the
+    /// sequential degradation runs inline, bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::gemv_t_batch`], checked
+    /// before anything enqueues.
+    pub fn gemv_t_batch_par_in<'scope>(
+        &'scope self,
+        e: &'scope Matrix<S>,
+        y: &'scope mut Matrix<S>,
+        ks: &KernelScope<'_, '_, 'scope>,
+    ) -> Result<(), ShapeError> {
+        self.check_gemv_t_batch(e, y)?;
+        let cols = self.cols;
+        let shards = ks.shards(e.rows);
+        let mut rest = y.data.as_mut_slice();
+        for range in split_ranges(e.rows, shards) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+            rest = tail;
+            ks.submit(move || gemv_t_batch_span(self, e, range, chunk));
+        }
+        Ok(())
+    }
+
     /// Batched rank-1 gradient accumulation
     /// `W += Σ_b E[b] ⊗ A[b]`, summed **in row (sample) order** — the
     /// documented batch-reduction order of the gradient memory. Bit-exact
@@ -606,6 +675,37 @@ impl<S: Scalar> Matrix<S> {
         Ok(())
     }
 
+    /// [`Matrix::add_outer_batch`] submitted into a caller-owned fused
+    /// scope (see [`Matrix::gemv_batch_par_in`]): the *weight rows*
+    /// shard through `ks` — each shard walking the whole batch in
+    /// ascending sample order, the sequential chain — and join with the
+    /// owning [`fixar_pool::Parallelism::fused`] call. This is the form
+    /// the fused layer backward uses to run gradient accumulation and
+    /// error propagation under a single join.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::add_outer_batch`], checked
+    /// before anything enqueues.
+    pub fn add_outer_batch_par_in<'scope>(
+        &'scope mut self,
+        e: &'scope Matrix<S>,
+        a: &'scope Matrix<S>,
+        ks: &KernelScope<'_, '_, 'scope>,
+    ) -> Result<(), ShapeError> {
+        self.check_add_outer_batch(e, a)?;
+        let cols = self.cols;
+        let rows = self.rows;
+        let shards = ks.shards(rows);
+        let mut rest = self.data.as_mut_slice();
+        for range in split_ranges(rows, shards) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+            rest = tail;
+            ks.submit(move || add_outer_batch_span(e, a, range, cols, chunk));
+        }
+        Ok(())
+    }
+
     /// General matrix-matrix product `C = self · rhs` with the crate's
     /// reduction contract: every output element accumulates its products
     /// over the shared dimension `k` in ascending order, each product
@@ -667,6 +767,47 @@ impl<S: Scalar> Matrix<S> {
         })
         .unwrap_or_else(|err| panic!("matmul_par worker panicked: {err}"));
         Ok(out)
+    }
+
+    /// [`Matrix::matmul`] submitted into a caller-owned fused scope
+    /// (see [`Matrix::gemv_batch_par_in`]), writing into a caller-owned
+    /// `out` — the output must outlive the scope, so the allocating
+    /// form cannot be fused. `out` must be `(rows, rhs.cols)`; its
+    /// previous contents are overwritten (each shard zeroes its region
+    /// before accumulating).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `rhs.rows() == cols` and `out` is
+    /// `(rows, rhs.cols)`.
+    pub fn matmul_par_in<'scope>(
+        &'scope self,
+        rhs: &'scope Matrix<S>,
+        out: &'scope mut Matrix<S>,
+        ks: &KernelScope<'_, '_, 'scope>,
+    ) -> Result<(), ShapeError> {
+        self.check_matmul(rhs)?;
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(ShapeError::new(
+                "matmul_par_in output",
+                (self.rows, rhs.cols),
+                out.shape(),
+            ));
+        }
+        let out_cols = rhs.cols;
+        let shards = ks.shards(self.rows);
+        let mut rest = out.data.as_mut_slice();
+        for range in split_ranges(self.rows, shards) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * out_cols);
+            rest = tail;
+            ks.submit(move || {
+                for v in chunk.iter_mut() {
+                    *v = S::zero();
+                }
+                matmul_span(self, rhs, range, chunk);
+            });
+        }
+        Ok(())
     }
 
     /// Adds `bias` to every row (the batched bias broadcast of the
@@ -834,6 +975,99 @@ impl<S: Scalar> Matrix<S> {
         Ok(out)
     }
 
+    /// [`Matrix::gather_columns`] into a caller-owned output matrix —
+    /// the allocation-free sampling path: `out` is reshaped in place to
+    /// `(indices.len(), cols)` (reusing its storage once grown, see
+    /// [`Matrix::reset_shape`]) and filled by the same gather span as
+    /// the allocating form, so the bytes are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same index condition as [`Matrix::gather_columns`].
+    pub fn gather_columns_into(
+        &self,
+        indices: &[usize],
+        out: &mut Matrix<S>,
+    ) -> Result<(), ShapeError> {
+        self.check_gather_columns(indices)?;
+        out.reset_shape(indices.len(), self.cols);
+        gather_columns_span(self, indices, &mut out.data);
+        Ok(())
+    }
+
+    /// Pool-parallel [`Matrix::gather_columns_into`]: the reshape and
+    /// shard layout happen on the calling thread, the disjoint output
+    /// shards fill on the pool — bit-identical to the sequential form
+    /// at every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same index condition as [`Matrix::gather_columns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics (a kernel bug).
+    pub fn gather_columns_par_into(
+        &self,
+        indices: &[usize],
+        par: &Parallelism,
+        out: &mut Matrix<S>,
+    ) -> Result<(), ShapeError> {
+        let shards = par.shards(indices.len());
+        if shards <= 1 {
+            return self.gather_columns_into(indices, out);
+        }
+        self.check_gather_columns(indices)?;
+        out.reset_shape(indices.len(), self.cols);
+        let cols = self.cols;
+        let pool = par.pool().expect("shards > 1 implies a pool");
+        pool.scope(|scope| {
+            let mut rest = out.data.as_mut_slice();
+            for range in split_ranges(indices.len(), shards) {
+                let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+                rest = tail;
+                let idx = &indices[range];
+                scope.execute(move || gather_columns_span(self, idx, chunk));
+            }
+        })
+        .unwrap_or_else(|err| panic!("gather_columns_par_into worker panicked: {err}"));
+        Ok(())
+    }
+
+    /// [`Matrix::gather_columns`] submitted into a caller-owned fused
+    /// scope (see [`Matrix::gemv_batch_par_in`]), writing into a
+    /// caller-owned, **pre-shaped** `(indices.len(), cols)` output.
+    ///
+    /// # Errors
+    ///
+    /// Same index condition as [`Matrix::gather_columns`], plus a shape
+    /// check on `out`.
+    pub fn gather_columns_par_in<'scope>(
+        &'scope self,
+        indices: &'scope [usize],
+        out: &'scope mut Matrix<S>,
+        ks: &KernelScope<'_, '_, 'scope>,
+    ) -> Result<(), ShapeError> {
+        self.check_gather_columns(indices)?;
+        if out.shape() != (indices.len(), self.cols) {
+            return Err(ShapeError::new(
+                "gather_columns_par_in output",
+                (indices.len(), self.cols),
+                out.shape(),
+            ));
+        }
+        let cols = self.cols;
+        let shards = ks.shards(indices.len());
+        let mut rest = out.data.as_mut_slice();
+        for range in split_ranges(indices.len(), shards) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+            rest = tail;
+            let idx = &indices[range];
+            ks.submit(move || gather_columns_span(self, idx, chunk));
+        }
+        Ok(())
+    }
+
     /// Builds a `(rows.len(), cols)` batch matrix from row slices drawn
     /// through `f` (e.g. replay transitions to a state batch).
     ///
@@ -873,6 +1107,37 @@ impl<S: Scalar> Matrix<S> {
             *a += b * scale;
         }
         Ok(())
+    }
+
+    /// Reshapes in place to `(rows, cols)`, reusing the existing
+    /// allocation whenever its capacity suffices — the scratch-reuse
+    /// primitive behind the allocation-free replay sampling path
+    /// ([`Matrix::gather_columns_into`]). After the first call at a
+    /// given size, subsequent calls never allocate. The retained
+    /// elements keep **stale values** (only growth is zero-filled):
+    /// this is for callers that overwrite every element, like the
+    /// gather scratch path — zeroing first would double the memory
+    /// writes of the hot sampling loop for nothing.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, S::zero());
+    }
+
+    /// Copies a contiguous row range into a new `(hi - lo, cols)`
+    /// matrix — the row twin of [`Matrix::columns`], used to split a
+    /// fleet observation batch into double-buffered halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= hi <= rows`.
+    pub fn row_range(&self, lo: usize, hi: usize) -> Matrix<S> {
+        assert!(lo <= hi && hi <= self.rows, "row range out of bounds");
+        Matrix {
+            rows: hi - lo,
+            cols: self.cols,
+            data: self.data[lo * self.cols..hi * self.cols].to_vec(),
+        }
     }
 
     /// Sets every element to zero (gradient reset between batches).
@@ -1386,6 +1651,150 @@ mod tests {
                 "workers {workers}"
             );
         }
+    }
+
+    #[test]
+    fn fused_scope_kernels_bit_exact_with_sequential_across_worker_counts() {
+        // The tentpole contract at the tensor level: all five `_par_in`
+        // kernels fused into ONE scope (single join) produce exactly
+        // the bytes of their sequential forms, in saturating Fx32, at
+        // every worker count including over-subscription.
+        let (w, a) = fx32_case(7, 9, 13);
+        let e = Matrix::<f64>::from_fn(13, 7, |b, i| ((b * 5 + i * 3) % 17) as f64 * 0.23 - 1.8)
+            .cast::<Fx32>();
+        let panel =
+            Matrix::<f64>::from_fn(17, 5, |r, c| (r as f64 - c as f64) * 0.31).cast::<Fx32>();
+        let indices: Vec<usize> = (0..13).map(|k| (k * 7 + 3) % 17).collect();
+
+        let y_seq = w.gemv_batch_alloc(&a).unwrap();
+        let yt_seq = w.gemv_t_batch_alloc(&e).unwrap();
+        let mut g_seq = Matrix::<Fx32>::zeros(7, 9);
+        g_seq.add_outer_batch(&e, &a).unwrap();
+        let m_seq = a.matmul(&w.transposed()).unwrap();
+        let gather_seq = panel.gather_columns(&indices).unwrap();
+
+        for workers in [1usize, 2, 3, 8] {
+            let par = Parallelism::with_workers(workers);
+            let mut y = Matrix::<Fx32>::zeros(13, 7);
+            let mut yt = Matrix::<Fx32>::zeros(13, 9);
+            let mut g = Matrix::<Fx32>::zeros(7, 9);
+            let mut m = Matrix::<Fx32>::zeros(13, 7);
+            let mut gathered = Matrix::<Fx32>::zeros(13, 5);
+            let wt = w.transposed();
+            par.fused(|ks| -> Result<(), ShapeError> {
+                w.gemv_batch_par_in(&a, &mut y, ks)?;
+                w.gemv_t_batch_par_in(&e, &mut yt, ks)?;
+                g.add_outer_batch_par_in(&e, &a, ks)?;
+                a.matmul_par_in(&wt, &mut m, ks)?;
+                panel.gather_columns_par_in(&indices, &mut gathered, ks)?;
+                Ok(())
+            })
+            .unwrap()
+            .unwrap();
+            assert_eq!(y, y_seq, "workers {workers}: gemv_batch");
+            assert_eq!(yt, yt_seq, "workers {workers}: gemv_t_batch");
+            assert_eq!(g, g_seq, "workers {workers}: add_outer_batch");
+            assert_eq!(m, m_seq, "workers {workers}: matmul");
+            assert_eq!(gathered, gather_seq, "workers {workers}: gather");
+        }
+    }
+
+    #[test]
+    fn fused_scope_kernels_degrade_on_pool_threads() {
+        // A `_par_in` kernel invoked from inside a pool task must run
+        // its sequential form inline instead of deadlocking on a
+        // nested scope — the satellite's degradation contract.
+        let (w, a) = fx32_case(5, 7, 6);
+        let y_seq = w.gemv_batch_alloc(&a).unwrap();
+        let par = Parallelism::with_workers(2);
+        let mut y = Matrix::<Fx32>::zeros(6, 5);
+        par.fused(|outer| {
+            let par = &par;
+            let w = &w;
+            let a = &a;
+            let y = &mut y;
+            outer.submit(move || {
+                // On a pool thread: the nested fused scope is the
+                // sequential degradation, submissions run inline.
+                par.fused(|ks| {
+                    assert!(!ks.is_pooled());
+                    w.gemv_batch_par_in(a, y, ks).unwrap();
+                })
+                .unwrap();
+            });
+        })
+        .unwrap();
+        assert_eq!(y, y_seq);
+    }
+
+    #[test]
+    fn fused_scope_kernels_validate_shapes_before_enqueueing() {
+        // Operands live outside the scope (the `'scope` bound requires
+        // it); every malformed call errors on the calling thread before
+        // anything enqueues.
+        let (w, a) = fx32_case(4, 6, 5);
+        let par = Parallelism::with_workers(2);
+        let bad = Matrix::<Fx32>::zeros(5, 4);
+        let mut y1 = Matrix::<Fx32>::zeros(5, 4);
+        let mut y2 = Matrix::<Fx32>::zeros(5, 4);
+        let mut g = Matrix::<Fx32>::zeros(4, 6);
+        let e3 = Matrix::<Fx32>::zeros(3, 4);
+        let wt = w.transposed();
+        let mut wrong_out = Matrix::<Fx32>::zeros(2, 2);
+        let mut small = Matrix::<Fx32>::zeros(1, 6);
+        par.fused(|ks| {
+            assert!(w.gemv_batch_par_in(&bad, &mut y1, ks).is_err());
+            assert!(w.gemv_t_batch_par_in(&a, &mut y2, ks).is_err());
+            assert!(g.add_outer_batch_par_in(&e3, &a, ks).is_err());
+            // matmul_par_in also validates the out shape.
+            assert!(a.matmul_par_in(&wt, &mut wrong_out, ks).is_err());
+            assert!(w.gather_columns_par_in(&[0, 1], &mut small, ks).is_err());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn gather_columns_into_reuses_storage_and_matches_alloc_form() {
+        let panel = Matrix::<f64>::from_fn(11, 4, |r, c| (r * 4 + c) as f64).cast::<Fx32>();
+        let idx_a: Vec<usize> = (0..9).map(|k| (k * 3 + 1) % 11).collect();
+        let idx_b: Vec<usize> = (0..6).map(|k| (k * 5) % 11).collect();
+        let mut out = Matrix::<Fx32>::zeros(0, 0);
+        panel.gather_columns_into(&idx_a, &mut out).unwrap();
+        assert_eq!(out, panel.gather_columns(&idx_a).unwrap());
+        let ptr = out.as_slice().as_ptr();
+        // Smaller gather into the same scratch: no reallocation.
+        panel.gather_columns_into(&idx_b, &mut out).unwrap();
+        assert_eq!(out, panel.gather_columns(&idx_b).unwrap());
+        assert_eq!(out.as_slice().as_ptr(), ptr, "scratch must be reused");
+        // Pool-parallel into-form agrees at every worker count.
+        for workers in [1usize, 2, 8] {
+            let par = Parallelism::with_workers(workers);
+            panel
+                .gather_columns_par_into(&idx_a, &par, &mut out)
+                .unwrap();
+            assert_eq!(out, panel.gather_columns(&idx_a).unwrap());
+        }
+        assert!(panel.gather_columns_into(&[99], &mut out).is_err());
+    }
+
+    #[test]
+    fn reset_shape_and_row_range() {
+        let mut m = Matrix::<f64>::from_fn(3, 4, |r, c| (r * 4 + c) as f64);
+        let mid = m.row_range(1, 3);
+        assert_eq!(mid.shape(), (2, 4));
+        assert_eq!(mid.row(0), m.row(1));
+        assert_eq!(mid.row(1), m.row(2));
+        assert_eq!(m.row_range(2, 2).shape(), (0, 4));
+
+        m.reset_shape(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        let ptr = m.as_slice().as_ptr();
+        m.reset_shape(1, 2);
+        assert_eq!(m.as_slice().as_ptr(), ptr, "shrinking reuses storage");
+        // Growth past the original capacity zero-fills the new tail.
+        let mut fresh = Matrix::<f64>::zeros(0, 0);
+        fresh.reset_shape(2, 2);
+        assert_eq!(fresh.max_abs(), 0.0);
     }
 
     #[test]

@@ -304,7 +304,7 @@ fn uniform_sampler_shares_the_buffer_draw_path() {
     for i in 0..40 {
         buf.push(synthetic(i, 4, 2));
     }
-    let sampler = ReplaySampler::new(ReplayStrategy::Uniform, 40);
+    let mut sampler = ReplaySampler::new(ReplayStrategy::Uniform, 40);
     let par = Parallelism::with_workers(2);
     let mut r1 = StdRng::seed_from_u64(31);
     let mut r2 = r1.clone();

@@ -1,0 +1,220 @@
+//! Scheduling-model suite: the contracts that make phase-scoped
+//! heterogeneous scheduling and double-buffered serving safe to use as
+//! the hot paths.
+//!
+//! Three pillars, mirroring `tests/fleet_props.rs`:
+//!
+//! 1. **Fused ≡ sequential** — the fused-scope training updates (TD3's
+//!    twin critics under single-join scopes, DDPG's fused target/critic
+//!    forwards, the per-layer fused backward everywhere) are
+//!    bit-identical to the per-sample sequential reference, down to raw
+//!    `Fx32` weights, at workers {1, 2, 8}.
+//! 2. **Overlapped ≡ lockstep** — a double-buffered `VecTrainer` run
+//!    (two observation buffers, the pool inferring one half while the
+//!    host steps the other) reproduces the lockstep run bit-for-bit:
+//!    reports, raw weights, replay contents — at every fleet size and
+//!    worker count, with and without QAT, and a fleet of one stays
+//!    locked to the scalar `Trainer`.
+//! 3. **Model/software agreement** — the accelerator's fused-schedule
+//!    accounting runs exactly the summed MAC work of the passes it
+//!    fuses, mirroring the software contract that fusing never changes
+//!    arithmetic.
+
+use fixar_accel::BatchedInferenceSchedule;
+use fixar_env::{EnvKind, EnvPool};
+use fixar_nn::forward_batch_fused;
+use fixar_pool::Parallelism;
+use fixar_repro::prelude::*;
+use fixar_rl::{Td3, Td3Config, Transition, TransitionBatch, VecTrainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn toy_batch(seed: u64, n: usize) -> Vec<Transition> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Every state component drawn independently: a column-indexing bug
+    // in the fused kernels must change bytes, not alias identical ones.
+    (0..n)
+        .map(|_| Transition {
+            state: (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            action: vec![rng.gen_range(-1.0..1.0)],
+            reward: rng.gen_range(-1.0..1.0),
+            next_state: (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            terminal: rng.gen_bool(0.1),
+        })
+        .collect()
+}
+
+/// Pillar 1, TD3 (the acceptance criterion): the fused twin-critic
+/// minibatch step — fused target forwards, fused regression forwards,
+/// fused twin backward — equals the per-sample sequential reference
+/// bit-for-bit at workers {1, 2, 8}, across enough updates to fire the
+/// delayed actor update twice.
+#[test]
+fn fused_td3_twin_critic_step_is_bit_exact_at_workers_1_2_8() {
+    let data = toy_batch(3, 20);
+    let refs: Vec<&Transition> = data.iter().collect();
+    let batch = TransitionBatch::from_transitions(&refs).unwrap();
+
+    let mut reference = Td3::<Fx32>::new(3, 1, Td3Config::small_test()).unwrap();
+    let mut fused: Vec<Td3<Fx32>> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            let mut agent = reference.clone();
+            agent.set_parallelism(Parallelism::with_workers(w));
+            agent
+        })
+        .collect();
+    for step in 0..4 {
+        let m_ref = reference.train_batch(&refs).unwrap();
+        for agent in fused.iter_mut() {
+            let m = agent.train_minibatch(&batch).unwrap();
+            assert_eq!(m_ref, m, "metrics diverged at step {step}");
+        }
+    }
+    for agent in &fused {
+        assert_eq!(reference.actor(), agent.actor(), "actor weights");
+        assert_eq!(reference.critics(), agent.critics(), "twin critic weights");
+    }
+}
+
+/// Pillar 1, DDPG: the fused target-actor/online-critic forward phase
+/// keeps `train_minibatch` bit-identical to the per-sample reference at
+/// workers {1, 2, 8}.
+#[test]
+fn fused_ddpg_step_is_bit_exact_at_workers_1_2_8() {
+    let data = toy_batch(5, 24);
+    let refs: Vec<&Transition> = data.iter().collect();
+    let batch = TransitionBatch::from_transitions(&refs).unwrap();
+
+    let mut reference = Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test()).unwrap();
+    let mut fused: Vec<Ddpg<Fx32>> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            let mut agent = reference.clone();
+            agent.set_parallelism(Parallelism::with_workers(w));
+            agent
+        })
+        .collect();
+    for step in 0..4 {
+        let m_ref = reference.train_batch(&refs).unwrap();
+        for agent in fused.iter_mut() {
+            let m = agent.train_minibatch(&batch).unwrap();
+            assert_eq!(m_ref, m, "metrics diverged at step {step}");
+        }
+    }
+    for agent in &fused {
+        assert_eq!(reference.actor(), agent.actor());
+        assert_eq!(reference.critic(), agent.critic());
+    }
+}
+
+fn fleet_trainer(n: usize, cfg: DdpgConfig, overlap: bool, workers: usize) -> VecTrainer<Fx32> {
+    let mut t = VecTrainer::new(
+        EnvPool::from_kind(EnvKind::Pendulum, n, cfg.seed),
+        EnvKind::Pendulum.make(cfg.seed.wrapping_add(1)),
+        cfg,
+    )
+    .unwrap();
+    t.set_overlap(overlap);
+    t.agent_mut()
+        .set_parallelism(Parallelism::with_workers(workers));
+    t
+}
+
+/// Pillar 2 (the acceptance criterion): overlapped runs equal lockstep
+/// runs bit-for-bit — reports, raw Fx32 weights, replay contents in
+/// order — at fleet sizes {1, 3, 4} (odd sizes exercise the ragged
+/// split) × workers {1, 2, 8}.
+#[test]
+fn overlapped_vec_trainer_is_bit_identical_to_lockstep_at_workers_1_2_8() {
+    for n in [1usize, 3, 4] {
+        let cfg = DdpgConfig::small_test().with_seed(29);
+        let mut lock = fleet_trainer(n, cfg, false, 1);
+        let r_lock = lock.run(90, 45, 1).unwrap();
+        for workers in [1usize, 2, 8] {
+            let mut over = fleet_trainer(n, cfg, true, workers);
+            let r_over = over.run(90, 45, 1).unwrap();
+            assert_eq!(r_lock, r_over, "fleet {n}, workers {workers}: reports");
+            assert_eq!(
+                lock.agent().actor(),
+                over.agent().actor(),
+                "fleet {n}, workers {workers}: actor weights"
+            );
+            assert_eq!(
+                lock.agent().critic(),
+                over.agent().critic(),
+                "fleet {n}, workers {workers}: critic weights"
+            );
+            assert_eq!(
+                lock.replay().transitions(),
+                over.replay().transitions(),
+                "fleet {n}, workers {workers}: replay order/content"
+            );
+        }
+    }
+}
+
+/// Pillar 2 under the QAT schedule: calibration (order-independent
+/// range monitors over split observation buffers), the freeze switch,
+/// and quantized training all agree between the two modes.
+#[test]
+fn overlapped_vec_trainer_matches_lockstep_under_qat() {
+    let cfg = DdpgConfig::small_test().with_seed(7).with_qat(80, 16);
+    let mut lock = fleet_trainer(4, cfg, false, 1);
+    let mut over = fleet_trainer(4, cfg, true, 2);
+    let a = lock.run(160, 80, 1).unwrap();
+    let b = over.run(160, 80, 1).unwrap();
+    assert_eq!(a.qat_switch_step, Some(320), "schedule must fire");
+    assert_eq!(a, b, "QAT training reports");
+    assert!(lock.agent().qat_frozen() && over.agent().qat_frozen());
+    assert_eq!(lock.agent().actor(), over.agent().actor());
+    assert_eq!(lock.replay().transitions(), over.replay().transitions());
+}
+
+/// Pillar 2's anchor: an overlapped fleet of one still reproduces the
+/// scalar `Trainer` bit-for-bit (overlap degrades to lockstep below
+/// two slots, so the whole fleet-of-one contract carries over).
+#[test]
+fn overlapped_fleet_of_one_reproduces_scalar_trainer() {
+    let cfg = DdpgConfig::small_test().with_seed(13);
+    let mut scalar = Trainer::<Fx32>::new(
+        EnvKind::Pendulum.make(cfg.seed),
+        EnvKind::Pendulum.make(cfg.seed.wrapping_add(1)),
+        cfg,
+    )
+    .unwrap();
+    let mut fleet = fleet_trainer(1, cfg, true, 2);
+    let a = scalar.run(230, 115, 1).unwrap();
+    let b = fleet.run(230, 115, 1).unwrap();
+    assert_eq!(a, b, "training reports");
+    assert_eq!(scalar.agent().actor(), fleet.agent().actor());
+    assert_eq!(scalar.replay().transitions(), fleet.replay().transitions());
+}
+
+/// Pillar 3: the accelerator's fused-schedule accounting and the
+/// software fused forward agree — same MAC work as the separate
+/// passes, outputs unchanged, strictly fewer cycles than back-to-back
+/// schedules.
+#[test]
+fn fused_schedule_accounting_agrees_with_software_fused_forward() {
+    let td3 = Td3::<Fx32>::new(3, 1, Td3Config::small_test()).unwrap();
+    let (c1, c2) = td3.critics();
+    let x = fixar_tensor::Matrix::<f64>::from_fn(16, 4, |b, i| {
+        ((b * 5 + i * 3) % 13) as f64 * 0.21 - 1.2
+    })
+    .cast::<Fx32>();
+    let par = Parallelism::with_workers(2);
+    // Software: fused twin forward ≡ separate forwards.
+    let fused = forward_batch_fused(&[c1, c2], &[&x, &x], &par).unwrap();
+    assert_eq!(fused[0], c1.forward_batch(&x).unwrap());
+    assert_eq!(fused[1], c2.forward_batch(&x).unwrap());
+    // Structural model: fused schedule = summed MACs, fewer cycles.
+    let acc = AccelConfig::default();
+    let sizes: Vec<usize> = c1.layer_sizes().to_vec();
+    let solo = BatchedInferenceSchedule::for_mlp(&acc, &sizes, 16, Precision::Full32);
+    let twin =
+        BatchedInferenceSchedule::for_mlps_fused(&acc, &[&sizes, &sizes], 16, Precision::Full32);
+    assert_eq!(twin.macs, 2 * solo.macs, "fused work is the sum");
+    assert!(twin.cycles < 2 * solo.cycles, "fused joins cost less");
+    assert!(twin.utilization() > solo.utilization());
+}
