@@ -747,6 +747,37 @@ mod tests {
     }
 
     #[test]
+    fn single_and_batched_inference_schedules_agree_at_batch_1() {
+        // On a single core the two dataflows collapse to the same tile
+        // walk: intra-layer parallelism has one lane to spread over and
+        // intra-batch parallelism has one sample — identical cycles,
+        // ideal cycles, and MACs.
+        let one_core = AccelConfig {
+            n_cores: 1,
+            ..AccelConfig::default()
+        };
+        for precision in [Precision::Full32, Precision::Half16] {
+            let single = InferenceSchedule::for_mlp(&one_core, &ACTOR, precision);
+            let batched = BatchedInferenceSchedule::for_mlp(&one_core, &ACTOR, 1, precision);
+            assert_eq!(single.cycles, batched.cycles, "{precision:?} cycles");
+            assert!((single.ideal_cycles - batched.ideal_cycles).abs() < 1e-12);
+            assert_eq!(single.macs, batched.macs);
+        }
+        // At multiple cores the MAC work and ideal cycles still agree,
+        // and intra-layer parallelism is the better (never worse) way to
+        // serve one lone vector — which is exactly why the serving
+        // batcher wants real micro-batches.
+        let cfg = AccelConfig::default();
+        for precision in [Precision::Full32, Precision::Half16] {
+            let single = InferenceSchedule::for_mlp(&cfg, &ACTOR, precision);
+            let batched = BatchedInferenceSchedule::for_mlp(&cfg, &ACTOR, 1, precision);
+            assert_eq!(single.macs, batched.macs);
+            assert!((single.ideal_cycles - batched.ideal_cycles).abs() < 1e-12);
+            assert!(single.cycles <= batched.cycles);
+        }
+    }
+
+    #[test]
     fn batched_schedule_reaches_paper_utilization_regime() {
         // Fig. 10 / §VI-C: 92.4% PE utilization at large batch — the
         // batched dataflow gets into that regime.

@@ -45,6 +45,7 @@ mod pe;
 mod power;
 mod prng;
 mod resource;
+mod serving;
 
 pub use accelerator::{AccelConfig, FixarAccelerator, TimestepCycles};
 pub use adam_unit::AdamUnit;
@@ -59,3 +60,4 @@ pub use pe::{ConfigurablePe, PeMode};
 pub use power::PowerModel;
 pub use prng::{IrwinHallGaussian, Lfsr32};
 pub use resource::{ResourceModel, ResourceUsage, U50_BUDGET};
+pub use serving::MicroBatchServing;

@@ -1,0 +1,268 @@
+//! Cycle model of the deadline micro-batch serving pipeline.
+//!
+//! `fixar-serve` coalesces concurrent requests into micro-batches
+//! (flush on `max_batch` or `max_delay`, whichever first). This module
+//! answers the hardware-side question: **given an offered load, what
+//! micro-batch size does the batcher settle into, and what does that do
+//! to PE utilization, throughput, and latency?**
+//!
+//! The model is a deterministic steady-state fixed point. With
+//! per-shard inter-arrival time `a` (cycles) and batched inference cost
+//! `infer(b)` from [`BatchedInferenceSchedule`], the batch that forms
+//! while the previous one is being served — plus whatever the deadline
+//! window admits — is
+//!
+//! ```text
+//! b' = min(max_batch, max(1, ⌊infer(b)/a⌋ + ⌊deadline/a⌋ + 1))
+//! ```
+//!
+//! iterated to its least fixed point. Light load with a zero deadline
+//! settles at `b* = 1` (every request served alone, lowest latency,
+//! worst PE occupancy); raising either the load or the deadline grows
+//! `b*` and with it utilization — the Fig. 8 story (wider effective
+//! parallelism at larger batch) applied to the request path rather than
+//! the training loop.
+
+use crate::accelerator::AccelConfig;
+use crate::dataflow::{BatchedInferenceSchedule, Precision};
+
+/// Steady-state model of one serving shard under deadline
+/// micro-batching.
+///
+/// # Example
+///
+/// ```
+/// use fixar_accel::{AccelConfig, MicroBatchServing, Precision};
+///
+/// let cfg = AccelConfig::default();
+/// let sizes = [17, 400, 300, 6]; // HalfCheetah actor
+/// // Light load (one request per 100k cycles), no deadline: requests
+/// // are served alone.
+/// let light = MicroBatchServing::for_actor(&cfg, &sizes, Precision::Half16, 64, 0, 100_000, 1);
+/// assert_eq!(light.steady_batch, 1);
+/// // Heavy load (one request per 50 cycles): the batcher coalesces,
+/// // PE occupancy and throughput rise.
+/// let heavy = MicroBatchServing::for_actor(&cfg, &sizes, Precision::Half16, 64, 0, 50, 1);
+/// assert!(heavy.steady_batch > light.steady_batch);
+/// assert!(heavy.utilization() > light.utilization());
+/// assert!(heavy.actions_per_sec(&cfg) > light.actions_per_sec(&cfg));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroBatchServing {
+    /// Batch-size cap of the batcher (`ServeConfig::max_batch`).
+    pub max_batch: usize,
+    /// Deadline window in cycles (`ServeConfig::max_delay` × clock).
+    pub deadline_cycles: u64,
+    /// Mean inter-arrival time of requests **at this shard**, in
+    /// cycles (the front-door inter-arrival × shard count, since
+    /// routing is round-robin).
+    pub shard_arrival_cycles: u64,
+    /// Shards the front door round-robins over.
+    pub shards: usize,
+    /// The micro-batch size the shard settles into.
+    pub steady_batch: usize,
+    /// Inference cycles for one steady-state micro-batch.
+    pub infer_cycles: u64,
+    /// Cycles between consecutive batch completions: `infer_cycles`
+    /// when compute-bound, `steady_batch × shard_arrival_cycles` when
+    /// arrival-bound.
+    pub inter_departure_cycles: u64,
+    /// Arithmetic precision the shard serves at.
+    pub precision: Precision,
+    schedule: BatchedInferenceSchedule,
+}
+
+impl MicroBatchServing {
+    /// Solves the steady state for one shard serving an actor given by
+    /// its layer widths. `arrival_cycles` is the mean inter-arrival
+    /// time of requests at the **front door** (all shards combined);
+    /// zero is clamped to one cycle.
+    pub fn for_actor(
+        cfg: &AccelConfig,
+        sizes: &[usize],
+        precision: Precision,
+        max_batch: usize,
+        deadline_cycles: u64,
+        arrival_cycles: u64,
+        shards: usize,
+    ) -> Self {
+        let max_batch = max_batch.max(1);
+        let shards = shards.max(1);
+        let a = (arrival_cycles.max(1)).saturating_mul(shards as u64);
+        let infer = |b: usize| BatchedInferenceSchedule::for_mlp(cfg, sizes, b, precision).cycles;
+        // Least fixed point of the (monotone, bounded) batch recurrence.
+        let mut b = 1usize;
+        for _ in 0..64 {
+            let next =
+                (1 + (infer(b) / a) as usize + (deadline_cycles / a) as usize).min(max_batch);
+            if next <= b {
+                break;
+            }
+            b = next;
+        }
+        let schedule = BatchedInferenceSchedule::for_mlp(cfg, sizes, b, precision);
+        let infer_cycles = schedule.cycles;
+        Self {
+            max_batch,
+            deadline_cycles,
+            shard_arrival_cycles: a,
+            shards,
+            steady_batch: b,
+            infer_cycles,
+            inter_departure_cycles: infer_cycles.max(b as u64 * a),
+            precision,
+            schedule,
+        }
+    }
+
+    /// `true` when the shard cannot keep up even at `max_batch`:
+    /// requests arrive faster than the largest batch drains them, so
+    /// queueing delay grows without bound and the latency estimate
+    /// below is a floor, not a prediction.
+    pub fn saturated(&self) -> bool {
+        self.steady_batch == self.max_batch
+            && self.infer_cycles > self.steady_batch as u64 * self.shard_arrival_cycles
+    }
+
+    /// PE-array occupancy while serving the steady-state batch.
+    pub fn utilization(&self) -> f64 {
+        self.schedule.utilization()
+    }
+
+    /// Served actions per second across **all** shards (each shard
+    /// completes `steady_batch` actions every inter-departure).
+    pub fn actions_per_sec(&self, cfg: &AccelConfig) -> f64 {
+        self.shards as f64 * self.steady_batch as f64 * cfg.clock_hz
+            / self.inter_departure_cycles as f64
+    }
+
+    /// Mean request latency in cycles when not [`saturated`]
+    /// (collection wait — on average half the window the batch forms
+    /// over — plus the batched inference itself).
+    ///
+    /// [`saturated`]: MicroBatchServing::saturated
+    pub fn mean_latency_cycles(&self) -> f64 {
+        (self.steady_batch as f64 - 1.0) * self.shard_arrival_cycles as f64 / 2.0
+            + self.infer_cycles as f64
+    }
+
+    /// [`MicroBatchServing::mean_latency_cycles`] in seconds.
+    pub fn mean_latency_s(&self, cfg: &AccelConfig) -> f64 {
+        self.mean_latency_cycles() / cfg.clock_hz
+    }
+
+    /// Throughput gain over serving every request alone (batch 1) on
+    /// the same shard count — what micro-batching itself buys.
+    pub fn speedup_vs_unbatched(&self, cfg: &AccelConfig, sizes: &[usize]) -> f64 {
+        let single = BatchedInferenceSchedule::for_mlp(cfg, sizes, 1, self.precision);
+        let unbatched = self.shards as f64 * cfg.clock_hz
+            / (single.cycles.max(self.shard_arrival_cycles) as f64);
+        self.actions_per_sec(cfg) / unbatched
+    }
+
+    /// Occupancy of the SIMD lanes at the steady batch (the Fig. 8
+    /// lanes story on the request path): half-precision packs 2 MACs
+    /// per PE per cycle, so small micro-batches strand lane slots that
+    /// a fuller batcher fills.
+    pub fn lane_utilization(&self, lanes: usize) -> f64 {
+        self.schedule.lane_utilization(lanes)
+    }
+
+    /// The steady-state batched schedule the model settled on.
+    pub fn schedule(&self) -> &BatchedInferenceSchedule {
+        &self.schedule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTOR: [usize; 4] = [17, 400, 300, 6];
+
+    fn model(max_batch: usize, deadline: u64, arrival: u64, shards: usize) -> MicroBatchServing {
+        MicroBatchServing::for_actor(
+            &AccelConfig::default(),
+            &ACTOR,
+            Precision::Half16,
+            max_batch,
+            deadline,
+            arrival,
+            shards,
+        )
+    }
+
+    #[test]
+    fn light_load_zero_deadline_serves_singletons() {
+        let m = model(64, 0, 10_000_000, 1);
+        assert_eq!(m.steady_batch, 1);
+        assert!(!m.saturated());
+        // Inter-departure is arrival-bound: one action per arrival.
+        assert_eq!(m.inter_departure_cycles, m.shard_arrival_cycles);
+    }
+
+    #[test]
+    fn heavier_load_grows_the_batch_and_utilization() {
+        let mut prev_batch = 0usize;
+        let mut prev_util = 0.0f64;
+        for arrival in [100_000u64, 10_000, 1_000, 100, 10] {
+            let m = model(256, 0, arrival, 1);
+            assert!(
+                m.steady_batch >= prev_batch,
+                "batch shrank as load rose: {} -> {} at arrival {arrival}",
+                prev_batch,
+                m.steady_batch
+            );
+            assert!(m.utilization() >= prev_util - 1e-12);
+            prev_batch = m.steady_batch;
+            prev_util = m.utilization();
+        }
+        assert!(prev_batch > 1, "heavy load never coalesced");
+    }
+
+    #[test]
+    fn deadline_trades_latency_for_batch_at_light_load() {
+        let none = model(64, 0, 50_000, 1);
+        let some = model(64, 200_000, 50_000, 1);
+        assert!(some.steady_batch > none.steady_batch);
+        assert!(some.mean_latency_cycles() > none.mean_latency_cycles());
+        assert!(some.utilization() > none.utilization());
+    }
+
+    #[test]
+    fn sharding_shrinks_per_shard_batches_but_scales_throughput_when_saturated() {
+        let cfg = AccelConfig::default();
+        let one = model(64, 0, 20, 1);
+        let four = model(64, 0, 20, 4);
+        assert!(one.saturated());
+        assert!(four.steady_batch <= one.steady_batch);
+        // Under saturation, extra shards add real throughput.
+        assert!(four.actions_per_sec(&cfg) > one.actions_per_sec(&cfg));
+    }
+
+    #[test]
+    fn batching_beats_unbatched_serving_under_load() {
+        let cfg = AccelConfig::default();
+        let m = model(128, 0, 100, 1);
+        assert!(m.steady_batch > 1);
+        assert!(
+            m.speedup_vs_unbatched(&cfg, &ACTOR) > 1.0,
+            "micro-batching should outperform singleton serving under load"
+        );
+    }
+
+    #[test]
+    fn lane_utilization_improves_with_coalescing() {
+        let light = model(64, 0, 10_000_000, 1);
+        let heavy = model(64, 0, 50, 1);
+        assert!(heavy.lane_utilization(2) >= light.lane_utilization(2));
+    }
+
+    #[test]
+    fn steady_batch_never_exceeds_cap() {
+        for arrival in [1u64, 10, 100] {
+            let m = model(16, 1_000_000, arrival, 2);
+            assert!(m.steady_batch <= 16);
+        }
+    }
+}

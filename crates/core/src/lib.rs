@@ -16,6 +16,8 @@
 //! * `fixar_sim` / [`fixar_env`] — the planar physics engine and the
 //!   MuJoCo-dimensioned locomotion benchmarks,
 //! * [`fixar_rl`] — DDPG with the QAT controller,
+//! * [`fixar_serve`] — the request-driven serving front door (deadline
+//!   micro-batching over published policy snapshots),
 //! * [`fixar_accel`] — the cycle-level U50 accelerator model (PEs, AAP
 //!   cores, memories, Adam unit, PRNG, resource/power/GPU models),
 //! * [`fixar_platform`] — end-to-end timestep timing and co-simulation.
@@ -46,16 +48,24 @@ pub use fixar_rl::{DdpgConfig, PrecisionMode, RlError, Trainer, TrainingReport};
 /// Convenience re-exports of the most common FIXAR types.
 pub mod prelude {
     pub use fixar_accel::{
-        AccelConfig, DoubleBufferedServing, FixarAccelerator, GpuModel, PowerModel, Precision,
-        ResourceModel, U50_BUDGET,
+        AccelConfig, BatchedInferenceSchedule, DoubleBufferedServing, FixarAccelerator, GpuModel,
+        InferenceSchedule, MicroBatchServing, PowerModel, Precision, ResourceModel,
+        TrainingSchedule, U50_BUDGET,
     };
     pub use fixar_env::{EnvKind, EnvPool, EnvSpec, Environment, EpisodeStats, StepResult};
     pub use fixar_fixed::{AffineQuantizer, Fx16, Fx32, RangeMonitor, Scalar, Q16, Q32};
     pub use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, QatMode, QatRuntime};
     pub use fixar_platform::{CpuGpuPlatformModel, FixarCosim, FixarPlatformModel};
+    pub use fixar_pool::{KernelScope, Parallelism, PoolError, WorkerPool, WORKERS_ENV};
     pub use fixar_rl::{
-        Ddpg, DdpgConfig, PrecisionMode, PrioritizedConfig, ReplayBuffer, ReplayStrategy, RlError,
-        Trainer, TrainingReport, Transition, VecTrainer,
+        Ddpg, DdpgConfig, EvalPoint, ExplorationNoise, GaussianNoise, OrnsteinUhlenbeck,
+        PolicySnapshot, PrecisionMode, PrioritizedConfig, PrioritizedReplay, QatSchedule,
+        ReplayBuffer, ReplaySampler, ReplayStrategy, RlError, SampledBatch, Td3, Td3Config,
+        TrainMetrics, Trainer, TrainingReport, Transition, TransitionBatch, VecTrainer,
+    };
+    pub use fixar_serve::{
+        ActionResponse, ActionServer, PendingAction, ServeClient, ServeConfig, ServeError,
+        ServeStats, ShardStats, SnapshotPublisher, SnapshotStore,
     };
 
     pub use crate::{FixarRunReport, FixarSystem};

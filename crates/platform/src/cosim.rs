@@ -134,9 +134,12 @@ impl FixarCosim {
             } else {
                 Precision::Full32
             };
+            // Charge simulated time through the batched structural
+            // schedule — the accelerator path that mirrors how the
+            // software twin's batched kernels actually execute.
             let breakdown = self
                 .model
-                .breakdown(self.batch, precision)
+                .breakdown_batched(self.batch, precision)
                 .map_err(|e| RlError::InvalidConfig(e.to_string()))?;
             let report = self.trainer.run(n, eval_every, eval_episodes)?;
             self.sim_time_s += breakdown.total_s() * n as f64;
@@ -163,7 +166,7 @@ impl FixarCosim {
         };
         let final_breakdown = self
             .model
-            .breakdown(self.batch, final_precision)
+            .breakdown_batched(self.batch, final_precision)
             .map_err(|e| RlError::InvalidConfig(e.to_string()))?;
         let total_steps = done;
         Ok(CosimReport {
@@ -213,7 +216,10 @@ mod tests {
         assert!(report.qat_switch_time_s.is_some());
         // Final timestep runs in half precision: strictly faster than the
         // full-precision breakdown at the same batch.
-        let full = c.model.breakdown(c.batch, Precision::Full32).unwrap();
+        let full = c
+            .model
+            .breakdown_batched(c.batch, Precision::Full32)
+            .unwrap();
         assert!(report.final_breakdown.total_s() < full.total_s());
     }
 

@@ -1,0 +1,447 @@
+//! Channel primitives for request-driven serving: a hand-rolled MPMC
+//! queue and a one-shot completion slot.
+//!
+//! No crates-registry channel library is available to this workspace, so
+//! the serving front door (`fixar-serve`) builds on these two std-only
+//! primitives:
+//!
+//! * [`MpmcQueue`] — an unbounded multi-producer/multi-consumer queue
+//!   with blocking, deadline-bounded, and non-blocking pops. Producers
+//!   are request submitters; consumers are the per-shard batcher
+//!   threads. [`MpmcQueue::close`] drains gracefully: queued items stay
+//!   poppable, new pushes are rejected, and blocked consumers wake.
+//! * [`oneshot`] — a single-value completion slot: the batcher sends
+//!   exactly one response, the requesting client blocks on
+//!   [`OneShotReceiver::recv`]. Dropping either end unblocks the other
+//!   (a dropped sender surfaces as [`ChannelClosed`] instead of a
+//!   deadlock).
+//!
+//! Both are plain `Mutex` + `Condvar` state machines — no spinning, no
+//! unsafe code, FIFO per queue (ordering across producers is the lock
+//! acquisition order, which serving does not rely on for determinism:
+//! the served *values* are batch-composition-independent by the kernel
+//! bit-exactness contract).
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Error returned when the other side of a [`oneshot`] slot or a closed
+/// [`MpmcQueue`] makes the operation impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelClosed;
+
+impl fmt::Display for ChannelClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel closed")
+    }
+}
+
+impl Error for ChannelClosed {}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Unbounded multi-producer/multi-consumer FIFO queue with blocking and
+/// deadline-bounded pops — the request spine of the serving front door.
+///
+/// # Example
+///
+/// ```
+/// use fixar_pool::MpmcQueue;
+///
+/// let q = MpmcQueue::new();
+/// q.push(1).unwrap();
+/// q.push(2).unwrap();
+/// assert_eq!(q.pop(), Some(1));
+/// q.close();
+/// assert!(q.push(3).is_err()); // closed: no new items...
+/// assert_eq!(q.pop(), Some(2)); // ...but queued ones drain
+/// assert_eq!(q.pop(), None); // drained + closed
+/// ```
+pub struct MpmcQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for MpmcQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MpmcQueue<T> {
+    /// Creates an empty open queue.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, waking one blocked consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues without blocking; `None` when the queue is momentarily
+    /// empty (closed or not).
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().expect("queue lock").items.pop_front()
+    }
+
+    /// Dequeues, blocking until an item arrives. Returns `None` only
+    /// when the queue is closed **and** drained — the consumer's
+    /// shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue wait");
+        }
+    }
+
+    /// Dequeues, blocking until an item arrives, `deadline` passes, or
+    /// the queue closes empty. `None` means "no item by the deadline" —
+    /// the batcher's flush signal.
+    pub fn pop_deadline(&self, deadline: Instant) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            let remaining = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())?;
+            let (guard, timeout) = self
+                .ready
+                .wait_timeout(state, remaining)
+                .expect("queue wait");
+            state = guard;
+            if timeout.timed_out() && state.items.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Closes the queue: subsequent pushes fail, queued items remain
+    /// poppable, and every blocked consumer wakes (returning items while
+    /// the queue drains, then `None`).
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// `true` once [`MpmcQueue::close`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
+    /// Momentary queue depth (diagnostics only — racy by nature).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// `true` when momentarily empty (diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct SlotState<T> {
+    value: Option<T>,
+    sender_gone: bool,
+    receiver_gone: bool,
+}
+
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    ready: Condvar,
+}
+
+/// Sending half of a [`oneshot`] slot: consumed by the single
+/// [`OneShotSender::send`]. Dropping it unsent wakes the receiver with
+/// [`ChannelClosed`].
+pub struct OneShotSender<T> {
+    slot: Arc<Slot<T>>,
+}
+
+/// Receiving half of a [`oneshot`] slot: consumed by
+/// [`OneShotReceiver::recv`]. Dropping it lets the sender observe the
+/// abandonment via [`OneShotSender::send`]'s error.
+pub struct OneShotReceiver<T> {
+    slot: Arc<Slot<T>>,
+}
+
+/// Creates a one-shot completion slot: one value travels from sender to
+/// receiver, each endpoint usable exactly once.
+///
+/// # Example
+///
+/// ```
+/// use fixar_pool::oneshot;
+///
+/// let (tx, rx) = oneshot();
+/// std::thread::spawn(move || tx.send(42).unwrap());
+/// assert_eq!(rx.recv(), Ok(42));
+/// ```
+pub fn oneshot<T>() -> (OneShotSender<T>, OneShotReceiver<T>) {
+    let slot = Arc::new(Slot {
+        state: Mutex::new(SlotState {
+            value: None,
+            sender_gone: false,
+            receiver_gone: false,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        OneShotSender {
+            slot: Arc::clone(&slot),
+        },
+        OneShotReceiver { slot },
+    )
+}
+
+impl<T> OneShotSender<T> {
+    /// Delivers the value, waking a blocked receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the receiver was already dropped (the
+    /// client gave up — the server counts these instead of panicking).
+    pub fn send(self, value: T) -> Result<(), T> {
+        let mut state = self.slot.state.lock().expect("oneshot lock");
+        if state.receiver_gone {
+            return Err(value);
+        }
+        state.value = Some(value);
+        drop(state);
+        self.slot.ready.notify_one();
+        // Drop runs after this, but `value.is_some()` masks `sender_gone`.
+        Ok(())
+    }
+}
+
+impl<T> Drop for OneShotSender<T> {
+    fn drop(&mut self) {
+        self.slot.state.lock().expect("oneshot lock").sender_gone = true;
+        self.slot.ready.notify_one();
+    }
+}
+
+impl<T> OneShotReceiver<T> {
+    /// Blocks until the value arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelClosed`] if the sender dropped without sending
+    /// (e.g. the server shut down while the request was queued).
+    pub fn recv(self) -> Result<T, ChannelClosed> {
+        let mut state = self.slot.state.lock().expect("oneshot lock");
+        loop {
+            if let Some(value) = state.value.take() {
+                return Ok(value);
+            }
+            if state.sender_gone {
+                return Err(ChannelClosed);
+            }
+            state = self.slot.ready.wait(state).expect("oneshot wait");
+        }
+    }
+
+    /// Non-blocking probe: `Ok(Some(value))` when delivered,
+    /// `Ok(None)` when still pending, and the receiver is handed back
+    /// for a later retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelClosed`] if the sender dropped without sending.
+    pub fn try_recv(self) -> Result<Result<T, Self>, ChannelClosed> {
+        {
+            let mut state = self.slot.state.lock().expect("oneshot lock");
+            if let Some(value) = state.value.take() {
+                return Ok(Ok(value));
+            }
+            if state.sender_gone {
+                return Err(ChannelClosed);
+            }
+        }
+        Ok(Err(self))
+    }
+}
+
+impl<T> Drop for OneShotReceiver<T> {
+    fn drop(&mut self) {
+        self.slot.state.lock().expect("oneshot lock").receiver_gone = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn queue_is_fifo_and_survives_threads() {
+        let q = Arc::new(MpmcQueue::new());
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..100 {
+                    q.push(i).unwrap();
+                }
+            })
+        };
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            if let Some(v) = q.pop() {
+                got.push(v);
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_queued_items() {
+        let q = MpmcQueue::new();
+        q.push('a').unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.push('b'), Err('b'));
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(MpmcQueue::<u8>::new());
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        // Give the consumer a moment to block, then close.
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_deadline_times_out_and_still_delivers_items() {
+        let q = MpmcQueue::new();
+        let t = Instant::now();
+        assert_eq!(
+            q.pop_deadline(Instant::now() + Duration::from_millis(5)),
+            None::<u8>
+        );
+        assert!(t.elapsed() >= Duration::from_millis(5));
+        q.push(7).unwrap();
+        assert_eq!(q.pop_deadline(Instant::now()), Some(7));
+        // A deadline already in the past still drains ready items first.
+        q.push(8).unwrap();
+        assert_eq!(
+            q.pop_deadline(Instant::now() - Duration::from_millis(1)),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn multiple_consumers_partition_the_items() {
+        let q = Arc::new(MpmcQueue::new());
+        for i in 0..200 {
+            q.push(i).unwrap();
+        }
+        q.close();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(v) = q.pop() {
+                        mine.push(v);
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oneshot_delivers_once_across_threads() {
+        let (tx, rx) = oneshot();
+        let t = thread::spawn(move || tx.send(99).unwrap());
+        assert_eq!(rx.recv(), Ok(99));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_sender_surfaces_as_closed_not_deadlock() {
+        let (tx, rx) = oneshot::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(ChannelClosed));
+
+        // Blocked receiver wakes when the sender drops later.
+        let (tx, rx) = oneshot::<u8>();
+        let t = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(t.join().unwrap(), Err(ChannelClosed));
+    }
+
+    #[test]
+    fn dropped_receiver_bounces_the_send() {
+        let (tx, rx) = oneshot();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(5));
+    }
+
+    #[test]
+    fn try_recv_probes_without_blocking() {
+        let (tx, rx) = oneshot();
+        let rx = match rx.try_recv() {
+            Ok(Err(rx)) => rx, // still pending
+            Ok(Ok(v)) => panic!("expected pending, got value {v}"),
+            Err(e) => panic!("expected pending, got {e}"),
+        };
+        tx.send(3).unwrap();
+        assert!(matches!(rx.try_recv(), Ok(Ok(3))));
+        let (tx, rx) = oneshot::<u8>();
+        drop(tx);
+        assert!(rx.try_recv().is_err());
+    }
+}

@@ -16,7 +16,11 @@
 //!   honoring the `FIXAR_WORKERS` environment override;
 //! * [`PoolError`] — typed propagation of worker panics: a panicking
 //!   task fails the scope instead of aborting the process, and the pool
-//!   survives for subsequent scopes.
+//!   survives for subsequent scopes;
+//! * [`MpmcQueue`] / [`oneshot`] — std-only channel primitives (MPMC
+//!   request queue with deadline-bounded pops, one-shot completion
+//!   slots) that the request-driven serving front door (`fixar-serve`)
+//!   builds on instead of an async runtime.
 //!
 //! # Determinism contract
 //!
@@ -36,6 +40,10 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
+
+mod comms;
+
+pub use comms::{oneshot, ChannelClosed, MpmcQueue, OneShotReceiver, OneShotSender};
 
 use std::cell::Cell;
 use std::collections::HashMap;

@@ -377,6 +377,11 @@ impl<S: Scalar> Ddpg<S> {
         self.actor_qat.mode()
     }
 
+    /// The actor's QAT runtime, for snapshot freezing.
+    pub(crate) fn actor_qat_runtime(&self) -> &QatRuntime {
+        &self.actor_qat
+    }
+
     /// Advances the QAT schedule: once `global_step` reaches the delay,
     /// every runtime whose range monitors have calibration data freezes
     /// into 16-bit quantizers. Runtimes that have not executed yet (e.g.

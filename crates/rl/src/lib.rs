@@ -30,7 +30,10 @@
 //!   bit-identical results) — with all action selection batched through
 //!   [`Ddpg::select_actions_batch`], bit-identical to [`Trainer`] at
 //!   fleet size 1,
-//! * [`PrecisionMode`] — the four arms of the Fig. 7 precision study.
+//! * [`PrecisionMode`] — the four arms of the Fig. 7 precision study,
+//! * [`PolicySnapshot`] — an immutable actor replica (weights + frozen
+//!   QAT runtime + snapshot id), the unit the serving front door
+//!   (`fixar-serve`) publishes and replays against.
 //!
 //! Everything is generic over the numeric backend, so the *same* code
 //! runs the float baseline and the fixed-point FIXAR runs.
@@ -60,6 +63,7 @@ mod error;
 mod noise;
 mod precision;
 mod replay;
+mod snapshot;
 mod td3;
 mod trainer;
 mod vec_trainer;
@@ -72,6 +76,7 @@ pub use replay::{
     PrioritizedConfig, PrioritizedReplay, ReplayBuffer, ReplaySampler, ReplayStrategy,
     SampledBatch, Transition, TransitionBatch,
 };
+pub use snapshot::PolicySnapshot;
 pub use td3::{Td3, Td3Config};
 pub use trainer::{EvalPoint, Trainer, TrainingReport};
 pub use vec_trainer::{action_stream_seed, priority_stream_seed, replay_stream_seed, VecTrainer};

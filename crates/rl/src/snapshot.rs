@@ -1,0 +1,305 @@
+//! Immutable policy snapshots — the unit of publication for request
+//! serving.
+//!
+//! A [`PolicySnapshot`] freezes the online actor at one instant: the
+//! weights, the QAT runtime (whose frozen quantizers are applied
+//! *immutably* — serving never feeds the range monitors), and a caller
+//! chosen **snapshot id**. The serving layer (`fixar-serve`) keeps the
+//! current snapshot behind an atomic swap and stamps every response with
+//! the id of the snapshot that produced it, which is what makes served
+//! trajectories replayable: feed the same observation to
+//! [`PolicySnapshot::select_action`] on the snapshot with the recorded
+//! id and the action is bit-identical.
+
+use fixar_fixed::Scalar;
+use fixar_nn::{Mlp, QatMode, QatRuntime};
+use fixar_pool::Parallelism;
+use fixar_tensor::Matrix;
+
+use crate::{Ddpg, RlError, Td3};
+
+/// An immutable actor replica: frozen weights + frozen QAT runtime +
+/// monotonically increasing snapshot id.
+///
+/// Snapshots are cheap value types (`Clone`) and `Send + Sync`, so the
+/// trainer can keep training its own copy while any number of serving
+/// shards read a published one — the PR 5 double-buffer pattern with an
+/// id attached.
+///
+/// # Determinism
+///
+/// [`PolicySnapshot::select_actions_batch`] composes the bit-exact
+/// batched kernels with the immutable QAT application, so row `i` of a
+/// batched call equals the per-sample [`PolicySnapshot::select_action`]
+/// on row `i` — for every batch composition, worker count, and backend
+/// (including saturating `Fx32`). That is the whole serving determinism
+/// contract: responses do not depend on which requests happened to share
+/// a micro-batch.
+///
+/// # Example
+///
+/// ```
+/// use fixar_pool::Parallelism;
+/// use fixar_rl::{Ddpg, DdpgConfig};
+/// use fixar_tensor::Matrix;
+///
+/// let agent = Ddpg::<f32>::new(3, 1, DdpgConfig::small_test())?;
+/// let snap = agent.policy_snapshot(1);
+/// let obs = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64 * 0.1);
+/// let batched = snap.select_actions_batch(&obs, &Parallelism::sequential())?;
+/// let single = snap.select_action(obs.row(2))?;
+/// assert_eq!(batched.row(2), single.as_slice());
+/// # Ok::<(), fixar_rl::RlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolicySnapshot<S: Scalar> {
+    actor: Mlp<S>,
+    qat: QatRuntime,
+    id: u64,
+}
+
+impl<S: Scalar> PolicySnapshot<S> {
+    /// Builds a snapshot from an actor network and the QAT runtime that
+    /// trained it. The runtime is used read-only from here on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::InvalidConfig`] if the runtime's activation
+    /// point count does not match the network (`num_layers + 1`).
+    pub fn new(actor: Mlp<S>, qat: QatRuntime, id: u64) -> Result<Self, RlError> {
+        let want = actor.num_layers() + 1;
+        if qat.num_points() != want {
+            return Err(RlError::InvalidConfig(format!(
+                "QAT runtime has {} activation points, actor needs {want}",
+                qat.num_points()
+            )));
+        }
+        Ok(Self { actor, qat, id })
+    }
+
+    /// The publication id stamped on every response served from this
+    /// snapshot.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Observation dimension the snapshot accepts.
+    pub fn state_dim(&self) -> usize {
+        self.actor.input_dim()
+    }
+
+    /// Action dimension the snapshot produces.
+    pub fn action_dim(&self) -> usize {
+        self.actor.output_dim()
+    }
+
+    /// The frozen actor network.
+    pub fn actor(&self) -> &Mlp<S> {
+        &self.actor
+    }
+
+    /// `true` when the snapshot serves through frozen quantizers (the
+    /// agent's QAT schedule had already switched to quantized
+    /// activations when the snapshot was taken).
+    pub fn qat_frozen(&self) -> bool {
+        self.qat.mode() == QatMode::Quantize
+    }
+
+    /// Selects actions for a whole micro-batch of observations (one row
+    /// per request), sharding rows over `par`'s pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Nn`] if `states.cols()` differs from the
+    /// observation dimension, [`RlError::Worker`] if a pool worker
+    /// panicked.
+    pub fn select_actions_batch(
+        &self,
+        states: &Matrix<f64>,
+        par: &Parallelism,
+    ) -> Result<Matrix<f64>, RlError> {
+        let s: Matrix<S> = states.cast();
+        let out = self
+            .actor
+            .forward_batch_qat_frozen_par(&s, &self.qat, par)?
+            .output;
+        Ok(Matrix::from_fn(out.rows(), out.cols(), |r, c| {
+            out[(r, c)].to_f64()
+        }))
+    }
+
+    /// Selects the action for one observation — the per-sample offline
+    /// replay reference. Bit-equal to the corresponding row of any
+    /// [`PolicySnapshot::select_actions_batch`] call containing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Nn`] if `state.len()` differs from the
+    /// observation dimension.
+    pub fn select_action(&self, state: &[f64]) -> Result<Vec<f64>, RlError> {
+        let s: Vec<S> = state.iter().map(|&v| S::from_f64(v)).collect();
+        let trace = self.actor.forward_qat_frozen(&s, &self.qat)?;
+        Ok(trace.output.iter().map(|v| v.to_f64()).collect())
+    }
+}
+
+impl<S: Scalar> Ddpg<S> {
+    /// Freezes the current online actor (weights + QAT runtime) into an
+    /// immutable [`PolicySnapshot`] tagged `id`.
+    ///
+    /// During QAT calibration the snapshot serves full-precision values
+    /// (identical to what [`Ddpg::act`] computes, without feeding the
+    /// range monitors); after the freeze it serves through the frozen
+    /// quantizers. Either way the snapshot never mutates, so one
+    /// snapshot answers every replay of its responses bit-identically.
+    pub fn policy_snapshot(&self, id: u64) -> PolicySnapshot<S> {
+        PolicySnapshot {
+            actor: self.actor().clone(),
+            qat: self.actor_qat_runtime().clone(),
+            id,
+        }
+    }
+}
+
+impl<S: Scalar> Td3<S> {
+    /// Freezes the current online actor into an immutable
+    /// [`PolicySnapshot`] tagged `id`. TD3 trains without QAT, so the
+    /// snapshot carries a disabled runtime (plain full-precision
+    /// serving).
+    pub fn policy_snapshot(&self, id: u64) -> PolicySnapshot<S> {
+        let actor = self.actor().clone();
+        let qat = QatRuntime::disabled(actor.num_layers() + 1);
+        PolicySnapshot { actor, qat, id }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DdpgConfig, Td3Config};
+    use fixar_fixed::Fx32;
+
+    fn obs_batch(rows: usize, dim: usize) -> Matrix<f64> {
+        Matrix::from_fn(rows, dim, |r, c| ((r * dim + c) as f64).sin() * 0.7)
+    }
+
+    fn synthetic_batch(len: usize, state_dim: usize, action_dim: usize) -> crate::TransitionBatch {
+        let transitions: Vec<crate::Transition> = (0..len)
+            .map(|i| crate::Transition {
+                state: (0..state_dim).map(|c| ((i + c) as f64).cos()).collect(),
+                action: (0..action_dim)
+                    .map(|c| ((i * 3 + c) as f64).sin())
+                    .collect(),
+                reward: (i as f64).sin(),
+                next_state: (0..state_dim).map(|c| ((i + c + 1) as f64).cos()).collect(),
+                terminal: i % 7 == 0,
+            })
+            .collect();
+        let refs: Vec<&crate::Transition> = transitions.iter().collect();
+        crate::TransitionBatch::from_transitions(&refs).unwrap()
+    }
+
+    #[test]
+    fn batched_rows_equal_per_sample_replay() {
+        let agent = Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let snap = agent.policy_snapshot(7);
+        assert_eq!(snap.id(), 7);
+        let obs = obs_batch(9, 3);
+        let batched = snap
+            .select_actions_batch(&obs, &Parallelism::sequential())
+            .unwrap();
+        for r in 0..obs.rows() {
+            assert_eq!(batched.row(r), snap.select_action(obs.row(r)).unwrap());
+        }
+    }
+
+    #[test]
+    fn snapshot_is_insensitive_to_batch_composition_and_workers() {
+        let agent = Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let snap = agent.policy_snapshot(1);
+        let obs = obs_batch(8, 3);
+        let whole = snap
+            .select_actions_batch(&obs, &Parallelism::with_workers(4))
+            .unwrap();
+        // Same rows served in two smaller, shuffled batches.
+        let idx = [5usize, 1, 7, 0, 3, 6, 2, 4];
+        for (k, &i) in idx.iter().enumerate() {
+            let sub = Matrix::from_fn(1, 3, |_, c| obs[(i, c)]);
+            let got = snap
+                .select_actions_batch(&sub, &Parallelism::with_workers(1 + k % 3))
+                .unwrap();
+            assert_eq!(got.row(0), whole.row(i), "row {i} depends on composition");
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_training_actor_then_diverges_after_updates() {
+        let mut agent = Ddpg::<f32>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let snap = agent.policy_snapshot(0);
+        let obs = obs_batch(1, 3);
+        let live = agent.select_actions_batch(&obs).unwrap();
+        let frozen = snap
+            .select_actions_batch(&obs, &Parallelism::sequential())
+            .unwrap();
+        assert_eq!(live.row(0), frozen.row(0));
+        // The snapshot is a value copy: training the agent afterwards
+        // must not change what the snapshot serves.
+        let before: Vec<f64> = frozen.row(0).to_vec();
+        let batch = synthetic_batch(agent.config().batch_size, 3, 1);
+        for _ in 0..10 {
+            agent.train_minibatch(&batch).unwrap();
+        }
+        let after = snap
+            .select_actions_batch(&obs, &Parallelism::sequential())
+            .unwrap();
+        assert_eq!(after.row(0), before.as_slice());
+    }
+
+    #[test]
+    fn qat_frozen_snapshot_serves_quantized_actions() {
+        let mut agent = Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test().with_qat(4, 16)).unwrap();
+        // Feed every runtime's range monitors (actor via act, critics
+        // via training), then drive the schedule past the delay so the
+        // quantizers freeze.
+        let batch = synthetic_batch(agent.config().batch_size, 3, 1);
+        for t in 0..8u64 {
+            let s = obs_batch(1, 3);
+            agent.act(s.row(0)).unwrap();
+            agent.train_minibatch(&batch).unwrap();
+            agent.on_timestep(t).unwrap();
+        }
+        assert!(agent.qat_frozen());
+        let snap = agent.policy_snapshot(3);
+        assert!(snap.qat_frozen());
+        let obs = obs_batch(5, 3);
+        let batched = snap
+            .select_actions_batch(&obs, &Parallelism::with_workers(2))
+            .unwrap();
+        for r in 0..obs.rows() {
+            assert_eq!(batched.row(r), snap.select_action(obs.row(r)).unwrap());
+        }
+    }
+
+    #[test]
+    fn td3_snapshot_replays_bit_identically() {
+        let agent = Td3::<f32>::new(3, 1, Td3Config::small_test()).unwrap();
+        let snap = agent.policy_snapshot(2);
+        assert!(!snap.qat_frozen());
+        let obs = obs_batch(6, 3);
+        let batched = snap
+            .select_actions_batch(&obs, &Parallelism::with_workers(2))
+            .unwrap();
+        let live = agent.select_actions_batch(&obs).unwrap();
+        for r in 0..obs.rows() {
+            assert_eq!(batched.row(r), live.row(r));
+            assert_eq!(batched.row(r), snap.select_action(obs.row(r)).unwrap());
+        }
+    }
+
+    #[test]
+    fn mismatched_runtime_is_rejected() {
+        let agent = Ddpg::<f32>::new(3, 1, DdpgConfig::small_test()).unwrap();
+        let err = PolicySnapshot::new(agent.actor().clone(), QatRuntime::disabled(1), 0);
+        assert!(matches!(err, Err(RlError::InvalidConfig(_))));
+    }
+}

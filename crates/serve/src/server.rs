@@ -1,0 +1,597 @@
+//! The sharded deadline micro-batcher.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use fixar_fixed::Scalar;
+use fixar_pool::{oneshot, MpmcQueue, OneShotReceiver, OneShotSender, Parallelism};
+use fixar_rl::PolicySnapshot;
+use fixar_tensor::Matrix;
+
+use crate::{ServeError, SnapshotStore};
+
+/// Knobs of the serving front door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Flush a micro-batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// …or as soon as the oldest request in it has waited this long,
+    /// whichever comes first. `Duration::ZERO` serves each batcher wakeup
+    /// with whatever is already queued (lowest latency, smallest
+    /// batches).
+    pub max_delay: Duration,
+    /// Independent shards: each has its own request queue and batcher
+    /// thread, and requests are routed round-robin. More shards = more
+    /// concurrent `select_actions_batch` calls.
+    pub shards: usize,
+    /// Kernel workers per batched inference (the pool the batch rows
+    /// shard over). The `FIXAR_WORKERS` environment variable overrides
+    /// this, exactly as it does for training configs.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay: Duration::from_micros(200),
+            shards: 1,
+            workers: 1,
+        }
+    }
+}
+
+/// One served action, stamped with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionResponse {
+    /// The policy's action for the submitted observation.
+    pub action: Vec<f64>,
+    /// Id of the [`PolicySnapshot`] that produced it — replaying the
+    /// observation against this snapshot reproduces `action` bit-for-
+    /// bit.
+    pub snapshot_id: u64,
+    /// Number of requests that shared the micro-batch (diagnostics; has
+    /// no effect on the action by the bit-exactness contract).
+    pub batch_rows: usize,
+}
+
+struct Request {
+    obs: Vec<f64>,
+    reply: OneShotSender<Result<ActionResponse, ServeError>>,
+}
+
+/// Per-shard counters, updated with relaxed atomics (monotonic event
+/// counts only — no ordering is derived from them).
+#[derive(Default)]
+struct ShardCounters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    full_flushes: AtomicU64,
+    deadline_flushes: AtomicU64,
+    served_rows: AtomicU64,
+    max_batch_rows: AtomicU64,
+    dropped_replies: AtomicU64,
+}
+
+/// Point-in-time counters of one shard (see [`ServeStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Requests routed to this shard.
+    pub requests: u64,
+    /// Micro-batches served.
+    pub batches: u64,
+    /// Batches flushed because they reached `max_batch`.
+    pub full_flushes: u64,
+    /// Batches flushed because the oldest request hit `max_delay` (or
+    /// the queue closed).
+    pub deadline_flushes: u64,
+    /// Total rows served (= responses produced).
+    pub served_rows: u64,
+    /// Largest micro-batch served.
+    pub max_batch_rows: u64,
+    /// Responses whose client had already dropped its `PendingAction`.
+    pub dropped_replies: u64,
+}
+
+/// Aggregated serving counters, from [`ActionServer::stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServeStats {
+    /// Requests across all shards.
+    pub fn requests(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Micro-batches across all shards.
+    pub fn batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.batches).sum()
+    }
+
+    /// Mean micro-batch size across all shards (0.0 before any batch).
+    pub fn mean_batch_rows(&self) -> f64 {
+        let rows: u64 = self.shards.iter().map(|s| s.served_rows).sum();
+        let batches = self.batches();
+        if batches == 0 {
+            0.0
+        } else {
+            rows as f64 / batches as f64
+        }
+    }
+
+    /// Largest micro-batch served on any shard.
+    pub fn max_batch_rows(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.max_batch_rows)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+struct Shared<S: Scalar> {
+    store: SnapshotStore<S>,
+    queues: Vec<MpmcQueue<Request>>,
+    counters: Vec<ShardCounters>,
+    next_shard: AtomicUsize,
+    state_dim: usize,
+    action_dim: usize,
+}
+
+/// The request-driven serving front door: N sharded request queues, one
+/// deadline micro-batcher thread per shard, all serving immutable
+/// [`PolicySnapshot`] replicas published through an atomic swap.
+///
+/// See the [crate docs](crate) for semantics and an end-to-end example;
+/// `examples/serve_quickstart.rs` drives a live trainer against it.
+///
+/// Dropping the server closes every queue (in-flight and already-queued
+/// requests are still served — graceful drain) and joins the batcher
+/// threads.
+pub struct ActionServer<S: Scalar> {
+    shared: Arc<Shared<S>>,
+    batchers: Vec<JoinHandle<()>>,
+}
+
+impl<S: Scalar> ActionServer<S> {
+    /// Starts the server: spawns one batcher thread per shard, serving
+    /// `initial` until a newer snapshot is published.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `max_batch` or `shards`
+    /// is zero.
+    pub fn start(initial: PolicySnapshot<S>, cfg: ServeConfig) -> Result<Self, ServeError> {
+        if cfg.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be ≥ 1".into()));
+        }
+        if cfg.shards == 0 {
+            return Err(ServeError::InvalidConfig("shards must be ≥ 1".into()));
+        }
+        let par = Parallelism::from_env_or(cfg.workers);
+        let shared = Arc::new(Shared {
+            state_dim: initial.state_dim(),
+            action_dim: initial.action_dim(),
+            store: SnapshotStore::new(initial),
+            queues: (0..cfg.shards).map(|_| MpmcQueue::new()).collect(),
+            counters: (0..cfg.shards).map(|_| ShardCounters::default()).collect(),
+            next_shard: AtomicUsize::new(0),
+        });
+        let batchers = (0..cfg.shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                let par = par.clone();
+                let (max_batch, max_delay) = (cfg.max_batch, cfg.max_delay);
+                thread::Builder::new()
+                    .name(format!("fixar-serve-{shard}"))
+                    .spawn(move || batcher_loop(&shared, shard, max_batch, max_delay, &par))
+                    .expect("spawning batcher thread")
+            })
+            .collect();
+        Ok(Self { shared, batchers })
+    }
+
+    /// A clonable client handle for submitting observations.
+    pub fn client(&self) -> ServeClient<S> {
+        ServeClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The trainer-side handle for publishing fresher snapshots.
+    pub fn publisher(&self) -> SnapshotPublisher<S> {
+        SnapshotPublisher {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Id of the snapshot the *next* batch will be served from.
+    pub fn current_snapshot_id(&self) -> u64 {
+        self.shared.store.current_id()
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            shards: self
+                .shared
+                .counters
+                .iter()
+                .map(|c| ShardStats {
+                    requests: c.requests.load(Ordering::Relaxed),
+                    batches: c.batches.load(Ordering::Relaxed),
+                    full_flushes: c.full_flushes.load(Ordering::Relaxed),
+                    deadline_flushes: c.deadline_flushes.load(Ordering::Relaxed),
+                    served_rows: c.served_rows.load(Ordering::Relaxed),
+                    max_batch_rows: c.max_batch_rows.load(Ordering::Relaxed),
+                    dropped_replies: c.dropped_replies.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Shuts down gracefully: rejects new submissions, serves every
+    /// already-queued request, joins the batcher threads, and returns
+    /// the final counters. (Dropping the server does the same, minus the
+    /// stats.)
+    pub fn shutdown(mut self) -> ServeStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        for q in &self.shared.queues {
+            q.close();
+        }
+        for h in self.batchers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S: Scalar> Drop for ActionServer<S> {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn batcher_loop<S: Scalar>(
+    shared: &Shared<S>,
+    shard: usize,
+    max_batch: usize,
+    max_delay: Duration,
+    par: &Parallelism,
+) {
+    let queue = &shared.queues[shard];
+    let counters = &shared.counters[shard];
+    // `pop` blocks until the shard has work and returns `None` only once
+    // the queue is closed *and* drained, so shutdown serves every
+    // accepted request.
+    while let Some(first) = queue.pop() {
+        let deadline = Instant::now() + max_delay;
+        let mut requests = vec![first];
+        while requests.len() < max_batch {
+            match queue.pop_deadline(deadline) {
+                Some(r) => requests.push(r),
+                None => break, // deadline passed (or queue closed empty)
+            }
+        }
+        let rows = requests.len();
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .served_rows
+            .fetch_add(rows as u64, Ordering::Relaxed);
+        counters
+            .max_batch_rows
+            .fetch_max(rows as u64, Ordering::Relaxed);
+        if rows == max_batch {
+            counters.full_flushes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.deadline_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // One batch = one snapshot: load once, serve every row from it.
+        let snapshot = shared.store.load();
+        let mut obs = Matrix::zeros(rows, shared.state_dim);
+        for (i, r) in requests.iter().enumerate() {
+            obs.row_mut(i).copy_from_slice(&r.obs);
+        }
+        match snapshot.select_actions_batch(&obs, par) {
+            Ok(actions) => {
+                for (i, r) in requests.into_iter().enumerate() {
+                    let resp = ActionResponse {
+                        action: actions.row(i).to_vec(),
+                        snapshot_id: snapshot.id(),
+                        batch_rows: rows,
+                    };
+                    if r.reply.send(Ok(resp)).is_err() {
+                        counters.dropped_replies.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) => {
+                let err = ServeError::Inference(e.to_string());
+                for r in requests {
+                    if r.reply.send(Err(err.clone())).is_err() {
+                        counters.dropped_replies.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Client handle: submit observations, receive snapshot-stamped actions.
+///
+/// Cloning is cheap (an `Arc` bump); clones may be moved freely across
+/// client threads.
+pub struct ServeClient<S: Scalar> {
+    shared: Arc<Shared<S>>,
+}
+
+impl<S: Scalar> Clone for ServeClient<S> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<S: Scalar> ServeClient<S> {
+    /// Observation dimension the served policy expects.
+    pub fn state_dim(&self) -> usize {
+        self.shared.state_dim
+    }
+
+    /// Action dimension the served policy produces.
+    pub fn action_dim(&self) -> usize {
+        self.shared.action_dim
+    }
+
+    /// Enqueues an observation (round-robin across shards) and returns
+    /// immediately with a [`PendingAction`] to collect the response
+    /// from — the open-loop submission path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WrongDimension`] for a mis-sized
+    /// observation, [`ServeError::Shutdown`] if the server has shut
+    /// down.
+    pub fn submit(&self, obs: &[f64]) -> Result<PendingAction, ServeError> {
+        if obs.len() != self.shared.state_dim {
+            return Err(ServeError::WrongDimension {
+                expected: self.shared.state_dim,
+                got: obs.len(),
+            });
+        }
+        let shards = self.shared.queues.len();
+        let shard = self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % shards;
+        let (reply, rx) = oneshot();
+        let request = Request {
+            obs: obs.to_vec(),
+            reply,
+        };
+        if self.shared.queues[shard].push(request).is_err() {
+            return Err(ServeError::Shutdown);
+        }
+        self.shared.counters[shard]
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(PendingAction { rx })
+    }
+
+    /// Blocking convenience wrapper: [`ServeClient::submit`] +
+    /// [`PendingAction::wait`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeClient::submit`], plus anything the batcher reports
+    /// (e.g. [`ServeError::Inference`]).
+    pub fn request(&self, obs: &[f64]) -> Result<ActionResponse, ServeError> {
+        self.submit(obs)?.wait()
+    }
+}
+
+/// A response that has been requested but possibly not yet served.
+pub struct PendingAction {
+    rx: OneShotReceiver<Result<ActionResponse, ServeError>>,
+}
+
+impl PendingAction {
+    /// Blocks until the micro-batch containing this request is served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Shutdown`] if the server died before
+    /// serving it, or whatever error the batcher reported.
+    pub fn wait(self) -> Result<ActionResponse, ServeError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+}
+
+/// Trainer-side handle: publish fresher snapshots without ever blocking
+/// the request path (the swap is O(1) under a lock no inference holds).
+pub struct SnapshotPublisher<S: Scalar> {
+    shared: Arc<Shared<S>>,
+}
+
+impl<S: Scalar> Clone for SnapshotPublisher<S> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<S: Scalar> SnapshotPublisher<S> {
+    /// Atomically swaps in `snapshot` (typically at an episode
+    /// boundary), returning its id. Batches already in flight finish on
+    /// the snapshot they loaded; every later batch serves — and is
+    /// stamped with — the new id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WrongDimension`] if the snapshot's
+    /// dimensions differ from the served policy's, and
+    /// [`ServeError::StaleSnapshot`] unless its id strictly increases.
+    pub fn publish(&self, snapshot: PolicySnapshot<S>) -> Result<u64, ServeError> {
+        if snapshot.state_dim() != self.shared.state_dim {
+            return Err(ServeError::WrongDimension {
+                expected: self.shared.state_dim,
+                got: snapshot.state_dim(),
+            });
+        }
+        if snapshot.action_dim() != self.shared.action_dim {
+            return Err(ServeError::WrongDimension {
+                expected: self.shared.action_dim,
+                got: snapshot.action_dim(),
+            });
+        }
+        self.shared.store.publish(snapshot)
+    }
+
+    /// Id currently being served (the floor for the next publish).
+    pub fn current_id(&self) -> u64 {
+        self.shared.store.current_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_fixed::Fx32;
+    use fixar_rl::{Ddpg, DdpgConfig};
+
+    fn agent() -> Ddpg<Fx32> {
+        Ddpg::new(3, 1, DdpgConfig::small_test()).unwrap()
+    }
+
+    fn obs(i: usize) -> Vec<f64> {
+        (0..3).map(|c| ((i * 3 + c) as f64).sin() * 0.8).collect()
+    }
+
+    #[test]
+    fn serves_and_stamps_snapshot_ids() {
+        let a = agent();
+        let server = ActionServer::start(a.policy_snapshot(0), ServeConfig::default()).unwrap();
+        let client = server.client();
+        let snap = a.policy_snapshot(0);
+        for i in 0..32 {
+            let resp = client.request(&obs(i)).unwrap();
+            assert_eq!(resp.snapshot_id, 0);
+            assert!(resp.batch_rows >= 1);
+            assert_eq!(resp.action, snap.select_action(&obs(i)).unwrap());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), 32);
+        assert_eq!(stats.shards.len(), 1);
+        assert!(stats.batches() >= 1);
+    }
+
+    #[test]
+    fn rejects_bad_configs_and_bad_dimensions() {
+        let a = agent();
+        assert!(matches!(
+            ActionServer::start(
+                a.policy_snapshot(0),
+                ServeConfig {
+                    max_batch: 0,
+                    ..ServeConfig::default()
+                }
+            ),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        let server = ActionServer::start(a.policy_snapshot(0), ServeConfig::default()).unwrap();
+        assert!(matches!(
+            server.client().request(&[1.0]),
+            Err(ServeError::WrongDimension {
+                expected: 3,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn publish_swaps_ids_and_rejects_stale_ones() {
+        let a = agent();
+        let server = ActionServer::start(a.policy_snapshot(3), ServeConfig::default()).unwrap();
+        let publisher = server.publisher();
+        assert_eq!(publisher.publish(a.policy_snapshot(4)).unwrap(), 4);
+        assert_eq!(server.current_snapshot_id(), 4);
+        assert!(matches!(
+            publisher.publish(a.policy_snapshot(4)),
+            Err(ServeError::StaleSnapshot {
+                current: 4,
+                offered: 4
+            })
+        ));
+        let resp = server.client().request(&obs(0)).unwrap();
+        assert_eq!(resp.snapshot_id, 4);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests_then_rejects_new_ones() {
+        let a = agent();
+        let server = ActionServer::start(
+            a.policy_snapshot(0),
+            ServeConfig {
+                shards: 2,
+                max_delay: Duration::from_millis(1),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let client = server.client();
+        let pending: Vec<_> = (0..16).map(|i| client.submit(&obs(i)).unwrap()).collect();
+        drop(server); // graceful drain
+        for p in pending {
+            p.wait().unwrap();
+        }
+        assert!(matches!(client.submit(&obs(0)), Err(ServeError::Shutdown)));
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_correct_rows() {
+        let a = agent();
+        let server = ActionServer::start(
+            a.policy_snapshot(0),
+            ServeConfig {
+                shards: 2,
+                max_batch: 8,
+                max_delay: Duration::from_micros(200),
+                workers: 2,
+            },
+        )
+        .unwrap();
+        let reference = a.policy_snapshot(0);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let client = server.client();
+                thread::spawn(move || {
+                    (0..25)
+                        .map(|i| {
+                            let o = obs(t * 100 + i);
+                            (o.clone(), client.request(&o).unwrap())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for t in threads {
+            for (o, resp) in t.join().unwrap() {
+                assert_eq!(resp.action, reference.select_action(&o).unwrap());
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), 100);
+        assert_eq!(stats.shards.iter().map(|s| s.served_rows).sum::<u64>(), 100);
+    }
+}
