@@ -59,5 +59,5 @@ pub use memory::{ActivationMemory, GradientMemory, LayerImage, NetworkImage, Wei
 pub use pe::{ConfigurablePe, PeMode};
 pub use power::PowerModel;
 pub use prng::{IrwinHallGaussian, Lfsr32};
-pub use resource::{ResourceModel, ResourceUsage, U50_BUDGET};
+pub use resource::{LayerFormat, PrecisionPlanCost, ResourceModel, ResourceUsage, U50_BUDGET};
 pub use serving::MicroBatchServing;

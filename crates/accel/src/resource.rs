@@ -5,6 +5,17 @@
 //! on-chip model state, 16 Adam lanes) reproduces Table I exactly. The
 //! host-interface blocks (kernel interface, HBM controller, PCIe DMA) are
 //! fixed IP and do not scale.
+//!
+//! Beyond the fixed Table I design point, [`ResourceModel`] also prices
+//! **per-layer precision plans** ([`ResourceModel::price_layer_formats`]):
+//! a network described as one [`LayerFormat`] per layer (dimensions plus
+//! the frozen [`QFormat`] its activations and weights carry, `None` for
+//! full 32-bit) maps to a MAC datapath width, a PE-array footprint at
+//! that width, and an on-chip weight-memory footprint at the per-layer
+//! storage widths — the hardware face of the `fixar-nn` precision-policy
+//! axis.
+
+use fixar_fixed::QFormat;
 
 use crate::accelerator::AccelConfig;
 
@@ -179,6 +190,145 @@ impl ResourceModel {
         let (lut, ff, bram, uram, dsp) = self.utilization(budget);
         lut <= 1.0 && ff <= 1.0 && bram <= 1.0 && uram <= 1.0 && dsp <= 1.0
     }
+
+    /// The PE-array footprint at a MAC datapath width of `bits`,
+    /// calibrated so 16 bits reproduces Table I's "PEs" row exactly.
+    ///
+    /// LUT and FF scale linearly with the datapath width (adders,
+    /// accumulators, and pipeline registers are width-proportional);
+    /// DSP count scales with the number of 16-bit multiplier slots a
+    /// `bits`-wide product occupies (`ceil(bits / 16)` — a narrower MAC
+    /// still holds its slot, a 32-bit MAC cascades two).
+    pub fn pe_array_cost(&self, bits: u32) -> ResourceUsage {
+        let pe_scale = self.cfg.pe_count_total() as f64 / PE_COUNT_REF;
+        let width = f64::from(bits.max(1)) / f64::from(MAC_WIDTH_REF);
+        let slots = f64::from(bits.max(1).div_ceil(MAC_WIDTH_REF));
+        ResourceUsage {
+            lut: 216_300.0 * pe_scale * width,
+            ff: 161_800.0 * pe_scale * width,
+            bram: 0.0,
+            uram: 0.0,
+            dsp: 2_295.0 * pe_scale * slots,
+        }
+    }
+
+    /// Prices a per-layer precision plan: PE array at the plan's MAC
+    /// width (the widest layer sets the time-shared datapath), weight
+    /// memory at each layer's own storage width, gradient memory at the
+    /// full 32-bit training width.
+    ///
+    /// An empty plan prices the all-32-bit single-layer degenerate case
+    /// (MAC width 32, no weight storage).
+    pub fn price_layer_formats(&self, layers: &[LayerFormat]) -> PrecisionPlanCost {
+        let mac_width_bits = layers
+            .iter()
+            .map(LayerFormat::storage_bits)
+            .max()
+            .unwrap_or(FULL_PRECISION_BITS);
+        let mut weight_mem_bytes = 0u64;
+        let mut gradient_mem_bytes = 0u64;
+        for layer in layers {
+            let params = layer.param_count() as u64;
+            weight_mem_bytes += (params * u64::from(layer.storage_bits())).div_ceil(8);
+            gradient_mem_bytes += params * u64::from(FULL_PRECISION_BITS) / 8;
+        }
+        let mem_scale = (weight_mem_bytes + gradient_mem_bytes) as f64 / MEM_BYTES_REF;
+        let memory = ResourceUsage {
+            lut: 10_300.0 * mem_scale,
+            ff: 0.0,
+            bram: 584.0 * mem_scale,
+            uram: 128.0 * mem_scale,
+            dsp: 0.0,
+        };
+        PrecisionPlanCost {
+            mac_width_bits,
+            weight_mem_bytes,
+            gradient_mem_bytes,
+            pe: self.pe_array_cost(mac_width_bits),
+            memory,
+        }
+    }
+}
+
+/// The reference MAC datapath width (bits) of the Table I design point.
+const MAC_WIDTH_REF: u32 = 16;
+
+/// Storage and gradient width (bits) of full-precision layers.
+const FULL_PRECISION_BITS: u32 = 32;
+
+/// One layer of a per-layer precision plan: its dense dimensions and the
+/// frozen activation/weight format it runs at (`None` = full 32-bit).
+///
+/// This is the bridge from a frozen `fixar-nn` precision policy to the
+/// resource model: a `PolicySnapshot`'s per-point formats plus the MLP's
+/// layer dimensions describe exactly one plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerFormat {
+    /// Fan-in of the dense layer.
+    pub inputs: usize,
+    /// Fan-out of the dense layer.
+    pub outputs: usize,
+    /// Frozen fixed-point format, or `None` for full precision.
+    pub format: Option<QFormat>,
+}
+
+impl LayerFormat {
+    /// A layer priced at an explicit format.
+    pub fn quantized(inputs: usize, outputs: usize, format: QFormat) -> Self {
+        Self {
+            inputs,
+            outputs,
+            format: Some(format),
+        }
+    }
+
+    /// A full-precision (32-bit) layer.
+    pub fn full_precision(inputs: usize, outputs: usize) -> Self {
+        Self {
+            inputs,
+            outputs,
+            format: None,
+        }
+    }
+
+    /// Weights + biases stored for this layer.
+    pub fn param_count(&self) -> usize {
+        self.inputs * self.outputs + self.outputs
+    }
+
+    /// Storage width in bits (the format's total width, or 32).
+    pub fn storage_bits(&self) -> u32 {
+        self.format
+            .map_or(FULL_PRECISION_BITS, |f| f.total_bits().max(1))
+    }
+}
+
+/// Priced outcome of a per-layer precision plan — what a configuration
+/// on the accuracy-vs-bits frontier costs in silicon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionPlanCost {
+    /// MAC datapath width: the widest layer's storage width (the PE
+    /// array is time-shared across layers, so it must carry the widest).
+    pub mac_width_bits: u32,
+    /// On-chip weight storage at the per-layer widths.
+    pub weight_mem_bytes: u64,
+    /// On-chip gradient storage (always full 32-bit training width).
+    pub gradient_mem_bytes: u64,
+    /// PE-array footprint at [`PrecisionPlanCost::mac_width_bits`].
+    pub pe: ResourceUsage,
+    /// On-chip memory footprint at the plan's storage widths.
+    pub memory: ResourceUsage,
+}
+
+impl PrecisionPlanCost {
+    /// Summed PE + memory footprint (the precision-dependent part of the
+    /// design; host-interface IP is fixed and priced by
+    /// [`ResourceModel::total`]).
+    pub fn total(&self) -> ResourceUsage {
+        let mut t = self.pe;
+        t.add(self.memory);
+        t
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +413,89 @@ mod tests {
                 .1;
             assert_eq!(s.lut, b.lut, "{name} must not scale");
         }
+    }
+
+    #[test]
+    fn sixteen_bit_uniform_plan_reproduces_table1_pe_row() {
+        // The paper's actor at the default design point, uniformly
+        // Q2.14: the MAC width is 16, so the PE row must tie back to
+        // Table I exactly.
+        let model = ResourceModel::new(AccelConfig::default());
+        let fmt = QFormat::new(16, 14).unwrap();
+        let plan = [
+            LayerFormat::quantized(17, 400, fmt),
+            LayerFormat::quantized(400, 300, fmt),
+            LayerFormat::quantized(300, 6, fmt),
+        ];
+        let cost = model.price_layer_formats(&plan);
+        assert_eq!(cost.mac_width_bits, 16);
+        assert_eq!(cost.pe, model.components()[0].1);
+    }
+
+    #[test]
+    fn narrower_formats_cost_less_wider_cost_more() {
+        let model = ResourceModel::new(AccelConfig::default());
+        let dims = [(17usize, 400usize), (400, 300), (300, 6)];
+        let plan_at = |bits: u32| -> PrecisionPlanCost {
+            let fmt = QFormat::new(bits, bits / 2).unwrap();
+            let layers: Vec<LayerFormat> = dims
+                .iter()
+                .map(|&(i, o)| LayerFormat::quantized(i, o, fmt))
+                .collect();
+            model.price_layer_formats(&layers)
+        };
+        let p8 = plan_at(8);
+        let p16 = plan_at(16);
+        let p32 = plan_at(32);
+        assert!(p8.pe.lut < p16.pe.lut && p16.pe.lut < p32.pe.lut);
+        assert!(p8.weight_mem_bytes < p16.weight_mem_bytes);
+        assert!(p16.weight_mem_bytes < p32.weight_mem_bytes);
+        // Gradients always train at 32 bits, so they don't shrink.
+        assert_eq!(p8.gradient_mem_bytes, p16.gradient_mem_bytes);
+        // A 32-bit product cascades two 16-bit multiplier slots.
+        assert_eq!(p32.pe.dsp, 2.0 * p16.pe.dsp);
+        assert_eq!(p8.pe.dsp, p16.pe.dsp);
+    }
+
+    #[test]
+    fn mixed_precision_plan_prices_between_the_uniform_arms() {
+        let model = ResourceModel::new(AccelConfig::default());
+        let q8 = QFormat::new(8, 6).unwrap();
+        let q16 = QFormat::new(16, 14).unwrap();
+        let uniform8: Vec<LayerFormat> = [(17, 400), (400, 300), (300, 6)]
+            .iter()
+            .map(|&(i, o)| LayerFormat::quantized(i, o, q8))
+            .collect();
+        let uniform16: Vec<LayerFormat> = uniform8
+            .iter()
+            .map(|l| LayerFormat::quantized(l.inputs, l.outputs, q16))
+            .collect();
+        let mixed = [
+            LayerFormat::quantized(17, 400, q8),
+            LayerFormat::quantized(400, 300, q16),
+            LayerFormat::quantized(300, 6, q8),
+        ];
+        let c8 = model.price_layer_formats(&uniform8);
+        let c16 = model.price_layer_formats(&uniform16);
+        let cm = model.price_layer_formats(&mixed);
+        // The widest layer pins the shared datapath...
+        assert_eq!(cm.mac_width_bits, 16);
+        assert_eq!(cm.pe, c16.pe);
+        // ...but per-layer storage still saves memory.
+        assert!(c8.weight_mem_bytes < cm.weight_mem_bytes);
+        assert!(cm.weight_mem_bytes < c16.weight_mem_bytes);
+        assert!(cm.memory.bram < c16.memory.bram);
+        assert!(cm.total().lut <= c16.total().lut);
+    }
+
+    #[test]
+    fn full_precision_layers_price_at_32_bits() {
+        let model = ResourceModel::new(AccelConfig::default());
+        let plan = [LayerFormat::full_precision(10, 4)];
+        let cost = model.price_layer_formats(&plan);
+        assert_eq!(cost.mac_width_bits, 32);
+        assert_eq!(cost.weight_mem_bytes, (10 * 4 + 4) * 4);
+        assert_eq!(cost.weight_mem_bytes, cost.gradient_mem_bytes);
     }
 
     #[test]

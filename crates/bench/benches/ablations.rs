@@ -138,7 +138,7 @@ fn bench_ablations(c: &mut Criterion) {
     cfg.hidden = (64, 48);
     for workers in [1usize, 2, 4] {
         group.bench_function(format!("workers_{workers}"), |b| {
-            let mut agent = Ddpg::<Fx32>::new(17, 6, cfg).unwrap();
+            let mut agent = Ddpg::<Fx32>::new(17, 6, cfg.clone()).unwrap();
             let refs: Vec<&Transition> = data.iter().collect();
             b.iter(|| agent.train_batch_parallel(&refs, workers).unwrap());
         });

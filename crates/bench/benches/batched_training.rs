@@ -70,7 +70,7 @@ fn print_speedup_table() {
         let batch = TransitionBatch::from_transitions(&refs).expect("homogeneous batch");
         let cfg = study_config().with_batch_size(batch_size);
 
-        let mut per_sample = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+        let mut per_sample = Ddpg::<Fx32>::new(3, 1, cfg.clone()).expect("valid config");
         let mut batched = per_sample.clone();
 
         let reps = 31;
@@ -124,7 +124,7 @@ fn print_worker_sweep_table() {
         let mut base_ms = 0.0;
         let mut row = vec![batch_size.to_string()];
         for &workers in &WORKER_COUNTS {
-            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg.clone()).expect("valid config");
             agent.set_parallelism(Parallelism::with_workers(workers));
             let t = time_steps(
                 || {
@@ -173,7 +173,7 @@ fn bench_training_paths(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("ddpg_train_step_b{batch_size}"));
         group.sample_size(10);
         group.bench_function("per_sample", |b| {
-            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg.clone()).expect("valid config");
             b.iter(|| {
                 agent
                     .train_batch(std::hint::black_box(&refs))
@@ -181,7 +181,7 @@ fn bench_training_paths(c: &mut Criterion) {
             });
         });
         group.bench_function("batched", |b| {
-            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg.clone()).expect("valid config");
             b.iter(|| {
                 agent
                     .train_minibatch(std::hint::black_box(&batch))
@@ -189,7 +189,7 @@ fn bench_training_paths(c: &mut Criterion) {
             });
         });
         group.bench_function("batched_pool4", |b| {
-            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).expect("valid config");
+            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg.clone()).expect("valid config");
             agent.set_parallelism(Parallelism::with_workers(4));
             b.iter(|| {
                 agent

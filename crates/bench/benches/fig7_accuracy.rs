@@ -65,17 +65,17 @@ fn bench_train_batch(c: &mut Criterion) {
     let data = toy_batch(3, 1, cfg.batch_size);
 
     group.bench_function("float32", |b| {
-        let mut agent = Ddpg::<f32>::new(3, 1, cfg).unwrap();
+        let mut agent = Ddpg::<f32>::new(3, 1, cfg.clone()).unwrap();
         let refs: Vec<&Transition> = data.iter().collect();
         b.iter(|| agent.train_batch(&refs).unwrap());
     });
     group.bench_function("fixed32", |b| {
-        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg.clone()).unwrap();
         let refs: Vec<&Transition> = data.iter().collect();
         b.iter(|| agent.train_batch(&refs).unwrap());
     });
     group.bench_function("fixed16", |b| {
-        let mut agent = Ddpg::<Fx16>::new(3, 1, cfg).unwrap();
+        let mut agent = Ddpg::<Fx16>::new(3, 1, cfg.clone()).unwrap();
         let refs: Vec<&Transition> = data.iter().collect();
         b.iter(|| agent.train_batch(&refs).unwrap());
     });

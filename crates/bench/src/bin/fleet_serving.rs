@@ -80,7 +80,7 @@ fn main() {
     let mut records: Vec<Record> = Vec::new();
     for &fleet in &FLEET_SIZES {
         let mut pool = EnvPool::from_kind(EnvKind::Pendulum, fleet, 0);
-        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg.clone()).unwrap();
 
         // Per-sample baseline: one vector forward per env per step.
         let sps = time_rollout(&mut pool, steps, |obs, actions| {
@@ -99,7 +99,7 @@ fn main() {
 
         // Batched fleet selection across worker counts.
         for &workers in &WORKER_COUNTS {
-            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+            let mut agent = Ddpg::<Fx32>::new(3, 1, cfg.clone()).unwrap();
             agent.set_parallelism(Parallelism::with_workers(workers));
             let sps = time_rollout(&mut pool, steps, |obs, actions| {
                 let a = agent.select_actions_batch(obs).expect("batched inference");

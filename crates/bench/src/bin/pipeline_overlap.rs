@@ -175,7 +175,7 @@ fn main() {
             let mut t = VecTrainer::<Fx32>::new(
                 EnvPool::from_kind(EnvKind::Pendulum, 4, 0),
                 EnvKind::Pendulum.make(99),
-                cfg,
+                cfg.clone(),
             )
             .unwrap();
             t.set_overlap(overlap);

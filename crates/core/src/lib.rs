@@ -49,12 +49,15 @@ pub use fixar_rl::{DdpgConfig, PrecisionMode, RlError, Trainer, TrainingReport};
 pub mod prelude {
     pub use fixar_accel::{
         AccelConfig, BatchedInferenceSchedule, DoubleBufferedServing, FixarAccelerator, GpuModel,
-        InferenceSchedule, MicroBatchServing, PowerModel, Precision, ResourceModel,
-        TrainingSchedule, U50_BUDGET,
+        InferenceSchedule, LayerFormat, MicroBatchServing, PowerModel, Precision,
+        PrecisionPlanCost, ResourceModel, TrainingSchedule, U50_BUDGET,
     };
     pub use fixar_env::{EnvKind, EnvPool, EnvSpec, Environment, EpisodeStats, StepResult};
-    pub use fixar_fixed::{AffineQuantizer, Fx16, Fx32, RangeMonitor, Scalar, Q16, Q32};
-    pub use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, QatMode, QatRuntime};
+    pub use fixar_fixed::{AffineQuantizer, Fx16, Fx32, QFormat, RangeMonitor, Scalar, Q16, Q32};
+    pub use fixar_nn::{
+        Activation, Adam, AdamConfig, Mlp, MlpConfig, PrecisionError, PrecisionPolicy, QatMode,
+        QatRuntime, QatRuntimeBuilder,
+    };
     pub use fixar_platform::{CpuGpuPlatformModel, FixarCosim, FixarPlatformModel};
     pub use fixar_pool::{KernelScope, Parallelism, PoolError, WorkerPool, WORKERS_ENV};
     pub use fixar_rl::{
@@ -130,7 +133,7 @@ impl FixarSystem {
     /// `DynamicFixed` arm enables QAT (defaulting the quantization delay
     /// to `total_steps / 4` when unset); all other arms disable it.
     pub fn effective_config(&self, total_steps: u64) -> DdpgConfig {
-        let mut cfg = self.cfg;
+        let mut cfg = self.cfg.clone();
         if self.mode.uses_qat() {
             if cfg.qat.is_none() {
                 cfg = cfg.with_qat((total_steps / 4).max(1), 16);
@@ -158,16 +161,18 @@ impl FixarSystem {
         let env = self.env.make(self.train_seed);
         let eval_env = self.env.make(self.eval_seed);
         let training = match self.mode {
-            PrecisionMode::Float32 => Trainer::<f32>::new(env, eval_env, cfg)?.run(
+            PrecisionMode::Float32 => Trainer::<f32>::new(env, eval_env, cfg.clone())?.run(
                 total_steps,
                 eval_every,
                 eval_episodes,
             )?,
             PrecisionMode::Fixed32 | PrecisionMode::DynamicFixed => Trainer::<Fx32>::new(
-                env, eval_env, cfg,
+                env,
+                eval_env,
+                cfg.clone(),
             )?
             .run(total_steps, eval_every, eval_episodes)?,
-            PrecisionMode::Fixed16 => Trainer::<Fx16>::new(env, eval_env, cfg)?.run(
+            PrecisionMode::Fixed16 => Trainer::<Fx16>::new(env, eval_env, cfg.clone())?.run(
                 total_steps,
                 eval_every,
                 eval_episodes,
@@ -222,9 +227,11 @@ pub fn precision_study(
     PrecisionMode::ALL
         .iter()
         .map(|&mode| {
-            FixarSystem::new(env, mode)
-                .with_config(cfg)
-                .run(total_steps, eval_every, eval_episodes)
+            FixarSystem::new(env, mode).with_config(cfg.clone()).run(
+                total_steps,
+                eval_every,
+                eval_episodes,
+            )
         })
         .collect()
 }
@@ -251,8 +258,8 @@ mod tests {
         let sys = FixarSystem::new(EnvKind::Pendulum, PrecisionMode::DynamicFixed)
             .with_config(DdpgConfig::small_test());
         let cfg = sys.effective_config(1000);
-        assert_eq!(cfg.qat.map(|q| q.delay), Some(250));
-        assert_eq!(cfg.qat.map(|q| q.bits), Some(16));
+        assert_eq!(cfg.qat.as_ref().map(|q| q.delay), Some(250));
+        assert_eq!(cfg.qat.as_ref().map(|q| q.bits), Some(16));
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod scalar;
 pub use monitor::RangeMonitor;
 pub use q16::Q16;
 pub use q32::Q32;
-pub use quant::{AffineQuantizer, QuantError};
+pub use quant::{AffineQuantizer, QFormat, QuantError};
 pub use scalar::Scalar;
 
 /// Default 32-bit fixed-point format (Q12.20) used by FIXAR for weights,

@@ -36,6 +36,135 @@ impl fmt::Display for QuantError {
 
 impl Error for QuantError {}
 
+/// A fixed-point number format `Qm.n`: `total_bits` of storage, of which
+/// `frac_bits` sit right of the binary point (so `m = total_bits -
+/// frac_bits` integer bits, sign included).
+///
+/// `QFormat` is the value type of the per-layer precision axis: FIXAR's
+/// ADFP picks one Qm.n per tensor by range observation, and the
+/// precision-policy machinery in `fixar-nn` lets every activation point
+/// carry its own format. A format describes a *grid* — step size
+/// [`QFormat::delta`] and representable range [`QFormat::min_value`] ..
+/// [`QFormat::max_value`] — independent of any calibration data.
+///
+/// # Example
+///
+/// ```
+/// use fixar_fixed::QFormat;
+///
+/// // Q4.12: 16 bits, 12 fractional — range ±8, step 2^-12.
+/// let fmt = QFormat::q(4, 12)?;
+/// assert_eq!(fmt.total_bits(), 16);
+/// assert_eq!(fmt.frac_bits(), 12);
+/// assert_eq!(fmt.delta(), 1.0 / 4096.0);
+/// assert_eq!(fmt.to_string(), "Q4.12");
+/// # Ok::<(), fixar_fixed::QuantError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    total_bits: u32,
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Builds a format from integer bits `m` (sign included) and
+    /// fractional bits `n` — the paper's `Qm.n` notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidBits`] when `m + n` is 0 or above 32.
+    pub fn q(m: u32, n: u32) -> Result<Self, QuantError> {
+        Self::new(m + n, n)
+    }
+
+    /// Builds a format from a total width and a fractional-bit count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidBits`] when `total_bits` is 0 or
+    /// above 32, or `frac_bits > total_bits`.
+    pub fn new(total_bits: u32, frac_bits: u32) -> Result<Self, QuantError> {
+        if total_bits == 0 || total_bits > 32 || frac_bits > total_bits {
+            return Err(QuantError::InvalidBits(total_bits));
+        }
+        Ok(Self {
+            total_bits,
+            frac_bits,
+        })
+    }
+
+    /// Picks the widest-resolution `total_bits`-wide format whose range
+    /// still covers `[min, max]` — the ADFP format-selection rule:
+    /// integer bits from the observed magnitude, every remaining bit
+    /// spent on resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidBits`] as [`QFormat::new`] and
+    /// [`QuantError::DegenerateRange`] when the range is empty or
+    /// non-finite.
+    pub fn for_range(total_bits: u32, min: f64, max: f64) -> Result<Self, QuantError> {
+        if total_bits == 0 || total_bits > 32 {
+            return Err(QuantError::InvalidBits(total_bits));
+        }
+        if min > max || (min == 0.0 && max == 0.0) || !min.is_finite() || !max.is_finite() {
+            return Err(QuantError::DegenerateRange { min, max });
+        }
+        let max_abs = min.abs().max(max.abs());
+        // Magnitude bits needed so that ±2^(m-1) covers max_abs (one of
+        // the m integer bits is the sign).
+        let mag = if max_abs <= 1.0 {
+            0
+        } else {
+            max_abs.log2().ceil() as u32
+        };
+        let int_bits = (mag + 1).min(total_bits);
+        Self::new(total_bits, total_bits - int_bits)
+    }
+
+    /// Total storage width in bits.
+    #[inline]
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Fractional bits (right of the binary point).
+    #[inline]
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Integer bits `m = total_bits - frac_bits`, sign included.
+    #[inline]
+    pub fn int_bits(&self) -> u32 {
+        self.total_bits - self.frac_bits
+    }
+
+    /// Grid step size `2^-frac_bits`.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        (0.5f64).powi(self.frac_bits as i32)
+    }
+
+    /// Smallest representable value, `-2^(m-1)` (two's complement).
+    #[inline]
+    pub fn min_value(&self) -> f64 {
+        -((1u64 << (self.total_bits - 1)) as f64) * self.delta()
+    }
+
+    /// Largest representable value, `2^(m-1) - delta`.
+    #[inline]
+    pub fn max_value(&self) -> f64 {
+        ((1u64 << (self.total_bits - 1)) - 1) as f64 * self.delta()
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits(), self.frac_bits)
+    }
+}
+
 /// Affine (asymmetric) quantizer implementing the paper's Algorithm 1:
 ///
 /// ```text
@@ -109,6 +238,60 @@ impl AffineQuantizer {
                 min: f64::INFINITY,
                 max: f64::NEG_INFINITY,
             }),
+        }
+    }
+
+    /// Builds a quantizer on an explicit [`QFormat`] grid, independent of
+    /// any calibration range: `δ = 2^-frac_bits`, `z = 2^(total_bits-1)`
+    /// (the two's-complement midpoint), codes clamped to
+    /// `[0, 2^total_bits - 1]`.
+    ///
+    /// Unlike [`AffineQuantizer::from_range`], zero is always exactly
+    /// representable, and two quantizers built from the same format are
+    /// identical regardless of what data flowed past — the property that
+    /// makes explicit per-layer formats reproducible across workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidBits`] when the format is wider than
+    /// 31 bits (the code arithmetic is `i64`; the 32-bit weight format is
+    /// representable as a [`QFormat`] but not servable as an activation
+    /// quantizer).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fixar_fixed::{AffineQuantizer, QFormat};
+    ///
+    /// let q = AffineQuantizer::from_format(QFormat::q(4, 4)?)?;
+    /// assert_eq!(q.fake_quantize(0.0), 0.0);
+    /// assert_eq!(q.fake_quantize(1.30), 1.25); // floor onto the 2^-4 grid
+    /// # Ok::<(), fixar_fixed::QuantError>(())
+    /// ```
+    pub fn from_format(format: QFormat) -> Result<Self, QuantError> {
+        let bits = format.total_bits();
+        if bits > 31 {
+            return Err(QuantError::InvalidBits(bits));
+        }
+        Ok(Self {
+            delta: format.delta(),
+            zero_point: 1i64 << (bits - 1),
+            bits,
+            max_code: (1i64 << bits) - 1,
+        })
+    }
+
+    /// The effective `Qm.n` format of this quantizer's grid: total width
+    /// is the code width, fractional bits from `round(-log2(δ))` (clamped
+    /// into the format's validity window). Exact for
+    /// [`AffineQuantizer::from_format`] quantizers; for range-calibrated
+    /// ones this is the nearest power-of-two description of the learned
+    /// step, which is what resource pricing wants.
+    pub fn format(&self) -> QFormat {
+        let frac = (-self.delta.log2()).round().clamp(0.0, self.bits as f64) as u32;
+        QFormat {
+            total_bits: self.bits,
+            frac_bits: frac,
         }
     }
 
@@ -256,6 +439,59 @@ mod tests {
         for (x, o) in xs.iter().zip(orig) {
             assert!((x.to_f64() - o).abs() <= q.delta() + 1e-5);
         }
+    }
+
+    #[test]
+    fn qformat_grid_properties() {
+        let fmt = QFormat::q(4, 12).unwrap();
+        assert_eq!(fmt.total_bits(), 16);
+        assert_eq!(fmt.int_bits(), 4);
+        assert_eq!(fmt.delta(), 1.0 / 4096.0);
+        assert_eq!(fmt.min_value(), -8.0);
+        assert_eq!(fmt.max_value(), 8.0 - fmt.delta());
+        assert_eq!(fmt.to_string(), "Q4.12");
+        assert!(QFormat::new(0, 0).is_err());
+        assert!(QFormat::new(33, 0).is_err());
+        assert!(QFormat::new(8, 9).is_err());
+        // The 32-bit weight format is describable...
+        assert!(QFormat::new(32, 20).is_ok());
+        // ...but not servable as an activation quantizer.
+        assert!(AffineQuantizer::from_format(QFormat::new(32, 20).unwrap()).is_err());
+    }
+
+    #[test]
+    fn qformat_for_range_spends_spare_bits_on_resolution() {
+        // |max| = 6 needs 3 magnitude bits + sign → Q4.12 at 16 bits.
+        let fmt = QFormat::for_range(16, -2.0, 6.0).unwrap();
+        assert_eq!(fmt.to_string(), "Q4.12");
+        assert!(fmt.max_value() >= 6.0);
+        // Sub-unit ranges keep one integer (sign) bit.
+        let small = QFormat::for_range(8, -0.5, 0.5).unwrap();
+        assert_eq!(small.to_string(), "Q1.7");
+        assert!(QFormat::for_range(8, 1.0, -1.0).is_err());
+        assert!(QFormat::for_range(8, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn format_quantizer_is_data_independent_and_zero_exact() {
+        let fmt = QFormat::q(4, 4).unwrap();
+        let q = AffineQuantizer::from_format(fmt).unwrap();
+        assert_eq!(q.bits(), 8);
+        assert_eq!(q.delta(), fmt.delta());
+        assert_eq!(q.fake_quantize(0.0), 0.0);
+        assert_eq!(q.fake_quantize(1.30), 1.25);
+        // Saturation at the format's rails.
+        assert_eq!(q.fake_quantize(100.0), fmt.max_value());
+        assert_eq!(q.fake_quantize(-100.0), fmt.min_value());
+        // The effective format round-trips exactly.
+        assert_eq!(q.format(), fmt);
+    }
+
+    #[test]
+    fn range_calibrated_format_reports_nearest_grid() {
+        let q = AffineQuantizer::from_range(-2.0, 2.0, 8).unwrap();
+        // δ = 4/256 = 2^-6 exactly → Q2.6.
+        assert_eq!(q.format(), QFormat::q(2, 6).unwrap());
     }
 
     #[test]

@@ -6,6 +6,8 @@ use std::error::Error;
 use fixar_fixed::QuantError;
 use fixar_tensor::{PoolError, ShapeError};
 
+use crate::qat::PrecisionError;
+
 /// Error produced by network construction, inference, or training.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NnError {
@@ -16,6 +18,9 @@ pub enum NnError {
     InvalidConfig(String),
     /// QAT calibration failed (see [`QuantError`]).
     Quant(QuantError),
+    /// A precision policy was invalid or two runtimes' precision plans
+    /// disagreed (see [`PrecisionError`]).
+    Precision(PrecisionError),
     /// A worker-pool task panicked inside a fused kernel scope. The
     /// panic was contained on its worker (sibling kernels in the scope
     /// still ran, the process did not abort) and the pool stays usable.
@@ -28,6 +33,7 @@ impl fmt::Display for NnError {
             NnError::Shape(e) => write!(f, "tensor shape error: {e}"),
             NnError::InvalidConfig(msg) => write!(f, "invalid network config: {msg}"),
             NnError::Quant(e) => write!(f, "quantization error: {e}"),
+            NnError::Precision(e) => write!(f, "precision policy error: {e}"),
             NnError::Pool(e) => write!(f, "pool scope error: {e}"),
         }
     }
@@ -38,6 +44,7 @@ impl Error for NnError {
         match self {
             NnError::Shape(e) => Some(e),
             NnError::Quant(e) => Some(e),
+            NnError::Precision(e) => Some(e),
             NnError::Pool(e) => Some(e),
             NnError::InvalidConfig(_) => None,
         }
@@ -53,6 +60,12 @@ impl From<ShapeError> for NnError {
 impl From<QuantError> for NnError {
     fn from(e: QuantError) -> Self {
         NnError::Quant(e)
+    }
+}
+
+impl From<PrecisionError> for NnError {
+    fn from(e: PrecisionError) -> Self {
+        NnError::Precision(e)
     }
 }
 

@@ -48,4 +48,6 @@ pub use mlp::{
     backward_batch_fused, forward_batch_fused, forward_batch_qat_fused, forward_batch_trace_fused,
     BatchTrace, ForwardTrace, FusedBackward, FusedForward, Mlp, MlpConfig, MlpGrads,
 };
-pub use qat::{QatMode, QatRuntime};
+pub use qat::{PrecisionError, PrecisionPolicy, QatMode, QatRuntime, QatRuntimeBuilder};
+
+pub use fixar_fixed::QFormat;

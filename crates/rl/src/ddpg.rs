@@ -1,7 +1,9 @@
 //! Deep Deterministic Policy Gradients in backend arithmetic.
 
 use fixar_fixed::Scalar;
-use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, MlpGrads, QatMode, QatRuntime};
+use fixar_nn::{
+    Activation, Adam, AdamConfig, Mlp, MlpConfig, MlpGrads, PrecisionPolicy, QatMode, QatRuntime,
+};
 use fixar_pool::Parallelism;
 use fixar_tensor::Matrix;
 
@@ -50,22 +52,77 @@ where
 }
 
 /// Algorithm 1's schedule: full-precision calibration for `delay`
-/// training timesteps, then `bits`-bit quantized activations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// training timesteps, then quantized activations.
+///
+/// The format each activation point freezes to is governed per network
+/// by a [`PrecisionPolicy`]: `actor_policy` drives the actor and
+/// actor-target runtimes, `critic_policy` the critic side. Leaving a
+/// policy `None` falls back to [`PrecisionPolicy::Uniform`] at `bits` —
+/// bit-for-bit the legacy global-bits behaviour. Split policies are the
+/// mixed-precision serving story: an 8-bit actor on the request path
+/// with 16-bit critics for training.
+#[derive(Debug, Clone, PartialEq)]
 pub struct QatSchedule {
     /// Quantization delay `d` in timesteps.
     pub delay: u64,
-    /// Post-delay activation bit width `n` (paper: 16).
+    /// Post-delay activation bit width `n` (paper: 16) — the fallback
+    /// when a per-network policy is not set.
     pub bits: u32,
     /// Calibration headroom: frozen ranges widen by this factor away
     /// from zero so moderate post-delay activation drift quantizes
     /// instead of clamping (see `QatRuntime::with_headroom`). Default 1.5.
     pub headroom: f64,
+    /// Precision policy for the actor and actor-target runtimes
+    /// (`None` = uniform at `bits`).
+    pub actor_policy: Option<PrecisionPolicy>,
+    /// Precision policy for the critic and critic-target runtimes
+    /// (`None` = uniform at `bits`).
+    pub critic_policy: Option<PrecisionPolicy>,
+}
+
+impl QatSchedule {
+    /// The legacy uniform schedule: every network quantizes to `bits`
+    /// bits after `delay` steps, with the default 1.5× headroom.
+    pub fn uniform(delay: u64, bits: u32) -> Self {
+        Self {
+            delay,
+            bits,
+            headroom: 1.5,
+            actor_policy: None,
+            critic_policy: None,
+        }
+    }
+
+    /// Builder-style actor-side precision policy.
+    pub fn with_actor_policy(mut self, policy: PrecisionPolicy) -> Self {
+        self.actor_policy = Some(policy);
+        self
+    }
+
+    /// Builder-style critic-side precision policy.
+    pub fn with_critic_policy(mut self, policy: PrecisionPolicy) -> Self {
+        self.critic_policy = Some(policy);
+        self
+    }
+
+    /// The effective actor-side policy (fallback: uniform at `bits`).
+    pub fn actor_policy(&self) -> PrecisionPolicy {
+        self.actor_policy
+            .clone()
+            .unwrap_or(PrecisionPolicy::Uniform { bits: self.bits })
+    }
+
+    /// The effective critic-side policy (fallback: uniform at `bits`).
+    pub fn critic_policy(&self) -> PrecisionPolicy {
+        self.critic_policy
+            .clone()
+            .unwrap_or(PrecisionPolicy::Uniform { bits: self.bits })
+    }
 }
 
 /// DDPG hyperparameters (defaults follow the paper where stated, and
 /// Lillicrap et al. 2015 otherwise).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DdpgConfig {
     /// Hidden-layer widths (paper: 400 and 300).
     pub hidden: (usize, usize),
@@ -140,14 +197,39 @@ impl DdpgConfig {
     }
 
     /// Builder-style QAT schedule (with the default 1.5× calibration
-    /// headroom).
+    /// headroom): uniform `bits`-bit quantization, the legacy path.
     pub fn with_qat(mut self, delay: u64, bits: u32) -> Self {
-        self.qat = Some(QatSchedule {
-            delay,
-            bits,
-            headroom: 1.5,
-        });
+        self.qat = Some(QatSchedule::uniform(delay, bits));
         self
+    }
+
+    /// Builder-style QAT schedule with explicit per-network precision
+    /// policies — the redesigned entry point. `bits` on the stored
+    /// schedule records each policy's nominal width for diagnostics.
+    pub fn with_qat_policies(
+        mut self,
+        delay: u64,
+        actor: PrecisionPolicy,
+        critic: PrecisionPolicy,
+    ) -> Self {
+        let bits = actor.nominal_bits().max(critic.nominal_bits());
+        self.qat = Some(
+            QatSchedule::uniform(delay, bits)
+                .with_actor_policy(actor)
+                .with_critic_policy(critic),
+        );
+        self
+    }
+
+    /// Builder-style mixed-precision QAT: `actor_bits`-bit actor (and
+    /// actor target) with `critic_bits`-bit critics — e.g. `(d, 8, 16)`
+    /// for 8-bit request-path serving and 16-bit training.
+    pub fn with_mixed_precision_qat(self, delay: u64, actor_bits: u32, critic_bits: u32) -> Self {
+        self.with_qat_policies(
+            delay,
+            PrecisionPolicy::Uniform { bits: actor_bits },
+            PrecisionPolicy::Uniform { bits: critic_bits },
+        )
     }
 
     /// Builder-style batch size.
@@ -184,7 +266,7 @@ impl DdpgConfig {
         if !(0.0..=1.0).contains(&self.tau) {
             return Err(RlError::InvalidConfig("tau must be in [0, 1]".into()));
         }
-        if let Some(q) = self.qat {
+        if let Some(q) = &self.qat {
             if q.bits == 0 || q.bits > 31 {
                 return Err(RlError::InvalidConfig(format!(
                     "qat bits must be 1..=31, got {}",
@@ -276,18 +358,27 @@ impl<S: Scalar> Ddpg<S> {
         );
         let points = actor.num_layers() + 1;
         let cpoints = critic.num_layers() + 1;
-        let (actor_qat, critic_qat, actor_target_qat, critic_target_qat) = match cfg.qat {
+        let (actor_qat, critic_qat, actor_target_qat, critic_target_qat) = match &cfg.qat {
             Some(q) => {
-                let make = |n: usize| {
-                    let mut rt = QatRuntime::new(n, q.bits).with_headroom(q.headroom);
+                let make = |n: usize, policy: PrecisionPolicy| -> Result<QatRuntime, RlError> {
                     // The final output is a regression result (Q-value)
                     // or the action handed to the host — not a hidden
                     // activation; clamping it to a frozen range would
                     // strangle TD learning as Q magnitudes drift.
-                    rt.exclude_point(n - 1);
-                    rt
+                    QatRuntime::builder(n)
+                        .policy(policy)
+                        .headroom(q.headroom)
+                        .exclude_point(n - 1)
+                        .build()
+                        .map_err(fixar_nn::NnError::Precision)
+                        .map_err(RlError::from)
                 };
-                (make(points), make(cpoints), make(points), make(cpoints))
+                (
+                    make(points, q.actor_policy())?,
+                    make(cpoints, q.critic_policy())?,
+                    make(points, q.actor_policy())?,
+                    make(cpoints, q.critic_policy())?,
+                )
             }
             None => (
                 QatRuntime::disabled(points),
@@ -395,7 +486,7 @@ impl<S: Scalar> Ddpg<S> {
     /// with observations fails to build any quantizer (degenerate
     /// all-zero ranges) — a protocol bug, not a timing artifact.
     pub fn on_timestep(&mut self, global_step: u64) -> Result<bool, RlError> {
-        let Some(q) = self.cfg.qat else {
+        let Some(q) = &self.cfg.qat else {
             return Ok(false);
         };
         if self.qat_frozen || global_step < q.delay {
@@ -412,7 +503,8 @@ impl<S: Scalar> Ddpg<S> {
                 continue;
             }
             if rt.has_observations() {
-                rt.freeze().map_err(fixar_nn::NnError::Quant)?;
+                rt.freeze_at_step(global_step)
+                    .map_err(fixar_nn::NnError::Quant)?;
             } else {
                 all_frozen = false;
             }
@@ -842,9 +934,15 @@ impl<S: Scalar> Ddpg<S> {
         // Ascending-shard merge into the shared gradient buffer.
         for shard in shard_results {
             self.critic_grads.accumulate(&shard.grads);
-            self.actor_target_qat.merge_from(&shard.actor_t_qat);
-            self.critic_target_qat.merge_from(&shard.critic_t_qat);
-            self.critic_qat.merge_from(&shard.critic_qat);
+            self.actor_target_qat
+                .merge_from(&shard.actor_t_qat)
+                .map_err(fixar_nn::NnError::Precision)?;
+            self.critic_target_qat
+                .merge_from(&shard.critic_t_qat)
+                .map_err(fixar_nn::NnError::Precision)?;
+            self.critic_qat
+                .merge_from(&shard.critic_qat)
+                .map_err(fixar_nn::NnError::Precision)?;
             critic_loss += shard.loss;
             q_sum += shard.q_sum;
         }
@@ -891,8 +989,12 @@ impl<S: Scalar> Ddpg<S> {
         self.actor_grads.reset();
         for shard in shard_results {
             self.actor_grads.accumulate(&shard.grads);
-            self.actor_qat.merge_from(&shard.actor_qat);
-            self.critic_qat.merge_from(&shard.critic_qat);
+            self.actor_qat
+                .merge_from(&shard.actor_qat)
+                .map_err(fixar_nn::NnError::Precision)?;
+            self.critic_qat
+                .merge_from(&shard.critic_qat)
+                .map_err(fixar_nn::NnError::Precision)?;
         }
         self.actor_opt.step(&mut self.actor, &self.actor_grads)?;
 
@@ -935,12 +1037,49 @@ mod tests {
         assert!(Ddpg::<f64>::new(3, 1, bad).is_err());
         assert!(Ddpg::<f64>::new(0, 1, DdpgConfig::small_test()).is_err());
         let mut bad_qat = DdpgConfig::small_test();
-        bad_qat.qat = Some(QatSchedule {
-            delay: 10,
-            bits: 0,
-            headroom: 1.5,
-        });
+        bad_qat.qat = Some(QatSchedule::uniform(10, 0));
         assert!(Ddpg::<f64>::new(3, 1, bad_qat).is_err());
+    }
+
+    #[test]
+    fn uniform_policy_schedule_is_bit_identical_to_legacy() {
+        // A Uniform precision policy is the redesigned spelling of the
+        // legacy global-bits schedule: same runtimes, same weights.
+        let mut rng = StdRng::seed_from_u64(33);
+        let data = toy_batch(&mut rng, 16);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let legacy_cfg = DdpgConfig::small_test().with_qat(1, 16);
+        let policy_cfg = DdpgConfig::small_test().with_qat_policies(
+            1,
+            PrecisionPolicy::Uniform { bits: 16 },
+            PrecisionPolicy::Uniform { bits: 16 },
+        );
+        let mut legacy = Ddpg::<Fx32>::new(3, 1, legacy_cfg).unwrap();
+        let mut policy = Ddpg::<Fx32>::new(3, 1, policy_cfg).unwrap();
+        for agent in [&mut legacy, &mut policy] {
+            agent.act(&[0.1, 0.2, 0.3]).unwrap();
+            agent.train_batch(&refs).unwrap();
+            assert!(agent.on_timestep(2).unwrap());
+            agent.train_batch(&refs).unwrap();
+        }
+        assert_eq!(legacy.actor(), policy.actor());
+        assert_eq!(legacy.critic(), policy.critic());
+    }
+
+    #[test]
+    fn mixed_precision_gives_actor_and_critic_different_widths() {
+        let cfg = DdpgConfig::small_test().with_mixed_precision_qat(1, 8, 16);
+        let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+        agent.act(&[0.1, 0.2, 0.3]).unwrap();
+        let mut rng = StdRng::seed_from_u64(34);
+        let data = toy_batch(&mut rng, 8);
+        let refs: Vec<&Transition> = data.iter().collect();
+        agent.train_batch(&refs).unwrap();
+        assert!(agent.on_timestep(2).unwrap());
+        let actor_fmt = agent.actor_qat_runtime().point_format(0).unwrap();
+        assert_eq!(actor_fmt.total_bits(), 8);
+        let critic_fmt = agent.critic_qat.point_format(0).unwrap();
+        assert_eq!(critic_fmt.total_bits(), 16);
     }
 
     #[test]

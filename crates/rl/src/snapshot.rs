@@ -105,6 +105,18 @@ impl<S: Scalar> PolicySnapshot<S> {
         self.qat.mode() == QatMode::Quantize
     }
 
+    /// The frozen per-layer activation formats the snapshot serves at —
+    /// one entry per activation point, `None` for points that serve full
+    /// precision (excluded outputs, or a snapshot taken before the
+    /// freeze). This is the precision contract a mixed-precision
+    /// deployment ships with the weights: a snapshot taken from an
+    /// 8-bit-actor/16-bit-critic agent reports the 8-bit actor grid
+    /// here, and replays recorded trajectories bit-identically at
+    /// exactly those widths.
+    pub fn point_formats(&self) -> Vec<Option<fixar_fixed::QFormat>> {
+        self.qat.point_formats()
+    }
+
     /// Selects actions for a whole micro-batch of observations (one row
     /// per request), sharding rows over `par`'s pool.
     ///
@@ -162,14 +174,17 @@ impl<S: Scalar> Ddpg<S> {
 }
 
 impl<S: Scalar> Td3<S> {
-    /// Freezes the current online actor into an immutable
-    /// [`PolicySnapshot`] tagged `id`. TD3 trains without QAT, so the
-    /// snapshot carries a disabled runtime (plain full-precision
-    /// serving).
+    /// Freezes the current online actor (weights + QAT runtime) into an
+    /// immutable [`PolicySnapshot`] tagged `id` — exactly as
+    /// [`Ddpg::policy_snapshot`]. Without a QAT schedule the runtime is
+    /// disabled and the snapshot serves plain full precision; with one,
+    /// the snapshot carries the actor's frozen per-layer formats.
     pub fn policy_snapshot(&self, id: u64) -> PolicySnapshot<S> {
-        let actor = self.actor().clone();
-        let qat = QatRuntime::disabled(actor.num_layers() + 1);
-        PolicySnapshot { actor, qat, id }
+        PolicySnapshot {
+            actor: self.actor().clone(),
+            qat: self.actor_qat_runtime().clone(),
+            id,
+        }
     }
 }
 
@@ -282,7 +297,7 @@ mod tests {
 
     #[test]
     fn td3_snapshot_replays_bit_identically() {
-        let agent = Td3::<f32>::new(3, 1, Td3Config::small_test()).unwrap();
+        let mut agent = Td3::<f32>::new(3, 1, Td3Config::small_test()).unwrap();
         let snap = agent.policy_snapshot(2);
         assert!(!snap.qat_frozen());
         let obs = obs_batch(6, 3);
@@ -292,6 +307,41 @@ mod tests {
         let live = agent.select_actions_batch(&obs).unwrap();
         for r in 0..obs.rows() {
             assert_eq!(batched.row(r), live.row(r));
+            assert_eq!(batched.row(r), snap.select_action(obs.row(r)).unwrap());
+        }
+    }
+
+    #[test]
+    fn mixed_precision_snapshot_reports_its_formats_and_replays() {
+        // 8-bit actor / 16-bit critics: the snapshot must carry the
+        // actor's 8-bit grids and serve bit-reproducibly through them.
+        let mut agent = Td3::<Fx32>::new(
+            3,
+            1,
+            Td3Config::small_test().with_mixed_precision_qat(2, 8, 16),
+        )
+        .unwrap();
+        let batch = synthetic_batch(16, 3, 1);
+        for t in 0..6u64 {
+            agent.train_minibatch(&batch).unwrap();
+            agent.on_timestep(t).unwrap();
+        }
+        assert!(agent.qat_frozen());
+        let snap = agent.policy_snapshot(11);
+        assert!(snap.qat_frozen());
+        let formats = snap.point_formats();
+        // Hidden activation points carry 8-bit grids; the action output
+        // point is excluded (full-precision regression output).
+        assert_eq!(formats.len(), agent.actor().num_layers() + 1);
+        assert!(formats[..formats.len() - 1]
+            .iter()
+            .all(|f| f.map(|q| q.total_bits()) == Some(8)));
+        assert!(formats[formats.len() - 1].is_none());
+        let obs = obs_batch(6, 3);
+        let batched = snap
+            .select_actions_batch(&obs, &Parallelism::with_workers(2))
+            .unwrap();
+        for r in 0..obs.rows() {
             assert_eq!(batched.row(r), snap.select_action(obs.row(r)).unwrap());
         }
     }

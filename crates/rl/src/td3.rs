@@ -12,23 +12,28 @@
 //!    update once every `policy_delay` critic updates.
 //!
 //! Like [`Ddpg`](crate::Ddpg), the agent is generic over the numeric
-//! backend, so TD3 can be trained in 32-bit fixed-point; the QAT schedule
-//! is not wired here (FIXAR's evaluation quantizes DDPG), making this the
-//! natural "future work" extension called out in DESIGN.md.
+//! backend, so TD3 can be trained in 32-bit fixed-point, and the QAT
+//! schedule of Algorithm 1 is wired through all six networks (actor,
+//! twin critics, and their targets) — set [`Td3Config::qat`] and drive
+//! [`Td3::on_timestep`] exactly as with DDPG. Per-network
+//! [`PrecisionPolicy`] support (mixed-precision actors/critics) carries
+//! over unchanged.
 
 use fixar_fixed::Scalar;
-use fixar_nn::{Activation, Adam, AdamConfig, Mlp, MlpConfig, MlpGrads};
+use fixar_nn::{
+    Activation, Adam, AdamConfig, Mlp, MlpConfig, MlpGrads, PrecisionPolicy, QatMode, QatRuntime,
+};
 use fixar_pool::Parallelism;
 use fixar_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::ddpg::TrainMetrics;
+use crate::ddpg::{QatSchedule, TrainMetrics};
 use crate::error::RlError;
 use crate::replay::{Transition, TransitionBatch};
 
 /// TD3 hyperparameters (defaults follow Fujimoto et al.).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Td3Config {
     /// Hidden-layer widths (FIXAR's 400 and 300 by default).
     pub hidden: (usize, usize),
@@ -54,6 +59,11 @@ pub struct Td3Config {
     /// `DdpgConfig::parallel_workers`); the `FIXAR_WORKERS` environment
     /// variable overrides it at agent construction.
     pub parallel_workers: usize,
+    /// Quantization-aware-training schedule, as
+    /// [`DdpgConfig::qat`](crate::DdpgConfig::qat): `None` trains full
+    /// precision; `Some` calibrates all six networks during the delay
+    /// window and freezes them per the schedule's precision policies.
+    pub qat: Option<QatSchedule>,
 }
 
 impl Default for Td3Config {
@@ -70,6 +80,7 @@ impl Default for Td3Config {
             policy_delay: 2,
             seed: 0,
             parallel_workers: 1,
+            qat: None,
         }
     }
 }
@@ -81,6 +92,41 @@ impl Td3Config {
             hidden: (16, 12),
             ..Self::default()
         }
+    }
+
+    /// Builder-style uniform QAT schedule (default 1.5× headroom) — the
+    /// TD3 twin of [`DdpgConfig::with_qat`](crate::DdpgConfig::with_qat).
+    pub fn with_qat(mut self, delay: u64, bits: u32) -> Self {
+        self.qat = Some(QatSchedule::uniform(delay, bits));
+        self
+    }
+
+    /// Builder-style QAT schedule with explicit per-network precision
+    /// policies (actor side covers the actor and its target; critic
+    /// side covers both twins and their targets).
+    pub fn with_qat_policies(
+        mut self,
+        delay: u64,
+        actor: PrecisionPolicy,
+        critic: PrecisionPolicy,
+    ) -> Self {
+        let bits = actor.nominal_bits().max(critic.nominal_bits());
+        self.qat = Some(
+            QatSchedule::uniform(delay, bits)
+                .with_actor_policy(actor)
+                .with_critic_policy(critic),
+        );
+        self
+    }
+
+    /// Builder-style mixed-precision QAT (`actor_bits`-bit actor,
+    /// `critic_bits`-bit twin critics).
+    pub fn with_mixed_precision_qat(self, delay: u64, actor_bits: u32, critic_bits: u32) -> Self {
+        self.with_qat_policies(
+            delay,
+            PrecisionPolicy::Uniform { bits: actor_bits },
+            PrecisionPolicy::Uniform { bits: critic_bits },
+        )
     }
 
     fn validate(&self) -> Result<(), RlError> {
@@ -101,6 +147,14 @@ impl Td3Config {
             return Err(RlError::InvalidConfig(
                 "noise parameters must be non-negative".into(),
             ));
+        }
+        if let Some(q) = &self.qat {
+            if q.bits == 0 || q.bits > 31 {
+                return Err(RlError::InvalidConfig(format!(
+                    "qat bits must be 1..=31, got {}",
+                    q.bits
+                )));
+            }
         }
         Ok(())
     }
@@ -135,12 +189,19 @@ pub struct Td3<S: Scalar> {
     /// inside one fused backward scope (disjoint outputs).
     critic2_grads: MlpGrads<S>,
     critic_scratch: MlpGrads<S>,
+    actor_qat: QatRuntime,
+    critic1_qat: QatRuntime,
+    critic2_qat: QatRuntime,
+    actor_target_qat: QatRuntime,
+    critic1_target_qat: QatRuntime,
+    critic2_target_qat: QatRuntime,
     cfg: Td3Config,
     par: Parallelism,
     state_dim: usize,
     action_dim: usize,
     rng: StdRng,
     critic_updates: u64,
+    qat_frozen: bool,
 }
 
 impl<S: Scalar> Td3<S> {
@@ -176,6 +237,38 @@ impl<S: Scalar> Td3<S> {
                 },
             )
         };
+        let apoints = actor.num_layers() + 1;
+        let cpoints = critic1.num_layers() + 1;
+        let make_qat = |n: usize, policy: PrecisionPolicy, q: &QatSchedule| {
+            QatRuntime::builder(n)
+                .policy(policy)
+                .headroom(q.headroom)
+                // As in DDPG, the final point (Q-value / host-bound
+                // action) is a regression output, not a hidden
+                // activation — it stays full precision.
+                .exclude_point(n - 1)
+                .build()
+                .map_err(fixar_nn::NnError::Precision)
+                .map_err(RlError::from)
+        };
+        let (aq, c1q, c2q, atq, c1tq, c2tq) = match &cfg.qat {
+            Some(q) => (
+                make_qat(apoints, q.actor_policy(), q)?,
+                make_qat(cpoints, q.critic_policy(), q)?,
+                make_qat(cpoints, q.critic_policy(), q)?,
+                make_qat(apoints, q.actor_policy(), q)?,
+                make_qat(cpoints, q.critic_policy(), q)?,
+                make_qat(cpoints, q.critic_policy(), q)?,
+            ),
+            None => (
+                QatRuntime::disabled(apoints),
+                QatRuntime::disabled(cpoints),
+                QatRuntime::disabled(cpoints),
+                QatRuntime::disabled(apoints),
+                QatRuntime::disabled(cpoints),
+                QatRuntime::disabled(cpoints),
+            ),
+        };
         Ok(Self {
             actor_target: actor.clone(),
             critic1_target: critic1.clone(),
@@ -187,15 +280,22 @@ impl<S: Scalar> Td3<S> {
             critic_grads: MlpGrads::zeros_like(&critic1),
             critic2_grads: MlpGrads::zeros_like(&critic2),
             critic_scratch: MlpGrads::zeros_like(&critic1),
+            actor_qat: aq,
+            critic1_qat: c1q,
+            critic2_qat: c2q,
+            actor_target_qat: atq,
+            critic1_target_qat: c1tq,
+            critic2_target_qat: c2tq,
             actor,
             critic1,
             critic2,
             par: Parallelism::from_env_or(cfg.parallel_workers),
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(0x7d3)),
             cfg,
             state_dim,
             action_dim,
-            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(0x7d3)),
             critic_updates: 0,
+            qat_frozen: false,
         })
     }
 
@@ -230,15 +330,74 @@ impl<S: Scalar> Td3<S> {
         self.par = par;
     }
 
-    /// Actor inference.
+    /// `true` once the QAT schedule has switched to quantized activations.
+    pub fn qat_frozen(&self) -> bool {
+        self.qat_frozen
+    }
+
+    /// Current QAT phase of the actor runtime (diagnostics).
+    pub fn qat_mode(&self) -> QatMode {
+        self.actor_qat.mode()
+    }
+
+    /// The actor's QAT runtime, for snapshot freezing.
+    pub(crate) fn actor_qat_runtime(&self) -> &QatRuntime {
+        &self.actor_qat
+    }
+
+    /// Advances the QAT schedule across all **six** runtimes (actor,
+    /// twin critics, and their targets) — the TD3 twin of
+    /// [`Ddpg::on_timestep`](crate::Ddpg::on_timestep): once
+    /// `global_step` reaches the delay, every runtime with calibration
+    /// data freezes per its precision policy; stragglers freeze on the
+    /// first later step at which they have data. Returns `true` on the
+    /// step the switch completes for all six.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlError::Nn`]-wrapped calibration errors if a runtime
+    /// with observations fails to build any quantizer (degenerate
+    /// all-zero ranges) — a protocol bug, not a timing artifact.
+    pub fn on_timestep(&mut self, global_step: u64) -> Result<bool, RlError> {
+        let Some(q) = &self.cfg.qat else {
+            return Ok(false);
+        };
+        if self.qat_frozen || global_step < q.delay {
+            return Ok(false);
+        }
+        let mut all_frozen = true;
+        for rt in [
+            &mut self.actor_qat,
+            &mut self.critic1_qat,
+            &mut self.critic2_qat,
+            &mut self.actor_target_qat,
+            &mut self.critic1_target_qat,
+            &mut self.critic2_target_qat,
+        ] {
+            if rt.mode() == QatMode::Quantize {
+                continue;
+            }
+            if rt.has_observations() {
+                rt.freeze_at_step(global_step)
+                    .map_err(fixar_nn::NnError::Quant)?;
+            } else {
+                all_frozen = false;
+            }
+        }
+        self.qat_frozen = all_frozen;
+        Ok(all_frozen)
+    }
+
+    /// Actor inference. During QAT calibration this also feeds the
+    /// activation range monitors, exactly like [`Ddpg::act`](crate::Ddpg::act).
     ///
     /// # Errors
     ///
     /// Returns [`RlError::Nn`] on dimension mismatch.
     pub fn act(&mut self, state: &[f64]) -> Result<Vec<f64>, RlError> {
         let s: Vec<S> = state.iter().map(|&v| S::from_f64(v)).collect();
-        let out = self.actor.forward(&s)?;
-        Ok(out.iter().map(|v| v.to_f64()).collect())
+        let trace = self.actor.forward_qat(&s, &mut self.actor_qat)?;
+        Ok(trace.output.iter().map(|v| v.to_f64()).collect())
     }
 
     /// Batched actor inference for a fleet of environments — the TD3
@@ -250,9 +409,12 @@ impl<S: Scalar> Td3<S> {
     ///
     /// Returns [`RlError::Nn`] if `states.cols()` differs from the
     /// observation dimension.
-    pub fn select_actions_batch(&self, states: &Matrix<f64>) -> Result<Matrix<f64>, RlError> {
+    pub fn select_actions_batch(&mut self, states: &Matrix<f64>) -> Result<Matrix<f64>, RlError> {
         let s: Matrix<S> = states.cast();
-        let out = self.actor.forward_batch_par(&s, &self.par)?;
+        let out = self
+            .actor
+            .forward_batch_qat_par(&s, &mut self.actor_qat, &self.par)?
+            .output;
         Ok(Matrix::from_fn(out.rows(), out.cols(), |r, c| {
             out[(r, c)].to_f64()
         }))
@@ -275,7 +437,10 @@ impl<S: Scalar> Td3<S> {
     /// Clipped double-Q TD target for one transition.
     fn td_target(&mut self, t: &Transition, gamma: S) -> Result<S, RlError> {
         let s_next: Vec<S> = t.next_state.iter().map(|&v| S::from_f64(v)).collect();
-        let mut a_next = self.actor_target.forward(&s_next)?;
+        let mut a_next = self
+            .actor_target
+            .forward_qat(&s_next, &mut self.actor_target_qat)?
+            .output;
         // Target policy smoothing: clipped Gaussian noise, then clamp the
         // action back into the tanh range (noise drawn per element in
         // ascending order — the RNG contract shared with the batched
@@ -287,8 +452,14 @@ impl<S: Scalar> Td3<S> {
         }
         let mut critic_in = s_next;
         critic_in.extend_from_slice(&a_next);
-        let q1 = self.critic1_target.forward(&critic_in)?[0];
-        let q2 = self.critic2_target.forward(&critic_in)?[0];
+        let q1 = self
+            .critic1_target
+            .forward_qat(&critic_in, &mut self.critic1_target_qat)?
+            .output[0];
+        let q2 = self
+            .critic2_target
+            .forward_qat(&critic_in, &mut self.critic2_target_qat)?
+            .output[0];
         let q_min = q1.min(q2);
         let bootstrap = if t.terminal { S::zero() } else { gamma * q_min };
         Ok(S::from_f64(t.reward) + bootstrap)
@@ -361,7 +532,10 @@ impl<S: Scalar> Td3<S> {
         // tentpole at work; outputs are disjoint, per-element chains
         // untouched, so the min-bootstrap is bit-identical).
         let s_next: Matrix<S> = batch.next_states().cast();
-        let mut a_next = self.actor_target.forward_batch_par(&s_next, &self.par)?;
+        let mut a_next = self
+            .actor_target
+            .forward_batch_qat_par(&s_next, &mut self.actor_target_qat, &self.par)?
+            .output;
         for i in 0..b {
             for k in 0..self.action_dim {
                 let noise = self.smoothing_noise();
@@ -370,14 +544,24 @@ impl<S: Scalar> Td3<S> {
             }
         }
         let target_in = s_next.hcat(&a_next).map_err(fixar_nn::NnError::Shape)?;
-        let q_next = fixar_nn::forward_batch_fused(
-            &[&self.critic1_target, &self.critic2_target],
-            &[&target_in, &target_in],
+        let q_next = fixar_nn::forward_batch_qat_fused(
+            &mut [
+                fixar_nn::FusedForward {
+                    mlp: &self.critic1_target,
+                    input: &target_in,
+                    qat: &mut self.critic1_target_qat,
+                },
+                fixar_nn::FusedForward {
+                    mlp: &self.critic2_target,
+                    input: &target_in,
+                    qat: &mut self.critic2_target_qat,
+                },
+            ],
             &par,
         )?;
         let targets: Vec<S> = (0..b)
             .map(|i| {
-                let q_min = q_next[0][(i, 0)].min(q_next[1][(i, 0)]);
+                let q_min = q_next[0].output[(i, 0)].min(q_next[1].output[(i, 0)]);
                 let bootstrap = if batch.terminals()[i] {
                     S::zero()
                 } else {
@@ -401,9 +585,19 @@ impl<S: Scalar> Td3<S> {
         let mut td_errors = Vec::with_capacity(b);
         self.critic_grads.reset();
         self.critic2_grads.reset();
-        let traces = fixar_nn::forward_batch_trace_fused(
-            &[&self.critic1, &self.critic2],
-            &[&critic_in, &critic_in],
+        let traces = fixar_nn::forward_batch_qat_fused(
+            &mut [
+                fixar_nn::FusedForward {
+                    mlp: &self.critic1,
+                    input: &critic_in,
+                    qat: &mut self.critic1_qat,
+                },
+                fixar_nn::FusedForward {
+                    mlp: &self.critic2,
+                    input: &critic_in,
+                    qat: &mut self.critic2_qat,
+                },
+            ],
             &par,
         )?;
         let mut dls = [Matrix::<S>::zeros(b, 1), Matrix::<S>::zeros(b, 1)];
@@ -459,13 +653,15 @@ impl<S: Scalar> Td3<S> {
         if self.critic_updates.is_multiple_of(self.cfg.policy_delay) {
             self.actor_grads.reset();
             self.critic_scratch.reset();
-            let atrace = self.actor.forward_batch_trace_par(&states, &self.par)?;
+            let atrace =
+                self.actor
+                    .forward_batch_qat_par(&states, &mut self.actor_qat, &self.par)?;
             let policy_in = states
                 .hcat(&atrace.output)
                 .map_err(fixar_nn::NnError::Shape)?;
-            let ctrace = self
-                .critic1
-                .forward_batch_trace_par(&policy_in, &self.par)?;
+            let ctrace =
+                self.critic1
+                    .forward_batch_qat_par(&policy_in, &mut self.critic1_qat, &self.par)?;
             let minus_scale = Matrix::from_fn(b, 1, |_, _| S::from_f64(-scale));
             let dq_dinput = self.critic1.backward_batch_par(
                 &ctrace,
@@ -524,12 +720,12 @@ impl<S: Scalar> Td3<S> {
             for (t, &y) in batch.iter().zip(&targets) {
                 let mut input: Vec<S> = t.state.iter().map(|&v| S::from_f64(v)).collect();
                 input.extend(t.action.iter().map(|&v| S::from_f64(v)));
-                let critic = if critic_idx == 0 {
-                    &self.critic1
+                let (critic, qat) = if critic_idx == 0 {
+                    (&self.critic1, &mut self.critic1_qat)
                 } else {
-                    &self.critic2
+                    (&self.critic2, &mut self.critic2_qat)
                 };
-                let trace = critic.forward_trace(&input)?;
+                let trace = critic.forward_qat(&input, qat)?;
                 let q = trace.output[0];
                 if critic_idx == 0 {
                     q_sum += q.to_f64();
@@ -561,10 +757,12 @@ impl<S: Scalar> Td3<S> {
             let minus_scale = [S::from_f64(-scale)];
             for t in batch {
                 let s: Vec<S> = t.state.iter().map(|&v| S::from_f64(v)).collect();
-                let atrace = self.actor.forward_trace(&s)?;
+                let atrace = self.actor.forward_qat(&s, &mut self.actor_qat)?;
                 let mut critic_in = s;
                 critic_in.extend_from_slice(&atrace.output);
-                let ctrace = self.critic1.forward_trace(&critic_in)?;
+                let ctrace = self
+                    .critic1
+                    .forward_qat(&critic_in, &mut self.critic1_qat)?;
                 let dq_dinput =
                     self.critic1
                         .backward(&ctrace, &minus_scale, &mut self.critic_scratch)?;
@@ -754,6 +952,66 @@ mod tests {
         let mut agent = Td3::<f64>::new(3, 1, Td3Config::small_test()).unwrap();
         let empty = TransitionBatch::from_transitions(&[]).unwrap();
         assert!(agent.train_minibatch(&empty).is_err());
+    }
+
+    #[test]
+    fn qat_schedule_freezes_all_six_runtimes() {
+        let data = toy_batch(16);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let mut agent = Td3::<f64>::new(3, 1, Td3Config::small_test().with_qat(1, 16)).unwrap();
+        assert_eq!(agent.qat_mode(), QatMode::Calibrate);
+        // Feed every runtime: the online actor only runs in the delayed
+        // policy update, so two critic updates (policy_delay = 2) are
+        // needed before all six runtimes have calibration data.
+        agent.train_batch(&refs).unwrap();
+        agent.train_batch(&refs).unwrap();
+        let frozen = agent.on_timestep(2).unwrap();
+        assert!(frozen, "all six runtimes had data; freeze must complete");
+        assert!(agent.qat_frozen());
+        assert_eq!(agent.qat_mode(), QatMode::Quantize);
+        // Still trains after the switch.
+        agent.train_batch(&refs).unwrap();
+    }
+
+    #[test]
+    fn qat_minibatch_is_bit_identical_to_per_sample() {
+        let data = toy_batch(20);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let batch = TransitionBatch::from_transitions(&refs).unwrap();
+        let mut a = Td3::<Fx32>::new(3, 1, Td3Config::small_test().with_qat(1, 16)).unwrap();
+        let mut b = a.clone();
+        for step in 0..4 {
+            let ma = a.train_batch(&refs).unwrap();
+            let mb = b.train_minibatch(&batch).unwrap();
+            assert_eq!(ma, mb, "QAT metrics diverged at step {step}");
+            a.on_timestep(step + 1).unwrap();
+            b.on_timestep(step + 1).unwrap();
+            assert_eq!(a.qat_frozen(), b.qat_frozen());
+        }
+        assert!(a.qat_frozen(), "schedule should have frozen by now");
+        assert_eq!(a.actor(), b.actor());
+        assert_eq!(a.critics(), b.critics());
+    }
+
+    #[test]
+    fn mixed_precision_qat_gives_actor_and_critics_different_widths() {
+        let data = toy_batch(8);
+        let refs: Vec<&Transition> = data.iter().collect();
+        let mut agent = Td3::<f64>::new(
+            3,
+            1,
+            Td3Config::small_test().with_mixed_precision_qat(1, 8, 16),
+        )
+        .unwrap();
+        agent.train_batch(&refs).unwrap();
+        agent.train_batch(&refs).unwrap();
+        assert!(agent.on_timestep(2).unwrap());
+        let actor_fmt = agent.actor_qat_runtime().point_format(0).unwrap();
+        assert_eq!(actor_fmt.total_bits(), 8);
+        for critic_qat in [&agent.critic1_qat, &agent.critic2_qat] {
+            let fmt = critic_qat.point_format(0).unwrap();
+            assert_eq!(fmt.total_bits(), 16);
+        }
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl<S: Scalar> Trainer<S> {
     ) -> Result<Self, RlError> {
         let spec = env.spec();
         check_env_compat(&spec, &eval_env.spec())?;
-        let agent = Ddpg::new(spec.obs_dim, spec.action_dim, cfg)?;
+        let agent = Ddpg::new(spec.obs_dim, spec.action_dim, cfg.clone())?;
         // Dimensions are known here, so every replay lane preallocates
         // to full capacity — the push path never allocates.
         let replay = ReplayBuffer::with_dims(cfg.replay_capacity, spec.obs_dim, spec.action_dim);
@@ -356,7 +356,7 @@ mod tests {
         let cfg = DdpgConfig::small_test()
             .with_replay(ReplayStrategy::Prioritized(PrioritizedConfig::default()));
         let run = || {
-            let mut t = pendulum_trainer(cfg);
+            let mut t = pendulum_trainer(cfg.clone());
             let report = t.run(150, 150, 1).unwrap();
             (report, t)
         };

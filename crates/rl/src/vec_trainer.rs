@@ -137,7 +137,7 @@ impl<S: Scalar> VecTrainer<S> {
     ) -> Result<Self, RlError> {
         let spec = pool.spec().clone();
         check_env_compat(&spec, &eval_env.spec())?;
-        let agent = Ddpg::new(spec.obs_dim, spec.action_dim, cfg)?;
+        let agent = Ddpg::new(spec.obs_dim, spec.action_dim, cfg.clone())?;
         let replay = ReplayBuffer::with_dims(cfg.replay_capacity, spec.obs_dim, spec.action_dim);
         let sampler = ReplaySampler::new(cfg.replay, cfg.replay_capacity);
         let n = pool.len();
@@ -580,7 +580,7 @@ mod tests {
         let cfg = DdpgConfig::small_test()
             .with_replay(ReplayStrategy::Prioritized(PrioritizedConfig::default()));
         let run = |workers: usize| {
-            let mut t = pendulum_fleet(3, cfg);
+            let mut t = pendulum_fleet(3, cfg.clone());
             t.agent_mut()
                 .set_parallelism(Parallelism::with_workers(workers));
             let report = t.run(80, 80, 1).unwrap();
@@ -607,7 +607,7 @@ mod tests {
         for n in [1usize, 2, 3, 4] {
             let cfg = DdpgConfig::small_test().with_seed(17);
             let run = |overlap: bool, workers: usize| {
-                let mut t = pendulum_fleet(n, cfg);
+                let mut t = pendulum_fleet(n, cfg.clone());
                 t.set_overlap(overlap);
                 t.agent_mut()
                     .set_parallelism(Parallelism::with_workers(workers));

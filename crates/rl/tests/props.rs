@@ -46,7 +46,7 @@ proptest! {
         state in prop::collection::vec(-100.0..100.0f64, 3),
     ) {
         let cfg = DdpgConfig::small_test().with_seed(seed);
-        let mut f = Ddpg::<f64>::new(3, 2, cfg).unwrap();
+        let mut f = Ddpg::<f64>::new(3, 2, cfg.clone()).unwrap();
         let mut q = Ddpg::<Fx32>::new(3, 2, cfg).unwrap();
         for agent_actions in [f.act(&state).unwrap(), q.act(&state).unwrap()] {
             prop_assert!(agent_actions.iter().all(|v| (-1.0..=1.0).contains(v)));

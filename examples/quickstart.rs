@@ -31,7 +31,7 @@ fn main() -> Result<(), RlError> {
     println!("training {total_steps} steps, quantization delay {quant_delay}...\n");
 
     let report = FixarSystem::new(EnvKind::Pendulum, PrecisionMode::DynamicFixed)
-        .with_config(cfg.with_qat(quant_delay, 16))
+        .with_config(cfg.clone().with_qat(quant_delay, 16))
         .run(total_steps, 1_000, 4)?;
 
     println!("reward curve (Pendulum: closer to 0 is better):");

@@ -59,8 +59,8 @@ fn assert_agents_bit_identical(a: &Ddpg<Fx32>, b: &Ddpg<Fx32>, what: &str) {
 fn fleet_of_one_reproduces_scalar_trainer_bit_for_bit() {
     for seed in [0u64, 13] {
         let cfg = DdpgConfig::small_test().with_seed(seed);
-        let mut scalar = scalar_trainer(cfg);
-        let mut fleet = fleet_trainer(1, cfg);
+        let mut scalar = scalar_trainer(cfg.clone());
+        let mut fleet = fleet_trainer(1, cfg.clone());
         // Past warmup (64) so minibatch training runs; across an
         // episode boundary (Pendulum truncates at 200).
         let a = scalar.run(230, 50, 2).unwrap();
@@ -84,8 +84,8 @@ fn fleet_of_one_reproduces_scalar_trainer_bit_for_bit() {
 #[test]
 fn fleet_of_one_matches_scalar_under_qat() {
     let cfg = DdpgConfig::small_test().with_seed(5).with_qat(80, 16);
-    let mut scalar = scalar_trainer(cfg);
-    let mut fleet = fleet_trainer(1, cfg);
+    let mut scalar = scalar_trainer(cfg.clone());
+    let mut fleet = fleet_trainer(1, cfg.clone());
     let a = scalar.run(160, 80, 1).unwrap();
     let b = fleet.run(160, 80, 1).unwrap();
     assert_eq!(a.qat_switch_step, Some(80), "schedule must fire");
@@ -104,7 +104,7 @@ fn fleet_of_one_matches_scalar_under_qat() {
 fn qat_delay_is_counted_in_fleet_steps_at_any_fleet_size() {
     let cfg = DdpgConfig::small_test().with_seed(5).with_qat(80, 16);
     for n in [1usize, 4] {
-        let mut fleet = fleet_trainer(n, cfg);
+        let mut fleet = fleet_trainer(n, cfg.clone());
         let report = fleet.run(160, 160, 1).unwrap();
         // Warmup is 64 fleet steps; the delay lands at fleet step 80 in
         // the on-policy phase regardless of n (reported in env steps).
@@ -128,7 +128,7 @@ fn each_slot_matches_a_solo_rollout_while_weights_are_frozen() {
     let mut cfg = DdpgConfig::small_test().with_seed(9);
     cfg.warmup_steps = 20; // exercise both the uniform and noisy phases
     cfg.batch_size = 10_000; // sampling always underflows -> no updates
-    let mut fleet = fleet_trainer(n, cfg);
+    let mut fleet = fleet_trainer(n, cfg.clone());
     fleet.run(fleet_steps, fleet_steps, 1).unwrap();
     assert_eq!(fleet.agent().train_steps(), 0, "weights must stay frozen");
 
@@ -178,7 +178,7 @@ fn each_slot_matches_a_solo_rollout_while_weights_are_frozen() {
 fn fleet_runs_bit_identical_across_worker_counts() {
     let cfg = DdpgConfig::small_test().with_seed(3);
     let run = |workers: usize| {
-        let mut t = fleet_trainer(4, cfg);
+        let mut t = fleet_trainer(4, cfg.clone());
         t.agent_mut()
             .set_parallelism(Parallelism::with_workers(workers));
         let report = t.run(60, 60, 1).unwrap();
@@ -208,7 +208,7 @@ fn replay_rows_are_env_major_ascending_at_every_worker_count() {
     let mut expected = EnvPool::from_kind(EnvKind::Pendulum, n, cfg.seed);
     let first_obs = expected.reset_all().clone();
     for workers in [1usize, 2, 4] {
-        let mut t = fleet_trainer(n, cfg);
+        let mut t = fleet_trainer(n, cfg.clone());
         t.agent_mut()
             .set_parallelism(Parallelism::with_workers(workers));
         t.run(5, 5, 1).unwrap();
@@ -296,8 +296,8 @@ proptest! {
         workers in 2usize..5,
     ) {
         let cfg = DdpgConfig::small_test().with_seed(seed);
-        let mut a = fleet_trainer(n, cfg);
-        let mut b = fleet_trainer(n, cfg);
+        let mut a = fleet_trainer(n, cfg.clone());
+        let mut b = fleet_trainer(n, cfg.clone());
         b.agent_mut().set_parallelism(Parallelism::with_workers(workers));
         // Past warmup so training updates run in both.
         let ra = a.run(70, 70, 1).unwrap();
@@ -306,7 +306,7 @@ proptest! {
         prop_assert_eq!(a.agent().actor(), b.agent().actor());
         prop_assert_eq!(a.replay().transitions(), b.replay().transitions());
         if n == 1 {
-            let mut s = scalar_trainer(cfg);
+            let mut s = scalar_trainer(cfg.clone());
             let rs = s.run(70, 70, 1).unwrap();
             prop_assert_eq!(&rs, &ra);
             prop_assert_eq!(s.agent().actor(), a.agent().actor());

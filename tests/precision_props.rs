@@ -1,0 +1,287 @@
+//! Precision-policy suite: the contracts that make per-layer precision
+//! a safe runtime axis.
+//!
+//! **The pillars:**
+//!
+//! 1. A `Uniform` precision policy is the redesigned spelling of the
+//!    legacy global-bits QAT schedule — whole training runs (scalar and
+//!    fleet) reproduce the legacy path **bit-for-bit**, weights
+//!    included, at every `FIXAR_WORKERS` setting (CI sweeps 1/2/8 over
+//!    this file).
+//! 2. A mixed-precision agent (8-bit actor, 16-bit critics) trains,
+//!    freezes, and serves through the real [`ActionServer`]; every
+//!    served action replays bit-identically offline against the frozen
+//!    snapshot, whose per-point formats are inspectable.
+//! 3. Cross-worker range merging ([`QatRuntime::merge_from`]) rejects
+//!    divergent precision plans with a typed [`PrecisionError`] instead
+//!    of silently freezing one runtime with another plan's statistics.
+
+use std::thread;
+use std::time::Duration;
+
+use fixar_repro::prelude::*;
+
+const STATE_DIM: usize = 3;
+const ACTION_DIM: usize = 1;
+
+fn obs(i: usize) -> Vec<f64> {
+    (0..STATE_DIM)
+        .map(|c| ((i * STATE_DIM + c) as f64 * 0.41).sin())
+        .collect()
+}
+
+fn toy_batch(n: usize) -> Vec<Transition> {
+    (0..n)
+        .map(|i| Transition {
+            state: obs(i),
+            action: vec![((i as f64) * 0.29).sin(); ACTION_DIM],
+            reward: (i as f64).cos(),
+            next_state: obs(i + 1),
+            terminal: i % 5 == 0,
+        })
+        .collect()
+}
+
+/// Legacy global-bits schedule and its `Uniform`-policy respelling.
+fn qat_config_pair(delay: u64, bits: u32) -> (DdpgConfig, DdpgConfig) {
+    let base = DdpgConfig {
+        seed: 17,
+        ..DdpgConfig::small_test()
+    };
+    let legacy = base.clone().with_qat(delay, bits);
+    let policy = base.with_qat_policies(
+        delay,
+        PrecisionPolicy::Uniform { bits },
+        PrecisionPolicy::Uniform { bits },
+    );
+    (legacy, policy)
+}
+
+/// Pillar 1, scalar path: a full `Trainer` run under the `Uniform`
+/// policy reproduces the legacy run bit-for-bit — reward curve, QAT
+/// switch step, and every actor/critic weight.
+#[test]
+fn uniform_policy_trainer_run_reproduces_legacy_bit_for_bit() {
+    let (legacy_cfg, policy_cfg) = qat_config_pair(30, 16);
+    let run = |cfg: DdpgConfig| {
+        let mut t = Trainer::<Fx32>::new(
+            EnvKind::Pendulum.make(cfg.seed),
+            EnvKind::Pendulum.make(cfg.seed.wrapping_add(1)),
+            cfg,
+        )
+        .unwrap();
+        let report = t.run(120, 60, 1).unwrap();
+        (report, t)
+    };
+    let (legacy_report, legacy) = run(legacy_cfg);
+    let (policy_report, policy) = run(policy_cfg);
+
+    assert!(
+        legacy_report.qat_switch_step.is_some(),
+        "QAT never fired; the run exercises only the pre-switch path"
+    );
+    assert_eq!(legacy_report.qat_switch_step, policy_report.qat_switch_step);
+    let bits = |curve: &[EvalPoint]| -> Vec<(u64, u64)> {
+        curve
+            .iter()
+            .map(|p| (p.step, p.avg_reward.to_bits()))
+            .collect()
+    };
+    assert_eq!(
+        bits(&legacy_report.curve),
+        bits(&policy_report.curve),
+        "uniform policy diverged from legacy on the eval curve"
+    );
+    assert_eq!(legacy.agent().actor(), policy.agent().actor());
+    assert_eq!(legacy.agent().critic(), policy.agent().critic());
+}
+
+/// Pillar 1, fleet path: `VecTrainer` runs at fleet sizes {1, 4} under
+/// the `Uniform` policy reproduce legacy weights bit-for-bit (under
+/// whatever worker count `FIXAR_WORKERS` dictates).
+#[test]
+fn uniform_policy_fleet_runs_reproduce_legacy_at_every_fleet_size() {
+    for fleet in [1usize, 4] {
+        let (legacy_cfg, policy_cfg) = qat_config_pair(24, 16);
+        let run = |cfg: DdpgConfig| {
+            let mut t = VecTrainer::<Fx32>::new(
+                EnvPool::from_kind(EnvKind::Pendulum, fleet, cfg.seed),
+                EnvKind::Pendulum.make(cfg.seed.wrapping_add(1)),
+                cfg,
+            )
+            .unwrap();
+            t.run(96, 48, 1).unwrap();
+            t
+        };
+        let legacy = run(legacy_cfg);
+        let policy = run(policy_cfg);
+        assert_eq!(
+            legacy.agent().actor(),
+            policy.agent().actor(),
+            "fleet={fleet}: actor diverged"
+        );
+        assert_eq!(
+            legacy.agent().critic(),
+            policy.agent().critic(),
+            "fleet={fleet}: critic diverged"
+        );
+    }
+}
+
+/// Serves `n` requests from 2 concurrent clients and replays every
+/// response offline against `snap`, asserting bit equality.
+fn serve_and_replay(snap: &PolicySnapshot<Fx32>, id: u64, n: usize, what: &str) {
+    let server = ActionServer::start(
+        snap.clone(),
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_micros(100),
+            shards: 2,
+            workers: 2,
+        },
+    )
+    .unwrap();
+    let threads: Vec<_> = (0..2)
+        .map(|t| {
+            let client = server.client();
+            thread::spawn(move || {
+                let mut out = Vec::with_capacity(n / 2);
+                for i in 0..n / 2 {
+                    let o = obs(t * 1_000_000 + i);
+                    let resp = client.submit(&o).unwrap().wait().unwrap();
+                    out.push((o, resp));
+                }
+                out
+            })
+        })
+        .collect();
+    let served: Vec<(Vec<f64>, ActionResponse)> = threads
+        .into_iter()
+        .flat_map(|t| t.join().unwrap())
+        .collect();
+    drop(server);
+    assert_eq!(served.len(), n);
+    for (o, resp) in &served {
+        assert_eq!(resp.snapshot_id, id, "{what}: wrong snapshot id");
+        assert_eq!(
+            resp.action,
+            snap.select_action(o).unwrap(),
+            "{what}: served action diverges from offline replay"
+        );
+    }
+}
+
+/// Pillar 2: a mixed-precision DDPG agent (8-bit actor, 16-bit critic)
+/// trains, freezes at its per-network widths, exposes its per-point
+/// formats on the frozen snapshot, and serves through the real
+/// `ActionServer` with bit-exact offline replay.
+#[test]
+fn mixed_precision_agent_trains_freezes_and_serves_bit_exactly() {
+    let cfg = DdpgConfig {
+        seed: 5,
+        ..DdpgConfig::small_test()
+    }
+    .with_mixed_precision_qat(4, 8, 16);
+    let mut a = Ddpg::<Fx32>::new(STATE_DIM, ACTION_DIM, cfg).unwrap();
+    let data = toy_batch(16);
+    let refs: Vec<&Transition> = data.iter().collect();
+    let batch = TransitionBatch::from_transitions(&refs).unwrap();
+    for t in 0..8u64 {
+        a.act(&obs(t as usize)).unwrap();
+        a.train_minibatch(&batch).unwrap();
+        a.on_timestep(t).unwrap();
+    }
+    assert!(a.qat_frozen(), "mixed-precision schedule failed to freeze");
+
+    let snap = a.policy_snapshot(3);
+    assert!(snap.qat_frozen());
+    let formats = snap.point_formats();
+    // Every calibrated actor point froze at the actor's 8-bit width;
+    // the excluded regression output stays full-precision.
+    for (i, f) in formats.iter().enumerate().take(formats.len() - 1) {
+        assert_eq!(
+            f.map(|f| f.total_bits()),
+            Some(8),
+            "actor point {i} not at 8 bits"
+        );
+    }
+    assert_eq!(formats.last().copied().flatten(), None);
+
+    serve_and_replay(&snap, 3, 64, "ddpg mixed 8/16");
+}
+
+/// Pillar 2, TD3 arm: the twin-critic agent on the same mixed schedule
+/// freezes all six runtimes and its snapshot serves bit-exactly too.
+#[test]
+fn td3_mixed_precision_snapshot_serves_and_replays_bit_exactly() {
+    let cfg = Td3Config {
+        seed: 6,
+        ..Td3Config::small_test()
+    }
+    .with_mixed_precision_qat(2, 8, 16);
+    let mut a = Td3::<Fx32>::new(STATE_DIM, ACTION_DIM, cfg).unwrap();
+    let data = toy_batch(16);
+    let refs: Vec<&Transition> = data.iter().collect();
+    let batch = TransitionBatch::from_transitions(&refs).unwrap();
+    // TD3's delayed policy updates only feed the actor monitors every
+    // other critic update, so train past one delay cycle before the
+    // freeze check.
+    for t in 0..6u64 {
+        a.train_minibatch(&batch).unwrap();
+        a.on_timestep(t).unwrap();
+    }
+    assert!(
+        a.qat_frozen(),
+        "TD3 mixed-precision schedule failed to freeze"
+    );
+
+    let snap = a.policy_snapshot(4);
+    assert!(snap.qat_frozen());
+    assert!(snap
+        .point_formats()
+        .iter()
+        .flatten()
+        .all(|f| f.total_bits() == 8));
+
+    serve_and_replay(&snap, 4, 64, "td3 mixed 8/16");
+}
+
+/// Pillar 3: `merge_from` — the cross-worker range-merge step — rejects
+/// runtimes on divergent precision plans with typed errors rather than
+/// freezing one plan with another's statistics.
+#[test]
+fn merge_from_rejects_mismatched_per_point_formats_with_typed_error() {
+    let per_point = |frac: u32| {
+        QatRuntime::builder(3)
+            .uniform_bits(16)
+            .point_format(1, QFormat::new(16, frac).unwrap())
+            .build()
+            .unwrap()
+    };
+    let mut ours = per_point(12);
+    let theirs = per_point(10);
+    match ours.merge_from(&theirs) {
+        Err(PrecisionError::FormatMismatch { point, .. }) => assert_eq!(point, 1),
+        other => panic!("expected FormatMismatch, got {other:?}"),
+    }
+
+    // Different point counts are a structural mismatch.
+    let four = QatRuntime::builder(4).uniform_bits(16).build().unwrap();
+    match ours.merge_from(&four) {
+        Err(PrecisionError::PointCountMismatch { ours: 3, theirs: 4 }) => {}
+        other => panic!("expected PointCountMismatch, got {other:?}"),
+    }
+
+    // Identical plans still merge, and the error type threads through
+    // the facade as `NnError::Precision` / `RlError` at the call sites.
+    let same = per_point(12);
+    ours.merge_from(&same).unwrap();
+
+    // A mismatched pair of *agents* surfaces the same typed rejection:
+    // two fleets calibrated under different policies must not merge.
+    let uniform = QatRuntime::builder(3).uniform_bits(16).build().unwrap();
+    assert!(matches!(
+        ours.merge_from(&uniform),
+        Err(PrecisionError::PolicyMismatch { .. })
+    ));
+}

@@ -148,7 +148,7 @@ fn trainer_wraparound_keeps_exactly_the_newest_transitions() {
         let mut big_cfg = DdpgConfig::small_test().with_seed(4);
         big_cfg.batch_size = 1_000; // replay always underflows: no updates
         big_cfg.replay_capacity = 4_096; // never wraps
-        let mut small_cfg = big_cfg;
+        let mut small_cfg = big_cfg.clone();
         small_cfg.replay_capacity = capacity;
         let make = |cfg| {
             Trainer::<Fx32>::new(EnvKind::Pendulum.make(4), EnvKind::Pendulum.make(5), cfg).unwrap()
@@ -178,8 +178,12 @@ fn trainer_wraparound_keeps_exactly_the_newest_transitions() {
     let mut cfg = DdpgConfig::small_test().with_seed(4);
     cfg.replay_capacity = 80; // wraps during the 200-step run
     let run = || {
-        let mut t = Trainer::<Fx32>::new(EnvKind::Pendulum.make(4), EnvKind::Pendulum.make(5), cfg)
-            .unwrap();
+        let mut t = Trainer::<Fx32>::new(
+            EnvKind::Pendulum.make(4),
+            EnvKind::Pendulum.make(5),
+            cfg.clone(),
+        )
+        .unwrap();
         let r = t.run(200, 200, 1).unwrap();
         (r, t.replay().transitions())
     };
@@ -258,8 +262,12 @@ fn prioritized_runs_worker_invariant_scalar_and_fleet() {
         .with_replay(ReplayStrategy::Prioritized(PrioritizedConfig::default()));
 
     let scalar_run = |workers: usize| {
-        let mut t = Trainer::<Fx32>::new(EnvKind::Pendulum.make(6), EnvKind::Pendulum.make(7), cfg)
-            .unwrap();
+        let mut t = Trainer::<Fx32>::new(
+            EnvKind::Pendulum.make(6),
+            EnvKind::Pendulum.make(7),
+            cfg.clone(),
+        )
+        .unwrap();
         t.agent_mut()
             .set_parallelism(Parallelism::with_workers(workers));
         let r = t.run(120, 120, 1).unwrap();
@@ -278,7 +286,7 @@ fn prioritized_runs_worker_invariant_scalar_and_fleet() {
         let mut t = VecTrainer::<Fx32>::new(
             EnvPool::from_kind(EnvKind::Pendulum, 3, 6),
             EnvKind::Pendulum.make(7),
-            cfg,
+            cfg.clone(),
         )
         .unwrap();
         t.agent_mut()

@@ -129,10 +129,10 @@ fn fleet_trainer(n: usize, cfg: DdpgConfig, overlap: bool, workers: usize) -> Ve
 fn overlapped_vec_trainer_is_bit_identical_to_lockstep_at_workers_1_2_8() {
     for n in [1usize, 3, 4] {
         let cfg = DdpgConfig::small_test().with_seed(29);
-        let mut lock = fleet_trainer(n, cfg, false, 1);
+        let mut lock = fleet_trainer(n, cfg.clone(), false, 1);
         let r_lock = lock.run(90, 45, 1).unwrap();
         for workers in [1usize, 2, 8] {
-            let mut over = fleet_trainer(n, cfg, true, workers);
+            let mut over = fleet_trainer(n, cfg.clone(), true, workers);
             let r_over = over.run(90, 45, 1).unwrap();
             assert_eq!(r_lock, r_over, "fleet {n}, workers {workers}: reports");
             assert_eq!(
@@ -160,7 +160,7 @@ fn overlapped_vec_trainer_is_bit_identical_to_lockstep_at_workers_1_2_8() {
 #[test]
 fn overlapped_vec_trainer_matches_lockstep_under_qat() {
     let cfg = DdpgConfig::small_test().with_seed(7).with_qat(80, 16);
-    let mut lock = fleet_trainer(4, cfg, false, 1);
+    let mut lock = fleet_trainer(4, cfg.clone(), false, 1);
     let mut over = fleet_trainer(4, cfg, true, 2);
     let a = lock.run(160, 80, 1).unwrap();
     let b = over.run(160, 80, 1).unwrap();
@@ -180,7 +180,7 @@ fn overlapped_fleet_of_one_reproduces_scalar_trainer() {
     let mut scalar = Trainer::<Fx32>::new(
         EnvKind::Pendulum.make(cfg.seed),
         EnvKind::Pendulum.make(cfg.seed.wrapping_add(1)),
-        cfg,
+        cfg.clone(),
     )
     .unwrap();
     let mut fleet = fleet_trainer(1, cfg, true, 2);
