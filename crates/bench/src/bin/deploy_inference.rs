@@ -1,0 +1,188 @@
+//! Deployment-artifact inference: the integer-only interpreter against
+//! the float-side snapshot path it freezes.
+//!
+//! A DDPG actor is trained through its QAT freeze (so the artifact
+//! carries real activation quantizers, not pass-throughs), exported
+//! with `PolicySnapshot::export_artifact`, and timed on three paths:
+//!
+//! * `snapshot` — `PolicySnapshot::select_action`, the training-side
+//!   reference the artifact must match bit-for-bit;
+//! * `artifact` — `PolicyArtifact::infer`, the interpreter with f64
+//!   conversion at the observation/action edges;
+//! * `artifact_raw` — `PolicyArtifact::infer_raw`, the pure integer
+//!   path a deployment target would run (observations pre-quantized to
+//!   raw Q12.20 words).
+//!
+//! **Bit-equality gate:** before any timing, every path (including an
+//! encode → decode round-trip of the blob and a short `ArtifactServer`
+//! run stamped with the content hash) must agree with the snapshot
+//! reference exactly — the bench panics rather than report timings for
+//! an artifact that broke the freeze contract.
+//!
+//! Environment:
+//!
+//! * `FIXAR_DEPLOY_BENCH_REPS` — inference repetitions per path
+//!   (default 20 000; CI's bench-smoke job sets a short cap);
+//! * `FIXAR_BENCH_JSON` — when set to a path, also writes the results
+//!   as a JSON document (the `BENCH_deploy_inference.json` CI artifact).
+
+use fixar_deploy::PolicyArtifact;
+use fixar_fixed::Fx32;
+use fixar_rl::{Ddpg, DdpgConfig, PolicySnapshot, Transition, TransitionBatch};
+use fixar_serve::{ArtifactReplica, ArtifactServer, ServeConfig};
+use fixar_tensor::Matrix;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const OBS_POOL: usize = 256;
+
+fn frozen_snapshot() -> PolicySnapshot<Fx32> {
+    let mut cfg = DdpgConfig::small_test().with_qat(4, 16);
+    cfg.hidden = (64, 48);
+    let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).unwrap();
+    let transitions: Vec<Transition> = (0..agent.config().batch_size)
+        .map(|i| Transition {
+            state: (0..3).map(|c| ((i + c) as f64).cos()).collect(),
+            action: vec![((i * 3) as f64).sin()],
+            reward: (i as f64).sin(),
+            next_state: (0..3).map(|c| ((i + c + 1) as f64).cos()).collect(),
+            terminal: i % 7 == 0,
+        })
+        .collect();
+    let refs: Vec<&Transition> = transitions.iter().collect();
+    let batch = TransitionBatch::from_transitions(&refs).unwrap();
+    for t in 0..8u64 {
+        let s: Vec<f64> = (0..3)
+            .map(|c| ((t as usize * 3 + c) as f64).sin())
+            .collect();
+        agent.act(&s).unwrap();
+        agent.train_minibatch(&batch).unwrap();
+        agent.on_timestep(t).unwrap();
+    }
+    assert!(agent.qat_frozen(), "QAT schedule must have fired");
+    agent.policy_snapshot(0)
+}
+
+fn obs_pool() -> Matrix<f64> {
+    Matrix::from_fn(OBS_POOL, 3, |r, c| ((r * 3 + c) as f64 * 0.37).sin() * 0.9)
+}
+
+/// The freeze contract, end to end: interpreter ≡ snapshot, across an
+/// encode → decode round-trip and through the serving front door.
+fn bit_equality_gate(snap: &PolicySnapshot<Fx32>, art: &PolicyArtifact, obs: &Matrix<f64>) {
+    let blob = art.encode();
+    let decoded = PolicyArtifact::decode(&blob).expect("decode own blob");
+    assert_eq!(&decoded, art, "decode(encode(art)) != art");
+    let hash = art.content_hash();
+    assert_eq!(decoded.content_hash(), hash);
+
+    for r in 0..obs.rows() {
+        let want = snap.select_action(obs.row(r)).expect("snapshot reference");
+        assert_eq!(
+            art.infer(obs.row(r)).unwrap(),
+            want,
+            "BIT-EQUALITY GATE FAILED: artifact diverges from snapshot at row {r}"
+        );
+        assert_eq!(
+            decoded.infer(obs.row(r)).unwrap(),
+            want,
+            "BIT-EQUALITY GATE FAILED: decoded artifact diverges at row {r}"
+        );
+    }
+
+    let server = ArtifactServer::start(ArtifactReplica::new(decoded, 0), ServeConfig::default())
+        .expect("gate server");
+    let client = server.client();
+    for r in 0..obs.rows().min(64) {
+        let resp = client.request(obs.row(r)).expect("served inference");
+        assert_eq!(resp.content_hash, hash, "served hash stamp mismatch");
+        assert_eq!(
+            resp.action,
+            snap.select_action(obs.row(r)).unwrap(),
+            "BIT-EQUALITY GATE FAILED: served action diverges at row {r}"
+        );
+    }
+    drop(server);
+    println!(
+        "bit-equality gate: {} offline + 64 served inferences match the snapshot exactly \
+         (content hash {hash:016x})",
+        obs.rows()
+    );
+}
+
+fn time_ns<F: FnMut(usize)>(reps: usize, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..reps {
+        f(i);
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / reps as f64
+}
+
+fn main() {
+    let reps: usize = std::env::var("FIXAR_DEPLOY_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(20_000);
+    println!("deploy_inference: Pendulum-shaped 64x48 QAT-frozen actor, {reps} reps per path");
+
+    let snap = frozen_snapshot();
+    let art = snap.export_artifact().expect("export artifact");
+    let obs = obs_pool();
+    bit_equality_gate(&snap, &art, &obs);
+
+    let blob_bytes = art.encode().len();
+    let raw_obs: Vec<Vec<i32>> = (0..obs.rows())
+        .map(|r| {
+            Fx32::raw_words(
+                &obs.row(r)
+                    .iter()
+                    .map(|&v| Fx32::from_f64(v))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+
+    let snapshot_ns = time_ns(reps, |i| {
+        let row = obs.row(i % OBS_POOL);
+        std::hint::black_box(snap.select_action(row).unwrap());
+    });
+    let artifact_ns = time_ns(reps, |i| {
+        let row = obs.row(i % OBS_POOL);
+        std::hint::black_box(art.infer(row).unwrap());
+    });
+    let raw_ns = time_ns(reps, |i| {
+        let row = &raw_obs[i % OBS_POOL];
+        std::hint::black_box(art.infer_raw(row).unwrap());
+    });
+
+    println!("blob size        {blob_bytes:>10} bytes");
+    println!("snapshot         {snapshot_ns:>10.0} ns/action");
+    println!("artifact (f64)   {artifact_ns:>10.0} ns/action");
+    println!("artifact (raw)   {raw_ns:>10.0} ns/action");
+    println!("raw interpreter vs snapshot: {:.2}x", snapshot_ns / raw_ns);
+
+    if let Ok(path) = std::env::var("FIXAR_BENCH_JSON") {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"deploy_inference\",");
+        let _ = writeln!(json, "  \"env\": \"Pendulum\",");
+        let _ = writeln!(json, "  \"hidden\": [64, 48],");
+        let _ = writeln!(json, "  \"backend\": \"Fx32\",");
+        let _ = writeln!(json, "  \"qat_bits\": 16,");
+        let _ = writeln!(json, "  \"reps\": {reps},");
+        let _ = writeln!(json, "  \"bit_equality_gate\": \"passed\",");
+        let _ = writeln!(json, "  \"content_hash\": \"{:016x}\",", art.content_hash());
+        let _ = writeln!(json, "  \"blob_bytes\": {blob_bytes},");
+        let _ = writeln!(json, "  \"snapshot_ns_per_action\": {snapshot_ns:.1},");
+        let _ = writeln!(json, "  \"artifact_ns_per_action\": {artifact_ns:.1},");
+        let _ = writeln!(json, "  \"artifact_raw_ns_per_action\": {raw_ns:.1},");
+        let _ = writeln!(
+            json,
+            "  \"raw_speedup_vs_snapshot\": {:.3}",
+            snapshot_ns / raw_ns
+        );
+        json.push_str("}\n");
+        std::fs::write(&path, json).expect("write bench JSON");
+        println!("wrote {path}");
+    }
+}

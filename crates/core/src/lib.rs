@@ -18,6 +18,9 @@
 //! * [`fixar_rl`] — DDPG with the QAT controller,
 //! * [`fixar_serve`] — the request-driven serving front door (deadline
 //!   micro-batching over published policy snapshots),
+//! * [`fixar_deploy`] — integer-only deployment artifacts: a trained
+//!   QAT actor frozen into a self-contained blob plus a no-float
+//!   interpreter,
 //! * [`fixar_accel`] — the cycle-level U50 accelerator model (PEs, AAP
 //!   cores, memories, Adam unit, PRNG, resource/power/GPU models),
 //! * [`fixar_platform`] — end-to-end timestep timing and co-simulation.
@@ -52,6 +55,7 @@ pub mod prelude {
         InferenceSchedule, LayerFormat, MicroBatchServing, PowerModel, Precision,
         PrecisionPlanCost, ResourceModel, TrainingSchedule, U50_BUDGET,
     };
+    pub use fixar_deploy::{ActKind, DeployError, PolicyArtifact, ARTIFACT_FRAC_BITS};
     pub use fixar_env::{EnvKind, EnvPool, EnvSpec, Environment, EpisodeStats, StepResult};
     pub use fixar_fixed::{AffineQuantizer, Fx16, Fx32, QFormat, RangeMonitor, Scalar, Q16, Q32};
     pub use fixar_nn::{
@@ -67,8 +71,10 @@ pub mod prelude {
         TrainMetrics, Trainer, TrainingReport, Transition, TransitionBatch, VecTrainer,
     };
     pub use fixar_serve::{
-        ActionResponse, ActionServer, PendingAction, ServeClient, ServeConfig, ServeError,
-        ServeStats, ShardStats, SnapshotPublisher, SnapshotStore,
+        ActionResponse, ActionServer, ArtifactClient, ArtifactPublisher, ArtifactReplica,
+        ArtifactResponse, ArtifactServer, ArtifactStore, PendingAction, PendingArtifactAction,
+        PendingReply, ServeClient, ServeConfig, ServeError, ServeStats, ShardStats,
+        SnapshotPublisher, SnapshotStore,
     };
 
     pub use crate::{FixarRunReport, FixarSystem};

@@ -1,0 +1,103 @@
+//! Integer-only deployment artifacts for frozen FIXAR policies.
+//!
+//! FIXAR's end goal is a policy that runs on integer-only hardware. This
+//! crate is the last mile: it freezes a trained QAT actor into a
+//! [`PolicyArtifact`] — a self-contained blob of raw `i32` weight words,
+//! activation kinds, and per-point integer quantizer specs — plus a
+//! standalone interpreter that evaluates it with **zero floating-point
+//! operations**, bit-identical to the frozen `fixar-nn` forward pass. The
+//! crate depends only on `fixar-fixed` (for the shared integer tanh ROM)
+//! and the `bytes` shim; none of the float-capable tensor or network
+//! machinery is reachable from the inference path.
+//!
+//! The no-float contract is machine-checked three ways:
+//!
+//! 1. **Statically** — a test greps the interpreter source for float
+//!    tokens.
+//! 2. **Dynamically** — the `deploy-float-guard` feature arms a
+//!    per-thread tripwire ([`guard`]) that panics if any instrumented
+//!    float helper of this crate runs while the interpreter holds a
+//!    [`guard::NoFloatZone`].
+//! 3. **Differentially** — `tests/deploy_props.rs` proves artifact output
+//!    ≡ `forward_qat_frozen` bit-for-bit across agents, precision-policy
+//!    arms, and serialization round-trips.
+//!
+//! # Blob layout (v1, little-endian)
+//!
+//! ```text
+//! ┌──────────┬─────────┬───────────┬────────────┬──────────────────┐
+//! │ "FXDA"   │ version │ frac_bits │ num_layers │ layer_sizes      │
+//! │ 4 bytes  │ u32 = 1 │ u32 = 20  │ u32 = n    │ (n+1) × u32      │
+//! ├──────────┴─────────┴───────────┴────────────┴──────────────────┤
+//! │ hidden_act u8 · output_act u8                                  │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ per layer l: weights rows·cols × i32 (row-major), bias rows×i32│
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ num_points u32 = n+1, then per point one spec:                 │
+//! │   tag 0 = pass-through                                         │
+//! │   tag 1 = shift     (shift u32, zero_point i64, max_code i64)  │
+//! │   tag 2 = table     (len u32, thresholds len×i64,              │
+//! │                      len+1 u32, dequant (len+1)×i32)           │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ FNV-1a 64 checksum of everything above · u64                   │
+//! └────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The trailing checksum doubles as the artifact's
+//! [`PolicyArtifact::content_hash`]: encoding is canonical, so equal
+//! artifacts hash equal and any byte flip is detected at decode.
+//!
+//! # Example
+//!
+//! ```
+//! use fixar_deploy::{ActKind, PolicyArtifact};
+//! use fixar_fixed::Fx32;
+//!
+//! // A 2→1 policy: y = x0 + x1 + 0.5 on the Fx32 grid.
+//! let one = Fx32::ONE.raw();
+//! let art = PolicyArtifact::from_parts(
+//!     &[2, 1],
+//!     ActKind::Relu,
+//!     ActKind::Identity,
+//!     vec![vec![one, one]],
+//!     vec![vec![Fx32::from_f64(0.5).raw()]],
+//!     &[None, None],
+//! )?;
+//!
+//! // Round-trip through bytes, then run the integer interpreter.
+//! let blob = art.encode();
+//! let back = PolicyArtifact::decode(&blob)?;
+//! assert_eq!(back.content_hash(), art.content_hash());
+//! assert_eq!(back.infer(&[1.0, 2.0])?, vec![3.5]);
+//! # Ok::<(), fixar_deploy::DeployError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod artifact;
+mod error;
+pub mod guard;
+mod interp;
+
+pub use artifact::{ActKind, PolicyArtifact, ARTIFACT_FRAC_BITS};
+pub use error::DeployError;
+
+#[cfg(test)]
+mod no_float_source_gate {
+    /// The static half of the no-float contract: the interpreter source
+    /// must not mention float types or float-producing methods, not even
+    /// in comments. The dynamic half is the `deploy-float-guard` feature.
+    #[test]
+    fn interpreter_source_has_no_float_tokens() {
+        let src = include_str!("interp.rs");
+        for token in [
+            "f32", "f64", "to_f", "from_f", ".floor", ".round", "powi", "powf", "as f",
+        ] {
+            assert!(
+                !src.contains(token),
+                "interp.rs contains forbidden float token {token:?}"
+            );
+        }
+    }
+}

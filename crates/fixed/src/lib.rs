@@ -45,7 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod math;
+pub mod math;
 mod monitor;
 mod q16;
 mod q32;

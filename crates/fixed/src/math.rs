@@ -5,6 +5,11 @@
 //! precision, stored here as Q2.30 integer constants) and everything at
 //! runtime — indexing, interpolation, Newton iterations — is integer
 //! arithmetic.
+//!
+//! The module is public so that integer-only consumers (most notably the
+//! `fixar-deploy` artifact interpreter, which must evaluate a frozen
+//! policy without touching `f32`/`f64`) can call the raw kernels directly
+//! on two's-complement words instead of going through a scalar type.
 
 /// `tanh(i * 4/64)` for `i = 0..=64`, in Q2.30.
 ///
@@ -52,7 +57,12 @@ fn q30_to_frac(v: i64, frac: u32) -> i64 {
 ///
 /// Input and output are raw fixed-point integers sharing the same format.
 /// The result always lies in `[-2^frac, 2^frac]` (i.e. `[-1.0, 1.0]`).
-pub(crate) fn tanh_raw(raw: i64, frac: u32) -> i64 {
+///
+/// # Panics
+///
+/// Debug-asserts `frac` in `4..=30` (the segment width must be a whole
+/// number of raw units).
+pub fn tanh_raw(raw: i64, frac: u32) -> i64 {
     debug_assert!(
         (4..=Q30).contains(&frac),
         "tanh_raw requires 4..=30 fractional bits"

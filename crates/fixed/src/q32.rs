@@ -71,6 +71,19 @@ impl<const F: u32> Q32<F> {
         self.0
     }
 
+    /// Extracts the raw two's-complement words of a slice — the
+    /// serialization primitive integer-only deployment artifacts are
+    /// built from. `raw_words(&xs)[i] == xs[i].raw()` for every `i`.
+    pub fn raw_words(xs: &[Self]) -> Vec<i32> {
+        xs.iter().map(|x| x.0).collect()
+    }
+
+    /// Rebuilds values from raw two's-complement words (the inverse of
+    /// [`Q32::raw_words`]; both directions are lossless).
+    pub fn from_raw_words(raws: &[i32]) -> Vec<Self> {
+        raws.iter().map(|&r| Self::from_raw(r)).collect()
+    }
+
     /// Converts from `f64`, rounding to nearest and saturating out-of-range
     /// inputs (including NaN, which maps to zero).
     #[inline]
@@ -445,6 +458,14 @@ mod tests {
         let s = format!("{:?}", Q::from_f64(1.5));
         assert!(s.contains("Q32<20>"));
         assert!(s.contains("1.5"));
+    }
+
+    #[test]
+    fn raw_words_roundtrip_losslessly() {
+        let xs = vec![Q::MAX, Q::MIN, Q::ZERO, Q::from_f64(-1.25), Q::EPSILON];
+        let words = Q::raw_words(&xs);
+        assert_eq!(words, vec![i32::MAX, i32::MIN, 0, -(5 << 18), 1]);
+        assert_eq!(Q::from_raw_words(&words), xs);
     }
 
     #[test]

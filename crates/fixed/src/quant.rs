@@ -157,6 +157,52 @@ impl QFormat {
     pub fn max_value(&self) -> f64 {
         ((1u64 << (self.total_bits - 1)) - 1) as f64 * self.delta()
     }
+
+    /// Smallest raw two's-complement word on this grid, `-2^(bits-1)`.
+    #[inline]
+    pub fn min_raw(&self) -> i64 {
+        -(1i64 << (self.total_bits - 1))
+    }
+
+    /// Largest raw two's-complement word on this grid, `2^(bits-1) - 1`.
+    #[inline]
+    pub fn max_raw(&self) -> i64 {
+        (1i64 << (self.total_bits - 1)) - 1
+    }
+
+    /// Requantizes a raw word from this grid onto `to`'s grid using only
+    /// integer shifts — the datapath a fixed-point accelerator uses to
+    /// move a value between two `Qm.n` formats.
+    ///
+    /// Widening the fraction (`to.frac_bits() >= self.frac_bits()`) is a
+    /// left shift and exact whenever the result fits; narrowing is an
+    /// arithmetic right shift, i.e. **floor** onto the coarser grid —
+    /// the same rounding direction as Algorithm 1's quantizer. Either
+    /// way the result saturates at `to`'s two's-complement rails
+    /// ([`QFormat::min_raw`] / [`QFormat::max_raw`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fixar_fixed::QFormat;
+    ///
+    /// let fine = QFormat::q(4, 12)?; // Q4.12
+    /// let coarse = QFormat::q(4, 4)?; // Q4.4
+    /// // 1.5 on the Q4.12 grid is raw 0x1800; on Q4.4 it is raw 0x18.
+    /// assert_eq!(fine.requantize(0x1800, coarse), 0x18);
+    /// // Widening back is exact for values on the coarse grid.
+    /// assert_eq!(coarse.requantize(0x18, fine), 0x1800);
+    /// # Ok::<(), fixar_fixed::QuantError>(())
+    /// ```
+    pub fn requantize(&self, raw: i64, to: QFormat) -> i64 {
+        let v = raw as i128;
+        let shifted = if to.frac_bits >= self.frac_bits {
+            v << (to.frac_bits - self.frac_bits)
+        } else {
+            v >> (self.frac_bits - to.frac_bits)
+        };
+        shifted.clamp(to.min_raw() as i128, to.max_raw() as i128) as i64
+    }
 }
 
 impl fmt::Display for QFormat {
@@ -485,6 +531,97 @@ mod tests {
         assert_eq!(q.fake_quantize(-100.0), fmt.min_value());
         // The effective format round-trips exactly.
         assert_eq!(q.format(), fmt);
+    }
+
+    #[test]
+    fn for_range_zero_width_ranges() {
+        // A zero-width range away from zero is a legal (degenerate but
+        // calibratable) observation: one constant activation.
+        let fmt = QFormat::for_range(16, 2.5, 2.5).unwrap();
+        assert_eq!(fmt.to_string(), "Q3.13");
+        assert!(fmt.max_value() >= 2.5);
+        // Zero-width at exactly zero carries no scale information.
+        assert!(matches!(
+            QFormat::for_range(16, 0.0, 0.0),
+            Err(QuantError::DegenerateRange { .. })
+        ));
+        // Non-finite endpoints are rejected, not folded into a format.
+        assert!(QFormat::for_range(16, f64::NEG_INFINITY, 1.0).is_err());
+        assert!(QFormat::for_range(16, -1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn for_range_negative_only_ranges_use_magnitude() {
+        // Magnitude comes from |min|; the grid still covers the range.
+        let fmt = QFormat::for_range(16, -8.0, -2.0).unwrap();
+        assert_eq!(fmt.to_string(), "Q4.12");
+        assert!(fmt.min_value() <= -8.0);
+        // Exactly ±2^k needs k magnitude bits (ceil(log2) is exact).
+        let pow = QFormat::for_range(8, -4.0, -4.0).unwrap();
+        assert_eq!(pow.to_string(), "Q3.5");
+        assert!(pow.min_value() <= -4.0);
+    }
+
+    #[test]
+    fn for_range_frac_bit_extremes() {
+        // A range so wide every bit goes to magnitude: zero frac bits.
+        let wide = QFormat::for_range(8, -200.0, 200.0).unwrap();
+        assert_eq!(wide.frac_bits(), 0);
+        assert_eq!(wide.delta(), 1.0);
+        // Magnitude beyond the width clamps instead of underflowing.
+        let clamped = QFormat::for_range(4, -1e6, 1e6).unwrap();
+        assert_eq!(clamped.int_bits(), 4);
+        assert_eq!(clamped.frac_bits(), 0);
+        // A sub-unit range spends every remaining bit on resolution.
+        let narrow = QFormat::for_range(32, -0.25, 0.25).unwrap();
+        assert_eq!(narrow.frac_bits(), 31);
+        assert_eq!(narrow.delta(), (0.5f64).powi(31));
+        // One total bit: the sign alone.
+        let sign_only = QFormat::for_range(1, -0.5, 0.5).unwrap();
+        assert_eq!(sign_only.frac_bits(), 0);
+        assert_eq!(sign_only.delta(), 1.0);
+    }
+
+    #[test]
+    fn delta_is_exact_power_of_two_across_frac_range() {
+        for frac in 0..=32u32 {
+            let fmt = QFormat::new(32, frac).unwrap();
+            let delta = fmt.delta();
+            assert_eq!(delta, 2.0f64.powi(-(frac as i32)), "frac={frac}");
+            // Power-of-two deltas are exactly representable, so the
+            // mantissa field is zero.
+            assert_eq!(delta.to_bits() & ((1u64 << 52) - 1), 0, "frac={frac}");
+        }
+    }
+
+    #[test]
+    fn requantize_between_adjacent_grids() {
+        let fine = QFormat::q(4, 12).unwrap();
+        let coarse = QFormat::q(4, 11).unwrap();
+        // On-grid values survive a narrow→widen round trip exactly.
+        for raw in [-4096i64, -2048, 0, 2, 2048, 4094] {
+            let down = fine.requantize(raw, coarse);
+            assert_eq!(coarse.requantize(down, fine), raw & !1);
+        }
+        // Narrowing floors (arithmetic shift), matching Algorithm 1.
+        assert_eq!(fine.requantize(3, coarse), 1);
+        assert_eq!(fine.requantize(-3, coarse), -2);
+        // Identity requantization is the identity.
+        assert_eq!(fine.requantize(1234, fine), 1234);
+    }
+
+    #[test]
+    fn requantize_saturates_at_target_rails() {
+        let narrow = QFormat::q(2, 6).unwrap(); // 8 bits total
+        let wide = QFormat::q(8, 8).unwrap(); // 16 bits total
+        assert_eq!(narrow.max_raw(), 127);
+        assert_eq!(narrow.min_raw(), -128);
+        // Widening the fraction of a rail value overflows 8 bits.
+        assert_eq!(wide.requantize(wide.max_raw(), narrow), narrow.max_raw());
+        assert_eq!(wide.requantize(wide.min_raw(), narrow), narrow.min_raw());
+        // Fraction widening into fewer integer bits also saturates.
+        let unit = QFormat::q(1, 7).unwrap();
+        assert_eq!(narrow.requantize(narrow.max_raw(), unit), unit.max_raw());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! [`PolicySnapshot::select_action`] on the snapshot with the recorded
 //! id and the action is bit-identical.
 
+use fixar_deploy::{ActKind, DeployError, PolicyArtifact};
 use fixar_fixed::Scalar;
 use fixar_nn::{Mlp, QatMode, QatRuntime};
 use fixar_pool::Parallelism;
@@ -152,6 +153,53 @@ impl<S: Scalar> PolicySnapshot<S> {
         let s: Vec<S> = state.iter().map(|&v| S::from_f64(v)).collect();
         let trace = self.actor.forward_qat_frozen(&s, &self.qat)?;
         Ok(trace.output.iter().map(|v| v.to_f64()).collect())
+    }
+}
+
+impl PolicySnapshot<fixar_fixed::Fx32> {
+    /// Freezes this snapshot into a self-contained integer-only
+    /// [`PolicyArtifact`]: raw `Fx32` weight words, activation kinds, and
+    /// one integer quantizer spec per activation point (pass-through for
+    /// points without a frozen quantizer, or when the QAT schedule never
+    /// reached quantize mode). The artifact's interpreter reproduces
+    /// [`PolicySnapshot::select_action`] bit-for-bit with zero
+    /// floating-point operations and no dependency on `fixar-nn`.
+    ///
+    /// Export is deterministic: equal snapshots produce byte-identical
+    /// blobs, so [`PolicyArtifact::content_hash`] is a stable identity
+    /// for the deployed policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError::UnsupportedQuantizer`] when a frozen
+    /// quantizer has no integer-only form (a step that is not a power of
+    /// two with a code space wider than a threshold table supports).
+    pub fn export_artifact(&self) -> Result<PolicyArtifact, DeployError> {
+        use fixar_fixed::Fx32;
+        let n = self.actor.num_layers();
+        let to_kind = |a: fixar_nn::Activation| match a {
+            fixar_nn::Activation::Identity => ActKind::Identity,
+            fixar_nn::Activation::Relu => ActKind::Relu,
+            fixar_nn::Activation::Tanh => ActKind::Tanh,
+        };
+        let weights: Vec<Vec<i32>> = (0..n)
+            .map(|l| Fx32::raw_words(self.actor.weight(l).as_slice()))
+            .collect();
+        let biases: Vec<Vec<i32>> = (0..n)
+            .map(|l| Fx32::raw_words(self.actor.bias(l)))
+            .collect();
+        let frozen = self.qat.mode() == QatMode::Quantize;
+        let quantizers: Vec<Option<&fixar_fixed::AffineQuantizer>> = (0..=n)
+            .map(|p| if frozen { self.qat.quantizer(p) } else { None })
+            .collect();
+        PolicyArtifact::from_parts(
+            self.actor.layer_sizes(),
+            to_kind(self.actor.hidden_activation()),
+            to_kind(self.actor.output_activation()),
+            weights,
+            biases,
+            &quantizers,
+        )
     }
 }
 
@@ -344,6 +392,48 @@ mod tests {
         for r in 0..obs.rows() {
             assert_eq!(batched.row(r), snap.select_action(obs.row(r)).unwrap());
         }
+    }
+
+    #[test]
+    fn exported_artifact_replays_snapshot_bit_for_bit() {
+        let mut agent = Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test().with_qat(4, 16)).unwrap();
+        let batch = synthetic_batch(agent.config().batch_size, 3, 1);
+        for t in 0..8u64 {
+            let s = obs_batch(1, 3);
+            agent.act(s.row(0)).unwrap();
+            agent.train_minibatch(&batch).unwrap();
+            agent.on_timestep(t).unwrap();
+        }
+        assert!(agent.qat_frozen());
+        let snap = agent.policy_snapshot(1);
+        let art = snap.export_artifact().unwrap();
+        assert_eq!(art.input_dim(), snap.state_dim());
+        assert_eq!(art.output_dim(), snap.action_dim());
+        let obs = obs_batch(7, 3);
+        for r in 0..obs.rows() {
+            let want = snap.select_action(obs.row(r)).unwrap();
+            let got = art.infer(obs.row(r)).unwrap();
+            assert_eq!(got, want, "row {r}");
+        }
+    }
+
+    #[test]
+    fn unfrozen_snapshot_exports_pass_through_artifact() {
+        let agent = Td3::<Fx32>::new(3, 1, Td3Config::small_test()).unwrap();
+        let snap = agent.policy_snapshot(5);
+        assert!(!snap.qat_frozen());
+        let art = snap.export_artifact().unwrap();
+        let obs = obs_batch(4, 3);
+        for r in 0..obs.rows() {
+            assert_eq!(
+                art.infer(obs.row(r)).unwrap(),
+                snap.select_action(obs.row(r)).unwrap()
+            );
+        }
+        // Export is deterministic: same snapshot, same bytes, same hash.
+        let again = snap.export_artifact().unwrap();
+        assert_eq!(again.encode(), art.encode());
+        assert_eq!(again.content_hash(), art.content_hash());
     }
 
     #[test]

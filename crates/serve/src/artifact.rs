@@ -1,0 +1,421 @@
+//! Serving integer-only deployment artifacts.
+//!
+//! [`ArtifactServer`] is the deployment-side twin of
+//! [`ActionServer`](crate::ActionServer): the same sharded deadline
+//! micro-batcher, but every batch is answered by the `fixar-deploy`
+//! integer interpreter instead of the float-capable
+//! `PolicySnapshot` path. Responses are stamped with the replica's
+//! publication id **and** the artifact's content hash, so a served
+//! trajectory can be audited against the exact frozen blob that
+//! produced it: decode the blob, check
+//! [`PolicyArtifact::content_hash`], replay each observation through
+//! [`PolicyArtifact::infer`], and the actions match bit-for-bit.
+
+use std::sync::{Arc, Mutex};
+
+use fixar_deploy::PolicyArtifact;
+use fixar_pool::Parallelism;
+use fixar_tensor::Matrix;
+
+use crate::replica::{ReplicaStore, ServedReplica};
+use crate::server::{submit_obs, PendingReply, ServeConfig, ServeStats, ServerCore, Shared};
+use crate::ServeError;
+
+/// One served action from an integer-only artifact, stamped with its
+/// provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactResponse {
+    /// The artifact's action for the submitted observation.
+    pub action: Vec<f64>,
+    /// Publication id of the [`ArtifactReplica`] that produced it.
+    pub artifact_id: u64,
+    /// Content hash ([`PolicyArtifact::content_hash`]) of the serialized
+    /// artifact — replaying the observation against any blob with this
+    /// hash reproduces `action` bit-for-bit.
+    pub content_hash: u64,
+    /// Number of requests that shared the micro-batch (diagnostics; has
+    /// no effect on the action by the bit-exactness contract).
+    pub batch_rows: usize,
+}
+
+/// An immutable, id-stamped [`PolicyArtifact`] ready for serving.
+///
+/// The content hash is computed once at construction, so stamping every
+/// response costs nothing on the request path.
+#[derive(Debug, Clone)]
+pub struct ArtifactReplica {
+    artifact: PolicyArtifact,
+    id: u64,
+    content_hash: u64,
+}
+
+impl ArtifactReplica {
+    /// Wraps `artifact` under publication id `id`, caching its content
+    /// hash.
+    pub fn new(artifact: PolicyArtifact, id: u64) -> Self {
+        let content_hash = artifact.content_hash();
+        Self {
+            artifact,
+            id,
+            content_hash,
+        }
+    }
+
+    /// Publication id of this replica.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Cached [`PolicyArtifact::content_hash`] of the wrapped artifact.
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// The wrapped artifact.
+    pub fn artifact(&self) -> &PolicyArtifact {
+        &self.artifact
+    }
+}
+
+impl ServedReplica for ArtifactReplica {
+    type Response = ArtifactResponse;
+
+    // Rows are served sequentially: the integer interpreter is bit-exact
+    // per sample, so worker parallelism cannot change any answer and is
+    // not worth spinning up for the artifact's small single-sample nets.
+    fn serve_batch(
+        &self,
+        obs: &Matrix<f64>,
+        _par: &Parallelism,
+    ) -> Result<Matrix<f64>, ServeError> {
+        let mut actions = Matrix::zeros(obs.rows(), self.artifact.output_dim());
+        for i in 0..obs.rows() {
+            let action = self
+                .artifact
+                .infer(obs.row(i))
+                .map_err(|e| ServeError::Inference(e.to_string()))?;
+            actions.row_mut(i).copy_from_slice(&action);
+        }
+        Ok(actions)
+    }
+
+    fn respond(&self, action: Vec<f64>, batch_rows: usize) -> ArtifactResponse {
+        ArtifactResponse {
+            action,
+            artifact_id: self.id,
+            content_hash: self.content_hash,
+            batch_rows,
+        }
+    }
+}
+
+/// Single-slot publication point for [`ArtifactReplica`]s — the
+/// deployment-side twin of [`SnapshotStore`](crate::SnapshotStore),
+/// with the same strictly-monotone publication contract.
+pub struct ArtifactStore {
+    slot: Mutex<Arc<ArtifactReplica>>,
+}
+
+impl ArtifactStore {
+    /// A store serving `initial` until something newer is published.
+    pub fn new(initial: ArtifactReplica) -> Self {
+        Self {
+            slot: Mutex::new(Arc::new(initial)),
+        }
+    }
+
+    /// The replica the *next* batch should be served from.
+    pub fn load(&self) -> Arc<ArtifactReplica> {
+        Arc::clone(&self.slot.lock().expect("artifact store poisoned"))
+    }
+
+    /// Id of the replica currently being served.
+    pub fn current_id(&self) -> u64 {
+        self.slot.lock().expect("artifact store poisoned").id()
+    }
+
+    /// Atomically swaps in `replica`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::StaleSnapshot`] unless the id strictly
+    /// increases.
+    pub fn publish(&self, replica: ArtifactReplica) -> Result<u64, ServeError> {
+        let mut slot = self.slot.lock().expect("artifact store poisoned");
+        let current = slot.id();
+        if replica.id() <= current {
+            return Err(ServeError::StaleSnapshot {
+                current,
+                offered: replica.id(),
+            });
+        }
+        let id = replica.id();
+        *slot = Arc::new(replica);
+        Ok(id)
+    }
+}
+
+impl ReplicaStore for ArtifactStore {
+    type Replica = ArtifactReplica;
+
+    fn load_replica(&self) -> Arc<ArtifactReplica> {
+        self.load()
+    }
+}
+
+/// The deployment-side serving front door: identical queueing, batching,
+/// and publication semantics to [`ActionServer`](crate::ActionServer),
+/// but every action is produced by the `fixar-deploy` integer-only
+/// interpreter and every response carries the artifact's content hash.
+pub struct ArtifactServer {
+    core: ServerCore<ArtifactStore>,
+}
+
+impl ArtifactServer {
+    /// Starts the server: spawns one batcher thread per shard, serving
+    /// `initial` until a newer replica is published.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `max_batch` or `shards`
+    /// is zero.
+    pub fn start(initial: ArtifactReplica, cfg: ServeConfig) -> Result<Self, ServeError> {
+        let (state_dim, action_dim) = (
+            initial.artifact().input_dim(),
+            initial.artifact().output_dim(),
+        );
+        let core = ServerCore::start(ArtifactStore::new(initial), state_dim, action_dim, cfg)?;
+        Ok(Self { core })
+    }
+
+    /// A clonable client handle for submitting observations.
+    pub fn client(&self) -> ArtifactClient {
+        ArtifactClient {
+            shared: Arc::clone(&self.core.shared),
+        }
+    }
+
+    /// The handle for publishing fresher artifact replicas.
+    pub fn publisher(&self) -> ArtifactPublisher {
+        ArtifactPublisher {
+            shared: Arc::clone(&self.core.shared),
+        }
+    }
+
+    /// Publication id of the replica the *next* batch will be served
+    /// from.
+    pub fn current_artifact_id(&self) -> u64 {
+        self.core.shared.store.current_id()
+    }
+
+    /// Content hash of the replica the *next* batch will be served from.
+    pub fn current_content_hash(&self) -> u64 {
+        self.core.shared.store.load().content_hash()
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.core.stats()
+    }
+
+    /// Shuts down gracefully: rejects new submissions, serves every
+    /// already-queued request, joins the batcher threads, and returns
+    /// the final counters.
+    pub fn shutdown(self) -> ServeStats {
+        let mut core = self.core;
+        core.close_and_join();
+        core.stats()
+    }
+}
+
+/// A pending artifact-served response (see [`PendingReply`]).
+pub type PendingArtifactAction = PendingReply<ArtifactResponse>;
+
+/// Client handle for an [`ArtifactServer`]; cloning is an `Arc` bump.
+pub struct ArtifactClient {
+    shared: Arc<Shared<ArtifactStore>>,
+}
+
+impl Clone for ArtifactClient {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl ArtifactClient {
+    /// Observation dimension the served artifact expects.
+    pub fn state_dim(&self) -> usize {
+        self.shared.state_dim
+    }
+
+    /// Action dimension the served artifact produces.
+    pub fn action_dim(&self) -> usize {
+        self.shared.action_dim
+    }
+
+    /// Enqueues an observation (round-robin across shards) and returns
+    /// immediately with a [`PendingArtifactAction`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WrongDimension`] for a mis-sized
+    /// observation, [`ServeError::Shutdown`] if the server has shut
+    /// down.
+    pub fn submit(&self, obs: &[f64]) -> Result<PendingArtifactAction, ServeError> {
+        submit_obs(&self.shared, obs)
+    }
+
+    /// Blocking convenience wrapper: [`ArtifactClient::submit`] +
+    /// [`PendingReply::wait`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ArtifactClient::submit`], plus anything the batcher reports.
+    pub fn request(&self, obs: &[f64]) -> Result<ArtifactResponse, ServeError> {
+        self.submit(obs)?.wait()
+    }
+}
+
+/// Handle for publishing fresher artifact replicas without blocking the
+/// request path.
+pub struct ArtifactPublisher {
+    shared: Arc<Shared<ArtifactStore>>,
+}
+
+impl Clone for ArtifactPublisher {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl ArtifactPublisher {
+    /// Atomically swaps in `replica`, returning its id. Batches already
+    /// in flight finish on the replica they loaded; every later batch
+    /// serves — and is stamped with — the new id and content hash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WrongDimension`] if the replica's
+    /// dimensions differ from the served artifact's, and
+    /// [`ServeError::StaleSnapshot`] unless its id strictly increases.
+    pub fn publish(&self, replica: ArtifactReplica) -> Result<u64, ServeError> {
+        if replica.artifact().input_dim() != self.shared.state_dim {
+            return Err(ServeError::WrongDimension {
+                expected: self.shared.state_dim,
+                got: replica.artifact().input_dim(),
+            });
+        }
+        if replica.artifact().output_dim() != self.shared.action_dim {
+            return Err(ServeError::WrongDimension {
+                expected: self.shared.action_dim,
+                got: replica.artifact().output_dim(),
+            });
+        }
+        self.shared.store.publish(replica)
+    }
+
+    /// Id currently being served (the floor for the next publish).
+    pub fn current_id(&self) -> u64 {
+        self.shared.store.current_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fixar_fixed::Fx32;
+    use fixar_rl::{Ddpg, DdpgConfig, PolicySnapshot};
+
+    fn snapshot(id: u64) -> PolicySnapshot<Fx32> {
+        Ddpg::<Fx32>::new(3, 1, DdpgConfig::small_test())
+            .unwrap()
+            .policy_snapshot(id)
+    }
+
+    fn replica(id: u64) -> ArtifactReplica {
+        ArtifactReplica::new(snapshot(0).export_artifact().unwrap(), id)
+    }
+
+    fn obs(i: usize) -> Vec<f64> {
+        (0..3).map(|c| ((i * 3 + c) as f64).sin() * 0.8).collect()
+    }
+
+    #[test]
+    fn serves_artifact_actions_stamped_with_content_hash() {
+        let snap = snapshot(0);
+        let art = snap.export_artifact().unwrap();
+        let hash = art.content_hash();
+        let server =
+            ArtifactServer::start(ArtifactReplica::new(art, 7), ServeConfig::default()).unwrap();
+        assert_eq!(server.current_artifact_id(), 7);
+        assert_eq!(server.current_content_hash(), hash);
+        let client = server.client();
+        assert_eq!(client.state_dim(), 3);
+        assert_eq!(client.action_dim(), 1);
+        let offline = snap.export_artifact().unwrap();
+        for i in 0..24 {
+            let resp = client.request(&obs(i)).unwrap();
+            assert_eq!(resp.artifact_id, 7);
+            assert_eq!(resp.content_hash, hash);
+            assert!(resp.batch_rows >= 1);
+            assert_eq!(resp.action, offline.infer(&obs(i)).unwrap());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests(), 24);
+    }
+
+    #[test]
+    fn publish_swaps_replicas_and_rejects_stale_or_mismatched_ones() {
+        let server = ArtifactServer::start(replica(1), ServeConfig::default()).unwrap();
+        let publisher = server.publisher();
+        assert_eq!(publisher.current_id(), 1);
+        assert_eq!(publisher.publish(replica(2)).unwrap(), 2);
+        assert!(matches!(
+            publisher.publish(replica(2)),
+            Err(ServeError::StaleSnapshot {
+                current: 2,
+                offered: 2
+            })
+        ));
+        let wrong_shape = ArtifactReplica::new(
+            Ddpg::<Fx32>::new(5, 2, DdpgConfig::small_test())
+                .unwrap()
+                .policy_snapshot(0)
+                .export_artifact()
+                .unwrap(),
+            9,
+        );
+        assert!(matches!(
+            publisher.publish(wrong_shape),
+            Err(ServeError::WrongDimension {
+                expected: 3,
+                got: 5
+            })
+        ));
+        let resp = server.client().request(&obs(0)).unwrap();
+        assert_eq!(resp.artifact_id, 2);
+    }
+
+    #[test]
+    fn rejects_bad_dimensions_and_drains_on_shutdown() {
+        let server = ArtifactServer::start(replica(0), ServeConfig::default()).unwrap();
+        let client = server.client();
+        assert!(matches!(
+            client.request(&[0.5]),
+            Err(ServeError::WrongDimension {
+                expected: 3,
+                got: 1
+            })
+        ));
+        let pending: Vec<_> = (0..8).map(|i| client.submit(&obs(i)).unwrap()).collect();
+        drop(server);
+        for p in pending {
+            p.wait().unwrap();
+        }
+        assert!(matches!(client.submit(&obs(0)), Err(ServeError::Shutdown)));
+    }
+}

@@ -31,6 +31,16 @@
 //! `tests/serve_props.rs` in the workspace proves this end to end,
 //! including across mid-run snapshot swaps and QAT-frozen actors.
 //!
+//! # Serving deployment artifacts
+//!
+//! The same micro-batcher also serves **integer-only deployment
+//! artifacts** ([`fixar_deploy::PolicyArtifact`]): [`ArtifactServer`] /
+//! [`ArtifactClient`] / [`ArtifactPublisher`] mirror the snapshot trio
+//! exactly, but every action is produced by the no-float interpreter and
+//! every [`ArtifactResponse`] is stamped with the artifact's **content
+//! hash** in addition to its publication id — auditing a served
+//! trajectory needs nothing but the frozen blob.
+//!
 //! # Example
 //!
 //! ```
@@ -62,12 +72,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
+mod replica;
 mod server;
 mod store;
 
+pub use artifact::{
+    ArtifactClient, ArtifactPublisher, ArtifactReplica, ArtifactResponse, ArtifactServer,
+    ArtifactStore, PendingArtifactAction,
+};
 pub use server::{
-    ActionResponse, ActionServer, PendingAction, ServeClient, ServeConfig, ServeStats, ShardStats,
-    SnapshotPublisher,
+    ActionResponse, ActionServer, PendingAction, PendingReply, ServeClient, ServeConfig,
+    ServeStats, ShardStats, SnapshotPublisher,
 };
 pub use store::SnapshotStore;
 

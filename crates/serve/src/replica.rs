@@ -1,0 +1,65 @@
+//! The replica abstraction the micro-batcher serves through.
+//!
+//! The deadline batcher machinery in `server.rs` is generic over *what*
+//! it serves: anything that can answer a batch of observations and stamp
+//! its responses with provenance. Two replica kinds implement it — the
+//! float-capable [`PolicySnapshot`] (the training-side replica) and the
+//! integer-only `ArtifactReplica` (the deployment-side replica in
+//! `artifact.rs`). The traits are crate-internal; the public surface
+//! stays the concrete `ActionServer` / `ArtifactServer` pairs.
+
+use std::sync::Arc;
+
+use fixar_fixed::Scalar;
+use fixar_pool::Parallelism;
+use fixar_rl::PolicySnapshot;
+use fixar_tensor::Matrix;
+
+use crate::server::ActionResponse;
+use crate::{ServeError, SnapshotStore};
+
+/// One immutable replica a micro-batch is served from.
+pub(crate) trait ServedReplica: Send + Sync + 'static {
+    /// Response type rows of a served batch are wrapped into.
+    type Response: Send + 'static;
+
+    /// Answers a whole micro-batch (one observation per row).
+    fn serve_batch(&self, obs: &Matrix<f64>, par: &Parallelism) -> Result<Matrix<f64>, ServeError>;
+
+    /// Wraps one served row in the replica's provenance-stamped response.
+    fn respond(&self, action: Vec<f64>, batch_rows: usize) -> Self::Response;
+}
+
+/// Publication slot the batcher loads its replica from, once per batch.
+pub(crate) trait ReplicaStore: Send + Sync + 'static {
+    /// Replica kind the store publishes.
+    type Replica: ServedReplica;
+
+    /// The replica to serve the *next* batch from.
+    fn load_replica(&self) -> Arc<Self::Replica>;
+}
+
+impl<S: Scalar> ServedReplica for PolicySnapshot<S> {
+    type Response = ActionResponse;
+
+    fn serve_batch(&self, obs: &Matrix<f64>, par: &Parallelism) -> Result<Matrix<f64>, ServeError> {
+        self.select_actions_batch(obs, par)
+            .map_err(ServeError::from)
+    }
+
+    fn respond(&self, action: Vec<f64>, batch_rows: usize) -> ActionResponse {
+        ActionResponse {
+            action,
+            snapshot_id: self.id(),
+            batch_rows,
+        }
+    }
+}
+
+impl<S: Scalar> ReplicaStore for SnapshotStore<S> {
+    type Replica = PolicySnapshot<S>;
+
+    fn load_replica(&self) -> Arc<PolicySnapshot<S>> {
+        self.load()
+    }
+}

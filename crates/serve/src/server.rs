@@ -1,4 +1,11 @@
 //! The sharded deadline micro-batcher.
+//!
+//! The batching machinery (`Shared`, `ServerCore`, `batcher_loop`) is
+//! generic over a [`ReplicaStore`](crate::replica::ReplicaStore): the
+//! same queues, deadline logic, and counters serve float-side
+//! [`PolicySnapshot`] replicas (this module's public [`ActionServer`])
+//! and integer-only deployment artifacts (`artifact.rs`'s
+//! `ArtifactServer`).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -10,6 +17,7 @@ use fixar_pool::{oneshot, MpmcQueue, OneShotReceiver, OneShotSender, Parallelism
 use fixar_rl::PolicySnapshot;
 use fixar_tensor::Matrix;
 
+use crate::replica::{ReplicaStore, ServedReplica};
 use crate::{ServeError, SnapshotStore};
 
 /// Knobs of the serving front door.
@@ -57,9 +65,12 @@ pub struct ActionResponse {
     pub batch_rows: usize,
 }
 
-struct Request {
+/// Response type a store's replicas produce.
+pub(crate) type RespOf<St> = <<St as ReplicaStore>::Replica as ServedReplica>::Response;
+
+pub(crate) struct Request<R> {
     obs: Vec<f64>,
-    reply: OneShotSender<Result<ActionResponse, ServeError>>,
+    reply: OneShotSender<Result<R, ServeError>>,
 }
 
 /// Per-shard counters, updated with relaxed atomics (monotonic event
@@ -91,7 +102,7 @@ pub struct ShardStats {
     pub served_rows: u64,
     /// Largest micro-batch served.
     pub max_batch_rows: u64,
-    /// Responses whose client had already dropped its `PendingAction`.
+    /// Responses whose client had already dropped its pending handle.
     pub dropped_replies: u64,
 }
 
@@ -134,39 +145,34 @@ impl ServeStats {
     }
 }
 
-struct Shared<S: Scalar> {
-    store: SnapshotStore<S>,
-    queues: Vec<MpmcQueue<Request>>,
+pub(crate) struct Shared<St: ReplicaStore> {
+    pub(crate) store: St,
+    queues: Vec<MpmcQueue<Request<RespOf<St>>>>,
     counters: Vec<ShardCounters>,
     next_shard: AtomicUsize,
-    state_dim: usize,
-    action_dim: usize,
+    pub(crate) state_dim: usize,
+    pub(crate) action_dim: usize,
 }
 
-/// The request-driven serving front door: N sharded request queues, one
+/// The replica-agnostic server engine: N sharded request queues, one
 /// deadline micro-batcher thread per shard, all serving immutable
-/// [`PolicySnapshot`] replicas published through an atomic swap.
+/// replicas loaded from the store once per batch.
 ///
-/// See the [crate docs](crate) for semantics and an end-to-end example;
-/// `examples/serve_quickstart.rs` drives a live trainer against it.
-///
-/// Dropping the server closes every queue (in-flight and already-queued
+/// Dropping the core closes every queue (in-flight and already-queued
 /// requests are still served — graceful drain) and joins the batcher
 /// threads.
-pub struct ActionServer<S: Scalar> {
-    shared: Arc<Shared<S>>,
+pub(crate) struct ServerCore<St: ReplicaStore> {
+    pub(crate) shared: Arc<Shared<St>>,
     batchers: Vec<JoinHandle<()>>,
 }
 
-impl<S: Scalar> ActionServer<S> {
-    /// Starts the server: spawns one batcher thread per shard, serving
-    /// `initial` until a newer snapshot is published.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServeError::InvalidConfig`] if `max_batch` or `shards`
-    /// is zero.
-    pub fn start(initial: PolicySnapshot<S>, cfg: ServeConfig) -> Result<Self, ServeError> {
+impl<St: ReplicaStore> ServerCore<St> {
+    pub(crate) fn start(
+        store: St,
+        state_dim: usize,
+        action_dim: usize,
+        cfg: ServeConfig,
+    ) -> Result<Self, ServeError> {
         if cfg.max_batch == 0 {
             return Err(ServeError::InvalidConfig("max_batch must be ≥ 1".into()));
         }
@@ -175,12 +181,12 @@ impl<S: Scalar> ActionServer<S> {
         }
         let par = Parallelism::from_env_or(cfg.workers);
         let shared = Arc::new(Shared {
-            state_dim: initial.state_dim(),
-            action_dim: initial.action_dim(),
-            store: SnapshotStore::new(initial),
+            store,
             queues: (0..cfg.shards).map(|_| MpmcQueue::new()).collect(),
             counters: (0..cfg.shards).map(|_| ShardCounters::default()).collect(),
             next_shard: AtomicUsize::new(0),
+            state_dim,
+            action_dim,
         });
         let batchers = (0..cfg.shards)
             .map(|shard| {
@@ -196,27 +202,7 @@ impl<S: Scalar> ActionServer<S> {
         Ok(Self { shared, batchers })
     }
 
-    /// A clonable client handle for submitting observations.
-    pub fn client(&self) -> ServeClient<S> {
-        ServeClient {
-            shared: Arc::clone(&self.shared),
-        }
-    }
-
-    /// The trainer-side handle for publishing fresher snapshots.
-    pub fn publisher(&self) -> SnapshotPublisher<S> {
-        SnapshotPublisher {
-            shared: Arc::clone(&self.shared),
-        }
-    }
-
-    /// Id of the snapshot the *next* batch will be served from.
-    pub fn current_snapshot_id(&self) -> u64 {
-        self.shared.store.current_id()
-    }
-
-    /// Point-in-time serving counters.
-    pub fn stats(&self) -> ServeStats {
+    pub(crate) fn stats(&self) -> ServeStats {
         ServeStats {
             shards: self
                 .shared
@@ -235,16 +221,7 @@ impl<S: Scalar> ActionServer<S> {
         }
     }
 
-    /// Shuts down gracefully: rejects new submissions, serves every
-    /// already-queued request, joins the batcher threads, and returns
-    /// the final counters. (Dropping the server does the same, minus the
-    /// stats.)
-    pub fn shutdown(mut self) -> ServeStats {
-        self.close_and_join();
-        self.stats()
-    }
-
-    fn close_and_join(&mut self) {
+    pub(crate) fn close_and_join(&mut self) {
         for q in &self.shared.queues {
             q.close();
         }
@@ -254,14 +231,43 @@ impl<S: Scalar> ActionServer<S> {
     }
 }
 
-impl<S: Scalar> Drop for ActionServer<S> {
+impl<St: ReplicaStore> Drop for ServerCore<St> {
     fn drop(&mut self) {
         self.close_and_join();
     }
 }
 
-fn batcher_loop<S: Scalar>(
-    shared: &Shared<S>,
+/// Enqueues an observation (round-robin across shards) and returns a
+/// pending handle — the shared open-loop submission path behind both
+/// client types.
+pub(crate) fn submit_obs<St: ReplicaStore>(
+    shared: &Shared<St>,
+    obs: &[f64],
+) -> Result<PendingReply<RespOf<St>>, ServeError> {
+    if obs.len() != shared.state_dim {
+        return Err(ServeError::WrongDimension {
+            expected: shared.state_dim,
+            got: obs.len(),
+        });
+    }
+    let shards = shared.queues.len();
+    let shard = shared.next_shard.fetch_add(1, Ordering::Relaxed) % shards;
+    let (reply, rx) = oneshot();
+    let request = Request {
+        obs: obs.to_vec(),
+        reply,
+    };
+    if shared.queues[shard].push(request).is_err() {
+        return Err(ServeError::Shutdown);
+    }
+    shared.counters[shard]
+        .requests
+        .fetch_add(1, Ordering::Relaxed);
+    Ok(PendingReply { rx })
+}
+
+fn batcher_loop<St: ReplicaStore>(
+    shared: &Shared<St>,
     shard: usize,
     max_batch: usize,
     max_delay: Duration,
@@ -295,27 +301,22 @@ fn batcher_loop<S: Scalar>(
             counters.deadline_flushes.fetch_add(1, Ordering::Relaxed);
         }
 
-        // One batch = one snapshot: load once, serve every row from it.
-        let snapshot = shared.store.load();
+        // One batch = one replica: load once, serve every row from it.
+        let replica = shared.store.load_replica();
         let mut obs = Matrix::zeros(rows, shared.state_dim);
         for (i, r) in requests.iter().enumerate() {
             obs.row_mut(i).copy_from_slice(&r.obs);
         }
-        match snapshot.select_actions_batch(&obs, par) {
+        match replica.serve_batch(&obs, par) {
             Ok(actions) => {
                 for (i, r) in requests.into_iter().enumerate() {
-                    let resp = ActionResponse {
-                        action: actions.row(i).to_vec(),
-                        snapshot_id: snapshot.id(),
-                        batch_rows: rows,
-                    };
+                    let resp = replica.respond(actions.row(i).to_vec(), rows);
                     if r.reply.send(Ok(resp)).is_err() {
                         counters.dropped_replies.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
-            Err(e) => {
-                let err = ServeError::Inference(e.to_string());
+            Err(err) => {
                 for r in requests {
                     if r.reply.send(Err(err.clone())).is_err() {
                         counters.dropped_replies.fetch_add(1, Ordering::Relaxed);
@@ -326,12 +327,75 @@ fn batcher_loop<S: Scalar>(
     }
 }
 
+/// The request-driven serving front door: N sharded request queues, one
+/// deadline micro-batcher thread per shard, all serving immutable
+/// [`PolicySnapshot`] replicas published through an atomic swap.
+///
+/// See the [crate docs](crate) for semantics and an end-to-end example;
+/// `examples/serve_quickstart.rs` drives a live trainer against it.
+///
+/// Dropping the server closes every queue (in-flight and already-queued
+/// requests are still served — graceful drain) and joins the batcher
+/// threads.
+pub struct ActionServer<S: Scalar> {
+    core: ServerCore<SnapshotStore<S>>,
+}
+
+impl<S: Scalar> ActionServer<S> {
+    /// Starts the server: spawns one batcher thread per shard, serving
+    /// `initial` until a newer snapshot is published.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] if `max_batch` or `shards`
+    /// is zero.
+    pub fn start(initial: PolicySnapshot<S>, cfg: ServeConfig) -> Result<Self, ServeError> {
+        let (state_dim, action_dim) = (initial.state_dim(), initial.action_dim());
+        let core = ServerCore::start(SnapshotStore::new(initial), state_dim, action_dim, cfg)?;
+        Ok(Self { core })
+    }
+
+    /// A clonable client handle for submitting observations.
+    pub fn client(&self) -> ServeClient<S> {
+        ServeClient {
+            shared: Arc::clone(&self.core.shared),
+        }
+    }
+
+    /// The trainer-side handle for publishing fresher snapshots.
+    pub fn publisher(&self) -> SnapshotPublisher<S> {
+        SnapshotPublisher {
+            shared: Arc::clone(&self.core.shared),
+        }
+    }
+
+    /// Id of the snapshot the *next* batch will be served from.
+    pub fn current_snapshot_id(&self) -> u64 {
+        self.core.shared.store.current_id()
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.core.stats()
+    }
+
+    /// Shuts down gracefully: rejects new submissions, serves every
+    /// already-queued request, joins the batcher threads, and returns
+    /// the final counters. (Dropping the server does the same, minus the
+    /// stats.)
+    pub fn shutdown(self) -> ServeStats {
+        let mut core = self.core;
+        core.close_and_join();
+        core.stats()
+    }
+}
+
 /// Client handle: submit observations, receive snapshot-stamped actions.
 ///
 /// Cloning is cheap (an `Arc` bump); clones may be moved freely across
 /// client threads.
 pub struct ServeClient<S: Scalar> {
-    shared: Arc<Shared<S>>,
+    shared: Arc<Shared<SnapshotStore<S>>>,
 }
 
 impl<S: Scalar> Clone for ServeClient<S> {
@@ -363,26 +427,7 @@ impl<S: Scalar> ServeClient<S> {
     /// observation, [`ServeError::Shutdown`] if the server has shut
     /// down.
     pub fn submit(&self, obs: &[f64]) -> Result<PendingAction, ServeError> {
-        if obs.len() != self.shared.state_dim {
-            return Err(ServeError::WrongDimension {
-                expected: self.shared.state_dim,
-                got: obs.len(),
-            });
-        }
-        let shards = self.shared.queues.len();
-        let shard = self.shared.next_shard.fetch_add(1, Ordering::Relaxed) % shards;
-        let (reply, rx) = oneshot();
-        let request = Request {
-            obs: obs.to_vec(),
-            reply,
-        };
-        if self.shared.queues[shard].push(request).is_err() {
-            return Err(ServeError::Shutdown);
-        }
-        self.shared.counters[shard]
-            .requests
-            .fetch_add(1, Ordering::Relaxed);
-        Ok(PendingAction { rx })
+        submit_obs(&self.shared, obs)
     }
 
     /// Blocking convenience wrapper: [`ServeClient::submit`] +
@@ -398,18 +443,18 @@ impl<S: Scalar> ServeClient<S> {
 }
 
 /// A response that has been requested but possibly not yet served.
-pub struct PendingAction {
-    rx: OneShotReceiver<Result<ActionResponse, ServeError>>,
+pub struct PendingReply<R> {
+    rx: OneShotReceiver<Result<R, ServeError>>,
 }
 
-impl PendingAction {
+impl<R> PendingReply<R> {
     /// Blocks until the micro-batch containing this request is served.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Shutdown`] if the server died before
     /// serving it, or whatever error the batcher reported.
-    pub fn wait(self) -> Result<ActionResponse, ServeError> {
+    pub fn wait(self) -> Result<R, ServeError> {
         match self.rx.recv() {
             Ok(result) => result,
             Err(_) => Err(ServeError::Shutdown),
@@ -417,10 +462,13 @@ impl PendingAction {
     }
 }
 
+/// A pending snapshot-served response (see [`PendingReply`]).
+pub type PendingAction = PendingReply<ActionResponse>;
+
 /// Trainer-side handle: publish fresher snapshots without ever blocking
 /// the request path (the swap is O(1) under a lock no inference holds).
 pub struct SnapshotPublisher<S: Scalar> {
-    shared: Arc<Shared<S>>,
+    shared: Arc<Shared<SnapshotStore<S>>>,
 }
 
 impl<S: Scalar> Clone for SnapshotPublisher<S> {

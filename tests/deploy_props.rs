@@ -1,0 +1,427 @@
+//! Deployment-artifact determinism suite: the differential no-float
+//! harness behind `fixar-deploy`.
+//!
+//! **The contract:** freezing a trained QAT actor into a
+//! [`PolicyArtifact`] — raw integer weights, per-point quantizer specs,
+//! a trailing content hash — must change *nothing*. For every agent
+//! type (DDPG and TD3), every precision-policy arm (uniform 8/16,
+//! mixed, tapered per-point, adaptive-frozen), every observation, and
+//! across serialization round-trips, the integer-only interpreter must
+//! reproduce `PolicySnapshot::select_action` **bit-for-bit** — at every
+//! `FIXAR_WORKERS` setting (CI sweeps 1/2/8 over this whole file) and
+//! through the `ArtifactServer` front door.
+//!
+//! The no-float side of the contract is enforced twice: statically (the
+//! interpreter source contains no float tokens — a unit test inside
+//! `fixar-deploy`) and dynamically here — this test binary links
+//! `fixar-deploy` with the `deploy-float-guard` feature, under which
+//! any floating-point operation inside an armed interpreter zone
+//! panics. Every `infer_raw` walk below therefore *proves* the integer
+//! path executes zero float ops.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::thread;
+
+use fixar_deploy::guard::{self, NoFloatZone};
+use fixar_repro::prelude::*;
+use fixar_tensor::Matrix;
+use proptest::prelude::*;
+
+const STATE_DIM: usize = 3;
+const ACTION_DIM: usize = 1;
+/// Activation points of the small-test actor (3 layers ⇒ 4 points).
+const ACTOR_POINTS: usize = 4;
+
+fn obs(i: usize) -> Vec<f64> {
+    // Deliberately spans well past the calibrated activation ranges so
+    // the quantizer clamp paths are exercised too.
+    (0..STATE_DIM)
+        .map(|c| ((i * STATE_DIM + c) as f64 * 0.41).sin() * (1.0 + (i % 5) as f64))
+        .collect()
+}
+
+fn synthetic_batch(len: usize) -> TransitionBatch {
+    let transitions: Vec<Transition> = (0..len)
+        .map(|i| Transition {
+            state: (0..STATE_DIM).map(|c| ((i + c) as f64).cos()).collect(),
+            action: (0..ACTION_DIM)
+                .map(|c| ((i * 3 + c) as f64).sin())
+                .collect(),
+            reward: (i as f64).sin(),
+            next_state: (0..STATE_DIM).map(|c| ((i + c + 1) as f64).cos()).collect(),
+            terminal: i % 7 == 0,
+        })
+        .collect();
+    let refs: Vec<&Transition> = transitions.iter().collect();
+    TransitionBatch::from_transitions(&refs).unwrap()
+}
+
+/// The precision-policy arms the freeze contract is proven over.
+fn arms() -> Vec<(&'static str, PrecisionPolicy, PrecisionPolicy)> {
+    let tapered = PrecisionPolicy::PerPoint {
+        formats: vec![
+            None,
+            Some(QFormat::q(3, 9).unwrap()),
+            Some(QFormat::q(2, 6).unwrap()),
+            None,
+        ],
+        base_bits: 12,
+    };
+    vec![
+        (
+            "uniform8",
+            PrecisionPolicy::Uniform { bits: 8 },
+            PrecisionPolicy::Uniform { bits: 8 },
+        ),
+        (
+            "uniform16",
+            PrecisionPolicy::Uniform { bits: 16 },
+            PrecisionPolicy::Uniform { bits: 16 },
+        ),
+        (
+            "mixed",
+            PrecisionPolicy::Uniform { bits: 8 },
+            PrecisionPolicy::Uniform { bits: 16 },
+        ),
+        ("tapered", tapered, PrecisionPolicy::Uniform { bits: 12 }),
+        (
+            "adaptive",
+            PrecisionPolicy::Adaptive {
+                min_bits: 6,
+                max_bits: 14,
+                target_delta: 0.01,
+            },
+            PrecisionPolicy::Uniform { bits: 16 },
+        ),
+    ]
+}
+
+/// Trains a DDPG agent through its QAT freeze and snapshots it.
+fn frozen_ddpg(actor: PrecisionPolicy, critic: PrecisionPolicy, seed: u64) -> PolicySnapshot<Fx32> {
+    let cfg = DdpgConfig {
+        seed,
+        ..DdpgConfig::small_test()
+    }
+    .with_qat_policies(4, actor, critic);
+    let mut agent = Ddpg::<Fx32>::new(STATE_DIM, ACTION_DIM, cfg).unwrap();
+    let batch = synthetic_batch(agent.config().batch_size);
+    for t in 0..8u64 {
+        agent.act(&obs(t as usize)).unwrap();
+        agent.train_minibatch(&batch).unwrap();
+        agent.on_timestep(t).unwrap();
+    }
+    assert!(agent.qat_frozen(), "DDPG QAT schedule must have fired");
+    agent.policy_snapshot(seed)
+}
+
+/// Trains a TD3 agent through its QAT freeze and snapshots it.
+fn frozen_td3(actor: PrecisionPolicy, critic: PrecisionPolicy, seed: u64) -> PolicySnapshot<Fx32> {
+    let cfg = Td3Config {
+        seed,
+        ..Td3Config::small_test()
+    }
+    .with_qat_policies(2, actor, critic);
+    let mut agent = Td3::<Fx32>::new(STATE_DIM, ACTION_DIM, cfg).unwrap();
+    let batch = synthetic_batch(16);
+    for t in 0..6u64 {
+        agent.train_minibatch(&batch).unwrap();
+        agent.on_timestep(t).unwrap();
+    }
+    assert!(agent.qat_frozen(), "TD3 QAT schedule must have fired");
+    agent.policy_snapshot(seed)
+}
+
+/// Shared fixtures for the randomized suites: one frozen snapshot +
+/// artifact per (agent, arm), built once.
+fn fixtures() -> &'static Vec<(String, PolicySnapshot<Fx32>, PolicyArtifact)> {
+    static FIXTURES: OnceLock<Vec<(String, PolicySnapshot<Fx32>, PolicyArtifact)>> =
+        OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let mut out = Vec::new();
+        for (name, actor, critic) in arms() {
+            let snap = frozen_ddpg(actor.clone(), critic.clone(), 1);
+            let art = snap.export_artifact().unwrap();
+            out.push((format!("ddpg/{name}"), snap, art));
+            let snap = frozen_td3(actor, critic, 1);
+            let art = snap.export_artifact().unwrap();
+            out.push((format!("td3/{name}"), snap, art));
+        }
+        out
+    })
+}
+
+fn raw_obs(o: &[f64]) -> Vec<i32> {
+    Fx32::raw_words(&o.iter().map(|&v| Fx32::from_f64(v)).collect::<Vec<_>>())
+}
+
+// ---------------------------------------------------------------------
+// Pillar 1: differential bit-equality, every agent type × every arm.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_arm_replays_the_snapshot_bit_for_bit() {
+    for (name, snap, art) in fixtures() {
+        assert!(snap.qat_frozen(), "{name}");
+        assert_eq!(art.input_dim(), STATE_DIM, "{name}");
+        assert_eq!(art.output_dim(), ACTION_DIM, "{name}");
+        assert_eq!(art.frac_bits(), ARTIFACT_FRAC_BITS, "{name}");
+        let decoded = PolicyArtifact::decode(&art.encode()).unwrap();
+        for i in 0..16 {
+            let o = obs(i);
+            let want = snap.select_action(&o).unwrap();
+            assert_eq!(art.infer(&o).unwrap(), want, "{name} row {i}");
+            assert_eq!(
+                decoded.infer(&o).unwrap(),
+                want,
+                "{name} row {i} after round-trip"
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_uniform_qat_builder_exports_identically() {
+    // The pre-policy `with_qat(delay, bits)` path (1.5× calibration
+    // headroom ⇒ non-power-of-two grids ⇒ table specs) must freeze just
+    // as exactly as the policy arms.
+    let cfg = DdpgConfig {
+        seed: 5,
+        ..DdpgConfig::small_test()
+    }
+    .with_qat(4, 16);
+    let mut agent = Ddpg::<Fx32>::new(STATE_DIM, ACTION_DIM, cfg).unwrap();
+    let batch = synthetic_batch(agent.config().batch_size);
+    for t in 0..8u64 {
+        agent.act(&obs(t as usize)).unwrap();
+        agent.train_minibatch(&batch).unwrap();
+        agent.on_timestep(t).unwrap();
+    }
+    assert!(agent.qat_frozen());
+    let snap = agent.policy_snapshot(0);
+    let art = snap.export_artifact().unwrap();
+    let decoded = PolicyArtifact::decode(&art.encode()).unwrap();
+    assert_eq!(decoded, art);
+    for i in 0..12 {
+        let o = obs(i);
+        assert_eq!(art.infer(&o).unwrap(), snap.select_action(&o).unwrap());
+    }
+}
+
+#[test]
+fn batched_inference_matches_the_artifact_at_env_worker_counts() {
+    // `select_actions_batch` under the CI `FIXAR_WORKERS` sweep must
+    // agree row-for-row with the single-sample interpreter.
+    let par = Parallelism::from_env_or(2);
+    for (name, snap, art) in fixtures() {
+        let rows = 9;
+        let mut batch = Matrix::zeros(rows, STATE_DIM);
+        for r in 0..rows {
+            batch.row_mut(r).copy_from_slice(&obs(r));
+        }
+        let actions = snap.select_actions_batch(&batch, &par).unwrap();
+        for r in 0..rows {
+            assert_eq!(
+                actions.row(r),
+                art.infer(batch.row(r)).unwrap(),
+                "{name} row {r} (workers {})",
+                par.workers()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pillar 2: serving through the artifact front door.
+// ---------------------------------------------------------------------
+
+#[test]
+fn served_artifact_responses_replay_offline_by_content_hash() {
+    let (_, snap, art) = &fixtures()[0];
+    let blob = art.encode();
+    let replica = ArtifactReplica::new(PolicyArtifact::decode(&blob).unwrap(), 3);
+    let hash = replica.content_hash();
+    assert_eq!(hash, art.content_hash());
+    let server = Arc::new(ArtifactServer::start(replica, ServeConfig::default()).unwrap());
+    let threads: Vec<_> = (0..3)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            thread::spawn(move || {
+                let client = server.client();
+                (0..20)
+                    .map(|i| {
+                        let o = obs(t * 100 + i);
+                        (o.clone(), client.request(&o).unwrap())
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut by_hash: HashMap<u64, usize> = HashMap::new();
+    for t in threads {
+        for (o, resp) in t.join().unwrap() {
+            assert_eq!(resp.artifact_id, 3);
+            *by_hash.entry(resp.content_hash).or_default() += 1;
+            // The audit path: decode the recorded blob, verify its
+            // hash, replay the observation — bit-equal, and equal to
+            // the float-side snapshot too.
+            let audit = PolicyArtifact::decode(&blob).unwrap();
+            assert_eq!(audit.content_hash(), resp.content_hash);
+            assert_eq!(resp.action, audit.infer(&o).unwrap());
+            assert_eq!(resp.action, snap.select_action(&o).unwrap());
+        }
+    }
+    assert_eq!(by_hash.len(), 1, "one replica ⇒ one content hash");
+    assert_eq!(by_hash[&hash], 60);
+}
+
+// ---------------------------------------------------------------------
+// Pillar 3: the no-float guarantee, enforced at runtime.
+// ---------------------------------------------------------------------
+
+#[test]
+fn float_guard_arms_inside_zones_and_integer_path_is_clean() {
+    // This test binary enables `deploy-float-guard` (workspace root
+    // dev-dependency), so an armed zone turns any float op inside the
+    // interpreter into a panic.
+    assert!(!guard::is_active(), "guard must be idle outside a zone");
+    {
+        let _zone = NoFloatZone::enter();
+        assert!(guard::is_active(), "guard must arm inside a zone");
+    }
+    assert!(!guard::is_active(), "guard must disarm on zone exit");
+
+    // A full raw-word inference walk per arm: completing without a
+    // panic proves zero floating-point operations executed.
+    for (name, _, art) in fixtures() {
+        for i in 0..8 {
+            let raw = raw_obs(&obs(i));
+            let out = art.infer_raw(&raw).unwrap();
+            assert_eq!(out.len(), ACTION_DIM, "{name}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pillar 4: the blob is a stable, self-verifying format.
+// ---------------------------------------------------------------------
+
+#[test]
+fn export_is_deterministic_and_merge_of_identical_runtimes_preserves_it() {
+    // Same seed, same schedule ⇒ independently trained agents freeze to
+    // byte-identical blobs with the same content hash.
+    let (actor, critic) = {
+        let mut a = arms();
+        let (_, actor, critic) = a.remove(0);
+        (actor, critic)
+    };
+    let snap_a = frozen_ddpg(actor.clone(), critic.clone(), 7);
+    let snap_b = frozen_ddpg(actor, critic, 7);
+    let blob_a = snap_a.export_artifact().unwrap().encode();
+    let blob_b = snap_b.export_artifact().unwrap().encode();
+    assert_eq!(blob_a, blob_b, "same training ⇒ same blob");
+
+    // Merging an identical worker runtime (the sharded-training
+    // synchronization step) must not perturb the frozen grids: the
+    // artifact exported after the merge is byte-identical.
+    let actor_net = snap_a.actor().clone();
+    let mut runtime = QatRuntime::builder(ACTOR_POINTS)
+        .uniform_bits(10)
+        .build()
+        .unwrap();
+    for point in 0..ACTOR_POINTS {
+        let mut xs: Vec<Fx32> = (0..32)
+            .map(|i| Fx32::from_f64(((i + point) as f64 * 0.21).sin() * 1.4))
+            .collect();
+        runtime.process(point, &mut xs);
+    }
+    runtime.freeze().unwrap();
+    let twin = runtime.clone();
+    let before = PolicySnapshot::new(actor_net.clone(), runtime.clone(), 9)
+        .unwrap()
+        .export_artifact()
+        .unwrap();
+    runtime.merge_from(&twin).unwrap();
+    let after = PolicySnapshot::new(actor_net, runtime, 9)
+        .unwrap()
+        .export_artifact()
+        .unwrap();
+    assert_eq!(before.encode(), after.encode());
+    assert_eq!(before.content_hash(), after.content_hash());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized pillar 1: arbitrary observations (including values far
+    /// outside the calibrated ranges) replay bit-for-bit on every arm.
+    #[test]
+    fn random_observations_replay_bit_for_bit(
+        seed in 0u64..10_000,
+        scale in 0.1f64..4.0,
+    ) {
+        let o: Vec<f64> = (0..STATE_DIM)
+            .map(|c| ((seed as f64 + c as f64) * 0.7).sin() * scale)
+            .collect();
+        for (name, snap, art) in fixtures() {
+            let want = snap.select_action(&o).unwrap();
+            prop_assert_eq!(art.infer(&o).unwrap(), want.clone(), "{}", name);
+            // And the raw integer path agrees with the f64-edge path.
+            let raw_out = art.infer_raw(&raw_obs(&o)).unwrap();
+            let via_f64: Vec<f64> = art.infer(&o).unwrap();
+            let raw_as_f64: Vec<f64> = Fx32::from_raw_words(&raw_out)
+                .iter()
+                .map(|x| x.to_f64())
+                .collect();
+            prop_assert_eq!(raw_as_f64, via_f64, "{}", name);
+        }
+    }
+
+    /// Randomized pillar 4a: encode → decode → re-encode is
+    /// byte-identical, and the content hash survives the round-trip.
+    #[test]
+    fn round_trip_reencode_is_byte_identical(pick in 0usize..10) {
+        let f = fixtures();
+        let (name, _, art) = &f[pick % f.len()];
+        let blob = art.encode();
+        let decoded = PolicyArtifact::decode(&blob).unwrap();
+        prop_assert_eq!(&decoded, art, "{}", name);
+        prop_assert_eq!(decoded.encode(), blob, "{}", name);
+        prop_assert_eq!(decoded.content_hash(), art.content_hash(), "{}", name);
+    }
+
+    /// Randomized pillar 4b: truncations and bit flips anywhere in the
+    /// blob decode to typed errors — never panics, never a silently
+    /// wrong artifact.
+    #[test]
+    fn corrupted_blobs_decode_to_typed_errors(
+        frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        // The 8-bit arm keeps the blob small enough to probe densely.
+        let (_, _, art) = &fixtures()[0];
+        let blob = art.encode().to_vec();
+
+        let cut = ((blob.len() - 1) as f64 * frac) as usize;
+        match PolicyArtifact::decode(&blob[..cut]) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "truncated blob at {} decoded", cut),
+        }
+        if cut < 12 {
+            // Inside magic+version: the error must be the structured
+            // truncation/magic kind, not a checksum afterthought.
+            prop_assert!(matches!(
+                PolicyArtifact::decode(&blob[..cut]),
+                Err(DeployError::Truncated { .. }) | Err(DeployError::BadMagic)
+            ));
+        }
+
+        let pos = cut.min(blob.len() - 1);
+        let mut flipped = blob.clone();
+        flipped[pos] ^= 1 << flip_bit;
+        match PolicyArtifact::decode(&flipped) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "flipped bit {} at byte {} decoded", flip_bit, pos),
+        }
+    }
+}
