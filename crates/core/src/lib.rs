@@ -55,7 +55,10 @@ pub mod prelude {
         InferenceSchedule, LayerFormat, MicroBatchServing, PowerModel, Precision,
         PrecisionPlanCost, ResourceModel, TrainingSchedule, U50_BUDGET,
     };
-    pub use fixar_deploy::{ActKind, DeployError, PolicyArtifact, ARTIFACT_FRAC_BITS};
+    pub use fixar_deploy::{
+        verify_generated_source, ActKind, BlobStats, DeployError, PolicyArtifact,
+        ARTIFACT_FRAC_BITS,
+    };
     pub use fixar_env::{EnvKind, EnvPool, EnvSpec, Environment, EpisodeStats, StepResult};
     pub use fixar_fixed::{AffineQuantizer, Fx16, Fx32, QFormat, RangeMonitor, Scalar, Q16, Q32};
     pub use fixar_nn::{

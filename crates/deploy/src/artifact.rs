@@ -12,6 +12,7 @@
 use bytes::Bytes;
 use fixar_fixed::{AffineQuantizer, Fx32};
 
+use crate::compress::{self, CompressedTable, PackedSeq};
 use crate::error::DeployError;
 use crate::guard;
 use crate::interp;
@@ -21,7 +22,8 @@ use crate::interp;
 pub const ARTIFACT_FRAC_BITS: u32 = 20;
 
 const MAGIC: [u8; 4] = *b"FXDA";
-const VERSION: u32 = 1;
+/// v2 added compressed threshold tables (spec tag 3) to the wire format.
+const VERSION: u32 = 2;
 
 /// Widest code space representable as a threshold table (2^16 codes).
 /// Wider quantizers must have a power-of-two step or export fails with
@@ -162,10 +164,33 @@ fn spec_for_quantizer(point: usize, q: &AffineQuantizer) -> Result<QuantSpec, De
     let dequant: Vec<i32> = (0..=max_code)
         .map(|c| Fx32::from_f64(q.dequantize(c)).raw())
         .collect();
+    // pow2-snap: a table that is exactly equivalent to a shift spec
+    // (arithmetic thresholds at a power-of-two step, matching dequant
+    // ramp) is stored as the shift — verified code-by-code first, so
+    // the snap cannot change any output word.
+    if let Some(snapped) = compress::pow2_snap(&thresholds, &dequant) {
+        return Ok(snapped);
+    }
     Ok(QuantSpec::Table {
         thresholds,
         dequant,
     })
+}
+
+/// Blob-size accounting for a [`PolicyArtifact`], as reported by
+/// [`PolicyArtifact::blob_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlobStats {
+    /// Size of [`PolicyArtifact::encode`] (threshold tables
+    /// delta-compressed where that is smaller).
+    pub bytes: usize,
+    /// Size of [`PolicyArtifact::encode_uncompressed`] (every table
+    /// stored raw, the v1 layout).
+    pub bytes_uncompressed: usize,
+    /// Activation points carrying threshold-table quantizers.
+    pub table_points: usize,
+    /// How many of those tables pack smaller than their raw form.
+    pub tables_compressed: usize,
 }
 
 /// A self-contained integer-only deployment artifact of a frozen policy.
@@ -362,7 +387,25 @@ impl PolicyArtifact {
     /// crate docs for the diagram). Encoding is deterministic: equal
     /// artifacts produce identical blobs, which is what makes
     /// [`PolicyArtifact::content_hash`] a stable identity.
+    ///
+    /// Threshold tables are stored delta-compressed (spec tag 3)
+    /// whenever the lossless packed form is smaller than the raw table;
+    /// [`PolicyArtifact::decode`] reproduces every threshold and
+    /// dequant word exactly, so compression never affects inference.
     pub fn encode(&self) -> Bytes {
+        self.encode_with(true)
+    }
+
+    /// Serializes the artifact with every threshold table stored raw
+    /// (spec tag 2), i.e. the v1 table layout. Decodes to the same
+    /// artifact as [`PolicyArtifact::encode`]; exists so blob-size
+    /// accounting (and the `deploy_inference` bench) can report the
+    /// uncompressed baseline.
+    pub fn encode_uncompressed(&self) -> Bytes {
+        self.encode_with(false)
+    }
+
+    fn encode_with(&self, compress_tables: bool) -> Bytes {
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
         put_u32(&mut out, VERSION);
@@ -399,14 +442,27 @@ impl PolicyArtifact {
                     thresholds,
                     dequant,
                 } => {
-                    out.push(2);
-                    put_u32(&mut out, thresholds.len() as u32);
-                    for &t in thresholds {
-                        put_i64(&mut out, t);
-                    }
-                    put_u32(&mut out, dequant.len() as u32);
-                    for &d in dequant {
-                        put_i32(&mut out, d);
+                    let compressed = if compress_tables {
+                        compress::compress_table(thresholds, dequant)
+                    } else {
+                        None
+                    };
+                    match compressed {
+                        Some(ct) => {
+                            out.push(3);
+                            put_compressed_table(&mut out, &ct);
+                        }
+                        None => {
+                            out.push(2);
+                            put_u32(&mut out, thresholds.len() as u32);
+                            for &t in thresholds {
+                                put_i64(&mut out, t);
+                            }
+                            put_u32(&mut out, dequant.len() as u32);
+                            for &d in dequant {
+                                put_i32(&mut out, d);
+                            }
+                        }
                     }
                 }
             }
@@ -414,6 +470,34 @@ impl PolicyArtifact {
         let checksum = fnv1a64(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
         Bytes::from(out)
+    }
+
+    /// Blob-size accounting: compressed and uncompressed encodings side
+    /// by side, plus how many activation points carry threshold tables
+    /// and how many of those pack smaller than raw.
+    pub fn blob_stats(&self) -> BlobStats {
+        let table_points = self
+            .specs
+            .iter()
+            .filter(|s| matches!(s, QuantSpec::Table { .. }))
+            .count();
+        let tables_compressed = self
+            .specs
+            .iter()
+            .filter(|s| match s {
+                QuantSpec::Table {
+                    thresholds,
+                    dequant,
+                } => compress::compress_table(thresholds, dequant).is_some(),
+                _ => false,
+            })
+            .count();
+        BlobStats {
+            bytes: self.encode().len(),
+            bytes_uncompressed: self.encode_uncompressed().len(),
+            table_points,
+            tables_compressed,
+        }
     }
 
     /// The artifact's content hash: the FNV-1a 64 checksum of its
@@ -523,6 +607,40 @@ impl PolicyArtifact {
                         dequant,
                     }
                 }
+                3 => {
+                    let n_thresholds = cur.u32()?;
+                    if n_thresholds == 0 || n_thresholds > 1 << MAX_TABLE_BITS {
+                        return Err(DeployError::Corrupt(format!(
+                            "implausible compressed table with {n_thresholds} thresholds"
+                        )));
+                    }
+                    let n_finite = cur.u32()?;
+                    if n_finite > n_thresholds {
+                        return Err(DeployError::Corrupt(format!(
+                            "compressed table declares {n_finite} finite of {n_thresholds} \
+                             thresholds"
+                        )));
+                    }
+                    let finite = if n_finite > 0 {
+                        Some(read_packed_seq(&mut cur, n_finite)?)
+                    } else {
+                        None
+                    };
+                    let dequant = read_packed_seq(&mut cur, n_thresholds + 1)?;
+                    let ct = CompressedTable {
+                        n_thresholds,
+                        finite,
+                        dequant,
+                    };
+                    let (thresholds, dequant) =
+                        compress::decompress_table(&ct).ok_or_else(|| {
+                            DeployError::Corrupt("compressed table does not reconstruct".into())
+                        })?;
+                    QuantSpec::Table {
+                        thresholds,
+                        dequant,
+                    }
+                }
                 t => {
                     return Err(DeployError::Corrupt(format!("unknown spec tag {t}")));
                 }
@@ -571,6 +689,54 @@ fn put_i32(out: &mut Vec<u8>, v: i32) {
 
 fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_packed_seq(out: &mut Vec<u8>, p: &PackedSeq) {
+    put_i64(out, p.base);
+    put_i64(out, p.min_delta);
+    out.push(p.width);
+    for &w in &p.words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Tag-3 wire form: total count, finite count, then the packed finite
+/// prefix (when present) and the packed dequant ramp. Sequence element
+/// counts are implied by the two header counts, and word counts by
+/// count × width, so the layout stays self-describing without
+/// redundancy a corrupt blob could make inconsistent.
+fn put_compressed_table(out: &mut Vec<u8>, ct: &CompressedTable) {
+    put_u32(out, ct.n_thresholds);
+    put_u32(out, ct.finite.as_ref().map_or(0, |p| p.count));
+    if let Some(p) = &ct.finite {
+        put_packed_seq(out, p);
+    }
+    put_packed_seq(out, &ct.dequant);
+}
+
+/// Reads one packed sequence whose element count is known from the table
+/// header, validating the width before sizing the word read from it.
+fn read_packed_seq(cur: &mut Cursor<'_>, count: u32) -> Result<PackedSeq, DeployError> {
+    let base = cur.i64()?;
+    let min_delta = cur.i64()?;
+    let width = cur.u8()?;
+    if width > 63 {
+        return Err(DeployError::Corrupt(format!(
+            "packed-sequence width {width} out of range"
+        )));
+    }
+    let n_words = PackedSeq::expected_words(count, width);
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(cur.u64()?);
+    }
+    Ok(PackedSeq {
+        base,
+        min_delta,
+        width,
+        count,
+        words,
+    })
 }
 
 /// Bounds-checked reader over a blob; every read reports exactly what was

@@ -1,0 +1,533 @@
+//! Lossless compression of threshold-table quantizer specs.
+//!
+//! A 16-bit [`QuantSpec::Table`] carries 65 535 `i64` thresholds plus
+//! 65 536 `i32` dequant words — over three quarters of a megabyte per
+//! activation point, dominating both the serialized blob and the static
+//! arrays of generated firmware source. But the sequences are anything
+//! but random: thresholds are the rounded boundaries of an affine map,
+//! so consecutive differences take only a handful of adjacent values
+//! (typically two), and the dequant words are an equally regular ramp
+//! with saturation plateaus at the rails.
+//!
+//! Two exact transforms exploit this:
+//!
+//! * **pow2-snap** ([`pow2_snap`]) — when a table is *exactly*
+//!   equivalent to a [`QuantSpec::Shift`] (arithmetic thresholds with a
+//!   power-of-two step, matching dequant ramp), replace it with the
+//!   shift form outright. Verified code-by-code against the table
+//!   before snapping, so bit-equality is preserved by construction.
+//! * **packed deltas** ([`pack_seq`] / [`unpack_seq`]) — store the
+//!   first element and then each consecutive difference, offset by the
+//!   minimum difference and bit-packed at the narrowest width that
+//!   holds the spread. A rounded-affine threshold ramp packs at one or
+//!   two bits per entry (~60× smaller); decompression reproduces every
+//!   word exactly because the transform is lossless, and
+//!   [`compress_table`] additionally verifies the round-trip before
+//!   returning, so a compressed spec can never decode differently.
+//!
+//! Saturating end codes — the `i64::MAX` sentinel thresholds marking
+//! codes no `i32` raw word reaches — are split off as an explicit tail
+//! count rather than fed through the delta coder (a single `i64::MAX`
+//! delta would blow the packed width past any benefit).
+
+use crate::artifact::QuantSpec;
+
+/// A sequence of `i64` values stored as a base element plus bit-packed
+/// consecutive differences.
+///
+/// Reconstruction: `v[0] = base`, `v[k] = v[k-1] + min_delta + d[k-1]`
+/// where `d` values are `width`-bit fields packed little-endian into
+/// `words`. Lossless for any sequence whose difference spread fits in
+/// 63 bits.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PackedSeq {
+    /// First element of the sequence.
+    pub base: i64,
+    /// Minimum consecutive difference (packed fields are offsets above it).
+    pub min_delta: i64,
+    /// Bits per packed difference field, `0..=63`.
+    pub width: u8,
+    /// Number of values in the sequence (`>= 1`).
+    pub count: u32,
+    /// `ceil((count - 1) * width / 64)` little-endian packed words.
+    pub words: Vec<u64>,
+}
+
+impl PackedSeq {
+    /// Number of packed words the header fields imply; decode rejects
+    /// blobs whose word count disagrees.
+    pub fn expected_words(count: u32, width: u8) -> usize {
+        let bits = (count as usize).saturating_sub(1) * width as usize;
+        bits.div_ceil(64)
+    }
+
+    /// Serialized size in bytes: base + min_delta + width + packed
+    /// words (the count is implied by the enclosing table header).
+    pub fn encoded_size(&self) -> usize {
+        8 + 8 + 1 + 8 * self.words.len()
+    }
+}
+
+/// Packs `values` into delta-coded form, or `None` when the difference
+/// spread needs 64 bits (pathological; raw storage is better anyway).
+///
+/// The transform is lossless: [`unpack_seq`] reproduces `values`
+/// word-for-word for every sequence this accepts.
+pub(crate) fn pack_seq(values: &[i64]) -> Option<PackedSeq> {
+    let (&base, rest) = values.split_first()?;
+    let mut deltas = Vec::with_capacity(rest.len());
+    let mut prev = base;
+    for &v in rest {
+        deltas.push(v.checked_sub(prev)?);
+        prev = v;
+    }
+    let min_delta = deltas.iter().copied().min().unwrap_or(0);
+    let spread = deltas
+        .iter()
+        .map(|&d| (d as i128 - min_delta as i128) as u128)
+        .max()
+        .unwrap_or(0);
+    if spread > (u64::MAX >> 1) as u128 {
+        return None;
+    }
+    let width = (128 - spread.leading_zeros()).min(63) as u8;
+    let mut words = vec![0u64; PackedSeq::expected_words(values.len() as u32, width)];
+    if width > 0 {
+        for (k, &d) in deltas.iter().enumerate() {
+            let field = (d as i128 - min_delta as i128) as u64;
+            let bit = k * width as usize;
+            let (word, off) = (bit >> 6, (bit & 63) as u32);
+            words[word] |= field << off;
+            if off + width as u32 > 64 {
+                words[word + 1] |= field >> (64 - off);
+            }
+        }
+    }
+    Some(PackedSeq {
+        base,
+        min_delta,
+        width,
+        count: values.len() as u32,
+        words,
+    })
+}
+
+/// Reconstructs the original sequence, or `None` when the packed form
+/// is structurally inconsistent (wrong word count, overflowing
+/// reconstruction) — decode maps that to a corrupt-blob error.
+pub(crate) fn unpack_seq(p: &PackedSeq) -> Option<Vec<i64>> {
+    if p.count == 0 || p.width > 63 || p.words.len() != PackedSeq::expected_words(p.count, p.width)
+    {
+        return None;
+    }
+    let n = p.count as usize;
+    let mut out = Vec::with_capacity(n);
+    out.push(p.base);
+    let mut acc = p.base;
+    let mask = if p.width == 0 {
+        0
+    } else {
+        (1u64 << p.width) - 1
+    };
+    for k in 0..n - 1 {
+        let mut field = 0u64;
+        if p.width > 0 {
+            let bit = k * p.width as usize;
+            let (word, off) = (bit >> 6, (bit & 63) as u32);
+            field = p.words[word] >> off;
+            if off + p.width as u32 > 64 {
+                field |= p.words[word + 1] << (64 - off);
+            }
+            field &= mask;
+        }
+        let delta = p.min_delta.checked_add(i64::try_from(field).ok()?)?;
+        acc = acc.checked_add(delta)?;
+        out.push(acc);
+    }
+    Some(out)
+}
+
+/// A [`QuantSpec::Table`] in compressed wire form: the finite threshold
+/// prefix and the dequant ramp as packed-delta sequences, plus an
+/// explicit count of the `i64::MAX` saturating tail.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CompressedTable {
+    /// Total threshold count, including the saturating tail.
+    pub n_thresholds: u32,
+    /// Packed finite prefix (`None` when every threshold is the
+    /// `i64::MAX` sentinel). `thresholds[finite.count..]` are all
+    /// `i64::MAX`.
+    pub finite: Option<PackedSeq>,
+    /// Packed dequant words (always fully finite; `n_thresholds + 1`
+    /// values).
+    pub dequant: PackedSeq,
+}
+
+impl CompressedTable {
+    /// Serialized size: total count + finite count + both sequences.
+    pub fn encoded_size(&self) -> usize {
+        4 + 4
+            + self.finite.as_ref().map_or(0, PackedSeq::encoded_size)
+            + self.dequant.encoded_size()
+    }
+
+    /// Size of the equivalent raw (tag 2) encoding.
+    pub fn raw_size(&self) -> usize {
+        4 + 8 * self.n_thresholds as usize + 4 + 4 * (self.n_thresholds as usize + 1)
+    }
+}
+
+/// Compresses a threshold table, or `None` when it would not shrink or
+/// cannot be represented (a sentinel in the middle of the sequence, a
+/// pathological difference spread).
+///
+/// Exactness is guaranteed twice over: the transform is lossless by
+/// design, and the round-trip is verified against the inputs before the
+/// compressed form is returned — a `Some` result *cannot* decode to
+/// different thresholds.
+pub(crate) fn compress_table(thresholds: &[i64], dequant: &[i32]) -> Option<CompressedTable> {
+    if dequant.len() != thresholds.len() + 1 {
+        return None;
+    }
+    // Split the saturating tail: every sentinel must sit at the end.
+    let n_finite = thresholds
+        .iter()
+        .position(|&t| t == i64::MAX)
+        .unwrap_or(thresholds.len());
+    if thresholds[n_finite..].iter().any(|&t| t != i64::MAX) {
+        return None;
+    }
+    let finite = if n_finite == 0 {
+        None
+    } else {
+        Some(pack_seq(&thresholds[..n_finite])?)
+    };
+    let deq64: Vec<i64> = dequant.iter().map(|&d| d as i64).collect();
+    let packed_deq = pack_seq(&deq64)?;
+    let ct = CompressedTable {
+        n_thresholds: thresholds.len() as u32,
+        finite,
+        dequant: packed_deq,
+    };
+    if ct.encoded_size() >= ct.raw_size() {
+        return None;
+    }
+    // Paranoia round-trip: a compressed table that does not reproduce
+    // every word exactly is discarded, never emitted.
+    match decompress_table(&ct) {
+        Some((t, d)) if t == thresholds && d == dequant => Some(ct),
+        _ => None,
+    }
+}
+
+/// Reconstructs the full threshold/dequant arrays from compressed form,
+/// or `None` when the structure is inconsistent.
+pub(crate) fn decompress_table(ct: &CompressedTable) -> Option<(Vec<i64>, Vec<i32>)> {
+    let n = ct.n_thresholds as usize;
+    let mut thresholds = match &ct.finite {
+        Some(p) => {
+            if p.count as usize > n {
+                return None;
+            }
+            unpack_seq(p)?
+        }
+        None => Vec::new(),
+    };
+    thresholds.resize(n, i64::MAX);
+    if ct.dequant.count as usize != n + 1 {
+        return None;
+    }
+    let dequant = unpack_seq(&ct.dequant)?
+        .into_iter()
+        .map(i32::try_from)
+        .collect::<Result<Vec<_>, _>>()
+        .ok()?;
+    Some((thresholds, dequant))
+}
+
+/// Saturates a shifted code difference onto the 32-bit rails — the
+/// dequant arithmetic of [`QuantSpec::Shift`].
+fn shift_dequant(code: i64, zero_point: i64, shift: u32) -> i32 {
+    let scaled = (code.saturating_sub(zero_point) as i128) << shift;
+    if scaled > i32::MAX as i128 {
+        i32::MAX
+    } else if scaled < i32::MIN as i128 {
+        i32::MIN
+    } else {
+        scaled as i32
+    }
+}
+
+/// The threshold a [`QuantSpec::Shift`] implies for code `c`: the
+/// smallest `i32` raw word whose shifted code reaches `c`, with the
+/// same clamp/sentinel conventions as the table compiler (`i64::MAX`
+/// for unreachable codes, `i32::MIN` when every word reaches it).
+fn shift_threshold(c: i64, zero_point: i64, shift: u32) -> i64 {
+    let v = ((c - zero_point) as i128) << shift;
+    if v > i32::MAX as i128 {
+        i64::MAX
+    } else if v < i32::MIN as i128 {
+        i32::MIN as i64
+    } else {
+        v as i64
+    }
+}
+
+/// Detects a threshold table that is *exactly* a power-of-two shift
+/// quantizer and returns the equivalent [`QuantSpec::Shift`].
+///
+/// Every code's threshold and dequant word is verified against the
+/// candidate shift spec before snapping, so the returned spec maps
+/// every `i32` input to the same output word as the table — bit
+/// equality by construction, proven not assumed.
+pub(crate) fn pow2_snap(thresholds: &[i64], dequant: &[i32]) -> Option<QuantSpec> {
+    if dequant.len() != thresholds.len() + 1 || thresholds.is_empty() {
+        return None;
+    }
+    let max_code = thresholds.len() as i64;
+    // Candidate step from the first adjacent pair of ordinary (finite,
+    // unclamped) thresholds; fall back to trying every shift for
+    // degenerate tables with no such pair.
+    let candidate_shifts: Vec<u32> = thresholds
+        .windows(2)
+        .find(|w| w[0] != i64::MAX && w[1] != i64::MAX && w[0] != i32::MIN as i64 && w[1] > w[0])
+        .and_then(|w| {
+            let step = (w[1] - w[0]) as u64;
+            step.is_power_of_two().then(|| vec![step.trailing_zeros()])
+        })
+        .unwrap_or_else(|| (0..=62).collect());
+    'candidates: for shift in candidate_shifts {
+        // Derive the zero point from the first threshold that is neither
+        // a sentinel nor clamped at the bottom rail.
+        let (c, &t) = thresholds
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as i64 + 1, t))
+            .find(|&(_, &t)| t != i64::MAX && t != i32::MIN as i64)?;
+        if t & ((1i64 << shift) - 1) != 0 {
+            continue;
+        }
+        let zero_point = c - (t >> shift);
+        for (i, &want) in thresholds.iter().enumerate() {
+            if shift_threshold(i as i64 + 1, zero_point, shift) != want {
+                continue 'candidates;
+            }
+        }
+        for (code, &want) in dequant.iter().enumerate() {
+            if shift_dequant(code as i64, zero_point, shift) != want {
+                continue 'candidates;
+            }
+        }
+        return Some(QuantSpec::Shift {
+            shift,
+            zero_point,
+            max_code,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[i64]) {
+        let packed = pack_seq(values).expect("pack");
+        assert_eq!(unpack_seq(&packed).expect("unpack"), values);
+    }
+
+    #[test]
+    fn pack_roundtrips_regular_and_irregular_sequences() {
+        roundtrip(&[5]);
+        roundtrip(&[0, 1, 2, 3, 4]);
+        roundtrip(&[-100, -53, -6, 41, 88]); // constant step 47 → width 0
+        roundtrip(&[10, 12, 15, 17, 20, 22]); // alternating 2/3 → width 1
+        roundtrip(&[i32::MIN as i64, 0, i32::MAX as i64]);
+        roundtrip(&[7, 7, 7, 7]); // zero deltas
+        roundtrip(&[3, 1, 4, 1, 5, 9, 2, 6]); // non-monotone
+    }
+
+    #[test]
+    fn constant_step_packs_at_zero_width() {
+        let p = pack_seq(&[0, 48, 96, 144, 192]).unwrap();
+        assert_eq!(p.width, 0);
+        assert!(p.words.is_empty());
+        assert_eq!(p.min_delta, 48);
+    }
+
+    #[test]
+    fn two_valued_steps_pack_at_one_bit() {
+        // A rounded-affine ramp: steps alternate between 48 and 49.
+        let mut values = vec![0i64];
+        for k in 0..1000 {
+            let step = if (k * 37) % 100 < 37 { 49 } else { 48 };
+            values.push(values[k] + step);
+        }
+        let p = pack_seq(&values).unwrap();
+        assert_eq!(p.width, 1);
+        assert_eq!(p.words.len(), 1000usize.div_ceil(64));
+        assert_eq!(unpack_seq(&p).unwrap(), values);
+    }
+
+    #[test]
+    fn fields_spanning_word_boundaries_roundtrip() {
+        // width 5 → fields straddle u64 boundaries at k = 12, 25, ...
+        let values: Vec<i64> = (0..200)
+            .scan(0i64, |acc, k| {
+                *acc += 3 + (k * k % 29);
+                Some(*acc)
+            })
+            .collect();
+        let p = pack_seq(&values).unwrap();
+        assert!(p.width >= 5);
+        assert_eq!(unpack_seq(&p).unwrap(), values);
+    }
+
+    #[test]
+    fn pathological_spread_is_rejected() {
+        assert!(pack_seq(&[0, i64::MAX]).is_some()); // spread 0, single delta
+        assert!(pack_seq(&[0, i64::MAX, 0]).is_none()); // subtraction overflow
+        assert!(pack_seq(&[i64::MIN, i64::MAX]).is_none()); // delta overflow
+    }
+
+    #[test]
+    fn unpack_rejects_inconsistent_structure() {
+        let mut p = pack_seq(&[1, 3, 6, 10]).unwrap();
+        p.words.push(0);
+        assert!(unpack_seq(&p).is_none(), "extra word");
+        let mut p = pack_seq(&[1, 3, 6, 10]).unwrap();
+        p.count = 0;
+        assert!(unpack_seq(&p).is_none(), "zero count");
+        let p = PackedSeq {
+            base: i64::MAX,
+            min_delta: i64::MAX,
+            width: 0,
+            count: 3,
+            words: vec![],
+        };
+        assert!(unpack_seq(&p).is_none(), "overflowing reconstruction");
+    }
+
+    #[test]
+    fn table_with_saturating_tail_compresses_and_roundtrips() {
+        // 200 finite thresholds then a sentinel tail — the shape of a
+        // quantizer whose top codes no i32 word reaches.
+        let mut thresholds: Vec<i64> = (0..200).map(|k| -4800 + k * 48).collect();
+        thresholds.extend([i64::MAX; 55]);
+        let dequant: Vec<i32> = (0..=255).map(|c| (c - 100) * 48).collect();
+        let ct = compress_table(&thresholds, &dequant).expect("compress");
+        assert!(ct.encoded_size() < ct.raw_size());
+        let (t, d) = decompress_table(&ct).expect("decompress");
+        assert_eq!(t, thresholds);
+        assert_eq!(d, dequant);
+    }
+
+    #[test]
+    fn all_sentinel_table_compresses() {
+        let thresholds = vec![i64::MAX; 15];
+        let dequant: Vec<i32> = (0..=15).collect();
+        let ct = compress_table(&thresholds, &dequant).expect("compress");
+        assert!(ct.finite.is_none());
+        let (t, d) = decompress_table(&ct).unwrap();
+        assert_eq!(t, thresholds);
+        assert_eq!(d, dequant);
+    }
+
+    #[test]
+    fn sentinel_in_the_middle_is_not_compressible() {
+        let thresholds = vec![0, i64::MAX, 100];
+        let dequant = vec![0, 1, 2, 3];
+        assert!(compress_table(&thresholds, &dequant).is_none());
+    }
+
+    #[test]
+    fn tiny_tables_fall_back_to_raw() {
+        // 2 thresholds: the packed headers (two bases, two min-deltas,
+        // two widths) outweigh the raw words, so compression declines.
+        let thresholds = vec![10, 20];
+        let dequant = vec![0, 10, 20];
+        assert!(compress_table(&thresholds, &dequant).is_none());
+    }
+
+    #[test]
+    fn monotonicity_is_preserved_across_packed_boundaries() {
+        // A strictly increasing ramp must come back strictly increasing
+        // everywhere, including at every packed-word boundary.
+        let values: Vec<i64> = (0..500)
+            .scan(-12_000i64, |acc, k| {
+                *acc += 47 + ((k * 13) % 3);
+                Some(*acc)
+            })
+            .collect();
+        let p = pack_seq(&values).unwrap();
+        let back = unpack_seq(&p).unwrap();
+        assert_eq!(back, values);
+        assert!(back.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pow2_snap_detects_exact_shift_tables() {
+        // Build the table a Shift{shift: 4, zero_point: 8, max_code: 15}
+        // spec implies, then snap it back.
+        let (shift, z, max_code) = (4u32, 8i64, 15i64);
+        let thresholds: Vec<i64> = (1..=max_code)
+            .map(|c| shift_threshold(c, z, shift))
+            .collect();
+        let dequant: Vec<i32> = (0..=max_code).map(|c| shift_dequant(c, z, shift)).collect();
+        let snapped = pow2_snap(&thresholds, &dequant).expect("snap");
+        assert_eq!(
+            snapped,
+            QuantSpec::Shift {
+                shift,
+                zero_point: z,
+                max_code
+            }
+        );
+    }
+
+    #[test]
+    fn pow2_snap_handles_clamped_and_unreachable_codes() {
+        // A wide shift: low codes clamp at i32::MIN, high codes are
+        // unreachable (i64::MAX sentinels) — both conventions must be
+        // reproduced for the snap to verify.
+        let (shift, z, max_code) = (30u32, 4i64, 15i64);
+        let thresholds: Vec<i64> = (1..=max_code)
+            .map(|c| shift_threshold(c, z, shift))
+            .collect();
+        assert!(thresholds.contains(&(i32::MIN as i64)));
+        assert!(thresholds.contains(&i64::MAX));
+        let dequant: Vec<i32> = (0..=max_code).map(|c| shift_dequant(c, z, shift)).collect();
+        let snapped = pow2_snap(&thresholds, &dequant).expect("snap");
+        assert_eq!(
+            snapped,
+            QuantSpec::Shift {
+                shift,
+                zero_point: z,
+                max_code
+            }
+        );
+    }
+
+    #[test]
+    fn pow2_snap_rejects_non_shift_tables() {
+        // Step 48 is not a power of two.
+        let thresholds: Vec<i64> = (1..=15).map(|c| (c - 8) * 48).collect();
+        let dequant: Vec<i32> = (0..=15).map(|c| (c - 8) * 48).collect();
+        assert!(pow2_snap(&thresholds, &dequant).is_none());
+
+        // Power-of-two step but one perturbed dequant word: the
+        // verification pass must catch it.
+        let thresholds: Vec<i64> = (1..=15).map(|c| (c - 8) << 4).collect();
+        let mut dequant: Vec<i32> = (0..=15).map(|c| (c - 8) << 4).collect();
+        dequant[7] += 1;
+        assert!(pow2_snap(&thresholds, &dequant).is_none());
+
+        // Power-of-two step but one perturbed threshold likewise.
+        let thresholds_ok: Vec<i64> = (1..=15).map(|c| (c - 8) << 4).collect();
+        let dequant_ok: Vec<i32> = (0..=15).map(|c| (c - 8) << 4).collect();
+        assert!(pow2_snap(&thresholds_ok, &dequant_ok).is_some());
+        let mut bad = thresholds_ok.clone();
+        bad[3] += 1;
+        assert!(pow2_snap(&bad, &dequant_ok).is_none());
+    }
+}

@@ -22,12 +22,12 @@
 //!    ≡ `forward_qat_frozen` bit-for-bit across agents, precision-policy
 //!    arms, and serialization round-trips.
 //!
-//! # Blob layout (v1, little-endian)
+//! # Blob layout (v2, little-endian)
 //!
 //! ```text
 //! ┌──────────┬─────────┬───────────┬────────────┬──────────────────┐
 //! │ "FXDA"   │ version │ frac_bits │ num_layers │ layer_sizes      │
-//! │ 4 bytes  │ u32 = 1 │ u32 = 20  │ u32 = n    │ (n+1) × u32      │
+//! │ 4 bytes  │ u32 = 2 │ u32 = 20  │ u32 = n    │ (n+1) × u32      │
 //! ├──────────┴─────────┴───────────┴────────────┴──────────────────┤
 //! │ hidden_act u8 · output_act u8                                  │
 //! ├────────────────────────────────────────────────────────────────┤
@@ -38,10 +38,22 @@
 //! │   tag 1 = shift     (shift u32, zero_point i64, max_code i64)  │
 //! │   tag 2 = table     (len u32, thresholds len×i64,              │
 //! │                      len+1 u32, dequant (len+1)×i32)           │
+//! │   tag 3 = packed table (len u32, n_finite u32, then per packed │
+//! │           sequence: base i64, min_delta i64, width u8,         │
+//! │           ⌈(count-1)·width/64⌉ × u64 — finite thresholds when  │
+//! │           n_finite > 0, then the len+1 dequant words)          │
 //! ├────────────────────────────────────────────────────────────────┤
 //! │ FNV-1a 64 checksum of everything above · u64                   │
 //! └────────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! Tag 3 is the delta-compressed form of tag 2 (see `compress.rs`):
+//! thresholds of a calibrated quantizer are rounded-affine ramps whose
+//! consecutive differences span one or two values, so they bit-pack at
+//! 1-2 bits per entry instead of 64. Compression is lossless and the
+//! encoder verifies the round-trip before emitting tag 3, falling back
+//! to tag 2 otherwise — decoding reproduces every threshold word
+//! exactly, so inference is unaffected by the wire form.
 //!
 //! The trailing checksum doubles as the artifact's
 //! [`PolicyArtifact::content_hash`]: encoding is canonical, so equal
@@ -76,11 +88,14 @@
 #![warn(missing_docs)]
 
 mod artifact;
+mod codegen;
+mod compress;
 mod error;
 pub mod guard;
 mod interp;
 
-pub use artifact::{ActKind, PolicyArtifact, ARTIFACT_FRAC_BITS};
+pub use artifact::{ActKind, BlobStats, PolicyArtifact, ARTIFACT_FRAC_BITS};
+pub use codegen::verify_generated_source;
 pub use error::DeployError;
 
 #[cfg(test)]

@@ -15,7 +15,10 @@
 ///
 /// 64 piecewise-linear segments over `[0, 4]`; beyond 4 the function is
 /// saturated to ±1, where `tanh` is within 7e-4 of its asymptote.
-const TANH_Q30: [i64; 65] = [
+///
+/// Public so `fixar-deploy`'s codegen can embed the exact ROM contents
+/// in emitted firmware source instead of duplicating the constants.
+pub const TANH_Q30: [i64; 65] = [
     0, 67021619, 133523019, 199000008, 262979411, 325032097, 384783327, 441919982, 496194519,
     547425766, 595496917, 640351229, 681985995, 720445410, 755812887, 788203292, 817755498,
     844625518, 868980407, 890993016, 910837623, 928686409, 944706725, 959059047, 971895537,

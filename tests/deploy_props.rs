@@ -350,6 +350,170 @@ fn export_is_deterministic_and_merge_of_identical_runtimes_preserves_it() {
     assert_eq!(before.content_hash(), after.content_hash());
 }
 
+// ---------------------------------------------------------------------
+// Pillar 5: generated no_std source — dependency-free and bit-equal.
+// ---------------------------------------------------------------------
+
+/// Compiles each fixture's `emit_rust()` output with the host `rustc`
+/// (as `#![no_std]` rlibs), links them all into one runner, executes it,
+/// and proves the compiled code reproduces `infer_raw` bit-for-bit —
+/// DDPG + TD3 across every precision-policy arm. The content hash baked
+/// into each generated file must match the artifact's too.
+#[test]
+fn emitted_no_std_source_compiles_and_is_bit_equal_across_arms() {
+    const N_OBS: usize = 8;
+    let f = fixtures();
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("codegen_diff_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Emit, statically gate, and compile one rlib per fixture.
+    let mut extern_flags: Vec<String> = Vec::new();
+    for (i, (name, _, art)) in f.iter().enumerate() {
+        let src = art.emit_rust();
+        verify_generated_source(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let src_path = dir.join(format!("policy{i}.rs"));
+        std::fs::write(&src_path, &src).unwrap();
+        let rlib = dir.join(format!("libpolicy{i}.rlib"));
+        let out = std::process::Command::new("rustc")
+            .arg("--edition=2021")
+            .arg("--crate-type=rlib")
+            .arg(format!("--crate-name=policy{i}"))
+            .arg("-o")
+            .arg(&rlib)
+            .arg(&src_path)
+            .output()
+            .expect("host rustc must be invocable");
+        assert!(
+            out.status.success(),
+            "{name}: generated source failed to compile:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        extern_flags.push(format!("policy{i}={}", rlib.display()));
+    }
+
+    // One std runner evaluating every policy on the shared observation
+    // set; output lines are `hash <i> <hex>` and `act <i> <j> <words>`.
+    let mut runner = String::from("fn main() {\n");
+    for i in 0..f.len() {
+        runner += &format!("    println!(\"hash {i} {{:016X}}\", policy{i}::CONTENT_HASH);\n");
+        for j in 0..N_OBS {
+            let raw = raw_obs(&obs(j));
+            runner += &format!(
+                "    {{\n        let o: [i32; {STATE_DIM}] = {raw:?};\n        \
+                 let mut a = [0i32; {ACTION_DIM}];\n        \
+                 policy{i}::infer(&o, &mut a);\n        \
+                 let words: Vec<String> = a.iter().map(|w| w.to_string()).collect();\n        \
+                 println!(\"act {i} {j} {{}}\", words.join(\" \"));\n    }}\n"
+            );
+        }
+    }
+    runner += "}\n";
+    let runner_path = dir.join("runner.rs");
+    std::fs::write(&runner_path, &runner).unwrap();
+    let runner_bin = dir.join("runner");
+    let mut cmd = std::process::Command::new("rustc");
+    cmd.arg("--edition=2021").arg("-o").arg(&runner_bin);
+    for e in &extern_flags {
+        cmd.arg("--extern").arg(e);
+    }
+    cmd.arg(&runner_path);
+    let out = cmd.output().expect("host rustc must be invocable");
+    assert!(
+        out.status.success(),
+        "runner failed to compile:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let run = std::process::Command::new(&runner_bin).output().unwrap();
+    assert!(run.status.success(), "runner crashed");
+    let stdout = String::from_utf8(run.stdout).unwrap();
+
+    // Cross-check every line against the interpreter.
+    let mut hashes_seen = 0;
+    let mut acts_seen = 0;
+    for line in stdout.lines() {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts[0] {
+            "hash" => {
+                let i: usize = parts[1].parse().unwrap();
+                let (name, _, art) = &f[i];
+                assert_eq!(
+                    parts[2],
+                    format!("{:016X}", art.content_hash()),
+                    "{name}: baked-in CONTENT_HASH disagrees"
+                );
+                hashes_seen += 1;
+            }
+            "act" => {
+                let i: usize = parts[1].parse().unwrap();
+                let j: usize = parts[2].parse().unwrap();
+                let got: Vec<i32> = parts[3..].iter().map(|w| w.parse().unwrap()).collect();
+                let (name, _, art) = &f[i];
+                let want = art.infer_raw(&raw_obs(&obs(j))).unwrap();
+                assert_eq!(got, want, "{name} obs {j}: compiled codegen diverged");
+                acts_seen += 1;
+            }
+            other => panic!("unexpected runner output {other:?}"),
+        }
+    }
+    assert_eq!(hashes_seen, f.len());
+    assert_eq!(acts_seen, f.len() * N_OBS);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Pillar 6: compressed threshold tables are exact and smaller.
+// ---------------------------------------------------------------------
+
+#[test]
+fn compressed_and_uncompressed_encodings_decode_identically() {
+    for (name, _, art) in fixtures() {
+        let packed = PolicyArtifact::decode(&art.encode()).unwrap();
+        let raw = PolicyArtifact::decode(&art.encode_uncompressed()).unwrap();
+        assert_eq!(
+            packed, raw,
+            "{name}: wire form must not change the artifact"
+        );
+        assert_eq!(&packed, art, "{name}");
+        for i in 0..6 {
+            let o = raw_obs(&obs(i));
+            assert_eq!(
+                packed.infer_raw(&o).unwrap(),
+                art.infer_raw(&o).unwrap(),
+                "{name} obs {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_heavy_blobs_shrink_measurably() {
+    // The 16-bit arms carry 65 535-entry threshold tables; packed-delta
+    // compression must cut the blob by well over half.
+    let mut saw_table_arm = false;
+    for (name, _, art) in fixtures() {
+        let stats = art.blob_stats();
+        assert!(stats.bytes <= stats.bytes_uncompressed, "{name}");
+        assert!(stats.tables_compressed <= stats.table_points, "{name}");
+        if name.ends_with("uniform16") {
+            saw_table_arm = true;
+            assert!(stats.table_points > 0, "{name} should carry tables");
+            assert_eq!(
+                stats.tables_compressed, stats.table_points,
+                "{name}: every big table should pack"
+            );
+            assert!(
+                stats.bytes * 2 < stats.bytes_uncompressed,
+                "{name}: expected >2x shrink, got {} -> {}",
+                stats.bytes_uncompressed,
+                stats.bytes
+            );
+        }
+    }
+    assert!(saw_table_arm);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -388,6 +552,40 @@ proptest! {
         prop_assert_eq!(&decoded, art, "{}", name);
         prop_assert_eq!(decoded.encode(), blob, "{}", name);
         prop_assert_eq!(decoded.content_hash(), art.content_hash(), "{}", name);
+    }
+
+    /// Randomized pillar 6: for arbitrary calibrated ranges (non-pow2
+    /// grids ⇒ threshold tables), the compressed wire form decodes to
+    /// an artifact whose every threshold word is identical — structural
+    /// equality, byte-identical re-encode, and identical quantization of
+    /// raw words across the grid, including the saturating rails.
+    #[test]
+    fn random_range_quantizer_tables_roundtrip_exactly(
+        min in -8.0f64..-0.01,
+        span in 0.02f64..16.0,
+        bits in 2u32..13,
+    ) {
+        let q = AffineQuantizer::from_range(min, min + span, bits).unwrap();
+        let one = Fx32::ONE.raw();
+        let art = PolicyArtifact::from_parts(
+            &[1, 1],
+            ActKind::Identity,
+            ActKind::Identity,
+            vec![vec![one]],
+            vec![vec![0]],
+            &[None, Some(&q)],
+        )
+        .unwrap();
+        let decoded = PolicyArtifact::decode(&art.encode()).unwrap();
+        prop_assert_eq!(&decoded, &art);
+        prop_assert_eq!(decoded.encode(), art.encode());
+        for r in [i32::MIN, -(1 << 24), -12345, 0, 999, 1 << 22, i32::MAX] {
+            prop_assert_eq!(
+                decoded.infer_raw(&[r]).unwrap(),
+                art.infer_raw(&[r]).unwrap(),
+                "raw={}", r
+            );
+        }
     }
 
     /// Randomized pillar 4b: truncations and bit flips anywhere in the
