@@ -14,11 +14,12 @@
 //!   raw Q12.20 words);
 //! * `codegen` — the `emit_rust()` output compiled by the host `rustc`
 //!   and timed in-process by a generated runner: the firmware path,
-//!   where quantizer tables are resolved statics instead of
-//!   interpreter dispatch. Raw interpretation runs ~0.54× snapshot
-//!   speed because 16-bit `Table` binary searches dominate; the
-//!   compiled arm shows what the same arithmetic costs once the
-//!   compiler can see the tables.
+//!   where quantizer tables are resolved statics (or inlined affine
+//!   multiply-shifts) instead of interpreter dispatch. The 16-bit
+//!   `Table` quantizers here qualify for the O(1) affine fast path
+//!   (`blob_tables_affine` in the JSON counts them), so raw
+//!   interpretation runs at or above snapshot speed — before that fast
+//!   path, per-element binary searches dragged it to ~0.54×.
 //!
 //! Blob-size accounting is reported alongside: the packed-delta wire
 //! form (`encode`) against the raw v1 table layout
@@ -146,7 +147,10 @@ fn codegen_arm(art: &PolicyArtifact, raw_obs: &[Vec<i32>], reps: usize) -> (f64,
     let rlib = dir.join("libpolicy.rlib");
     let out = std::process::Command::new("rustc")
         .args(["--edition=2021", "--crate-type=rlib", "--crate-name=policy"])
-        .args(["-C", "opt-level=3"])
+        // Match the workspace build flags (.cargo/config.toml): the
+        // interpreter it races was compiled for the host's vector
+        // units, so the emitted source must be too.
+        .args(["-C", "opt-level=3", "-C", "target-cpu=native"])
         .arg("-o")
         .arg(&rlib)
         .arg(&src_path)
@@ -189,7 +193,13 @@ fn codegen_arm(art: &PolicyArtifact, raw_obs: &[Vec<i32>], reps: usize) -> (f64,
     std::fs::write(&runner_path, &runner).expect("write runner source");
     let runner_bin = dir.join("runner");
     let out = std::process::Command::new("rustc")
-        .args(["--edition=2021", "-C", "opt-level=3"])
+        .args([
+            "--edition=2021",
+            "-C",
+            "opt-level=3",
+            "-C",
+            "target-cpu=native",
+        ])
         .arg("-o")
         .arg(&runner_bin)
         .arg("--extern")
@@ -277,8 +287,13 @@ fn main() {
     let (codegen_ns, gen_source_bytes) = codegen_arm(&art, &raw_obs, reps);
 
     println!(
-        "blob size        {blob_bytes:>10} bytes ({} uncompressed, {}/{} tables packed)",
-        stats.bytes_uncompressed, stats.tables_compressed, stats.table_points
+        "blob size        {blob_bytes:>10} bytes ({} uncompressed, {}/{} tables packed, \
+         {}/{} affine fast path)",
+        stats.bytes_uncompressed,
+        stats.tables_compressed,
+        stats.table_points,
+        stats.tables_affine,
+        stats.table_points
     );
     println!("generated source {gen_source_bytes:>10} bytes");
     println!("snapshot         {snapshot_ns:>10.0} ns/action");
@@ -313,6 +328,7 @@ fn main() {
             "  \"blob_tables_compressed\": {},",
             stats.tables_compressed
         );
+        let _ = writeln!(json, "  \"blob_tables_affine\": {},", stats.tables_affine);
         let _ = writeln!(json, "  \"codegen_source_bytes\": {gen_source_bytes},");
         let _ = writeln!(json, "  \"snapshot_ns_per_action\": {snapshot_ns:.1},");
         let _ = writeln!(json, "  \"artifact_ns_per_action\": {artifact_ns:.1},");

@@ -5,6 +5,16 @@
 //! Prints ns/sample per kernel — the raw numbers behind the end-to-end
 //! speedups measured by `benches/batched_training.rs`.
 //!
+//! Two further arms ride along:
+//!
+//! * packed-weight kernels ([`Matrix::pack`]) against their unpacked
+//!   counterparts, at the base shape and at 256×192 where the
+//!   column-strided `gemv_t_batch` walk hurts most — every packed
+//!   result is asserted bit-identical before timing;
+//! * `quantizer_micro`: the per-element cost of each deploy-time
+//!   quantizer spec (Shift, affine fast path, threshold-table search),
+//!   isolated by subtracting a passthrough baseline artifact.
+//!
 //! Environment:
 //!
 //! * `FIXAR_KERNEL_MICRO_REPS` — timed repetitions per kernel
@@ -13,7 +23,8 @@
 //!   as a JSON document (the `BENCH_kernel_micro.json` artifact that
 //!   seeds the perf trajectory).
 
-use fixar_fixed::Fx32;
+use fixar_deploy::{ActKind, PolicyArtifact};
+use fixar_fixed::{AffineQuantizer, Fx32, QFormat};
 use fixar_tensor::{Matrix, Parallelism};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -26,6 +37,14 @@ const COLS: usize = 128;
 struct Record {
     name: String,
     ns_per_sample: f64,
+}
+
+fn push(records: &mut Vec<Record>, name: String, ns: f64) {
+    println!("{name:<28} {ns:>9.1} ns/sample");
+    records.push(Record {
+        name,
+        ns_per_sample: ns,
+    });
 }
 
 fn time_ns_per_sample(reps: usize, samples: usize, mut f: impl FnMut()) -> f64 {
@@ -53,13 +72,6 @@ fn main() {
     let e = Matrix::<f64>::from_fn(BATCH, ROWS, |b, c| ((b * 3 + c) % 7) as f64 * 0.2 - 0.6)
         .cast::<Fx32>();
     let mut records: Vec<Record> = Vec::new();
-    let push = |records: &mut Vec<Record>, name: String, ns: f64| {
-        println!("{name:<28} {ns:>9.1} ns/sample");
-        records.push(Record {
-            name,
-            ns_per_sample: ns,
-        });
-    };
 
     // Per-row (per-sample) references.
     let ns = time_ns_per_sample(reps, BATCH, || {
@@ -127,6 +139,85 @@ fn main() {
         push(&mut records, format!("matmul w{workers}"), ns);
     }
 
+    // Packed-weight kernels at the base shape: identical reduction
+    // order, unit-stride inner loops. The gate proves bit-equality with
+    // the unpacked kernel before any timing is recorded.
+    let pack = w.pack();
+    {
+        let mut y = Matrix::<Fx32>::zeros(BATCH, ROWS);
+        pack.gemv_batch(&a, &mut y).unwrap();
+        assert_eq!(
+            y,
+            w.gemv_batch_par_alloc(&a, &Parallelism::with_workers(1))
+                .unwrap(),
+            "packed gemv_batch diverged from the unpacked kernel"
+        );
+        let mut yt = Matrix::<Fx32>::zeros(BATCH, COLS);
+        pack.gemv_t_batch(&e, &mut yt).unwrap();
+        assert_eq!(
+            yt,
+            w.gemv_t_batch_par_alloc(&e, &Parallelism::with_workers(1))
+                .unwrap(),
+            "packed gemv_t_batch diverged from the unpacked kernel"
+        );
+    }
+    for &workers in &WORKER_COUNTS {
+        let par = Parallelism::with_workers(workers);
+        let mut y = Matrix::<Fx32>::zeros(BATCH, ROWS);
+        let ns = time_ns_per_sample(reps, BATCH, || {
+            pack.gemv_batch_par(std::hint::black_box(&a), &mut y, &par)
+                .unwrap();
+            std::hint::black_box(&y);
+        });
+        push(&mut records, format!("gemv_batch_packed w{workers}"), ns);
+    }
+    for &workers in &WORKER_COUNTS {
+        let par = Parallelism::with_workers(workers);
+        let mut y = Matrix::<Fx32>::zeros(BATCH, COLS);
+        let ns = time_ns_per_sample(reps, BATCH, || {
+            pack.gemv_t_batch_par(std::hint::black_box(&e), &mut y, &par)
+                .unwrap();
+            std::hint::black_box(&y);
+        });
+        push(&mut records, format!("gemv_t_batch_packed w{workers}"), ns);
+    }
+
+    // Wider shape arm: 256×192 is where the column-strided gemv_t walk
+    // pays the most per element, so the packed layout's win is clearest.
+    // Both sides reuse a preallocated output so the comparison is pure
+    // kernel time.
+    const ROWS2: usize = 256;
+    const COLS2: usize = 192;
+    let w2 = Matrix::<f64>::from_fn(ROWS2, COLS2, |r, c| ((r * 5 + c) % 17) as f64 * 0.08 - 0.6)
+        .cast::<Fx32>();
+    let e2 = Matrix::<f64>::from_fn(BATCH, ROWS2, |b, c| ((b * 3 + c) % 9) as f64 * 0.15 - 0.6)
+        .cast::<Fx32>();
+    let pack2 = w2.pack();
+    let mut y2u = Matrix::<Fx32>::zeros(BATCH, COLS2);
+    let mut y2p = Matrix::<Fx32>::zeros(BATCH, COLS2);
+    w2.gemv_t_batch(&e2, &mut y2u).unwrap();
+    pack2.gemv_t_batch(&e2, &mut y2p).unwrap();
+    assert_eq!(
+        y2u, y2p,
+        "packed gemv_t_batch diverged from the unpacked kernel at 256x192"
+    );
+    let par1 = Parallelism::with_workers(1);
+    let ns = time_ns_per_sample(reps, BATCH, || {
+        w2.gemv_t_batch_par(std::hint::black_box(&e2), &mut y2u, &par1)
+            .unwrap();
+        std::hint::black_box(&y2u);
+    });
+    push(&mut records, "gemv_t_batch 256x192 w1".into(), ns);
+    let ns = time_ns_per_sample(reps, BATCH, || {
+        pack2
+            .gemv_t_batch_par(std::hint::black_box(&e2), &mut y2p, &par1)
+            .unwrap();
+        std::hint::black_box(&y2p);
+    });
+    push(&mut records, "gemv_t_batch_packed 256x192 w1".into(), ns);
+
+    quantizer_micro(reps, &mut records);
+
     if let Ok(path) = std::env::var("FIXAR_BENCH_JSON") {
         let mut json = String::from("{\n");
         let _ = writeln!(json, "  \"bench\": \"kernel_micro\",");
@@ -149,5 +240,82 @@ fn main() {
         json.push_str("  ]\n}\n");
         std::fs::write(&path, json).expect("write bench JSON");
         println!("wrote {path}");
+    }
+}
+
+/// Per-element cost of each deploy-time quantizer spec.
+///
+/// Four single-layer `[3, 64]` artifacts share identical weights and
+/// differ only in the output activation point's spec: no quantizer at
+/// all (the baseline), a power-of-two `Shift`, a 16-bit range whose
+/// threshold table admits the O(1) affine multiply-shift, and a 16-bit
+/// range whose bottom-clamped table forces the binary-search fallback.
+/// The quantizer's per-element cost is the arm's ns/element minus the
+/// baseline's, so the shared matrix walk cancels out.
+fn quantizer_micro(reps: usize, records: &mut Vec<Record>) {
+    const QDIM: usize = 64;
+    const OBS: usize = 3;
+    const POOL: usize = 64;
+    println!("quantizer_micro: [{OBS}, {QDIM}] artifact, {POOL} raw obs, per-element ns");
+
+    let weights = vec![(0..QDIM * OBS)
+        .map(|i| (((i * 37) % 41) as i32 - 20) * (1 << 14))
+        .collect::<Vec<i32>>()];
+    let biases = vec![vec![0i32; QDIM]];
+    let build = |q: Option<&AffineQuantizer>| {
+        PolicyArtifact::from_parts(
+            &[OBS, QDIM],
+            ActKind::Identity,
+            ActKind::Identity,
+            weights.clone(),
+            biases.clone(),
+            &[None, q],
+        )
+        .expect("quantizer_micro artifact")
+    };
+    let base = build(None);
+    let q_shift = AffineQuantizer::from_format(QFormat::q(4, 12).unwrap()).unwrap();
+    let shift = build(Some(&q_shift));
+    let q_affine = AffineQuantizer::from_range(-0.9, 1.2, 16).unwrap();
+    let affine = build(Some(&q_affine));
+    let q_table = AffineQuantizer::from_range(-5000.0, 5000.0, 16).unwrap();
+    let table = build(Some(&q_table));
+
+    // The arms must actually exercise the code paths they claim to: the
+    // affine range's table qualifies for the multiply-shift fast path,
+    // the wide bottom-clamped range provably does not.
+    assert_eq!(base.blob_stats().table_points, 0);
+    assert_eq!(shift.blob_stats().table_points, 0);
+    assert_eq!(affine.blob_stats().table_points, 1);
+    assert_eq!(affine.blob_stats().tables_affine, 1);
+    assert_eq!(table.blob_stats().table_points, 1);
+    assert_eq!(table.blob_stats().tables_affine, 0);
+
+    let pool: Vec<[i32; OBS]> = (0..POOL)
+        .map(|k| {
+            let k = k as i32;
+            [
+                (k - 32) * (1 << 15),
+                (k * 7 % 61 - 30) * (1 << 14),
+                (k * 13 % 53 - 26) * (1 << 16),
+            ]
+        })
+        .collect();
+    let time_arm = |art: &PolicyArtifact| {
+        time_ns_per_sample(reps, POOL * QDIM, || {
+            for obs in &pool {
+                std::hint::black_box(art.infer_raw(std::hint::black_box(obs)).unwrap());
+            }
+        })
+    };
+    let base_ns = time_arm(&base);
+    push(records, "quant baseline (no spec)".into(), base_ns);
+    for (name, art) in [
+        ("quant_shift", &shift),
+        ("quant_affine", &affine),
+        ("quant_table_search", &table),
+    ] {
+        let ns = (time_arm(art) - base_ns).max(0.0);
+        push(records, name.into(), ns);
     }
 }

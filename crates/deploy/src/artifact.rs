@@ -92,7 +92,28 @@ pub(crate) enum QuantSpec {
         thresholds: Vec<i64>,
         /// Raw output word for each code (`thresholds.len() + 1` entries).
         dequant: Vec<i32>,
+        /// O(1) multiply-shift replacement for the threshold search,
+        /// present when the table is exactly an affine code ramp.
+        /// Derived from `thresholds` at construction (never serialized),
+        /// so `PartialEq` on the derived fields stays sound.
+        affine: Option<compress::AffineIndex>,
     },
+}
+
+impl QuantSpec {
+    /// The one way to build a [`QuantSpec::Table`]: fits the O(1) affine
+    /// fast path against the thresholds (proven, not assumed — see
+    /// [`compress::affine_fit`]) so every producer, including
+    /// [`PolicyArtifact::decode`] on hostile blobs, gets the
+    /// specialization exactly when it is bit-exact.
+    pub(crate) fn table(thresholds: Vec<i64>, dequant: Vec<i32>) -> Self {
+        let affine = compress::affine_fit(&thresholds);
+        QuantSpec::Table {
+            thresholds,
+            dequant,
+            affine,
+        }
+    }
 }
 
 /// The exact base-2 exponent of `x`, when `x` is a positive power of two
@@ -171,10 +192,7 @@ fn spec_for_quantizer(point: usize, q: &AffineQuantizer) -> Result<QuantSpec, De
     if let Some(snapped) = compress::pow2_snap(&thresholds, &dequant) {
         return Ok(snapped);
     }
-    Ok(QuantSpec::Table {
-        thresholds,
-        dequant,
-    })
+    Ok(QuantSpec::table(thresholds, dequant))
 }
 
 /// Blob-size accounting for a [`PolicyArtifact`], as reported by
@@ -191,6 +209,9 @@ pub struct BlobStats {
     pub table_points: usize,
     /// How many of those tables pack smaller than their raw form.
     pub tables_compressed: usize,
+    /// How many of those tables qualified for the O(1) affine
+    /// multiply-shift quantizer instead of the threshold search.
+    pub tables_affine: usize,
 }
 
 /// A self-contained integer-only deployment artifact of a frozen policy.
@@ -217,6 +238,14 @@ pub struct PolicyArtifact {
     pub(crate) biases: Vec<Vec<i32>>,
     /// One spec per activation point (`num_layers + 1`).
     pub(crate) specs: Vec<QuantSpec>,
+    /// Per layer, the `cols × rows` column-major (transposed) image of
+    /// `weights` — derived at construction, never serialized (the
+    /// derived value is a pure function of `weights`, so the derived
+    /// `PartialEq` stays consistent). The interpreter streams one
+    /// transposed row per input element, making its per-output
+    /// accumulation unit-stride instead of walking `weights` with a
+    /// `cols`-element stride.
+    pub(crate) weights_t: Vec<Vec<i32>>,
 }
 
 impl PolicyArtifact {
@@ -309,15 +338,57 @@ impl PolicyArtifact {
                 None => Ok(QuantSpec::PassThrough),
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self {
-            frac_bits: ARTIFACT_FRAC_BITS,
-            layer_sizes: layer_sizes.iter().map(|&s| s as u32).collect(),
+        Ok(Self::assemble(
+            ARTIFACT_FRAC_BITS,
+            layer_sizes.iter().map(|&s| s as u32).collect(),
             hidden_act,
             output_act,
             weights,
             biases,
             specs,
-        })
+        ))
+    }
+
+    /// Finishes construction from validated parts: derives the
+    /// transposed weight images the interpreter streams. Every
+    /// constructor ([`PolicyArtifact::from_parts`],
+    /// [`PolicyArtifact::decode`], in-crate tests) funnels through here
+    /// so the derived field can never disagree with `weights`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        frac_bits: u32,
+        layer_sizes: Vec<u32>,
+        hidden_act: ActKind,
+        output_act: ActKind,
+        weights: Vec<Vec<i32>>,
+        biases: Vec<Vec<i32>>,
+        specs: Vec<QuantSpec>,
+    ) -> Self {
+        let weights_t = weights
+            .iter()
+            .enumerate()
+            .map(|(l, w)| {
+                let rows = layer_sizes[l + 1] as usize;
+                let cols = layer_sizes[l] as usize;
+                let mut wt = vec![0i32; w.len()];
+                for i in 0..rows {
+                    for (j, &wij) in w[i * cols..(i + 1) * cols].iter().enumerate() {
+                        wt[j * rows + i] = wij;
+                    }
+                }
+                wt
+            })
+            .collect();
+        Self {
+            frac_bits,
+            layer_sizes,
+            hidden_act,
+            output_act,
+            weights,
+            biases,
+            specs,
+            weights_t,
+        }
     }
 
     /// Observation dimension.
@@ -441,6 +512,7 @@ impl PolicyArtifact {
                 QuantSpec::Table {
                     thresholds,
                     dequant,
+                    affine: _,
                 } => {
                     let compressed = if compress_tables {
                         compress::compress_table(thresholds, dequant)
@@ -488,8 +560,22 @@ impl PolicyArtifact {
                 QuantSpec::Table {
                     thresholds,
                     dequant,
+                    ..
                 } => compress::compress_table(thresholds, dequant).is_some(),
                 _ => false,
+            })
+            .count();
+        let tables_affine = self
+            .specs
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    QuantSpec::Table {
+                        affine: Some(_),
+                        ..
+                    }
+                )
             })
             .count();
         BlobStats {
@@ -497,6 +583,7 @@ impl PolicyArtifact {
             bytes_uncompressed: self.encode_uncompressed().len(),
             table_points,
             tables_compressed,
+            tables_affine,
         }
     }
 
@@ -602,10 +689,7 @@ impl PolicyArtifact {
                         )));
                     }
                     let dequant = cur.i32_vec(dlen)?;
-                    QuantSpec::Table {
-                        thresholds,
-                        dequant,
-                    }
+                    QuantSpec::table(thresholds, dequant)
                 }
                 3 => {
                     let n_thresholds = cur.u32()?;
@@ -636,10 +720,7 @@ impl PolicyArtifact {
                         compress::decompress_table(&ct).ok_or_else(|| {
                             DeployError::Corrupt("compressed table does not reconstruct".into())
                         })?;
-                    QuantSpec::Table {
-                        thresholds,
-                        dequant,
-                    }
+                    QuantSpec::table(thresholds, dequant)
                 }
                 t => {
                     return Err(DeployError::Corrupt(format!("unknown spec tag {t}")));
@@ -656,7 +737,7 @@ impl PolicyArtifact {
         if stored != computed {
             return Err(DeployError::ChecksumMismatch { stored, computed });
         }
-        Ok(Self {
+        Ok(Self::assemble(
             frac_bits,
             layer_sizes,
             hidden_act,
@@ -664,7 +745,7 @@ impl PolicyArtifact {
             weights,
             biases,
             specs,
-        })
+        ))
     }
 }
 
@@ -804,6 +885,7 @@ impl Cursor<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
     use fixar_fixed::{QFormat, Scalar};
 
     fn raw(x: f64) -> i32 {
@@ -882,15 +964,15 @@ mod tests {
             let q = AffineQuantizer::from_format(fmt).unwrap();
             let spec = spec_for_quantizer(0, &q).unwrap();
             assert!(matches!(spec, QuantSpec::Shift { .. }), "{fmt}");
-            let art = PolicyArtifact {
-                frac_bits: ARTIFACT_FRAC_BITS,
-                layer_sizes: vec![1, 1],
-                hidden_act: ActKind::Identity,
-                output_act: ActKind::Identity,
-                weights: vec![vec![Fx32::ONE.raw()]],
-                biases: vec![vec![0]],
-                specs: vec![spec, QuantSpec::PassThrough],
-            };
+            let art = PolicyArtifact::assemble(
+                ARTIFACT_FRAC_BITS,
+                vec![1, 1],
+                ActKind::Identity,
+                ActKind::Identity,
+                vec![vec![Fx32::ONE.raw()]],
+                vec![vec![0]],
+                vec![spec, QuantSpec::PassThrough],
+            );
             for r in [
                 0,
                 1,
@@ -918,15 +1000,15 @@ mod tests {
             assert!(exact_log2(q.delta()).is_none(), "step must not be 2^k");
             let spec = spec_for_quantizer(0, &q).unwrap();
             assert!(matches!(spec, QuantSpec::Table { .. }));
-            let art = PolicyArtifact {
-                frac_bits: ARTIFACT_FRAC_BITS,
-                layer_sizes: vec![1, 1],
-                hidden_act: ActKind::Identity,
-                output_act: ActKind::Identity,
-                weights: vec![vec![Fx32::ONE.raw()]],
-                biases: vec![vec![0]],
-                specs: vec![spec, QuantSpec::PassThrough],
-            };
+            let art = PolicyArtifact::assemble(
+                ARTIFACT_FRAC_BITS,
+                vec![1, 1],
+                ActKind::Identity,
+                ActKind::Identity,
+                vec![vec![Fx32::ONE.raw()]],
+                vec![vec![0]],
+                vec![spec, QuantSpec::PassThrough],
+            );
             for i in -400..400 {
                 let r = i * 37_991; // sweep the raw range, off-grid
                 let want = q.fake_quantize_scalar(Fx32::from_raw(r)).raw();

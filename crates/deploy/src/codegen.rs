@@ -5,10 +5,11 @@
 //! arrays on the artifact grid, the i64-accumulated MAC loop, the
 //! piecewise-linear tanh ROM, and each activation point's quantizer
 //! unrolled inline — [`QuantSpec::Shift`] as shift/clamp expressions,
-//! [`QuantSpec::Table`] as a `static` threshold array plus a binary
-//! search. The artifact's FNV-1a content hash is baked in as a
-//! `pub const` so deployed firmware is auditable against the serving
-//! fleet.
+//! [`QuantSpec::Table`] as an O(1) multiply-shift when the table fit
+//! the affine fast path (no threshold array in the source at all), or
+//! a `static` threshold array plus a binary search otherwise. The
+//! artifact's FNV-1a content hash is baked in as a `pub const` so
+//! deployed firmware is auditable against the serving fleet.
 //!
 //! The emitted file declares `#![no_std]`, contains no `use` items,
 //! and reaches nothing outside `core` — [`verify_generated_source`]
@@ -134,65 +135,75 @@ fn emit_packed_i32(out: &mut String, name: &str, p: &PackedSeq) {
     );
 }
 
-/// The compile-time unpackers, emitted once when any table is packed.
+/// The compile-time unpackers, emitted only for the variants the file
+/// actually uses (an affine-quantized artifact carries no threshold
+/// arrays, so it gets `unpack_i32` alone — nothing dead in the source).
 /// They mirror `compress::unpack_seq` exactly; entries past `n` in the
 /// `i64` variant are the `i64::MAX` sentinel (codes no input reaches).
-fn emit_unpack_helpers(out: &mut String) {
-    out.push_str(
-        "const fn unpack_i64<const N: usize>(\n\
-         \x20   base: i64,\n\
-         \x20   min_delta: i64,\n\
-         \x20   width: u32,\n\
-         \x20   n: u32,\n\
-         \x20   words: &[u64],\n\
-         ) -> [i64; N] {\n\
-         \x20   let mut out = [i64::MAX; N];\n\
-         \x20   if n == 0 {\n\
-         \x20       return out;\n\
-         \x20   }\n\
-         \x20   out[0] = base;\n\
-         \x20   let mut acc = base;\n\
-         \x20   let mut k = 0;\n\
-         \x20   while k + 1 < n as usize {\n\
-         \x20       acc = acc + min_delta + unpack_field(width, k, words) as i64;\n\
-         \x20       out[k + 1] = acc;\n\
-         \x20       k += 1;\n\
-         \x20   }\n\
-         \x20   out\n\
-         }\n\
-         \n\
-         const fn unpack_i32<const N: usize>(\n\
-         \x20   base: i64,\n\
-         \x20   min_delta: i64,\n\
-         \x20   width: u32,\n\
-         \x20   words: &[u64],\n\
-         ) -> [i32; N] {\n\
-         \x20   let mut out = [0i32; N];\n\
-         \x20   out[0] = base as i32;\n\
-         \x20   let mut acc = base;\n\
-         \x20   let mut k = 0;\n\
-         \x20   while k + 1 < N {\n\
-         \x20       acc = acc + min_delta + unpack_field(width, k, words) as i64;\n\
-         \x20       out[k + 1] = acc as i32;\n\
-         \x20       k += 1;\n\
-         \x20   }\n\
-         \x20   out\n\
-         }\n\
-         \n\
-         const fn unpack_field(width: u32, k: usize, words: &[u64]) -> u64 {\n\
-         \x20   if width == 0 {\n\
-         \x20       return 0;\n\
-         \x20   }\n\
-         \x20   let bit = k * width as usize;\n\
-         \x20   let word = bit >> 6;\n\
-         \x20   let off = (bit & 63) as u32;\n\
-         \x20   let mut field = words[word] >> off;\n\
-         \x20   if off + width > 64 {\n\
-         \x20       field |= words[word + 1] << (64 - off);\n\
-         \x20   }\n\
-         \x20   field & ((1u64 << width) - 1)\n\
-         }\n\n",
-    );
+fn emit_unpack_helpers(out: &mut String, need_i64: bool, need_i32: bool) {
+    if need_i64 {
+        out.push_str(
+            "const fn unpack_i64<const N: usize>(\n\
+             \x20   base: i64,\n\
+             \x20   min_delta: i64,\n\
+             \x20   width: u32,\n\
+             \x20   n: u32,\n\
+             \x20   words: &[u64],\n\
+             ) -> [i64; N] {\n\
+             \x20   let mut out = [i64::MAX; N];\n\
+             \x20   if n == 0 {\n\
+             \x20       return out;\n\
+             \x20   }\n\
+             \x20   out[0] = base;\n\
+             \x20   let mut acc = base;\n\
+             \x20   let mut k = 0;\n\
+             \x20   while k + 1 < n as usize {\n\
+             \x20       acc = acc + min_delta + unpack_field(width, k, words) as i64;\n\
+             \x20       out[k + 1] = acc;\n\
+             \x20       k += 1;\n\
+             \x20   }\n\
+             \x20   out\n\
+             }\n\n",
+        );
+    }
+    if need_i32 {
+        out.push_str(
+            "const fn unpack_i32<const N: usize>(\n\
+             \x20   base: i64,\n\
+             \x20   min_delta: i64,\n\
+             \x20   width: u32,\n\
+             \x20   words: &[u64],\n\
+             ) -> [i32; N] {\n\
+             \x20   let mut out = [0i32; N];\n\
+             \x20   out[0] = base as i32;\n\
+             \x20   let mut acc = base;\n\
+             \x20   let mut k = 0;\n\
+             \x20   while k + 1 < N {\n\
+             \x20       acc = acc + min_delta + unpack_field(width, k, words) as i64;\n\
+             \x20       out[k + 1] = acc as i32;\n\
+             \x20       k += 1;\n\
+             \x20   }\n\
+             \x20   out\n\
+             }\n\n",
+        );
+    }
+    if need_i64 || need_i32 {
+        out.push_str(
+            "const fn unpack_field(width: u32, k: usize, words: &[u64]) -> u64 {\n\
+             \x20   if width == 0 {\n\
+             \x20       return 0;\n\
+             \x20   }\n\
+             \x20   let bit = k * width as usize;\n\
+             \x20   let word = bit >> 6;\n\
+             \x20   let off = (bit & 63) as u32;\n\
+             \x20   let mut field = words[word] >> off;\n\
+             \x20   if off + width > 64 {\n\
+             \x20       field |= words[word + 1] << (64 - off);\n\
+             \x20   }\n\
+             \x20   field & ((1u64 << width) - 1)\n\
+             }\n\n",
+        );
+    }
 }
 
 impl PolicyArtifact {
@@ -238,9 +249,11 @@ impl PolicyArtifact {
             self.output_dim(),
         );
 
-        // Weight and bias statics.
+        // Weight and bias statics. Weights are emitted in the same
+        // column-major (transposed) image the interpreter streams, so
+        // the generated column-broadcast loop below is unit-stride.
         for l in 0..n {
-            let w: Vec<String> = self.weights[l].iter().map(|&v| lit_i32(v)).collect();
+            let w: Vec<String> = self.weights_t[l].iter().map(|&v| lit_i32(v)).collect();
             emit_array(&mut out, "static", &format!("W{l}"), "i32", &w);
             let b: Vec<String> = self.biases[l].iter().map(|&v| lit_i32(v)).collect();
             emit_array(&mut out, "static", &format!("B{l}"), "i32", &b);
@@ -248,49 +261,58 @@ impl PolicyArtifact {
         out.push('\n');
 
         // Table statics, packed where the wire format would pack them.
-        let mut any_packed = false;
+        // Affine-qualified tables drop their threshold array entirely —
+        // the quantizer fn below is a multiply-shift and only the
+        // dequant ramp survives into the source.
+        let mut need_unpack_i64 = false;
+        let mut need_unpack_i32 = false;
         let mut table_decls = String::new();
         for (p, spec) in self.specs.iter().enumerate() {
             if let QuantSpec::Table {
                 thresholds,
                 dequant,
+                affine,
             } = spec
             {
-                match compress::compress_table(thresholds, dequant) {
-                    Some(ct) => {
-                        any_packed = true;
-                        match &ct.finite {
-                            Some(seq) => {
-                                emit_packed_i64(
-                                    &mut table_decls,
-                                    &format!("T{p}"),
-                                    seq,
-                                    thresholds.len(),
-                                );
-                            }
-                            None => {
-                                let _ = writeln!(
-                                    table_decls,
-                                    "static T{p}: [i64; {}] = [i64::MAX; {}];",
-                                    thresholds.len(),
-                                    thresholds.len(),
-                                );
-                            }
+                let packed = compress::compress_table(thresholds, dequant);
+                if affine.is_none() {
+                    match packed.as_ref().map(|ct| &ct.finite) {
+                        Some(Some(seq)) => {
+                            need_unpack_i64 = true;
+                            emit_packed_i64(
+                                &mut table_decls,
+                                &format!("T{p}"),
+                                seq,
+                                thresholds.len(),
+                            );
                         }
+                        Some(None) => {
+                            let _ = writeln!(
+                                table_decls,
+                                "static T{p}: [i64; {}] = [i64::MAX; {}];",
+                                thresholds.len(),
+                                thresholds.len(),
+                            );
+                        }
+                        None => {
+                            let t: Vec<String> = thresholds.iter().map(|&v| lit_i64(v)).collect();
+                            emit_array(&mut table_decls, "static", &format!("T{p}"), "i64", &t);
+                        }
+                    }
+                }
+                match packed {
+                    Some(ct) => {
+                        need_unpack_i32 = true;
                         emit_packed_i32(&mut table_decls, &format!("D{p}"), &ct.dequant);
                     }
                     None => {
-                        let t: Vec<String> = thresholds.iter().map(|&v| lit_i64(v)).collect();
-                        emit_array(&mut table_decls, "static", &format!("T{p}"), "i64", &t);
                         let d: Vec<String> = dequant.iter().map(|&v| lit_i32(v)).collect();
                         emit_array(&mut table_decls, "static", &format!("D{p}"), "i32", &d);
                     }
                 }
             }
         }
-        if any_packed {
-            emit_unpack_helpers(&mut out);
-        }
+        emit_unpack_helpers(&mut out, need_unpack_i64, need_unpack_i32);
         out.push_str(&table_decls);
         out.push('\n');
 
@@ -405,7 +427,35 @@ impl PolicyArtifact {
                         max = lit_i64(*max_code),
                     );
                 }
-                QuantSpec::Table { .. } => {
+                QuantSpec::Table {
+                    affine: Some(aff), ..
+                } => {
+                    // O(1) affine fast path: the fitted multiply-shift is
+                    // proven equal to the lower-bound search over the
+                    // whole i32 domain, so no threshold array is emitted.
+                    let _ = writeln!(
+                        out,
+                        "#[inline]\n\
+                         fn quant_p{p}(r: i32) -> i32 {{\n\
+                         \x20   let x = r as i64 - ({base});\n\
+                         \x20   let code = if x < 0 {{\n\
+                         \x20       0\n\
+                         \x20   }} else if x >= {span} {{\n\
+                         \x20       {nf}\n\
+                         \x20   }} else {{\n\
+                         \x20       (((x as u128 * {mul}u128 + {add}u128) >> {shift}) as usize) + 1\n\
+                         \x20   }};\n\
+                         \x20   D{p}[code]\n\
+                         }}\n",
+                        shift = compress::AFFINE_SHIFT,
+                        base = lit_i64(aff.base),
+                        span = lit_i64(aff.span),
+                        nf = aff.n_finite,
+                        mul = aff.mul,
+                        add = aff.add,
+                    );
+                }
+                QuantSpec::Table { affine: None, .. } => {
                     // Manual lower-bound search computing exactly
                     // `thresholds.partition_point(|&t| t <= r as i64)`.
                     let _ = writeln!(
@@ -459,9 +509,13 @@ impl PolicyArtifact {
                  \x20   let mut j = 0;\n\
                  \x20   while j < {cols} {{\n\
                  \x20       let xj = x{l}[j];\n\
+                 \x20       let col: &[i32; {rows}] = match W{l}[j * {rows}..(j + 1) * {rows}].try_into() {{\n\
+                 \x20           Ok(c) => c,\n\
+                 \x20           Err(_) => unreachable!(),\n\
+                 \x20       }};\n\
                  \x20       let mut i = 0;\n\
                  \x20       while i < {rows} {{\n\
-                 \x20           x{next}[i] = fx_add(x{next}[i], fx_mul(W{l}[i * {cols} + j], xj));\n\
+                 \x20           x{next}[i] = fx_add(x{next}[i], fx_mul(col[i], xj));\n\
                  \x20           i += 1;\n\
                  \x20       }}\n\
                  \x20       j += 1;\n\
@@ -559,12 +613,45 @@ mod tests {
         // Shift point: shift/clamp expressions, no table statics.
         assert!(src.contains("fn quant_p1"));
         assert!(src.contains(".clamp(0, 65535)"));
-        // Table point: threshold static + binary search.
+        // Table point: the calibrated ramp fits the affine fast path, so
+        // the quantizer is a multiply-shift over the dequant ramp alone —
+        // no threshold array survives into the source.
         assert!(src.contains("fn quant_p2"));
-        assert!(src.contains("static T2"));
+        assert!(
+            !src.contains("static T2"),
+            "affine table emitted thresholds"
+        );
+        assert!(src.contains(&format!(">> {}", compress::AFFINE_SHIFT)));
         assert!(src.contains("static D2"));
         // Tanh output layer pulls in the ROM.
         assert!(src.contains("static TANH_Q30"));
+    }
+
+    #[test]
+    fn non_affine_tables_keep_the_search() {
+        // A sorted table bent off any affine line must fall back to the
+        // emitted threshold array + binary search.
+        let mut thresholds: Vec<i64> = (0..16).map(|k| k * 48).collect();
+        thresholds[7] += 5;
+        let dequant: Vec<i32> = (0..17).map(|c| c * 40).collect();
+        let spec = QuantSpec::table(thresholds, dequant);
+        assert!(matches!(spec, QuantSpec::Table { affine: None, .. }));
+        let art = PolicyArtifact::assemble(
+            20,
+            vec![1, 1],
+            ActKind::Identity,
+            ActKind::Identity,
+            vec![vec![Fx32::ONE.raw()]],
+            vec![vec![0]],
+            vec![QuantSpec::PassThrough, spec],
+        );
+        let src = art.emit_rust();
+        verify_generated_source(&src).unwrap();
+        assert!(
+            src.contains("static T1"),
+            "fallback needs the threshold array"
+        );
+        assert!(src.contains("while lo < hi"), "fallback needs the search");
     }
 
     #[test]
@@ -581,10 +668,20 @@ mod tests {
         .unwrap();
         let src = art.emit_rust();
         verify_generated_source(&src).unwrap();
-        assert!(src.contains("const T1_W"), "thresholds should be packed");
-        assert!(src.contains("unpack_i64"), "unpacker should be emitted");
-        // A 12-bit raw table would be ~4095 i64 literals; packed source
-        // must come in far under that.
+        // The 12-bit calibrated ramp is affine, so no threshold array is
+        // emitted at all — only the packed dequant ramp and its unpacker.
+        assert!(
+            !src.contains("const T1_W"),
+            "affine table emitted thresholds"
+        );
+        assert!(src.contains("const D1_W"), "dequant ramp should be packed");
+        assert!(src.contains("unpack_i32"), "i32 unpacker should be emitted");
+        assert!(
+            !src.contains("unpack_i64"),
+            "no threshold array, no i64 unpacker"
+        );
+        // A 12-bit raw table would be ~4095 i64 literals plus ~4096 i32
+        // literals; affine + packed emission must come in far under that.
         assert!(
             src.len() < 120_000,
             "packed emission should shrink the source ({} bytes)",

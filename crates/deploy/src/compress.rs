@@ -327,6 +327,196 @@ pub(crate) fn pow2_snap(thresholds: &[i64], dequant: &[i32]) -> Option<QuantSpec
     None
 }
 
+/// An O(1) multiply-shift replacement for a threshold table's
+/// lower-bound search, proven equal to the `partition_point` semantics
+/// of [`QuantSpec::Table`] over the whole `i32` input domain by
+/// [`affine_fit`] before it is ever used.
+///
+/// For an input word `r`:
+///
+/// ```text
+/// x = r - base                       // base = thresholds[0]
+/// x < 0          →  code 0
+/// x >= span      →  code n_finite    // span = t[n_finite-1] - base
+/// otherwise      →  code ((x·mul + add) >> AFFINE_SHIFT) + 1
+/// ```
+///
+/// Integer-only (the interpreter's no-float contract), branch-light,
+/// and independent of the table length — the paper's "requantization is
+/// a shift and a multiply" claim, recovered from the serialized table
+/// without trusting the producer: a table that is *not* exactly a
+/// rounded-affine ramp fails the fit and keeps the binary search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct AffineIndex {
+    /// First finite threshold (smallest raw word with code ≥ 1).
+    pub base: i64,
+    /// `thresholds[n_finite - 1] - base`; inputs at or past it take the
+    /// top finite code.
+    pub span: i64,
+    /// Fixed-point slope at [`AFFINE_SHIFT`] fractional bits.
+    pub mul: u64,
+    /// Fixed-point intercept at [`AFFINE_SHIFT`] fractional bits.
+    pub add: u64,
+    /// Number of finite (non-sentinel) thresholds.
+    pub n_finite: usize,
+}
+
+impl AffineIndex {
+    /// The code for raw word `key`, identical to
+    /// `thresholds.partition_point(|&t| t <= key)` for the fitted table.
+    #[inline]
+    pub fn index_for(&self, key: i64) -> usize {
+        let x = key - self.base;
+        if x < 0 {
+            0
+        } else if x >= self.span {
+            self.n_finite
+        } else {
+            (((x as u128 * self.mul as u128 + self.add as u128) >> AFFINE_SHIFT) as usize) + 1
+        }
+    }
+}
+
+/// Fractional bits of the fitted slope and intercept. 32 would already
+/// index exactly, but real tables come from a float oracle whose
+/// rounding wobble leaves only a sliver of feasible real slopes — at 32
+/// bits that sliver is often narrower than one representable slope, so
+/// the fit would spuriously fail. 44 bits leaves every feasible table
+/// hundreds of representable slopes while `k·2^44` (k < 2^16) and the
+/// products below stay far inside `u64`/`i128`.
+pub(crate) const AFFINE_SHIFT: u32 = 44;
+
+/// Upper bound on the fitted slope: strictly increasing thresholds have
+/// a step ≥ 1 (slope ≤ 2^AFFINE_SHIFT); duplicate runs at the base push
+/// it a little higher, anything past this is degenerate and keeps the
+/// search.
+const AFFINE_MUL_MAX: i128 = 1 << (AFFINE_SHIFT + 4);
+
+/// The feasible intercept interval `[lo, hi]` for slope `m`: each code
+/// boundary `k` pins `floor((s_k·m + add) >> AFFINE_SHIFT)` to exactly
+/// `k`, which is the half-open constraint `(k << AFFINE_SHIFT) - s_k·m
+/// <= add < (k << AFFINE_SHIFT) - s_k·m + m`; the system is feasible
+/// iff the intersection over all boundaries (plus `add >= 0`) is
+/// non-empty.
+fn affine_intercepts(s: &[i64], m: i128) -> (i128, i128) {
+    let mut lo: i128 = 0;
+    let mut hi = i128::MAX;
+    for (k, &sk) in s.iter().enumerate().skip(1) {
+        let a = ((k as i128) << AFFINE_SHIFT) - sk as i128 * m;
+        lo = lo.max(a);
+        hi = hi.min(a + m - 1);
+    }
+    (lo, hi)
+}
+
+/// Finds `(mul, add)` making the multiply-shift hit every code boundary
+/// of the normalized threshold offsets `s`, or `None` when no slope
+/// does. The infeasibility gap `lo - hi` is convex in `m` (a max of
+/// affine functions minus a min of affine functions), so after probing
+/// the rounded ideal slope the search is a ternary descent.
+fn affine_solve(s: &[i64]) -> Option<(u64, u64)> {
+    let span = *s.last().expect("non-empty") as i128;
+    let f = s.len() as i128;
+    let ideal = (((f - 1) << AFFINE_SHIFT) + span / 2) / span;
+    for m in [ideal, ideal - 1, ideal + 1] {
+        if m >= 1 {
+            let (lo, hi) = affine_intercepts(s, m);
+            if lo <= hi {
+                return Some((m as u64, lo as u64));
+            }
+        }
+    }
+    let (mut lo_m, mut hi_m) = (1i128, AFFINE_MUL_MAX);
+    let gap = |m: i128| {
+        let (lo, hi) = affine_intercepts(s, m);
+        lo.saturating_sub(hi)
+    };
+    while hi_m - lo_m > 2 {
+        let m1 = lo_m + (hi_m - lo_m) / 3;
+        let m2 = hi_m - (hi_m - lo_m) / 3;
+        if gap(m1) <= gap(m2) {
+            hi_m = m2;
+        } else {
+            lo_m = m1 + 1;
+        }
+    }
+    for m in lo_m..=hi_m {
+        let (lo, hi) = affine_intercepts(s, m);
+        if lo <= hi {
+            return Some((m as u64, lo as u64));
+        }
+    }
+    None
+}
+
+/// Fits an [`AffineIndex`] to a threshold table, or `None` when the
+/// table is not exactly an affine code ramp.
+///
+/// Like [`pow2_snap`], the fit is *proven, not assumed*: after deriving
+/// candidate `(mul, add)` the result is checked against
+/// `partition_point` at both edges of every constant interval of the
+/// table's step function (each `t_k` and `t_k - 1`, plus the `i32`
+/// domain rails). Both functions are monotone, so agreement at every
+/// interval edge implies agreement at every one of the 2^32 inputs.
+/// Any failure — sentinel in the middle, unsorted head, out-of-range
+/// base, infeasible slope — falls back to the search, whose semantics
+/// are the definition.
+pub(crate) fn affine_fit(thresholds: &[i64]) -> Option<AffineIndex> {
+    const KEY_MIN: i64 = i32::MIN as i64;
+    const KEY_MAX: i64 = i32::MAX as i64;
+    let n = thresholds.len();
+    if n == 0 || n > 1 << 16 {
+        return None;
+    }
+    let n_finite = thresholds.iter().position(|&t| t == i64::MAX).unwrap_or(n);
+    if thresholds[n_finite..].iter().any(|&t| t != i64::MAX) || n_finite == 0 {
+        return None;
+    }
+    let base = thresholds[0];
+    if !(KEY_MIN..=KEY_MAX).contains(&base) {
+        return None;
+    }
+    // Normalized offsets s_k = t_k - base; the fit needs them sorted
+    // (partition_point is only a count function on sorted input).
+    let mut s = Vec::with_capacity(n_finite);
+    let mut prev = 0i64;
+    for &t in &thresholds[..n_finite] {
+        let d = t.checked_sub(base)?;
+        if d < prev {
+            return None;
+        }
+        prev = d;
+        s.push(d);
+    }
+    let span = s[n_finite - 1];
+    let (mul, add) = if span == 0 {
+        // All finite thresholds equal: the two range branches cover
+        // every input and the multiply is dead code.
+        (1, 0)
+    } else {
+        affine_solve(&s)?
+    };
+    let aff = AffineIndex {
+        base,
+        span,
+        mul,
+        add,
+        n_finite,
+    };
+    let check = |key: i64| aff.index_for(key) == thresholds.partition_point(|&t| t <= key);
+    if !check(KEY_MIN) || !check(KEY_MAX) {
+        return None;
+    }
+    for &t in &thresholds[..n_finite] {
+        for key in [t - 1, t] {
+            if (KEY_MIN..=KEY_MAX).contains(&key) && !check(key) {
+                return None;
+            }
+        }
+    }
+    Some(aff)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,5 +719,90 @@ mod tests {
         let mut bad = thresholds_ok.clone();
         bad[3] += 1;
         assert!(pow2_snap(&bad, &dequant_ok).is_none());
+    }
+
+    /// Oracle-checks a fitted table at every interval edge plus a dense
+    /// sweep around the base, mirroring what `affine_fit` itself proves.
+    fn assert_affine_matches_search(thresholds: &[i64]) {
+        let aff = affine_fit(thresholds).expect("fit");
+        let lo = (thresholds[0] - 3).max(i32::MIN as i64);
+        let hi = (thresholds[0] + 200).min(i32::MAX as i64);
+        for key in lo..=hi {
+            assert_eq!(
+                aff.index_for(key),
+                thresholds.partition_point(|&t| t <= key),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_fit_uniform_steps() {
+        // Plain uniform ramps at several strides, including stride 1.
+        for step in [1i64, 3, 48, 1000] {
+            let thresholds: Vec<i64> = (0..16).map(|k| -40 + k * step).collect();
+            assert_affine_matches_search(&thresholds);
+        }
+    }
+
+    #[test]
+    fn affine_fit_rounded_affine_steps() {
+        // Boundaries of a real affine map with a fractional step
+        // (48.6): rounding makes deltas alternate 48/49, which no single
+        // integer stride reproduces but the multiply-shift must.
+        let thresholds: Vec<i64> = (0..32).map(|k| (k as f64 * 48.6).round() as i64).collect();
+        assert!(thresholds.windows(2).any(|w| w[1] - w[0] == 48));
+        assert!(thresholds.windows(2).any(|w| w[1] - w[0] == 49));
+        assert_affine_matches_search(&thresholds);
+    }
+
+    #[test]
+    fn affine_fit_handles_sentinel_tail_and_duplicates() {
+        // Sentinel suffix (unreachable top codes) shrinks the finite
+        // prefix; a short duplicate run needs a slope above 2^32.
+        let mut thresholds: Vec<i64> = (0..10).map(|k| k * 7).collect();
+        thresholds.extend([i64::MAX; 3]);
+        assert_affine_matches_search(&thresholds);
+
+        // Duplicates *at the base* (bottom-clamped codes) fit: the
+        // intercept absorbs the extra codes. Duplicates after a gap
+        // cannot — a two-code jump across one input step needs a slope
+        // above 2^32, which the earlier boundaries forbid.
+        let base_dup = [7i64, 7, 12, 17];
+        assert_affine_matches_search(&base_dup);
+        assert!(affine_fit(&[0, 5, 5, 10, 15]).is_none());
+    }
+
+    #[test]
+    fn affine_fit_rejects_non_affine_tables() {
+        // Empty, unsorted, interior sentinel, out-of-domain base.
+        assert!(affine_fit(&[]).is_none());
+        assert!(affine_fit(&[0, 10, 5, 20]).is_none());
+        assert!(affine_fit(&[0, i64::MAX, 10]).is_none());
+        assert!(affine_fit(&[i64::MIN, 0, 10]).is_none());
+
+        // Bottom-clamped table: a long duplicate run at i32::MIN (as
+        // `from_range` over a huge span produces) followed by normal
+        // steps is not one line.
+        let mut clamped = vec![i32::MIN as i64; 6];
+        clamped.extend((0..10).map(|k| k * 100));
+        assert!(affine_fit(&clamped).is_none());
+
+        // A single perturbed interior threshold breaks exactness: the
+        // verification pass must catch what the solver missed.
+        let mut bent: Vec<i64> = (0..16).map(|k| k * 48).collect();
+        bent[7] += 5;
+        assert!(affine_fit(&bent).is_none());
+    }
+
+    #[test]
+    fn affine_fit_all_equal_span_zero() {
+        // Every finite threshold identical: two-valued step function
+        // handled entirely by the range branches.
+        let thresholds = [42i64, 42, 42];
+        let aff = affine_fit(&thresholds).expect("fit");
+        assert_eq!(aff.index_for(41), 0);
+        assert_eq!(aff.index_for(42), 3);
+        assert_eq!(aff.index_for(i32::MAX as i64), 3);
     }
 }

@@ -17,7 +17,7 @@
 
 use fixar_fixed::math::tanh_raw;
 
-use crate::artifact::{ActKind, PolicyArtifact, QuantSpec};
+use crate::artifact::{ActKind, PolicyArtifact, QuantSpec, ARTIFACT_FRAC_BITS};
 use crate::guard::NoFloatZone;
 
 /// Saturates a wide accumulator onto the 32-bit rails.
@@ -88,12 +88,19 @@ fn apply_spec(spec: &QuantSpec, r: i32) -> i32 {
         QuantSpec::Table {
             thresholds,
             dequant,
+            affine,
         } => {
             // Entry `k` of `thresholds` is the smallest raw word reaching
             // code `k + 1`, so the number of entries at or below `r` is
             // exactly r's code; `dequant` maps the code straight back to
-            // a raw word on the artifact grid.
-            let code = thresholds.partition_point(|&t| t <= r as i64);
+            // a raw word on the artifact grid. When decode proved the
+            // table an exact affine ramp, the count collapses to one
+            // integer multiply-shift (`AffineIndex` is verified equal to
+            // this search over the whole i32 domain before it exists).
+            let code = match affine {
+                Some(a) => a.index_for(r as i64),
+                None => thresholds.partition_point(|&t| t <= r as i64),
+            };
             dequant[code]
         }
     }
@@ -105,7 +112,11 @@ fn apply_spec(spec: &QuantSpec, r: i32) -> i32 {
 /// is armed for the entire walk.
 pub(crate) fn run(art: &PolicyArtifact, obs: &[i32]) -> Vec<i32> {
     let _zone = NoFloatZone::enter();
-    let frac = art.frac_bits;
+    // Every constructor pins the grid, so the multiply's shift count is
+    // a compile-time constant in the loop below (a variable shift blocks
+    // vectorization of the widening multiply).
+    assert_eq!(art.frac_bits, ARTIFACT_FRAC_BITS);
+    let frac = ARTIFACT_FRAC_BITS;
     let n = art.weights.len();
     let mut a = obs.to_vec();
     for v in a.iter_mut() {
@@ -113,14 +124,16 @@ pub(crate) fn run(art: &PolicyArtifact, obs: &[i32]) -> Vec<i32> {
     }
     for l in 0..n {
         let rows = art.layer_sizes[l + 1] as usize;
-        let cols = art.layer_sizes[l] as usize;
-        let w = &art.weights[l];
+        let wt = &art.weights_t[l];
         let mut z = vec![0i32; rows];
         // Column-broadcast order: input element j multiplies the whole
         // column, partial sums accumulate into z — the AAP core's order.
+        // The columns are streamed from the derived transposed image, so
+        // the inner accumulation is unit-stride on both z and wt.
         for (j, &xj) in a.iter().enumerate() {
-            for (i, zi) in z.iter_mut().enumerate() {
-                *zi = fx_add(*zi, fx_mul(w[i * cols + j], xj, frac));
+            let wt_col = &wt[j * rows..(j + 1) * rows];
+            for (zi, &w) in z.iter_mut().zip(wt_col) {
+                *zi = fx_add(*zi, fx_mul(w, xj, frac));
             }
         }
         for (zi, &bi) in z.iter_mut().zip(&art.biases[l]) {

@@ -1,8 +1,10 @@
 //! Multilayer perceptron with back-propagation and QAT hooks.
 
+use std::sync::OnceLock;
+
 use fixar_fixed::Scalar;
 use fixar_pool::Parallelism;
-use fixar_tensor::{vector, Matrix};
+use fixar_tensor::{vector, Matrix, WeightPack};
 
 use crate::activation::Activation;
 use crate::error::NnError;
@@ -184,13 +186,49 @@ impl<S: Scalar> BatchTrace<S> {
 /// Fully-connected network, generic over the numeric backend.
 ///
 /// See the [crate docs](crate) for an example.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Mlp<S> {
     weights: Vec<Matrix<S>>,
     biases: Vec<Vec<S>>,
     hidden_act: Activation,
     output_act: Activation,
     layer_sizes: Vec<usize>,
+    /// Lazily built packed (pre-transposed) weight layouts, one per
+    /// layer — the cache behind every batched forward/backward MVM.
+    /// Invalidated ([`OnceLock::take`]) by [`Mlp::weight_mut`] and
+    /// [`Mlp::soft_update_from`]; bias updates don't touch it. Pure
+    /// cache: never part of equality, never cloned.
+    packs: Vec<OnceLock<WeightPack<S>>>,
+}
+
+impl<S: Clone> Clone for Mlp<S> {
+    fn clone(&self) -> Self {
+        Self {
+            weights: self.weights.clone(),
+            biases: self.biases.clone(),
+            hidden_act: self.hidden_act,
+            output_act: self.output_act,
+            layer_sizes: self.layer_sizes.clone(),
+            // A fresh clone starts with a cold cache rather than deep-
+            // copying transposes it may never use (target-network clones
+            // are mutated immediately anyway).
+            packs: fresh_packs(self.weights.len()),
+        }
+    }
+}
+
+impl<S: PartialEq> PartialEq for Mlp<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.weights == other.weights
+            && self.biases == other.biases
+            && self.hidden_act == other.hidden_act
+            && self.output_act == other.output_act
+            && self.layer_sizes == other.layer_sizes
+    }
+}
+
+fn fresh_packs<S>(n: usize) -> Vec<OnceLock<WeightPack<S>>> {
+    (0..n).map(|_| OnceLock::new()).collect()
 }
 
 impl<S: Scalar> Mlp<S> {
@@ -224,6 +262,7 @@ impl<S: Scalar> Mlp<S> {
             biases.push(bf.into_iter().map(S::from_f64).collect());
         }
         Ok(Self {
+            packs: fresh_packs(weights.len()),
             weights,
             biases,
             hidden_act: cfg.hidden_activation,
@@ -279,14 +318,24 @@ impl<S: Scalar> Mlp<S> {
     }
 
     /// Mutable weight matrix of layer `l` (used by optimizers and the
-    /// accelerator write-back path).
+    /// accelerator write-back path). Invalidates the layer's cached
+    /// packed layout — the next batched pass re-packs from the updated
+    /// weights.
     ///
     /// # Panics
     ///
     /// Panics if `l >= num_layers()`.
     #[inline]
     pub fn weight_mut(&mut self, l: usize) -> &mut Matrix<S> {
+        self.packs[l].take();
         &mut self.weights[l]
+    }
+
+    /// The cached packed layout of layer `l`, building it on first use
+    /// after construction or invalidation.
+    #[inline]
+    fn pack(&self, l: usize) -> &WeightPack<S> {
+        self.packs[l].get_or_init(|| self.weights[l].pack())
     }
 
     /// Bias vector of layer `l`.
@@ -715,6 +764,9 @@ impl<S: Scalar> Mlp<S> {
             ));
         }
         let t = S::from_f64(tau);
+        for p in &mut self.packs {
+            p.take();
+        }
         for (w, ws) in self.weights.iter_mut().zip(&src.weights) {
             let dst = w.as_mut_slice();
             for (d, &s) in dst.iter_mut().zip(ws.as_slice()) {
@@ -734,6 +786,7 @@ impl<S: Scalar> Mlp<S> {
     /// quantized phase, and to build bit-identical accelerator images).
     pub fn cast<T: Scalar>(&self) -> Mlp<T> {
         Mlp {
+            packs: fresh_packs(self.weights.len()),
             weights: self.weights.iter().map(Matrix::cast).collect(),
             biases: self
                 .biases
@@ -922,7 +975,9 @@ fn forward_batch_fused_driver<S: Scalar>(
         par.fused(|ks| -> Result<(), fixar_tensor::ShapeError> {
             for ((m, a), z) in nets.iter().zip(&acts).zip(zs.iter_mut()) {
                 if let Some(z) = z.as_mut() {
-                    m.weights[l].gemv_batch_par_in(a, z, ks)?;
+                    // The cached pack replaces the per-call transpose
+                    // the unpacked kernel would rebuild every batch.
+                    m.pack(l).gemv_batch_par_in(a, z, ks)?;
                 }
             }
             Ok(())
@@ -1048,7 +1103,7 @@ pub fn backward_batch_fused<S: Scalar>(
                 let MlpGrads { w, b } = &mut *p.grads;
                 w[l].add_outer_batch_par_in(delta, &p.trace.inputs[l], ks)?;
                 let err = err_slot.as_mut().expect("active pass has an err buffer");
-                p.mlp.weights[l].gemv_t_batch_par_in(delta, err, ks)?;
+                p.mlp.pack(l).gemv_t_batch_par_in(delta, err, ks)?;
                 // Bias gradients: ascending sample order on the calling
                 // thread, overlapping the queued shards (disjoint from
                 // both kernel outputs).
@@ -1256,6 +1311,51 @@ mod tests {
                 "row {b}"
             );
         }
+    }
+
+    #[test]
+    fn weight_updates_invalidate_cached_packs() {
+        // The batched paths cache a packed transpose per layer; a stale
+        // pack would keep serving the old weights. The per-sample
+        // forward never touches the cache, so it is the oracle.
+        let cfg = MlpConfig::new(vec![6, 16, 4]).with_output_activation(Activation::Tanh);
+        let mut mlp = Mlp::<Fx32>::new_random(&cfg, 31).unwrap();
+        let x = fx32_batch(5, 6);
+        let before = mlp.forward_batch(&x).unwrap(); // populates the pack cache
+
+        // Direct weight write through `weight_mut`.
+        mlp.weight_mut(0)[(0, 0)] = Fx32::from_f64(1.25);
+        mlp.weight_mut(1)[(2, 3)] = Fx32::from_f64(-0.75);
+        let after = mlp.forward_batch(&x).unwrap();
+        assert_ne!(before, after, "weight change must be visible");
+        for b in 0..x.rows() {
+            assert_eq!(after.row(b), mlp.forward(x.row(b)).unwrap().as_slice());
+        }
+
+        // Polyak update path.
+        let src = Mlp::<Fx32>::new_random(&cfg, 77).unwrap();
+        let warm = mlp.forward_batch(&x).unwrap(); // re-populate the cache
+        mlp.soft_update_from(&src, 0.5).unwrap();
+        let updated = mlp.forward_batch(&x).unwrap();
+        assert_ne!(warm, updated, "soft update must be visible");
+        for b in 0..x.rows() {
+            assert_eq!(updated.row(b), mlp.forward(x.row(b)).unwrap().as_slice());
+        }
+
+        // The backward path reads the same cache: gradients after the
+        // updates must match the per-sample reference.
+        let bt = mlp.forward_batch_trace(&x).unwrap();
+        let dl = fx32_batch(5, 4);
+        let mut batched = MlpGrads::zeros_like(&mlp);
+        let input_err = mlp.backward_batch(&bt, &dl, &mut batched).unwrap();
+        let mut looped = MlpGrads::zeros_like(&mlp);
+        for b in 0..x.rows() {
+            let t = mlp.forward_trace(x.row(b)).unwrap();
+            let err = mlp.backward(&t, dl.row(b), &mut looped).unwrap();
+            assert_eq!(input_err.row(b), err.as_slice(), "input grad row {b}");
+        }
+        assert_eq!(batched.w, looped.w);
+        assert_eq!(batched.b, looped.b);
     }
 
     #[test]

@@ -43,6 +43,18 @@
 //! count**, for every backend including saturating `Fx32`, independent
 //! of thread scheduling.
 //!
+//! The packed-layout kernels ([`Matrix::pack`] → [`WeightPack`])
+//! restate the same contract from a cache-resident pre-transposed copy
+//! of the weights: [`WeightPack::gemv_batch`] reuses the transpose
+//! across calls instead of rebuilding it per batch, and
+//! [`WeightPack::gemv_t_batch`] turns the transposed MVM into
+//! unit-stride register-accumulated dot products. Only the loop nests
+//! differ — per-element chains are unchanged — so packed ≡ unpacked ≡
+//! per-sample, bit for bit, at every worker count. A pack is a
+//! snapshot of the weights at [`Matrix::pack`] time; mutating the
+//! source matrix afterwards does not update it (callers invalidate and
+//! re-pack, as `fixar-nn`'s `Mlp` does on weight updates).
+//!
 //! The `*_par_in` forms ([`Matrix::gemv_batch_par_in`],
 //! [`Matrix::gemv_t_batch_par_in`], [`Matrix::add_outer_batch_par_in`],
 //! [`Matrix::matmul_par_in`], [`Matrix::gather_columns_par_in`]) extend
@@ -66,4 +78,4 @@ mod matrix;
 pub mod vector;
 
 pub use fixar_pool::{KernelScope, Parallelism, PoolError, WorkerPool};
-pub use matrix::{Matrix, ShapeError};
+pub use matrix::{Matrix, ShapeError, WeightPack};

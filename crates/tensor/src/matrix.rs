@@ -1176,6 +1176,300 @@ impl<S: Scalar> Matrix<S> {
             .map(|v| v.to_f64().abs())
             .fold(0.0, f64::max)
     }
+
+    /// Builds the cache-resident packed layout for this matrix — see
+    /// [`WeightPack`].
+    pub fn pack(&self) -> WeightPack<S> {
+        let panels = self.cols.div_ceil(GEMV_T_PANEL);
+        let mut w_panels = vec![S::zero(); panels * self.rows * GEMV_T_PANEL];
+        for p in 0..panels {
+            for i in 0..self.rows {
+                let j0 = p * GEMV_T_PANEL;
+                let width = GEMV_T_PANEL.min(self.cols - j0);
+                let dst = (p * self.rows + i) * GEMV_T_PANEL;
+                w_panels[dst..dst + width]
+                    .copy_from_slice(&self.data[i * self.cols + j0..i * self.cols + j0 + width]);
+            }
+        }
+        WeightPack {
+            rows: self.rows,
+            cols: self.cols,
+            wt: self.transposed(),
+            w_panels,
+        }
+    }
+}
+
+/// Width of the register-blocked output panel in the packed
+/// `gemv_t_batch` kernel: one panel of accumulators stays resident
+/// while a weight panel streams past with unit stride.
+const GEMV_T_PANEL: usize = 16;
+
+/// Cache-resident packed image of a weight matrix, in both hot-loop
+/// layouts.
+///
+/// The batched MVM kernels want *two* purpose-built layouts of `W`: the
+/// forward kernel streams rows of `Wᵀ` (one per input column), and the
+/// backward kernel streams zero-padded width-`GEMV_T_PANEL` column
+/// panels of `W` (layout `[panel][row][lane]`) so a register-resident
+/// panel of outputs accumulates from unit-stride loads with no
+/// per-step output-row traffic. A plain [`Matrix::gemv_batch`]
+/// re-materializes the transpose on every call; a `WeightPack` hoists
+/// both copies out of the hot loop so a layer that is applied many
+/// times between weight updates (training batches, serving) pays for
+/// the pack once.
+///
+/// The packed kernels are **bit-identical** to their unpacked
+/// [`Matrix`] counterparts: only the loop nests differ, never the
+/// per-element reduction chains (ascending `j` for `gemv_batch`,
+/// ascending `i` for `gemv_t_batch` — the crate's accumulation-order
+/// contract), so packed ≡ unpacked ≡ per-sample in every backend,
+/// including saturating `Fx32`, at every worker count.
+///
+/// A pack is a snapshot: it does **not** track later mutations of the
+/// source matrix. Callers that mutate weights must rebuild (or, like
+/// `fixar-nn`'s `Mlp`, invalidate and lazily rebuild) the pack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightPack<S> {
+    rows: usize,
+    cols: usize,
+    /// `(cols, rows)` row-major transpose of the source matrix.
+    wt: Matrix<S>,
+    /// Zero-padded column panels of the source matrix for the packed
+    /// `gemv_t_batch` kernel: element `(i, p * GEMV_T_PANEL + t)` of the
+    /// source lives at `(p * rows + i) * GEMV_T_PANEL + t`.
+    w_panels: Vec<S>,
+}
+
+impl<S: Scalar> WeightPack<S> {
+    /// Row count of the *source* matrix (the output dimension of
+    /// [`WeightPack::gemv_batch`]).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count of the *source* matrix (the output dimension of
+    /// [`WeightPack::gemv_t_batch`]).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` of the source matrix.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn check_gemv_batch(&self, a: &Matrix<S>, y: &Matrix<S>) -> Result<(), ShapeError> {
+        if a.cols != self.cols {
+            return Err(ShapeError::new(
+                "gemv_batch input",
+                (a.rows, self.cols),
+                a.shape(),
+            ));
+        }
+        if y.shape() != (a.rows, self.rows) {
+            return Err(ShapeError::new(
+                "gemv_batch output",
+                (a.rows, self.rows),
+                y.shape(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_gemv_t_batch(&self, e: &Matrix<S>, y: &Matrix<S>) -> Result<(), ShapeError> {
+        if e.cols != self.rows {
+            return Err(ShapeError::new(
+                "gemv_t_batch input",
+                (e.rows, self.rows),
+                e.shape(),
+            ));
+        }
+        if y.shape() != (e.rows, self.cols) {
+            return Err(ShapeError::new(
+                "gemv_t_batch output",
+                (e.rows, self.cols),
+                y.shape(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Packed [`Matrix::gemv_batch`]: `Y[b] = W·A[b]` over the cached
+    /// transpose, two samples per register tile (sharing every streamed
+    /// `Wᵀ` row across the pair), each output element still reducing
+    /// over the input columns `j` in ascending order — bit-exact with
+    /// the unpacked kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::gemv_batch`].
+    pub fn gemv_batch(&self, a: &Matrix<S>, y: &mut Matrix<S>) -> Result<(), ShapeError> {
+        self.check_gemv_batch(a, y)?;
+        gemv_batch_span_packed(&self.wt, a, 0..a.rows, &mut y.data);
+        Ok(())
+    }
+
+    /// Pool-parallel [`WeightPack::gemv_batch`] — batch rows shard
+    /// contiguously, disjoint output slices, bit-identical to the
+    /// sequential packed kernel at every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::gemv_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics (a kernel bug).
+    pub fn gemv_batch_par(
+        &self,
+        a: &Matrix<S>,
+        y: &mut Matrix<S>,
+        par: &Parallelism,
+    ) -> Result<(), ShapeError> {
+        let shards = par.shards(a.rows);
+        if shards <= 1 {
+            return self.gemv_batch(a, y);
+        }
+        self.check_gemv_batch(a, y)?;
+        let out_dim = self.rows;
+        let wt = &self.wt;
+        let pool = par.pool().expect("shards > 1 implies a pool");
+        pool.scope(|scope| {
+            let mut rest = y.data.as_mut_slice();
+            for range in split_ranges(a.rows, shards) {
+                let (chunk, tail) = rest.split_at_mut(range.len() * out_dim);
+                rest = tail;
+                scope.execute(move || gemv_batch_span_packed(wt, a, range, chunk));
+            }
+        })
+        .unwrap_or_else(|e| panic!("gemv_batch_par worker panicked: {e}"));
+        Ok(())
+    }
+
+    /// [`WeightPack::gemv_batch`] submitted into a caller-owned fused
+    /// scope (see [`Matrix::gemv_batch_par_in`] for the fused-scope
+    /// contract). Unlike the unpacked form, no transpose is built on
+    /// the calling thread — the shards borrow the cached pack for the
+    /// scope's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::gemv_batch`], checked before
+    /// anything enqueues.
+    pub fn gemv_batch_par_in<'scope>(
+        &'scope self,
+        a: &'scope Matrix<S>,
+        y: &'scope mut Matrix<S>,
+        ks: &KernelScope<'_, '_, 'scope>,
+    ) -> Result<(), ShapeError> {
+        self.check_gemv_batch(a, y)?;
+        let out_dim = self.rows;
+        let wt = &self.wt;
+        let shards = ks.shards(a.rows);
+        let mut rest = y.data.as_mut_slice();
+        for range in split_ranges(a.rows, shards) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * out_dim);
+            rest = tail;
+            ks.submit(move || gemv_batch_span_packed(wt, a, range, chunk));
+        }
+        Ok(())
+    }
+
+    /// Packed [`Matrix::gemv_t_batch`]: `Y[b] = Wᵀ·E[b]` over the
+    /// cached column panels — a register-resident panel of outputs per
+    /// sample accumulates from unit-stride weight loads, with no
+    /// per-step output-row load/store traffic, four samples per tile.
+    /// The per-element chain still ascends `i`, so the result is
+    /// bit-exact with the unpacked kernel, which streams `W` row-major
+    /// and scatter-accumulates through memory instead.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::gemv_t_batch`].
+    pub fn gemv_t_batch(&self, e: &Matrix<S>, y: &mut Matrix<S>) -> Result<(), ShapeError> {
+        self.check_gemv_t_batch(e, y)?;
+        gemv_t_batch_span_packed(
+            &self.w_panels,
+            self.rows,
+            self.cols,
+            e,
+            0..e.rows,
+            &mut y.data,
+        );
+        Ok(())
+    }
+
+    /// Pool-parallel [`WeightPack::gemv_t_batch`] — batch rows shard
+    /// contiguously, disjoint output slices, bit-identical to the
+    /// sequential packed kernel at every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::gemv_t_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics (a kernel bug).
+    pub fn gemv_t_batch_par(
+        &self,
+        e: &Matrix<S>,
+        y: &mut Matrix<S>,
+        par: &Parallelism,
+    ) -> Result<(), ShapeError> {
+        let shards = par.shards(e.rows);
+        if shards <= 1 {
+            return self.gemv_t_batch(e, y);
+        }
+        self.check_gemv_t_batch(e, y)?;
+        let cols = self.cols;
+        let rows = self.rows;
+        let w_panels = self.w_panels.as_slice();
+        let pool = par.pool().expect("shards > 1 implies a pool");
+        pool.scope(|scope| {
+            let mut rest = y.data.as_mut_slice();
+            for range in split_ranges(e.rows, shards) {
+                let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+                rest = tail;
+                scope.execute(move || {
+                    gemv_t_batch_span_packed(w_panels, rows, cols, e, range, chunk)
+                });
+            }
+        })
+        .unwrap_or_else(|err| panic!("gemv_t_batch_par worker panicked: {err}"));
+        Ok(())
+    }
+
+    /// [`WeightPack::gemv_t_batch`] submitted into a caller-owned fused
+    /// scope (see [`Matrix::gemv_batch_par_in`] for the fused-scope
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Matrix::gemv_t_batch`], checked
+    /// before anything enqueues.
+    pub fn gemv_t_batch_par_in<'scope>(
+        &'scope self,
+        e: &'scope Matrix<S>,
+        y: &'scope mut Matrix<S>,
+        ks: &KernelScope<'_, '_, 'scope>,
+    ) -> Result<(), ShapeError> {
+        self.check_gemv_t_batch(e, y)?;
+        let cols = self.cols;
+        let rows = self.rows;
+        let w_panels = self.w_panels.as_slice();
+        let shards = ks.shards(e.rows);
+        let mut rest = y.data.as_mut_slice();
+        for range in split_ranges(e.rows, shards) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * cols);
+            rest = tail;
+            ks.submit(move || gemv_t_batch_span_packed(w_panels, rows, cols, e, range, chunk));
+        }
+        Ok(())
+    }
 }
 
 impl<S: Scalar> Index<(usize, usize)> for Matrix<S> {
@@ -1275,9 +1569,131 @@ fn gemv_t_batch_span<S: Scalar>(
     }
 }
 
+/// Forward-MVM span over a cached pack: like [`gemv_batch_span`] but
+/// with two samples per register tile, so every streamed `Wᵀ` row is
+/// reused across the pair. Per-element chains still ascend `j` (the
+/// tile's two chains are independent), so the output is bit-exact with
+/// the unpacked span.
+fn gemv_batch_span_packed<S: Scalar>(
+    wt: &Matrix<S>,
+    a: &Matrix<S>,
+    batch: Range<usize>,
+    y_chunk: &mut [S],
+) {
+    let cols = a.cols;
+    let out_dim = wt.cols;
+    let start = batch.start;
+    for v in y_chunk.iter_mut() {
+        *v = S::zero();
+    }
+    let mut b = start;
+    while b + 2 <= batch.end {
+        let base = (b - start) * out_dim;
+        let (y0, y1) = y_chunk[base..base + 2 * out_dim].split_at_mut(out_dim);
+        let a0 = &a.data[b * cols..(b + 1) * cols];
+        let a1 = &a.data[(b + 1) * cols..(b + 2) * cols];
+        for j in 0..cols {
+            let wt_row = &wt.data[j * out_dim..(j + 1) * out_dim];
+            let x0 = a0[j];
+            let x1 = a1[j];
+            for (i, &w) in wt_row.iter().enumerate() {
+                y0[i] += w * x0;
+                y1[i] += w * x1;
+            }
+        }
+        b += 2;
+    }
+    // Remainder row: the plain single-sample nest, same chain order.
+    for b in b..batch.end {
+        let a_row = &a.data[b * cols..(b + 1) * cols];
+        let y_row = &mut y_chunk[(b - start) * out_dim..(b - start + 1) * out_dim];
+        for (j, &xj) in a_row.iter().enumerate() {
+            let wt_row = &wt.data[j * out_dim..(j + 1) * out_dim];
+            for (yi, &w) in y_row.iter_mut().zip(wt_row) {
+                *yi += w * xj;
+            }
+        }
+    }
+}
+
+/// Transposed-MVM span over the pack's zero-padded column panels.
+///
+/// One width-[`GEMV_T_PANEL`] panel of output accumulators per sample
+/// stays register-resident while the matching weight panel streams past
+/// with unit stride, so — unlike [`gemv_t_batch_span`], which re-loads
+/// and re-stores its output rows on every reduction step — the inner
+/// loop touches memory only to read. Four samples per tile share each
+/// streamed panel row. The padded lanes compute garbage that is sliced
+/// off at store time; the real lanes' chains still sum their products
+/// in ascending `i`, the exact chain of [`gemv_t_batch_span`].
+fn gemv_t_batch_span_packed<S: Scalar>(
+    w_panels: &[S],
+    in_dim: usize, // reduction dim (= source W rows)
+    cols: usize,   // output dim per sample (= source W cols)
+    e: &Matrix<S>,
+    batch: Range<usize>,
+    y_chunk: &mut [S],
+) {
+    const PW: usize = GEMV_T_PANEL;
+    let panels = cols.div_ceil(PW);
+    let start = batch.start;
+    let mut b = start;
+    while b + 4 <= batch.end {
+        let base = (b - start) * cols;
+        let e_rows = [
+            &e.data[b * in_dim..(b + 1) * in_dim],
+            &e.data[(b + 1) * in_dim..(b + 2) * in_dim],
+            &e.data[(b + 2) * in_dim..(b + 3) * in_dim],
+            &e.data[(b + 3) * in_dim..(b + 4) * in_dim],
+        ];
+        for p in 0..panels {
+            let panel = &w_panels[p * in_dim * PW..(p + 1) * in_dim * PW];
+            let mut acc = [[S::zero(); PW]; 4];
+            for i in 0..in_dim {
+                let w: &[S; PW] = panel[i * PW..i * PW + PW].try_into().unwrap();
+                for (s, e_row) in e_rows.iter().enumerate() {
+                    let ei = e_row[i];
+                    for (t, &wt) in w.iter().enumerate() {
+                        acc[s][t] += wt * ei;
+                    }
+                }
+            }
+            let j0 = p * PW;
+            let width = PW.min(cols - j0);
+            for (s, row) in acc.iter().enumerate() {
+                y_chunk[base + s * cols + j0..base + s * cols + j0 + width]
+                    .copy_from_slice(&row[..width]);
+            }
+        }
+        b += 4;
+    }
+    // Remainder rows: the same panel walk, one sample at a time.
+    for b in b..batch.end {
+        let base = (b - start) * cols;
+        let e_row = &e.data[b * in_dim..(b + 1) * in_dim];
+        for p in 0..panels {
+            let panel = &w_panels[p * in_dim * PW..(p + 1) * in_dim * PW];
+            let mut acc = [S::zero(); PW];
+            for (i, &ei) in e_row.iter().enumerate() {
+                let w: &[S; PW] = panel[i * PW..i * PW + PW].try_into().unwrap();
+                for (t, &wt) in w.iter().enumerate() {
+                    acc[t] += wt * ei;
+                }
+            }
+            let j0 = p * PW;
+            let width = PW.min(cols - j0);
+            y_chunk[base + j0..base + j0 + width].copy_from_slice(&acc[..width]);
+        }
+    }
+}
+
 /// Gradient-accumulation span: rows `w_rows` of `W += Σ_b E[b] ⊗ A[b]`
-/// into `w_chunk`, walking the **whole batch in ascending sample
-/// order** for those rows — the documented batch-reduction order.
+/// into `w_chunk`. The loop nest keeps each gradient row resident
+/// (weight-row outer, four samples per tile) instead of re-streaming
+/// the whole gradient matrix once per sample, but every element still
+/// accumulates its batch contributions **in ascending sample order** —
+/// the documented batch-reduction order (the four lanes of a tile
+/// apply to each element sequentially, `b`, `b+1`, `b+2`, `b+3`).
 fn add_outer_batch_span<S: Scalar>(
     e: &Matrix<S>,
     a: &Matrix<S>,
@@ -1285,14 +1701,32 @@ fn add_outer_batch_span<S: Scalar>(
     w_cols: usize,
     w_chunk: &mut [S],
 ) {
-    for b in 0..e.rows {
-        let e_row = &e.data[b * e.cols..(b + 1) * e.cols];
-        let a_row = &a.data[b * a.cols..(b + 1) * a.cols];
-        for (local_i, i) in w_rows.clone().enumerate() {
-            let ei = e_row[i];
-            let w_row = &mut w_chunk[local_i * w_cols..(local_i + 1) * w_cols];
+    let batch = e.rows;
+    for (local_i, i) in w_rows.enumerate() {
+        let w_row = &mut w_chunk[local_i * w_cols..(local_i + 1) * w_cols];
+        let mut b = 0;
+        while b + 4 <= batch {
+            let e0 = e.data[b * e.cols + i];
+            let e1 = e.data[(b + 1) * e.cols + i];
+            let e2 = e.data[(b + 2) * e.cols + i];
+            let e3 = e.data[(b + 3) * e.cols + i];
+            let a0 = &a.data[b * a.cols..(b + 1) * a.cols];
+            let a1 = &a.data[(b + 1) * a.cols..(b + 2) * a.cols];
+            let a2 = &a.data[(b + 2) * a.cols..(b + 3) * a.cols];
+            let a3 = &a.data[(b + 3) * a.cols..(b + 4) * a.cols];
+            for (j, w) in w_row.iter_mut().enumerate() {
+                *w += e0 * a0[j];
+                *w += e1 * a1[j];
+                *w += e2 * a2[j];
+                *w += e3 * a3[j];
+            }
+            b += 4;
+        }
+        for b in b..batch {
+            let eb = e.data[b * e.cols + i];
+            let a_row = &a.data[b * a.cols..(b + 1) * a.cols];
             for (w, &aj) in w_row.iter_mut().zip(a_row) {
-                *w += ei * aj;
+                *w += eb * aj;
             }
         }
     }
@@ -1311,18 +1745,40 @@ fn gather_columns_span<S: Scalar>(src: &Matrix<S>, indices: &[usize], out_chunk:
 
 /// Matmul span: output rows `lhs_rows` of `C = lhs · rhs` into
 /// `out_chunk` (pre-zeroed), ascending-`k` chains, streaming `rhs`
-/// row-major.
+/// row-major. Two output rows per register tile share every streamed
+/// `rhs` row (halving its memory traffic); the two per-element chains
+/// are independent, each still ascending `k`.
 fn matmul_span<S: Scalar>(
     lhs: &Matrix<S>,
     rhs: &Matrix<S>,
     lhs_rows: Range<usize>,
     out_chunk: &mut [S],
 ) {
-    for (local_i, i) in lhs_rows.enumerate() {
+    let n = rhs.cols;
+    let start = lhs_rows.start;
+    let mut i = start;
+    while i + 2 <= lhs_rows.end {
+        let base = (i - start) * n;
+        let (out0, out1) = out_chunk[base..base + 2 * n].split_at_mut(n);
+        let a0 = &lhs.data[i * lhs.cols..(i + 1) * lhs.cols];
+        let a1 = &lhs.data[(i + 1) * lhs.cols..(i + 2) * lhs.cols];
+        for k in 0..lhs.cols {
+            let b_row = &rhs.data[k * n..(k + 1) * n];
+            let x0 = a0[k];
+            let x1 = a1[k];
+            for (j, &bkj) in b_row.iter().enumerate() {
+                out0[j] += x0 * bkj;
+                out1[j] += x1 * bkj;
+            }
+        }
+        i += 2;
+    }
+    // Remainder row: the plain single-row nest, same chain order.
+    for i in i..lhs_rows.end {
         let a_row = &lhs.data[i * lhs.cols..(i + 1) * lhs.cols];
-        let out_row = &mut out_chunk[local_i * rhs.cols..(local_i + 1) * rhs.cols];
+        let out_row = &mut out_chunk[(i - start) * n..(i - start + 1) * n];
         for (k, &aik) in a_row.iter().enumerate() {
-            let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            let b_row = &rhs.data[k * n..(k + 1) * n];
             for (o, &bkj) in out_row.iter_mut().zip(b_row) {
                 *o += aik * bkj;
             }
@@ -1462,6 +1918,80 @@ mod tests {
         for b in 0..a.rows() {
             assert_eq!(y.row(b), w.gemv_alloc(a.row(b)).unwrap().as_slice());
         }
+    }
+
+    #[test]
+    fn packed_kernels_bit_exact_with_unpacked() {
+        // Odd shapes and batches around the tile sizes (2 for forward,
+        // 4 for transposed) so every remainder path runs.
+        for &(rows, cols, batch) in &[(5, 7, 1), (5, 7, 2), (5, 7, 3), (6, 4, 4), (3, 9, 7)] {
+            let (w, a) = fx32_case(rows, cols, batch);
+            let pack = w.pack();
+            assert_eq!(pack.shape(), w.shape());
+
+            let fwd = w.gemv_batch_alloc(&a).unwrap();
+            let mut fwd_p = Matrix::zeros(batch, rows);
+            pack.gemv_batch(&a, &mut fwd_p).unwrap();
+            assert_eq!(fwd, fwd_p);
+
+            let e = Matrix::<f64>::from_fn(batch, rows, |b, r| {
+                (((b * 5 + r * 11) % 17) as f64 - 8.0) * 0.17
+            })
+            .cast::<Fx32>();
+            let bwd = w.gemv_t_batch_alloc(&e).unwrap();
+            let mut bwd_p = Matrix::zeros(batch, cols);
+            pack.gemv_t_batch(&e, &mut bwd_p).unwrap();
+            assert_eq!(bwd, bwd_p);
+
+            for workers in [1usize, 2, 3, 8] {
+                let par = Parallelism::with_workers(workers);
+                let mut yp = Matrix::zeros(batch, rows);
+                pack.gemv_batch_par(&a, &mut yp, &par).unwrap();
+                assert_eq!(fwd, yp);
+                let mut tp = Matrix::zeros(batch, cols);
+                pack.gemv_t_batch_par(&e, &mut tp, &par).unwrap();
+                assert_eq!(bwd, tp);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernels_saturate_like_unpacked() {
+        // Near-rail Q16 values so the saturating adds actually clamp:
+        // the packed tiles must replay the exact per-element chains.
+        type Q = Q16<10>;
+        let w = Matrix::<f64>::from_fn(6, 5, |r, c| if (r + c) % 2 == 0 { 31.0 } else { -31.0 })
+            .cast::<Q>();
+        let a = Matrix::<f64>::from_fn(7, 5, |b, c| if (b + c) % 3 == 0 { 31.0 } else { 30.0 })
+            .cast::<Q>();
+        let e = Matrix::<f64>::from_fn(7, 6, |b, r| if (b * r) % 2 == 0 { -31.0 } else { 31.0 })
+            .cast::<Q>();
+        let pack = w.pack();
+        let fwd = w.gemv_batch_alloc(&a).unwrap();
+        let mut fwd_p = Matrix::zeros(7, 6);
+        pack.gemv_batch(&a, &mut fwd_p).unwrap();
+        assert_eq!(fwd, fwd_p);
+        let bwd = w.gemv_t_batch_alloc(&e).unwrap();
+        let mut bwd_p = Matrix::zeros(7, 5);
+        pack.gemv_t_batch(&e, &mut bwd_p).unwrap();
+        assert_eq!(bwd, bwd_p);
+    }
+
+    #[test]
+    fn packed_kernels_reject_bad_shapes() {
+        let (w, a) = fx32_case(5, 7, 4);
+        let pack = w.pack();
+        let mut bad_out = Matrix::zeros(4, 6);
+        assert!(pack.gemv_batch(&a, &mut bad_out).is_err());
+        let bad_in = Matrix::<Fx32>::zeros(4, 6);
+        let mut y = Matrix::zeros(4, 5);
+        assert!(pack.gemv_batch(&bad_in, &mut y).is_err());
+        let mut bad_t = Matrix::zeros(4, 6);
+        let e = Matrix::<Fx32>::zeros(4, 5);
+        assert!(pack.gemv_t_batch(&e, &mut bad_t).is_err());
+        let bad_e = Matrix::<Fx32>::zeros(4, 6);
+        let mut t = Matrix::zeros(4, 7);
+        assert!(pack.gemv_t_batch(&bad_e, &mut t).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the tensor kernels.
 
-use fixar_fixed::Fx32;
+use fixar_fixed::{Fx32, Scalar};
 use fixar_tensor::{vector, Matrix};
 use proptest::prelude::*;
 
@@ -156,6 +156,108 @@ proptest! {
         }
         let par = fixar_pool::Parallelism::with_workers(workers);
         prop_assert_eq!(panel.gather_columns_par(&indices, &par).unwrap(), seq);
+    }
+
+    #[test]
+    fn packed_gemv_kernels_equal_unpacked_fx32(
+        w in small_matrix(),
+        batch in 1usize..9,
+        amp in 1.0..2000.0f64,
+    ) {
+        // Packed ≡ unpacked, bit for bit, sequential and parallel —
+        // `amp` near the Fx32 rail makes the saturating adds clamp, so
+        // any chain-order deviation in the packed tiles would show.
+        let wq: Matrix<Fx32> = w.cast();
+        let pack = wq.pack();
+        let a = Matrix::<f64>::from_fn(batch, w.cols(), |b, c| {
+            ((b * 13 + c * 7) as f64 * 0.37).sin() * amp
+        }).cast::<Fx32>();
+        let e = Matrix::<f64>::from_fn(batch, w.rows(), |b, r| {
+            ((b * 5 + r * 11) as f64 * 0.29).cos() * amp
+        }).cast::<Fx32>();
+        let fwd = wq.gemv_batch_alloc(&a).unwrap();
+        let bwd = wq.gemv_t_batch_alloc(&e).unwrap();
+        let mut fwd_p = Matrix::zeros(batch, w.rows());
+        pack.gemv_batch(&a, &mut fwd_p).unwrap();
+        prop_assert_eq!(&fwd, &fwd_p);
+        let mut bwd_p = Matrix::zeros(batch, w.cols());
+        pack.gemv_t_batch(&e, &mut bwd_p).unwrap();
+        prop_assert_eq!(&bwd, &bwd_p);
+        for workers in [1usize, 2, 8] {
+            let par = fixar_pool::Parallelism::with_workers(workers);
+            let mut yp = Matrix::zeros(batch, w.rows());
+            pack.gemv_batch_par(&a, &mut yp, &par).unwrap();
+            prop_assert_eq!(&fwd, &yp);
+            let mut tp = Matrix::zeros(batch, w.cols());
+            pack.gemv_t_batch_par(&e, &mut tp, &par).unwrap();
+            prop_assert_eq!(&bwd, &tp);
+        }
+    }
+
+    #[test]
+    fn retiled_add_outer_batch_equals_sample_order_accumulation_saturating(
+        w in small_matrix(),
+        batch in 1usize..9,
+        amp in 500.0..2000.0f64,
+    ) {
+        // The gradient span's row-resident four-sample tiles must keep
+        // the ascending-sample chain per element even when every add
+        // saturates; the per-sample loop is the reference semantics.
+        let e = Matrix::<f64>::from_fn(batch, w.rows(), |b, r| {
+            ((b * 3 + r) as f64 * 0.41).sin() * amp
+        }).cast::<Fx32>();
+        let a = Matrix::<f64>::from_fn(batch, w.cols(), |b, c| {
+            ((b * 7 + c) as f64 * 0.53).cos() * amp
+        }).cast::<Fx32>();
+        let mut looped: Matrix<Fx32> = w.cast();
+        let reference = {
+            let mut g = looped.clone();
+            for b in 0..batch {
+                g.add_outer(e.row(b), a.row(b)).unwrap();
+            }
+            g
+        };
+        let mut batched = looped.clone();
+        batched.add_outer_batch(&e, &a).unwrap();
+        prop_assert_eq!(&batched, &reference);
+        for workers in [1usize, 2, 8] {
+            let par = fixar_pool::Parallelism::with_workers(workers);
+            let mut g = looped.clone();
+            g.add_outer_batch_par(&e, &a, &par).unwrap();
+            prop_assert_eq!(&g, &reference);
+        }
+        looped.add_outer_batch(&e, &a).unwrap();
+        prop_assert_eq!(&looped, &reference);
+    }
+
+    #[test]
+    fn retiled_matmul_equals_ascending_k_reference_fx32(
+        lhs in small_matrix(),
+        n in 1usize..8,
+        amp in 1.0..2000.0f64,
+    ) {
+        // The two-row matmul tiles against an explicit per-element
+        // ascending-k reduction, at saturating amplitudes.
+        let a: Matrix<Fx32> = lhs.cast();
+        let b = Matrix::<f64>::from_fn(lhs.cols(), n, |k, j| {
+            ((k * 9 + j * 5) as f64 * 0.47).sin() * amp
+        }).cast::<Fx32>();
+        let mut reference = Matrix::<Fx32>::zeros(a.rows(), n);
+        for i in 0..a.rows() {
+            for j in 0..n {
+                let mut acc = Fx32::zero();
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                reference[(i, j)] = acc;
+            }
+        }
+        let got = a.matmul(&b).unwrap();
+        prop_assert_eq!(&got, &reference);
+        for workers in [1usize, 2, 8] {
+            let par = fixar_pool::Parallelism::with_workers(workers);
+            prop_assert_eq!(&a.matmul_par(&b, &par).unwrap(), &reference);
+        }
     }
 
     #[test]

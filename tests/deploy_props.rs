@@ -514,8 +514,215 @@ fn table_heavy_blobs_shrink_measurably() {
     assert!(saw_table_arm);
 }
 
+// ---------------------------------------------------------------------
+// Pillar 7: the O(1) affine quantizer fast path is bit-equal to the
+// threshold search — proven from outside the crate by hand-assembling
+// raw table blobs (tag 2) and replaying them against a partition_point
+// oracle, for both the affine arm and the guaranteed search fallback.
+// ---------------------------------------------------------------------
+
+/// Assembles a v2 blob for a 1×1 identity policy whose output point is a
+/// raw (tag 2) threshold table, byte-by-byte per the wire format, with
+/// the trailing FNV-1a 64 checksum. The weight is exactly 1.0 on the
+/// grid, so the pre-quantizer word equals the input word and
+/// `infer_raw([r])[0]` is precisely `dequant[code(r)]`.
+fn table_blob(thresholds: &[i64], dequant: &[i32]) -> Vec<u8> {
+    assert_eq!(dequant.len(), thresholds.len() + 1);
+    let mut out = Vec::new();
+    out.extend_from_slice(b"FXDA");
+    out.extend_from_slice(&2u32.to_le_bytes()); // version
+    out.extend_from_slice(&ARTIFACT_FRAC_BITS.to_le_bytes());
+    out.extend_from_slice(&1u32.to_le_bytes()); // n_layers
+    out.extend_from_slice(&1u32.to_le_bytes()); // input dim
+    out.extend_from_slice(&1u32.to_le_bytes()); // output dim
+    out.push(0); // hidden act: identity
+    out.push(0); // output act: identity
+    out.extend_from_slice(&(1i32 << ARTIFACT_FRAC_BITS).to_le_bytes()); // weight 1.0
+    out.extend_from_slice(&0i32.to_le_bytes()); // bias 0
+    out.extend_from_slice(&2u32.to_le_bytes()); // num points
+    out.push(0); // spec 0: pass-through
+    out.push(2); // spec 1: raw table
+    out.extend_from_slice(&(thresholds.len() as u32).to_le_bytes());
+    for &t in thresholds {
+        out.extend_from_slice(&t.to_le_bytes());
+    }
+    out.extend_from_slice(&(dequant.len() as u32).to_le_bytes());
+    for &d in dequant {
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &out {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    out.extend_from_slice(&h.to_le_bytes());
+    out
+}
+
+/// Keys that pin down a table's step function: every interval edge
+/// (`t`, `t - 1`) plus the domain rails and a few interior probes.
+fn probe_keys(thresholds: &[i64]) -> Vec<i32> {
+    let mut keys = vec![i32::MIN, -1, 0, 1, i32::MAX];
+    for &t in thresholds {
+        for k in [t.saturating_sub(1), t, t.saturating_add(1)] {
+            if let Ok(k32) = i32::try_from(k) {
+                keys.push(k32);
+            }
+        }
+    }
+    keys
+}
+
+/// Replays a decoded table artifact against the `partition_point`
+/// definition at every probe key, inside an armed no-float zone.
+fn assert_table_matches_oracle(
+    art: &PolicyArtifact,
+    thresholds: &[i64],
+    dequant: &[i32],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    for key in probe_keys(thresholds) {
+        let want = dequant[thresholds.partition_point(|&t| t <= key as i64)];
+        let got = art.infer_raw(&[key]).unwrap();
+        prop_assert_eq!(got[0], want, "key {}", key);
+    }
+    Ok(())
+}
+
+#[test]
+fn affine_and_fallback_table_codegen_pass_the_differential_gate() {
+    // Fixed-case codegen check for both quantizer arms: a uniform ramp
+    // (affine fast path — no threshold array in the source) and a bent
+    // ramp (search fallback — threshold array present), each compiled
+    // with the host rustc and replayed bit-for-bit against infer_raw.
+    let uniform: Vec<i64> = (0..64).map(|k| -2000 + k * 131).collect();
+    let mut bent = uniform.clone();
+    bent[31] += 7;
+    let dequant: Vec<i32> = (0..65).map(|c| -4000 + c * 125).collect();
+
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("affine_codegen_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for (name, thresholds, want_search) in [("affine", &uniform, false), ("fallback", &bent, true)]
+    {
+        let art = PolicyArtifact::decode(&table_blob(thresholds, &dequant)).unwrap();
+        let src = art.emit_rust();
+        verify_generated_source(&src).unwrap();
+        let has_threshold_static = src.contains("static T1");
+        assert_eq!(
+            has_threshold_static, want_search,
+            "{name}: emitted arm does not match the table's affine fit"
+        );
+
+        let src_path = dir.join(format!("{name}.rs"));
+        let mut runner = String::new();
+        for key in probe_keys(thresholds)
+            .iter()
+            .step_by(7)
+            .chain([&i32::MIN, &i32::MAX])
+        {
+            runner += &format!(
+                "    {{ let mut a = [0i32; 1]; infer(&[{key}], &mut a); \
+                 println!(\"{key} {{}}\", a[0]); }}\n"
+            );
+        }
+        // Strip the crate-level attribute and doc comments so the file
+        // can be `include!`d into a std runner.
+        let included: String = src
+            .lines()
+            .filter(|l| !l.starts_with("//!") && !l.starts_with("#![no_std]"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&src_path, included).unwrap();
+        let main_path = dir.join(format!("{name}_main.rs"));
+        std::fs::write(
+            &main_path,
+            format!(
+                "include!(\"{}\");\nfn main() {{\n{runner}}}\n",
+                src_path.display()
+            ),
+        )
+        .unwrap();
+        let bin = dir.join(name);
+        let out = std::process::Command::new("rustc")
+            .arg("--edition=2021")
+            .arg("-o")
+            .arg(&bin)
+            .arg(&main_path)
+            .output()
+            .expect("host rustc must be invocable");
+        assert!(
+            out.status.success(),
+            "{name}: generated source failed to compile:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let run = std::process::Command::new(&bin).output().unwrap();
+        assert!(run.status.success(), "{name}: runner crashed");
+        for line in String::from_utf8(run.stdout).unwrap().lines() {
+            let mut parts = line.split_whitespace();
+            let key: i32 = parts.next().unwrap().parse().unwrap();
+            let got: i32 = parts.next().unwrap().parse().unwrap();
+            assert_eq!(
+                got,
+                art.infer_raw(&[key]).unwrap()[0],
+                "{name}: compiled codegen diverged at key {key}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pillar 7a: random uniform-step tables decode onto the affine fast
+    /// path and replay the `partition_point` definition exactly at every
+    /// interval edge, the rails, and the sentinel-saturated top codes.
+    #[test]
+    fn affine_fast_path_tables_match_the_search_definition(
+        base in -100_000i64..100_000,
+        step in 1i64..5_000,
+        len in 1usize..200,
+        sentinel_tail in 0usize..4,
+    ) {
+        let mut thresholds: Vec<i64> =
+            (0..len as i64).map(|k| base + k * step).collect();
+        thresholds.extend(std::iter::repeat_n(i64::MAX, sentinel_tail));
+        let dequant: Vec<i32> = (0..=thresholds.len() as i64)
+            .map(|c| (c * 977 - 40_000) as i32)
+            .collect();
+        let art = PolicyArtifact::decode(&table_blob(&thresholds, &dequant)).unwrap();
+        // A uniform integer ramp always fits, so this arm genuinely
+        // exercises the multiply-shift, not the fallback.
+        prop_assert_eq!(art.blob_stats().tables_affine, 1);
+        assert_table_matches_oracle(&art, &thresholds, &dequant)?;
+    }
+
+    /// Pillar 7b: unsorted tables can never fit the affine form (the fit
+    /// requires a sorted ramp), so they are guaranteed onto the search
+    /// fallback — which must still reproduce `partition_point`, whose
+    /// semantics on unsorted input are exactly "some valid binary-search
+    /// partition", the same one the interpreter uses.
+    #[test]
+    fn non_affine_tables_fall_back_to_the_search(
+        base in -50_000i64..50_000,
+        step in 10i64..2_000,
+        len in 4usize..100,
+        swap in 1usize..99,
+    ) {
+        let mut thresholds: Vec<i64> =
+            (0..len as i64).map(|k| base + k * step).collect();
+        // Swap an adjacent pair strictly out of order.
+        let i = swap % (len - 1);
+        thresholds.swap(i, i + 1);
+        let dequant: Vec<i32> = (0..=len as i64).map(|c| (c * 613) as i32).collect();
+        let art = PolicyArtifact::decode(&table_blob(&thresholds, &dequant)).unwrap();
+        prop_assert_eq!(
+            art.blob_stats().tables_affine, 0,
+            "unsorted table must not fit the affine form"
+        );
+        assert_table_matches_oracle(&art, &thresholds, &dequant)?;
+    }
 
     /// Randomized pillar 1: arbitrary observations (including values far
     /// outside the calibrated ranges) replay bit-for-bit on every arm.
